@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index. By
+default the runs are scaled down (shorter steady state, fewer sweep
+points) so the whole harness finishes in minutes; set
+``REPRO_BENCH_FULL=1`` for paper-scale runs (5 RPS levels, 30 s steady
+state per point).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ScenarioConfig
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def bench_scenario_config(**overrides) -> ScenarioConfig:
+    """The scaled (or full) base scenario for benchmark runs."""
+    if FULL:
+        base = dict(duration=30.0, warmup=5.0, seed=42)
+    else:
+        base = dict(duration=6.0, warmup=2.0, seed=42)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def rps_levels():
+    return (10, 20, 30, 40, 50) if FULL else (10, 30, 50)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,29 @@
+"""X-4 (§5): prioritized request queueing when CPU is the bottleneck.
+
+The paper's discussion proposes extending the prototype to "coordinate
+management of other resources beyond the network (i.e., compute...)"
+via "prioritized request queuing". Expected: large LS tail improvement
+on a CPU-bound service, negligible LI cost (work is conserved; only the
+order changes).
+"""
+
+from conftest import FULL, once  # noqa: F401
+
+from repro.experiments.compute import run_compute
+
+
+def test_priority_queue_on_cpu_bottleneck(once):
+    result = once(
+        run_compute,
+        40.0,
+        20.0 if FULL else 8.0,
+    )
+    print()
+    print(result.table())
+    assert result.p99_speedup > 1.5, (
+        f"priority queueing gained only {result.p99_speedup:.2f}x"
+    )
+    # Work conservation: LI pays little (the CPU does the same total
+    # work; batch just waits behind interactive instead of ahead of it).
+    assert result.li_priority.p99 < result.li_fifo.p99 * 1.3
+    assert result.li_priority.count > 0

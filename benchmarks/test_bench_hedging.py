@@ -1,0 +1,29 @@
+"""X-1 (§3.4): redundant requests cut tail latency.
+
+The sidecar issues a duplicate request when the first response is slow
+(Envoy-style hedging, the mesh-layer deployment of [Vulimiri et al.]).
+Expected: multi-x p99 reduction on a heavy-tailed service for a small
+duplicate-load cost.
+"""
+
+from conftest import FULL, once  # noqa: F401
+
+from repro.experiments import run_hedging
+
+
+def test_hedged_requests_cut_tail(once):
+    result = once(
+        run_hedging,
+        rps=40.0,
+        duration=30.0 if FULL else 12.0,
+    )
+    print()
+    print(result.table())
+    assert result.p99_speedup > 1.5, (
+        f"hedging p99 speedup {result.p99_speedup:.2f}x below expectation"
+    )
+    # Hedging must stay cheap: bounded duplicate load.
+    assert result.extra_load < 0.5, (
+        f"hedging issued {result.extra_load * 100:.0f}% duplicates"
+    )
+    assert result.hedges_issued > 0

@@ -1,0 +1,33 @@
+"""T-3 (§3.6): proxy overhead grows with microservice call depth.
+
+The paper: the ~3 ms two-sidecar overhead "could be costly for
+latency-sensitive apps involving tens of hops among microservices".
+Expected shape: per-request mesh overhead grows roughly linearly with
+chain depth, reaching tens of milliseconds by 16 hops.
+"""
+
+from conftest import FULL, once  # noqa: F401
+
+from repro.experiments.hops import run_hops
+
+
+def test_overhead_scales_with_hops(once):
+    result = once(
+        run_hops,
+        (1, 4, 8, 16),
+        30.0,
+        20.0 if FULL else 6.0,
+    )
+    print()
+    print(result.table())
+    overheads = [row.overhead_p50 for row in result.rows]
+    # Monotone growth with depth.
+    assert overheads == sorted(overheads), overheads
+    # Each extra hop costs roughly two proxy traversals on the request
+    # path plus two on the response path (~1.6 ms at the calibrated
+    # medians); accept a broad band.
+    per_hop = result.overhead_per_hop_p50()
+    assert 0.0005 < per_hop < 0.01, f"per-hop overhead {per_hop * 1e3:.2f} ms"
+    # By 16 hops the overhead is an order of magnitude above 1 hop —
+    # the paper's "costly for tens of hops" concern, quantified.
+    assert result.rows[-1].overhead_p50 > result.rows[0].overhead_p50 * 5

@@ -1,0 +1,34 @@
+"""X-2 (§3.3): automatic priority inference without app cooperation.
+
+The inferring classifier learns per-path response sizes at the ingress
+and classifies big-response paths as latency-insensitive. Expected: it
+recovers most of the benefit of explicit application signalling after a
+short learning period.
+"""
+
+from conftest import bench_scenario_config, once  # noqa: F401
+
+from repro.experiments import run_inference
+
+
+def test_priority_inference(once):
+    base = bench_scenario_config(rps=40.0)
+    result = once(
+        run_inference,
+        base.rps,
+        base.duration,
+        base.seed,
+        base,
+    )
+    print()
+    print(result.table())
+    # Explicit signalling helps (sanity).
+    assert result.explicit.p99 < result.baseline.p99
+    # Inference recovers a substantial share of the explicit benefit.
+    assert result.inference_efficiency > 0.5, (
+        f"inference recovered only "
+        f"{result.inference_efficiency * 100:.0f}% of the benefit"
+    )
+    # It learned the two paths' sizes, in the right order.
+    sizes = result.learned_sizes
+    assert sizes.get("/analytics", 0) > sizes.get("/browse", float("inf")) * 5

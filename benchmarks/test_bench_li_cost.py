@@ -1,0 +1,54 @@
+"""T-1 (§4.3 text): prioritization costs the latency-insensitive
+workload little.
+
+The paper: "This improvement comes at the cost of degrading the
+performance of the latency-insensitive workloads (less than 5% increase
+in the p99 response latency)". The claim describes the moderate-
+utilization regime the paper operates in; this benchmark measures there
+(25 RPS ≈ 40% bottleneck load). Near saturation (45+ RPS) the 95/5
+nearly-strict split necessarily costs LI much more — that regime is
+covered by the Figure 4 sweep and documented in EXPERIMENTS.md.
+"""
+
+from conftest import FULL, once  # noqa: F401
+
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.util.stats import LatencySummary
+
+
+def run_pair():
+    base = ScenarioConfig(
+        rps=25.0,
+        duration=30.0 if FULL else 15.0,
+        warmup=5.0 if FULL else 3.0,
+        seed=42,
+    )
+    off = run_scenario(base, cross_layer=False)
+    on = run_scenario(base, cross_layer=True)
+    return (
+        off.li_summary(), on.li_summary(),
+        off.ls_summary(), on.ls_summary(),
+    )
+
+
+def test_li_cost_is_modest_while_ls_wins(once):
+    li_off, li_on, ls_off, ls_on = once(run_pair)
+    assert isinstance(li_off, LatencySummary)
+    p99_cost = li_on.p99 / li_off.p99 - 1.0
+    p50_cost = li_on.p50 / li_off.p50 - 1.0
+    print(f"\nLI p50 cost {p50_cost * 100:+.1f}%, "
+          f"p99 cost {p99_cost * 100:+.1f}% (paper: p99 < +5%); "
+          f"LS p99 gain {ls_off.p99 / ls_on.p99:.2f}x")
+    # The trade the paper describes: LS wins by a lot...
+    assert ls_on.p99 < ls_off.p99
+    # ...while LI's typical latency barely moves...
+    assert abs(p50_cost) < 0.10, f"LI p50 moved {p50_cost * 100:.0f}%"
+    # ...and the LI tail pays at most a small price (the p99 of a few
+    # hundred samples carries sampling noise; the band reflects it).
+    tail_band = 0.10 if FULL else 0.30
+    assert p99_cost < tail_band, (
+        f"LI p99 degraded {p99_cost * 100:.0f}%, beyond the "
+        f"{tail_band * 100:.0f}% band"
+    )
+    # No starvation under the 95% nearly-strict share.
+    assert li_on.count > 0

@@ -1,0 +1,110 @@
+"""Substrate microbenchmarks: raw performance of the building blocks.
+
+Not paper results — these watch for performance regressions in the
+simulator itself (event throughput, qdisc operations, transport
+transfer), which bounds how large the reproduction experiments can be.
+"""
+
+from repro.net import FifoQdisc, Network, Packet, Tos, WeightedPrioQdisc
+from repro.sim import Simulator
+from repro.transport import TransportConfig, TransportStack
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule+process 50k timer events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(50_000):
+            sim.timeout(i * 1e-6)
+        sim.run()
+        return sim.processed_events
+
+    events = benchmark(run)
+    assert events == 50_000
+
+
+def test_process_switching(benchmark):
+    """10k process spawn/step cycles."""
+
+    def run():
+        sim = Simulator()
+        done = []
+
+        def proc(sim):
+            yield sim.timeout(0.001)
+            done.append(1)
+
+        for _ in range(10_000):
+            sim.process(proc(sim))
+        sim.run()
+        return len(done)
+
+    assert benchmark(run) == 10_000
+
+
+def test_fifo_qdisc_ops(benchmark):
+    """Enqueue+dequeue 10k packets through a FIFO."""
+
+    def run():
+        q = FifoQdisc()
+        for i in range(10_000):
+            q.enqueue(Packet(src="a", dst="b", size=1500, seq=i), 0.0)
+        count = 0
+        while q.dequeue(0.0) is not None:
+            count += 1
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_weighted_prio_qdisc_ops(benchmark):
+    """Enqueue+dequeue 10k packets through the paper's qdisc."""
+
+    def run():
+        q = WeightedPrioQdisc(high_share=0.95)
+        for i in range(10_000):
+            tos = Tos.HIGH if i % 2 == 0 else Tos.NORMAL
+            q.enqueue(Packet(src="a", dst="b", size=1500, seq=i, tos=tos), 0.0)
+        count = 0
+        while q.dequeue(0.0) is not None:
+            count += 1
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_transport_bulk_transfer(benchmark):
+    """One 1 MB congestion-controlled transfer over a simulated link."""
+
+    def run():
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", rate_bps=1e9, delay=0.0005)
+        config = TransportConfig(mss=15_000)
+        src = TransportStack(sim, net, "a", "10.1.0.1", config=config)
+        dst = TransportStack(sim, net, "b", "10.1.0.2", config=config)
+        net.build_routes()
+        done = []
+
+        def on_accept(conn):
+            def serve():
+                message, size = yield conn.receive()
+                done.append(size)
+
+            sim.process(serve())
+
+        dst.listen(80, on_accept)
+        conn = src.connect("10.1.0.2", 80)
+
+        def client(sim):
+            yield conn.established
+            conn.send("blob", 1_000_000)
+
+        sim.process(client(sim))
+        sim.run()
+        return done[0]
+
+    assert benchmark(run) == 1_000_000

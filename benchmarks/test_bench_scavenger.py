@@ -1,0 +1,36 @@
+"""A-2 (§4.2b): scavenger transport for latency-insensitive requests.
+
+LEDBAT carries the LI workload's sidecar-to-sidecar connections; it
+backs off as soon as it sees queueing delay, so the LS workload's
+(Reno) traffic finds the bottleneck clear. Tested alone and on top of
+the paper prototype ("full-stack").
+"""
+
+from conftest import bench_scenario_config
+
+from repro.experiments import run_ablations
+
+VARIANTS = ["baseline", "scavenger-only", "full-stack"]
+
+
+def test_scavenger_transport(once):
+    result = once(
+        run_ablations,
+        VARIANTS,
+        bench_scenario_config(rps=40.0),
+    )
+    print()
+    print(result.table())
+
+    baseline = result.ls["baseline"]
+    scavenger = result.ls["scavenger-only"]
+    full = result.ls["full-stack"]
+    # The scavenger alone already improves the LS tail.
+    assert scavenger.p99 < baseline.p99, (
+        f"scavenger-only p99 {scavenger.p99} vs baseline {baseline.p99}"
+    )
+    # The full stack keeps the win.
+    assert full.p99 < baseline.p99
+    # Scavenging trades LI throughput for LS latency: LI must still
+    # finish, even if slower.
+    assert result.li["scavenger-only"].count > 0

@@ -1,0 +1,26 @@
+"""A-4 (§4.2d): priority-aware traffic engineering.
+
+On a two-spine topology the SDN controller steers HIGH traffic onto the
+less-utilized spine and scavenger-marked bulk onto the other, using the
+TOS marks derived from request provenance. Expected: large LS tail
+improvement, LI roughly unchanged (it keeps a full path to itself).
+"""
+
+from conftest import FULL, once  # noqa: F401
+
+from repro.experiments import run_te
+
+
+def test_priority_aware_te(once):
+    result = once(
+        run_te,
+        rps=25.0,
+        duration=20.0 if FULL else 8.0,
+    )
+    print()
+    print(result.table())
+    assert result.p99_speedup > 1.3, (
+        f"TE speedup {result.p99_speedup:.2f}x below expectation"
+    )
+    # LI is not materially hurt: it gets a whole spine for itself.
+    assert result.li_with_te.p99 < result.li_without_te.p99 * 1.5

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Ablation study over the §4.2 design components.
+
+Runs the mixed e-library workload once per design point — baseline, the
+paper's prototype (pinning + TC), each component alone, the full stack,
+and the strict-priority variant — and prints the comparison table.
+
+Run:  python examples/ablation_study.py [--rps N] [--duration S]
+"""
+
+import argparse
+
+from repro.experiments import ScenarioConfig, run_ablations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rps", type=float, default=40.0)
+    parser.add_argument("--duration", type=float, default=12.0)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    config = ScenarioConfig(
+        rps=args.rps, duration=args.duration, warmup=2.0, seed=args.seed
+    )
+    print(f"running 7 design points at {args.rps} RPS "
+          f"({args.duration}s each)...")
+    result = run_ablations(base_config=config)
+    print()
+    print(result.table())
+    print()
+    for name in result.ls:
+        if name != "baseline":
+            print(f"  {name:>16}: LS p99 {result.speedup_vs_baseline(name):.2f}x "
+                  "vs baseline")
+
+
+if __name__ == "__main__":
+    main()

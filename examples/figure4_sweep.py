@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 4: LS latency vs RPS, with/without prioritization.
+
+By default runs a scaled-down sweep (shorter runs, 3 RPS levels) that
+finishes in a couple of minutes; pass ``--full`` for the paper's five
+RPS levels with longer steady state.
+
+Run:  python examples/figure4_sweep.py [--full] [--csv out.csv]
+"""
+
+import argparse
+
+from repro.experiments import PAPER_RPS_LEVELS, ScenarioConfig, run_figure4
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale sweep")
+    parser.add_argument("--csv", metavar="PATH", help="also write CSV here")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    if args.full:
+        levels = PAPER_RPS_LEVELS
+        config = ScenarioConfig(duration=30.0, warmup=5.0, seed=args.seed)
+    else:
+        levels = (10, 30, 50)
+        config = ScenarioConfig(duration=10.0, warmup=2.0, seed=args.seed)
+
+    print(f"sweeping RPS levels {levels} (duration={config.duration}s each, "
+          f"two configurations per level)...")
+    result = run_figure4(rps_levels=levels, base_config=config)
+    print()
+    print(result.table())
+    print()
+    print(f"mean p50 speedup: {result.mean_p50_speedup:.2f}x "
+          f"(paper: ~1.5x)")
+    print(f"mean p99 speedup: {result.mean_p99_speedup:.2f}x "
+          f"(paper: ~1.5x)")
+    print(f"worst LI p99 cost: {result.worst_li_p99_cost * 100:+.1f}% "
+          f"(paper: <5%)")
+    if args.csv:
+        with open(args.csv, "w") as f:
+            f.write(result.csv())
+        print(f"wrote {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — reproduction of "Leveraging Service Meshes as a New Network Layer".
+
+This package implements, from scratch, every system the HotNets '21 paper
+builds on, as a discrete-event simulation:
+
+* :mod:`repro.sim` — the discrete-event kernel (processes, events, resources).
+* :mod:`repro.net` — a packet-level network: NICs, links, qdiscs, topology.
+* :mod:`repro.transport` — TCP-like and scavenger congestion control.
+* :mod:`repro.http` — HTTP message and header model.
+* :mod:`repro.cluster` — a Kubernetes-like orchestrator (nodes, pods,
+  deployments, services, scheduler).
+* :mod:`repro.mesh` — an Istio-like service mesh: sidecar proxies, control
+  plane, routing, load balancing, retries, tracing, telemetry.
+* :mod:`repro.core` — the paper's contribution: cross-layer prioritization
+  of latency-sensitive requests via provenance tracing.
+* :mod:`repro.apps` — microservice applications, including the e-library
+  (bookinfo) app from the paper's prototype.
+* :mod:`repro.workload` — wrk2-style open-loop load generation and
+  latency recording.
+* :mod:`repro.experiments` — harnesses that regenerate the paper's
+  evaluation (Fig. 4 and the in-text claims) plus ablations.
+
+Quickstart::
+
+    from repro.experiments import ScenarioConfig, run_scenario
+
+    result = run_scenario(ScenarioConfig(rps=30, cross_layer=True))
+    print(result.latency_summary("ls"))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,43 @@
+"""Microservice applications: framework, e-library (bookinfo), DAGs."""
+
+from .dag import DagConfig, dag_root, generate_dag_specs
+from .elibrary import (
+    DETAILS,
+    FRONTEND,
+    RATINGS,
+    REVIEWS,
+    ELibraryConfig,
+    build_elibrary,
+)
+from .framework import (
+    WORKLOAD_BATCH,
+    WORKLOAD_HEADER,
+    WORKLOAD_INTERACTIVE,
+    AppBuilder,
+    AppContext,
+    BuiltApp,
+    Microservice,
+    ServiceSpec,
+    is_batch,
+)
+
+__all__ = [
+    "AppBuilder",
+    "AppContext",
+    "BuiltApp",
+    "DETAILS",
+    "DagConfig",
+    "ELibraryConfig",
+    "FRONTEND",
+    "Microservice",
+    "RATINGS",
+    "REVIEWS",
+    "ServiceSpec",
+    "WORKLOAD_BATCH",
+    "WORKLOAD_HEADER",
+    "WORKLOAD_INTERACTIVE",
+    "build_elibrary",
+    "dag_root",
+    "generate_dag_specs",
+    "is_batch",
+]

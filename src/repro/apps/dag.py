@@ -1,0 +1,88 @@
+"""Synthetic DAG applications.
+
+Generates random layered microservice call graphs for experiments that
+need topologies beyond the e-library (e.g. the TE extension, scale
+tests, and property tests over arbitrary call trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .framework import ServiceSpec
+
+
+@dataclass
+class DagConfig:
+    """Shape of the generated application."""
+
+    layers: int = 3
+    services_per_layer: int = 2
+    fanout: int = 2                  # children each service calls (capped)
+    base_response_bytes: int = 2_000
+    service_time_median: float = 0.001
+    service_time_p99: float = 0.004
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.layers < 1 or self.services_per_layer < 1 or self.fanout < 0:
+            raise ValueError("invalid DAG shape")
+
+
+def generate_dag_specs(config: DagConfig | None = None) -> list[ServiceSpec]:
+    """Service specs for a layered DAG rooted at ``svc-0-0``.
+
+    Layer 0 has exactly one root service; each service in layer i calls
+    up to ``fanout`` random services in layer i+1. Every service in a
+    non-root layer is guaranteed at least one caller, so the whole graph
+    is reachable from the root.
+    """
+    config = config if config is not None else DagConfig()
+    rng = np.random.default_rng(config.seed)
+    names: list[list[str]] = []
+    for layer in range(config.layers):
+        count = 1 if layer == 0 else config.services_per_layer
+        names.append([f"svc-{layer}-{i}" for i in range(count)])
+
+    children: dict[str, set] = {name: set() for layer in names for name in layer}
+    for layer_index in range(config.layers - 1):
+        below = names[layer_index + 1]
+        for name in names[layer_index]:
+            k = min(config.fanout, len(below))
+            if k > 0:
+                picks = rng.choice(len(below), size=k, replace=False)
+                children[name].update(below[int(p)] for p in picks)
+        # Reachability: every service below needs at least one caller.
+        called = set()
+        for name in names[layer_index]:
+            called.update(children[name])
+        for orphan in set(below) - called:
+            caller = names[layer_index][
+                int(rng.integers(len(names[layer_index])))
+            ]
+            children[caller].add(orphan)
+
+    specs = []
+    for layer in names:
+        for name in layer:
+            specs.append(
+                ServiceSpec(
+                    name=name,
+                    children=tuple(sorted(children[name])),
+                    base_response_bytes=config.base_response_bytes,
+                    service_time_median=config.service_time_median,
+                    service_time_p99=config.service_time_p99,
+                )
+            )
+    return specs
+
+
+def dag_root(specs: list[ServiceSpec]) -> str:
+    """The entry service of a generated DAG."""
+    called = {child for spec in specs for child in spec.children}
+    roots = [spec.name for spec in specs if spec.name not in called]
+    if len(roots) != 1:
+        raise ValueError(f"expected exactly one root, found {roots}")
+    return roots[0]

@@ -1,0 +1,113 @@
+"""The e-library application — the paper's prototype workload (§4.3).
+
+Istio's ``bookinfo`` sample reshaped exactly as Fig. 3: an ingress
+gateway in front of a **front end**, which fans out to **details** and
+**reviews** (two replicas, used by the prioritization design as the
+high/low-priority pods), with reviews calling **ratings**. The
+network bottleneck sits between ratings and reviews: ratings' egress
+veth is rate-limited (1 Gbps in the paper) while every other emulated
+link runs at 15 Gbps.
+
+Batch-analytics requests make ratings return responses
+``batch_multiplier`` (default 200, the paper's "≈200× larger") times
+bigger than interactive ones, so both workloads' responses compete for
+the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.cluster import Cluster
+from ..mesh.mesh import ServiceMesh
+from ..sim import Simulator
+from ..sim.rng import RngRegistry
+from ..util.units import Gbps
+from .framework import AppBuilder, BuiltApp, ServiceSpec
+
+FRONTEND = "frontend"
+DETAILS = "details"
+REVIEWS = "reviews"
+RATINGS = "ratings"
+
+
+@dataclass
+class ELibraryConfig:
+    """Tunables for the e-library deployment."""
+
+    bottleneck_bps: float = 1 * Gbps        # ratings -> reviews (paper)
+    batch_multiplier: float = 200.0          # LI responses vs LS (paper)
+    reviews_versions: tuple = ("v1", "v2")   # the two reviews replicas
+    frontend_response_bytes: int = 2_000
+    details_response_bytes: int = 2_000
+    reviews_response_bytes: int = 2_000
+    ratings_response_bytes: int = 10_000     # LS baseline; x200 for batch
+    request_bytes: int = 400
+    service_time_median: float = 0.001
+    service_time_p99: float = 0.004
+    workers: int = 16
+    specs_overrides: dict = field(default_factory=dict)
+
+    def specs(self) -> list[ServiceSpec]:
+        specs = [
+            ServiceSpec(
+                name=FRONTEND,
+                children=(DETAILS, REVIEWS),
+                base_response_bytes=self.frontend_response_bytes,
+                request_bytes=self.request_bytes,
+                service_time_median=self.service_time_median,
+                service_time_p99=self.service_time_p99,
+                workers=self.workers,
+            ),
+            ServiceSpec(
+                name=DETAILS,
+                base_response_bytes=self.details_response_bytes,
+                request_bytes=self.request_bytes,
+                service_time_median=self.service_time_median,
+                service_time_p99=self.service_time_p99,
+                workers=self.workers,
+            ),
+            ServiceSpec(
+                name=REVIEWS,
+                children=(RATINGS,),
+                versions=self.reviews_versions,
+                base_response_bytes=self.reviews_response_bytes,
+                request_bytes=self.request_bytes,
+                service_time_median=self.service_time_median,
+                service_time_p99=self.service_time_p99,
+                workers=self.workers,
+            ),
+            ServiceSpec(
+                name=RATINGS,
+                base_response_bytes=self.ratings_response_bytes,
+                request_bytes=self.request_bytes,
+                service_time_median=self.service_time_median,
+                service_time_p99=self.service_time_p99,
+                workers=self.workers,
+                batch_scales_response=True,
+                egress_rate_bps=self.bottleneck_bps,
+            ),
+        ]
+        for spec in specs:
+            for key, value in self.specs_overrides.get(spec.name, {}).items():
+                setattr(spec, key, value)
+        return specs
+
+
+def build_elibrary(
+    sim: Simulator,
+    cluster: Cluster,
+    mesh: ServiceMesh,
+    config: ELibraryConfig | None = None,
+    rng_registry: RngRegistry | None = None,
+) -> BuiltApp:
+    """Deploy the e-library app into ``cluster`` under ``mesh``."""
+    config = config if config is not None else ELibraryConfig()
+    builder = AppBuilder(
+        sim,
+        cluster,
+        mesh,
+        rng_registry=rng_registry,
+        batch_multiplier=config.batch_multiplier,
+    )
+    return builder.build(config.specs())

@@ -1,0 +1,271 @@
+"""Microservice application framework.
+
+Applications are built from handlers running inside pods, talking to
+each other exclusively through their sidecars (the mesh API of §3.1).
+The framework provides:
+
+* :class:`AppContext` — what a handler gets: ``call`` (via the sidecar),
+  ``parallel``, ``compute`` (CPU), ``sleep``.
+* :class:`Microservice` — binds handlers to a pod's sidecar.
+* :class:`ServiceSpec` / :class:`AppBuilder` — declarative construction
+  of a whole application call tree (deployments, services, sidecars,
+  handlers) from specs; the e-library app and the synthetic DAG apps are
+  both built this way.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster
+from ..cluster.deployment import PodSpec
+from ..cluster.pod import Pod
+from ..http.headers import propagate
+from ..http.message import HttpRequest, HttpResponse, HttpStatus
+from ..mesh.mesh import ServiceMesh
+from ..mesh.sidecar import Sidecar
+from ..sim import Simulator
+from ..sim.rng import Distributions, RngRegistry
+
+#: Header the workload generator sets to mark the workload type. This is
+#: application-level knowledge (which requests are batch analytics);
+#: the *priority* header is separate and assigned by the ingress
+#: classifier.
+WORKLOAD_HEADER = "x-workload"
+WORKLOAD_INTERACTIVE = "interactive"
+WORKLOAD_BATCH = "batch"
+
+
+def is_batch(request: HttpRequest) -> bool:
+    return request.headers.get(WORKLOAD_HEADER) == WORKLOAD_BATCH
+
+
+class AppContext:
+    """Handler-facing API bound to one in-flight request."""
+
+    def __init__(self, sim: Simulator, pod: Pod, sidecar: Sidecar, request: HttpRequest):
+        self.sim = sim
+        self.pod = pod
+        self.sidecar = sidecar
+        self.request = request
+
+    def call(
+        self,
+        service: str,
+        path: str | None = None,
+        body_size: int = 400,
+        timeout: float | None = None,
+        headers: dict | None = None,
+    ):
+        """Issue a child request through the sidecar; returns a response
+        event. Provenance headers (request id, priority, trace) propagate
+        from the parent request automatically — the paper's §4.3 item 2."""
+        child = HttpRequest(
+            service=service,
+            path=path if path is not None else self.request.path,
+            body_size=body_size,
+        )
+        if headers:
+            for key, value in headers.items():
+                child.headers[key] = value
+        workload = self.request.headers.get(WORKLOAD_HEADER)
+        if workload is not None:
+            child.headers[WORKLOAD_HEADER] = workload
+        span_id = self.request.headers.get("x-b3-spanid")
+        if span_id is not None and "x-b3-spanid" not in child.headers:
+            child.headers["x-b3-spanid"] = span_id
+        propagate(self.request.headers, child.headers)
+        return self.sidecar.request(child, timeout=timeout)
+
+    def parallel(self, events):
+        """``yield from`` helper: await all events, return values in order."""
+        events = list(events)
+        yield self.sim.all_of(events)
+        return [event.value for event in events]
+
+    def compute(self, seconds: float):
+        """``yield from`` helper: hold one CPU worker for ``seconds``."""
+        if seconds <= 0:
+            return
+        grant = yield self.pod.cpu.acquire()
+        try:
+            yield self.sim.timeout(seconds)
+        finally:
+            self.pod.cpu.release(grant)
+
+    def sleep(self, seconds: float):
+        return self.sim.timeout(seconds)
+
+
+class Microservice:
+    """The application container of one pod: routes paths to handlers.
+
+    Handlers are generators: ``handler(ctx, request) -> HttpResponse``.
+    """
+
+    def __init__(self, sim: Simulator, pod: Pod, sidecar: Sidecar, name: str):
+        self.sim = sim
+        self.pod = pod
+        self.sidecar = sidecar
+        self.name = name
+        self._routes: dict[str, typing.Callable] = {}
+        self._default = None
+        sidecar.set_app_handler(self._handle)
+        pod.add_container(name)
+        self.requests_handled = 0
+
+    def route(self, path: str):
+        """Decorator registering a handler for an exact path."""
+
+        def decorator(fn):
+            self._routes[path] = fn
+            return fn
+
+        return decorator
+
+    def default_route(self, fn):
+        """Handler for any path without an exact match."""
+        self._default = fn
+        return fn
+
+    def _handle(self, request: HttpRequest):
+        handler = self._routes.get(request.path, self._default)
+        if handler is None:
+            return request.reply(HttpStatus.NOT_FOUND)
+        self.requests_handled += 1
+        ctx = AppContext(self.sim, self.pod, self.sidecar, request)
+        response = yield from handler(ctx, request)
+        if not isinstance(response, HttpResponse):
+            raise TypeError(
+                f"{self.name} handler returned {type(response).__name__}, "
+                "expected HttpResponse"
+            )
+        return response
+
+
+@dataclass
+class ServiceSpec:
+    """Declarative description of one microservice in a call tree."""
+
+    name: str
+    children: tuple = ()
+    versions: tuple = ("v1",)
+    replicas_per_version: int = 1
+    base_response_bytes: int = 2_000
+    request_bytes: int = 400
+    service_time_median: float = 0.001
+    service_time_p99: float = 0.004
+    workers: int = 8
+    egress_rate_bps: float | None = None
+    ingress_rate_bps: float | None = None
+    sequential_children: bool = False
+    batch_scales_response: bool = False
+    failure_rate: float = 0.0   # fraction of requests answered with 503
+    node_hint: str | None = None
+
+
+class BuiltApp:
+    """Handle to a constructed application."""
+
+    def __init__(self, specs: dict, microservices: list[Microservice]):
+        self.specs = specs
+        self.microservices = microservices
+
+    def spec(self, name: str) -> ServiceSpec:
+        return self.specs[name]
+
+    def services_of(self, name: str) -> list[Microservice]:
+        return [m for m in self.microservices if m.name.startswith(f"{name}-")]
+
+
+class AppBuilder:
+    """Builds deployments, services, sidecars and handlers from specs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        mesh: ServiceMesh,
+        rng_registry: RngRegistry | None = None,
+        batch_multiplier: float = 200.0,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.mesh = mesh
+        self.rng = rng_registry if rng_registry is not None else RngRegistry(0)
+        self.batch_multiplier = batch_multiplier
+
+    def build(self, specs: list[ServiceSpec]) -> BuiltApp:
+        spec_map = {spec.name: spec for spec in specs}
+        for spec in specs:
+            for child in spec.children:
+                if child not in spec_map:
+                    raise ValueError(
+                        f"{spec.name} calls unknown service {child!r}"
+                    )
+        microservices = []
+        for spec in specs:
+            for version in spec.versions:
+                deployment_name = f"{spec.name}-{version}"
+                self.cluster.create_deployment(
+                    deployment_name,
+                    replicas=spec.replicas_per_version,
+                    spec=PodSpec(
+                        labels={"app": spec.name, "version": version},
+                        workers=spec.workers,
+                        egress_rate_bps=spec.egress_rate_bps,
+                        ingress_rate_bps=spec.ingress_rate_bps,
+                        node_hint=spec.node_hint,
+                    ),
+                )
+            self.cluster.create_service(spec.name, selector={"app": spec.name})
+        # Services exist for every spec before any sidecar is injected, so
+        # bootstrap discovery sees the full application.
+        for spec in specs:
+            for version in spec.versions:
+                for pod in self.cluster.pods_of(f"{spec.name}-{version}"):
+                    sidecar = self.mesh.inject_pod(pod, service_name=spec.name)
+                    micro = Microservice(self.sim, pod, sidecar, pod.name)
+                    micro.default_route(self._make_handler(spec))
+                    microservices.append(micro)
+        self.cluster.build_routes()
+        return BuiltApp(spec_map, microservices)
+
+    def _make_handler(self, spec: ServiceSpec):
+        dist = Distributions(self.rng.stream(f"service-time:{spec.name}"))
+        failure_rng = self.rng.stream(f"failures:{spec.name}")
+        multiplier = self.batch_multiplier
+
+        def handler(ctx: AppContext, request: HttpRequest):
+            if spec.failure_rate > 0 and failure_rng.random() < spec.failure_rate:
+                return request.reply(HttpStatus.SERVICE_UNAVAILABLE)
+            service_time = dist.lognormal_by_quantiles(
+                spec.service_time_median, spec.service_time_p99
+            )
+            yield from ctx.compute(service_time)
+            child_bytes = 0
+            if spec.children:
+                if spec.sequential_children:
+                    responses = []
+                    for child in spec.children:
+                        response = yield ctx.call(
+                            child, body_size=spec.request_bytes
+                        )
+                        responses.append(response)
+                else:
+                    events = [
+                        ctx.call(child, body_size=spec.request_bytes)
+                        for child in spec.children
+                    ]
+                    responses = yield from ctx.parallel(events)
+                for response in responses:
+                    if not response.ok:
+                        return request.reply(HttpStatus.BAD_GATEWAY)
+                    child_bytes += response.body_size
+            own = spec.base_response_bytes
+            if spec.batch_scales_response and is_batch(request):
+                own = int(own * multiplier)
+            return request.reply(HttpStatus.OK, body_size=own + child_bytes)
+
+        return handler

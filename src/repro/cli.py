@@ -1,0 +1,141 @@
+"""Command-line interface: regenerate any experiment from the terminal.
+
+Usage::
+
+    python -m repro figure4 [--full] [--csv PATH]
+    python -m repro overhead | ablations | te | hedging | inference
+    python -m repro all        # everything, scaled
+
+Scaled runs (default) finish in minutes; ``--full`` uses paper-scale
+parameters (the 10-50 RPS sweep with long steady states).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    PAPER_RPS_LEVELS,
+    ScenarioConfig,
+    run_ablations,
+    run_compute,
+    run_figure4,
+    run_hedging,
+    run_hops,
+    run_inference,
+    run_overhead,
+    run_te,
+)
+
+
+def _base_config(args) -> ScenarioConfig:
+    if args.full:
+        return ScenarioConfig(duration=30.0, warmup=5.0, seed=args.seed)
+    return ScenarioConfig(duration=8.0, warmup=2.0, seed=args.seed)
+
+
+def _cmd_figure4(args) -> str:
+    levels = PAPER_RPS_LEVELS if args.full else (10, 30, 50)
+    result = run_figure4(rps_levels=levels, base_config=_base_config(args))
+    if args.csv:
+        with open(args.csv, "w") as f:
+            f.write(result.csv())
+    return (
+        result.table()
+        + f"\nmean p50 speedup {result.mean_p50_speedup:.2f}x, "
+        f"mean p99 speedup {result.mean_p99_speedup:.2f}x (paper: ~1.5x)"
+    )
+
+
+def _cmd_overhead(args) -> str:
+    duration = 30.0 if args.full else args.duration
+    return run_overhead(rps=50.0, duration=duration, seed=args.seed).table()
+
+
+def _cmd_ablations(args) -> str:
+    config = _base_config(args)
+    config = ScenarioConfig(
+        rps=40.0, duration=config.duration, warmup=config.warmup, seed=args.seed
+    )
+    return run_ablations(base_config=config).table()
+
+
+def _cmd_te(args) -> str:
+    duration = 20.0 if args.full else args.duration
+    return run_te(rps=25.0, duration=duration, seed=args.seed).table()
+
+
+def _cmd_hedging(args) -> str:
+    duration = 30.0 if args.full else args.duration
+    return run_hedging(rps=40.0, duration=duration, seed=args.seed).table()
+
+
+def _cmd_inference(args) -> str:
+    duration = 20.0 if args.full else args.duration
+    return run_inference(rps=40.0, duration=duration, seed=args.seed).table()
+
+
+def _cmd_compute(args) -> str:
+    duration = 20.0 if args.full else args.duration
+    return run_compute(duration=duration, seed=args.seed).table()
+
+
+def _cmd_hops(args) -> str:
+    duration = 20.0 if args.full else args.duration
+    return run_hops(duration=duration, seed=args.seed).table()
+
+
+COMMANDS = {
+    "figure4": (_cmd_figure4, "Fig. 4: LS latency vs RPS, w/o vs w/ optimization"),
+    "overhead": (_cmd_overhead, "T-2: sidecar latency overhead (~3 ms p99)"),
+    "hops": (_cmd_hops, "T-3: overhead amplification over deep call chains"),
+    "ablations": (_cmd_ablations, "A-1/A-3: component ablations"),
+    "te": (_cmd_te, "A-4: priority-aware traffic engineering"),
+    "hedging": (_cmd_hedging, "X-1: redundant requests cut tail latency"),
+    "inference": (_cmd_inference, "X-2: automatic priority inference"),
+    "compute": (_cmd_compute, "X-4: prioritized request queueing (CPU bottleneck)"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the evaluation of 'Leveraging Service Meshes as a "
+            "New Network Layer' (HotNets '21)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (_fn, help_text) in COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common(sub)
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    _add_common(all_parser)
+    return parser
+
+
+def _add_common(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--full", action="store_true", help="paper-scale run")
+    sub.add_argument("--seed", type=int, default=42)
+    sub.add_argument(
+        "--duration", type=float, default=8.0,
+        help="steady-state seconds for scaled runs",
+    )
+    sub.add_argument("--csv", metavar="PATH", help="write CSV (figure4 only)")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "all":
+        for name, (fn, _help) in COMMANDS.items():
+            print(f"\n### {name} ###")
+            print(fn(args))
+        return 0
+    fn, _help = COMMANDS[args.command]
+    print(fn(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Kubernetes-like cluster orchestration substrate."""
+
+from .chaos import BlackholeQdisc, Chaos
+from .cluster import (
+    DEFAULT_NODE_LINK_RATE,
+    DEFAULT_POD_LINK_RATE,
+    Cluster,
+)
+from .deployment import Deployment, PodSpec
+from .dns import ClusterDns
+from .node import Node
+from .pod import Pod
+from .scheduler import Scheduler
+from .service import Endpoint, Service
+
+__all__ = [
+    "BlackholeQdisc",
+    "Chaos",
+    "Cluster",
+    "ClusterDns",
+    "DEFAULT_NODE_LINK_RATE",
+    "DEFAULT_POD_LINK_RATE",
+    "Deployment",
+    "Endpoint",
+    "Node",
+    "Pod",
+    "PodSpec",
+    "Scheduler",
+    "Service",
+]

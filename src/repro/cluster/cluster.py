@@ -1,0 +1,204 @@
+"""The cluster facade: nodes, pods, services and the underlying network.
+
+Builds the same shape as the paper's testbed (Fig. 3): a Kubernetes
+cluster where every pod hangs off its node's switch by an emulated
+15 Gbps veth link, with selected links (the experiment's bottleneck)
+overridden to lower rates.
+"""
+
+from __future__ import annotations
+
+from ..net.addressing import AddressPlan
+from ..net.topology import Network
+from ..sim import Simulator
+from ..transport import TransportConfig
+from ..util.units import Gbps
+from .deployment import Deployment, PodSpec
+from .dns import ClusterDns
+from .node import Node
+from .pod import Pod
+from .scheduler import Scheduler
+from .service import Service
+
+DEFAULT_POD_LINK_RATE = 15 * Gbps   # paper: emulated inter-pod links
+DEFAULT_NODE_LINK_RATE = 40 * Gbps  # node uplinks to the cluster core
+DEFAULT_LINK_DELAY = 20e-6
+
+
+class Cluster:
+    """A simulated Kubernetes cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network | None = None,
+        scheduler: Scheduler | None = None,
+        transport_config: TransportConfig | None = None,
+        pod_link_rate_bps: float = DEFAULT_POD_LINK_RATE,
+        node_link_rate_bps: float = DEFAULT_NODE_LINK_RATE,
+        link_delay: float = DEFAULT_LINK_DELAY,
+        redundant_core: bool = False,
+    ):
+        self.sim = sim
+        self.network = network if network is not None else Network(sim)
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.transport_config = transport_config
+        self.pod_link_rate_bps = pod_link_rate_bps
+        self.node_link_rate_bps = node_link_rate_bps
+        self.link_delay = link_delay
+        self.addresses = AddressPlan()
+        self.dns = ClusterDns()
+        self.nodes: list[Node] = []
+        self.deployments: dict[str, Deployment] = {}
+        self.services: dict[str, Service] = {}
+        self._pods: dict[str, Pod] = {}
+        self.core = self.network.add_switch("core")
+        # A second spine gives every node pair two disjoint physical
+        # paths — the substrate for the §4.2(d) traffic-engineering
+        # extension (per-TOS path steering needs path diversity).
+        self.core2 = self.network.add_switch("core2") if redundant_core else None
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, cores: int = 32) -> Node:
+        switch = self.network.add_switch(f"node:{name}")
+        self.network.connect(
+            f"node:{name}",
+            "core",
+            rate_bps=self.node_link_rate_bps,
+            delay=self.link_delay,
+        )
+        if self.core2 is not None:
+            self.network.connect(
+                f"node:{name}",
+                "core2",
+                rate_bps=self.node_link_rate_bps,
+                delay=self.link_delay,
+            )
+        node = Node(self.sim, name, cores=cores, switch=switch)
+        self.nodes.append(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # Pods and deployments
+    # ------------------------------------------------------------------
+    def create_deployment(
+        self, name: str, replicas: int, spec: PodSpec | None = None
+    ) -> Deployment:
+        if name in self.deployments:
+            raise ValueError(f"deployment {name!r} already exists")
+        if not self.nodes:
+            raise RuntimeError("add at least one node before creating pods")
+        deployment = Deployment(name, spec if spec is not None else PodSpec(), replicas)
+        self.deployments[name] = deployment
+        for _ in range(replicas):
+            self._spawn_pod(deployment)
+        self.refresh_services()
+        # Fresh pods must be reachable immediately (the CNI's job).
+        self.build_routes()
+        return deployment
+
+    def scale(self, deployment_name: str, replicas: int) -> Deployment:
+        """Grow or shrink a deployment to ``replicas`` pods."""
+        deployment = self.deployments[deployment_name]
+        while len(deployment.pods) < replicas:
+            self._spawn_pod(deployment)
+        while len(deployment.pods) > replicas:
+            pod = deployment.pods.pop()
+            pod.ready = False
+            pod.node.pods.remove(pod)
+        deployment.replicas = replicas
+        self.refresh_services()
+        self.build_routes()
+        return deployment
+
+    def _spawn_pod(self, deployment: Deployment) -> Pod:
+        spec = deployment.spec
+        node = self.scheduler.pick(self.nodes, node_hint=spec.node_hint)
+        pod_name = deployment.next_pod_name()
+        host_name = f"pod:{pod_name}"
+        host = self.network.add_host(host_name)
+        ip = self.addresses.pods.allocate(pod_name)
+        egress_rate = (
+            spec.egress_rate_bps
+            if spec.egress_rate_bps is not None
+            else self.pod_link_rate_bps
+        )
+        ingress_rate = (
+            spec.ingress_rate_bps
+            if spec.ingress_rate_bps is not None
+            else self.pod_link_rate_bps
+        )
+        egress, ingress = self.network.connect(
+            host_name,
+            f"node:{node.name}",
+            rate_a_bps=egress_rate,
+            rate_b_bps=ingress_rate,
+            delay=self.link_delay,
+        )
+        labels = dict(spec.labels)
+        labels.setdefault("app", deployment.name)
+        pod = Pod(
+            self.sim,
+            pod_name,
+            ip,
+            node,
+            host,
+            egress=egress,
+            ingress=ingress,
+            labels=labels,
+            workers=spec.workers,
+            transport_config=self.transport_config,
+        )
+        pod.attach_stack(self.network)
+        pod.ready = True
+        node.pods.append(pod)
+        deployment.pods.append(pod)
+        self._pods[pod_name] = pod
+        return pod
+
+    @property
+    def pods(self) -> list[Pod]:
+        return [pod for pod in self._pods.values() if pod.ready]
+
+    def pod(self, name: str) -> Pod:
+        try:
+            return self._pods[name]
+        except KeyError:
+            raise KeyError(f"unknown pod {name!r}") from None
+
+    def pods_of(self, deployment_name: str) -> list[Pod]:
+        return [p for p in self.deployments[deployment_name].pods if p.ready]
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+    def create_service(self, name: str, selector: dict, port: int = 80) -> Service:
+        if name in self.services:
+            raise ValueError(f"service {name!r} already exists")
+        cluster_ip = self.addresses.services.allocate(name)
+        service = Service(name, selector, port=port, cluster_ip=cluster_ip)
+        service.refresh(self.pods)
+        self.services[name] = service
+        self.dns.register(service)
+        return service
+
+    def refresh_services(self) -> None:
+        """Recompute endpoints after pod churn; notifies DNS watchers."""
+        pods = self.pods
+        for service in self.services.values():
+            if service.refresh(pods):
+                self.dns.notify_changed(service)
+
+    # ------------------------------------------------------------------
+    # Network finalization
+    # ------------------------------------------------------------------
+    def build_routes(self) -> None:
+        self.network.build_routes()
+
+    def __repr__(self):
+        return (
+            f"<Cluster nodes={len(self.nodes)} pods={len(self._pods)} "
+            f"services={len(self.services)}>"
+        )

@@ -1,0 +1,45 @@
+"""Deployments: replicated pod sets."""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .pod import Pod
+
+
+@dataclass
+class PodSpec:
+    """Template for the pods a deployment creates.
+
+    ``egress_rate_bps`` / ``ingress_rate_bps`` override the pod's veth
+    link speed — this is how the paper's 1 Gbps bottleneck is expressed
+    (all other pod links stay at the 15 Gbps default).
+    """
+
+    labels: dict = field(default_factory=dict)
+    workers: int = 8
+    egress_rate_bps: float | None = None
+    ingress_rate_bps: float | None = None
+    node_hint: str | None = None
+
+
+class Deployment:
+    """A named, replicated set of pods created from one spec."""
+
+    def __init__(self, name: str, spec: PodSpec, replicas: int):
+        if replicas < 0:
+            raise ValueError("replicas must be non-negative")
+        self.name = name
+        self.spec = spec
+        self.replicas = replicas
+        self.pods: list["Pod"] = []
+        self._created = 0
+
+    def next_pod_name(self) -> str:
+        self._created += 1
+        return f"{self.name}-{self._created}"
+
+    def __repr__(self):
+        return f"<Deployment {self.name} replicas={len(self.pods)}/{self.replicas}>"

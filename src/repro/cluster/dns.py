@@ -1,0 +1,53 @@
+"""Cluster DNS: service-name resolution and change notification."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .service import Service
+
+Watcher = Callable[[Service], None]
+
+
+class ClusterDns:
+    """Maps service names to :class:`Service` objects.
+
+    The mesh control plane registers watchers to learn about endpoint
+    changes (its service-discovery function, Fig. 1).
+    """
+
+    def __init__(self):
+        self._services: dict[str, Service] = {}
+        self._watchers: list[Watcher] = []
+
+    def register(self, service: Service) -> None:
+        if service.name in self._services:
+            raise ValueError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+        self._notify(service)
+
+    def resolve(self, name: str) -> Service:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(f"unknown service {name!r}") from None
+
+    def try_resolve(self, name: str) -> Service | None:
+        return self._services.get(name)
+
+    @property
+    def services(self) -> list[Service]:
+        return list(self._services.values())
+
+    def watch(self, watcher: Watcher) -> None:
+        """Call ``watcher(service)`` now for every service and on changes."""
+        self._watchers.append(watcher)
+        for service in self._services.values():
+            watcher(service)
+
+    def notify_changed(self, service: Service) -> None:
+        self._notify(service)
+
+    def _notify(self, service: Service) -> None:
+        for watcher in self._watchers:
+            watcher(service)

@@ -1,0 +1,39 @@
+"""Worker nodes.
+
+A node contributes CPU capacity and a top-of-node software switch (the
+Linux bridge all of its pods' veth pairs plug into). Pods scheduled onto
+the node get their virtual links attached to this switch.
+"""
+
+from __future__ import annotations
+
+from ..net.device import Switch
+from ..sim import Resource, Simulator
+
+
+class Node:
+    """One Kubernetes worker node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cores: int = 32,
+        switch: Switch | None = None,
+    ):
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        self.sim = sim
+        self.name = name
+        self.cores = cores
+        # Node-level CPU pool: pods' containers draw workers from it.
+        self.cpu = Resource(sim, capacity=cores)
+        self.switch = switch
+        self.pods: list = []
+
+    @property
+    def pod_count(self) -> int:
+        return len(self.pods)
+
+    def __repr__(self):
+        return f"<Node {self.name} cores={self.cores} pods={self.pod_count}>"

@@ -1,0 +1,75 @@
+"""Pods: the schedulable unit.
+
+Each pod is modelled as a network host (its network namespace) attached
+to its node's switch by a veth-pair link, with its own IP, transport
+stack, and a CPU worker pool. The pod runs an application container and
+(when the mesh is enabled) a sidecar container; both share the pod's
+network identity, and app<->sidecar communication is a local call — the
+paper notes this hop is architecturally negligible (§3.1, footnote 1).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..net.device import Host
+from ..net.link import Interface
+from ..sim import Resource, Simulator
+from ..transport import TransportConfig, TransportStack
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+
+class Pod:
+    """A running pod with its network identity and compute resources."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip: str,
+        node: "Node",
+        host: Host,
+        egress: Interface,
+        ingress: Interface,
+        labels: dict | None = None,
+        workers: int = 8,
+        transport_config: TransportConfig | None = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.ip = ip
+        self.node = node
+        self.host = host
+        self.egress = egress     # pod-side veth interface (where TC rules go)
+        self.ingress = ingress   # node-side veth interface (traffic toward the pod)
+        self.labels = dict(labels or {})
+        self.cpu = Resource(sim, capacity=workers)
+        self.stack: TransportStack | None = None
+        self._transport_config = transport_config
+        self.containers: list[str] = []
+        self.ready = False
+
+    def attach_stack(self, network) -> TransportStack:
+        """Create the pod's transport stack (its network namespace)."""
+        if self.stack is not None:
+            raise RuntimeError(f"pod {self.name} already has a stack")
+        self.stack = TransportStack(
+            self.sim,
+            network,
+            self.host.name,
+            self.ip,
+            config=self._transport_config,
+        )
+        return self.stack
+
+    def add_container(self, name: str) -> None:
+        self.containers.append(name)
+
+    def matches(self, selector: dict) -> bool:
+        """True if every selector label matches this pod's labels."""
+        return all(self.labels.get(key) == value for key, value in selector.items())
+
+    def __repr__(self):
+        return f"<Pod {self.name} ip={self.ip} node={self.node.name}>"

@@ -1,0 +1,46 @@
+"""Pod scheduling: picking a node for each new pod."""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+
+class Scheduler:
+    """Assigns pods to nodes.
+
+    ``policy`` is one of:
+
+    * ``"least-pods"`` (default) — balance by pod count, the useful
+      approximation of kube-scheduler's spreading behaviour.
+    * ``"round-robin"`` — strict rotation.
+    * ``"first-fit"`` — always the first node (the paper's single-server
+      KIND setup effectively schedules everything onto one machine).
+    """
+
+    POLICIES = ("least-pods", "round-robin", "first-fit")
+
+    def __init__(self, policy: str = "least-pods"):
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {self.POLICIES}")
+        self.policy = policy
+        self._rr_index = 0
+
+    def pick(self, nodes: list["Node"], node_hint: str | None = None) -> "Node":
+        """Choose a node; ``node_hint`` (a node name) pins the pod."""
+        if not nodes:
+            raise RuntimeError("no nodes available")
+        if node_hint is not None:
+            for node in nodes:
+                if node.name == node_hint:
+                    return node
+            raise KeyError(f"unknown node {node_hint!r}")
+        if self.policy == "first-fit":
+            return nodes[0]
+        if self.policy == "round-robin":
+            node = nodes[self._rr_index % len(nodes)]
+            self._rr_index += 1
+            return node
+        return min(nodes, key=lambda node: node.pod_count)

@@ -1,0 +1,78 @@
+"""Services and endpoints.
+
+A :class:`Service` selects pods by label and exposes the live endpoint
+set. As in Istio, data-plane traffic goes pod-to-pod: the mesh control
+plane reads endpoints from here and pushes them to sidecars (there is no
+VIP/kube-proxy hop to model).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .pod import Pod
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One routable backend of a service."""
+
+    pod_name: str
+    ip: str
+    port: int
+    labels: tuple  # sorted (key, value) pairs, hashable
+    node: str = ""  # locality: the node the pod runs on
+
+    @property
+    def label_dict(self) -> dict:
+        return dict(self.labels)
+
+
+class Service:
+    """A named set of endpoints chosen by label selector."""
+
+    def __init__(self, name: str, selector: dict, port: int = 80, cluster_ip: str = ""):
+        if not selector:
+            raise ValueError("service selector must not be empty")
+        self.name = name
+        self.selector = dict(selector)
+        self.port = port
+        self.cluster_ip = cluster_ip
+        self._endpoints: list[Endpoint] = []
+        self.generation = 0  # bumped on every endpoint change
+
+    @property
+    def endpoints(self) -> list[Endpoint]:
+        return list(self._endpoints)
+
+    def refresh(self, pods: list["Pod"]) -> bool:
+        """Recompute endpoints from the pod list; True if they changed."""
+        new = [
+            Endpoint(
+                pod_name=pod.name,
+                ip=pod.ip,
+                port=self.port,
+                labels=tuple(sorted(pod.labels.items())),
+                node=pod.node.name,
+            )
+            for pod in pods
+            if pod.ready and pod.matches(self.selector)
+        ]
+        if new != self._endpoints:
+            self._endpoints = new
+            self.generation += 1
+            return True
+        return False
+
+    def subset(self, labels: dict) -> list[Endpoint]:
+        """Endpoints whose labels include all of ``labels`` (Istio subsets)."""
+        return [
+            endpoint
+            for endpoint in self._endpoints
+            if all(endpoint.label_dict.get(k) == v for k, v in labels.items())
+        ]
+
+    def __repr__(self):
+        return f"<Service {self.name} endpoints={len(self._endpoints)}>"

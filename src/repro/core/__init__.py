@@ -1,0 +1,53 @@
+"""The paper's contribution: cross-layer prioritization via the mesh.
+
+Components map to §4.2 of the paper:
+
+1. :mod:`classifier` — performance objectives assigned at the ingress.
+2. :mod:`provenance` + header propagation — objectives carried with
+   every internal request.
+3. Cross-layer optimizations:
+   :mod:`replica_pinning` (mesh routing, §4.2a),
+   scavenger transport selection in :mod:`hooks` (§4.2b),
+   :mod:`tc_rules` (OS packet priority, §4.2c),
+   packet tagging + SDN TE (§4.2d).
+
+:class:`PrioritizationManager` applies the whole design in one call.
+"""
+
+from .classifier import Classifier, InferringClassifier, RuleClassifier
+from .hooks import PriorityPolicyHooks
+from .manager import PinningSpec, PrioritizationManager
+from .policy import CrossLayerPolicy
+from .priorities import Priority, get_priority, set_priority
+from .provenance import (
+    ProvenanceReport,
+    audit_provenance,
+    services_touched_by_priority,
+)
+from .replica_pinning import (
+    install_replica_pinning,
+    pinning_rules,
+    remove_replica_pinning,
+)
+from .tc_rules import InstalledRule, TcRuleInstaller
+
+__all__ = [
+    "Classifier",
+    "CrossLayerPolicy",
+    "InferringClassifier",
+    "InstalledRule",
+    "PinningSpec",
+    "Priority",
+    "PriorityPolicyHooks",
+    "PrioritizationManager",
+    "ProvenanceReport",
+    "RuleClassifier",
+    "TcRuleInstaller",
+    "audit_provenance",
+    "get_priority",
+    "install_replica_pinning",
+    "pinning_rules",
+    "remove_replica_pinning",
+    "services_touched_by_priority",
+    "set_priority",
+]

@@ -1,0 +1,106 @@
+"""Ingress classification: assigning performance objectives to external
+requests as they enter the mesh (§4.2 component 1).
+
+Two classifiers are provided:
+
+* :class:`RuleClassifier` — explicit application knowledge: match on the
+  workload header and/or path prefixes (what the paper's prototype does,
+  with the ingress application setting the header).
+* :class:`InferringClassifier` — the §3.3 open problem: when the app
+  does not signal, infer what is best for it from information innately
+  available to the mesh (here: observed response sizes per path, via an
+  EWMA; paths whose responses dwarf the typical size are classified as
+  latency-insensitive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.framework import WORKLOAD_BATCH, WORKLOAD_HEADER
+from ..http.message import HttpRequest
+from .priorities import Priority, get_priority, set_priority
+
+
+class Classifier:
+    """Base: stamp a priority onto an external request (in place)."""
+
+    def classify(self, request: HttpRequest) -> Priority:
+        raise NotImplementedError
+
+    def apply(self, request: HttpRequest) -> Priority:
+        existing = get_priority(request)
+        if existing is not None:
+            return existing  # the application already signalled explicitly
+        priority = self.classify(request)
+        set_priority(request, priority)
+        return priority
+
+
+@dataclass
+class RuleClassifier(Classifier):
+    """Priority from the workload header and path-prefix rules.
+
+    ``low_paths``/``high_paths`` are path prefixes; the workload header
+    (batch -> LOW) is consulted next; ``default`` applies otherwise.
+    """
+
+    low_paths: tuple = ()
+    high_paths: tuple = ()
+    default: Priority = Priority.HIGH
+
+    def classify(self, request: HttpRequest) -> Priority:
+        for prefix in self.low_paths:
+            if request.path.startswith(prefix):
+                return Priority.LOW
+        for prefix in self.high_paths:
+            if request.path.startswith(prefix):
+                return Priority.HIGH
+        if request.headers.get(WORKLOAD_HEADER) == WORKLOAD_BATCH:
+            return Priority.LOW
+        return self.default
+
+
+@dataclass
+class InferringClassifier(Classifier):
+    """Automatic inference from observed per-path response sizes.
+
+    Maintains an EWMA of response body size per path. A path is LOW
+    priority when its EWMA exceeds ``size_ratio_threshold`` times the
+    smallest path EWMA seen so far (big responses = bulk workload).
+    Unseen paths default to HIGH (optimistic: user-facing until proven
+    bulky), so the first few batch requests pay full priority — the
+    price of zero app cooperation.
+    """
+
+    alpha: float = 0.3
+    size_ratio_threshold: float = 10.0
+    default: Priority = Priority.HIGH
+    _ewma: dict = field(default_factory=dict)
+
+    def observe(self, path: str, response_bytes: int) -> None:
+        """Feed back an observed response size for ``path``."""
+        previous = self._ewma.get(path)
+        if previous is None:
+            self._ewma[path] = float(response_bytes)
+        else:
+            self._ewma[path] = (
+                (1 - self.alpha) * previous + self.alpha * response_bytes
+            )
+
+    def classify(self, request: HttpRequest) -> Priority:
+        if not self._ewma:
+            return self.default
+        size = self._ewma.get(request.path)
+        if size is None:
+            return self.default
+        smallest = min(self._ewma.values())
+        if smallest <= 0:
+            return self.default
+        if size / smallest >= self.size_ratio_threshold:
+            return Priority.LOW
+        return Priority.HIGH
+
+    @property
+    def learned_sizes(self) -> dict:
+        return dict(self._ewma)

@@ -1,0 +1,78 @@
+"""Mesh policy hooks carrying priorities across layers.
+
+:class:`PriorityPolicyHooks` is what the prioritization manager installs
+into every sidecar. It is the cross-layer glue: the request's provenance
+(its priority header, propagated hop by hop) decides the packet TOS mark
+(§4.2c/d), the congestion-control algorithm (§4.2b), and the sidecar
+queueing class (§5) — all without the application knowing.
+"""
+
+from __future__ import annotations
+
+from ..http.message import HttpRequest
+from ..mesh.policy import PolicyHooks, TransportParams
+from ..net.packet import Tos
+from .classifier import Classifier, RuleClassifier
+from .policy import CrossLayerPolicy
+from .priorities import Priority, get_priority
+
+
+class PriorityPolicyHooks(PolicyHooks):
+    """Priority-aware hooks parameterized by a :class:`CrossLayerPolicy`."""
+
+    def __init__(
+        self,
+        policy: CrossLayerPolicy,
+        classifier: Classifier | None = None,
+    ):
+        self.policy = policy
+        self.classifier = classifier if classifier is not None else RuleClassifier()
+        self.classified = {Priority.HIGH: 0, Priority.LOW: 0}
+
+    # -- §4.2 component 1: classification at the ingress ---------------------
+    def classify_ingress(self, request: HttpRequest) -> None:
+        priority = self.classifier.apply(request)
+        self.classified[priority] += 1
+
+    # -- §4.2 components b/c/d: per-request transport choices --------------
+    def transport_params(self, request: HttpRequest) -> TransportParams:
+        priority = get_priority(request)
+        tos = Tos.NORMAL
+        cc_name = "reno"
+        if priority is not None and self.policy.packet_tagging:
+            tos = priority.tos
+        if (
+            priority is Priority.LOW
+            and self.policy.scavenger_transport
+        ):
+            cc_name = self.policy.scavenger_cc
+            if not self.policy.packet_tagging:
+                tos = Tos.NORMAL
+        return TransportParams(tos=tos, cc_name=cc_name)
+
+    # -- §3.3: inference feedback from the ingress --------------------------
+    def observe_response(self, request: HttpRequest, response) -> None:
+        observe = getattr(self.classifier, "observe", None)
+        if observe is not None and response is not None:
+            observe(request.path, response.body_size)
+
+    # -- §5: sidecar-local request queue ordering ---------------------------
+    def request_priority(self, request: HttpRequest):
+        """Queueing key: (class rank, deadline) — strict priority between
+        classes, earliest-deadline-first within a class (§5's
+        "more fine-grained preferences"; deadlines ride the propagated
+        ``x-deadline`` header, so they follow provenance like the
+        priority bit does)."""
+        priority = get_priority(request)
+        if priority is Priority.HIGH:
+            rank = 0
+        elif priority is Priority.LOW:
+            rank = 2
+        else:
+            rank = 1  # unclassified sits between the two classes
+        deadline_header = request.headers.get("x-deadline")
+        try:
+            deadline = float(deadline_header) if deadline_header else float("inf")
+        except ValueError:
+            deadline = float("inf")
+        return (rank, deadline)

@@ -1,0 +1,139 @@
+"""The prioritization manager: applies the full §4.2 design to a running
+cluster + mesh + application.
+
+One call to :meth:`PrioritizationManager.apply` performs every step of
+the paper's case study:
+
+1. installs the ingress classifier (component 1),
+2. relies on the mesh's header propagation for provenance (component 2),
+3. installs the cross-layer optimizations (component 3): replica-pinning
+   route rules, TC priority qdiscs, scavenger transport selection,
+   packet tagging, SDN traffic engineering, and sidecar request queues —
+   each gated by its :class:`CrossLayerPolicy` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.cluster import Cluster
+from ..mesh.mesh import ServiceMesh
+from ..net.qdisc import FifoQdisc
+from ..net.sdn import SdnController
+from ..sim import Simulator
+from .classifier import Classifier, RuleClassifier
+from .hooks import PriorityPolicyHooks
+from .policy import CrossLayerPolicy
+from .replica_pinning import install_replica_pinning, remove_replica_pinning
+from .tc_rules import TcRuleInstaller
+
+
+@dataclass(frozen=True)
+class PinningSpec:
+    """Which service's replicas are split by priority class."""
+
+    service: str
+    high_subset: tuple = (("version", "v1"),)
+    low_subset: tuple = (("version", "v2"),)
+
+    @property
+    def high_labels(self) -> dict:
+        return dict(self.high_subset)
+
+    @property
+    def low_labels(self) -> dict:
+        return dict(self.low_subset)
+
+
+@dataclass
+class PrioritizationManager:
+    """Owns the lifecycle of the cross-layer optimizations."""
+
+    sim: Simulator
+    cluster: Cluster
+    mesh: ServiceMesh
+    policy: CrossLayerPolicy
+    classifier: Classifier | None = None
+    sdn: SdnController | None = None
+    inbound_concurrency: int = 16
+
+    hooks: PriorityPolicyHooks = field(init=False, default=None)
+    tc: TcRuleInstaller | None = field(init=False, default=None)
+    pinned: list[PinningSpec] = field(init=False, default_factory=list)
+    applied: bool = field(init=False, default=False)
+
+    def apply(self, pinning: list[PinningSpec] | None = None) -> None:
+        """Install everything the policy enables. ``pinning`` lists the
+        services whose replicas split by priority (the e-library pins
+        ``reviews``)."""
+        if self.applied:
+            raise RuntimeError("prioritization already applied")
+        self.applied = True
+        pinning = list(pinning or [])
+        classifier = self.classifier if self.classifier is not None else RuleClassifier()
+        self.hooks = PriorityPolicyHooks(self.policy, classifier)
+        self.mesh.set_policy(self.hooks)
+
+        high_pods = []
+        if self.policy.replica_pinning:
+            for spec in pinning:
+                install_replica_pinning(
+                    self.mesh,
+                    spec.service,
+                    high_subset=spec.high_labels,
+                    low_subset=spec.low_labels,
+                )
+                self.pinned.append(spec)
+                high_pods.extend(self._pods_of_subset(spec.service, spec.high_labels))
+
+        if self.policy.tc_prio:
+            self.tc = TcRuleInstaller(
+                high_share=self.policy.high_share,
+                classify_on=self.policy.tc_classify_on,
+            )
+            for pod in high_pods:
+                self.tc.mark_high_priority_pod(pod)
+            self.tc.install_everywhere(self.cluster)
+
+        if self.policy.sdn_te:
+            if self.sdn is None:
+                raise ValueError("sdn_te enabled but no SdnController provided")
+            self.sdn.start()
+
+        if self.policy.inbound_queueing:
+            for sidecar in self.mesh.sidecars:
+                sidecar.enable_inbound_queue(self.inbound_concurrency)
+
+    def remove(self) -> None:
+        """Tear everything back down to the neutral baseline."""
+        if not self.applied:
+            return
+        for spec in self.pinned:
+            remove_replica_pinning(self.mesh, spec.service)
+        self.pinned.clear()
+        if self.tc is not None:
+            for rule in self.tc.installed:
+                pod = self.cluster.pod(rule.pod_name)
+                pod.egress.set_qdisc(FifoQdisc())
+            self.tc = None
+        from ..mesh.policy import PolicyHooks
+
+        self.mesh.set_policy(PolicyHooks())
+        self.applied = False
+
+    def _pods_of_subset(self, service_name: str, labels: dict):
+        service = self.cluster.dns.resolve(service_name)
+        wanted = {e.pod_name for e in service.subset(labels)}
+        return [pod for pod in self.cluster.pods if pod.name in wanted]
+
+    # -- diagnostics ----------------------------------------------------
+    def summary(self) -> dict:
+        """What is currently installed (for logs and tests)."""
+        return {
+            "applied": self.applied,
+            "policy": self.policy,
+            "pinned_services": [spec.service for spec in self.pinned],
+            "tc_interfaces": len(self.tc.installed) if self.tc else 0,
+            "high_priority_ips": sorted(self.tc.high_priority_ips) if self.tc else [],
+            "classified": dict(self.hooks.classified) if self.hooks else {},
+        }

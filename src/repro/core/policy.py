@@ -1,0 +1,82 @@
+"""The cross-layer policy: which optimizations of §4.2 are active.
+
+Each flag corresponds to one component of the paper's design:
+
+* ``replica_pinning`` — §4.2(a)/§4.3-3: route priorities to disjoint
+  replica subsets (reviews replica 1 vs 2).
+* ``tc_prio`` — §4.2(c)/§4.3-3: nearly-strict priority qdiscs at the
+  virtual NICs, classifying on the high-priority pod's address.
+* ``scavenger_transport`` — §4.2(b): LEDBAT/TCP-LP for LOW traffic.
+* ``packet_tagging`` — §4.2(d) in-band: stamp TOS/DSCP marks from the
+  request's provenance so any lower layer can classify.
+* ``sdn_te`` — §4.2(d) out-of-band: ask the SDN controller to steer
+  priority classes onto different physical paths.
+* ``inbound_queueing`` — §5 maturing direction: priority request queues
+  inside sidecars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CrossLayerPolicy:
+    """Feature flags + parameters for the prioritization system."""
+
+    replica_pinning: bool = True
+    tc_prio: bool = True
+    scavenger_transport: bool = False
+    packet_tagging: bool = True
+    sdn_te: bool = False
+    inbound_queueing: bool = False
+
+    # Parameters.
+    high_share: float = 0.95          # the paper's "up to 95% of bandwidth"
+    scavenger_cc: str = "ledbat"
+    tc_classify_on: str = "dst-ip"    # "dst-ip" (paper) or "tos"
+
+    def __post_init__(self):
+        if not 0.5 <= self.high_share < 1.0:
+            raise ValueError("high_share must be in [0.5, 1.0)")
+        if self.tc_classify_on not in ("dst-ip", "tos"):
+            raise ValueError("tc_classify_on must be 'dst-ip' or 'tos'")
+
+    @classmethod
+    def disabled(cls) -> "CrossLayerPolicy":
+        """The baseline: no cross-layer optimization at all."""
+        return cls(
+            replica_pinning=False,
+            tc_prio=False,
+            scavenger_transport=False,
+            packet_tagging=False,
+            sdn_te=False,
+            inbound_queueing=False,
+        )
+
+    @classmethod
+    def paper_prototype(cls) -> "CrossLayerPolicy":
+        """Exactly what §4.3 implements: replica pinning + nearly-strict
+        TC priority on the pod address; no scavenger transport or TE."""
+        return cls(
+            replica_pinning=True,
+            tc_prio=True,
+            scavenger_transport=False,
+            packet_tagging=False,
+            sdn_te=False,
+            inbound_queueing=False,
+            tc_classify_on="dst-ip",
+        )
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(
+            (
+                self.replica_pinning,
+                self.tc_prio,
+                self.scavenger_transport,
+                self.packet_tagging,
+                self.sdn_te,
+                self.inbound_queueing,
+            )
+        )

@@ -1,0 +1,40 @@
+"""Priority classes and their header encoding.
+
+The paper's prototype uses a custom HTTP header carrying "either low or
+high priority" (§4.3 item 1); ``x-priority`` is that header.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..http.headers import PRIORITY
+from ..http.message import HttpRequest
+from ..net.packet import Tos
+
+
+class Priority(str, Enum):
+    """A request's performance objective."""
+
+    HIGH = "high"   # latency-sensitive (user-facing)
+    LOW = "low"     # latency-insensitive (batch/analytics)
+
+    @property
+    def tos(self) -> Tos:
+        """The packet mark this class maps to (§4.2c)."""
+        return Tos.HIGH if self is Priority.HIGH else Tos.SCAVENGER
+
+
+def get_priority(request: HttpRequest) -> Priority | None:
+    """The priority carried by ``request``, or None if unclassified."""
+    value = request.headers.get(PRIORITY)
+    if value is None:
+        return None
+    try:
+        return Priority(value)
+    except ValueError:
+        return None
+
+
+def set_priority(request: HttpRequest, priority: Priority) -> None:
+    request.headers[PRIORITY] = priority.value

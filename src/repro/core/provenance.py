@@ -1,0 +1,75 @@
+"""Provenance inspection: verifying that performance objectives follow
+requests through the whole system (§4.2 component 2).
+
+The propagation itself is in-band (headers copied hop by hop, keyed by
+the shared ``x-request-id``); this module provides the *observability*
+side: given the mesh tracer's spans, reconstruct which priority each
+internal request carried and check invariants (e.g. every span of a
+trace carries the priority its ingress request was assigned).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..mesh.tracing import Trace, Tracer
+
+
+@dataclass
+class ProvenanceReport:
+    """Result of auditing priority propagation across traces."""
+
+    traces_total: int
+    traces_consistent: int
+    traces_unclassified: int
+    priority_counts: dict
+    violations: list
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+
+def audit_provenance(tracer: Tracer) -> ProvenanceReport:
+    """Check that within each trace every span carries the same priority
+    as its root span — i.e. provenance survived every hop."""
+    violations = []
+    consistent = 0
+    unclassified = 0
+    counts: Counter = Counter()
+    traces = tracer.traces
+    for trace in traces:
+        root = trace.root
+        root_priority = root.tags.get("priority") if root is not None else None
+        if root_priority is None:
+            unclassified += 1
+            continue
+        counts[root_priority] += 1
+        bad = [
+            span
+            for span in trace.spans
+            if span.tags.get("priority") != root_priority
+        ]
+        if bad:
+            violations.append((trace.trace_id, root_priority, bad))
+        else:
+            consistent += 1
+    return ProvenanceReport(
+        traces_total=len(traces),
+        traces_consistent=consistent,
+        traces_unclassified=unclassified,
+        priority_counts=dict(counts),
+        violations=violations,
+    )
+
+
+def services_touched_by_priority(tracer: Tracer, priority: str) -> set[str]:
+    """Which services served requests of a given priority class — the
+    'buried several hops deep' visibility the paper motivates (§4.1)."""
+    touched: set[str] = set()
+    for trace in tracer.traces:
+        for span in trace.spans:
+            if span.tags.get("priority") == priority:
+                touched.add(span.service)
+    return touched

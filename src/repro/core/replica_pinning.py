@@ -1,0 +1,56 @@
+"""Replica pinning: route priority classes to disjoint replica subsets.
+
+The paper's §4.3 item 3: "sidecars forward them to either a high or low
+priority pod (in our case, front end forwards requests to either reviews
+replica 1 or 2 depending on priority)". Expressed here as header-match
+route rules pushed through the control plane — standard Istio machinery
+driven by the provenance header.
+"""
+
+from __future__ import annotations
+
+from ..http.headers import PRIORITY
+from ..mesh.mesh import ServiceMesh
+from ..mesh.routing import HeaderMatch, RouteDestination, RouteRule, subset
+from .priorities import Priority
+
+
+def pinning_rules(
+    high_subset: dict, low_subset: dict
+) -> list[RouteRule]:
+    """Route rules sending HIGH traffic to ``high_subset`` and LOW
+    traffic to ``low_subset``; unclassified traffic spreads over all."""
+    return [
+        RouteRule(
+            matches=(HeaderMatch(PRIORITY, Priority.HIGH.value),),
+            destinations=(RouteDestination(subset=subset(**high_subset)),),
+        ),
+        RouteRule(
+            matches=(HeaderMatch(PRIORITY, Priority.LOW.value),),
+            destinations=(RouteDestination(subset=subset(**low_subset)),),
+        ),
+        RouteRule(),  # catch-all: no subset restriction
+    ]
+
+
+def install_replica_pinning(
+    mesh: ServiceMesh,
+    service: str,
+    high_subset: dict | None = None,
+    low_subset: dict | None = None,
+) -> list[RouteRule]:
+    """Push pinning rules for ``service``; returns the installed rules.
+
+    Defaults pin HIGH to ``version=v1`` and LOW to ``version=v2`` — the
+    e-library's two reviews replicas.
+    """
+    rules = pinning_rules(
+        high_subset if high_subset is not None else {"version": "v1"},
+        low_subset if low_subset is not None else {"version": "v2"},
+    )
+    mesh.set_route_rules(service, rules)
+    return rules
+
+
+def remove_replica_pinning(mesh: ServiceMesh, service: str) -> None:
+    mesh.set_route_rules(service, [])

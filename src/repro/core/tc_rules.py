@@ -1,0 +1,82 @@
+"""TC rule installation: OS-level packet prioritization (§4.2c, §4.3-3).
+
+Models ``tc`` programming of the kernel's outgoing packet queue on pod
+virtual interfaces: swaps the interface's qdisc for a
+:class:`~repro.net.qdisc.WeightedPrioQdisc` giving nearly-strict
+priority (the paper's "up to 95% of bandwidth") to either
+
+* packets addressed to the high-priority pods' IPs (``"dst-ip"``, the
+  paper's prototype rule), or
+* packets whose TOS mark says HIGH (``"tos"``, the in-band tagging
+  variant of §4.2d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.cluster import Cluster
+from ..cluster.pod import Pod
+from ..net.qdisc import WeightedPrioQdisc, classify_by_dst, classify_by_tos
+
+
+@dataclass
+class InstalledRule:
+    """Record of one installed qdisc (for inspection/uninstall)."""
+
+    pod_name: str
+    interface_name: str
+    classify_on: str
+    high_share: float
+    qdisc: WeightedPrioQdisc
+
+
+@dataclass
+class TcRuleInstaller:
+    """Programs priority qdiscs onto pod egress interfaces."""
+
+    high_share: float = 0.95
+    classify_on: str = "dst-ip"
+    high_priority_ips: set = field(default_factory=set)
+    installed: list[InstalledRule] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.classify_on not in ("dst-ip", "tos"):
+            raise ValueError("classify_on must be 'dst-ip' or 'tos'")
+
+    def _classifier(self):
+        if self.classify_on == "dst-ip":
+            return classify_by_dst(self.high_priority_ips)
+        return classify_by_tos
+
+    def mark_high_priority_pod(self, pod: Pod) -> None:
+        """Add ``pod``'s address to the high-priority destination set."""
+        self.high_priority_ips.add(pod.ip)
+
+    def install_on_pod(self, pod: Pod) -> InstalledRule:
+        """Program the pod's egress veth (the paper installs its rules on
+        'the sidecar container's virtual interface')."""
+        qdisc = WeightedPrioQdisc(
+            classifier=self._classifier(), high_share=self.high_share
+        )
+        pod.egress.set_qdisc(qdisc)
+        rule = InstalledRule(
+            pod_name=pod.name,
+            interface_name=pod.egress.name,
+            classify_on=self.classify_on,
+            high_share=self.high_share,
+            qdisc=qdisc,
+        )
+        self.installed.append(rule)
+        return rule
+
+    def install_everywhere(self, cluster: Cluster) -> list[InstalledRule]:
+        """Program every pod egress in the cluster."""
+        return [self.install_on_pod(pod) for pod in cluster.pods]
+
+    def high_band_bytes(self) -> int:
+        """Total bytes sent through high-priority bands (telemetry)."""
+        return sum(rule.qdisc._high.stats.bytes_sent for rule in self.installed)
+
+    def low_band_bytes(self) -> int:
+        return sum(rule.qdisc._low.stats.bytes_sent for rule in self.installed)

@@ -1,0 +1,71 @@
+"""Experiment harnesses regenerating the paper's evaluation.
+
+* :mod:`scenario` — the §4.3 testbed as a parameterized scenario.
+* :mod:`figure4` — the RPS sweep of Fig. 4 (+ the T-1 LI-cost claim).
+* :mod:`overhead` — T-2, sidecar latency overhead (§3.6).
+* :mod:`hops` — T-3, overhead amplification over deep call chains (§3.6).
+* :mod:`ablations` — A-1/A-2/A-3 over the §4.2 components.
+* :mod:`te` — A-4, priority-aware traffic engineering (§4.2d).
+* :mod:`hedging` — X-1, redundant requests (§3.4).
+* :mod:`inference` — X-2, automatic priority inference (§3.3).
+* :mod:`compute` — X-4, prioritized request queueing on CPU (§5).
+"""
+
+from .ablations import AblationResult, ablation_policies, run_ablations
+from .compute import ComputeResult, run_compute
+from .figure4 import (
+    PAPER_RPS_LEVELS,
+    Figure4Result,
+    Figure4Row,
+    run_figure4,
+)
+from .hedging import HedgingResult, run_hedging
+from .hops import HopsResult, HopsRow, chain_specs, run_hops
+from .inference import InferenceResult, run_inference
+from .overhead import OverheadResult, run_overhead
+from .replicate import Replicated, ReplicationResult, compare_with_replication, replicate
+from .report import format_table, ms, to_csv
+from .scenario import (
+    DEFAULT_MSS,
+    ScenarioConfig,
+    ScenarioResult,
+    build_scenario,
+    run_scenario,
+)
+from .te import TeResult, run_te
+
+__all__ = [
+    "AblationResult",
+    "ComputeResult",
+    "DEFAULT_MSS",
+    "Figure4Result",
+    "Figure4Row",
+    "HedgingResult",
+    "HopsResult",
+    "HopsRow",
+    "InferenceResult",
+    "OverheadResult",
+    "PAPER_RPS_LEVELS",
+    "Replicated",
+    "ReplicationResult",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "TeResult",
+    "ablation_policies",
+    "build_scenario",
+    "chain_specs",
+    "compare_with_replication",
+    "format_table",
+    "ms",
+    "run_ablations",
+    "run_compute",
+    "run_figure4",
+    "run_hedging",
+    "run_hops",
+    "run_inference",
+    "replicate",
+    "run_overhead",
+    "run_scenario",
+    "run_te",
+    "to_csv",
+]

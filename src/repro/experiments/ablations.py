@@ -1,0 +1,99 @@
+"""Ablations over the §4.2 design components (A-1, A-2, A-3 and the
+design choices DESIGN.md tracks).
+
+Each ablation is a :class:`~repro.core.policy.CrossLayerPolicy` variant
+run through the standard scenario; results are LS/LI latency summaries
+per variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.policy import CrossLayerPolicy
+from ..util.stats import LatencySummary
+from .report import format_table, ms
+from .scenario import ScenarioConfig, run_scenario
+
+
+def ablation_policies() -> dict[str, CrossLayerPolicy]:
+    """The named design points."""
+    return {
+        "baseline": CrossLayerPolicy.disabled(),
+        "paper-prototype": CrossLayerPolicy.paper_prototype(),
+        "pinning-only": CrossLayerPolicy(
+            replica_pinning=True,
+            tc_prio=False,
+            scavenger_transport=False,
+            packet_tagging=False,
+        ),
+        "tc-only": CrossLayerPolicy(
+            replica_pinning=False,
+            tc_prio=True,
+            tc_classify_on="tos",
+            packet_tagging=True,
+            scavenger_transport=False,
+        ),
+        "scavenger-only": CrossLayerPolicy(
+            replica_pinning=False,
+            tc_prio=False,
+            scavenger_transport=True,
+            packet_tagging=False,
+        ),
+        "full-stack": CrossLayerPolicy(
+            replica_pinning=True,
+            tc_prio=True,
+            scavenger_transport=True,
+            packet_tagging=True,
+        ),
+        # Design choice: nearly-strict 95% (paper) vs harsher 99%.
+        "strict-99": replace(CrossLayerPolicy.paper_prototype(), high_share=0.99),
+    }
+
+
+@dataclass
+class AblationResult:
+    """LS/LI summaries per variant."""
+
+    ls: dict[str, LatencySummary] = field(default_factory=dict)
+    li: dict[str, LatencySummary] = field(default_factory=dict)
+
+    def table(self) -> str:
+        headers = [
+            "variant",
+            "LS p50 (ms)",
+            "LS p99 (ms)",
+            "LI p50 (ms)",
+            "LI p99 (ms)",
+        ]
+        rows = [
+            [
+                name,
+                ms(self.ls[name].p50),
+                ms(self.ls[name].p99),
+                ms(self.li[name].p50),
+                ms(self.li[name].p99),
+            ]
+            for name in self.ls
+        ]
+        return format_table(headers, rows, title="Ablations over §4.2 components")
+
+    def speedup_vs_baseline(self, name: str, percentile: str = "p99") -> float:
+        baseline = getattr(self.ls["baseline"], percentile)
+        variant = getattr(self.ls[name], percentile)
+        return baseline / variant
+
+
+def run_ablations(
+    variants: list[str] | None = None,
+    base_config: ScenarioConfig | None = None,
+) -> AblationResult:
+    base = base_config if base_config is not None else ScenarioConfig()
+    policies = ablation_policies()
+    names = variants if variants is not None else list(policies)
+    result = AblationResult()
+    for name in names:
+        run = run_scenario(replace(base, policy=policies[name], cross_layer=False))
+        result.ls[name] = run.ls_summary()
+        result.li[name] = run.li_summary()
+    return result

@@ -1,0 +1,127 @@
+"""Figure 4: LS request latency vs offered RPS, with and without the
+cross-layer optimization.
+
+The paper sweeps both workloads' RPS from 10 to 50 and plots the LS
+workload's p50 and p99 HTTP request latency for the two configurations,
+reporting an ≈1.5× improvement at both percentiles, at the cost of a
+<5% increase in LI p99 (the in-text claim T-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..util.stats import LatencySummary
+from .report import format_table, ms, to_csv
+from .scenario import ScenarioConfig, run_scenario
+
+PAPER_RPS_LEVELS = (10, 20, 30, 40, 50)
+
+
+@dataclass
+class Figure4Row:
+    """One RPS level: LS and LI percentiles for both configurations."""
+
+    rps: float
+    ls_off: LatencySummary
+    ls_on: LatencySummary
+    li_off: LatencySummary
+    li_on: LatencySummary
+
+    @property
+    def p50_speedup(self) -> float:
+        return self.ls_off.p50 / self.ls_on.p50
+
+    @property
+    def p99_speedup(self) -> float:
+        return self.ls_off.p99 / self.ls_on.p99
+
+    @property
+    def li_p99_cost(self) -> float:
+        """Fractional LI p99 increase caused by prioritization (T-1)."""
+        return self.li_on.p99 / self.li_off.p99 - 1.0
+
+
+@dataclass
+class Figure4Result:
+    rows: list[Figure4Row] = field(default_factory=list)
+
+    def table(self) -> str:
+        headers = [
+            "RPS",
+            "LS p50 w/o (ms)",
+            "LS p50 w/ (ms)",
+            "LS p99 w/o (ms)",
+            "LS p99 w/ (ms)",
+            "p50 gain",
+            "p99 gain",
+            "LI p99 cost",
+        ]
+        body = [
+            [
+                f"{row.rps:.0f}",
+                ms(row.ls_off.p50),
+                ms(row.ls_on.p50),
+                ms(row.ls_off.p99),
+                ms(row.ls_on.p99),
+                f"{row.p50_speedup:.2f}x",
+                f"{row.p99_speedup:.2f}x",
+                f"{row.li_p99_cost * 100:+.1f}%",
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            headers,
+            body,
+            title="Figure 4: LS latency vs RPS, w/o vs w/ cross-layer optimization",
+        )
+
+    def csv(self) -> str:
+        headers = [
+            "rps",
+            "ls_p50_off_s", "ls_p50_on_s", "ls_p99_off_s", "ls_p99_on_s",
+            "li_p99_off_s", "li_p99_on_s",
+        ]
+        body = [
+            [
+                row.rps,
+                row.ls_off.p50, row.ls_on.p50, row.ls_off.p99, row.ls_on.p99,
+                row.li_off.p99, row.li_on.p99,
+            ]
+            for row in self.rows
+        ]
+        return to_csv(headers, body)
+
+    @property
+    def mean_p50_speedup(self) -> float:
+        return sum(r.p50_speedup for r in self.rows) / len(self.rows)
+
+    @property
+    def mean_p99_speedup(self) -> float:
+        return sum(r.p99_speedup for r in self.rows) / len(self.rows)
+
+    @property
+    def worst_li_p99_cost(self) -> float:
+        return max(r.li_p99_cost for r in self.rows)
+
+
+def run_figure4(
+    rps_levels=PAPER_RPS_LEVELS,
+    base_config: ScenarioConfig | None = None,
+) -> Figure4Result:
+    """Run the full sweep; one scenario per (RPS level, configuration)."""
+    base = base_config if base_config is not None else ScenarioConfig()
+    result = Figure4Result()
+    for rps in rps_levels:
+        off = run_scenario(replace(base, rps=float(rps), cross_layer=False, policy=None))
+        on = run_scenario(replace(base, rps=float(rps), cross_layer=True, policy=None))
+        result.rows.append(
+            Figure4Row(
+                rps=float(rps),
+                ls_off=off.ls_summary(),
+                ls_on=on.ls_summary(),
+                li_off=off.li_summary(),
+                li_on=on.li_summary(),
+            )
+        )
+    return result

@@ -1,0 +1,132 @@
+"""T-3 (§3.6): proxy overhead amplification with call-chain depth.
+
+The paper warns that the ~3 ms two-sidecar overhead "could be costly for
+latency-sensitive apps involving tens of hops among microservices".
+This experiment quantifies that: a linear chain of N services behind the
+gateway, measured with the calibrated proxy cost and with a near-zero
+proxy cost. The overhead should grow linearly in N (each hop adds two
+sidecars' worth of traversals on the critical path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..apps.framework import AppBuilder, ServiceSpec
+from ..cluster.cluster import Cluster
+from ..cluster.scheduler import Scheduler
+from ..mesh.config import MeshConfig
+from ..mesh.mesh import ServiceMesh
+from ..sim import Simulator
+from ..sim.rng import RngRegistry
+from ..transport import TransportConfig
+from ..util.stats import LatencySummary
+from ..workload.generator import LoadGenerator, WorkloadSpec
+from ..workload.latency import LatencyRecorder
+from .report import format_table, ms
+
+
+def chain_specs(depth: int) -> list[ServiceSpec]:
+    """A linear chain: hop-1 -> hop-2 -> ... -> hop-N."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    specs = []
+    for index in range(1, depth + 1):
+        children = (f"hop-{index + 1}",) if index < depth else ()
+        specs.append(
+            ServiceSpec(
+                name=f"hop-{index}",
+                children=children,
+                base_response_bytes=1_000,
+                service_time_median=1e-4,
+                service_time_p99=3e-4,
+            )
+        )
+    return specs
+
+
+@dataclass
+class HopsRow:
+    depth: int
+    with_mesh: LatencySummary
+    near_zero_proxy: LatencySummary
+
+    @property
+    def overhead_p50(self) -> float:
+        return self.with_mesh.p50 - self.near_zero_proxy.p50
+
+    @property
+    def overhead_p99(self) -> float:
+        return self.with_mesh.p99 - self.near_zero_proxy.p99
+
+
+@dataclass
+class HopsResult:
+    rows: list[HopsRow]
+
+    def table(self) -> str:
+        headers = ["hops", "p50 overhead (ms)", "p99 overhead (ms)"]
+        body = [
+            [row.depth, ms(row.overhead_p50), ms(row.overhead_p99)]
+            for row in self.rows
+        ]
+        return format_table(
+            headers, body,
+            title="T-3: proxy overhead vs call-chain depth (§3.6)",
+        )
+
+    def overhead_per_hop_p50(self) -> float:
+        """Linear-fit slope of p50 overhead over depth."""
+        first, last = self.rows[0], self.rows[-1]
+        return (last.overhead_p50 - first.overhead_p50) / (
+            last.depth - first.depth
+        )
+
+
+def _run_chain(depth: int, config: MeshConfig, rps: float, duration: float, seed: int):
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    cluster = Cluster(
+        sim,
+        scheduler=Scheduler("first-fit"),
+        transport_config=TransportConfig(mss=15_000, header_bytes=60),
+    )
+    cluster.add_node("node-0", cores=64)
+    mesh = ServiceMesh(sim, cluster, config, rng_registry=rng)
+    builder = AppBuilder(sim, cluster, mesh, rng_registry=rng)
+    builder.build(chain_specs(depth))
+    gateway = mesh.create_gateway("hop-1")
+    cluster.build_routes()
+    recorder = LatencyRecorder()
+    generator = LoadGenerator(
+        sim,
+        gateway,
+        WorkloadSpec(name="chain", rps=rps, workload_type="interactive"),
+        recorder,
+        rng,
+    )
+    generator.start(duration)
+    sim.run(until=duration + 15.0)
+    warmup = min(2.0, duration / 4)
+    return recorder.summary("chain", window=(warmup, duration))
+
+
+def run_hops(
+    depths=(1, 4, 8, 16),
+    rps: float = 30.0,
+    duration: float = 10.0,
+    seed: int = 42,
+    mesh_config: MeshConfig | None = None,
+) -> HopsResult:
+    config = mesh_config if mesh_config is not None else MeshConfig()
+    zero = replace(config, proxy_delay_median=1e-7, proxy_delay_p99=2e-7)
+    rows = []
+    for depth in depths:
+        rows.append(
+            HopsRow(
+                depth=depth,
+                with_mesh=_run_chain(depth, config, rps, duration, seed),
+                near_zero_proxy=_run_chain(depth, zero, rps, duration, seed),
+            )
+        )
+    return HopsResult(rows)

@@ -1,0 +1,83 @@
+"""X-2 (§3.3): automatic priority inference when the app does not signal.
+
+Runs the Fig. 4 scenario three ways at one RPS level:
+
+* baseline — no prioritization;
+* explicit — the paper's prototype with the rule-based classifier
+  (application signals batch vs interactive);
+* inferred — same optimizations, but priorities come from the
+  :class:`~repro.core.classifier.InferringClassifier`, which learns from
+  response sizes observed at the ingress. The expectation: after a
+  learning warm-up it approaches the explicit classifier's benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.classifier import InferringClassifier, RuleClassifier
+from ..util.stats import LatencySummary
+from .scenario import ScenarioConfig, run_scenario
+
+
+@dataclass
+class InferenceResult:
+    baseline: LatencySummary
+    explicit: LatencySummary
+    inferred: LatencySummary
+    learned_sizes: dict
+
+    @property
+    def explicit_speedup(self) -> float:
+        return self.baseline.p99 / self.explicit.p99
+
+    @property
+    def inferred_speedup(self) -> float:
+        return self.baseline.p99 / self.inferred.p99
+
+    @property
+    def inference_efficiency(self) -> float:
+        """How much of the explicit classifier's p99 benefit inference
+        recovers (1.0 = everything)."""
+        explicit_gain = self.baseline.p99 - self.explicit.p99
+        inferred_gain = self.baseline.p99 - self.inferred.p99
+        if explicit_gain <= 0:
+            return 1.0
+        return inferred_gain / explicit_gain
+
+    def table(self) -> str:
+        to_ms = 1e3
+        return (
+            "X-2 automatic priority inference (LS p99)\n"
+            f"  baseline:  {self.baseline.p99 * to_ms:.2f} ms\n"
+            f"  explicit:  {self.explicit.p99 * to_ms:.2f} ms "
+            f"({self.explicit_speedup:.2f}x)\n"
+            f"  inferred:  {self.inferred.p99 * to_ms:.2f} ms "
+            f"({self.inferred_speedup:.2f}x, "
+            f"{self.inference_efficiency * 100:.0f}% of explicit benefit)"
+        )
+
+
+def run_inference(
+    rps: float = 30.0,
+    duration: float = 20.0,
+    seed: int = 42,
+    base_config: ScenarioConfig | None = None,
+) -> InferenceResult:
+    base = base_config if base_config is not None else ScenarioConfig()
+    base = replace(base, rps=rps, duration=duration, seed=seed)
+
+    baseline = run_scenario(replace(base, cross_layer=False, policy=None))
+    explicit = run_scenario(
+        replace(base, cross_layer=True, policy=None, classifier=RuleClassifier())
+    )
+    inferring = InferringClassifier()
+    inferred = run_scenario(
+        replace(base, cross_layer=True, policy=None, classifier=inferring)
+    )
+    return InferenceResult(
+        baseline=baseline.ls_summary(),
+        explicit=explicit.ls_summary(),
+        inferred=inferred.ls_summary(),
+        learned_sizes=inferring.learned_sizes,
+    )

@@ -1,0 +1,91 @@
+"""Seed replication: run a scenario across seeds, report mean ± stddev.
+
+Single-seed tail percentiles carry sampling noise (a p99 over a few
+hundred samples moves tens of percent between seeds). This harness
+quantifies that noise so EXPERIMENTS.md claims can be stated with
+spread, and so regressions can be distinguished from seed luck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .scenario import ScenarioConfig, run_scenario
+
+
+@dataclass
+class Replicated:
+    """Mean and spread of one metric across seeds."""
+
+    values: list[float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (relative noise)."""
+        return self.std / self.mean if self.mean else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.mean * 1e3:.1f} ± {self.std * 1e3:.1f} ms"
+
+
+@dataclass
+class ReplicationResult:
+    """Per-metric spreads for one scenario configuration."""
+
+    seeds: list[int]
+    ls_p50: Replicated
+    ls_p99: Replicated
+    li_p50: Replicated
+    li_p99: Replicated
+
+    def table(self) -> str:
+        return (
+            f"replication over seeds {self.seeds}\n"
+            f"  LS p50 {self.ls_p50}   (cv {self.ls_p50.cv * 100:.0f}%)\n"
+            f"  LS p99 {self.ls_p99}   (cv {self.ls_p99.cv * 100:.0f}%)\n"
+            f"  LI p50 {self.li_p50}   (cv {self.li_p50.cv * 100:.0f}%)\n"
+            f"  LI p99 {self.li_p99}   (cv {self.li_p99.cv * 100:.0f}%)"
+        )
+
+
+def replicate(
+    config: ScenarioConfig,
+    seeds=(42, 7, 123),
+) -> ReplicationResult:
+    """Run ``config`` once per seed and aggregate the summaries."""
+    ls_p50, ls_p99, li_p50, li_p99 = [], [], [], []
+    for seed in seeds:
+        result = run_scenario(replace(config, seed=seed))
+        ls = result.ls_summary()
+        li = result.li_summary()
+        ls_p50.append(ls.p50)
+        ls_p99.append(ls.p99)
+        li_p50.append(li.p50)
+        li_p99.append(li.p99)
+    return ReplicationResult(
+        seeds=list(seeds),
+        ls_p50=Replicated(ls_p50),
+        ls_p99=Replicated(ls_p99),
+        li_p50=Replicated(li_p50),
+        li_p99=Replicated(li_p99),
+    )
+
+
+def compare_with_replication(
+    config: ScenarioConfig,
+    seeds=(42, 7, 123),
+) -> tuple[ReplicationResult, ReplicationResult]:
+    """(baseline, optimized) replication results for one config."""
+    baseline = replicate(replace(config, cross_layer=False, policy=None), seeds)
+    optimized = replicate(replace(config, cross_layer=True, policy=None), seeds)
+    return baseline, optimized

@@ -1,0 +1,34 @@
+"""Plain-text and CSV reporting for experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """A fixed-width text table (what the benchmark harness prints)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(divider)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: list[str], rows: list[list]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def ms(seconds: float) -> str:
+    """Format seconds as milliseconds for tables."""
+    return f"{seconds * 1e3:.1f}"

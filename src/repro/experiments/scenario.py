@@ -1,0 +1,172 @@
+"""The end-to-end experiment scenario: the paper's testbed in one call.
+
+``run_scenario`` assembles the whole §4.3 setup — cluster, mesh,
+e-library app, ingress gateway, prioritization (optional), mixed
+workload — runs it, and returns the measurements. Every experiment in
+this repository (Fig. 4, the in-text claims, the ablations) is a
+parameterization of this scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..apps.elibrary import ELibraryConfig, FRONTEND, REVIEWS, build_elibrary
+from ..cluster.cluster import Cluster
+from ..cluster.scheduler import Scheduler
+from ..core.classifier import Classifier
+from ..core.manager import PinningSpec, PrioritizationManager
+from ..core.policy import CrossLayerPolicy
+from ..mesh.config import MeshConfig
+from ..mesh.mesh import ServiceMesh
+from ..net.sdn import SdnController
+from ..sim import Simulator
+from ..sim.rng import RngRegistry
+from ..transport import TransportConfig
+from ..util.stats import LatencySummary
+from ..workload.mixes import LI_WORKLOAD, LS_WORKLOAD, MixConfig, MixedWorkload
+
+# Simulation-scale transport: large segments keep event counts tractable
+# while preserving the queueing behaviour (a 2 MB response is still ~130
+# segments through the bottleneck).
+DEFAULT_MSS = 15_000
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything that varies across experiment runs."""
+
+    rps: float = 30.0
+    li_rps: float | None = None
+    duration: float = 20.0          # generation time (paper runs 5 min;
+                                    # the shape stabilizes much sooner)
+    warmup: float = 4.0             # excluded from statistics
+    drain: float = 30.0             # grace period for in-flight requests
+    seed: int = 42
+    cross_layer: bool = True
+    policy: CrossLayerPolicy | None = None   # overrides cross_layer
+    classifier: Classifier | None = None
+    elibrary: ELibraryConfig = field(default_factory=ELibraryConfig)
+    mesh: MeshConfig = field(default_factory=MeshConfig)
+    mss: int = DEFAULT_MSS
+    nodes: int = 1                  # the paper: one 32-core server
+    cores_per_node: int = 32
+    arrivals: str = "uniform"
+    redundant_core: bool = False
+
+    def effective_policy(self) -> CrossLayerPolicy:
+        if self.policy is not None:
+            return self.policy
+        if self.cross_layer:
+            return CrossLayerPolicy.paper_prototype()
+        return CrossLayerPolicy.disabled()
+
+
+@dataclass
+class ScenarioResult:
+    """A finished run plus handles to everything measurable."""
+
+    config: ScenarioConfig
+    sim: Simulator
+    cluster: Cluster
+    mesh: ServiceMesh
+    app: object
+    gateway: object
+    mix: MixedWorkload
+    manager: PrioritizationManager | None
+    window: tuple[float, float]
+
+    @property
+    def recorder(self):
+        return self.mix.recorder
+
+    def latency_summary(self, workload: str) -> LatencySummary:
+        return self.recorder.summary(workload, window=self.window)
+
+    def ls_summary(self) -> LatencySummary:
+        return self.latency_summary(LS_WORKLOAD)
+
+    def li_summary(self) -> LatencySummary:
+        return self.latency_summary(LI_WORKLOAD)
+
+    @property
+    def telemetry(self):
+        return self.mesh.telemetry
+
+    @property
+    def tracer(self):
+        return self.mesh.tracer
+
+
+def build_scenario(config: ScenarioConfig):
+    """Construct (but do not run) the full scenario."""
+    sim = Simulator()
+    rng = RngRegistry(config.seed)
+    transport = TransportConfig(mss=config.mss, header_bytes=60)
+    cluster = Cluster(
+        sim,
+        scheduler=Scheduler("first-fit" if config.nodes == 1 else "least-pods"),
+        transport_config=transport,
+        redundant_core=config.redundant_core,
+    )
+    for index in range(config.nodes):
+        cluster.add_node(f"node-{index}", cores=config.cores_per_node)
+    mesh = ServiceMesh(sim, cluster, config.mesh, rng_registry=rng)
+    app = build_elibrary(sim, cluster, mesh, config.elibrary, rng_registry=rng)
+    gateway = mesh.create_gateway(FRONTEND)
+    cluster.build_routes()
+
+    policy = config.effective_policy()
+    manager = None
+    if policy.any_enabled:
+        sdn = None
+        if policy.sdn_te:
+            sdn = SdnController(sim, cluster.network)
+        manager = PrioritizationManager(
+            sim=sim,
+            cluster=cluster,
+            mesh=mesh,
+            policy=policy,
+            classifier=config.classifier,
+            sdn=sdn,
+        )
+        manager.apply(pinning=[PinningSpec(service=REVIEWS)])
+
+    mix = MixedWorkload(
+        sim,
+        gateway,
+        MixConfig(
+            rps=config.rps,
+            li_rps=config.li_rps,
+            arrivals=config.arrivals,
+        ),
+        rng,
+    )
+    return sim, cluster, mesh, app, gateway, mix, manager
+
+
+def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioResult:
+    """Build and run a scenario; keyword overrides patch the config."""
+    if config is None:
+        config = ScenarioConfig()
+    if overrides:
+        config = replace(config, **overrides)
+    sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
+    mix.start(config.duration)
+    sim.run(until=config.duration)
+    # Drain: let in-flight requests finish (bounded grace period).
+    deadline = config.duration + config.drain
+    while len(mix.recorder) < mix.issued and sim.now < deadline:
+        sim.run(until=min(sim.now + 1.0, deadline))
+    window = (config.warmup, config.duration)
+    return ScenarioResult(
+        config=config,
+        sim=sim,
+        cluster=cluster,
+        mesh=mesh,
+        app=app,
+        gateway=gateway,
+        mix=mix,
+        manager=manager,
+        window=window,
+    )

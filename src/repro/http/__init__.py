@@ -1,0 +1,34 @@
+"""HTTP message model used above the transport layer."""
+
+from .headers import (
+    DEADLINE,
+    FORWARDED_FOR,
+    PARENT_SPAN_ID,
+    PRIORITY,
+    PROPAGATED_HEADERS,
+    REQUEST_ID,
+    RETRY_ATTEMPT,
+    SPAN_ID,
+    TRACE_ID,
+    Headers,
+    propagate,
+)
+from .message import FIRST_LINE_BYTES, HttpRequest, HttpResponse, HttpStatus
+
+__all__ = [
+    "DEADLINE",
+    "FIRST_LINE_BYTES",
+    "FORWARDED_FOR",
+    "Headers",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpStatus",
+    "PARENT_SPAN_ID",
+    "PRIORITY",
+    "PROPAGATED_HEADERS",
+    "REQUEST_ID",
+    "RETRY_ATTEMPT",
+    "SPAN_ID",
+    "TRACE_ID",
+    "propagate",
+]

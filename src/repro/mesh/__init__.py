@@ -1,0 +1,82 @@
+"""An Istio-like service mesh: sidecars, control plane, routing, LB,
+resilience, mTLS, telemetry and tracing."""
+
+from .config import MESH_PORT, MeshConfig
+from .controlplane import ControlPlane
+from .gateway import IngressGateway
+from .loadbalancer import (
+    LB_REGISTRY,
+    AdaptiveLB,
+    CongestionAwareLB,
+    LeastRequestLB,
+    LoadBalancer,
+    LocalityAwareLB,
+    RandomLB,
+    RoundRobinLB,
+    WeightedLB,
+    make_lb,
+)
+from .visibility import BurstCoordinator, BurstWindow
+from .mesh import GATEWAY_DEPLOYMENT, ServiceMesh
+from .faults import FaultInjection
+from .mtls import Certificate, CertificateAuthority, MtlsContext
+from .muxchannel import MuxChannel
+from .outlier import OutlierConfig, OutlierDetector
+from .policy import PolicyHooks, TransportParams
+from .resilience import CircuitBreaker, HedgePolicy, RetryPolicy
+from .routing import (
+    HeaderMatch,
+    RouteDestination,
+    RouteRule,
+    RouteTable,
+    subset,
+)
+from .sidecar import NoHealthyUpstream, Sidecar
+from .telemetry import RequestRecord, Telemetry
+from .tracing import Span, Trace, Tracer, new_trace_id
+
+__all__ = [
+    "AdaptiveLB",
+    "BurstCoordinator",
+    "BurstWindow",
+    "Certificate",
+    "FaultInjection",
+    "CongestionAwareLB",
+    "CertificateAuthority",
+    "CircuitBreaker",
+    "ControlPlane",
+    "GATEWAY_DEPLOYMENT",
+    "HeaderMatch",
+    "HedgePolicy",
+    "IngressGateway",
+    "LB_REGISTRY",
+    "LeastRequestLB",
+    "LocalityAwareLB",
+    "LoadBalancer",
+    "MESH_PORT",
+    "MeshConfig",
+    "MtlsContext",
+    "MuxChannel",
+    "NoHealthyUpstream",
+    "OutlierConfig",
+    "OutlierDetector",
+    "PolicyHooks",
+    "RandomLB",
+    "RequestRecord",
+    "RetryPolicy",
+    "RoundRobinLB",
+    "RouteDestination",
+    "RouteRule",
+    "RouteTable",
+    "ServiceMesh",
+    "Sidecar",
+    "Span",
+    "Telemetry",
+    "Trace",
+    "Tracer",
+    "TransportParams",
+    "WeightedLB",
+    "make_lb",
+    "new_trace_id",
+    "subset",
+]

@@ -1,0 +1,58 @@
+"""Mesh-wide configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .mtls import MtlsContext
+from .resilience import HedgePolicy, RetryPolicy
+
+#: The port every sidecar listens on for mesh traffic (Envoy's 15006).
+MESH_PORT = 15006
+
+
+@dataclass
+class MeshConfig:
+    """Knobs shared by all sidecars in a mesh.
+
+    The proxy delay defaults are calibrated so that a request+response
+    through *two* interposed sidecars (four proxy traversals) costs about
+    3 ms at the 99th percentile — the Istio figure the paper cites
+    (§3.6). Each traversal is a lognormal sample.
+    """
+
+    proxy_delay_median: float = 0.0004
+    proxy_delay_p99: float = 0.0014
+    default_timeout: float = 15.0
+    connect_extra_delay: float = 0.0
+    lb_name: str = "round-robin"
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    hedge: HedgePolicy | None = None
+    # Success-rate outlier ejection (None = disabled).
+    outlier: object = None   # OutlierConfig | None
+    mtls: MtlsContext = field(default_factory=MtlsContext)
+    tracing_sample_rate: float = 1.0
+    # Optional sidecar-local request scheduling (§5 "prioritized request
+    # queuing"): when set, at most this many inbound requests execute
+    # concurrently per sidecar; excess waits in a priority queue.
+    inbound_concurrency: int | None = None
+    # Backpressure (§3.6): with inbound queueing on, shed load with 503s
+    # once the queue holds this many requests (None = unbounded).
+    max_inbound_queue: int | None = None
+    # Custom load-balancer construction, e.g. the congestion-aware
+    # policy that needs an SDN controller handle (§3.5). Receives the
+    # sidecar, returns a LoadBalancer; None = build by ``lb_name``.
+    lb_factory: object = None
+    # SST-style multiplexing (§3.6): carry all requests to an upstream
+    # over ONE priority-scheduled multiplexed connection instead of a
+    # connection-per-request pool.
+    use_mux: bool = False
+    mux_chunk_bytes: int = 16_000
+    # Control plane push latency (config distribution, Fig. 1).
+    config_push_delay: float = 0.050
+
+    def __post_init__(self):
+        if self.proxy_delay_median <= 0 or self.proxy_delay_p99 <= self.proxy_delay_median:
+            raise ValueError("need 0 < proxy_delay_median < proxy_delay_p99")
+        if self.default_timeout <= 0:
+            raise ValueError("default_timeout must be positive")

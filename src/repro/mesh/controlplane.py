@@ -1,0 +1,113 @@
+"""The mesh control plane (istiod's role in Fig. 1).
+
+Centralizes service discovery (watching cluster DNS/endpoints),
+configuration management (route rules pushed to sidecars with a
+propagation delay), certificate management, and telemetry/tracing
+collection. Sidecars are data-plane elements it pushes state to.
+"""
+
+from __future__ import annotations
+
+from ..cluster.cluster import Cluster
+from ..cluster.pod import Pod
+from ..cluster.service import Service
+from ..sim import Simulator
+from ..sim.rng import RngRegistry
+from .config import MeshConfig
+from .mtls import CertificateAuthority
+from .policy import PolicyHooks
+from .sidecar import Sidecar
+from .telemetry import Telemetry
+from .tracing import Tracer
+
+
+class ControlPlane:
+    """Pushes discovery/config state to sidecars; collects telemetry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        config: MeshConfig | None = None,
+        rng_registry: RngRegistry | None = None,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config if config is not None else MeshConfig()
+        self.rng = rng_registry if rng_registry is not None else RngRegistry(0)
+        self.tracer = Tracer(sample_rate=self.config.tracing_sample_rate)
+        self.telemetry = Telemetry()
+        self.ca = CertificateAuthority()
+        self.policy = PolicyHooks()
+        self.sidecars: list[Sidecar] = []
+        self._route_rules: dict[str, list] = {}
+        self.pushes = 0
+        cluster.dns.watch(self._on_service_changed)
+
+    # ------------------------------------------------------------------
+    # Sidecar lifecycle
+    # ------------------------------------------------------------------
+    def add_sidecar(self, pod: Pod, service_name: str) -> Sidecar:
+        """Inject a sidecar into ``pod`` (bootstrap config is synchronous,
+        like an initial xDS fetch)."""
+        sidecar = Sidecar(
+            self.sim,
+            pod,
+            service_name,
+            config=self.config,
+            tracer=self.tracer,
+            telemetry=self.telemetry,
+            rng_registry=self.rng,
+            policy=self.policy,
+        )
+        self.ca.issue(f"spiffe://cluster.local/sa/{service_name}", self.sim.now)
+        pod.add_container("istio-proxy")
+        for service in self.cluster.dns.services:
+            sidecar.update_endpoints(service.name, service.endpoints)
+        for service_name_, rules in self._route_rules.items():
+            sidecar.update_routes(service_name_, rules)
+        sidecar.start()
+        self.sidecars.append(sidecar)
+        return sidecar
+
+    def set_policy(self, policy: PolicyHooks) -> None:
+        """Install policy hooks mesh-wide (the core layer's entry point)."""
+        self.policy = policy
+        for sidecar in self.sidecars:
+            sidecar.policy = policy
+
+    # ------------------------------------------------------------------
+    # Discovery pushes
+    # ------------------------------------------------------------------
+    def _on_service_changed(self, service: Service) -> None:
+        endpoints = service.endpoints
+        delay = self.config.config_push_delay
+        if not self.sidecars:
+            return
+        self.sim.call_later(delay, self._push_endpoints, service.name, endpoints)
+
+    def _push_endpoints(self, service_name: str, endpoints) -> None:
+        self.pushes += 1
+        for sidecar in self.sidecars:
+            sidecar.update_endpoints(service_name, endpoints)
+
+    # ------------------------------------------------------------------
+    # Route configuration
+    # ------------------------------------------------------------------
+    def set_route_rules(self, service: str, rules: list, immediate: bool = False) -> None:
+        """Install VirtualService-style rules for ``service`` mesh-wide."""
+        self._route_rules[service] = list(rules)
+        if immediate or self.sim.now == 0.0:
+            self._push_routes(service, list(rules))
+        else:
+            self.sim.call_later(
+                self.config.config_push_delay, self._push_routes, service, list(rules)
+            )
+
+    def _push_routes(self, service: str, rules: list) -> None:
+        self.pushes += 1
+        for sidecar in self.sidecars:
+            sidecar.update_routes(service, rules)
+
+    def __repr__(self):
+        return f"<ControlPlane sidecars={len(self.sidecars)} pushes={self.pushes}>"

@@ -1,0 +1,47 @@
+"""The ingress gateway: where external requests enter the mesh (Fig. 3,
+stages 1-2).
+
+The gateway is a pod with a sidecar; :meth:`submit` is the edge where the
+paper's design classifies each request's performance objective (§4.2
+component 1) before forwarding to the front-end service.
+"""
+
+from __future__ import annotations
+
+from ..http.headers import REQUEST_ID, TRACE_ID
+from ..http.message import HttpRequest
+from ..sim import Simulator
+from .sidecar import Sidecar, _new_request_id
+from .tracing import new_trace_id
+
+
+class IngressGateway:
+    """Mesh entry point bound to one upstream (front-end) service."""
+
+    def __init__(self, sim: Simulator, sidecar: Sidecar, entry_service: str):
+        self.sim = sim
+        self.sidecar = sidecar
+        self.entry_service = entry_service
+        self.requests_admitted = 0
+
+    def submit(self, request: HttpRequest, timeout: float | None = None):
+        """Admit an external request; returns an event with the response.
+
+        Assigns the global request id and trace id (the provenance
+        anchors) and runs the ingress classifier policy hook.
+        """
+        if request.service in ("", None):
+            request.service = self.entry_service
+        if REQUEST_ID not in request.headers:
+            request.headers[REQUEST_ID] = _new_request_id()
+        if TRACE_ID not in request.headers:
+            request.headers[TRACE_ID] = new_trace_id()
+        self.sidecar.policy.classify_ingress(request)
+        self.requests_admitted += 1
+        event = self.sidecar.request(request, timeout=timeout)
+        event.callbacks.append(
+            lambda ev: self.sidecar.policy.observe_response(request, ev.value)
+            if ev.ok
+            else None
+        )
+        return event

@@ -1,0 +1,260 @@
+"""Load-balancing policies for picking an endpoint from a set.
+
+These mirror Envoy's policies (round robin, random, least request /
+power-of-two-choices, weighted) plus an adaptive latency-aware policy
+implementing the §3.4 direction of bringing research LB algorithms
+(e.g. C3-style replica ranking) into the sidecar.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..cluster.service import Endpoint
+
+
+class LoadBalancer:
+    """Base policy. ``pick`` must tolerate any non-empty endpoint list."""
+
+    name = "base"
+
+    def pick(self, endpoints: list[Endpoint]) -> Endpoint:
+        raise NotImplementedError
+
+    # Hooks used by feedback-driven policies; default no-ops.
+    def on_request_start(self, endpoint: Endpoint) -> None:
+        pass
+
+    def on_request_end(self, endpoint: Endpoint, latency: float, ok: bool) -> None:
+        pass
+
+
+class RoundRobinLB(LoadBalancer):
+    """Strict rotation over the (possibly changing) endpoint list."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._index = 0
+
+    def pick(self, endpoints: list[Endpoint]) -> Endpoint:
+        if not endpoints:
+            raise ValueError("no endpoints")
+        endpoint = endpoints[self._index % len(endpoints)]
+        self._index += 1
+        return endpoint
+
+
+class RandomLB(LoadBalancer):
+    """Uniform random choice."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def pick(self, endpoints: list[Endpoint]) -> Endpoint:
+        if not endpoints:
+            raise ValueError("no endpoints")
+        return endpoints[int(self.rng.integers(len(endpoints)))]
+
+
+class LeastRequestLB(LoadBalancer):
+    """Power-of-two-choices on outstanding request count (Envoy default)."""
+
+    name = "least-request"
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.outstanding: dict[str, int] = defaultdict(int)
+
+    def pick(self, endpoints: list[Endpoint]) -> Endpoint:
+        if not endpoints:
+            raise ValueError("no endpoints")
+        if len(endpoints) == 1:
+            return endpoints[0]
+        i, j = self.rng.choice(len(endpoints), size=2, replace=False)
+        a, b = endpoints[int(i)], endpoints[int(j)]
+        return a if self.outstanding[a.ip] <= self.outstanding[b.ip] else b
+
+    def on_request_start(self, endpoint: Endpoint) -> None:
+        self.outstanding[endpoint.ip] += 1
+
+    def on_request_end(self, endpoint: Endpoint, latency: float, ok: bool) -> None:
+        if self.outstanding[endpoint.ip] > 0:
+            self.outstanding[endpoint.ip] -= 1
+
+
+class WeightedLB(LoadBalancer):
+    """Weighted random pick by per-endpoint weight (pod label ``weight``
+    or a weight table injected at construction)."""
+
+    name = "weighted"
+
+    def __init__(self, weights: dict[str, float] | None = None, rng=None):
+        self.weights = dict(weights or {})
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def weight_of(self, endpoint: Endpoint) -> float:
+        if endpoint.ip in self.weights:
+            return max(0.0, float(self.weights[endpoint.ip]))
+        label = endpoint.label_dict.get("weight")
+        return max(0.0, float(label)) if label is not None else 1.0
+
+    def pick(self, endpoints: list[Endpoint]) -> Endpoint:
+        if not endpoints:
+            raise ValueError("no endpoints")
+        weights = np.array([self.weight_of(e) for e in endpoints], dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            return endpoints[int(self.rng.integers(len(endpoints)))]
+        probabilities = weights / total
+        return endpoints[int(self.rng.choice(len(endpoints), p=probabilities))]
+
+
+class AdaptiveLB(LoadBalancer):
+    """Latency-feedback replica ranking (C3-flavoured, §3.4).
+
+    Maintains an EWMA of per-endpoint response latency and outstanding
+    request counts, scoring each endpoint as
+    ``ewma_latency * (1 + outstanding)``; picks the best. Endpoints with
+    no history get optimistic scores so new replicas are explored.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, alpha: float = 0.2):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.ewma: dict[str, float] = {}
+        self.outstanding: dict[str, int] = defaultdict(int)
+
+    def _score(self, endpoint: Endpoint) -> float:
+        latency = self.ewma.get(endpoint.ip)
+        if latency is None:
+            return 0.0  # unexplored: most attractive
+        return latency * (1.0 + self.outstanding[endpoint.ip])
+
+    def pick(self, endpoints: list[Endpoint]) -> Endpoint:
+        if not endpoints:
+            raise ValueError("no endpoints")
+        return min(endpoints, key=self._score)
+
+    def on_request_start(self, endpoint: Endpoint) -> None:
+        self.outstanding[endpoint.ip] += 1
+
+    def on_request_end(self, endpoint: Endpoint, latency: float, ok: bool) -> None:
+        if self.outstanding[endpoint.ip] > 0:
+            self.outstanding[endpoint.ip] -= 1
+        if not ok:
+            latency = max(latency, 1.0)  # penalize failures heavily
+        previous = self.ewma.get(endpoint.ip)
+        if previous is None:
+            self.ewma[endpoint.ip] = latency
+        else:
+            self.ewma[endpoint.ip] = (
+                (1 - self.alpha) * previous + self.alpha * latency
+            )
+
+
+class LocalityAwareLB(LoadBalancer):
+    """Prefer endpoints on the caller's own node (Envoy locality LB).
+
+    Same-node traffic avoids the inter-node fabric entirely; when no
+    local endpoint exists the policy degrades to the fallback over the
+    full set. Feedback hooks delegate to the fallback so it can be a
+    stateful policy like least-request.
+    """
+
+    name = "locality"
+
+    def __init__(self, local_node: str, fallback: LoadBalancer | None = None):
+        self.local_node = local_node
+        self.fallback = fallback if fallback is not None else RoundRobinLB()
+
+    def pick(self, endpoints: list[Endpoint]) -> Endpoint:
+        if not endpoints:
+            raise ValueError("no endpoints")
+        local = [e for e in endpoints if e.node == self.local_node]
+        return self.fallback.pick(local if local else endpoints)
+
+    def on_request_start(self, endpoint: Endpoint) -> None:
+        self.fallback.on_request_start(endpoint)
+
+    def on_request_end(self, endpoint: Endpoint, latency: float, ok: bool) -> None:
+        self.fallback.on_request_end(endpoint, latency, ok)
+
+
+class CongestionAwareLB(LoadBalancer):
+    """Physical-network-informed replica choice (§3.5).
+
+    The SDN controller exposes per-link utilization; this policy scores
+    each endpoint by the bottleneck utilization of the physical path
+    from ``src_device`` to the endpoint's host and picks the least
+    congested, falling back to round robin among near-ties. This is the
+    paper's "adjust load balancing among service instances" direction.
+    """
+
+    name = "congestion-aware"
+
+    def __init__(self, sdn, src_device: str, tie_band: float = 0.05):
+        import networkx as nx  # local: keeps module import light
+
+        self._nx = nx
+        self.sdn = sdn
+        self.src_device = src_device
+        self.tie_band = tie_band
+        self._fallback = RoundRobinLB()
+        self._path_cache: dict[str, list[str]] = {}
+
+    def _path_to(self, endpoint: Endpoint) -> list[str] | None:
+        cached = self._path_cache.get(endpoint.ip)
+        if cached is not None:
+            return cached
+        host = self.sdn.network.host_of_address.get(endpoint.ip)
+        if host is None:
+            return None
+        try:
+            path = self._nx.shortest_path(
+                self.sdn.network.graph, self.src_device, host.name
+            )
+        except self._nx.NetworkXNoPath:  # pragma: no cover - connected nets
+            return None
+        self._path_cache[endpoint.ip] = path
+        return path
+
+    def congestion_of(self, endpoint: Endpoint) -> float:
+        path = self._path_to(endpoint)
+        if path is None:
+            return 0.0
+        return self.sdn.path_utilization(path)
+
+    def pick(self, endpoints: list[Endpoint]) -> Endpoint:
+        if not endpoints:
+            raise ValueError("no endpoints")
+        scored = [(self.congestion_of(e), e) for e in endpoints]
+        best = min(score for score, _ in scored)
+        candidates = [e for score, e in scored if score <= best + self.tie_band]
+        return self._fallback.pick(candidates)
+
+
+LB_REGISTRY = {
+    cls.name: cls
+    for cls in (RoundRobinLB, RandomLB, LeastRequestLB, WeightedLB, AdaptiveLB)
+}
+
+
+def make_lb(name: str, rng=None) -> LoadBalancer:
+    """Instantiate a load balancer by name."""
+    try:
+        cls = LB_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown load balancer {name!r}; known: {sorted(LB_REGISTRY)}"
+        ) from None
+    if cls in (RandomLB, LeastRequestLB, WeightedLB):
+        return cls(rng=rng) if cls is not WeightedLB else cls(weights=None, rng=rng)
+    return cls()

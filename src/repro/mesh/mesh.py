@@ -1,0 +1,106 @@
+"""The user-facing mesh facade: sidecar injection and gateway creation."""
+
+from __future__ import annotations
+
+from ..cluster.cluster import Cluster
+from ..cluster.deployment import PodSpec
+from ..cluster.pod import Pod
+from ..sim import Simulator
+from ..sim.rng import RngRegistry
+from .config import MeshConfig
+from .controlplane import ControlPlane
+from .gateway import IngressGateway
+from .policy import PolicyHooks
+from .sidecar import Sidecar
+
+GATEWAY_DEPLOYMENT = "istio-ingressgateway"
+
+
+class ServiceMesh:
+    """Owns the control plane and the set of injected sidecars."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        config: MeshConfig | None = None,
+        rng_registry: RngRegistry | None = None,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.control_plane = ControlPlane(sim, cluster, config, rng_registry)
+        self._sidecars_by_pod: dict[str, Sidecar] = {}
+
+    @property
+    def config(self) -> MeshConfig:
+        return self.control_plane.config
+
+    @property
+    def telemetry(self):
+        return self.control_plane.telemetry
+
+    @property
+    def tracer(self):
+        return self.control_plane.tracer
+
+    @property
+    def sidecars(self) -> list[Sidecar]:
+        return list(self._sidecars_by_pod.values())
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def inject_pod(self, pod: Pod, service_name: str | None = None) -> Sidecar:
+        if pod.name in self._sidecars_by_pod:
+            raise ValueError(f"pod {pod.name} already has a sidecar")
+        name = service_name or pod.labels.get("app", pod.name)
+        sidecar = self.control_plane.add_sidecar(pod, name)
+        self._sidecars_by_pod[pod.name] = sidecar
+        return sidecar
+
+    def inject_deployment(self, deployment_name: str) -> list[Sidecar]:
+        """Inject every pod of a deployment (service name = app label)."""
+        pods = self.cluster.pods_of(deployment_name)
+        return [self.inject_pod(pod) for pod in pods]
+
+    def inject_all(self) -> list[Sidecar]:
+        """Inject every pod in the cluster that lacks a sidecar."""
+        injected = []
+        for pod in self.cluster.pods:
+            if pod.name not in self._sidecars_by_pod:
+                injected.append(self.inject_pod(pod))
+        return injected
+
+    def sidecar_of(self, pod_name: str) -> Sidecar:
+        try:
+            return self._sidecars_by_pod[pod_name]
+        except KeyError:
+            raise KeyError(f"pod {pod_name!r} has no sidecar") from None
+
+    # ------------------------------------------------------------------
+    # Policy and routing passthroughs
+    # ------------------------------------------------------------------
+    def set_policy(self, policy: PolicyHooks) -> None:
+        self.control_plane.set_policy(policy)
+
+    def set_route_rules(self, service: str, rules: list, immediate: bool = True) -> None:
+        self.control_plane.set_route_rules(service, rules, immediate=immediate)
+
+    # ------------------------------------------------------------------
+    # Gateway
+    # ------------------------------------------------------------------
+    def create_gateway(
+        self, entry_service: str, node_hint: str | None = None
+    ) -> IngressGateway:
+        """Deploy the ingress gateway pod and wire it to ``entry_service``."""
+        deployment = self.cluster.create_deployment(
+            GATEWAY_DEPLOYMENT,
+            replicas=1,
+            spec=PodSpec(labels={"istio": "ingressgateway"}, node_hint=node_hint),
+        )
+        pod = deployment.pods[0]
+        sidecar = self.inject_pod(pod, service_name="ingress-gateway")
+        return IngressGateway(self.sim, sidecar, entry_service)
+
+    def __repr__(self):
+        return f"<ServiceMesh sidecars={len(self._sidecars_by_pod)}>"

@@ -1,0 +1,107 @@
+"""Outlier detection: success-rate-based endpoint ejection.
+
+Complements the consecutive-failure circuit breaker: a replica that
+fails *intermittently* (say 50% of requests) never trips a
+consecutive-failure breaker but still poisons the latency/error budget.
+The detector tracks per-endpoint success rates over a sliding window
+and temporarily ejects endpoints whose error rate crosses a threshold —
+Envoy's ``outlier_detection``, part of the resilience function §2
+ascribes to the mesh ("avoid underperforming instances").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OutlierConfig:
+    """Detection and ejection parameters."""
+
+    window: float = 10.0              # sliding window length (seconds)
+    min_requests: int = 20            # don't judge on thin evidence
+    error_rate_threshold: float = 0.5
+    ejection_time: float = 5.0
+    max_ejection_fraction: float = 0.5  # never eject more than this share
+
+    def __post_init__(self):
+        if self.window <= 0 or self.ejection_time <= 0:
+            raise ValueError("window and ejection_time must be positive")
+        if not 0 < self.error_rate_threshold <= 1:
+            raise ValueError("error_rate_threshold must be in (0, 1]")
+        if not 0 <= self.max_ejection_fraction <= 1:
+            raise ValueError("max_ejection_fraction must be in [0, 1]")
+
+
+@dataclass
+class _EndpointStats:
+    outcomes: deque = field(default_factory=deque)   # (time, ok)
+    ejected_until: float = float("-inf")
+
+
+class OutlierDetector:
+    """Per-upstream endpoint health tracker."""
+
+    def __init__(self, config: OutlierConfig | None = None):
+        self.config = config if config is not None else OutlierConfig()
+        self._stats: dict[str, _EndpointStats] = {}
+        self.ejections = 0
+
+    def _stats_for(self, ip: str) -> _EndpointStats:
+        stats = self._stats.get(ip)
+        if stats is None:
+            stats = _EndpointStats()
+            self._stats[ip] = stats
+        return stats
+
+    def _prune(self, stats: _EndpointStats, now: float) -> None:
+        horizon = now - self.config.window
+        while stats.outcomes and stats.outcomes[0][0] < horizon:
+            stats.outcomes.popleft()
+
+    def record(self, ip: str, ok: bool, now: float) -> None:
+        """Feed one request outcome; may trigger an ejection."""
+        stats = self._stats_for(ip)
+        stats.outcomes.append((now, ok))
+        self._prune(stats, now)
+        if now < stats.ejected_until:
+            return  # already out
+        total = len(stats.outcomes)
+        if total < self.config.min_requests:
+            return
+        errors = sum(1 for _t, outcome_ok in stats.outcomes if not outcome_ok)
+        if errors / total >= self.config.error_rate_threshold:
+            stats.ejected_until = now + self.config.ejection_time
+            stats.outcomes.clear()  # fresh slate when it returns
+            self.ejections += 1
+
+    def is_ejected(self, ip: str, now: float) -> bool:
+        stats = self._stats.get(ip)
+        return stats is not None and now < stats.ejected_until
+
+    def error_rate(self, ip: str, now: float) -> float:
+        stats = self._stats.get(ip)
+        if stats is None:
+            return 0.0
+        self._prune(stats, now)
+        if not stats.outcomes:
+            return 0.0
+        errors = sum(1 for _t, ok in stats.outcomes if not ok)
+        return errors / len(stats.outcomes)
+
+    def filter_healthy(self, ips: list[str], now: float) -> list[str]:
+        """The subset not currently ejected, respecting the maximum
+        ejection fraction: if too many are ejected, the least-recently
+        ejected ones are readmitted (panic-mode safety)."""
+        ejected = [ip for ip in ips if self.is_ejected(ip, now)]
+        max_ejected = int(len(ips) * self.config.max_ejection_fraction)
+        if len(ejected) > max_ejected:
+            # Readmit the ones whose ejection expires soonest.
+            by_expiry = sorted(
+                ejected, key=lambda ip: self._stats[ip].ejected_until
+            )
+            keep_out = set(by_expiry[len(ejected) - max_ejected:])
+            ejected = [ip for ip in ejected if ip in keep_out]
+        ejected_set = set(ejected)
+        return [ip for ip in ips if ip not in ejected_set]

@@ -1,0 +1,47 @@
+"""Policy hooks: the seam between the mesh and the paper's contribution.
+
+The base mesh is priority-agnostic. :class:`PolicyHooks` is the
+extension surface the cross-layer prioritization layer (``repro.core``)
+plugs into, exactly mirroring how the paper's design extends a stock
+service mesh without changing applications:
+
+* ``classify_ingress`` — stamp performance objectives onto external
+  requests at the ingress (§4.2 component 1).
+* ``transport_params`` — choose the TOS mark and congestion-control
+  algorithm for the connection carrying a request (§4.2b/§4.2c).
+* ``request_priority`` — the sidecar-local queueing priority of a
+  request (§5, prioritized request queuing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..http.message import HttpRequest
+from ..net.packet import Tos
+
+
+@dataclass(frozen=True)
+class TransportParams:
+    """How to carry a request on the wire."""
+
+    tos: Tos = Tos.NORMAL
+    cc_name: str = "reno"
+
+
+class PolicyHooks:
+    """Neutral defaults: no classification, normal transport, FIFO."""
+
+    def classify_ingress(self, request: HttpRequest) -> None:
+        """Annotate an external request entering the mesh (in place)."""
+
+    def transport_params(self, request: HttpRequest) -> TransportParams:
+        return TransportParams()
+
+    def request_priority(self, request: HttpRequest) -> int:
+        """Lower value = served earlier by sidecar request queues."""
+        return 0
+
+    def observe_response(self, request: HttpRequest, response) -> None:
+        """Feedback from the ingress: the response an external request
+        got. Lets inference-based classifiers learn (§3.3)."""

@@ -1,0 +1,116 @@
+"""Resilience mechanisms: retries, timeouts, circuit breaking, hedging.
+
+These are the sidecar features §2 lists ("retrying requests and
+implementing a circuit breaker pattern"), plus request hedging — the
+§3.4 example of deploying 'redundant requests to cut tail latency'
+[Vulimiri et al.] inside the mesh layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Envoy-style retry budget for one logical request."""
+
+    max_attempts: int = 3            # total tries including the first
+    per_try_timeout: float | None = None
+    backoff_base: float = 0.025
+    backoff_max: float = 0.25
+    retry_on_status: frozenset = frozenset({502, 503, 504})
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        return min(self.backoff_max, self.backoff_base * (2 ** (attempt - 1)))
+
+    def should_retry(self, attempt: int, status: int | None) -> bool:
+        """``status`` None means the try timed out."""
+        if attempt >= self.max_attempts:
+            return False
+        return status is None or status in self.retry_on_status
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Issue a duplicate request if no response within ``delay``; first
+    response wins. ``max_hedges`` bounds the duplicates."""
+
+    delay: float = 0.05
+    max_hedges: int = 1
+
+    def __post_init__(self):
+        if self.delay < 0 or self.max_hedges < 0:
+            raise ValueError("invalid hedge policy")
+
+
+class CircuitBreaker:
+    """Per-endpoint consecutive-failure breaker with half-open probing.
+
+    States: closed (normal) -> open after ``failure_threshold``
+    consecutive failures -> half-open after ``recovery_time`` -> closed
+    on a success (or back to open on a failure).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 1.0,
+        clock=None,
+    ):
+        if failure_threshold < 1 or recovery_time <= 0:
+            raise ValueError("invalid breaker parameters")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.rejections = 0
+
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.recovery_time
+        ):
+            self._state = self.HALF_OPEN
+
+    def allow(self) -> bool:
+        """May a request be sent to this endpoint right now?"""
+        self._maybe_half_open()
+        if self._state == self.OPEN:
+            self.rejections += 1
+            return False
+        return True
+
+    def on_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = self.CLOSED
+
+    def on_failure(self) -> None:
+        self._maybe_half_open()
+        if self._state == self.HALF_OPEN:
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+
+    def __repr__(self):
+        return f"<CircuitBreaker {self.state} failures={self._consecutive_failures}>"

@@ -1,0 +1,114 @@
+"""Request routing: virtual-service rules with header matching.
+
+A :class:`RouteTable` maps a logical destination service to one or more
+:class:`RouteRule` entries. Rules match on request headers (exact value
+or presence) and select a labelled endpoint subset, optionally splitting
+traffic by weight. This is the Istio VirtualService/DestinationRule
+mechanism — and the lever the paper's case study pulls: the core layer
+installs header-match rules sending ``x-priority: high`` traffic to the
+high-priority replica subset (§4.3 item 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..http.message import HttpRequest
+
+
+@dataclass(frozen=True)
+class HeaderMatch:
+    """Match a request header by exact value (or mere presence)."""
+
+    name: str
+    value: str | None = None   # None = presence match
+
+    def matches(self, request: HttpRequest) -> bool:
+        actual = request.headers.get(self.name)
+        if actual is None:
+            return False
+        return self.value is None or actual == self.value
+
+
+@dataclass(frozen=True)
+class RouteDestination:
+    """A weighted destination subset."""
+
+    subset: tuple = ()          # sorted (label, value) pairs; empty = all
+    weight: float = 1.0
+
+    @property
+    def subset_labels(self) -> dict:
+        return dict(self.subset)
+
+
+def subset(**labels) -> tuple:
+    """Convenience: build a hashable subset selector from labels."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class RouteRule:
+    """One match->destinations rule. Rules are evaluated in order; the
+    first whose matches all succeed wins. A rule with no matches is a
+    catch-all. ``fault`` optionally injects delays/aborts into matched
+    requests (Istio VirtualService fault injection)."""
+
+    matches: tuple = ()
+    destinations: tuple = (RouteDestination(),)
+    fault: object = None   # FaultInjection | None
+
+    def applies_to(self, request: HttpRequest) -> bool:
+        return all(match.matches(request) for match in self.matches)
+
+
+class RouteTable:
+    """Per-service ordered rule lists plus a default rule."""
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self._rules: dict[str, list[RouteRule]] = {}
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.generation = 0
+
+    def set_rules(self, service: str, rules: list[RouteRule]) -> None:
+        self._rules[service] = list(rules)
+        self.generation += 1
+
+    def clear(self, service: str) -> None:
+        self._rules.pop(service, None)
+        self.generation += 1
+
+    def rules_for(self, service: str) -> list[RouteRule]:
+        return list(self._rules.get(service, ()))
+
+    def matching_rule(self, request: HttpRequest) -> RouteRule | None:
+        """The first rule matching ``request``, or None."""
+        for rule in self._rules.get(request.service, ()):
+            if rule.applies_to(request):
+                return rule
+        return None
+
+    def resolve(self, request: HttpRequest) -> RouteDestination:
+        """The destination subset for ``request`` (weighted pick among the
+        winning rule's destinations)."""
+        rule = self.matching_rule(request)
+        if rule is not None:
+            return self._pick_destination(rule)
+        return RouteDestination()  # no rules: route to the whole service
+
+    def _pick_destination(self, rule: RouteRule) -> RouteDestination:
+        destinations = rule.destinations
+        if len(destinations) == 1:
+            return destinations[0]
+        weights = np.array([max(0.0, d.weight) for d in destinations])
+        total = weights.sum()
+        if total <= 0:
+            return destinations[0]
+        index = int(self.rng.choice(len(destinations), p=weights / total))
+        return destinations[index]
+
+    def snapshot(self) -> dict[str, list[RouteRule]]:
+        """Copy of all rules (what the control plane pushes)."""
+        return {service: list(rules) for service, rules in self._rules.items()}

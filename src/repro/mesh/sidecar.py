@@ -1,0 +1,638 @@
+"""The sidecar proxy (Envoy's role in Fig. 1).
+
+Each pod gets one sidecar. All of the pod's communication flows through
+it, in both directions:
+
+* **Outbound**: the application asks for "the response to this HTTP
+  request from service X" (:meth:`Sidecar.request`). The sidecar resolves
+  the route (header-match rules / subsets), load balances across
+  endpoints, applies retries/timeouts/circuit breaking/hedging, manages
+  a connection pool, and returns the response.
+* **Inbound**: the sidecar accepts mesh connections, optionally queues
+  requests by priority, hands them to the application handler, and ships
+  the response back.
+
+Every proxy traversal costs a lognormal processing delay — the §3.6
+overhead — and emits telemetry and trace spans.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+from typing import Callable
+
+from ..cluster.pod import Pod
+from ..cluster.service import Endpoint
+from ..http.headers import PRIORITY, REQUEST_ID, SPAN_ID, TRACE_ID, propagate
+from ..http.message import HttpRequest, HttpResponse, HttpStatus
+from ..sim import PriorityStore, Simulator
+from ..sim.rng import Distributions, lognormal_params_from_quantiles
+from ..transport.connection import ConnectionEnd
+from .config import MESH_PORT, MeshConfig
+from .loadbalancer import LoadBalancer, make_lb
+from .policy import PolicyHooks, TransportParams
+from .resilience import CircuitBreaker
+from .routing import RouteTable
+from .telemetry import RequestRecord, Telemetry
+from .tracing import Tracer, new_trace_id
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..net.topology import Network
+
+_request_ids = itertools.count(1)
+
+AppHandler = Callable[[HttpRequest], typing.Generator]
+
+
+def _new_request_id() -> str:
+    return f"req-{next(_request_ids):010d}"
+
+
+class NoHealthyUpstream(Exception):
+    """No endpoint available for a service (all missing or broken)."""
+
+
+class Sidecar:
+    """One pod's proxy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pod: Pod,
+        service_name: str,
+        config: MeshConfig,
+        tracer: Tracer,
+        telemetry: Telemetry,
+        rng_registry,
+        policy: PolicyHooks | None = None,
+    ):
+        self.sim = sim
+        self.pod = pod
+        self.service_name = service_name
+        self.config = config
+        self.tracer = tracer
+        self.telemetry = telemetry
+        self.policy = policy if policy is not None else PolicyHooks()
+        self.name = f"sidecar:{pod.name}"
+        self._dist = Distributions(rng_registry.stream(self.name))
+        self._delay_mu, self._delay_sigma = lognormal_params_from_quantiles(
+            config.proxy_delay_median, config.proxy_delay_p99
+        )
+        # Control-plane-pushed state.
+        self.endpoints: dict[str, list[Endpoint]] = {}
+        self.routes = RouteTable(rng=rng_registry.stream(f"{self.name}:routes"))
+        self.config_generation = 0
+        # Data-plane state.
+        self._lbs: dict[str, LoadBalancer] = {}
+        self._pools: dict[tuple, list[ConnectionEnd]] = {}
+        self._mux_channels: dict[tuple, object] = {}
+        self._outliers: dict[str, object] = {}   # service -> OutlierDetector
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._app_handler: AppHandler | None = None
+        self._inbound_queue: PriorityStore | None = None
+        self._started = False
+        # Telemetry local to this sidecar.
+        self.requests_proxied = 0
+        self.requests_shed = 0
+        self.hedges_issued = 0
+        self.pool_connections_created = 0
+
+    # ------------------------------------------------------------------
+    # Control-plane interface
+    # ------------------------------------------------------------------
+    def update_endpoints(self, service: str, endpoints: list[Endpoint]) -> None:
+        self.endpoints[service] = list(endpoints)
+        self.config_generation += 1
+
+    def update_routes(self, service: str, rules) -> None:
+        self.routes.set_rules(service, rules)
+        self.config_generation += 1
+
+    # ------------------------------------------------------------------
+    # Inbound path
+    # ------------------------------------------------------------------
+    def set_app_handler(self, handler: AppHandler) -> None:
+        self._app_handler = handler
+
+    def start(self) -> None:
+        """Begin accepting mesh traffic on the pod's mesh port."""
+        if self._started:
+            return
+        self._started = True
+        self.pod.stack.listen(MESH_PORT, self._on_accept)
+        if self.config.inbound_concurrency is not None:
+            self._inbound_queue = PriorityStore(
+                self.sim, key=lambda item: item[0]
+            )
+            for index in range(self.config.inbound_concurrency):
+                self.sim.process(
+                    self._inbound_worker(), name=f"{self.name}-worker{index}"
+                )
+
+    def enable_inbound_queue(self, concurrency: int) -> None:
+        """Retrofit prioritized request queueing (§5): at most
+        ``concurrency`` inbound requests execute at once; excess waits in
+        a priority queue ordered by the policy's ``request_priority``."""
+        if self._inbound_queue is not None:
+            return
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self._inbound_queue = PriorityStore(self.sim, key=lambda item: item[0])
+        for index in range(concurrency):
+            self.sim.process(
+                self._inbound_worker(), name=f"{self.name}-worker{index}"
+            )
+
+    def _on_accept(self, conn: ConnectionEnd) -> None:
+        if getattr(conn, "alpn", "message") == "mux":
+            self.sim.process(
+                self._serve_mux_connection(conn), name=f"{self.name}-serve-mux"
+            )
+        else:
+            self.sim.process(
+                self._serve_connection(conn), name=f"{self.name}-serve"
+            )
+
+    def _plain_replier(self, conn: ConnectionEnd):
+        def reply(response: HttpResponse) -> None:
+            if not conn.closed:
+                conn.send(
+                    response,
+                    response.wire_size() + self.config.mtls.message_overhead(),
+                )
+
+        return reply
+
+    def _serve_connection(self, conn: ConnectionEnd):
+        """Plain (HTTP/1.1-like) serving: one request at a time per
+        connection; the client pool provides concurrency."""
+        reply = self._plain_replier(conn)
+        while True:
+            request, _size = yield conn.receive()
+            yield self.sim.timeout(self._proxy_delay())  # inbound traversal
+            if not (yield from self._admit(request, reply)):
+                continue
+            if self._inbound_queue is None:
+                yield from self._handle_inbound(request, reply)
+
+    def _serve_mux_connection(self, conn: ConnectionEnd):
+        """Multiplexed serving: streams are independent, so requests on
+        one connection execute concurrently; responses go back on
+        priority-scheduled streams (no head-of-line blocking)."""
+        from ..transport.mux import MuxConnection
+
+        mux = MuxConnection(
+            conn, chunk_bytes=self.config.mux_chunk_bytes, scheduler="priority"
+        )
+        while True:
+            request, _size = yield mux.receive()
+            priority = self.policy.request_priority(request)
+
+            def make_reply(stream_priority):
+                def reply(response: HttpResponse) -> None:
+                    if not conn.closed:
+                        mux.send(
+                            response,
+                            response.wire_size()
+                            + self.config.mtls.message_overhead(),
+                            priority=stream_priority,
+                        )
+
+                return reply
+
+            self.sim.process(
+                self._serve_mux_request(request, make_reply(priority)),
+                name=f"{self.name}-mux-request",
+            )
+
+    def _serve_mux_request(self, request: HttpRequest, reply):
+        yield self.sim.timeout(self._proxy_delay())  # inbound traversal
+        if not (yield from self._admit(request, reply)):
+            return
+        if self._inbound_queue is None:
+            yield from self._handle_inbound(request, reply)
+
+    def _admit(self, request: HttpRequest, reply):
+        """Common admission: backpressure shedding + priority queueing.
+
+        Returns True if the caller should run the handler inline (no
+        queue configured); enqueued/shedded requests return False.
+        """
+        if self._inbound_queue is None:
+            return True
+        limit = self.config.max_inbound_queue
+        if limit is not None and len(self._inbound_queue) >= limit:
+            # Backpressure: shed load instead of queueing without
+            # bound (§3.6). 503 is retryable upstream.
+            self.requests_shed += 1
+            reply(request.reply(HttpStatus.SERVICE_UNAVAILABLE))
+            return False
+        priority = self.policy.request_priority(request)
+        yield self._inbound_queue.put((priority, request, reply))
+        return False
+
+    def _inbound_worker(self):
+        while True:
+            _priority, request, reply = yield self._inbound_queue.get()
+            yield from self._handle_inbound(request, reply)
+
+    def _handle_inbound(self, request: HttpRequest, reply):
+        span = self.tracer.start_span(
+            trace_id=request.headers.get(TRACE_ID, "untraced"),
+            service=self.service_name,
+            operation=f"server:{request.path}",
+            now=self.sim.now,
+            parent_span_id=request.headers.get(SPAN_ID),
+            priority=request.headers.get(PRIORITY),
+        )
+        if self._app_handler is None:
+            response = request.reply(HttpStatus.NOT_FOUND)
+        else:
+            # Children the app spawns nest under this server span.
+            request.headers[SPAN_ID] = span.span_id
+            try:
+                response = yield from self._app_handler(request)
+            except Exception:
+                response = request.reply(HttpStatus.INTERNAL_ERROR)
+        yield self.sim.timeout(self._proxy_delay())  # response traversal
+        span.finish(self.sim.now, status=response.status)
+        self.tracer.record(span)
+        reply(response)
+
+    # ------------------------------------------------------------------
+    # Outbound path
+    # ------------------------------------------------------------------
+    def request(
+        self, request: HttpRequest, timeout: float | None = None
+    ):
+        """Issue ``request``; returns an event carrying the HttpResponse.
+
+        This is the service-mesh API of §3.1: the caller names a service,
+        not an address, and the sidecar does the rest.
+        """
+        result = self.sim.event(name=f"response-{request.message_id}")
+        self.sim.process(
+            self._request_process(request, result, timeout),
+            name=f"{self.name}-request",
+        )
+        return result
+
+    def _prepare_headers(self, request: HttpRequest) -> None:
+        if REQUEST_ID not in request.headers:
+            request.headers[REQUEST_ID] = _new_request_id()
+        if TRACE_ID not in request.headers:
+            request.headers[TRACE_ID] = new_trace_id()
+
+    def _request_process(self, request, result, timeout):
+        self._prepare_headers(request)
+        self.requests_proxied += 1
+        start = self.sim.now
+        deadline = start + (timeout if timeout is not None else self.config.default_timeout)
+        span = self.tracer.start_span(
+            trace_id=request.headers[TRACE_ID],
+            service=self.service_name,
+            operation=f"client:{request.service}{request.path}",
+            now=start,
+            parent_span_id=request.headers.get(SPAN_ID),
+            priority=request.headers.get(PRIORITY),
+        )
+        child_headers = request.headers.copy()
+        child_headers[SPAN_ID] = span.span_id
+        request.headers = child_headers
+
+        # Fault injection (Istio VirtualService faults): applied once per
+        # logical request, upstream of retries/hedges.
+        rule = self.routes.matching_rule(request)
+        fault = rule.fault if rule is not None else None
+        aborted = None
+        if fault is not None:
+            delay = fault.sample_delay(self._dist.rng)
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            aborted = fault.sample_abort(self._dist.rng)
+
+        hedge = self.config.hedge
+        if aborted is not None:
+            response, retries, endpoint = request.reply(aborted), 0, None
+        elif hedge is not None and hedge.max_hedges > 0:
+            response, retries, endpoint = yield from self._hedged_request(
+                request, deadline, hedge
+            )
+        else:
+            response, retries, endpoint = yield from self._retried_request(
+                request, deadline
+            )
+
+        latency = self.sim.now - start
+        span.finish(self.sim.now, status=response.status, retries=retries)
+        self.tracer.record(span)
+        self.telemetry.record_request(
+            RequestRecord(
+                time=self.sim.now,
+                source=self.service_name,
+                destination=request.service,
+                latency=latency,
+                status=response.status,
+                priority=request.headers.get(PRIORITY),
+                retries=retries,
+                endpoint=endpoint.pod_name if endpoint is not None else None,
+            )
+        )
+        result.succeed(response)
+
+    def _retried_request(self, request, deadline):
+        """Retry loop. Returns (response, retries_used, endpoint|None)."""
+        policy = self.config.retry
+        response = None
+        endpoint = None
+        attempt = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                return request.reply(HttpStatus.GATEWAY_TIMEOUT), attempt - 1, endpoint
+            per_try = remaining
+            if policy.per_try_timeout is not None:
+                per_try = min(per_try, policy.per_try_timeout)
+            try:
+                endpoint = self._pick_endpoint(request)
+            except NoHealthyUpstream:
+                response = request.reply(HttpStatus.SERVICE_UNAVAILABLE)
+                if policy.should_retry(attempt, response.status):
+                    yield self.sim.timeout(policy.backoff(attempt))
+                    continue
+                return response, attempt - 1, None
+            outcome = yield from self._try_once(request, endpoint, per_try)
+            status = outcome.status if outcome is not None else None
+            self._update_breaker(endpoint, status, service=request.service)
+            if outcome is not None and not outcome.retryable:
+                return outcome, attempt - 1, endpoint
+            response = outcome
+            if not policy.should_retry(attempt, status):
+                break
+            yield self.sim.timeout(policy.backoff(attempt))
+        if response is None:
+            response = request.reply(HttpStatus.GATEWAY_TIMEOUT)
+        return response, attempt - 1, endpoint
+
+    def _hedged_request(self, request, deadline, hedge):
+        """Primary try plus up to ``max_hedges`` duplicates after a delay;
+        the first response wins (§3.4, redundancy for tail latency)."""
+        tries = [
+            self.sim.process(
+                self._single_try_process(request, deadline),
+                name=f"{self.name}-try0",
+            )
+        ]
+        timer = self.sim.timeout(hedge.delay)
+        winner = yield self.sim.any_of([tries[0], timer])
+        if tries[0].processed:
+            response, endpoint = tries[0].value
+            if response is not None:
+                return response, 0, endpoint
+        for index in range(hedge.max_hedges):
+            self.hedges_issued += 1
+            tries.append(
+                self.sim.process(
+                    self._single_try_process(request, deadline),
+                    name=f"{self.name}-try{index + 1}",
+                )
+            )
+        while True:
+            for try_proc in tries:
+                if try_proc.processed:
+                    response, endpoint = try_proc.value
+                    if response is not None:
+                        return response, 0, endpoint
+            pending = [t for t in tries if not t.processed]
+            if not pending:
+                self.telemetry.record_timeout()
+                return request.reply(HttpStatus.GATEWAY_TIMEOUT), 0, None
+            yield self.sim.any_of(pending)
+
+    def _single_try_process(self, request, deadline):
+        """One endpoint pick + try, for hedging. Returns (response|None, ep)."""
+        try:
+            endpoint = self._pick_endpoint(request)
+        except NoHealthyUpstream:
+            return request.reply(HttpStatus.SERVICE_UNAVAILABLE), None
+        per_try = max(deadline - self.sim.now, 1e-6)
+        response = yield from self._try_once(request, endpoint, per_try)
+        self._update_breaker(
+            endpoint,
+            response.status if response else None,
+            service=request.service,
+        )
+        return response, endpoint
+
+    # -- endpoint selection -------------------------------------------------
+    def _lb_for(self, service: str) -> LoadBalancer:
+        lb = self._lbs.get(service)
+        if lb is None:
+            if self.config.lb_factory is not None:
+                lb = self.config.lb_factory(self)
+            elif self.config.lb_name == "locality":
+                from .loadbalancer import LocalityAwareLB
+
+                lb = LocalityAwareLB(self.pod.node.name)
+            else:
+                lb = make_lb(self.config.lb_name, rng=self._dist.rng)
+            self._lbs[service] = lb
+        return lb
+
+    def _breaker_for(self, endpoint: Endpoint) -> CircuitBreaker:
+        breaker = self._breakers.get(endpoint.ip)
+        if breaker is None:
+            breaker = CircuitBreaker(clock=lambda: self.sim.now)
+            self._breakers[endpoint.ip] = breaker
+        return breaker
+
+    def _outlier_for(self, service: str):
+        if self.config.outlier is None:
+            return None
+        detector = self._outliers.get(service)
+        if detector is None:
+            from .outlier import OutlierDetector
+
+            detector = OutlierDetector(self.config.outlier)
+            self._outliers[service] = detector
+        return detector
+
+    def _pick_endpoint(self, request: HttpRequest) -> Endpoint:
+        destination = self.routes.resolve(request)
+        candidates = self.endpoints.get(request.service, [])
+        labels = destination.subset_labels
+        if labels:
+            candidates = [
+                e
+                for e in candidates
+                if all(e.label_dict.get(k) == v for k, v in labels.items())
+            ]
+        available = [e for e in candidates if self._breaker_for(e).allow()]
+        detector = self._outlier_for(request.service)
+        if detector is not None and available:
+            healthy_ips = set(
+                detector.filter_healthy([e.ip for e in available], self.sim.now)
+            )
+            filtered = [e for e in available if e.ip in healthy_ips]
+            if filtered:
+                available = filtered
+        if not available:
+            if candidates:
+                self.telemetry.record_breaker_rejection()
+            raise NoHealthyUpstream(request.service)
+        return self._lb_for(request.service).pick(available)
+
+    def _update_breaker(
+        self, endpoint: Endpoint, status: int | None, service: str | None = None
+    ) -> None:
+        breaker = self._breaker_for(endpoint)
+        ok = status is not None and status < 500
+        if ok:
+            breaker.on_success()
+        else:
+            breaker.on_failure()
+        if service is not None:
+            detector = self._outlier_for(service)
+            if detector is not None:
+                detector.record(endpoint.ip, ok, self.sim.now)
+
+    # -- a single network try -------------------------------------------------
+    def _try_once(self, request, endpoint: Endpoint, per_try: float):
+        """Send the request to one endpoint, await the response or a
+        timeout. Returns HttpResponse or None on timeout/connect failure."""
+        if self.config.use_mux:
+            result = yield from self._mux_try_once(request, endpoint, per_try)
+            return result
+        params = self.policy.transport_params(request)
+        lb = self._lb_for(request.service)
+        lb.on_request_start(endpoint)
+        started = self.sim.now
+        try:
+            conn = yield from self._acquire_connection(endpoint, params, per_try)
+        except (ConnectionError, TimeoutError):
+            lb.on_request_end(endpoint, self.sim.now - started, ok=False)
+            return None
+        yield self.sim.timeout(self._proxy_delay())  # outbound traversal
+        conn.send(
+            request, request.wire_size() + self.config.mtls.message_overhead()
+        )
+        get = conn.receive()
+        timer = self.sim.timeout(per_try)
+        yield self.sim.any_of([get, timer])
+        if get.processed and get.ok:
+            response, _size = get.value
+            yield self.sim.timeout(self._proxy_delay())  # response traversal
+            self._release_connection(endpoint, params, conn)
+            lb.on_request_end(endpoint, self.sim.now - started, ok=True)
+            return response
+        # Timed out: the connection has an orphaned in-flight exchange.
+        conn.inbox.cancel(get)
+        conn.close()
+        self.pod.stack.drop_flow(conn.flow_id)
+        lb.on_request_end(endpoint, self.sim.now - started, ok=False)
+        self.telemetry.record_timeout()
+        return None
+
+    def _mux_try_once(self, request, endpoint: Endpoint, per_try: float):
+        """One try over the shared multiplexed channel (§3.6): the
+        request gets its own priority-scheduled stream; a timeout only
+        abandons the stream, never the channel."""
+        from .muxchannel import MuxChannel
+
+        params = self.policy.transport_params(request)
+        lb = self._lb_for(request.service)
+        lb.on_request_start(endpoint)
+        started = self.sim.now
+        key = self._pool_key(endpoint, params)
+        channel = self._mux_channels.get(key)
+        if channel is None or channel.closed:
+            # Created synchronously (sends buffer until the handshake
+            # completes) so concurrent requests share one channel.
+            conn = self.pod.stack.connect(
+                endpoint.ip,
+                MESH_PORT,
+                tos=params.tos,
+                cc_name=params.cc_name,
+                name=f"{self.name}->{endpoint.pod_name}",
+                alpn="mux",
+            )
+            self.pool_connections_created += 1
+            channel = MuxChannel(
+                self.sim, conn, chunk_bytes=self.config.mux_chunk_bytes
+            )
+            self._mux_channels[key] = channel
+        yield self.sim.timeout(self._proxy_delay())  # outbound traversal
+        priority = self.policy.request_priority(request)
+        event = channel.request(
+            request,
+            request.wire_size() + self.config.mtls.message_overhead(),
+            priority,
+        )
+        timer = self.sim.timeout(per_try)
+        yield self.sim.any_of([event, timer])
+        if event.processed and event.ok:
+            response = event.value
+            yield self.sim.timeout(self._proxy_delay())  # response traversal
+            lb.on_request_end(endpoint, self.sim.now - started, ok=True)
+            return response
+        channel.abandon(request)
+        lb.on_request_end(endpoint, self.sim.now - started, ok=False)
+        self.telemetry.record_timeout()
+        return None
+
+    # -- connection pool --------------------------------------------------
+    def _pool_key(self, endpoint: Endpoint, params: TransportParams) -> tuple:
+        return (endpoint.ip, endpoint.port, params.tos, params.cc_name)
+
+    def _acquire_connection(self, endpoint, params, budget: float):
+        key = self._pool_key(endpoint, params)
+        pool = self._pools.setdefault(key, [])
+        while pool:
+            conn = pool.pop()
+            if not conn.closed:
+                return conn
+        conn = yield from self._open_connection(endpoint, params, budget)
+        return conn
+
+    def _open_connection(self, endpoint, params, budget: float, alpn: str = "message"):
+        conn = self.pod.stack.connect(
+            endpoint.ip,
+            MESH_PORT,
+            tos=params.tos,
+            cc_name=params.cc_name,
+            name=f"{self.name}->{endpoint.pod_name}",
+            alpn=alpn,
+        )
+        self.pool_connections_created += 1
+        connect_start = self.sim.now
+        timer = self.sim.timeout(budget)
+        yield self.sim.any_of([conn.established, timer])
+        if not conn.established.processed:
+            conn.close()
+            self.pod.stack.drop_flow(conn.flow_id)
+            raise TimeoutError("connect timed out")
+        if not conn.established.ok:
+            raise ConnectionError("connect failed")
+        if self.config.mtls.enabled:
+            tcp_rtt = self.sim.now - connect_start
+            tls_cost = (
+                self.config.mtls.handshake_rtts * tcp_rtt
+                + 2 * self.config.mtls.handshake_cpu
+            )
+            yield self.sim.timeout(tls_cost)
+        if self.config.connect_extra_delay > 0:
+            yield self.sim.timeout(self.config.connect_extra_delay)
+        return conn
+
+    def _release_connection(self, endpoint, params, conn) -> None:
+        if conn.closed:
+            return
+        self._pools.setdefault(self._pool_key(endpoint, params), []).append(conn)
+
+    # -- misc -----------------------------------------------------------------
+    def _proxy_delay(self) -> float:
+        return self._dist.lognormal(self._delay_mu, self._delay_sigma)
+
+    def __repr__(self):
+        return f"<Sidecar {self.pod.name} services={len(self.endpoints)}>"

@@ -1,0 +1,125 @@
+"""Mesh telemetry: the metrics every sidecar reports (Fig. 1's metric
+collection function).
+
+Metrics are grouped by (source service, destination service) pair plus a
+free-form label set, which is how the experiments slice latency by
+priority class.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..util.stats import LatencySummary, summarize
+
+
+@dataclass
+class RequestRecord:
+    """One proxied request as observed by a sidecar."""
+
+    time: float
+    source: str
+    destination: str
+    latency: float
+    status: int
+    priority: str | None = None
+    retries: int = 0
+    endpoint: str | None = None
+
+
+class Telemetry:
+    """Aggregates request records mesh-wide."""
+
+    def __init__(self):
+        self.records: list[RequestRecord] = []
+        self._counts = defaultdict(int)
+        self._errors = defaultdict(int)
+        self.retries_total = 0
+        self.timeouts_total = 0
+        self.circuit_breaker_rejections = 0
+
+    def record_request(self, record: RequestRecord) -> None:
+        self.records.append(record)
+        key = (record.source, record.destination)
+        self._counts[key] += 1
+        if record.status >= 500:
+            self._errors[key] += 1
+        self.retries_total += record.retries
+
+    def record_timeout(self) -> None:
+        self.timeouts_total += 1
+
+    def record_breaker_rejection(self) -> None:
+        self.circuit_breaker_rejections += 1
+
+    # -- queries ----------------------------------------------------------
+    def request_count(self, source: str | None = None, destination: str | None = None) -> int:
+        return sum(
+            count
+            for (src, dst), count in self._counts.items()
+            if (source is None or src == source)
+            and (destination is None or dst == destination)
+        )
+
+    def error_count(self, destination: str | None = None) -> int:
+        return sum(
+            count
+            for (_src, dst), count in self._errors.items()
+            if destination is None or dst == destination
+        )
+
+    def latencies(
+        self,
+        destination: str | None = None,
+        priority: str | None = None,
+        since: float = 0.0,
+    ) -> list[float]:
+        return [
+            record.latency
+            for record in self.records
+            if (destination is None or record.destination == destination)
+            and (priority is None or record.priority == priority)
+            and record.time >= since
+        ]
+
+    def latency_summary(
+        self, destination: str | None = None, priority: str | None = None
+    ) -> LatencySummary:
+        samples = self.latencies(destination=destination, priority=priority)
+        return summarize(samples)
+
+    def endpoint_distribution(self, destination: str) -> dict[str, int]:
+        """How many requests each endpoint of ``destination`` served."""
+        counts: dict[str, int] = defaultdict(int)
+        for record in self.records:
+            if record.destination == destination and record.endpoint is not None:
+                counts[record.endpoint] += 1
+        return dict(counts)
+
+    def service_table(self) -> list[dict]:
+        """Per-destination dashboard rows: requests, error rate, p50/p99.
+
+        The "monitoring requests and their key performance metrics"
+        function of §2, aggregated the way a mesh dashboard would show it.
+        """
+        by_destination: dict[str, list[RequestRecord]] = defaultdict(list)
+        for record in self.records:
+            by_destination[record.destination].append(record)
+        rows = []
+        for destination in sorted(by_destination):
+            records = by_destination[destination]
+            latencies = [r.latency for r in records]
+            errors = sum(1 for r in records if r.status >= 500)
+            summary = summarize(latencies)
+            rows.append(
+                {
+                    "destination": destination,
+                    "requests": len(records),
+                    "error_rate": errors / len(records),
+                    "p50": summary.p50,
+                    "p99": summary.p99,
+                    "retries": sum(r.retries for r in records),
+                }
+            )
+        return rows

@@ -1,0 +1,168 @@
+"""Distributed tracing: spans, traces, and provenance queries.
+
+Sidecars create a span for every request they proxy; spans sharing a
+trace id form the distributed trace of one end-to-end request. This is
+the mechanism the paper's design rides on (§4.2 component 2): the
+provenance of every internal request — which external request caused it —
+is exactly what the trace records, and what the priority header encodes
+in-band.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_trace_ids = itertools.count(1)
+_span_ids = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    return f"trace-{next(_trace_ids):08x}"
+
+
+def new_span_id() -> str:
+    return f"span-{next(_span_ids):08x}"
+
+
+@dataclass
+class Span:
+    """Metadata about one request's execution within one proxy hop."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str | None
+    service: str
+    operation: str
+    start_time: float
+    end_time: float | None = None
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def finish(self, now: float, **tags) -> None:
+        self.end_time = now
+        self.tags.update(tags)
+
+
+@dataclass
+class Trace:
+    """All spans of one end-to-end request."""
+
+    trace_id: str
+    spans: list[Span] = field(default_factory=list)
+
+    @property
+    def root(self) -> Span | None:
+        for span in self.spans:
+            if span.parent_span_id is None:
+                return span
+        return None
+
+    @property
+    def services(self) -> set[str]:
+        return {span.service for span in self.spans}
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_span_id == span.span_id]
+
+    def critical_path(self) -> list[Span]:
+        """The chain of spans ending latest under each parent — the path
+        that determined the end-to-end latency."""
+        root = self.root
+        if root is None:
+            return []
+        path = [root]
+        current = root
+        while True:
+            children = [
+                s for s in self.children_of(current) if s.end_time is not None
+            ]
+            if not children:
+                return path
+            current = max(children, key=lambda s: s.end_time)
+            path.append(current)
+
+    @property
+    def duration(self) -> float | None:
+        root = self.root
+        return root.duration if root is not None else None
+
+
+class Tracer:
+    """Collects spans and assembles traces (the mesh's telemetry backend).
+
+    ``sample_rate`` < 1.0 keeps only that fraction of traces, decided per
+    trace id (head-based sampling, like Istio's).
+    """
+
+    def __init__(self, sample_rate: float = 1.0, max_traces: int | None = None):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
+        self.sample_rate = sample_rate
+        self.max_traces = max_traces
+        self._traces: dict[str, Trace] = {}
+        self._sampled: dict[str, bool] = {}
+        self.spans_recorded = 0
+        self.spans_dropped = 0
+
+    def _is_sampled(self, trace_id: str) -> bool:
+        decision = self._sampled.get(trace_id)
+        if decision is None:
+            if self.sample_rate >= 1.0:
+                decision = True
+            elif self.sample_rate <= 0.0:
+                decision = False
+            else:
+                # Deterministic hash-based decision keeps the whole trace.
+                decision = (hash(trace_id) % 10_000) < self.sample_rate * 10_000
+            self._sampled[trace_id] = decision
+        return decision
+
+    def start_span(
+        self,
+        trace_id: str,
+        service: str,
+        operation: str,
+        now: float,
+        parent_span_id: str | None = None,
+        **tags,
+    ) -> Span:
+        span = Span(
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_span_id=parent_span_id,
+            service=service,
+            operation=operation,
+            start_time=now,
+            tags=dict(tags),
+        )
+        return span
+
+    def record(self, span: Span) -> None:
+        """Store a finished span (if its trace is sampled)."""
+        if not self._is_sampled(span.trace_id):
+            self.spans_dropped += 1
+            return
+        if self.max_traces is not None and span.trace_id not in self._traces:
+            if len(self._traces) >= self.max_traces:
+                self.spans_dropped += 1
+                return
+        trace = self._traces.setdefault(span.trace_id, Trace(span.trace_id))
+        trace.spans.append(span)
+        self.spans_recorded += 1
+
+    def trace(self, trace_id: str) -> Trace | None:
+        return self._traces.get(trace_id)
+
+    @property
+    def traces(self) -> list[Trace]:
+        return list(self._traces.values())
+
+    def traces_through(self, service: str) -> list[Trace]:
+        """Traces that touched ``service`` — the visibility query of §3.2."""
+        return [t for t in self._traces.values() if service in t.services]

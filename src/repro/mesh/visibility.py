@@ -1,0 +1,138 @@
+"""Coordinated bursty tracing (§3.2).
+
+The paper points at Ardelean et al. [NSDI '18], who analyze Gmail's
+performance with "coordinated bursty tracing": instead of sampling a
+small fraction of requests continuously, *every* layer of the stack
+logs *everything* during short, coordinated bursts — so each burst
+yields complete cross-layer pictures, and the steady-state overhead
+stays low. The paper argues service meshes make this deployable for
+everyone: sidecars already see every request and can trigger the
+cross-layer logging window.
+
+:class:`BurstCoordinator` implements the mesh side: it flips the mesh
+tracer (and any registered lower-layer collectors) between a
+near-silent baseline and full-capture bursts on a fixed schedule
+aligned to wall-clock boundaries, so independent hosts burst in the
+same windows without explicit synchronization — the core trick of the
+original paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from ..sim import Simulator
+from .tracing import Tracer
+
+
+class BurstListener(Protocol):
+    """Anything that can switch capture on/off (e.g. a NIC stats tap)."""
+
+    def burst_started(self, index: int, now: float) -> None: ...
+
+    def burst_ended(self, index: int, now: float) -> None: ...
+
+
+@dataclass
+class BurstWindow:
+    """One completed capture burst."""
+
+    index: int
+    start: float
+    end: float
+    spans_captured: int
+
+
+class BurstCoordinator:
+    """Schedules coordinated capture bursts over the mesh tracer.
+
+    ``period`` seconds between burst starts, each lasting ``burst``
+    seconds. Bursts start at multiples of ``period`` (wall-clock
+    alignment), so every coordinator with the same parameters bursts in
+    the same windows regardless of when it was started.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tracer: Tracer,
+        period: float = 10.0,
+        burst: float = 1.0,
+        baseline_sample_rate: float = 0.0,
+    ):
+        if burst <= 0 or period <= burst:
+            raise ValueError("need 0 < burst < period")
+        if not 0.0 <= baseline_sample_rate <= 1.0:
+            raise ValueError("baseline_sample_rate must be in [0, 1]")
+        self.sim = sim
+        self.tracer = tracer
+        self.period = float(period)
+        self.burst = float(burst)
+        self.baseline_sample_rate = float(baseline_sample_rate)
+        self.windows: list[BurstWindow] = []
+        self.listeners: list[BurstListener] = []
+        self._bursting = False
+        self._spans_at_burst_start = 0
+        self._running = False
+
+    @property
+    def bursting(self) -> bool:
+        return self._bursting
+
+    def add_listener(self, listener: BurstListener) -> None:
+        """Register a lower-layer collector to burst in lockstep."""
+        self.listeners.append(listener)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.tracer.sample_rate = self.baseline_sample_rate
+        self.sim.process(self._run(), name="burst-coordinator")
+
+    def next_burst_start(self, now: float) -> float:
+        """The next wall-clock-aligned burst boundary at or after now."""
+        periods = int(now / self.period)
+        aligned = periods * self.period
+        if aligned >= now and not self._bursting:
+            return aligned
+        return (periods + 1) * self.period
+
+    def _run(self):
+        index = 0
+        while True:
+            start_at = self.next_burst_start(self.sim.now)
+            if start_at > self.sim.now:
+                yield self.sim.timeout(start_at - self.sim.now)
+            # Burst on: capture everything, everywhere.
+            self._bursting = True
+            self._spans_at_burst_start = self.tracer.spans_recorded
+            self.tracer.sample_rate = 1.0
+            for listener in self.listeners:
+                listener.burst_started(index, self.sim.now)
+            burst_start = self.sim.now
+            yield self.sim.timeout(self.burst)
+            # Burst off: back to the quiet baseline.
+            self._bursting = False
+            self.tracer.sample_rate = self.baseline_sample_rate
+            captured = self.tracer.spans_recorded - self._spans_at_burst_start
+            for listener in self.listeners:
+                listener.burst_ended(index, self.sim.now)
+            self.windows.append(
+                BurstWindow(
+                    index=index,
+                    start=burst_start,
+                    end=self.sim.now,
+                    spans_captured=captured,
+                )
+            )
+            index += 1
+
+    # -- analysis ------------------------------------------------------
+    def capture_fraction(self) -> float:
+        """Duty cycle: the fraction of time spent capturing."""
+        return self.burst / self.period
+
+    def spans_per_burst(self) -> list[int]:
+        return [window.spans_captured for window in self.windows]

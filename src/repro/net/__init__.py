@@ -1,0 +1,59 @@
+"""Packet-level network substrate.
+
+Models what the paper's testbed gets from Linux networking + KIND's
+emulated links: NIC egress queues programmable with TC-style disciplines,
+point-to-point links with rates and delays, hosts and switches, route
+computation, and an SDN controller for the cross-layer coordination
+directions (§3.5, §4.2d).
+"""
+
+from .addressing import AddressExhausted, AddressPlan, SubnetAllocator
+from .device import Device, Host, Switch
+from .link import Interface, Link
+from .packet import Packet, Tos
+from .qdisc import (
+    DRRQdisc,
+    FifoQdisc,
+    PrioQdisc,
+    Qdisc,
+    TokenBucketQdisc,
+    WeightedPrioQdisc,
+    classify_by_dst,
+    classify_by_tos,
+)
+from .sdn import LinkMonitor, LinkSample, SdnController
+from .topology import DEFAULT_DELAY_S, DEFAULT_RATE_BPS, Network
+from .trace import DELIVER, DROP, FORWARD, SEND, PacketEvent, PacketTracer
+
+__all__ = [
+    "AddressExhausted",
+    "AddressPlan",
+    "DELIVER",
+    "DEFAULT_DELAY_S",
+    "DEFAULT_RATE_BPS",
+    "DROP",
+    "FORWARD",
+    "PacketEvent",
+    "PacketTracer",
+    "SEND",
+    "DRRQdisc",
+    "Device",
+    "FifoQdisc",
+    "Host",
+    "Interface",
+    "Link",
+    "LinkMonitor",
+    "LinkSample",
+    "Network",
+    "Packet",
+    "PrioQdisc",
+    "Qdisc",
+    "SdnController",
+    "SubnetAllocator",
+    "Switch",
+    "TokenBucketQdisc",
+    "Tos",
+    "WeightedPrioQdisc",
+    "classify_by_dst",
+    "classify_by_tos",
+]

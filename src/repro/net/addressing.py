@@ -1,0 +1,62 @@
+"""IPv4-style address allocation for the simulated cluster network.
+
+Addresses are plain strings ("10.1.0.7"); this module provides subnet
+allocators so pods/nodes get unique, stable, human-readable addresses the
+way a Kubernetes CNI would hand them out.
+"""
+
+from __future__ import annotations
+
+
+class AddressExhausted(Exception):
+    """Raised when a subnet has no free host addresses left."""
+
+
+class SubnetAllocator:
+    """Allocates sequential host addresses from a /16-style prefix.
+
+    ``SubnetAllocator("10.1")`` produces 10.1.0.1, 10.1.0.2, ...,
+    10.1.255.254 — plenty for any simulated cluster.
+    """
+
+    def __init__(self, prefix: str = "10.0"):
+        parts = prefix.split(".")
+        if len(parts) != 2 or not all(p.isdigit() and 0 <= int(p) <= 255 for p in parts):
+            raise ValueError(f"prefix must look like '10.1', got {prefix!r}")
+        self.prefix = prefix
+        self._next = 0
+        self._allocated: dict[str, str] = {}
+
+    def allocate(self, owner: str) -> str:
+        """A fresh address for ``owner``; same owner gets the same address."""
+        existing = self._allocated.get(owner)
+        if existing is not None:
+            return existing
+        index = self._next
+        self._next += 1
+        third, fourth = divmod(index, 255)
+        if third > 255:
+            raise AddressExhausted(f"subnet {self.prefix} is full")
+        address = f"{self.prefix}.{third}.{fourth + 1}"
+        self._allocated[owner] = address
+        return address
+
+    def owner_of(self, address: str) -> str | None:
+        """Reverse lookup (diagnostics)."""
+        for owner, addr in self._allocated.items():
+            if addr == address:
+                return owner
+        return None
+
+    @property
+    def allocated(self) -> dict[str, str]:
+        return dict(self._allocated)
+
+
+class AddressPlan:
+    """Separate subnets for nodes, pods and cluster-IP services."""
+
+    def __init__(self):
+        self.nodes = SubnetAllocator("10.0")
+        self.pods = SubnetAllocator("10.1")
+        self.services = SubnetAllocator("10.96")

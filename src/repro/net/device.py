@@ -1,0 +1,161 @@
+"""Network devices: hosts (packet endpoints) and switches (forwarders).
+
+A :class:`Host` owns one or more IP addresses and hands received packets to
+the protocol handler bound to the destination address (the transport stack
+registers itself there). A :class:`Switch` forwards by destination address
+using a table the :class:`~repro.net.topology.Network` computes, with
+optional per-TOS overrides used by the SDN/TE extension (§4.2d).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Simulator
+from .link import Interface
+from .packet import Packet, Tos
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Device:
+    """Base class for anything with interfaces."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.interfaces: list[Interface] = []
+        # Optional packet tap: callable(time, kind, where, packet),
+        # wired by Network.attach_tracer.
+        self.tap = None
+
+    def add_interface(self, interface: Interface) -> Interface:
+        interface.owner = self
+        self.interfaces.append(interface)
+        return interface
+
+    def receive(self, packet: Packet, interface: Interface) -> None:
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{self.__class__.__name__} {self.name}>"
+
+
+class Host(Device):
+    """An endpoint device: delivers packets to bound protocol handlers."""
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self.addresses: set[str] = set()
+        self._handlers: dict[str, PacketHandler] = {}
+        self._default_handler: PacketHandler | None = None
+        self._routes: dict[str, Interface] = {}
+        self._default_route: Interface | None = None
+        self.packets_received = 0
+        self.packets_dropped_no_handler = 0
+
+    # -- addressing -----------------------------------------------------
+    def add_address(self, address: str) -> None:
+        self.addresses.add(address)
+
+    def bind(self, address: str, handler: PacketHandler) -> None:
+        """Deliver packets addressed to ``address`` to ``handler``."""
+        self.addresses.add(address)
+        self._handlers[address] = handler
+
+    def bind_default(self, handler: PacketHandler) -> None:
+        self._default_handler = handler
+
+    # -- routing ----------------------------------------------------------
+    def set_route(self, dst: str, interface: Interface) -> None:
+        self._routes[dst] = interface
+
+    def set_default_route(self, interface: Interface) -> None:
+        self._default_route = interface
+
+    def route_for(self, dst: str) -> Optional[Interface]:
+        route = self._routes.get(dst)
+        if route is not None:
+            return route
+        if self._default_route is not None:
+            return self._default_route
+        if len(self.interfaces) == 1:
+            return self.interfaces[0]
+        return None
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit a locally generated packet; False if dropped at egress."""
+        if self.tap is not None:
+            self.tap(self.sim.now, "send", self.name, packet)
+        if packet.dst in self.addresses:
+            # Loopback: same-host communication skips the network entirely,
+            # matching the paper's note that intra-pod traffic goes through
+            # localhost.
+            self.sim.call_later(0.0, self._local_deliver, packet)
+            return True
+        interface = self.route_for(packet.dst)
+        if interface is None:
+            raise RuntimeError(f"{self.name}: no route to {packet.dst}")
+        return interface.enqueue(packet)
+
+    def _local_deliver(self, packet: Packet) -> None:
+        self._dispatch(packet)
+
+    # -- reception ----------------------------------------------------------
+    def receive(self, packet: Packet, interface: Interface) -> None:
+        self._dispatch(packet)
+
+    def _dispatch(self, packet: Packet) -> None:
+        self.packets_received += 1
+        handler = self._handlers.get(packet.dst, self._default_handler)
+        if handler is None:
+            self.packets_dropped_no_handler += 1
+            if self.tap is not None:
+                self.tap(self.sim.now, "drop", self.name, packet)
+            return
+        if self.tap is not None:
+            self.tap(self.sim.now, "deliver", self.name, packet)
+        handler(packet)
+
+
+class Switch(Device):
+    """Forwards packets by destination address.
+
+    ``set_route`` installs the base table; ``set_tos_route`` installs a
+    per-(destination, TOS) override, which the SDN controller uses to steer
+    priority classes onto different paths.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self._routes: dict[str, Interface] = {}
+        self._tos_routes: dict[tuple[str, Tos], Interface] = {}
+        self.packets_forwarded = 0
+        self.packets_dropped_no_route = 0
+
+    def set_route(self, dst: str, interface: Interface) -> None:
+        self._routes[dst] = interface
+
+    def set_tos_route(self, dst: str, tos: Tos, interface: Interface) -> None:
+        self._tos_routes[(dst, tos)] = interface
+
+    def clear_tos_routes(self) -> None:
+        self._tos_routes.clear()
+
+    def route_for(self, packet: Packet) -> Optional[Interface]:
+        override = self._tos_routes.get((packet.dst, packet.tos))
+        if override is not None:
+            return override
+        return self._routes.get(packet.dst)
+
+    def receive(self, packet: Packet, interface: Interface) -> None:
+        out = self.route_for(packet)
+        if out is None:
+            self.packets_dropped_no_route += 1
+            if self.tap is not None:
+                self.tap(self.sim.now, "drop", self.name, packet)
+            return
+        self.packets_forwarded += 1
+        if self.tap is not None:
+            self.tap(self.sim.now, "forward", self.name, packet)
+        out.enqueue(packet)

@@ -1,0 +1,148 @@
+"""SDN controller: link monitoring and priority-aware traffic engineering.
+
+Models the coordination point of §3.5/§4.2d: the controller periodically
+samples link utilization, exposes it to the service mesh (which can use it
+to steer load balancing), and can install per-TOS paths so that
+latency-sensitive traffic avoids congested links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..sim import Simulator
+from .link import Interface
+from .packet import Tos
+from .topology import Network
+
+
+@dataclass
+class LinkSample:
+    """One utilization sample of a directed interface."""
+
+    time: float
+    utilization: float       # fraction of line rate over the window
+    backlog_bytes: int
+    drops: int
+
+
+class LinkMonitor:
+    """Periodically samples every interface's utilization."""
+
+    def __init__(self, sim: Simulator, network: Network, interval: float = 0.1):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.network = network
+        self.interval = interval
+        self.samples: dict[str, list[LinkSample]] = {}
+        self._last_bytes: dict[str, int] = {}
+        self._last_drops: dict[str, int] = {}
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._run(), name="link-monitor")
+
+    def _interfaces(self):
+        for device in self.network.devices.values():
+            for iface in device.interfaces:
+                yield iface
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.interval)
+            for iface in self._interfaces():
+                sent = iface.bytes_transmitted
+                drops = iface.qdisc.stats.dropped
+                delta = sent - self._last_bytes.get(iface.name, 0)
+                drop_delta = drops - self._last_drops.get(iface.name, 0)
+                self._last_bytes[iface.name] = sent
+                self._last_drops[iface.name] = drops
+                utilization = (delta * 8.0 / self.interval) / iface.rate_bps
+                self.samples.setdefault(iface.name, []).append(
+                    LinkSample(
+                        time=self.sim.now,
+                        utilization=min(1.0, utilization),
+                        backlog_bytes=iface.qdisc.backlog_bytes,
+                        drops=drop_delta,
+                    )
+                )
+
+    def latest(self, iface_name: str) -> LinkSample | None:
+        history = self.samples.get(iface_name)
+        return history[-1] if history else None
+
+    def utilization(self, iface_name: str) -> float:
+        sample = self.latest(iface_name)
+        return sample.utilization if sample is not None else 0.0
+
+
+class SdnController:
+    """Centralized view of the physical network.
+
+    Exposes congestion state to the service mesh control plane (§3.5) and
+    installs priority-aware routes (§4.2d): given alternative paths, pin
+    HIGH traffic to the least-utilized path and scavenger traffic away
+    from it.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, monitor: LinkMonitor | None = None):
+        self.sim = sim
+        self.network = network
+        self.monitor = monitor if monitor is not None else LinkMonitor(sim, network)
+        self.installed_paths: list[tuple[str, Tos, list[str]]] = []
+
+    def start(self) -> None:
+        self.monitor.start()
+
+    # -- visibility exposed to the mesh -------------------------------------
+    def path_utilization(self, path: list[str]) -> float:
+        """Max utilization along a device path (bottleneck view)."""
+        worst = 0.0
+        for here, nxt in zip(path, path[1:]):
+            iface = self.network.interface_between(here, nxt)
+            worst = max(worst, self.monitor.utilization(iface.name))
+        return worst
+
+    def congested_interfaces(self, threshold: float = 0.8) -> list[str]:
+        names = []
+        for device in self.network.devices.values():
+            for iface in device.interfaces:
+                if self.monitor.utilization(iface.name) >= threshold:
+                    names.append(iface.name)
+        return names
+
+    # -- traffic engineering -------------------------------------------------
+    def candidate_paths(self, src_device: str, dst_device: str, k: int = 4) -> list[list[str]]:
+        """Up to ``k`` loop-free shortest paths between two devices."""
+        generator = nx.shortest_simple_paths(self.network.graph, src_device, dst_device)
+        paths = []
+        for path in generator:
+            paths.append(path)
+            if len(paths) >= k:
+                break
+        return paths
+
+    def steer(self, src_device: str, dst_address: str, tos: Tos) -> list[str]:
+        """Route ``tos`` traffic toward ``dst_address`` on the best path.
+
+        HIGH traffic takes the least-utilized candidate path; SCAVENGER
+        traffic takes the *most* utilized one (keeping it off the path the
+        latency-sensitive class prefers). Returns the chosen device path.
+        """
+        host = self.network.host_of_address.get(dst_address)
+        if host is None:
+            raise KeyError(f"unknown destination address {dst_address}")
+        paths = self.candidate_paths(src_device, host.name)
+        if not paths:
+            raise RuntimeError(f"no path {src_device} -> {host.name}")
+        scored = sorted(paths, key=self.path_utilization)
+        chosen = scored[0] if tos == Tos.HIGH else scored[-1]
+        self.network.install_path(chosen, dst_address, tos=tos)
+        self.installed_paths.append((dst_address, tos, chosen))
+        return chosen

@@ -1,0 +1,195 @@
+"""Network construction and route computation.
+
+:class:`Network` assembles hosts, switches and links, assigns addresses,
+and computes shortest-path forwarding tables over the device graph
+(networkx). It is the substrate on which the cluster layer places nodes
+and pods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import networkx as nx
+
+from ..sim import Simulator
+from ..util.units import Gbps
+from .device import Device, Host, PacketHandler, Switch
+from .link import Interface, Link
+from .packet import Packet
+from .qdisc import FifoQdisc, Qdisc
+
+DEFAULT_RATE_BPS = 15 * Gbps   # the paper's emulated inter-pod link speed
+DEFAULT_DELAY_S = 20e-6        # per-hop propagation delay
+
+QdiscFactory = Callable[[], Qdisc]
+
+
+class Network:
+    """A collection of devices, links and forwarding state."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.devices: dict[str, Device] = {}
+        self.graph = nx.Graph()
+        self.host_of_address: dict[str, Host] = {}
+        self._ifaces: dict[tuple[str, str], Interface] = {}
+        self.links: list[Link] = []
+        self._tracers: list = []
+
+    # -- construction -------------------------------------------------------
+    def add_host(self, name: str) -> Host:
+        if name in self.devices:
+            raise ValueError(f"duplicate device name {name!r}")
+        host = Host(self.sim, name)
+        self.devices[name] = host
+        self.graph.add_node(name)
+        if self._tracers:
+            host.tap = self._run_taps
+        return host
+
+    def add_switch(self, name: str) -> Switch:
+        if name in self.devices:
+            raise ValueError(f"duplicate device name {name!r}")
+        switch = Switch(self.sim, name)
+        self.devices[name] = switch
+        self.graph.add_node(name)
+        if self._tracers:
+            switch.tap = self._run_taps
+        return switch
+
+    # -- packet tracing ------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Start observing packet events with ``tracer`` (a
+        :class:`~repro.net.trace.PacketTracer`)."""
+        self._tracers.append(tracer)
+        for device in self.devices.values():
+            device.tap = self._run_taps
+
+    def detach_tracer(self, tracer) -> None:
+        self._tracers.remove(tracer)
+        if not self._tracers:
+            for device in self.devices.values():
+                device.tap = None
+
+    def _run_taps(self, time: float, kind: str, where: str, packet) -> None:
+        for tracer in self._tracers:
+            tracer.observe(time, kind, where, packet)
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        rate_bps: float = DEFAULT_RATE_BPS,
+        delay: float = DEFAULT_DELAY_S,
+        rate_a_bps: float | None = None,
+        rate_b_bps: float | None = None,
+        qdisc_a: Qdisc | None = None,
+        qdisc_b: Qdisc | None = None,
+    ) -> tuple[Interface, Interface]:
+        """Create a bidirectional link between devices ``a`` and ``b``.
+
+        Each direction can have its own rate/qdisc — the paper's bottleneck
+        is directional (responses flowing ratings -> reviews).
+        """
+        if a not in self.devices or b not in self.devices:
+            raise KeyError("both devices must exist before connecting")
+        if (a, b) in self._ifaces:
+            raise ValueError(f"devices {a} and {b} are already connected")
+        dev_a, dev_b = self.devices[a], self.devices[b]
+        iface_a = Interface(
+            self.sim,
+            f"{a}->{b}",
+            rate_a_bps if rate_a_bps is not None else rate_bps,
+            qdisc_a if qdisc_a is not None else FifoQdisc(),
+        )
+        iface_b = Interface(
+            self.sim,
+            f"{b}->{a}",
+            rate_b_bps if rate_b_bps is not None else rate_bps,
+            qdisc_b if qdisc_b is not None else FifoQdisc(),
+        )
+        dev_a.add_interface(iface_a)
+        dev_b.add_interface(iface_b)
+        link = Link(self.sim, iface_a, iface_b, delay=delay)
+        self.links.append(link)
+        self._ifaces[(a, b)] = iface_a
+        self._ifaces[(b, a)] = iface_b
+        self.graph.add_edge(a, b, delay=delay)
+        return iface_a, iface_b
+
+    def interface_between(self, a: str, b: str) -> Interface:
+        """Device ``a``'s egress interface on the a-b link."""
+        iface = self._ifaces.get((a, b))
+        if iface is None:
+            raise KeyError(f"no link between {a} and {b}")
+        return iface
+
+    # -- addressing ----------------------------------------------------------
+    def bind(
+        self, address: str, host_name: str, handler: PacketHandler | None = None
+    ) -> None:
+        """Assign ``address`` to a host; optionally attach a handler."""
+        host = self.devices.get(host_name)
+        if not isinstance(host, Host):
+            raise KeyError(f"{host_name!r} is not a host")
+        if handler is not None:
+            host.bind(address, handler)
+        else:
+            host.add_address(address)
+        self.host_of_address[address] = host
+
+    # -- routing ----------------------------------------------------------
+    def build_routes(self) -> None:
+        """(Re)compute shortest-path forwarding tables for every device."""
+        host_names = [
+            name for name, dev in self.devices.items() if isinstance(dev, Host)
+        ]
+        paths = dict(nx.all_pairs_shortest_path(self.graph))
+        for device_name, device in self.devices.items():
+            for target_name in host_names:
+                if target_name == device_name:
+                    continue
+                target = self.devices[target_name]
+                if not isinstance(target, Host) or not target.addresses:
+                    continue
+                try:
+                    path = paths[device_name][target_name]
+                except KeyError:
+                    continue  # disconnected
+                next_hop = path[1]
+                iface = self._ifaces[(device_name, next_hop)]
+                for address in target.addresses:
+                    device.set_route(address, iface)
+
+    def install_path(self, path: list[str], dst_address: str, tos=None) -> None:
+        """Install explicit forwarding for ``dst_address`` along ``path``.
+
+        With ``tos`` set, only that traffic class is steered (the SDN-TE
+        mechanism of §4.2d); otherwise the base route is overwritten.
+        """
+        for here, nxt in zip(path, path[1:]):
+            iface = self.interface_between(here, nxt)
+            device = self.devices[here]
+            if tos is None:
+                device.set_route(dst_address, iface)
+            elif isinstance(device, Switch):
+                device.set_tos_route(dst_address, tos, iface)
+            # Hosts keep their base route for TOS steering: steering
+            # happens at the first switch (hosts are single-homed).
+
+    # -- sending ----------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Inject a packet at the host owning its source address."""
+        host = self.host_of_address.get(packet.src)
+        if host is None:
+            raise KeyError(f"unknown source address {packet.src}")
+        packet.created_at = self.sim.now
+        return host.send(packet)
+
+    def __repr__(self):
+        hosts = sum(1 for d in self.devices.values() if isinstance(d, Host))
+        return (
+            f"<Network hosts={hosts} switches={len(self.devices) - hosts} "
+            f"links={len(self.links)}>"
+        )

@@ -1,0 +1,115 @@
+"""Packet-level tracing (a tcpdump for the simulated network).
+
+Attach a :class:`PacketTracer` to a :class:`~repro.net.topology.Network`
+to record packet events — injection at the source host, forwarding at
+switches, delivery at the destination host — optionally filtered by
+flow, address or TOS class. Used for debugging and for the
+visibility-style analyses of §3.2 at the packet layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .packet import Packet, Tos
+
+#: Event kinds a tracer can observe.
+SEND = "send"          # packet injected at its source host
+FORWARD = "forward"    # packet forwarded by a switch
+DELIVER = "deliver"    # packet handed to the destination handler
+DROP = "drop"          # packet dropped (no route / no handler)
+
+
+@dataclass(frozen=True)
+class PacketEvent:
+    """One observed packet event."""
+
+    time: float
+    kind: str
+    where: str           # device name
+    packet_id: int
+    src: str
+    dst: str
+    size: int
+    flow_id: int
+    tos: Tos
+    packet_kind: str
+
+
+class PacketTracer:
+    """Records packet events matching the configured filters."""
+
+    def __init__(
+        self,
+        flow_id: int | None = None,
+        address: str | None = None,
+        tos: Tos | None = None,
+        kinds: tuple = (SEND, FORWARD, DELIVER, DROP),
+        max_events: int | None = None,
+        predicate: Callable[[Packet], bool] | None = None,
+    ):
+        self.flow_id = flow_id
+        self.address = address
+        self.tos = tos
+        self.kinds = set(kinds)
+        self.max_events = max_events
+        self.predicate = predicate
+        self.events: list[PacketEvent] = []
+        self.suppressed = 0
+
+    def _matches(self, packet: Packet) -> bool:
+        if self.flow_id is not None and packet.flow_id != self.flow_id:
+            return False
+        if self.address is not None and self.address not in (packet.src, packet.dst):
+            return False
+        if self.tos is not None and packet.tos != self.tos:
+            return False
+        if self.predicate is not None and not self.predicate(packet):
+            return False
+        return True
+
+    def observe(self, time: float, kind: str, where: str, packet: Packet) -> None:
+        """Tap entry point (wired by ``Network.attach_tracer``)."""
+        if kind not in self.kinds or not self._matches(packet):
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.suppressed += 1
+            return
+        self.events.append(
+            PacketEvent(
+                time=time,
+                kind=kind,
+                where=where,
+                packet_id=packet.packet_id,
+                src=packet.src,
+                dst=packet.dst,
+                size=packet.size,
+                flow_id=packet.flow_id,
+                tos=packet.tos,
+                packet_kind=packet.kind,
+            )
+        )
+
+    # -- queries ----------------------------------------------------------
+    def of_kind(self, kind: str) -> list[PacketEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def journey(self, packet_id: int) -> list[PacketEvent]:
+        """Every recorded hop of one packet, in time order."""
+        return sorted(
+            (event for event in self.events if event.packet_id == packet_id),
+            key=lambda event: event.time,
+        )
+
+    def one_way_delay(self, packet_id: int) -> float | None:
+        """Send-to-deliver delay of one packet, if both were observed."""
+        hops = self.journey(packet_id)
+        sends = [e for e in hops if e.kind == SEND]
+        delivers = [e for e in hops if e.kind == DELIVER]
+        if not sends or not delivers:
+            return None
+        return delivers[-1].time - sends[0].time
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,164 @@
+"""The discrete-event simulator kernel.
+
+The kernel maintains a time-ordered heap of triggered events and processes
+them one at a time, advancing the simulated clock to each event's due time.
+Time is a float in seconds. Determinism is guaranteed by a monotonically
+increasing tie-break sequence number: events scheduled for the same instant
+are processed in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from .errors import StopSimulation
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+
+class Simulator:
+    """A discrete-event simulation kernel.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 1.0 and proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list = []
+        self._sequence = 0
+        self._active_process: Process | None = None
+        self._event_count = 0
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed so far (diagnostics)."""
+        return self._event_count
+
+    # -- event factories -------------------------------------------------
+    def event(self, name: str | None = None) -> Event:
+        """Create a pending event to be triggered manually."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name: str | None = None) -> Process:
+        """Start a new process from ``generator`` at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, list(events))
+
+    def call_at(self, when: float, callback: Callable, *args) -> Event:
+        """Run ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
+        return self.call_later(when - self._now, callback, *args)
+
+    def call_later(self, delay: float, callback: Callable, *args) -> Event:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        event = Timeout(self, delay)
+        event.callbacks.append(lambda _ev: callback(*args))
+        return event
+
+    # -- kernel ------------------------------------------------------------
+    def _enqueue_event(self, event: Event, delay: float = 0.0) -> None:
+        """Put a triggered event on the processing queue (kernel use)."""
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def peek(self) -> float:
+        """Due time of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to its due time."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        self._event_count += 1
+        event._process()
+
+    def run(self, until: float | Event | None = None):
+        """Run the simulation.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<float>`` — run until simulated time reaches ``until``
+          (events due exactly at ``until`` are *not* processed; the clock is
+          left at ``until``).
+        * ``until=<Event>`` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        if until is None:
+            try:
+                while self._queue:
+                    self.step()
+            except StopSimulation as stop:
+                return stop.value
+            return None
+
+        if isinstance(until, Event):
+            marker = until
+            outcome: list = []
+
+            def _mark(event: Event) -> None:
+                outcome.append(event)
+
+            if not marker.processed:
+                marker.callbacks.append(_mark)
+            else:
+                outcome.append(marker)
+            try:
+                while not outcome:
+                    if not self._queue:
+                        raise RuntimeError(
+                            "simulation ran out of events before the awaited "
+                            f"event {marker!r} was processed"
+                        )
+                    self.step()
+            except StopSimulation as stop:
+                return stop.value
+            return marker.value
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError(f"cannot run backwards ({deadline} < {self._now})")
+        try:
+            while self._queue and self._queue[0][0] < deadline:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        self._now = deadline
+        return None
+
+    def stop(self, value=None) -> None:
+        """Halt :meth:`run` from within a callback or process."""
+        raise StopSimulation(value)
+
+    def __repr__(self):
+        return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

@@ -1,0 +1,34 @@
+"""Exception types used by the discrete-event kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party may attach an arbitrary ``cause`` describing why
+    the interrupt happened (e.g. a timeout firing or a connection closing).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self):
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class EventAlreadyTriggered(SimulationError):
+    """Raised when succeed()/fail() is called on a non-pending event."""

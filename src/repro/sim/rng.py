@@ -1,0 +1,117 @@
+"""Deterministic random-number streams.
+
+Every stochastic component in the simulation draws from its own named
+stream derived from a single root seed, so that (a) whole experiments are
+reproducible from one seed, and (b) changing one component's draws does not
+perturb another's (no shared global stream).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def _derive_seed(root_seed: int, name: str) -> int:
+    """Stable 64-bit child seed from (root seed, stream name)."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Hands out independent, reproducible numpy Generators by name."""
+
+    def __init__(self, root_seed: int = 0, *, seed: int | None = None):
+        if seed is not None:
+            root_seed = seed
+        self.root_seed = int(root_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The generator for ``name`` (created on first use)."""
+        generator = self._streams.get(name)
+        if generator is None:
+            generator = np.random.default_rng(_derive_seed(self.root_seed, name))
+            self._streams[name] = generator
+        return generator
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """A child registry whose streams are independent of this one's."""
+        return RngRegistry(_derive_seed(self.root_seed, f"spawn:{name}"))
+
+
+class Distributions:
+    """Convenience samplers over a single stream.
+
+    All times are in seconds. ``lognormal_by_quantiles`` parameterizes a
+    lognormal by its median and a high quantile, which is how service and
+    proxy delays are specified throughout the repo (e.g. "two sidecars cost
+    about 3 ms at p99", paper §3.6).
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def exponential(self, mean: float) -> float:
+        return float(self.rng.exponential(mean))
+
+    def uniform(self, low: float, high: float) -> float:
+        return float(self.rng.uniform(low, high))
+
+    def constant(self, value: float) -> float:
+        return float(value)
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        return float(self.rng.lognormal(mu, sigma))
+
+    def lognormal_by_quantiles(
+        self, median: float, p99: float, quantile: float = 0.99
+    ) -> float:
+        """Sample a lognormal with the given median and ``quantile`` value."""
+        mu, sigma = lognormal_params_from_quantiles(median, p99, quantile)
+        return float(self.rng.lognormal(mu, sigma))
+
+
+# z-score of the 99th percentile of the standard normal.
+_Z99 = 2.3263478740408408
+
+
+def _normal_ppf(q: float) -> float:
+    """Inverse CDF of the standard normal (Acklam's approximation)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    # Coefficients for the rational approximations.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if q < p_low:
+        u = (2 * (-1) * (0.0 + np.log(q))) ** 0.5
+        return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / \
+            ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1)
+    if q > 1 - p_low:
+        u = (-2.0 * np.log(1 - q)) ** 0.5
+        return -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / \
+            ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1)
+    u = q - 0.5
+    r = u * u
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * u / \
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)
+
+
+def lognormal_params_from_quantiles(
+    median: float, high: float, quantile: float = 0.99
+) -> tuple[float, float]:
+    """(mu, sigma) of a lognormal with the given median and high quantile."""
+    if median <= 0 or high <= median:
+        raise ValueError("need 0 < median < high")
+    mu = float(np.log(median))
+    z = _Z99 if quantile == 0.99 else float(_normal_ppf(quantile))
+    sigma = float((np.log(high) - mu) / z)
+    return mu, sigma

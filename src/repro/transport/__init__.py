@@ -1,0 +1,44 @@
+"""Transport layer: reliable message streams with pluggable congestion
+control, including the scavenger protocols of §4.2(b).
+
+* :class:`TransportStack` — per-(host, address) endpoint manager.
+* :class:`ConnectionEnd` — one side of a full-duplex message stream.
+* :class:`TransportConfig` — MSS, RTO bounds, header sizes.
+* Congestion control: :class:`RenoCC`, :class:`CubicCC` (standard), and
+  :class:`LedbatCC`, :class:`TcpLpCC` (scavengers); ``make_cc`` builds by
+  name, ``SCAVENGER_ALGORITHMS`` names the low-priority set.
+"""
+
+from .cc import (
+    CC_REGISTRY,
+    SCAVENGER_ALGORITHMS,
+    CongestionControl,
+    CubicCC,
+    LedbatCC,
+    RenoCC,
+    TcpLpCC,
+    make_cc,
+)
+from .connection import AckInfo, ConnectionEnd, SegmentInfo, TransportConfig
+from .mux import ChunkFrame, MuxConnection, SCHEDULERS
+from .stack import SynInfo, TransportStack
+
+__all__ = [
+    "AckInfo",
+    "CC_REGISTRY",
+    "ChunkFrame",
+    "MuxConnection",
+    "SCHEDULERS",
+    "CongestionControl",
+    "ConnectionEnd",
+    "CubicCC",
+    "LedbatCC",
+    "RenoCC",
+    "SCAVENGER_ALGORITHMS",
+    "SegmentInfo",
+    "SynInfo",
+    "TcpLpCC",
+    "TransportConfig",
+    "TransportStack",
+    "make_cc",
+]

@@ -1,0 +1,191 @@
+"""Per-host transport stack: listeners, connection establishment, demux.
+
+One :class:`TransportStack` is bound to one address on one host. It
+implements a SYN / SYN-ACK handshake (one RTT, as TCP) and then hands
+packets to the right :class:`ConnectionEnd` by flow id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..net.packet import Packet, Tos
+from ..net.topology import Network
+from ..sim import Simulator
+from .connection import ConnectionEnd, TransportConfig
+
+AcceptCallback = Callable[[ConnectionEnd], None]
+
+
+@dataclass
+class SynInfo:
+    """Handshake payload.
+
+    ``alpn`` negotiates the application protocol, like TLS ALPN:
+    ``"message"`` for plain framed messages, ``"mux"`` for SST-style
+    multiplexed streams.
+    """
+
+    port: int
+    cc_name: str
+    tos: Tos
+    alpn: str = "message"
+
+
+class TransportStack:
+    """Transport endpoints living at one (host, address) pair."""
+
+    SYN_RETRY_LIMIT = 6
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host_name: str,
+        address: str,
+        config: TransportConfig | None = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.host_name = host_name
+        self.address = address
+        self.config = config if config is not None else TransportConfig()
+        self._flows: dict[int, ConnectionEnd] = {}
+        self._listeners: dict[int, AcceptCallback] = {}
+        network.bind(address, host_name, handler=self._on_packet)
+        self.connections_accepted = 0
+        self.connections_opened = 0
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def listen(self, port: int, on_accept: AcceptCallback) -> None:
+        """Accept connections to ``port``; ``on_accept(conn)`` runs per SYN."""
+        if port in self._listeners:
+            raise ValueError(f"port {port} already has a listener on {self.address}")
+        self._listeners[port] = on_accept
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        remote: str,
+        port: int,
+        tos: Tos = Tos.NORMAL,
+        cc_name: str = "reno",
+        name: str = "",
+        alpn: str = "message",
+    ) -> ConnectionEnd:
+        """Open a connection; yield ``conn.established`` to await the
+        handshake (one network RTT)."""
+        conn = ConnectionEnd(
+            self.sim,
+            self.network,
+            local=self.address,
+            remote=remote,
+            cc_name=cc_name,
+            tos=tos,
+            config=self.config,
+            name=name,
+        )
+        conn.alpn = alpn
+        self._flows[conn.flow_id] = conn
+        self.connections_opened += 1
+        self._send_syn(conn, port, attempt=0)
+        return conn
+
+    def _send_syn(self, conn: ConnectionEnd, port: int, attempt: int) -> None:
+        if conn.established.triggered or conn.closed:
+            return
+        if attempt >= self.SYN_RETRY_LIMIT:
+            conn.established.fail(
+                ConnectionError(f"connect to {conn.remote}:{port} timed out")
+            )
+            conn.close()  # a failed connect is unusable thereafter
+            return
+        self.network.send(
+            Packet(
+                src=self.address,
+                dst=conn.remote,
+                size=self.config.header_bytes + 20,
+                flow_id=conn.flow_id,
+                kind="syn",
+                tos=conn.tos,
+                payload=SynInfo(
+                    port=port,
+                    cc_name=conn.cc_name,
+                    tos=conn.tos,
+                    alpn=getattr(conn, "alpn", "message"),
+                ),
+            )
+        )
+        retry_in = max(4 * self.config.min_rto, 0.05) * (2**attempt)
+        self.sim.call_later(retry_in, self._send_syn, conn, port, attempt + 1)
+
+    # ------------------------------------------------------------------
+    # Demux
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.kind == "syn":
+            self._on_syn(packet)
+            return
+        conn = self._flows.get(packet.flow_id)
+        if conn is None:
+            return  # connection gone (closed); drop silently like an RST
+        if packet.kind == "syn-ack":
+            conn._on_established()
+        else:
+            conn.handle_packet(packet)
+
+    def _on_syn(self, packet: Packet) -> None:
+        info: SynInfo = packet.payload
+        existing = self._flows.get(packet.flow_id)
+        if existing is not None:
+            self._send_syn_ack(existing)  # duplicate SYN: re-confirm
+            return
+        on_accept = self._listeners.get(info.port)
+        if on_accept is None:
+            return  # nobody listening: the SYN is dropped
+        conn = ConnectionEnd(
+            self.sim,
+            self.network,
+            local=self.address,
+            remote=packet.src,
+            flow_id=packet.flow_id,
+            cc_name=info.cc_name,
+            tos=info.tos,
+            config=self.config,
+            name=f"conn-{packet.flow_id}-srv",
+        )
+        conn.alpn = info.alpn
+        self._flows[conn.flow_id] = conn
+        self.connections_accepted += 1
+        self._send_syn_ack(conn)
+        conn._on_established()
+        on_accept(conn)
+
+    def _send_syn_ack(self, conn: ConnectionEnd) -> None:
+        self.network.send(
+            Packet(
+                src=self.address,
+                dst=conn.remote,
+                size=self.config.header_bytes + 20,
+                flow_id=conn.flow_id,
+                kind="syn-ack",
+                tos=conn.tos,
+            )
+        )
+
+    def drop_flow(self, flow_id: int) -> None:
+        """Remove a closed connection from the demux table."""
+        conn = self._flows.pop(flow_id, None)
+        if conn is not None:
+            conn.close()
+
+    def __repr__(self):
+        return (
+            f"<TransportStack {self.address}@{self.host_name} "
+            f"flows={len(self._flows)}>"
+        )

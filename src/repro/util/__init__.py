@@ -1,0 +1,29 @@
+"""Small shared utilities: unit parsing/formatting and statistics."""
+
+from .stats import LatencySummary, percentile, summarize
+from .units import (
+    Gbps,
+    KB,
+    MB,
+    Mbps,
+    format_bytes,
+    format_duration,
+    format_rate,
+    parse_rate,
+    parse_size,
+)
+
+__all__ = [
+    "Gbps",
+    "KB",
+    "LatencySummary",
+    "MB",
+    "Mbps",
+    "format_bytes",
+    "format_duration",
+    "format_rate",
+    "parse_rate",
+    "parse_size",
+    "percentile",
+    "summarize",
+]

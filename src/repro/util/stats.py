@@ -1,0 +1,74 @@
+"""Latency statistics helpers.
+
+Percentiles use linear interpolation (numpy's default), matching the
+convention of wrk2/HdrHistogram closely enough at the sample counts the
+experiments produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def percentile(samples, q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``samples``."""
+    if len(samples) == 0:
+        raise ValueError("percentile of empty sample set")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample set (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    maximum: float
+    minimum: float
+    stddev: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.maximum,
+            "min": self.minimum,
+            "stddev": self.stddev,
+        }
+
+    def __str__(self) -> str:
+        to_ms = 1e3
+        return (
+            f"n={self.count} mean={self.mean * to_ms:.2f}ms "
+            f"p50={self.p50 * to_ms:.2f}ms p90={self.p90 * to_ms:.2f}ms "
+            f"p99={self.p99 * to_ms:.2f}ms max={self.maximum * to_ms:.2f}ms"
+        )
+
+
+def summarize(samples) -> LatencySummary:
+    """Build a :class:`LatencySummary` from an iterable of seconds."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    p50, p90, p99, p999 = np.percentile(data, [50, 90, 99, 99.9])
+    return LatencySummary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        p50=float(p50),
+        p90=float(p90),
+        p99=float(p99),
+        p999=float(p999),
+        maximum=float(data.max()),
+        minimum=float(data.min()),
+        stddev=float(data.std()),
+    )

@@ -1,0 +1,90 @@
+"""Units: data sizes in bytes, rates in bits per second, times in seconds.
+
+The whole simulation uses this convention; these helpers exist so that
+configuration can be written in the units the paper uses ("15 Gbps links",
+"1 Gbps bottleneck", "2 MB responses").
+"""
+
+from __future__ import annotations
+
+import re
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+Kbps = 1_000
+Mbps = 1_000_000
+Gbps = 1_000_000_000
+
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "kib": 1024,
+    "mib": 1024**2,
+    "gib": 1024**3,
+}
+
+_RATE_UNITS = {
+    "bps": 1,
+    "kbps": Kbps,
+    "mbps": Mbps,
+    "gbps": Gbps,
+}
+
+_QUANTITY_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]+)\s*$")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a data size like ``"2MB"`` or ``"1500B"`` into bytes."""
+    if isinstance(text, (int, float)):
+        return int(text)
+    match = _QUANTITY_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse size: {text!r}")
+    value, unit = float(match.group(1)), match.group(2).lower()
+    if unit not in _SIZE_UNITS:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    return int(value * _SIZE_UNITS[unit])
+
+
+def parse_rate(text: str | int | float) -> float:
+    """Parse a rate like ``"1Gbps"`` into bits per second."""
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _QUANTITY_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse rate: {text!r}")
+    value, unit = float(match.group(1)), match.group(2).lower()
+    if unit not in _RATE_UNITS:
+        raise ValueError(f"unknown rate unit {unit!r} in {text!r}")
+    return value * _RATE_UNITS[unit]
+
+
+def format_bytes(size: float) -> str:
+    """Human-readable byte count (decimal units)."""
+    size = float(size)
+    for unit, factor in [("GB", GB), ("MB", MB), ("KB", KB)]:
+        if abs(size) >= factor:
+            return f"{size / factor:.2f} {unit}"
+    return f"{size:.0f} B"
+
+
+def format_rate(bits_per_second: float) -> str:
+    """Human-readable bit rate."""
+    rate = float(bits_per_second)
+    for unit, factor in [("Gbps", Gbps), ("Mbps", Mbps), ("Kbps", Kbps)]:
+        if abs(rate) >= factor:
+            return f"{rate / factor:.2f} {unit}"
+    return f"{rate:.0f} bps"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration (s / ms / µs)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} µs"

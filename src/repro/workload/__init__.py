@@ -1,0 +1,34 @@
+"""Open-loop workload generation and latency measurement (wrk2's role)."""
+
+from .arrival import (
+    ARRIVAL_REGISTRY,
+    ArrivalProcess,
+    DeterministicArrivals,
+    PoissonArrivals,
+    UniformRandomArrivals,
+    make_arrivals,
+)
+from .generator import LoadGenerator, WorkloadSpec
+from .latency import LatencyRecorder, Sample
+from .mixes import LI_WORKLOAD, LS_WORKLOAD, MixConfig, MixedWorkload
+from .replay import TraceEntry, TraceReplayer, synthesize_trace
+
+__all__ = [
+    "ARRIVAL_REGISTRY",
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "LI_WORKLOAD",
+    "LS_WORKLOAD",
+    "LatencyRecorder",
+    "LoadGenerator",
+    "MixConfig",
+    "MixedWorkload",
+    "PoissonArrivals",
+    "Sample",
+    "TraceEntry",
+    "TraceReplayer",
+    "UniformRandomArrivals",
+    "WorkloadSpec",
+    "make_arrivals",
+    "synthesize_trace",
+]

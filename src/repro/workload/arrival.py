@@ -1,0 +1,70 @@
+"""Arrival processes for open-loop load generation.
+
+The paper's prototype "uses uniformly random inter-arrival times for
+both" workloads (§4.3); Poisson and deterministic processes are provided
+for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ArrivalProcess:
+    """Yields successive inter-arrival gaps (seconds)."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+
+    def next_gap(self) -> float:
+        raise NotImplementedError
+
+
+class UniformRandomArrivals(ArrivalProcess):
+    """Gaps uniform on [0, 2/rate]: mean 1/rate (the paper's choice)."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__(rate)
+        self.rng = rng
+
+    def next_gap(self) -> float:
+        return float(self.rng.uniform(0.0, 2.0 / self.rate))
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential gaps (memoryless)."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__(rate)
+        self.rng = rng
+
+    def next_gap(self) -> float:
+        return float(self.rng.exponential(1.0 / self.rate))
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Fixed gaps of exactly 1/rate."""
+
+    def next_gap(self) -> float:
+        return 1.0 / self.rate
+
+
+ARRIVAL_REGISTRY = {
+    "uniform": UniformRandomArrivals,
+    "poisson": PoissonArrivals,
+    "deterministic": DeterministicArrivals,
+}
+
+
+def make_arrivals(kind: str, rate: float, rng: np.random.Generator) -> ArrivalProcess:
+    try:
+        cls = ARRIVAL_REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival process {kind!r}; known: {sorted(ARRIVAL_REGISTRY)}"
+        ) from None
+    if cls is DeterministicArrivals:
+        return cls(rate)
+    return cls(rate, rng)

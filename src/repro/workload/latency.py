@@ -1,0 +1,78 @@
+"""Latency recording with steady-state windowing.
+
+Open-loop measurement (like wrk2): the latency of a request is measured
+from its *scheduled* arrival time, so queueing caused by earlier slow
+responses is charged to the system, not hidden (no coordinated
+omission — the HdrHistogram discipline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.stats import LatencySummary, summarize
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One completed (or failed) request."""
+
+    workload: str
+    sent_at: float
+    latency: float
+    status: int
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class LatencyRecorder:
+    """Collects samples from one or more workload generators."""
+
+    def __init__(self):
+        self.samples: list[Sample] = []
+
+    def record(self, workload: str, sent_at: float, latency: float, status: int) -> None:
+        self.samples.append(Sample(workload, sent_at, latency, status))
+
+    def of(
+        self,
+        workload: str | None = None,
+        window: tuple[float, float] | None = None,
+        ok_only: bool = True,
+    ) -> list[Sample]:
+        """Samples filtered by workload name and send-time window."""
+        result = self.samples
+        if workload is not None:
+            result = [s for s in result if s.workload == workload]
+        if window is not None:
+            start, end = window
+            result = [s for s in result if start <= s.sent_at < end]
+        if ok_only:
+            result = [s for s in result if s.ok]
+        return result
+
+    def latencies(
+        self,
+        workload: str | None = None,
+        window: tuple[float, float] | None = None,
+    ) -> list[float]:
+        return [s.latency for s in self.of(workload, window)]
+
+    def summary(
+        self,
+        workload: str | None = None,
+        window: tuple[float, float] | None = None,
+    ) -> LatencySummary:
+        return summarize(self.latencies(workload, window))
+
+    def error_rate(self, workload: str | None = None) -> float:
+        all_samples = self.of(workload, ok_only=False)
+        if not all_samples:
+            return 0.0
+        errors = sum(1 for s in all_samples if not s.ok)
+        return errors / len(all_samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)

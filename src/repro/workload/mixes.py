@@ -1,0 +1,88 @@
+"""The paper's workload mix: latency-sensitive + latency-insensitive.
+
+§4.3: "two different workloads that hit the ingress gateway
+simultaneously: (i) latency sensitive requests representing users
+traversing a website, and (ii) latency-insensitive requests (≈200×
+larger) representing a batch analytics job ... with average request per
+second (RPS) levels ranging from 10 to 50".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mesh.gateway import IngressGateway
+from ..sim import Simulator
+from ..sim.rng import RngRegistry
+from .generator import LoadGenerator, WorkloadSpec
+from .latency import LatencyRecorder
+
+LS_WORKLOAD = "ls"
+LI_WORKLOAD = "li"
+
+
+@dataclass
+class MixConfig:
+    """Offered load of the two streams (equal RPS, as in the paper)."""
+
+    rps: float = 30.0
+    li_rps: float | None = None     # defaults to rps
+    ls_path: str = "/browse"
+    li_path: str = "/analytics"
+    arrivals: str = "uniform"
+    timeout: float = 30.0
+
+
+class MixedWorkload:
+    """The LS + LI generator pair sharing one recorder."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gateway: IngressGateway,
+        config: MixConfig,
+        rng_registry: RngRegistry,
+    ):
+        self.sim = sim
+        self.config = config
+        self.recorder = LatencyRecorder()
+        self.ls = LoadGenerator(
+            sim,
+            gateway,
+            WorkloadSpec(
+                name=LS_WORKLOAD,
+                rps=config.rps,
+                path=config.ls_path,
+                workload_type="interactive",
+                arrivals=config.arrivals,
+                timeout=config.timeout,
+            ),
+            self.recorder,
+            rng_registry,
+        )
+        self.li = LoadGenerator(
+            sim,
+            gateway,
+            WorkloadSpec(
+                name=LI_WORKLOAD,
+                rps=config.li_rps if config.li_rps is not None else config.rps,
+                path=config.li_path,
+                workload_type="batch",
+                arrivals=config.arrivals,
+                timeout=config.timeout,
+            ),
+            self.recorder,
+            rng_registry,
+        )
+
+    def start(self, duration: float) -> None:
+        self.ls.start(duration)
+        self.li.start(duration)
+
+    @property
+    def issued(self) -> int:
+        return self.ls.issued + self.li.issued
+
+    @property
+    def completed(self) -> int:
+        return self.ls.completed + self.li.completed

@@ -1,0 +1,140 @@
+"""The e-library application and the synthetic DAG generator."""
+
+import pytest
+
+from helpers import MeshTestbed
+
+from repro.apps import (
+    DETAILS,
+    DagConfig,
+    ELibraryConfig,
+    FRONTEND,
+    RATINGS,
+    REVIEWS,
+    WORKLOAD_BATCH,
+    WORKLOAD_HEADER,
+    build_elibrary,
+    dag_root,
+    generate_dag_specs,
+)
+from repro.http import HttpRequest
+from repro.util.units import Gbps
+
+
+class TestELibrary:
+    def build(self, config=None):
+        testbed = MeshTestbed()
+        build_elibrary(
+            testbed.sim,
+            testbed.cluster,
+            testbed.mesh,
+            config or ELibraryConfig(),
+            rng_registry=testbed.rng,
+        )
+        gateway = testbed.finish(FRONTEND)
+        return testbed, gateway
+
+    def test_topology_matches_fig3(self):
+        testbed, _ = self.build()
+        services = set(testbed.cluster.services)
+        assert {FRONTEND, DETAILS, REVIEWS, RATINGS} <= services
+        reviews = testbed.cluster.dns.resolve(REVIEWS)
+        assert len(reviews.endpoints) == 2  # the two replicas
+        assert len(reviews.subset({"version": "v1"})) == 1
+        assert len(reviews.subset({"version": "v2"})) == 1
+
+    def test_bottleneck_on_ratings_egress(self):
+        testbed, _ = self.build()
+        ratings_pod = testbed.cluster.pods_of(f"{RATINGS}-v1")[0]
+        assert ratings_pod.egress.rate_bps == 1 * Gbps
+        frontend_pod = testbed.cluster.pods_of(f"{FRONTEND}-v1")[0]
+        assert frontend_pod.egress.rate_bps == 15 * Gbps
+
+    def test_interactive_response_size(self):
+        testbed, gateway = self.build()
+        request = HttpRequest(service="")
+        response = testbed.sim.run(until=gateway.submit(request))
+        assert response.status == 200
+        # frontend + details + reviews + ratings base bytes.
+        assert response.body_size == 2000 + 2000 + 2000 + 10_000
+
+    def test_batch_response_200x_at_ratings(self):
+        testbed, gateway = self.build()
+        request = HttpRequest(service="")
+        request.headers[WORKLOAD_HEADER] = WORKLOAD_BATCH
+        response = testbed.sim.run(until=gateway.submit(request))
+        assert response.body_size == 2000 + 2000 + 2000 + 200 * 10_000
+
+    def test_custom_config(self):
+        config = ELibraryConfig(
+            bottleneck_bps=0.5 * Gbps,
+            batch_multiplier=10.0,
+            ratings_response_bytes=1_000,
+        )
+        testbed, gateway = self.build(config)
+        ratings_pod = testbed.cluster.pods_of(f"{RATINGS}-v1")[0]
+        assert ratings_pod.egress.rate_bps == 0.5 * Gbps
+        request = HttpRequest(service="")
+        request.headers[WORKLOAD_HEADER] = WORKLOAD_BATCH
+        response = testbed.sim.run(until=gateway.submit(request))
+        assert response.body_size == 2000 * 3 + 10_000
+
+    def test_spec_overrides(self):
+        config = ELibraryConfig(
+            specs_overrides={"details": {"base_response_bytes": 77}}
+        )
+        specs = {spec.name: spec for spec in config.specs()}
+        assert specs["details"].base_response_bytes == 77
+
+
+class TestDagGenerator:
+    def test_layer_structure(self):
+        specs = generate_dag_specs(DagConfig(layers=3, services_per_layer=3))
+        names = {spec.name for spec in specs}
+        assert "svc-0-0" in names
+        assert len([n for n in names if n.startswith("svc-1-")]) == 3
+        assert len([n for n in names if n.startswith("svc-2-")]) == 3
+
+    def test_single_root(self):
+        specs = generate_dag_specs(DagConfig(layers=4, services_per_layer=2, seed=3))
+        assert dag_root(specs) == "svc-0-0"
+
+    def test_every_service_reachable(self):
+        specs = generate_dag_specs(
+            DagConfig(layers=4, services_per_layer=4, fanout=1, seed=1)
+        )
+        children = {spec.name: set(spec.children) for spec in specs}
+        reached = set()
+        frontier = [dag_root(specs)]
+        while frontier:
+            name = frontier.pop()
+            if name in reached:
+                continue
+            reached.add(name)
+            frontier.extend(children[name])
+        assert reached == set(children)
+
+    def test_children_only_point_one_layer_down(self):
+        specs = generate_dag_specs(DagConfig(layers=3, services_per_layer=2, seed=5))
+        for spec in specs:
+            layer = int(spec.name.split("-")[1])
+            for child in spec.children:
+                assert int(child.split("-")[1]) == layer + 1
+
+    def test_deterministic_by_seed(self):
+        a = generate_dag_specs(DagConfig(seed=9))
+        b = generate_dag_specs(DagConfig(seed=9))
+        assert [(s.name, s.children) for s in a] == [(s.name, s.children) for s in b]
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            DagConfig(layers=0)
+
+    def test_dag_app_end_to_end(self):
+        testbed = MeshTestbed()
+        specs = generate_dag_specs(DagConfig(layers=3, services_per_layer=2, seed=0))
+        testbed.build_app(specs)
+        gateway = testbed.finish(dag_root(specs))
+        response = testbed.sim.run(until=gateway.submit(HttpRequest(service="")))
+        assert response.status == 200
+        assert response.body_size >= 2_000  # at least the root's own bytes

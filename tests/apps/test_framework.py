@@ -1,0 +1,187 @@
+"""Application framework: contexts, handlers, the declarative builder."""
+
+import pytest
+
+from helpers import MeshTestbed
+
+from repro.apps import (
+    ServiceSpec,
+    WORKLOAD_BATCH,
+    WORKLOAD_HEADER,
+    is_batch,
+)
+from repro.http import HttpRequest, PRIORITY
+
+
+def submit(testbed, gateway, path="/", **headers):
+    request = HttpRequest(service="", path=path)
+    for key, value in headers.items():
+        request.headers[key.replace("_", "-")] = value
+    return request, testbed.sim.run(until=gateway.submit(request))
+
+
+class TestAppBuilder:
+    def test_call_tree_aggregates_sizes(self):
+        testbed = MeshTestbed()
+        testbed.build_app(
+            [
+                ServiceSpec(name="root", children=("left", "right"),
+                            base_response_bytes=100),
+                ServiceSpec(name="left", base_response_bytes=200),
+                ServiceSpec(name="right", base_response_bytes=300),
+            ]
+        )
+        gateway = testbed.finish("root")
+        _, response = submit(testbed, gateway)
+        assert response.status == 200
+        assert response.body_size == 600
+
+    def test_sequential_children(self):
+        testbed = MeshTestbed()
+        testbed.build_app(
+            [
+                ServiceSpec(
+                    name="root",
+                    children=("a", "b"),
+                    sequential_children=True,
+                    base_response_bytes=10,
+                ),
+                ServiceSpec(name="a", base_response_bytes=1),
+                ServiceSpec(name="b", base_response_bytes=2),
+            ]
+        )
+        gateway = testbed.finish("root")
+        _, response = submit(testbed, gateway)
+        assert response.body_size == 13
+
+    def test_batch_multiplier_applies_where_marked(self):
+        testbed = MeshTestbed()
+        testbed.build_app(
+            [
+                ServiceSpec(name="root", children=("data",), base_response_bytes=100),
+                ServiceSpec(
+                    name="data", base_response_bytes=1000, batch_scales_response=True
+                ),
+            ],
+            batch_multiplier=50,
+        )
+        gateway = testbed.finish("root")
+        _, interactive = submit(testbed, gateway)
+        _, batch = submit(
+            testbed, gateway, **{WORKLOAD_HEADER.replace("-", "_"): WORKLOAD_BATCH}
+        )
+        assert interactive.body_size == 1100
+        assert batch.body_size == 50_100
+
+    def test_unknown_child_rejected(self):
+        testbed = MeshTestbed()
+        with pytest.raises(ValueError):
+            testbed.build_app([ServiceSpec(name="root", children=("ghost",))])
+
+    def test_failure_rate_injects_503(self):
+        testbed = MeshTestbed()
+        testbed.build_app([ServiceSpec(name="flaky", failure_rate=1.0)])
+        gateway = testbed.finish("flaky")
+        _, response = submit(testbed, gateway)
+        # Every attempt fails -> the retry budget exhausts into a 503.
+        assert response.status == 503
+
+    def test_failed_child_becomes_502(self):
+        testbed = MeshTestbed()
+        testbed.build_app(
+            [
+                ServiceSpec(name="root", children=("dead",)),
+                ServiceSpec(name="dead", failure_rate=1.0),
+            ]
+        )
+        gateway = testbed.finish("root")
+        _, response = submit(testbed, gateway)
+        assert response.status == 502
+
+    def test_versions_create_parallel_deployments(self):
+        testbed = MeshTestbed()
+        testbed.build_app(
+            [ServiceSpec(name="multi", versions=("v1", "v2"), replicas_per_version=2)]
+        )
+        service = testbed.cluster.dns.resolve("multi")
+        assert len(service.endpoints) == 4
+        assert len(service.subset({"version": "v1"})) == 2
+
+
+class TestProvenancePropagation:
+    def test_priority_header_reaches_leaves(self):
+        """§4.3 item 2: the sidecar/app propagate the priority header
+        onto internal requests keyed by the shared request id."""
+        seen = []
+
+        def leaf_handler(ctx, request):
+            seen.append(
+                (
+                    request.headers.get(PRIORITY),
+                    request.headers.get("x-request-id"),
+                )
+            )
+            yield ctx.sleep(0.001)
+            return request.reply(body_size=10)
+
+        def root_handler(ctx, request):
+            response = yield ctx.call("leaf")
+            return request.reply(body_size=response.body_size)
+
+        testbed = MeshTestbed()
+        testbed.add_service("leaf", leaf_handler)
+        testbed.add_service("root", root_handler)
+        gateway = testbed.finish("root")
+        request, _ = submit(testbed, gateway, x_priority="high")
+        assert len(seen) == 1
+        leaf_priority, leaf_request_id = seen[0]
+        assert leaf_priority == "high"
+        assert leaf_request_id == request.headers["x-request-id"]
+
+    def test_workload_header_propagates(self):
+        seen = []
+
+        def leaf_handler(ctx, request):
+            seen.append(is_batch(request))
+            yield ctx.sleep(0.001)
+            return request.reply(body_size=10)
+
+        def root_handler(ctx, request):
+            yield ctx.call("leaf")
+            return request.reply(body_size=1)
+
+        testbed = MeshTestbed()
+        testbed.add_service("leaf", leaf_handler)
+        testbed.add_service("root", root_handler)
+        gateway = testbed.finish("root")
+        submit(testbed, gateway, **{WORKLOAD_HEADER.replace("-", "_"): WORKLOAD_BATCH})
+        assert seen == [True]
+
+
+class TestAppContext:
+    def test_compute_respects_worker_limit(self):
+        """Two concurrent requests on a single-worker pod serialize."""
+        finish_times = []
+
+        def busy(ctx, request):
+            yield from ctx.compute(0.1)
+            finish_times.append(ctx.sim.now)
+            return request.reply(body_size=1)
+
+        testbed = MeshTestbed()
+        testbed.add_service("busy", busy, workers=1)
+        gateway = testbed.finish("busy")
+        events = [gateway.submit(HttpRequest(service="")) for _ in range(2)]
+        testbed.sim.run(until=testbed.sim.all_of(events))
+        assert finish_times[1] - finish_times[0] >= 0.1
+
+    def test_handler_must_return_response(self):
+        def bad(ctx, request):
+            yield ctx.sleep(0.001)
+            return "not a response"
+
+        testbed = MeshTestbed()
+        testbed.add_service("bad", bad)
+        gateway = testbed.finish("bad")
+        _, response = submit(testbed, gateway)
+        assert response.status == 500  # TypeError surfaced as app error

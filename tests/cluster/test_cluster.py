@@ -1,0 +1,219 @@
+"""Cluster orchestration: nodes, pods, services, scheduling, networking."""
+
+import pytest
+
+from repro.cluster import Cluster, PodSpec, Scheduler
+from repro.sim import Simulator
+from repro.util.units import Gbps
+
+
+def make_cluster(nodes=2, policy="least-pods"):
+    sim = Simulator()
+    cluster = Cluster(sim, scheduler=Scheduler(policy))
+    for i in range(nodes):
+        cluster.add_node(f"node-{i}")
+    return sim, cluster
+
+
+class TestPods:
+    def test_deployment_creates_replicas(self):
+        _, cluster = make_cluster()
+        deployment = cluster.create_deployment("web", replicas=3)
+        assert len(deployment.pods) == 3
+        assert {pod.name for pod in deployment.pods} == {"web-1", "web-2", "web-3"}
+
+    def test_pod_gets_unique_ip(self):
+        _, cluster = make_cluster()
+        cluster.create_deployment("web", replicas=5)
+        ips = {pod.ip for pod in cluster.pods}
+        assert len(ips) == 5
+        assert all(ip.startswith("10.1.") for ip in ips)
+
+    def test_pod_default_labels(self):
+        _, cluster = make_cluster()
+        cluster.create_deployment("web", replicas=1)
+        pod = cluster.pod("web-1")
+        assert pod.labels["app"] == "web"
+
+    def test_pod_custom_labels_and_version(self):
+        _, cluster = make_cluster()
+        spec = PodSpec(labels={"version": "v2"})
+        cluster.create_deployment("reviews", replicas=2, spec=spec)
+        for pod in cluster.pods_of("reviews"):
+            assert pod.labels == {"version": "v2", "app": "reviews"}
+
+    def test_egress_rate_override_models_bottleneck(self):
+        _, cluster = make_cluster()
+        spec = PodSpec(egress_rate_bps=1 * Gbps)
+        cluster.create_deployment("ratings", replicas=1, spec=spec)
+        pod = cluster.pod("ratings-1")
+        assert pod.egress.rate_bps == 1 * Gbps
+        assert pod.ingress.rate_bps == 15 * Gbps  # default unchanged
+
+    def test_duplicate_deployment_rejected(self):
+        _, cluster = make_cluster()
+        cluster.create_deployment("web", replicas=1)
+        with pytest.raises(ValueError):
+            cluster.create_deployment("web", replicas=1)
+
+    def test_deployment_without_nodes_rejected(self):
+        sim = Simulator()
+        cluster = Cluster(sim)
+        with pytest.raises(RuntimeError):
+            cluster.create_deployment("web", replicas=1)
+
+    def test_unknown_pod_lookup(self):
+        _, cluster = make_cluster()
+        with pytest.raises(KeyError):
+            cluster.pod("ghost")
+
+
+class TestScheduling:
+    def test_least_pods_balances(self):
+        _, cluster = make_cluster(nodes=2, policy="least-pods")
+        cluster.create_deployment("web", replicas=4)
+        counts = sorted(node.pod_count for node in cluster.nodes)
+        assert counts == [2, 2]
+
+    def test_round_robin(self):
+        _, cluster = make_cluster(nodes=3, policy="round-robin")
+        cluster.create_deployment("web", replicas=3)
+        assert [node.pod_count for node in cluster.nodes] == [1, 1, 1]
+
+    def test_first_fit_single_server(self):
+        _, cluster = make_cluster(nodes=2, policy="first-fit")
+        cluster.create_deployment("web", replicas=4)
+        assert cluster.nodes[0].pod_count == 4
+        assert cluster.nodes[1].pod_count == 0
+
+    def test_node_hint_pins_pod(self):
+        _, cluster = make_cluster(nodes=2)
+        spec = PodSpec(node_hint="node-1")
+        cluster.create_deployment("web", replicas=2, spec=spec)
+        assert all(pod.node.name == "node-1" for pod in cluster.pods)
+
+    def test_bad_node_hint(self):
+        _, cluster = make_cluster()
+        spec = PodSpec(node_hint="nowhere")
+        with pytest.raises(KeyError):
+            cluster.create_deployment("web", replicas=1, spec=spec)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            Scheduler("random-guess")
+
+
+class TestServices:
+    def test_service_selects_matching_pods(self):
+        _, cluster = make_cluster()
+        cluster.create_deployment("web", replicas=2)
+        cluster.create_deployment("db", replicas=1)
+        service = cluster.create_service("web-svc", selector={"app": "web"})
+        assert len(service.endpoints) == 2
+        assert {e.pod_name for e in service.endpoints} == {"web-1", "web-2"}
+
+    def test_service_subset_by_version(self):
+        _, cluster = make_cluster()
+        cluster.create_deployment(
+            "reviews-v1", replicas=1, spec=PodSpec(labels={"app": "reviews", "version": "v1"})
+        )
+        cluster.create_deployment(
+            "reviews-v2", replicas=1, spec=PodSpec(labels={"app": "reviews", "version": "v2"})
+        )
+        service = cluster.create_service("reviews", selector={"app": "reviews"})
+        assert len(service.endpoints) == 2
+        v1 = service.subset({"version": "v1"})
+        assert len(v1) == 1 and v1[0].pod_name == "reviews-v1-1"
+
+    def test_scale_up_updates_endpoints(self):
+        _, cluster = make_cluster()
+        cluster.create_deployment("web", replicas=1)
+        service = cluster.create_service("web-svc", selector={"app": "web"})
+        generation = service.generation
+        cluster.scale("web", 3)
+        assert len(service.endpoints) == 3
+        assert service.generation > generation
+
+    def test_scale_down_removes_endpoints(self):
+        _, cluster = make_cluster()
+        cluster.create_deployment("web", replicas=3)
+        service = cluster.create_service("web-svc", selector={"app": "web"})
+        cluster.scale("web", 1)
+        assert len(service.endpoints) == 1
+
+    def test_dns_resolution(self):
+        _, cluster = make_cluster()
+        cluster.create_deployment("web", replicas=1)
+        service = cluster.create_service("web-svc", selector={"app": "web"})
+        assert cluster.dns.resolve("web-svc") is service
+        with pytest.raises(KeyError):
+            cluster.dns.resolve("ghost")
+
+    def test_dns_watcher_sees_changes(self):
+        _, cluster = make_cluster()
+        cluster.create_deployment("web", replicas=1)
+        cluster.create_service("web-svc", selector={"app": "web"})
+        events = []
+        cluster.dns.watch(lambda service: events.append(service.generation))
+        assert events  # initial notification
+        before = len(events)
+        cluster.scale("web", 2)
+        assert len(events) > before
+
+    def test_empty_selector_rejected(self):
+        _, cluster = make_cluster()
+        with pytest.raises(ValueError):
+            cluster.create_service("bad", selector={})
+
+
+class TestClusterNetworking:
+    def test_pods_can_talk_across_nodes(self):
+        sim, cluster = make_cluster(nodes=2, policy="round-robin")
+        cluster.create_deployment("web", replicas=2)
+        cluster.build_routes()
+        a, b = cluster.pods_of("web")
+        assert a.node is not b.node
+        received = []
+
+        def on_accept(conn):
+            def serve():
+                message, size = yield conn.receive()
+                received.append(message)
+
+            sim.process(serve())
+
+        b.stack.listen(80, on_accept)
+        conn = a.stack.connect(b.ip, 80)
+
+        def client(sim):
+            yield conn.established
+            conn.send("cross-node", 1000)
+
+        sim.process(client(sim))
+        sim.run()
+        assert received == ["cross-node"]
+
+    def test_pods_can_talk_same_node(self):
+        sim, cluster = make_cluster(nodes=1)
+        cluster.create_deployment("web", replicas=2)
+        cluster.build_routes()
+        a, b = cluster.pods_of("web")
+        received = []
+
+        def on_accept(conn):
+            def serve():
+                message, _ = yield conn.receive()
+                received.append(message)
+
+            sim.process(serve())
+
+        b.stack.listen(80, on_accept)
+        conn = a.stack.connect(b.ip, 80)
+
+        def client(sim):
+            yield conn.established
+            conn.send("same-node", 1000)
+
+        sim.process(client(sim))
+        sim.run()
+        assert received == ["same-node"]

@@ -1,0 +1,8 @@
+"""Test-suite configuration: make shared helpers importable."""
+
+import pathlib
+import sys
+
+_HELPERS_DIR = pathlib.Path(__file__).parent / "mesh"
+if str(_HELPERS_DIR) not in sys.path:
+    sys.path.insert(0, str(_HELPERS_DIR))

@@ -1,0 +1,99 @@
+"""Priority classes, ingress classifiers, inference."""
+
+import pytest
+
+from repro.core import (
+    InferringClassifier,
+    Priority,
+    RuleClassifier,
+    get_priority,
+    set_priority,
+)
+from repro.http import HttpRequest, PRIORITY
+from repro.net import Tos
+
+
+class TestPriorities:
+    def test_header_round_trip(self):
+        request = HttpRequest(service="svc")
+        assert get_priority(request) is None
+        set_priority(request, Priority.LOW)
+        assert request.headers[PRIORITY] == "low"
+        assert get_priority(request) is Priority.LOW
+
+    def test_garbage_header_is_none(self):
+        request = HttpRequest(service="svc")
+        request.headers[PRIORITY] = "urgent-ish"
+        assert get_priority(request) is None
+
+    def test_tos_mapping(self):
+        assert Priority.HIGH.tos == Tos.HIGH
+        assert Priority.LOW.tos == Tos.SCAVENGER
+
+
+class TestRuleClassifier:
+    def test_workload_header_rule(self):
+        classifier = RuleClassifier()
+        batch = HttpRequest(service="svc")
+        batch.headers["x-workload"] = "batch"
+        assert classifier.apply(batch) is Priority.LOW
+        assert batch.headers[PRIORITY] == "low"
+        interactive = HttpRequest(service="svc")
+        interactive.headers["x-workload"] = "interactive"
+        assert classifier.apply(interactive) is Priority.HIGH
+
+    def test_path_prefix_rules_beat_header(self):
+        classifier = RuleClassifier(low_paths=("/export",), high_paths=("/checkout",))
+        request = HttpRequest(service="svc", path="/export/all")
+        assert classifier.apply(request) is Priority.LOW
+        checkout = HttpRequest(service="svc", path="/checkout")
+        checkout.headers["x-workload"] = "batch"
+        assert classifier.apply(checkout) is Priority.HIGH
+
+    def test_explicit_app_signal_wins(self):
+        """§3.3: apps can signal preferences directly; the classifier
+        must not override an explicit priority."""
+        classifier = RuleClassifier()
+        request = HttpRequest(service="svc")
+        request.headers["x-workload"] = "batch"
+        set_priority(request, Priority.HIGH)
+        assert classifier.apply(request) is Priority.HIGH
+
+    def test_default(self):
+        assert RuleClassifier().apply(HttpRequest(service="svc")) is Priority.HIGH
+        low_default = RuleClassifier(default=Priority.LOW)
+        assert low_default.apply(HttpRequest(service="svc")) is Priority.LOW
+
+
+class TestInferringClassifier:
+    def test_unseen_paths_default_high(self):
+        classifier = InferringClassifier()
+        assert classifier.apply(HttpRequest(service="s", path="/new")) is Priority.HIGH
+
+    def test_learns_bulk_paths(self):
+        classifier = InferringClassifier(size_ratio_threshold=10.0)
+        for _ in range(5):
+            classifier.observe("/browse", 10_000)
+            classifier.observe("/analytics", 2_000_000)
+        browse = HttpRequest(service="s", path="/browse")
+        analytics = HttpRequest(service="s", path="/analytics")
+        assert classifier.apply(browse) is Priority.HIGH
+        assert classifier.apply(analytics) is Priority.LOW
+
+    def test_below_threshold_stays_high(self):
+        classifier = InferringClassifier(size_ratio_threshold=10.0)
+        classifier.observe("/a", 1_000)
+        classifier.observe("/b", 5_000)  # only 5x bigger
+        assert classifier.apply(HttpRequest(service="s", path="/b")) is Priority.HIGH
+
+    def test_ewma_adapts(self):
+        classifier = InferringClassifier(alpha=0.5)
+        classifier.observe("/p", 100.0)
+        classifier.observe("/p", 200.0)
+        assert classifier.learned_sizes["/p"] == pytest.approx(150.0)
+
+    def test_single_path_never_low(self):
+        # With only one path observed, it IS the smallest -> ratio 1.
+        classifier = InferringClassifier()
+        classifier.observe("/only", 5_000_000)
+        assert classifier.apply(HttpRequest(service="s", path="/only")) is Priority.HIGH

@@ -1,0 +1,73 @@
+"""PriorityPolicyHooks: provenance -> transport/queueing decisions."""
+
+from repro.core import CrossLayerPolicy, Priority, PriorityPolicyHooks, set_priority
+from repro.http import HttpRequest
+from repro.net import Tos
+
+
+def request_with(priority=None):
+    request = HttpRequest(service="svc")
+    if priority is not None:
+        set_priority(request, priority)
+    return request
+
+
+class TestTransportParams:
+    def test_tagging_maps_priority_to_tos(self):
+        hooks = PriorityPolicyHooks(CrossLayerPolicy(packet_tagging=True))
+        assert hooks.transport_params(request_with(Priority.HIGH)).tos == Tos.HIGH
+        assert (
+            hooks.transport_params(request_with(Priority.LOW)).tos == Tos.SCAVENGER
+        )
+
+    def test_no_tagging_keeps_normal_tos(self):
+        hooks = PriorityPolicyHooks(CrossLayerPolicy(packet_tagging=False))
+        assert hooks.transport_params(request_with(Priority.HIGH)).tos == Tos.NORMAL
+        assert hooks.transport_params(request_with(Priority.LOW)).tos == Tos.NORMAL
+
+    def test_unclassified_is_neutral(self):
+        hooks = PriorityPolicyHooks(CrossLayerPolicy(packet_tagging=True))
+        params = hooks.transport_params(request_with())
+        assert params.tos == Tos.NORMAL
+        assert params.cc_name == "reno"
+
+    def test_scavenger_transport_for_low_only(self):
+        policy = CrossLayerPolicy(scavenger_transport=True, scavenger_cc="ledbat")
+        hooks = PriorityPolicyHooks(policy)
+        assert hooks.transport_params(request_with(Priority.LOW)).cc_name == "ledbat"
+        assert hooks.transport_params(request_with(Priority.HIGH)).cc_name == "reno"
+
+    def test_tcplp_selectable(self):
+        policy = CrossLayerPolicy(scavenger_transport=True, scavenger_cc="tcplp")
+        hooks = PriorityPolicyHooks(policy)
+        assert hooks.transport_params(request_with(Priority.LOW)).cc_name == "tcplp"
+
+
+class TestQueuePriority:
+    def test_ordering(self):
+        hooks = PriorityPolicyHooks(CrossLayerPolicy())
+        high = hooks.request_priority(request_with(Priority.HIGH))
+        none = hooks.request_priority(request_with())
+        low = hooks.request_priority(request_with(Priority.LOW))
+        assert high < none < low
+
+
+class TestIngressClassification:
+    def test_counts_maintained(self):
+        hooks = PriorityPolicyHooks(CrossLayerPolicy())
+        batch = HttpRequest(service="svc")
+        batch.headers["x-workload"] = "batch"
+        hooks.classify_ingress(batch)
+        hooks.classify_ingress(HttpRequest(service="svc"))
+        assert hooks.classified[Priority.LOW] == 1
+        assert hooks.classified[Priority.HIGH] == 1
+
+    def test_observe_response_feeds_inference(self):
+        from repro.core import InferringClassifier
+        from repro.http import HttpResponse
+
+        classifier = InferringClassifier()
+        hooks = PriorityPolicyHooks(CrossLayerPolicy(), classifier)
+        request = HttpRequest(service="svc", path="/big")
+        hooks.observe_response(request, HttpResponse(body_size=1_000_000))
+        assert classifier.learned_sizes["/big"] == 1_000_000

@@ -1,0 +1,126 @@
+"""The prioritization manager: apply/remove lifecycles."""
+
+import pytest
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.core import (
+    CrossLayerPolicy,
+    PinningSpec,
+    PrioritizationManager,
+    PriorityPolicyHooks,
+)
+from repro.net import FifoQdisc, WeightedPrioQdisc
+
+
+def make_testbed_with_reviews():
+    testbed = MeshTestbed()
+    testbed.add_service("reviews", echo_handler(), version="v1")
+    testbed.add_service("reviews", echo_handler(), version="v2")
+    testbed.add_service("frontend", echo_handler())
+    return testbed
+
+
+def make_manager(testbed, policy):
+    return PrioritizationManager(
+        sim=testbed.sim,
+        cluster=testbed.cluster,
+        mesh=testbed.mesh,
+        policy=policy,
+    )
+
+
+class TestApply:
+    def test_full_apply_installs_everything(self):
+        testbed = make_testbed_with_reviews()
+        manager = make_manager(testbed, CrossLayerPolicy.paper_prototype())
+        manager.apply(pinning=[PinningSpec(service="reviews")])
+        summary = manager.summary()
+        assert summary["applied"]
+        assert summary["pinned_services"] == ["reviews"]
+        assert summary["tc_interfaces"] == 3  # every pod egress programmed
+        # The high-priority pod's address is the TC classification target.
+        v1_pod = testbed.cluster.pods_of("reviews-v1")[0]
+        assert summary["high_priority_ips"] == [v1_pod.ip]
+        # Hooks installed mesh-wide.
+        for sidecar in testbed.mesh.sidecars:
+            assert isinstance(sidecar.policy, PriorityPolicyHooks)
+
+    def test_tc_only_apply(self):
+        testbed = make_testbed_with_reviews()
+        policy = CrossLayerPolicy(
+            replica_pinning=False, tc_prio=True, tc_classify_on="tos",
+            packet_tagging=True,
+        )
+        manager = make_manager(testbed, policy)
+        manager.apply()
+        assert manager.summary()["tc_interfaces"] == 3
+        assert manager.summary()["pinned_services"] == []
+
+    def test_double_apply_rejected(self):
+        testbed = make_testbed_with_reviews()
+        manager = make_manager(testbed, CrossLayerPolicy.paper_prototype())
+        manager.apply(pinning=[PinningSpec(service="reviews")])
+        with pytest.raises(RuntimeError):
+            manager.apply()
+
+    def test_sdn_te_requires_controller(self):
+        testbed = make_testbed_with_reviews()
+        policy = CrossLayerPolicy(sdn_te=True)
+        manager = make_manager(testbed, policy)
+        with pytest.raises(ValueError):
+            manager.apply()
+
+    def test_inbound_queueing_enables_sidecar_queues(self):
+        testbed = make_testbed_with_reviews()
+        policy = CrossLayerPolicy(
+            replica_pinning=False, tc_prio=False, inbound_queueing=True
+        )
+        manager = make_manager(testbed, policy)
+        manager.apply()
+        for sidecar in testbed.mesh.sidecars:
+            assert sidecar._inbound_queue is not None
+
+
+class TestRemove:
+    def test_remove_restores_baseline(self):
+        testbed = make_testbed_with_reviews()
+        manager = make_manager(testbed, CrossLayerPolicy.paper_prototype())
+        manager.apply(pinning=[PinningSpec(service="reviews")])
+        pod = testbed.cluster.pods_of("reviews-v1")[0]
+        assert isinstance(pod.egress.qdisc, WeightedPrioQdisc)
+        manager.remove()
+        assert isinstance(pod.egress.qdisc, FifoQdisc)
+        assert not manager.applied
+        sidecar = testbed.mesh.sidecars[0]
+        assert sidecar.routes.rules_for("reviews") == []
+        assert not isinstance(sidecar.policy, PriorityPolicyHooks)
+
+    def test_remove_before_apply_is_noop(self):
+        testbed = make_testbed_with_reviews()
+        manager = make_manager(testbed, CrossLayerPolicy.paper_prototype())
+        manager.remove()  # no error
+
+    def test_reapply_after_remove(self):
+        testbed = make_testbed_with_reviews()
+        manager = make_manager(testbed, CrossLayerPolicy.paper_prototype())
+        manager.apply(pinning=[PinningSpec(service="reviews")])
+        manager.remove()
+        manager.apply(pinning=[PinningSpec(service="reviews")])
+        assert manager.applied
+
+
+class TestPinningSpec:
+    def test_label_accessors(self):
+        spec = PinningSpec(service="reviews")
+        assert spec.high_labels == {"version": "v1"}
+        assert spec.low_labels == {"version": "v2"}
+
+    def test_custom_subsets(self):
+        spec = PinningSpec(
+            service="svc",
+            high_subset=(("tier", "gold"),),
+            low_subset=(("tier", "bulk"),),
+        )
+        assert spec.high_labels == {"tier": "gold"}
+        assert spec.low_labels == {"tier": "bulk"}

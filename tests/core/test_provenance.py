@@ -1,0 +1,59 @@
+"""Provenance auditing over traces."""
+
+from repro.core import audit_provenance, services_touched_by_priority
+from repro.mesh import Tracer
+
+
+def add_span(tracer, trace_id, service, parent=None, priority=None):
+    span = tracer.start_span(
+        trace_id, service, "op", now=0.0, parent_span_id=parent, priority=priority
+    )
+    span.finish(1.0)
+    tracer.record(span)
+    return span
+
+
+def test_consistent_trace_passes():
+    tracer = Tracer()
+    root = add_span(tracer, "t1", "gw", priority="high")
+    add_span(tracer, "t1", "frontend", parent=root.span_id, priority="high")
+    report = audit_provenance(tracer)
+    assert report.consistent
+    assert report.traces_consistent == 1
+    assert report.priority_counts == {"high": 1}
+
+
+def test_dropped_priority_is_a_violation():
+    tracer = Tracer()
+    root = add_span(tracer, "t1", "gw", priority="high")
+    add_span(tracer, "t1", "frontend", parent=root.span_id, priority=None)
+    report = audit_provenance(tracer)
+    assert not report.consistent
+    assert len(report.violations) == 1
+    trace_id, priority, bad = report.violations[0]
+    assert trace_id == "t1" and priority == "high" and len(bad) == 1
+
+
+def test_flipped_priority_is_a_violation():
+    tracer = Tracer()
+    root = add_span(tracer, "t1", "gw", priority="low")
+    add_span(tracer, "t1", "frontend", parent=root.span_id, priority="high")
+    assert not audit_provenance(tracer).consistent
+
+
+def test_unclassified_traces_counted_separately():
+    tracer = Tracer()
+    add_span(tracer, "t1", "gw")  # no priority at the root
+    report = audit_provenance(tracer)
+    assert report.traces_unclassified == 1
+    assert report.consistent  # unclassified is not a violation
+
+
+def test_services_touched_by_priority():
+    tracer = Tracer()
+    root = add_span(tracer, "t1", "gw", priority="low")
+    add_span(tracer, "t1", "db", parent=root.span_id, priority="low")
+    add_span(tracer, "t2", "gw", priority="high")
+    assert services_touched_by_priority(tracer, "low") == {"gw", "db"}
+    assert services_touched_by_priority(tracer, "high") == {"gw"}
+    assert services_touched_by_priority(tracer, "mid") == set()

@@ -1,0 +1,116 @@
+"""TC rule installation and replica-pinning route rules."""
+
+import pytest
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.core import (
+    CrossLayerPolicy,
+    TcRuleInstaller,
+    install_replica_pinning,
+    pinning_rules,
+    remove_replica_pinning,
+)
+from repro.http import HttpRequest
+from repro.net import Packet, Tos, WeightedPrioQdisc
+
+
+class TestTcRuleInstaller:
+    def test_install_swaps_qdisc_on_pod_egress(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler())
+        pod = testbed.cluster.pods_of("a-v1")[0]
+        installer = TcRuleInstaller(high_share=0.95)
+        rule = installer.install_on_pod(pod)
+        assert isinstance(pod.egress.qdisc, WeightedPrioQdisc)
+        assert rule.interface_name == pod.egress.name
+        assert rule.high_share == 0.95
+
+    def test_install_everywhere_covers_all_pods(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler(), replicas=2)
+        testbed.add_service("b", echo_handler())
+        installer = TcRuleInstaller()
+        rules = installer.install_everywhere(testbed.cluster)
+        assert len(rules) == 3
+
+    def test_dst_ip_classification(self):
+        installer = TcRuleInstaller(classify_on="dst-ip")
+        installer.high_priority_ips.add("10.1.0.5")
+        classifier = installer._classifier()
+        high = Packet(src="x", dst="10.1.0.5", size=100)
+        low = Packet(src="x", dst="10.1.0.6", size=100)
+        assert classifier(high) == 0
+        assert classifier(low) == 1
+
+    def test_tos_classification(self):
+        installer = TcRuleInstaller(classify_on="tos")
+        classifier = installer._classifier()
+        assert classifier(Packet(src="x", dst="y", size=1, tos=Tos.HIGH)) == 0
+        assert classifier(Packet(src="x", dst="y", size=1, tos=Tos.SCAVENGER)) == 1
+
+    def test_invalid_classify_on(self):
+        with pytest.raises(ValueError):
+            TcRuleInstaller(classify_on="port")
+
+    def test_band_byte_counters(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler())
+        pod = testbed.cluster.pods_of("a-v1")[0]
+        installer = TcRuleInstaller(classify_on="tos")
+        installer.install_on_pod(pod)
+        assert installer.high_band_bytes() == 0
+        assert installer.low_band_bytes() == 0
+
+
+class TestReplicaPinning:
+    def test_rules_structure(self):
+        rules = pinning_rules({"version": "v1"}, {"version": "v2"})
+        assert len(rules) == 3  # high, low, catch-all
+        assert rules[2].matches == ()
+
+    def test_install_and_remove(self):
+        testbed = MeshTestbed()
+        testbed.add_service("reviews", echo_handler(), version="v1")
+        testbed.add_service("reviews", echo_handler(), version="v2")
+        install_replica_pinning(testbed.mesh, "reviews")
+        sidecar = testbed.mesh.sidecars[0]
+        assert len(sidecar.routes.rules_for("reviews")) == 3
+        remove_replica_pinning(testbed.mesh, "reviews")
+        assert sidecar.routes.rules_for("reviews") == []
+
+    def test_pinned_resolution(self):
+        testbed = MeshTestbed()
+        testbed.add_service("reviews", echo_handler(), version="v1")
+        testbed.add_service("reviews", echo_handler(), version="v2")
+        install_replica_pinning(testbed.mesh, "reviews")
+        sidecar = testbed.mesh.sidecars[0]
+        high = HttpRequest(service="reviews")
+        high.headers["x-priority"] = "high"
+        assert sidecar.routes.resolve(high).subset_labels == {"version": "v1"}
+        low = HttpRequest(service="reviews")
+        low.headers["x-priority"] = "low"
+        assert sidecar.routes.resolve(low).subset_labels == {"version": "v2"}
+        assert sidecar.routes.resolve(
+            HttpRequest(service="reviews")
+        ).subset_labels == {}
+
+
+class TestCrossLayerPolicy:
+    def test_disabled_has_nothing_enabled(self):
+        assert not CrossLayerPolicy.disabled().any_enabled
+
+    def test_paper_prototype_shape(self):
+        policy = CrossLayerPolicy.paper_prototype()
+        assert policy.replica_pinning and policy.tc_prio
+        assert not policy.scavenger_transport and not policy.sdn_te
+        assert policy.high_share == 0.95
+        assert policy.tc_classify_on == "dst-ip"
+
+    def test_invalid_share(self):
+        with pytest.raises(ValueError):
+            CrossLayerPolicy(high_share=0.2)
+
+    def test_invalid_classify_on(self):
+        with pytest.raises(ValueError):
+            CrossLayerPolicy(tc_classify_on="flow-label")

@@ -1,0 +1,137 @@
+"""Unit tests for experiment harness plumbing (no long runs)."""
+
+import pytest
+
+from repro.core import CrossLayerPolicy
+from repro.experiments import (
+    Figure4Result,
+    Figure4Row,
+    PAPER_RPS_LEVELS,
+    ScenarioConfig,
+    ablation_policies,
+    chain_specs,
+    format_table,
+    ms,
+    to_csv,
+)
+from repro.experiments.hops import HopsResult, HopsRow
+from repro.experiments.overhead import OverheadResult
+from repro.util.stats import LatencySummary
+
+
+def summary(p50, p99):
+    return LatencySummary(
+        count=100, mean=p50, p50=p50, p90=(p50 + p99) / 2,
+        p99=p99, p999=p99, maximum=p99, minimum=p50 / 2,
+    )
+
+
+class TestScenarioConfig:
+    def test_defaults_match_paper(self):
+        config = ScenarioConfig()
+        assert config.nodes == 1
+        assert config.cores_per_node == 32        # the paper's server
+        assert config.arrivals == "uniform"       # §4.3
+        assert config.elibrary.bottleneck_bps == 1e9
+        assert config.elibrary.batch_multiplier == 200.0
+
+    def test_effective_policy_resolution(self):
+        assert not ScenarioConfig(cross_layer=False).effective_policy().any_enabled
+        paper = ScenarioConfig(cross_layer=True).effective_policy()
+        assert paper.replica_pinning and paper.tc_prio
+        custom = CrossLayerPolicy(scavenger_transport=True)
+        assert ScenarioConfig(policy=custom).effective_policy() is custom
+
+    def test_paper_rps_levels(self):
+        assert PAPER_RPS_LEVELS == (10, 20, 30, 40, 50)
+
+
+class TestFigure4Math:
+    def make_row(self):
+        return Figure4Row(
+            rps=30,
+            ls_off=summary(0.020, 0.060),
+            ls_on=summary(0.010, 0.020),
+            li_off=summary(0.050, 0.100),
+            li_on=summary(0.050, 0.103),
+        )
+
+    def test_speedups(self):
+        row = self.make_row()
+        assert row.p50_speedup == pytest.approx(2.0)
+        assert row.p99_speedup == pytest.approx(3.0)
+        assert row.li_p99_cost == pytest.approx(0.03)
+
+    def test_result_aggregates(self):
+        result = Figure4Result(rows=[self.make_row(), self.make_row()])
+        assert result.mean_p50_speedup == pytest.approx(2.0)
+        assert result.worst_li_p99_cost == pytest.approx(0.03)
+
+    def test_table_and_csv_render(self):
+        result = Figure4Result(rows=[self.make_row()])
+        table = result.table()
+        assert "Figure 4" in table and "30" in table
+        csv = result.csv()
+        assert csv.splitlines()[0].startswith("rps,")
+        assert "30" in csv
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, divider, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_title(self):
+        assert format_table(["x"], [], title="T").splitlines()[0] == "T"
+
+    def test_to_csv(self):
+        out = to_csv(["a", "b"], [[1, 2]])
+        assert out.splitlines() == ["a,b", "1,2"]
+
+    def test_ms(self):
+        assert ms(0.0123) == "12.3"
+
+
+class TestAblationCatalogue:
+    def test_expected_variants_present(self):
+        policies = ablation_policies()
+        assert {"baseline", "paper-prototype", "pinning-only", "tc-only",
+                "scavenger-only", "full-stack", "strict-99"} <= set(policies)
+        assert not policies["baseline"].any_enabled
+        assert policies["tc-only"].tc_classify_on == "tos"
+        assert policies["strict-99"].high_share == 0.99
+
+    def test_scavenger_only_shape(self):
+        policy = ablation_policies()["scavenger-only"]
+        assert policy.scavenger_transport
+        assert not policy.replica_pinning and not policy.tc_prio
+
+
+class TestHopsAndOverheadMath:
+    def test_chain_specs_structure(self):
+        specs = chain_specs(4)
+        assert [s.name for s in specs] == ["hop-1", "hop-2", "hop-3", "hop-4"]
+        assert specs[0].children == ("hop-2",)
+        assert specs[-1].children == ()
+        with pytest.raises(ValueError):
+            chain_specs(0)
+
+    def test_hops_result_math(self):
+        rows = [
+            HopsRow(1, summary(0.003, 0.005), summary(0.001, 0.002)),
+            HopsRow(9, summary(0.019, 0.025), summary(0.001, 0.002)),
+        ]
+        result = HopsResult(rows)
+        assert result.overhead_per_hop_p50() == pytest.approx(0.002)
+        assert "T-3" in result.table()
+
+    def test_overhead_result_math(self):
+        result = OverheadResult(
+            with_mesh=summary(0.003, 0.006),
+            near_zero_proxy=summary(0.001, 0.002),
+        )
+        assert result.overhead_p50 == pytest.approx(0.002)
+        assert result.overhead_p99 == pytest.approx(0.004)
+        assert "3 ms" in result.table()

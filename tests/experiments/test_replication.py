@@ -1,0 +1,53 @@
+"""Seed-replication harness."""
+
+import pytest
+
+from repro.experiments import Replicated, ScenarioConfig, replicate
+from repro.experiments.replicate import compare_with_replication
+
+
+class TestReplicatedMath:
+    def test_mean_std_cv(self):
+        metric = Replicated([0.010, 0.020, 0.030])
+        assert metric.mean == pytest.approx(0.020)
+        assert metric.std > 0
+        assert metric.cv == pytest.approx(metric.std / 0.020)
+
+    def test_zero_mean_cv(self):
+        assert Replicated([0.0, 0.0]).cv == 0.0
+
+    def test_str_in_ms(self):
+        assert "ms" in str(Replicated([0.010]))
+
+
+class TestReplicationRuns:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ScenarioConfig(rps=20.0, duration=3.0, warmup=1.0)
+        return replicate(config, seeds=(1, 2))
+
+    def test_all_metrics_populated(self, result):
+        assert result.seeds == [1, 2]
+        for metric in (result.ls_p50, result.ls_p99, result.li_p50, result.li_p99):
+            assert len(metric.values) == 2
+            assert all(value > 0 for value in metric.values)
+
+    def test_seeds_differ(self, result):
+        assert result.ls_p50.values[0] != result.ls_p50.values[1]
+
+    def test_table_renders(self, result):
+        table = result.table()
+        assert "replication over seeds" in table
+        assert "cv" in table
+
+    def test_li_dominates_ls(self, result):
+        # Structural sanity across all seeds: LI medians above LS medians.
+        assert result.li_p50.mean > result.ls_p50.mean
+
+
+def test_compare_with_replication_shows_the_effect():
+    config = ScenarioConfig(rps=30.0, duration=3.0, warmup=1.0)
+    baseline, optimized = compare_with_replication(config, seeds=(1, 2))
+    # The optimization effect exceeds the seed noise at every seed.
+    for off, on in zip(baseline.ls_p99.values, optimized.ls_p99.values):
+        assert on < off

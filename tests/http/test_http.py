@@ -1,0 +1,123 @@
+"""HTTP message and header model."""
+
+import pytest
+
+from repro.http import (
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    HttpStatus,
+    PRIORITY,
+    PROPAGATED_HEADERS,
+    REQUEST_ID,
+    propagate,
+)
+
+
+class TestHeaders:
+    def test_case_insensitive_access(self):
+        headers = Headers()
+        headers["X-Request-Id"] = "abc"
+        assert headers["x-request-id"] == "abc"
+        assert headers.get("X-REQUEST-ID") == "abc"
+        assert "x-Request-id" in headers
+
+    def test_values_stringified(self):
+        headers = Headers()
+        headers["x-count"] = 42
+        assert headers["x-count"] == "42"
+
+    def test_init_from_mapping(self):
+        headers = Headers({"A": "1", "b": "2"})
+        assert headers["a"] == "1"
+        assert len(headers) == 2
+
+    def test_get_default(self):
+        assert Headers().get("missing") is None
+        assert Headers().get("missing", "d") == "d"
+
+    def test_delete(self):
+        headers = Headers({"a": "1"})
+        del headers["A"]
+        assert "a" not in headers
+
+    def test_copy_is_independent(self):
+        original = Headers({"a": "1"})
+        clone = original.copy()
+        clone["a"] = "2"
+        assert original["a"] == "1"
+
+    def test_equality(self):
+        assert Headers({"A": "1"}) == Headers({"a": "1"})
+        assert Headers({"a": "1"}) == {"A": "1"}
+        assert Headers({"a": "1"}) != Headers({"a": "2"})
+
+    def test_wire_size_grows_with_content(self):
+        small = Headers({"a": "1"})
+        big = Headers({"a": "1", "x-very-long-header-name": "v" * 50})
+        assert big.wire_size() > small.wire_size()
+
+    def test_iteration(self):
+        headers = Headers({"a": "1", "b": "2"})
+        assert sorted(headers) == ["a", "b"]
+
+
+class TestPropagation:
+    def test_propagated_set_copied(self):
+        parent = Headers(
+            {REQUEST_ID: "req-1", PRIORITY: "high", "x-unrelated": "nope"}
+        )
+        child = propagate(parent)
+        assert child[REQUEST_ID] == "req-1"
+        assert child[PRIORITY] == "high"
+        assert "x-unrelated" not in child
+
+    def test_existing_child_values_not_overwritten(self):
+        parent = Headers({PRIORITY: "high"})
+        child = Headers({PRIORITY: "low"})
+        propagate(parent, child)
+        assert child[PRIORITY] == "low"
+
+    def test_priority_is_in_propagated_set(self):
+        # The paper's design depends on this.
+        assert PRIORITY in PROPAGATED_HEADERS
+        assert REQUEST_ID in PROPAGATED_HEADERS
+
+
+class TestMessages:
+    def test_request_wire_size(self):
+        request = HttpRequest(service="svc", body_size=1000)
+        assert request.wire_size() > 1000
+
+    def test_request_ids_unique(self):
+        a = HttpRequest(service="svc")
+        b = HttpRequest(service="svc")
+        assert a.message_id != b.message_id
+
+    def test_reply_pairs_response_with_request(self):
+        request = HttpRequest(service="svc")
+        response = request.reply(body_size=5)
+        assert response.request_id == request.message_id
+        assert response.ok
+
+    def test_reply_echoes_correlation_headers(self):
+        request = HttpRequest(service="svc")
+        request.headers[REQUEST_ID] = "req-9"
+        request.headers[PRIORITY] = "low"
+        response = request.reply()
+        assert response.headers[REQUEST_ID] == "req-9"
+        assert response.headers[PRIORITY] == "low"
+
+    def test_status_predicates(self):
+        assert HttpResponse(status=200).ok
+        assert not HttpResponse(status=503).ok
+        assert HttpResponse(status=503).retryable
+        assert not HttpResponse(status=404).retryable
+        assert not HttpResponse(status=200).retryable
+
+    def test_retryable_statuses(self):
+        assert HttpStatus.RETRYABLE == {502, 503, 504}
+
+    def test_response_wire_size(self):
+        response = HttpResponse(body_size=2_000_000)
+        assert response.wire_size() >= 2_000_000

@@ -1,0 +1,240 @@
+"""Failure injection under load, pod churn, EDF queueing, trace replay."""
+
+import pytest
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.cluster import Chaos
+from repro.core import CrossLayerPolicy, PriorityPolicyHooks
+from repro.http import HttpRequest
+from repro.mesh import MeshConfig, RetryPolicy
+from repro.workload import (
+    LatencyRecorder,
+    TraceEntry,
+    TraceReplayer,
+    synthesize_trace,
+)
+
+
+class TestChaosPods:
+    def test_retries_ride_out_a_killed_replica(self):
+        config = MeshConfig(
+            retry=RetryPolicy(max_attempts=4, per_try_timeout=0.3, backoff_base=0.01)
+        )
+        testbed = MeshTestbed(mesh_config=config)
+        testbed.add_service("svc", echo_handler(body_size=10), replicas=3)
+        gateway = testbed.finish("svc")
+        chaos = Chaos(testbed.cluster)
+        chaos.kill_pod("svc-v1-2")
+        testbed.sim.run(until=0.2)  # endpoint update propagates
+        statuses = []
+        for _ in range(10):
+            event = gateway.submit(HttpRequest(service=""))
+            statuses.append(testbed.sim.run(until=event).status)
+        assert all(status == 200 for status in statuses)
+
+    def test_kill_before_discovery_push_still_recovers(self):
+        """Requests racing the endpoint update hit the dead pod, time
+        out, and succeed on retry against a live replica."""
+        config = MeshConfig(
+            retry=RetryPolicy(max_attempts=4, per_try_timeout=0.2, backoff_base=0.01)
+        )
+        testbed = MeshTestbed(mesh_config=config)
+        testbed.add_service("svc", echo_handler(body_size=10), replicas=2)
+        gateway = testbed.finish("svc")
+        chaos = Chaos(testbed.cluster)
+        chaos.kill_pod("svc-v1-1")
+        # Immediately: the gateway's endpoint list still has the corpse.
+        statuses = []
+        for _ in range(6):
+            event = gateway.submit(HttpRequest(service=""), timeout=5.0)
+            statuses.append(testbed.sim.run(until=event).status)
+        assert statuses.count(200) == 6
+
+    def test_restore_pod_returns_to_rotation(self):
+        testbed = MeshTestbed()
+        testbed.add_service("svc", echo_handler(), replicas=2)
+        gateway = testbed.finish("svc")
+        chaos = Chaos(testbed.cluster)
+        chaos.kill_pod("svc-v1-1")
+        assert chaos.killed_pods == ["svc-v1-1"]
+        chaos.restore_pod("svc-v1-1")
+        testbed.sim.run(until=0.2)
+        for _ in range(8):
+            event = gateway.submit(HttpRequest(service=""))
+            assert testbed.sim.run(until=event).status == 200
+        distribution = testbed.mesh.telemetry.endpoint_distribution("svc")
+        assert set(distribution) == {"svc-v1-1", "svc-v1-2"}
+
+    def test_scale_up_under_load_is_seamless(self):
+        testbed = MeshTestbed()
+        testbed.add_service("svc", echo_handler(), replicas=1)
+        gateway = testbed.finish("svc")
+        recorder = []
+
+        def driver():
+            for index in range(30):
+                event = gateway.submit(HttpRequest(service=""))
+                response = yield event
+                recorder.append(response.status)
+                if index == 10:
+                    # Scale out mid-run; note: new pods need handlers.
+                    testbed.add_service("svc", echo_handler(), version="v2")
+                yield testbed.sim.timeout(0.05)
+
+        testbed.sim.process(driver())
+        testbed.sim.run(until=10.0)
+        assert recorder.count(200) == 30
+
+
+class TestChaosPartitions:
+    def test_partition_breaks_then_heal_restores(self):
+        config = MeshConfig(
+            retry=RetryPolicy(max_attempts=1), default_timeout=0.5
+        )
+        testbed = MeshTestbed(mesh_config=config)
+        testbed.add_service("svc", echo_handler(body_size=10))
+        gateway = testbed.finish("svc")
+        chaos = Chaos(testbed.cluster)
+        pod = testbed.cluster.pods_of("svc-v1")[0]
+        chaos.partition(f"pod:{pod.name}", "node:node-0")
+        event = gateway.submit(HttpRequest(service=""))
+        response = testbed.sim.run(until=event)
+        assert response.status in (503, 504)
+        chaos.heal(f"pod:{pod.name}", "node:node-0")
+        event = gateway.submit(HttpRequest(service=""))
+        assert testbed.sim.run(until=event).status == 200
+
+    def test_heal_all(self):
+        testbed = MeshTestbed()
+        testbed.add_service("svc", echo_handler(), replicas=2)
+        testbed.finish("svc")
+        chaos = Chaos(testbed.cluster)
+        chaos.kill_pod("svc-v1-1")
+        pod = testbed.cluster.pods_of("svc-v1")[0]  # the surviving replica
+        chaos.partition(f"pod:{pod.name}", "node:node-0")
+        chaos.heal_all()
+        assert chaos.killed_pods == []
+        assert chaos._partitions == {}
+
+
+class TestDeadlineQueueing:
+    def test_edf_within_priority_class(self):
+        """With inbound EDF queueing, the tighter-deadline request of
+        the same class is served first."""
+        config = MeshConfig(inbound_concurrency=1)
+        testbed = MeshTestbed(mesh_config=config)
+        order = []
+
+        def slow_handler(ctx, request):
+            yield ctx.sleep(0.1)
+            order.append(request.headers.get("x-deadline"))
+            return request.reply(body_size=1)
+
+        testbed.add_service("svc", slow_handler)
+        gateway = testbed.finish("svc")
+        testbed.mesh.set_policy(PriorityPolicyHooks(CrossLayerPolicy()))
+
+        def submit(deadline, priority="high"):
+            request = HttpRequest(service="")
+            request.headers["x-priority"] = priority
+            request.headers["x-deadline"] = str(deadline)
+            return gateway.submit(request, timeout=30.0)
+
+        events = [submit(9.0)]          # occupies the worker
+        testbed.sim.run(until=0.05)
+        events += [submit(5.0), submit(1.0), submit(3.0)]  # queue up
+        testbed.sim.run(until=testbed.sim.all_of(events))
+        assert order == ["9.0", "1.0", "3.0", "5.0"]
+
+    def test_class_beats_deadline(self):
+        """A HIGH request with a loose deadline still beats a LOW
+        request with a tight one (strict priority between classes)."""
+        config = MeshConfig(inbound_concurrency=1)
+        testbed = MeshTestbed(mesh_config=config)
+        order = []
+
+        def slow_handler(ctx, request):
+            yield ctx.sleep(0.1)
+            order.append(request.headers.get("x-priority"))
+            return request.reply(body_size=1)
+
+        testbed.add_service("svc", slow_handler)
+        gateway = testbed.finish("svc")
+        testbed.mesh.set_policy(PriorityPolicyHooks(CrossLayerPolicy()))
+
+        def submit(priority, deadline):
+            request = HttpRequest(service="")
+            request.headers["x-priority"] = priority
+            request.headers["x-deadline"] = str(deadline)
+            return gateway.submit(request, timeout=30.0)
+
+        events = [submit("low", 99.0)]
+        testbed.sim.run(until=0.05)
+        events += [submit("low", 0.1), submit("high", 50.0)]
+        testbed.sim.run(until=testbed.sim.all_of(events))
+        assert order == ["low", "high", "low"]
+
+
+class TestTraceReplay:
+    def test_synthesized_trace_structure(self):
+        trace = synthesize_trace(duration=30.0, base_rps=20.0, seed=1)
+        assert trace, "empty trace"
+        times = [entry.at for entry in trace]
+        assert times == sorted(times)
+        assert all(0 <= t < 30.0 for t in times)
+        workloads = {entry.workload for entry in trace}
+        assert workloads == {"interactive", "batch"}
+        # Offered load within a factor of the base rate.
+        assert len(trace) == pytest.approx(30 * 20, rel=0.5)
+
+    def test_synthesized_trace_deterministic(self):
+        a = synthesize_trace(10.0, 10.0, seed=3)
+        b = synthesize_trace(10.0, 10.0, seed=3)
+        assert a == b
+
+    def test_invalid_trace_parameters(self):
+        with pytest.raises(ValueError):
+            synthesize_trace(0, 10)
+
+    def test_replay_fires_at_recorded_times(self):
+        testbed = MeshTestbed()
+        testbed.add_service("svc", echo_handler(), workers=16)
+        gateway = testbed.finish("svc")
+        trace = [
+            TraceEntry(at=0.5, workload="interactive"),
+            TraceEntry(at=1.0, workload="batch"),
+            TraceEntry(at=2.5, workload="interactive"),
+        ]
+        recorder = LatencyRecorder()
+        replayer = TraceReplayer(testbed.sim, gateway, trace, recorder)
+        replayer.start()
+        testbed.sim.run(until=10.0)
+        assert replayer.issued == 3
+        sent = sorted(sample.sent_at for sample in recorder.samples)
+        assert sent == pytest.approx([0.5, 1.0, 2.5])
+        assert {sample.workload for sample in recorder.samples} == {
+            "interactive",
+            "batch",
+        }
+
+    def test_unordered_trace_rejected(self):
+        testbed = MeshTestbed()
+        testbed.add_service("svc", echo_handler())
+        gateway = testbed.finish("svc")
+        bad = [TraceEntry(at=2.0, workload="interactive"),
+               TraceEntry(at=1.0, workload="interactive")]
+        with pytest.raises(ValueError):
+            TraceReplayer(testbed.sim, gateway, bad, LatencyRecorder())
+
+    def test_replay_end_to_end_with_synthetic_trace(self):
+        testbed = MeshTestbed()
+        testbed.add_service("svc", echo_handler(), workers=32)
+        gateway = testbed.finish("svc")
+        trace = synthesize_trace(duration=5.0, base_rps=20.0, seed=5)
+        recorder = LatencyRecorder()
+        replayer = TraceReplayer(testbed.sim, gateway, trace, recorder)
+        replayer.start()
+        testbed.sim.run(until=15.0)
+        assert len(recorder) == replayer.issued == len(trace)
+        assert recorder.error_rate() == 0.0

@@ -1,0 +1,87 @@
+"""Shared builders for mesh-level tests."""
+
+from repro.apps import AppBuilder, Microservice, ServiceSpec
+from repro.cluster import Cluster, PodSpec, Scheduler
+from repro.mesh import MeshConfig, ServiceMesh
+from repro.sim import RngRegistry, Simulator
+from repro.transport import TransportConfig
+
+
+class MeshTestbed:
+    """A one-node cluster + mesh ready for custom services."""
+
+    def __init__(self, mesh_config=None, seed=0, pod_link_rate_bps=None):
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        cluster_kwargs = {}
+        if pod_link_rate_bps is not None:
+            cluster_kwargs["pod_link_rate_bps"] = pod_link_rate_bps
+        self.cluster = Cluster(
+            self.sim,
+            scheduler=Scheduler("first-fit"),
+            transport_config=TransportConfig(mss=15_000, header_bytes=60),
+            **cluster_kwargs,
+        )
+        self.cluster.add_node("node-0")
+        self.mesh = ServiceMesh(
+            self.sim,
+            self.cluster,
+            mesh_config if mesh_config is not None else MeshConfig(),
+            rng_registry=self.rng,
+        )
+        self.microservices = {}
+
+    def add_service(
+        self,
+        name,
+        handler=None,
+        replicas=1,
+        version="v1",
+        workers=8,
+    ):
+        """Deploy a service whose pods run ``handler`` (a generator taking
+        (ctx, request) and returning an HttpResponse)."""
+        self.cluster.create_deployment(
+            f"{name}-{version}",
+            replicas=replicas,
+            spec=PodSpec(labels={"app": name, "version": version}, workers=workers),
+        )
+        if name not in self.cluster.services:
+            self.cluster.create_service(name, selector={"app": name})
+        else:
+            self.cluster.refresh_services()
+        services = []
+        for pod in self.cluster.pods_of(f"{name}-{version}"):
+            sidecar = self.mesh.inject_pod(pod, service_name=name)
+            micro = Microservice(self.sim, pod, sidecar, pod.name)
+            if handler is not None:
+                micro.default_route(handler)
+            services.append(micro)
+        self.microservices.setdefault(name, []).extend(services)
+        return services
+
+    def build_app(self, specs: list[ServiceSpec], batch_multiplier=200.0):
+        builder = AppBuilder(
+            self.sim,
+            self.cluster,
+            self.mesh,
+            rng_registry=self.rng,
+            batch_multiplier=batch_multiplier,
+        )
+        return builder.build(specs)
+
+    def finish(self, entry_service):
+        gateway = self.mesh.create_gateway(entry_service)
+        self.cluster.build_routes()
+        return gateway
+
+
+def echo_handler(body_size=1000, delay=0.0):
+    """A handler replying with a fixed-size body after ``delay``."""
+
+    def generator_handler(ctx, request):
+        if delay > 0:
+            yield ctx.sleep(delay)
+        return request.reply(body_size=body_size)
+
+    return generator_handler

@@ -1,0 +1,102 @@
+"""Control plane: discovery pushes, config distribution, certificates."""
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.mesh import PolicyHooks, RouteRule
+
+
+class TestDiscovery:
+    def test_sidecar_bootstraps_with_current_endpoints(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler())
+        testbed.add_service("b", echo_handler())
+        # The b-sidecar bootstrapped after both services existed.
+        b_sidecar = testbed.mesh.sidecars[-1]
+        assert set(b_sidecar.endpoints) >= {"a", "b"}
+        # The a-sidecar learns about b via a discovery push.
+        testbed.sim.run(until=testbed.mesh.config.config_push_delay + 0.01)
+        assert set(testbed.mesh.sidecars[0].endpoints) >= {"a", "b"}
+
+    def test_scale_up_is_pushed_after_delay(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler())
+        sidecar = testbed.mesh.sidecars[0]
+        assert len(sidecar.endpoints["a"]) == 1
+        testbed.sim.run(until=1.0)
+        testbed.cluster.scale("a-v1", 3)
+        # Not yet pushed (propagation delay).
+        assert len(sidecar.endpoints["a"]) == 1
+        testbed.sim.run(until=1.0 + testbed.mesh.config.config_push_delay + 0.01)
+        assert len(sidecar.endpoints["a"]) == 3
+        assert testbed.mesh.control_plane.pushes >= 1
+
+    def test_scale_down_propagates(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler(), replicas=3)
+        sidecar = testbed.mesh.sidecars[0]
+        testbed.sim.run(until=0.5)
+        testbed.cluster.scale("a-v1", 1)
+        testbed.sim.run(until=1.0)
+        assert len(sidecar.endpoints["a"]) == 1
+
+
+class TestConfigDistribution:
+    def test_routes_pushed_to_all_sidecars(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler())
+        testbed.add_service("b", echo_handler())
+        testbed.mesh.set_route_rules("a", [RouteRule()], immediate=True)
+        for sidecar in testbed.mesh.sidecars:
+            assert len(sidecar.routes.rules_for("a")) == 1
+
+    def test_late_sidecar_gets_existing_routes(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler())
+        testbed.mesh.set_route_rules("a", [RouteRule()], immediate=True)
+        testbed.add_service("late", echo_handler())
+        late_sidecar = testbed.mesh.sidecars[-1]
+        assert len(late_sidecar.routes.rules_for("a")) == 1
+
+    def test_delayed_route_push(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler())
+        testbed.sim.run(until=1.0)
+        testbed.mesh.set_route_rules("a", [RouteRule()], immediate=False)
+        sidecar = testbed.mesh.sidecars[0]
+        assert sidecar.routes.rules_for("a") == []
+        testbed.sim.run(until=1.2)
+        assert len(sidecar.routes.rules_for("a")) == 1
+
+
+class TestPolicyInstallation:
+    def test_set_policy_reaches_existing_and_new_sidecars(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler())
+        policy = PolicyHooks()
+        testbed.mesh.set_policy(policy)
+        assert testbed.mesh.sidecars[0].policy is policy
+        testbed.add_service("b", echo_handler())
+        assert testbed.mesh.sidecars[-1].policy is policy
+
+
+class TestCertificates:
+    def test_identity_issued_per_injected_service(self):
+        testbed = MeshTestbed()
+        testbed.add_service("reviews", echo_handler())
+        ca = testbed.mesh.control_plane.ca
+        assert ca.current("spiffe://cluster.local/sa/reviews") is not None
+
+    def test_sidecar_container_added_to_pod(self):
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler())
+        pod = testbed.cluster.pods_of("a-v1")[0]
+        assert "istio-proxy" in pod.containers
+
+    def test_double_injection_rejected(self):
+        import pytest
+
+        testbed = MeshTestbed()
+        testbed.add_service("a", echo_handler())
+        pod = testbed.cluster.pods_of("a-v1")[0]
+        with pytest.raises(ValueError):
+            testbed.mesh.inject_pod(pod)

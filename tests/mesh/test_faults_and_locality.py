@@ -1,0 +1,155 @@
+"""Fault injection and locality-aware load balancing."""
+
+import pytest
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.cluster import Cluster, PodSpec, Scheduler
+from repro.apps import Microservice
+from repro.http import HttpRequest, HttpStatus
+from repro.mesh import (
+    FaultInjection,
+    HeaderMatch,
+    LocalityAwareLB,
+    MeshConfig,
+    RetryPolicy,
+    RouteRule,
+    ServiceMesh,
+)
+from repro.sim import RngRegistry, Simulator
+from repro.transport import TransportConfig
+
+
+class TestFaultInjectionPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjection(delay_fraction=1.5)
+        with pytest.raises(ValueError):
+            FaultInjection(delay_fraction=0.5)  # no delay_seconds
+        with pytest.raises(ValueError):
+            FaultInjection(abort_fraction=0.5)  # no abort_status
+
+    def test_sampling_extremes(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        always = FaultInjection(
+            delay_seconds=1.0, delay_fraction=1.0,
+            abort_status=503, abort_fraction=1.0,
+        )
+        assert always.sample_delay(rng) == 1.0
+        assert always.sample_abort(rng) == 503
+        never = FaultInjection()
+        assert never.sample_delay(rng) == 0.0
+        assert never.sample_abort(rng) is None
+
+
+class TestFaultInjectionInMesh:
+    def make(self, fault, retry_attempts=1):
+        config = MeshConfig(retry=RetryPolicy(max_attempts=retry_attempts))
+        testbed = MeshTestbed(mesh_config=config)
+        testbed.add_service("svc", echo_handler(body_size=10))
+        gateway = testbed.finish("svc")
+        testbed.mesh.set_route_rules("svc", [RouteRule(fault=fault)])
+        return testbed, gateway
+
+    def test_abort_fault_returns_status_locally(self):
+        fault = FaultInjection(abort_status=503, abort_fraction=1.0)
+        testbed, gateway = self.make(fault)
+        event = gateway.submit(HttpRequest(service=""))
+        response = testbed.sim.run(until=event)
+        assert response.status == 503
+        # No actual upstream request happened at the app.
+        assert testbed.microservices["svc"][0].requests_handled == 0
+
+    def test_delay_fault_adds_latency(self):
+        fault = FaultInjection(delay_seconds=0.5, delay_fraction=1.0)
+        testbed, gateway = self.make(fault)
+        event = gateway.submit(HttpRequest(service=""))
+        response = testbed.sim.run(until=event)
+        assert response.status == 200
+        assert testbed.sim.now >= 0.5
+
+    def test_partial_abort_fraction(self):
+        fault = FaultInjection(abort_status=503, abort_fraction=0.5)
+        testbed, gateway = self.make(fault)
+        statuses = []
+        for _ in range(40):
+            event = gateway.submit(HttpRequest(service=""))
+            statuses.append(testbed.sim.run(until=event).status)
+        aborted = statuses.count(503)
+        assert 8 <= aborted <= 32  # ~50% with generous noise bounds
+
+    def test_fault_applies_only_to_matched_requests(self):
+        config = MeshConfig(retry=RetryPolicy(max_attempts=1))
+        testbed = MeshTestbed(mesh_config=config)
+        testbed.add_service("svc", echo_handler(body_size=10))
+        gateway = testbed.finish("svc")
+        testbed.mesh.set_route_rules(
+            "svc",
+            [
+                RouteRule(
+                    matches=(HeaderMatch("x-chaos", "on"),),
+                    fault=FaultInjection(abort_status=503, abort_fraction=1.0),
+                ),
+                RouteRule(),
+            ],
+        )
+        chaos = HttpRequest(service="")
+        chaos.headers["x-chaos"] = "on"
+        assert testbed.sim.run(until=gateway.submit(chaos)).status == 503
+        clean = HttpRequest(service="")
+        assert testbed.sim.run(until=gateway.submit(clean)).status == 200
+
+
+class TestLocalityAwareLB:
+    def endpoints(self):
+        from repro.cluster.service import Endpoint
+
+        return [
+            Endpoint("local-1", "10.1.0.1", 80, (), node="node-0"),
+            Endpoint("local-2", "10.1.0.2", 80, (), node="node-0"),
+            Endpoint("remote-1", "10.1.0.3", 80, (), node="node-1"),
+        ]
+
+    def test_prefers_local_endpoints(self):
+        lb = LocalityAwareLB("node-0")
+        picks = {lb.pick(self.endpoints()).pod_name for _ in range(10)}
+        assert picks == {"local-1", "local-2"}
+
+    def test_falls_back_when_no_local(self):
+        lb = LocalityAwareLB("node-9")
+        picks = {lb.pick(self.endpoints()).pod_name for _ in range(9)}
+        assert picks == {"local-1", "local-2", "remote-1"}
+
+    def test_mesh_wide_locality_lb(self):
+        sim = Simulator()
+        cluster = Cluster(
+            sim,
+            scheduler=Scheduler("least-pods"),
+            transport_config=TransportConfig(mss=15_000),
+        )
+        cluster.add_node("node-0")
+        cluster.add_node("node-1")
+        mesh = ServiceMesh(
+            sim, cluster, MeshConfig(lb_name="locality"), rng_registry=RngRegistry(0)
+        )
+        for node in ("node-0", "node-1"):
+            cluster.create_deployment(
+                f"backend-{node}",
+                replicas=1,
+                spec=PodSpec(labels={"app": "backend"}, node_hint=node),
+            )
+        cluster.create_service("backend", selector={"app": "backend"})
+        for pod in cluster.pods:
+            sidecar = mesh.inject_pod(pod, service_name="backend")
+            Microservice(sim, pod, sidecar, pod.name).default_route(
+                echo_handler(body_size=10)
+            )
+        gateway = mesh.create_gateway("backend", node_hint="node-0")
+        cluster.build_routes()
+        for _ in range(8):
+            sim.run(until=gateway.submit(HttpRequest(service="")))
+        distribution = mesh.telemetry.endpoint_distribution("backend")
+        # The gateway is on node-0: everything goes to the local backend.
+        assert distribution == {"backend-node-0-1": 8}

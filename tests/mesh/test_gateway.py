@@ -1,0 +1,75 @@
+"""Ingress gateway behaviour."""
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.core import InferringClassifier, CrossLayerPolicy, PriorityPolicyHooks
+from repro.http import HttpRequest, REQUEST_ID, TRACE_ID
+
+
+class TestGateway:
+    def test_entry_service_filled_in(self):
+        testbed = MeshTestbed()
+        testbed.add_service("frontend", echo_handler())
+        gateway = testbed.finish("frontend")
+        request = HttpRequest(service="")
+        response = testbed.sim.run(until=gateway.submit(request))
+        assert request.service == "frontend"
+        assert response.status == 200
+
+    def test_explicit_service_respected(self):
+        testbed = MeshTestbed()
+        testbed.add_service("frontend", echo_handler(body_size=1))
+        testbed.add_service("other", echo_handler(body_size=2))
+        gateway = testbed.finish("frontend")
+        request = HttpRequest(service="other")
+        response = testbed.sim.run(until=gateway.submit(request))
+        assert response.body_size == 2
+
+    def test_provenance_anchors_assigned(self):
+        testbed = MeshTestbed()
+        testbed.add_service("frontend", echo_handler())
+        gateway = testbed.finish("frontend")
+        request = HttpRequest(service="")
+        testbed.sim.run(until=gateway.submit(request))
+        assert request.headers.get(REQUEST_ID, "").startswith("req-")
+        assert request.headers.get(TRACE_ID, "").startswith("trace-")
+
+    def test_existing_request_id_preserved(self):
+        testbed = MeshTestbed()
+        testbed.add_service("frontend", echo_handler())
+        gateway = testbed.finish("frontend")
+        request = HttpRequest(service="")
+        request.headers[REQUEST_ID] = "req-custom"
+        testbed.sim.run(until=gateway.submit(request))
+        assert request.headers[REQUEST_ID] == "req-custom"
+
+    def test_admission_counter(self):
+        testbed = MeshTestbed()
+        testbed.add_service("frontend", echo_handler())
+        gateway = testbed.finish("frontend")
+        for _ in range(3):
+            testbed.sim.run(until=gateway.submit(HttpRequest(service="")))
+        assert gateway.requests_admitted == 3
+
+    def test_classifier_runs_at_admission(self):
+        testbed = MeshTestbed()
+        testbed.add_service("frontend", echo_handler())
+        gateway = testbed.finish("frontend")
+        hooks = PriorityPolicyHooks(CrossLayerPolicy.disabled())
+        testbed.mesh.set_policy(hooks)
+        request = HttpRequest(service="")
+        request.headers["x-workload"] = "batch"
+        testbed.sim.run(until=gateway.submit(request))
+        assert request.headers["x-priority"] == "low"
+
+    def test_response_observation_feeds_classifier(self):
+        testbed = MeshTestbed()
+        testbed.add_service("frontend", echo_handler(body_size=123_456))
+        gateway = testbed.finish("frontend")
+        classifier = InferringClassifier()
+        testbed.mesh.set_policy(
+            PriorityPolicyHooks(CrossLayerPolicy.disabled(), classifier)
+        )
+        request = HttpRequest(service="", path="/heavy")
+        testbed.sim.run(until=gateway.submit(request))
+        assert classifier.learned_sizes.get("/heavy") == 123_456

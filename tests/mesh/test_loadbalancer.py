@@ -1,0 +1,153 @@
+"""Load-balancing policies."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.cluster.service import Endpoint
+from repro.mesh import (
+    AdaptiveLB,
+    LeastRequestLB,
+    RandomLB,
+    RoundRobinLB,
+    WeightedLB,
+    make_lb,
+)
+
+
+def endpoints(n, **labels):
+    return [
+        Endpoint(
+            pod_name=f"pod-{i}",
+            ip=f"10.1.0.{i + 1}",
+            port=80,
+            labels=tuple(sorted({**labels, "idx": str(i)}.items())),
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundRobin:
+    def test_rotation(self):
+        lb = RoundRobinLB()
+        eps = endpoints(3)
+        picks = [lb.pick(eps).pod_name for _ in range(6)]
+        assert picks == ["pod-0", "pod-1", "pod-2"] * 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinLB().pick([])
+
+    def test_survives_endpoint_set_change(self):
+        lb = RoundRobinLB()
+        lb.pick(endpoints(5))
+        assert lb.pick(endpoints(2)) is not None
+
+
+class TestRandom:
+    def test_covers_all_endpoints(self):
+        lb = RandomLB(rng=np.random.default_rng(0))
+        eps = endpoints(4)
+        picks = Counter(lb.pick(eps).pod_name for _ in range(400))
+        assert len(picks) == 4
+        for count in picks.values():
+            assert 50 < count < 150
+
+
+class TestLeastRequest:
+    def test_prefers_less_loaded(self):
+        lb = LeastRequestLB(rng=np.random.default_rng(0))
+        eps = endpoints(2)
+        # Saturate pod-0 with outstanding requests.
+        for _ in range(10):
+            lb.on_request_start(eps[0])
+        picks = Counter(lb.pick(eps).pod_name for _ in range(100))
+        assert picks["pod-1"] > 90
+
+    def test_outstanding_count_decrements(self):
+        lb = LeastRequestLB()
+        eps = endpoints(2)
+        lb.on_request_start(eps[0])
+        lb.on_request_end(eps[0], 0.01, ok=True)
+        assert lb.outstanding[eps[0].ip] == 0
+        # Extra end never goes negative.
+        lb.on_request_end(eps[0], 0.01, ok=True)
+        assert lb.outstanding[eps[0].ip] == 0
+
+    def test_single_endpoint_short_circuit(self):
+        lb = LeastRequestLB()
+        eps = endpoints(1)
+        assert lb.pick(eps) is eps[0]
+
+
+class TestWeighted:
+    def test_weight_table(self):
+        lb = WeightedLB(
+            weights={"10.1.0.1": 9.0, "10.1.0.2": 1.0},
+            rng=np.random.default_rng(0),
+        )
+        eps = endpoints(2)
+        picks = Counter(lb.pick(eps).pod_name for _ in range(1000))
+        ratio = picks["pod-0"] / 1000
+        assert 0.85 < ratio < 0.95
+
+    def test_weight_from_label(self):
+        eps = [
+            Endpoint("a", "10.1.0.1", 80, (("weight", "3"),)),
+            Endpoint("b", "10.1.0.2", 80, (("weight", "1"),)),
+        ]
+        lb = WeightedLB(rng=np.random.default_rng(0))
+        picks = Counter(lb.pick(eps).pod_name for _ in range(1000))
+        assert 0.68 < picks["a"] / 1000 < 0.82
+
+    def test_all_zero_weights_falls_back_to_uniform(self):
+        lb = WeightedLB(weights={"10.1.0.1": 0, "10.1.0.2": 0})
+        assert lb.pick(endpoints(2)) is not None
+
+
+class TestAdaptive:
+    def test_unexplored_endpoints_tried_first(self):
+        lb = AdaptiveLB()
+        eps = endpoints(2)
+        lb.on_request_end(eps[0], 0.050, ok=True)
+        # pod-1 has no history -> optimistic score -> picked.
+        assert lb.pick(eps).pod_name == "pod-1"
+
+    def test_prefers_faster_replica(self):
+        lb = AdaptiveLB()
+        eps = endpoints(2)
+        for _ in range(5):
+            lb.on_request_end(eps[0], 0.100, ok=True)
+            lb.on_request_end(eps[1], 0.001, ok=True)
+        assert lb.pick(eps).pod_name == "pod-1"
+
+    def test_failure_penalized(self):
+        lb = AdaptiveLB()
+        eps = endpoints(2)
+        lb.on_request_end(eps[0], 0.001, ok=False)  # fast but failing
+        lb.on_request_end(eps[1], 0.050, ok=True)
+        assert lb.pick(eps).pod_name == "pod-1"
+
+    def test_outstanding_load_considered(self):
+        lb = AdaptiveLB()
+        eps = endpoints(2)
+        lb.on_request_end(eps[0], 0.010, ok=True)
+        lb.on_request_end(eps[1], 0.010, ok=True)
+        for _ in range(5):
+            lb.on_request_start(eps[0])
+        assert lb.pick(eps).pod_name == "pod-1"
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            AdaptiveLB(alpha=0.0)
+
+
+class TestRegistry:
+    def test_make_all_known(self):
+        for name in ("round-robin", "random", "least-request", "weighted", "adaptive"):
+            assert make_lb(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_lb("coin-flip")

@@ -1,0 +1,61 @@
+"""Certificate authority and mTLS cost model."""
+
+import pytest
+
+from repro.mesh import CertificateAuthority, MtlsContext
+
+
+class TestCertificateAuthority:
+    def test_issue_and_lookup(self):
+        ca = CertificateAuthority(ttl=100.0)
+        cert = ca.issue("spiffe://cluster.local/sa/reviews", now=10.0)
+        assert cert.identity.endswith("reviews")
+        assert cert.valid_at(10.0)
+        assert cert.valid_at(109.0)
+        assert not cert.valid_at(110.0)
+        assert not cert.valid_at(5.0)
+        assert ca.current(cert.identity) is cert
+
+    def test_serials_unique(self):
+        ca = CertificateAuthority()
+        a = ca.issue("id-a", 0.0)
+        b = ca.issue("id-b", 0.0)
+        assert a.serial != b.serial
+
+    def test_reissue_replaces(self):
+        ca = CertificateAuthority(ttl=100.0)
+        first = ca.issue("id", 0.0)
+        second = ca.issue("id", 50.0)
+        assert ca.current("id") is second
+        assert second.serial > first.serial
+
+    def test_rotation_near_expiry(self):
+        ca = CertificateAuthority(ttl=100.0)
+        first = ca.issue("id", 0.0)
+        # Far from expiry: no rotation.
+        assert ca.rotate_if_needed("id", now=10.0, margin=10.0) is first
+        # Within the margin: re-issued.
+        rotated = ca.rotate_if_needed("id", now=95.0, margin=10.0)
+        assert rotated is not first
+        assert rotated.expires_at == 195.0
+
+    def test_rotation_creates_when_missing(self):
+        ca = CertificateAuthority()
+        cert = ca.rotate_if_needed("fresh", now=0.0)
+        assert cert.identity == "fresh"
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            CertificateAuthority(ttl=0)
+
+
+class TestMtlsContext:
+    def test_disabled_has_no_overhead(self):
+        ctx = MtlsContext(enabled=False)
+        assert ctx.message_overhead() == 0
+
+    def test_enabled_overhead(self):
+        ctx = MtlsContext(enabled=True)
+        assert ctx.message_overhead() == 29
+        assert ctx.handshake_rtts == 1
+        assert ctx.handshake_cpu > 0

@@ -1,0 +1,113 @@
+"""Outlier detection: success-rate ejection."""
+
+import pytest
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.http import HttpRequest
+from repro.mesh import MeshConfig, RetryPolicy
+from repro.mesh.outlier import OutlierConfig, OutlierDetector
+
+
+class TestDetectorUnit:
+    def test_ejects_after_threshold(self):
+        detector = OutlierDetector(
+            OutlierConfig(min_requests=10, error_rate_threshold=0.5)
+        )
+        for i in range(10):
+            detector.record("10.0.0.1", ok=(i % 2 == 0), now=float(i) * 0.1)
+        assert detector.is_ejected("10.0.0.1", now=1.0)
+        assert detector.ejections == 1
+
+    def test_no_judgement_on_thin_evidence(self):
+        detector = OutlierDetector(OutlierConfig(min_requests=20))
+        for i in range(10):
+            detector.record("10.0.0.1", ok=False, now=float(i) * 0.01)
+        assert not detector.is_ejected("10.0.0.1", now=0.2)
+
+    def test_ejection_expires(self):
+        detector = OutlierDetector(
+            OutlierConfig(min_requests=5, error_rate_threshold=0.5, ejection_time=2.0)
+        )
+        for i in range(5):
+            detector.record("10.0.0.1", ok=False, now=0.1 * i)
+        assert detector.is_ejected("10.0.0.1", now=1.0)
+        assert not detector.is_ejected("10.0.0.1", now=3.0)
+
+    def test_window_prunes_old_outcomes(self):
+        detector = OutlierDetector(
+            OutlierConfig(window=1.0, min_requests=5, error_rate_threshold=0.5)
+        )
+        # Five old failures, outside the window by the time we judge.
+        for i in range(5):
+            detector.record("10.0.0.1", ok=False, now=0.1 * i)
+        detector._stats["10.0.0.1"].ejected_until = float("-inf")  # reset
+        detector.record("10.0.0.1", ok=True, now=5.0)  # prunes the past
+        assert detector.error_rate("10.0.0.1", now=5.0) == 0.0
+
+    def test_max_ejection_fraction_panic_mode(self):
+        detector = OutlierDetector(
+            OutlierConfig(
+                min_requests=5, error_rate_threshold=0.5,
+                max_ejection_fraction=0.5,
+            )
+        )
+        for ip in ("10.0.0.1", "10.0.0.2", "10.0.0.3"):
+            for i in range(5):
+                detector.record(ip, ok=False, now=0.1 * i)
+        healthy = detector.filter_healthy(
+            ["10.0.0.1", "10.0.0.2", "10.0.0.3"], now=1.0
+        )
+        # All three are nominally ejected, but at most 50% (=1) may be.
+        assert len(healthy) >= 2
+
+    def test_unknown_endpoint_healthy(self):
+        detector = OutlierDetector()
+        assert not detector.is_ejected("10.9.9.9", now=0.0)
+        assert detector.error_rate("10.9.9.9", now=0.0) == 0.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            OutlierConfig(window=0)
+        with pytest.raises(ValueError):
+            OutlierConfig(error_rate_threshold=0)
+        with pytest.raises(ValueError):
+            OutlierConfig(max_ejection_fraction=1.5)
+
+
+class TestDetectorInMesh:
+    def test_flaky_replica_ejected_traffic_shifts(self):
+        """One of two replicas fails half its requests; after ejection
+        all traffic lands on the healthy one."""
+        config = MeshConfig(
+            retry=RetryPolicy(max_attempts=1),
+            outlier=OutlierConfig(
+                min_requests=6, error_rate_threshold=0.4, ejection_time=60.0
+            ),
+        )
+        testbed = MeshTestbed(mesh_config=config)
+        calls = {"n": 0}
+
+        def flaky(ctx, request):
+            calls["n"] += 1
+            yield ctx.sleep(0.001)
+            if calls["n"] % 2 == 0:
+                return request.reply(503)
+            return request.reply(body_size=1)
+
+        testbed.add_service("svc", flaky, version="v1")
+        testbed.add_service("svc", echo_handler(body_size=1), version="v2")
+        gateway = testbed.finish("svc")
+        # Warm-up phase: both replicas see traffic, v1 accumulates errors.
+        statuses = []
+        for _ in range(30):
+            event = gateway.submit(HttpRequest(service=""))
+            statuses.append(testbed.sim.run(until=event).status)
+        # After ejection everything succeeds (healthy replica only).
+        late = []
+        for _ in range(10):
+            event = gateway.submit(HttpRequest(service=""))
+            late.append(testbed.sim.run(until=event).status)
+        assert all(status == 200 for status in late), late
+        distribution = testbed.mesh.telemetry.endpoint_distribution("svc")
+        assert distribution["svc-v2-1"] > distribution["svc-v1-1"]

@@ -1,0 +1,116 @@
+"""Retry policies, hedging policies, circuit breakers."""
+
+import pytest
+
+from repro.mesh import CircuitBreaker, HedgePolicy, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.01, backoff_max=0.05)
+        assert policy.backoff(1) == 0.01
+        assert policy.backoff(2) == 0.02
+        assert policy.backoff(3) == 0.04
+        assert policy.backoff(4) == 0.05  # capped
+
+    def test_should_retry_on_retryable_status(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1, 503)
+        assert policy.should_retry(2, 502)
+        assert not policy.should_retry(3, 503)  # budget exhausted
+
+    def test_should_retry_on_timeout(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.should_retry(1, None)
+
+    def test_no_retry_on_success_or_client_error(self):
+        policy = RetryPolicy()
+        assert not policy.should_retry(1, 200)
+        assert not policy.should_retry(1, 404)
+
+    def test_invalid_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestHedgePolicy:
+    def test_valid(self):
+        policy = HedgePolicy(delay=0.05, max_hedges=2)
+        assert policy.delay == 0.05
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(delay=-1)
+        with pytest.raises(ValueError):
+            HedgePolicy(max_hedges=-1)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, recovery=1.0):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            recovery_time=recovery,
+            clock=lambda: clock["now"],
+        )
+        return breaker, clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        for _ in range(2):
+            breaker.on_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.on_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.on_failure()
+        breaker.on_failure()
+        breaker.on_success()
+        breaker.on_failure()
+        breaker.on_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_recovery_time(self):
+        breaker, clock = self.make(threshold=1, recovery=1.0)
+        breaker.on_failure()
+        assert not breaker.allow()
+        clock["now"] = 1.5
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # probe permitted
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1)
+        breaker.on_failure()
+        clock["now"] = 2.0
+        assert breaker.allow()
+        breaker.on_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make(threshold=1, recovery=1.0)
+        breaker.on_failure()
+        clock["now"] = 2.0
+        assert breaker.allow()
+        breaker.on_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        # The open period restarts from the probe failure.
+        clock["now"] = 2.5
+        assert not breaker.allow()
+        clock["now"] = 3.1
+        assert breaker.allow()
+
+    def test_rejection_counter(self):
+        breaker, _ = self.make(threshold=1)
+        breaker.on_failure()
+        breaker.allow()
+        breaker.allow()
+        assert breaker.rejections == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_time=0)

@@ -1,0 +1,143 @@
+"""Route tables: header matching, subsets, traffic splitting."""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.http import HttpRequest, PRIORITY
+from repro.mesh import HeaderMatch, RouteDestination, RouteRule, RouteTable, subset
+
+
+def request(service="reviews", **headers):
+    req = HttpRequest(service=service)
+    for key, value in headers.items():
+        req.headers[key.replace("_", "-")] = value
+    return req
+
+
+class TestHeaderMatch:
+    def test_exact_value(self):
+        match = HeaderMatch(PRIORITY, "high")
+        assert match.matches(request(x_priority="high"))
+        assert not match.matches(request(x_priority="low"))
+        assert not match.matches(request())
+
+    def test_presence_only(self):
+        match = HeaderMatch(PRIORITY)
+        assert match.matches(request(x_priority="anything"))
+        assert not match.matches(request())
+
+
+class TestRouteResolution:
+    def make_pinning_table(self):
+        table = RouteTable(rng=np.random.default_rng(0))
+        table.set_rules(
+            "reviews",
+            [
+                RouteRule(
+                    matches=(HeaderMatch(PRIORITY, "high"),),
+                    destinations=(RouteDestination(subset=subset(version="v1")),),
+                ),
+                RouteRule(
+                    matches=(HeaderMatch(PRIORITY, "low"),),
+                    destinations=(RouteDestination(subset=subset(version="v2")),),
+                ),
+                RouteRule(),
+            ],
+        )
+        return table
+
+    def test_first_matching_rule_wins(self):
+        table = self.make_pinning_table()
+        assert table.resolve(request(x_priority="high")).subset_labels == {
+            "version": "v1"
+        }
+        assert table.resolve(request(x_priority="low")).subset_labels == {
+            "version": "v2"
+        }
+
+    def test_catch_all_for_unclassified(self):
+        table = self.make_pinning_table()
+        assert table.resolve(request()).subset_labels == {}
+
+    def test_unknown_service_unrestricted(self):
+        table = self.make_pinning_table()
+        assert table.resolve(request(service="details")).subset_labels == {}
+
+    def test_no_matching_rule_and_no_catchall(self):
+        table = RouteTable()
+        table.set_rules(
+            "svc",
+            [
+                RouteRule(
+                    matches=(HeaderMatch("x-never", "set"),),
+                    destinations=(RouteDestination(subset=subset(version="v9")),),
+                )
+            ],
+        )
+        # Falls through all rules -> unrestricted default.
+        assert table.resolve(request(service="svc")).subset_labels == {}
+
+    def test_weighted_traffic_split(self):
+        table = RouteTable(rng=np.random.default_rng(0))
+        table.set_rules(
+            "svc",
+            [
+                RouteRule(
+                    destinations=(
+                        RouteDestination(subset=subset(version="v1"), weight=0.9),
+                        RouteDestination(subset=subset(version="v2"), weight=0.1),
+                    )
+                )
+            ],
+        )
+        picks = Counter(
+            table.resolve(request(service="svc")).subset_labels["version"]
+            for _ in range(1000)
+        )
+        assert 0.85 < picks["v1"] / 1000 < 0.95
+
+    def test_generation_bumps(self):
+        table = RouteTable()
+        generation = table.generation
+        table.set_rules("svc", [RouteRule()])
+        assert table.generation == generation + 1
+        table.clear("svc")
+        assert table.generation == generation + 2
+
+    def test_clear_restores_default(self):
+        table = self.make_pinning_table()
+        table.clear("reviews")
+        assert table.resolve(request(x_priority="high")).subset_labels == {}
+
+    def test_snapshot_is_a_copy(self):
+        table = self.make_pinning_table()
+        snapshot = table.snapshot()
+        snapshot["reviews"].clear()
+        assert len(table.rules_for("reviews")) == 3
+
+    def test_multiple_matches_must_all_hold(self):
+        table = RouteTable()
+        table.set_rules(
+            "svc",
+            [
+                RouteRule(
+                    matches=(
+                        HeaderMatch("x-a", "1"),
+                        HeaderMatch("x-b", "2"),
+                    ),
+                    destinations=(RouteDestination(subset=subset(version="v9")),),
+                ),
+                RouteRule(),
+            ],
+        )
+        both = request(service="svc", x_a="1", x_b="2")
+        only_one = request(service="svc", x_a="1")
+        assert table.resolve(both).subset_labels == {"version": "v9"}
+        assert table.resolve(only_one).subset_labels == {}
+
+
+def test_subset_helper_sorted_and_hashable():
+    s = subset(version="v1", app="reviews")
+    assert s == (("app", "reviews"), ("version", "v1"))
+    assert hash(s) is not None

@@ -1,0 +1,105 @@
+"""Telemetry aggregation and queries."""
+
+from repro.mesh import RequestRecord, Telemetry
+
+
+def record(telemetry, src="a", dst="b", latency=0.01, status=200, **kw):
+    telemetry.record_request(
+        RequestRecord(
+            time=kw.pop("time", 1.0),
+            source=src,
+            destination=dst,
+            latency=latency,
+            status=status,
+            **kw,
+        )
+    )
+
+
+def test_request_counts_by_pair():
+    telemetry = Telemetry()
+    record(telemetry, "gw", "frontend")
+    record(telemetry, "gw", "frontend")
+    record(telemetry, "frontend", "reviews")
+    assert telemetry.request_count() == 3
+    assert telemetry.request_count(source="gw") == 2
+    assert telemetry.request_count(destination="reviews") == 1
+    assert telemetry.request_count(source="gw", destination="reviews") == 0
+
+
+def test_error_counting():
+    telemetry = Telemetry()
+    record(telemetry, status=200)
+    record(telemetry, status=503)
+    record(telemetry, status=404)  # 4xx is not a 5xx error
+    assert telemetry.error_count() == 1
+    assert telemetry.error_count(destination="b") == 1
+    assert telemetry.error_count(destination="zzz") == 0
+
+
+def test_latency_filters():
+    telemetry = Telemetry()
+    record(telemetry, dst="x", latency=0.010, priority="high")
+    record(telemetry, dst="x", latency=0.500, priority="low")
+    record(telemetry, dst="y", latency=0.100, priority="high")
+    assert telemetry.latencies(destination="x") == [0.010, 0.500]
+    assert telemetry.latencies(priority="high") == [0.010, 0.100]
+    assert telemetry.latencies(destination="x", priority="high") == [0.010]
+
+
+def test_latency_since_window():
+    telemetry = Telemetry()
+    record(telemetry, latency=0.1, time=1.0)
+    record(telemetry, latency=0.2, time=5.0)
+    assert telemetry.latencies(since=2.0) == [0.2]
+
+
+def test_latency_summary():
+    telemetry = Telemetry()
+    for latency in (0.01, 0.02, 0.03):
+        record(telemetry, latency=latency)
+    summary = telemetry.latency_summary()
+    assert summary.count == 3
+    assert summary.p50 == 0.02
+
+
+def test_retry_accounting():
+    telemetry = Telemetry()
+    record(telemetry, retries=2)
+    record(telemetry, retries=1)
+    assert telemetry.retries_total == 3
+
+
+def test_timeout_and_breaker_counters():
+    telemetry = Telemetry()
+    telemetry.record_timeout()
+    telemetry.record_timeout()
+    telemetry.record_breaker_rejection()
+    assert telemetry.timeouts_total == 2
+    assert telemetry.circuit_breaker_rejections == 1
+
+
+def test_service_table():
+    telemetry = Telemetry()
+    record(telemetry, dst="reviews", latency=0.01, status=200, retries=1)
+    record(telemetry, dst="reviews", latency=0.03, status=503)
+    record(telemetry, dst="details", latency=0.02, status=200)
+    table = telemetry.service_table()
+    assert [row["destination"] for row in table] == ["details", "reviews"]
+    reviews = table[1]
+    assert reviews["requests"] == 2
+    assert reviews["error_rate"] == 0.5
+    assert reviews["retries"] == 1
+    assert reviews["p50"] == 0.02
+
+
+def test_endpoint_distribution():
+    telemetry = Telemetry()
+    record(telemetry, dst="reviews", endpoint="reviews-v1-1")
+    record(telemetry, dst="reviews", endpoint="reviews-v1-1")
+    record(telemetry, dst="reviews", endpoint="reviews-v2-1")
+    record(telemetry, dst="other", endpoint="other-1")
+    assert telemetry.endpoint_distribution("reviews") == {
+        "reviews-v1-1": 2,
+        "reviews-v2-1": 1,
+    }

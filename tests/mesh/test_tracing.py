@@ -1,0 +1,119 @@
+"""Tracing: spans, traces, sampling, critical path."""
+
+from repro.mesh import Tracer
+from repro.mesh.tracing import new_trace_id
+
+import pytest
+
+
+def make_span(tracer, trace_id, service, start, end, parent=None, **tags):
+    span = tracer.start_span(
+        trace_id, service, f"op:{service}", start, parent_span_id=parent, **tags
+    )
+    span.finish(end)
+    tracer.record(span)
+    return span
+
+
+def test_span_duration():
+    tracer = Tracer()
+    span = tracer.start_span("t1", "svc", "op", now=1.0)
+    assert span.duration is None
+    span.finish(3.5, status=200)
+    assert span.duration == 2.5
+    assert span.tags["status"] == 200
+
+
+def test_trace_assembly():
+    tracer = Tracer()
+    root = make_span(tracer, "t1", "gateway", 0.0, 1.0)
+    make_span(tracer, "t1", "frontend", 0.1, 0.9, parent=root.span_id)
+    make_span(tracer, "t2", "gateway", 0.0, 0.5)
+    assert len(tracer.traces) == 2
+    trace = tracer.trace("t1")
+    assert len(trace.spans) == 2
+    assert trace.root is root
+    assert trace.services == {"gateway", "frontend"}
+
+
+def test_children_of():
+    tracer = Tracer()
+    root = make_span(tracer, "t1", "a", 0.0, 1.0)
+    child1 = make_span(tracer, "t1", "b", 0.1, 0.5, parent=root.span_id)
+    child2 = make_span(tracer, "t1", "c", 0.1, 0.8, parent=root.span_id)
+    trace = tracer.trace("t1")
+    assert set(s.span_id for s in trace.children_of(root)) == {
+        child1.span_id,
+        child2.span_id,
+    }
+
+
+def test_critical_path_follows_latest_child():
+    tracer = Tracer()
+    root = make_span(tracer, "t1", "root", 0.0, 1.0)
+    make_span(tracer, "t1", "fast", 0.1, 0.3, parent=root.span_id)
+    slow = make_span(tracer, "t1", "slow", 0.1, 0.9, parent=root.span_id)
+    deep = make_span(tracer, "t1", "deep", 0.2, 0.85, parent=slow.span_id)
+    path = tracer.trace("t1").critical_path()
+    assert [s.service for s in path] == ["root", "slow", "deep"]
+    assert path[-1] is deep
+
+
+def test_trace_duration_is_roots():
+    tracer = Tracer()
+    make_span(tracer, "t1", "root", 1.0, 4.0)
+    assert tracer.trace("t1").duration == 3.0
+
+
+def test_traces_through_service():
+    tracer = Tracer()
+    make_span(tracer, "t1", "a", 0, 1)
+    make_span(tracer, "t1", "b", 0, 1)
+    make_span(tracer, "t2", "a", 0, 1)
+    assert len(tracer.traces_through("b")) == 1
+    assert len(tracer.traces_through("a")) == 2
+    assert tracer.traces_through("ghost") == []
+
+
+def test_zero_sampling_drops_everything():
+    tracer = Tracer(sample_rate=0.0)
+    make_span(tracer, "t1", "a", 0, 1)
+    assert tracer.traces == []
+    assert tracer.spans_dropped == 1
+
+
+def test_partial_sampling_keeps_whole_traces():
+    tracer = Tracer(sample_rate=0.5)
+    for i in range(200):
+        trace_id = f"trace-{i}"
+        make_span(tracer, trace_id, "a", 0, 1)
+        make_span(tracer, trace_id, "b", 0, 1)
+    # Every kept trace has BOTH spans (head-based decision is per trace).
+    for trace in tracer.traces:
+        assert len(trace.spans) == 2
+    assert 40 < len(tracer.traces) < 160
+
+
+def test_invalid_sample_rate():
+    with pytest.raises(ValueError):
+        Tracer(sample_rate=1.5)
+
+
+def test_max_traces_cap():
+    tracer = Tracer(max_traces=2)
+    for i in range(5):
+        make_span(tracer, f"t{i}", "a", 0, 1)
+    assert len(tracer.traces) == 2
+
+
+def test_trace_ids_unique():
+    assert new_trace_id() != new_trace_id()
+
+
+def test_root_missing():
+    tracer = Tracer()
+    make_span(tracer, "t1", "orphan", 0, 1, parent="span-nonexistent")
+    trace = tracer.trace("t1")
+    assert trace.root is None
+    assert trace.duration is None
+    assert trace.critical_path() == []

@@ -1,0 +1,131 @@
+"""Coordinated bursty tracing (§3.2)."""
+
+import pytest
+
+from repro.mesh import BurstCoordinator, Tracer
+from repro.sim import Simulator
+
+
+def record_spans_continuously(sim, tracer, rate_hz=100.0, trace_prefix="t"):
+    """A process creating one single-span trace every 1/rate seconds."""
+
+    def generate():
+        index = 0
+        while True:
+            span = tracer.start_span(
+                f"{trace_prefix}-{index}", "svc", "op", now=sim.now
+            )
+            span.finish(sim.now)
+            tracer.record(span)
+            index += 1
+            yield sim.timeout(1.0 / rate_hz)
+
+    sim.process(generate())
+
+
+class TestBurstSchedule:
+    def test_bursts_align_to_period_boundaries(self):
+        sim = Simulator()
+        tracer = Tracer()
+        coordinator = BurstCoordinator(sim, tracer, period=10.0, burst=1.0)
+        coordinator.start()
+        sim.run(until=35.0)
+        starts = [window.start for window in coordinator.windows]
+        assert starts == [0.0, 10.0, 20.0, 30.0]
+        for window in coordinator.windows:
+            assert window.end - window.start == pytest.approx(1.0)
+
+    def test_alignment_regardless_of_start_time(self):
+        """Two coordinators started at different times burst in the same
+        windows — the coordination property."""
+        sim = Simulator()
+        tracer_a, tracer_b = Tracer(), Tracer()
+        early = BurstCoordinator(sim, tracer_a, period=10.0, burst=1.0)
+        early.start()
+        late = BurstCoordinator(sim, tracer_b, period=10.0, burst=1.0)
+        sim.call_later(13.7, late.start)
+        sim.run(until=45.0)
+        late_starts = [w.start for w in late.windows]
+        early_starts = [w.start for w in early.windows]
+        assert set(late_starts) <= set(early_starts)
+        assert late_starts == [20.0, 30.0, 40.0]
+
+    def test_capture_fraction(self):
+        sim = Simulator()
+        coordinator = BurstCoordinator(sim, Tracer(), period=20.0, burst=1.0)
+        assert coordinator.capture_fraction() == 0.05
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            BurstCoordinator(sim, Tracer(), period=1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            BurstCoordinator(sim, Tracer(), period=10.0, burst=0.0)
+        with pytest.raises(ValueError):
+            BurstCoordinator(sim, Tracer(), baseline_sample_rate=2.0)
+
+
+class TestCapture:
+    def test_everything_captured_during_burst_nothing_outside(self):
+        sim = Simulator()
+        tracer = Tracer()
+        coordinator = BurstCoordinator(
+            sim, tracer, period=10.0, burst=1.0, baseline_sample_rate=0.0
+        )
+        coordinator.start()
+        record_spans_continuously(sim, tracer, rate_hz=100.0)
+        sim.run(until=30.0)
+        # ~100 spans per burst, 3 bursts, nothing in between.
+        assert len(coordinator.windows) == 3
+        for count in coordinator.spans_per_burst():
+            assert 90 <= count <= 110
+        total = tracer.spans_recorded
+        assert total == sum(coordinator.spans_per_burst())
+
+    def test_baseline_sampling_between_bursts(self):
+        sim = Simulator()
+        tracer = Tracer()
+        coordinator = BurstCoordinator(
+            sim, tracer, period=10.0, burst=1.0, baseline_sample_rate=1.0
+        )
+        coordinator.start()
+        record_spans_continuously(sim, tracer, rate_hz=100.0)
+        sim.run(until=20.0)
+        # With a full baseline rate everything is captured always.
+        assert tracer.spans_recorded == pytest.approx(2000, rel=0.05)
+
+    def test_listeners_called_in_lockstep(self):
+        sim = Simulator()
+
+        class Collector:
+            def __init__(self):
+                self.events = []
+
+            def burst_started(self, index, now):
+                self.events.append(("start", index, now))
+
+            def burst_ended(self, index, now):
+                self.events.append(("end", index, now))
+
+        coordinator = BurstCoordinator(sim, Tracer(), period=5.0, burst=0.5)
+        collector = Collector()
+        coordinator.add_listener(collector)
+        coordinator.start()
+        sim.run(until=11.0)
+        assert collector.events == [
+            ("start", 0, 0.0),
+            ("end", 0, 0.5),
+            ("start", 1, 5.0),
+            ("end", 1, 5.5),
+            ("start", 2, 10.0),
+            ("end", 2, 10.5),
+        ]
+
+    def test_bursting_flag(self):
+        sim = Simulator()
+        coordinator = BurstCoordinator(sim, Tracer(), period=10.0, burst=1.0)
+        coordinator.start()
+        sim.run(until=0.5)
+        assert coordinator.bursting
+        sim.run(until=2.0)
+        assert not coordinator.bursting

@@ -1,0 +1,62 @@
+"""Address allocation."""
+
+import pytest
+
+from repro.net import AddressExhausted, AddressPlan, SubnetAllocator
+
+
+def test_sequential_allocation():
+    alloc = SubnetAllocator("10.1")
+    assert alloc.allocate("pod-a") == "10.1.0.1"
+    assert alloc.allocate("pod-b") == "10.1.0.2"
+
+
+def test_same_owner_same_address():
+    alloc = SubnetAllocator("10.1")
+    first = alloc.allocate("pod-a")
+    assert alloc.allocate("pod-a") == first
+
+
+def test_addresses_unique():
+    alloc = SubnetAllocator("10.1")
+    addresses = {alloc.allocate(f"pod-{i}") for i in range(1000)}
+    assert len(addresses) == 1000
+
+
+def test_rollover_to_next_octet():
+    alloc = SubnetAllocator("10.1")
+    for i in range(254):
+        alloc.allocate(f"pod-{i}")
+    assert alloc.allocate("pod-254") == "10.1.0.255"
+    assert alloc.allocate("pod-255") == "10.1.1.1"
+
+
+def test_invalid_prefix():
+    with pytest.raises(ValueError):
+        SubnetAllocator("10.1.2")
+    with pytest.raises(ValueError):
+        SubnetAllocator("300.1")
+
+
+def test_owner_lookup():
+    alloc = SubnetAllocator("10.1")
+    address = alloc.allocate("pod-a")
+    assert alloc.owner_of(address) == "pod-a"
+    assert alloc.owner_of("10.1.99.99") is None
+
+
+def test_exhaustion():
+    alloc = SubnetAllocator("10.1")
+    alloc._next = 256 * 255  # jump near the end
+    with pytest.raises(AddressExhausted):
+        alloc.allocate("overflow")
+
+
+def test_address_plan_subnets_disjoint():
+    plan = AddressPlan()
+    node = plan.nodes.allocate("node-1")
+    pod = plan.pods.allocate("pod-1")
+    service = plan.services.allocate("svc-1")
+    assert node.startswith("10.0.")
+    assert pod.startswith("10.1.")
+    assert service.startswith("10.96.")

@@ -1,0 +1,194 @@
+"""ECN marking/reaction and packet tracing."""
+
+import pytest
+
+from repro.net import (
+    DELIVER,
+    FORWARD,
+    FifoQdisc,
+    Network,
+    Packet,
+    PacketTracer,
+    SEND,
+    Tos,
+)
+from repro.sim import Simulator
+from repro.transport import TransportConfig, TransportStack
+
+
+class TestEcnMarking:
+    def test_marks_above_threshold(self):
+        q = FifoQdisc(ecn_threshold_bytes=3000)
+        first = Packet(src="a", dst="b", size=1500)
+        second = Packet(src="a", dst="b", size=1500)
+        third = Packet(src="a", dst="b", size=1500)
+        q.enqueue(first, 0.0)
+        q.enqueue(second, 0.0)   # backlog 1500 < 3000: unmarked
+        q.enqueue(third, 0.0)    # backlog 3000 >= 3000: marked
+        assert not first.ecn and not second.ecn
+        assert third.ecn
+        assert q.ecn_marked == 1
+
+    def test_no_threshold_no_marking(self):
+        q = FifoQdisc()
+        for _ in range(100):
+            packet = Packet(src="a", dst="b", size=1500)
+            q.enqueue(packet, 0.0)
+            assert not packet.ecn
+
+    def test_weighted_prio_bands_can_mark(self):
+        from repro.net import WeightedPrioQdisc
+
+        q = WeightedPrioQdisc(ecn_threshold_bytes=1500)
+        first = Packet(src="a", dst="b", size=1500)
+        second = Packet(src="a", dst="b", size=1500)
+        q.enqueue(first, 0.0)
+        q.enqueue(second, 0.0)  # low-band backlog now over threshold
+        assert not first.ecn
+        assert second.ecn
+
+    def test_prio_bands_can_mark(self):
+        from repro.net import PrioQdisc, Tos
+
+        q = PrioQdisc(ecn_threshold_bytes=1500)
+        first = Packet(src="a", dst="b", size=1500, tos=Tos.HIGH)
+        second = Packet(src="a", dst="b", size=1500, tos=Tos.HIGH)
+        q.enqueue(first, 0.0)
+        q.enqueue(second, 0.0)
+        assert second.ecn and not first.ecn
+
+
+class TestEcnReaction:
+    def build(self, ecn_enabled=True):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        # Slow link with an ECN threshold well below the backlog a
+        # slow-started sender creates.
+        net.connect(
+            "a", "b",
+            rate_bps=4_000_000, delay=0.002,
+            qdisc_a=FifoQdisc(ecn_threshold_bytes=20_000),
+        )
+        config = TransportConfig(mss=1460, ecn_enabled=ecn_enabled)
+        src = TransportStack(sim, net, "a", "10.1.0.1", config=config)
+        dst = TransportStack(sim, net, "b", "10.1.0.2", config=config)
+        net.build_routes()
+        done = []
+
+        def on_accept(conn):
+            def serve():
+                message, _size = yield conn.receive()
+                done.append(sim.now)
+
+            sim.process(serve())
+
+        dst.listen(80, on_accept)
+        conn = src.connect("10.1.0.2", 80)
+
+        def client(sim):
+            yield conn.established
+            conn.send("bulk", 600_000)
+
+        sim.process(client(sim))
+        sim.run(until=120.0)
+        assert done, "transfer did not finish"
+        iface = net.interface_between("a", "b")
+        return conn, iface
+
+    def test_sender_reduces_on_ece(self):
+        conn, _ = self.build(ecn_enabled=True)
+        assert conn.ecn_reductions > 0
+
+    def test_reaction_bounded_once_per_rtt(self):
+        conn, _ = self.build(ecn_enabled=True)
+        # Far fewer reductions than marked packets (per-RTT guard).
+        assert conn.ecn_reductions < 50
+
+    def test_ecn_keeps_queue_shorter(self):
+        _, iface_with = self.build(ecn_enabled=True)
+        _, iface_without = self.build(ecn_enabled=False)
+        # With reaction enabled the cwnd backs off before filling the
+        # buffer, so fewer bytes ever sat marked in the queue.
+        assert iface_with.qdisc.ecn_marked < iface_without.qdisc.ecn_marked
+
+    def test_disabled_reaction_ignores_marks(self):
+        conn, iface = self.build(ecn_enabled=False)
+        assert iface.qdisc.ecn_marked > 0
+        assert conn.ecn_reductions == 0
+
+
+class TestPacketTracer:
+    def build_star(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("h1")
+        net.add_host("h2")
+        net.add_switch("sw")
+        net.connect("h1", "sw")
+        net.connect("sw", "h2")
+        net.bind("10.0.0.1", "h1")
+        net.bind("10.0.0.2", "h2", handler=lambda p: None)
+        net.build_routes()
+        return sim, net
+
+    def test_full_journey_recorded(self):
+        sim, net = self.build_star()
+        tracer = PacketTracer()
+        net.attach_tracer(tracer)
+        packet = Packet(src="10.0.0.1", dst="10.0.0.2", size=100)
+        net.send(packet)
+        sim.run()
+        journey = tracer.journey(packet.packet_id)
+        assert [e.kind for e in journey] == [SEND, FORWARD, DELIVER]
+        assert [e.where for e in journey] == ["h1", "sw", "h2"]
+        assert tracer.one_way_delay(packet.packet_id) > 0
+
+    def test_filters(self):
+        sim, net = self.build_star()
+        tracer = PacketTracer(tos=Tos.HIGH, kinds=(DELIVER,))
+        net.attach_tracer(tracer)
+        net.send(Packet(src="10.0.0.1", dst="10.0.0.2", size=100, tos=Tos.HIGH))
+        net.send(Packet(src="10.0.0.1", dst="10.0.0.2", size=100, tos=Tos.NORMAL))
+        sim.run()
+        assert len(tracer) == 1
+        assert tracer.events[0].kind == DELIVER
+        assert tracer.events[0].tos == Tos.HIGH
+
+    def test_max_events_cap(self):
+        sim, net = self.build_star()
+        tracer = PacketTracer(max_events=2)
+        net.attach_tracer(tracer)
+        for _ in range(3):
+            net.send(Packet(src="10.0.0.1", dst="10.0.0.2", size=100))
+        sim.run()
+        assert len(tracer) == 2
+        assert tracer.suppressed > 0
+
+    def test_detach_stops_recording(self):
+        sim, net = self.build_star()
+        tracer = PacketTracer()
+        net.attach_tracer(tracer)
+        net.send(Packet(src="10.0.0.1", dst="10.0.0.2", size=100))
+        sim.run()
+        recorded = len(tracer)
+        net.detach_tracer(tracer)
+        net.send(Packet(src="10.0.0.1", dst="10.0.0.2", size=100))
+        sim.run()
+        assert len(tracer) == recorded
+
+    def test_no_tracer_no_overhead_path(self):
+        sim, net = self.build_star()
+        host = net.devices["h1"]
+        assert host.tap is None  # hot path untouched by default
+
+    def test_predicate_filter(self):
+        sim, net = self.build_star()
+        tracer = PacketTracer(predicate=lambda p: p.size > 500)
+        net.attach_tracer(tracer)
+        net.send(Packet(src="10.0.0.1", dst="10.0.0.2", size=100))
+        net.send(Packet(src="10.0.0.1", dst="10.0.0.2", size=1000))
+        sim.run()
+        assert all(e.size == 1000 for e in tracer.events)
+        assert len(tracer.of_kind(SEND)) == 1

@@ -1,0 +1,269 @@
+"""Interface/link transmission timing and host/switch forwarding."""
+
+import pytest
+
+from repro.net import FifoQdisc, Host, Interface, Link, Network, Packet, Tos
+from repro.sim import Simulator
+
+
+def build_pair(sim, rate_bps=8_000_000, delay=0.001):
+    """Two hosts connected by one link; returns (net, a, b)."""
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", rate_bps=rate_bps, delay=delay)
+    return net
+
+
+class TestTransmission:
+    def test_serialization_plus_propagation_delay(self):
+        sim = Simulator()
+        net = build_pair(sim, rate_bps=8_000_000, delay=0.001)
+        arrivals = []
+        net.bind("10.1.0.1", "a")
+        net.bind("10.1.0.2", "b", handler=lambda p: arrivals.append(sim.now))
+        net.build_routes()
+        # 1000 bytes at 8 Mbps = 1 ms serialization + 1 ms propagation.
+        net.send(Packet(src="10.1.0.1", dst="10.1.0.2", size=1000))
+        sim.run()
+        assert arrivals == [pytest.approx(0.002)]
+
+    def test_back_to_back_packets_serialize(self):
+        sim = Simulator()
+        net = build_pair(sim, rate_bps=8_000_000, delay=0.0)
+        arrivals = []
+        net.bind("10.1.0.1", "a")
+        net.bind("10.1.0.2", "b", handler=lambda p: arrivals.append(sim.now))
+        net.build_routes()
+        for _ in range(3):
+            net.send(Packet(src="10.1.0.1", dst="10.1.0.2", size=1000))
+        sim.run()
+        assert arrivals == [pytest.approx(0.001), pytest.approx(0.002), pytest.approx(0.003)]
+
+    def test_bidirectional_independent(self):
+        sim = Simulator()
+        net = build_pair(sim, rate_bps=8_000_000, delay=0.0)
+        a_got, b_got = [], []
+        net.bind("10.1.0.1", "a", handler=lambda p: a_got.append(sim.now))
+        net.bind("10.1.0.2", "b", handler=lambda p: b_got.append(sim.now))
+        net.build_routes()
+        net.send(Packet(src="10.1.0.1", dst="10.1.0.2", size=1000))
+        net.send(Packet(src="10.1.0.2", dst="10.1.0.1", size=1000))
+        sim.run()
+        # Directions do not share the serializer.
+        assert a_got == [pytest.approx(0.001)]
+        assert b_got == [pytest.approx(0.001)]
+
+    def test_interface_telemetry(self):
+        sim = Simulator()
+        net = build_pair(sim)
+        net.bind("10.1.0.1", "a")
+        net.bind("10.1.0.2", "b", handler=lambda p: None)
+        net.build_routes()
+        net.send(Packet(src="10.1.0.1", dst="10.1.0.2", size=500))
+        sim.run()
+        iface = net.interface_between("a", "b")
+        assert iface.bytes_transmitted == 500
+        assert iface.packets_transmitted == 1
+        assert iface.busy_time > 0
+
+    def test_unconnected_interface_rejects(self):
+        sim = Simulator()
+        iface = Interface(sim, "lonely", rate_bps=1e9)
+        with pytest.raises(RuntimeError):
+            iface.enqueue(Packet(src="x", dst="y", size=100))
+
+    def test_invalid_rate(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Interface(sim, "bad", rate_bps=0)
+
+    def test_double_connect_rejected(self):
+        sim = Simulator()
+        a = Interface(sim, "a", 1e9)
+        b = Interface(sim, "b", 1e9)
+        c = Interface(sim, "c", 1e9)
+        Link(sim, a, b)
+        with pytest.raises(RuntimeError):
+            Link(sim, a, c)
+
+    def test_set_qdisc_migrates_backlog(self):
+        sim = Simulator()
+        net = build_pair(sim, rate_bps=8_000, delay=0.0)  # slow: 1 KBps
+        arrivals = []
+        net.bind("10.1.0.1", "a")
+        net.bind("10.1.0.2", "b", handler=lambda p: arrivals.append(p.seq))
+        net.build_routes()
+        for i in range(5):
+            net.send(Packet(src="10.1.0.1", dst="10.1.0.2", size=1000, seq=i))
+        sim.run(until=0.5)  # first packet still in flight, rest queued
+        iface = net.interface_between("a", "b")
+        iface.set_qdisc(FifoQdisc())
+        sim.run()
+        assert arrivals == [0, 1, 2, 3, 4]
+
+
+class TestHost:
+    def test_local_delivery_bypasses_network(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        got = []
+        net.bind("10.1.0.1", "a", handler=lambda p: got.append(sim.now))
+        net.bind("10.1.0.9", "a")
+        host = net.devices["a"]
+        host.send(Packet(src="10.1.0.9", dst="10.1.0.1", size=10_000_000))
+        sim.run()
+        assert got == [0.0]  # no serialization delay on localhost
+
+    def test_no_route_raises(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.add_host("c")
+        net.connect("a", "b")
+        net.connect("a", "c")
+        net.bind("10.1.0.1", "a")
+        host = net.devices["a"]
+        # Two interfaces, no routes computed -> ambiguous.
+        with pytest.raises(RuntimeError):
+            host.send(Packet(src="10.1.0.1", dst="10.9.9.9", size=100))
+
+    def test_unbound_packet_counted_dropped(self):
+        sim = Simulator()
+        net = build_pair(sim)
+        net.bind("10.1.0.1", "a")
+        net.bind("10.1.0.2", "b", handler=lambda p: None)
+        net.build_routes()
+        # b never bound 10.1.0.99 but routing delivers by host address; send
+        # to an address bound to b's host without a handler.
+        net.bind("10.1.0.99", "b")
+        net.build_routes()
+        net.send(Packet(src="10.1.0.1", dst="10.1.0.99", size=100))
+        sim.run()
+        host = net.devices["b"]
+        assert host.packets_dropped_no_handler == 1
+
+
+class TestSwitchRouting:
+    def build_star(self, sim):
+        """Three hosts around one switch."""
+        net = Network(sim)
+        for name in ("h1", "h2", "h3"):
+            net.add_host(name)
+        net.add_switch("sw")
+        for name in ("h1", "h2", "h3"):
+            net.connect(name, "sw", rate_bps=1e9, delay=0.0001)
+        return net
+
+    def test_forwarding_through_switch(self):
+        sim = Simulator()
+        net = self.build_star(sim)
+        got = []
+        net.bind("10.1.0.1", "h1")
+        net.bind("10.1.0.2", "h2", handler=lambda p: got.append(p.packet_id))
+        net.bind("10.1.0.3", "h3")
+        net.build_routes()
+        net.send(Packet(src="10.1.0.1", dst="10.1.0.2", size=100))
+        sim.run()
+        assert len(got) == 1
+        assert net.devices["sw"].packets_forwarded == 1
+
+    def test_hop_count(self):
+        sim = Simulator()
+        net = self.build_star(sim)
+        hops = []
+        net.bind("10.1.0.1", "h1")
+        net.bind("10.1.0.2", "h2", handler=lambda p: hops.append(p.hops))
+        net.build_routes()
+        net.send(Packet(src="10.1.0.1", dst="10.1.0.2", size=100))
+        sim.run()
+        assert hops == [2]  # h1->sw, sw->h2
+
+    def test_no_route_dropped(self):
+        sim = Simulator()
+        net = self.build_star(sim)
+        net.bind("10.1.0.1", "h1")
+        net.bind("10.1.0.2", "h2", handler=lambda p: None)
+        net.build_routes()
+        switch = net.devices["sw"]
+        # Inject a packet for an address the switch has no route for.
+        iface = net.interface_between("h1", "sw")
+        switch.receive(Packet(src="10.1.0.1", dst="10.250.0.1", size=100), iface)
+        assert switch.packets_dropped_no_route == 1
+
+    def test_tos_route_override(self):
+        sim = Simulator()
+        net = Network(sim)
+        for name in ("src", "dst"):
+            net.add_host(name)
+        for name in ("s1", "s2", "s3"):
+            net.add_switch(name)
+        # Two parallel paths: src-s1-s2-dst and src-s1-s3-dst.
+        net.connect("src", "s1")
+        net.connect("s1", "s2")
+        net.connect("s1", "s3")
+        net.connect("s2", "dst")
+        net.connect("s3", "dst")
+        got = []
+        net.bind("10.1.0.1", "src")
+        net.bind("10.1.0.2", "dst", handler=lambda p: got.append(p.tos))
+        net.build_routes()
+        # Steer HIGH traffic via the longer alternate path s1->s3->dst.
+        net.install_path(["src", "s1", "s3", "dst"], "10.1.0.2", tos=Tos.HIGH)
+        net.send(Packet(src="10.1.0.1", dst="10.1.0.2", size=100, tos=Tos.HIGH))
+        net.send(Packet(src="10.1.0.1", dst="10.1.0.2", size=100, tos=Tos.NORMAL))
+        sim.run()
+        assert sorted(got) == [Tos.HIGH, Tos.NORMAL]
+        s3 = net.devices["s3"]
+        assert s3.packets_forwarded == 1  # only the HIGH packet took s3
+
+
+class TestNetworkConstruction:
+    def test_duplicate_device_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("x")
+        with pytest.raises(ValueError):
+            net.add_host("x")
+        with pytest.raises(ValueError):
+            net.add_switch("x")
+
+    def test_connect_unknown_device(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        with pytest.raises(KeyError):
+            net.connect("a", "ghost")
+
+    def test_double_connect_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b")
+        with pytest.raises(ValueError):
+            net.connect("a", "b")
+
+    def test_asymmetric_rates(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", rate_a_bps=1e9, rate_b_bps=1e6)
+        assert net.interface_between("a", "b").rate_bps == 1e9
+        assert net.interface_between("b", "a").rate_bps == 1e6
+
+    def test_unknown_source_send(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.raises(KeyError):
+            net.send(Packet(src="1.2.3.4", dst="5.6.7.8", size=1))
+
+    def test_bind_to_switch_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_switch("sw")
+        with pytest.raises(KeyError):
+            net.bind("10.0.0.1", "sw")

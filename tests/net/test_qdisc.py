@@ -1,0 +1,224 @@
+"""Qdisc semantics: FIFO drops, strict/weighted priority, DRR, shaping."""
+
+import pytest
+
+from repro.net import (
+    DRRQdisc,
+    FifoQdisc,
+    Packet,
+    PrioQdisc,
+    TokenBucketQdisc,
+    Tos,
+    WeightedPrioQdisc,
+    classify_by_dst,
+    classify_by_tos,
+)
+
+
+def make_packet(size=1500, tos=Tos.NORMAL, dst="10.1.0.1", seq=0):
+    return Packet(src="10.1.0.9", dst=dst, size=size, tos=tos, seq=seq)
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        q = FifoQdisc()
+        for i in range(3):
+            assert q.enqueue(make_packet(seq=i), now=0.0)
+        assert [q.dequeue(0.0).seq for _ in range(3)] == [0, 1, 2]
+
+    def test_empty_dequeue(self):
+        assert FifoQdisc().dequeue(0.0) is None
+
+    def test_packet_limit_drops(self):
+        q = FifoQdisc(limit_packets=2)
+        assert q.enqueue(make_packet(), 0.0)
+        assert q.enqueue(make_packet(), 0.0)
+        assert not q.enqueue(make_packet(), 0.0)
+        assert q.stats.dropped == 1
+
+    def test_byte_limit_drops(self):
+        q = FifoQdisc(limit_bytes=3000)
+        assert q.enqueue(make_packet(1500), 0.0)
+        assert q.enqueue(make_packet(1500), 0.0)
+        assert not q.enqueue(make_packet(1500), 0.0)
+        assert q.stats.bytes_dropped == 1500
+
+    def test_first_packet_always_accepted_even_if_oversized(self):
+        q = FifoQdisc(limit_bytes=100)
+        assert q.enqueue(make_packet(1500), 0.0)
+
+    def test_backlog_accounting(self):
+        q = FifoQdisc()
+        q.enqueue(make_packet(1000), 0.0)
+        q.enqueue(make_packet(500), 0.0)
+        assert q.backlog_bytes == 1500
+        q.dequeue(0.0)
+        assert q.backlog_bytes == 500
+
+    def test_next_ready_time(self):
+        q = FifoQdisc()
+        assert q.next_ready_time(5.0) == float("inf")
+        q.enqueue(make_packet(), 5.0)
+        assert q.next_ready_time(5.0) == 5.0
+
+    def test_stats_counters(self):
+        q = FifoQdisc(limit_packets=1)
+        q.enqueue(make_packet(100), 0.0)
+        q.enqueue(make_packet(100), 0.0)
+        q.dequeue(0.0)
+        assert q.stats.enqueued == 1
+        assert q.stats.dropped == 1
+        assert q.stats.dequeued == 1
+        assert q.stats.bytes_sent == 100
+
+
+class TestPrio:
+    def test_strict_priority_order(self):
+        q = PrioQdisc(classifier=classify_by_tos)
+        q.enqueue(make_packet(tos=Tos.NORMAL, seq=1), 0.0)
+        q.enqueue(make_packet(tos=Tos.HIGH, seq=2), 0.0)
+        q.enqueue(make_packet(tos=Tos.NORMAL, seq=3), 0.0)
+        q.enqueue(make_packet(tos=Tos.HIGH, seq=4), 0.0)
+        order = [q.dequeue(0.0).seq for _ in range(4)]
+        assert order == [2, 4, 1, 3]
+
+    def test_classify_by_dst(self):
+        classifier = classify_by_dst({"10.1.0.5"})
+        q = PrioQdisc(classifier=classifier)
+        q.enqueue(make_packet(dst="10.1.0.6", seq=1), 0.0)
+        q.enqueue(make_packet(dst="10.1.0.5", seq=2), 0.0)
+        assert q.dequeue(0.0).seq == 2
+
+    def test_invalid_band_count(self):
+        with pytest.raises(ValueError):
+            PrioQdisc(bands=1)
+
+    def test_invalid_classifier_result(self):
+        q = PrioQdisc(bands=2, classifier=lambda p: 7)
+        with pytest.raises(ValueError):
+            q.enqueue(make_packet(), 0.0)
+
+    def test_band_backlog(self):
+        q = PrioQdisc()
+        q.enqueue(make_packet(size=100, tos=Tos.HIGH), 0.0)
+        q.enqueue(make_packet(size=200, tos=Tos.NORMAL), 0.0)
+        assert q.band_backlog(0) == 100
+        assert q.band_backlog(1) == 200
+
+
+class TestWeightedPrio:
+    def test_high_served_first_when_both_backlogged(self):
+        q = WeightedPrioQdisc(high_share=0.95)
+        q.enqueue(make_packet(tos=Tos.NORMAL, seq=1), 0.0)
+        q.enqueue(make_packet(tos=Tos.HIGH, seq=2), 0.0)
+        assert q.dequeue(0.0).seq == 2
+
+    def test_work_conserving_low_only(self):
+        q = WeightedPrioQdisc()
+        q.enqueue(make_packet(tos=Tos.NORMAL, seq=1), 0.0)
+        assert q.dequeue(0.0).seq == 1
+
+    def test_service_split_converges_to_share(self):
+        q = WeightedPrioQdisc(high_share=0.95, quantum_bytes=15_000)
+        # Keep both bands continuously backlogged, count bytes served.
+        high_bytes = low_bytes = 0
+        for _ in range(4000):
+            if q.high_backlog_bytes < 20 * 1500:
+                for _ in range(30):
+                    q.enqueue(make_packet(tos=Tos.HIGH), 0.0)
+            if q.low_backlog_bytes < 20 * 1500:
+                for _ in range(30):
+                    q.enqueue(make_packet(tos=Tos.NORMAL), 0.0)
+            packet = q.dequeue(0.0)
+            if packet.tos == Tos.HIGH:
+                high_bytes += packet.size
+            else:
+                low_bytes += packet.size
+        share = high_bytes / (high_bytes + low_bytes)
+        assert share == pytest.approx(0.95, abs=0.02)
+
+    def test_low_not_starved(self):
+        q = WeightedPrioQdisc(high_share=0.95)
+        served_low = 0
+        for _ in range(2000):
+            if q.high_backlog_bytes < 10 * 1500:
+                for _ in range(20):
+                    q.enqueue(make_packet(tos=Tos.HIGH), 0.0)
+            if q.low_backlog_bytes < 10 * 1500:
+                for _ in range(20):
+                    q.enqueue(make_packet(tos=Tos.NORMAL), 0.0)
+            if q.dequeue(0.0).tos != Tos.HIGH:
+                served_low += 1
+        assert served_low > 0
+
+    def test_invalid_share(self):
+        with pytest.raises(ValueError):
+            WeightedPrioQdisc(high_share=1.0)
+        with pytest.raises(ValueError):
+            WeightedPrioQdisc(high_share=0.3)
+
+
+class TestDRR:
+    @staticmethod
+    def drain_with_backlog(q, rounds):
+        """Dequeue ``rounds`` packets keeping every class backlogged."""
+        counts = {Tos.HIGH: 0, Tos.NORMAL: 0}
+        for _ in range(rounds):
+            while q.class_length(0) < 10:
+                q.enqueue(make_packet(tos=Tos.HIGH), 0.0)
+            while q.class_length(1) < 10:
+                q.enqueue(make_packet(tos=Tos.NORMAL), 0.0)
+            counts[q.dequeue(0.0).tos] += 1
+        return counts
+
+    def test_equal_quanta_fair_split(self):
+        q = DRRQdisc(classifier=lambda p: 0 if p.tos == Tos.HIGH else 1, quanta=[1500, 1500])
+        counts = self.drain_with_backlog(q, 1000)
+        ratio = counts[Tos.HIGH] / (counts[Tos.HIGH] + counts[Tos.NORMAL])
+        assert ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_weighted_quanta(self):
+        q = DRRQdisc(classifier=lambda p: 0 if p.tos == Tos.HIGH else 1, quanta=[3000, 1000])
+        counts = self.drain_with_backlog(q, 2000)
+        ratio = counts[Tos.HIGH] / (counts[Tos.HIGH] + counts[Tos.NORMAL])
+        assert ratio == pytest.approx(0.75, abs=0.05)
+
+    def test_empty(self):
+        q = DRRQdisc(classifier=lambda p: 0, quanta=[1500])
+        assert q.dequeue(0.0) is None
+
+    def test_invalid_quanta(self):
+        with pytest.raises(ValueError):
+            DRRQdisc(classifier=lambda p: 0, quanta=[])
+        with pytest.raises(ValueError):
+            DRRQdisc(classifier=lambda p: 0, quanta=[0])
+
+
+class TestTokenBucket:
+    def test_burst_passes_immediately(self):
+        q = TokenBucketQdisc(rate_bps=8_000, burst_bytes=3000)
+        q.enqueue(make_packet(1500), 0.0)
+        q.enqueue(make_packet(1500), 0.0)
+        assert q.dequeue(0.0) is not None
+        assert q.dequeue(0.0) is not None
+
+    def test_shaping_delays_beyond_burst(self):
+        # 8000 bps = 1000 bytes/s; burst covers the first packet only.
+        q = TokenBucketQdisc(rate_bps=8_000, burst_bytes=1500)
+        q.enqueue(make_packet(1500), 0.0)
+        q.enqueue(make_packet(1500), 0.0)
+        assert q.dequeue(0.0) is not None
+        assert q.dequeue(0.0) is None  # no tokens yet
+        ready = q.next_ready_time(0.0)
+        assert ready == pytest.approx(1.5)  # 1500 bytes / 1000 Bps
+        assert q.dequeue(ready) is not None
+
+    def test_next_ready_time_empty(self):
+        q = TokenBucketQdisc(rate_bps=1000, burst_bytes=1000)
+        assert q.next_ready_time(0.0) == float("inf")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TokenBucketQdisc(rate_bps=0, burst_bytes=100)
+        with pytest.raises(ValueError):
+            TokenBucketQdisc(rate_bps=100, burst_bytes=0)

@@ -1,0 +1,122 @@
+"""SDN controller: monitoring and priority-aware steering."""
+
+import pytest
+
+from repro.net import LinkMonitor, Network, Packet, SdnController, Tos
+from repro.sim import Simulator
+
+
+def two_path_network(sim):
+    """src and dst hosts joined via two parallel switches s1/s2."""
+    net = Network(sim)
+    net.add_host("src")
+    net.add_host("dst")
+    net.add_switch("sw-src")
+    net.add_switch("sw-dst")
+    net.add_switch("s1")
+    net.add_switch("s2")
+    net.connect("src", "sw-src", rate_bps=1e9)
+    net.connect("dst", "sw-dst", rate_bps=1e9)
+    net.connect("sw-src", "s1", rate_bps=1e8)
+    net.connect("sw-src", "s2", rate_bps=1e8)
+    net.connect("s1", "sw-dst", rate_bps=1e8)
+    net.connect("s2", "sw-dst", rate_bps=1e8)
+    net.bind("10.0.0.1", "src")
+    net.bind("10.0.0.2", "dst", handler=lambda p: None)
+    net.build_routes()
+    return net
+
+
+class TestLinkMonitor:
+    def test_utilization_sampling(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", rate_bps=8e6)  # 1 MB/s
+        net.bind("10.0.0.1", "a")
+        net.bind("10.0.0.2", "b", handler=lambda p: None)
+        net.build_routes()
+        monitor = LinkMonitor(sim, net, interval=0.1)
+        monitor.start()
+
+        def sender(sim):
+            while sim.now < 1.0:
+                net.send(Packet(src="10.0.0.1", dst="10.0.0.2", size=10_000))
+                yield sim.timeout(0.01)  # 1 MB/s offered -> full utilization
+
+        sim.process(sender(sim))
+        sim.run(until=1.0)
+        iface = net.interface_between("a", "b")
+        utilization = monitor.utilization(iface.name)
+        assert utilization == pytest.approx(1.0, abs=0.15)
+        # Reverse direction idle.
+        reverse = net.interface_between("b", "a")
+        assert monitor.utilization(reverse.name) == 0.0
+
+    def test_invalid_interval(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LinkMonitor(sim, Network(sim), interval=0)
+
+    def test_latest_none_before_sampling(self):
+        sim = Simulator()
+        net = Network(sim)
+        monitor = LinkMonitor(sim, net)
+        assert monitor.latest("nope") is None
+
+
+class TestSdnController:
+    def test_candidate_paths_found(self):
+        sim = Simulator()
+        net = two_path_network(sim)
+        controller = SdnController(sim, net)
+        paths = controller.candidate_paths("sw-src", "dst", k=4)
+        assert len(paths) >= 2
+        middles = {tuple(p[1:-2]) for p in paths}
+        assert len(middles) >= 2  # genuinely disjoint alternatives
+
+    def test_steer_separates_classes(self):
+        sim = Simulator()
+        net = two_path_network(sim)
+        controller = SdnController(sim, net)
+        high_path = controller.steer("sw-src", "10.0.0.2", Tos.HIGH)
+        low_path = controller.steer("sw-src", "10.0.0.2", Tos.SCAVENGER)
+        # With no utilization data both paths score equal; HIGH takes the
+        # first candidate and SCAVENGER the last -> disjoint spines.
+        assert high_path != low_path
+        assert len(controller.installed_paths) == 2
+
+    def test_steer_unknown_destination(self):
+        sim = Simulator()
+        net = two_path_network(sim)
+        controller = SdnController(sim, net)
+        with pytest.raises(KeyError):
+            controller.steer("sw-src", "99.99.99.99", Tos.HIGH)
+
+    def test_steered_traffic_takes_installed_path(self):
+        sim = Simulator()
+        net = two_path_network(sim)
+        controller = SdnController(sim, net)
+        high_path = controller.steer("sw-src", "10.0.0.2", Tos.HIGH)
+        low_path = controller.steer("sw-src", "10.0.0.2", Tos.SCAVENGER)
+        high_spine = [d for d in high_path if d in ("s1", "s2")][0]
+        low_spine = [d for d in low_path if d in ("s1", "s2")][0]
+        net.send(Packet(src="10.0.0.1", dst="10.0.0.2", size=100, tos=Tos.HIGH))
+        net.send(Packet(src="10.0.0.1", dst="10.0.0.2", size=100, tos=Tos.SCAVENGER))
+        sim.run()
+        assert net.devices[high_spine].packets_forwarded >= 1
+        assert net.devices[low_spine].packets_forwarded >= 1
+
+    def test_path_utilization_is_bottleneck_view(self):
+        sim = Simulator()
+        net = two_path_network(sim)
+        controller = SdnController(sim, net)
+        # No samples yet -> utilization 0.
+        assert controller.path_utilization(["src", "sw-src", "s1"]) == 0.0
+
+    def test_congested_interfaces_empty_when_idle(self):
+        sim = Simulator()
+        net = two_path_network(sim)
+        controller = SdnController(sim, net)
+        assert controller.congested_interfaces() == []

@@ -1,0 +1,81 @@
+"""Property-based tests: headers, stats, addressing, routing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.http import Headers, propagate
+from repro.net import SubnetAllocator
+from repro.sim import lognormal_params_from_quantiles
+from repro.util import summarize
+
+header_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ-",
+    min_size=1,
+    max_size=20,
+)
+header_values = st.text(min_size=0, max_size=30)
+
+
+@given(entries=st.dictionaries(header_names, header_values, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_headers_roundtrip_case_insensitive(entries):
+    headers = Headers()
+    expected = {}
+    for name, value in entries.items():
+        headers[name] = value
+        expected[name.lower()] = value  # last write wins per folded key
+    for name, value in expected.items():
+        assert headers[name.upper()] == value
+        assert headers[name.lower()] == value
+    assert len(headers) == len(expected)
+
+
+@given(entries=st.dictionaries(header_names, header_values, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_propagate_is_idempotent(entries):
+    parent = Headers(entries)
+    once = propagate(parent)
+    twice = propagate(parent, propagate(parent))
+    assert once == twice
+
+
+@given(
+    samples=st.lists(
+        st.floats(min_value=1e-6, max_value=100.0), min_size=1, max_size=500
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_summary_percentiles_monotone(samples):
+    summary = summarize(samples)
+    assert summary.minimum <= summary.p50 <= summary.p90
+    assert summary.p90 <= summary.p99 <= summary.p999 <= summary.maximum
+    tolerance = 1e-9 * max(1.0, summary.maximum)
+    assert summary.minimum - tolerance <= summary.mean <= summary.maximum + tolerance
+    assert summary.count == len(samples)
+
+
+@given(
+    median=st.floats(min_value=1e-5, max_value=1.0),
+    ratio=st.floats(min_value=1.1, max_value=100.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_lognormal_parameterization_exact(median, ratio):
+    """The fitted lognormal has exactly the requested median and p99."""
+    p99 = median * ratio
+    mu, sigma = lognormal_params_from_quantiles(median, p99)
+    assert np.exp(mu) == np.float64(median) or abs(np.exp(mu) - median) < 1e-9
+    z99 = 2.3263478740408408
+    assert abs(np.exp(mu + sigma * z99) - p99) / p99 < 1e-9
+
+
+@given(owners=st.lists(st.text(min_size=1, max_size=12), max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_subnet_allocation_stable_and_unique(owners):
+    allocator = SubnetAllocator("10.7")
+    first_pass = {owner: allocator.allocate(owner) for owner in owners}
+    # Same owner -> same address forever.
+    for owner in owners:
+        assert allocator.allocate(owner) == first_pass[owner]
+    # Distinct owners -> distinct addresses.
+    assert len(set(first_pass.values())) == len(first_pass)

@@ -1,0 +1,111 @@
+"""Property-based tests: mux delivery, outlier conservation, replay."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.outlier import OutlierConfig, OutlierDetector
+from repro.net import Network
+from repro.sim import Simulator
+from repro.transport import MuxConnection, TransportConfig, TransportStack
+from repro.workload import synthesize_trace
+
+
+def run_mux(messages, scheduler):
+    """Send (size, priority) messages over a mux pair; return delivery."""
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", rate_bps=50_000_000, delay=0.0005)
+    config = TransportConfig(mss=15_000)
+    src = TransportStack(sim, net, "a", "10.1.0.1", config=config)
+    dst = TransportStack(sim, net, "b", "10.1.0.2", config=config)
+    net.build_routes()
+    received = []
+    server = {}
+
+    def on_accept(conn):
+        server["mux"] = MuxConnection(conn)
+
+        def receiver():
+            for _ in range(len(messages)):
+                message, size = yield server["mux"].receive()
+                received.append((message, size))
+
+        sim.process(receiver())
+
+    dst.listen(80, on_accept)
+    conn = src.connect("10.1.0.2", 80)
+    mux = MuxConnection(conn, scheduler=scheduler)
+
+    def sender():
+        yield conn.established
+        for index, (size, priority) in enumerate(messages):
+            mux.send(index, size, priority=priority)
+
+    sim.process(sender())
+    sim.run(until=600.0)
+    return received
+
+
+message_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=200_000),   # size
+        st.integers(min_value=0, max_value=3),         # priority
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(messages=message_lists, scheduler=st.sampled_from(["fifo", "round-robin", "priority"]))
+@settings(max_examples=25, deadline=None)
+def test_mux_delivers_every_message_exactly_once(messages, scheduler):
+    received = run_mux(messages, scheduler)
+    assert sorted(index for index, _size in received) == list(range(len(messages)))
+    # Sizes survive intact.
+    for index, size in received:
+        assert size == messages[index][0]
+
+
+@given(messages=message_lists)
+@settings(max_examples=15, deadline=None)
+def test_fifo_mux_preserves_send_order(messages):
+    received = run_mux(messages, "fifo")
+    assert [index for index, _ in received] == list(range(len(messages)))
+
+
+@given(
+    outcomes=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.booleans()),
+        max_size=200,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_outlier_never_ejects_everything(outcomes):
+    """With max_ejection_fraction=0.5, at least half the endpoints are
+    always admitted regardless of the outcome stream."""
+    detector = OutlierDetector(
+        OutlierConfig(min_requests=5, error_rate_threshold=0.3,
+                      max_ejection_fraction=0.5)
+    )
+    ips = ["a", "b", "c"]
+    for step, (ip, ok) in enumerate(outcomes):
+        detector.record(ip, ok, now=step * 0.01)
+        healthy = detector.filter_healthy(ips, now=step * 0.01)
+        assert len(healthy) >= 2
+        assert set(healthy) <= set(ips)
+
+
+@given(
+    duration=st.floats(min_value=1.0, max_value=60.0),
+    rps=st.floats(min_value=1.0, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_synthesized_traces_well_formed(duration, rps, seed):
+    trace = synthesize_trace(duration, rps, seed=seed)
+    times = [entry.at for entry in trace]
+    assert times == sorted(times)
+    assert all(0 <= t < duration for t in times)
+    assert all(entry.workload in ("interactive", "batch") for entry in trace)

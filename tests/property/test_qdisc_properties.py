@@ -1,0 +1,156 @@
+"""Property-based tests: qdisc invariants under arbitrary traffic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    DRRQdisc,
+    FifoQdisc,
+    Packet,
+    PrioQdisc,
+    Tos,
+    WeightedPrioQdisc,
+    classify_by_tos,
+)
+
+packet_strategy = st.builds(
+    Packet,
+    src=st.just("a"),
+    dst=st.just("b"),
+    size=st.integers(min_value=1, max_value=10_000),
+    seq=st.integers(min_value=0, max_value=1_000_000),
+    tos=st.sampled_from([Tos.HIGH, Tos.NORMAL, Tos.SCAVENGER]),
+)
+
+# A workload: enqueue bursts interleaved with dequeue counts.
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), packet_strategy),
+        st.tuples(st.just("deq"), st.integers(min_value=1, max_value=5)),
+    ),
+    max_size=200,
+)
+
+
+def qdisc_variants():
+    return [
+        lambda: FifoQdisc(),
+        lambda: FifoQdisc(limit_packets=10),
+        lambda: FifoQdisc(limit_bytes=20_000),
+        lambda: PrioQdisc(classifier=classify_by_tos),
+        lambda: WeightedPrioQdisc(high_share=0.95),
+        lambda: DRRQdisc(
+            classifier=lambda p: 0 if p.tos == Tos.HIGH else 1,
+            quanta=[3000, 1000],
+        ),
+    ]
+
+
+@given(ops=operations, variant=st.integers(min_value=0, max_value=5))
+@settings(max_examples=150, deadline=None)
+def test_conservation_of_packets(ops, variant):
+    """enqueued == dequeued + dropped + still-queued, always."""
+    q = qdisc_variants()[variant]()
+    offered = 0
+    dequeued = 0
+    for op, value in ops:
+        if op == "enq":
+            offered += 1
+            q.enqueue(value, now=0.0)
+        else:
+            for _ in range(value):
+                if q.dequeue(0.0) is not None:
+                    dequeued += 1
+    assert q.stats.enqueued + q.stats.dropped == offered
+    assert q.stats.dequeued == dequeued
+    assert q.stats.enqueued == dequeued + len(q)
+
+
+@given(ops=operations, variant=st.integers(min_value=0, max_value=5))
+@settings(max_examples=100, deadline=None)
+def test_work_conservation(ops, variant):
+    """dequeue() returns a packet iff the qdisc is non-empty."""
+    q = qdisc_variants()[variant]()
+    for op, value in ops:
+        if op == "enq":
+            q.enqueue(value, now=0.0)
+        else:
+            for _ in range(value):
+                was_empty = len(q) == 0
+                packet = q.dequeue(0.0)
+                assert (packet is None) == was_empty
+    while len(q):
+        assert q.dequeue(0.0) is not None
+    assert q.dequeue(0.0) is None
+
+
+@given(packets=st.lists(packet_strategy, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_fifo_preserves_order(packets):
+    q = FifoQdisc()
+    for packet in packets:
+        q.enqueue(packet, 0.0)
+    out = []
+    while True:
+        packet = q.dequeue(0.0)
+        if packet is None:
+            break
+        out.append(packet)
+    assert [p.packet_id for p in out] == [p.packet_id for p in packets]
+
+
+@given(packets=st.lists(packet_strategy, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_prio_preserves_order_within_band(packets):
+    q = PrioQdisc(classifier=classify_by_tos)
+    for packet in packets:
+        q.enqueue(packet, 0.0)
+    out = []
+    while True:
+        packet = q.dequeue(0.0)
+        if packet is None:
+            break
+        out.append(packet)
+    for band_filter in (
+        lambda p: p.tos == Tos.HIGH,
+        lambda p: p.tos != Tos.HIGH,
+    ):
+        expected = [p.packet_id for p in packets if band_filter(p)]
+        actual = [p.packet_id for p in out if band_filter(p)]
+        assert actual == expected
+
+
+@given(packets=st.lists(packet_strategy, min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_weighted_prio_drains_exactly_what_was_enqueued(packets):
+    """Draining returns every enqueued packet exactly once, and the very
+    first dequeue returns a HIGH packet whenever any HIGH is queued."""
+    q = WeightedPrioQdisc(high_share=0.95)
+    for packet in packets:
+        q.enqueue(packet, 0.0)
+    first = q.dequeue(0.0)
+    if any(p.tos == Tos.HIGH for p in packets):
+        assert first.tos == Tos.HIGH
+    out = [first]
+    while True:
+        packet = q.dequeue(0.0)
+        if packet is None:
+            break
+        out.append(packet)
+    assert sorted(p.packet_id for p in out) == sorted(
+        p.packet_id for p in packets
+    )
+
+
+@given(
+    backlog=st.integers(min_value=1, max_value=50),
+    high_share=st.floats(min_value=0.5, max_value=0.99),
+)
+@settings(max_examples=50, deadline=None)
+def test_weighted_prio_byte_accounting(backlog, high_share):
+    q = WeightedPrioQdisc(high_share=high_share)
+    for i in range(backlog):
+        tos = Tos.HIGH if i % 2 else Tos.NORMAL
+        q.enqueue(Packet(src="a", dst="b", size=1500, seq=i, tos=tos), 0.0)
+    assert q.backlog_bytes == 1500 * backlog
+    assert q.high_backlog_bytes + q.low_backlog_bytes == q.backlog_bytes

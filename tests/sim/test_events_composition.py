@@ -1,0 +1,117 @@
+"""AllOf / AnyOf condition events."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        first = sim.timeout(1.0, value="a")
+        second = sim.timeout(3.0, value="b")
+        results = yield sim.all_of([first, second])
+        done.append((sim.now, sorted(results.values())))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done == [(3.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        slow = sim.timeout(10.0, value="slow")
+        fast = sim.timeout(2.0, value="fast")
+        results = yield sim.any_of([slow, fast])
+        done.append((sim.now, list(results.values())))
+
+    sim.process(proc(sim))
+    sim.run(until=5.0)
+    assert done == [(2.0, ["fast"])]
+
+
+def test_operator_composition():
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        a = sim.timeout(1.0, value=1)
+        b = sim.timeout(2.0, value=2)
+        yield a & b
+        done.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done == [2.0]
+
+
+def test_or_operator():
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        a = sim.timeout(9.0)
+        b = sim.timeout(4.0)
+        yield a | b
+        done.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=20.0)
+    assert done == [4.0]
+
+
+def test_empty_all_of_triggers_immediately():
+    sim = Simulator()
+    condition = sim.all_of([])
+    sim.run()
+    assert condition.ok and condition.value == {}
+
+
+def test_failed_child_fails_condition():
+    sim = Simulator()
+    caught = []
+
+    def proc(sim, event):
+        try:
+            yield sim.all_of([sim.timeout(5.0), event])
+        except RuntimeError:
+            caught.append(sim.now)
+
+    event = sim.event()
+    sim.process(proc(sim, event))
+    sim.call_later(1.0, event.fail, RuntimeError("child failed"))
+    sim.run()
+    assert caught == [1.0]
+
+
+def test_condition_with_already_processed_children():
+    sim = Simulator()
+    early = sim.timeout(0, value="early")
+    sim.run()
+    assert early.processed
+    late = sim.timeout(2.0, value="late")
+    condition = sim.all_of([early, late])
+    sim.run()
+    assert condition.ok
+    assert set(condition.value.values()) == {"early", "late"}
+
+
+def test_mixed_simulator_events_rejected():
+    sim_a, sim_b = Simulator(), Simulator()
+    with pytest.raises(ValueError):
+        sim_a.all_of([sim_a.timeout(1.0), sim_b.timeout(1.0)])
+
+
+def test_any_of_value_contains_only_triggered_events():
+    sim = Simulator()
+    fast = sim.timeout(1.0, value="f")
+    slow = sim.timeout(100.0, value="s")
+    condition = sim.any_of([fast, slow])
+    sim.run(until=2.0)
+    assert condition.ok
+    assert list(condition.value.keys()) == [fast]

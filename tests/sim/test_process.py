@@ -1,0 +1,246 @@
+"""Process semantics: yielding, return values, interrupts, failures."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+def test_process_sequential_timeouts():
+    sim = Simulator()
+    trace = []
+
+    def proc(sim):
+        trace.append(sim.now)
+        yield sim.timeout(1.0)
+        trace.append(sim.now)
+        yield sim.timeout(2.0)
+        trace.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert trace == [0.0, 1.0, 3.0]
+
+
+def test_process_starts_at_creation_time_not_immediately():
+    sim = Simulator()
+    started = []
+
+    def starter(sim):
+        yield sim.timeout(5.0)
+        sim.process(child(sim))
+
+    def child(sim):
+        started.append(sim.now)
+        yield sim.timeout(0)
+
+    sim.process(starter(sim))
+    sim.run()
+    assert started == [5.0]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return "result"
+
+    process = sim.process(proc(sim))
+    sim.run()
+    assert process.ok and process.value == "result"
+
+
+def test_process_receives_event_value():
+    sim = Simulator()
+    received = []
+
+    def proc(sim, event):
+        value = yield event
+        received.append(value)
+
+    event = sim.event()
+    sim.process(proc(sim, event))
+    sim.call_later(2.0, event.succeed, "hello")
+    sim.run()
+    assert received == ["hello"]
+
+
+def test_process_waiting_on_failed_event_sees_exception():
+    sim = Simulator()
+    caught = []
+
+    def proc(sim, event):
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    event = sim.event()
+    sim.process(proc(sim, event))
+    sim.call_later(1.0, event.fail, ValueError("oops"))
+    sim.run()
+    assert caught == ["oops"]
+
+
+def test_process_exception_propagates_to_process_event():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("died")
+
+    process = sim.process(proc(sim))
+    sim.run()
+    assert not process.ok
+    assert isinstance(process.exception, RuntimeError)
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+    order = []
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        order.append("child")
+        return 99
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        order.append(("parent", value, sim.now))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert order == ["child", ("parent", 99, 3.0)]
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulator()
+    times = []
+
+    def proc(sim, event):
+        yield sim.timeout(5.0)
+        value = yield event  # processed long ago
+        times.append((sim.now, value))
+
+    event = sim.event()
+    event.succeed("early")
+    sim.process(proc(sim, event))
+    sim.run()
+    assert times == [(5.0, "early")]
+
+
+def test_interrupt_wakes_blocked_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            log.append("never")
+        except Interrupt as interrupt:
+            log.append((sim.now, interrupt.cause))
+
+    process = sim.process(sleeper(sim))
+    sim.call_later(2.0, process.interrupt, "wake up")
+    sim.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0)
+
+    process = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_interrupted_process_can_keep_running():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        log.append(sim.now)
+
+    process = sim.process(sleeper(sim))
+    sim.call_later(2.0, process.interrupt)
+    sim.run()
+    assert log == [3.0]
+
+
+def test_interrupt_detaches_from_waited_event():
+    sim = Simulator()
+    woke = []
+
+    def waiter(sim, event):
+        try:
+            yield event
+            woke.append("event")
+        except Interrupt:
+            woke.append("interrupt")
+            yield sim.timeout(50.0)
+
+    event = sim.event()
+    process = sim.process(waiter(sim, event))
+    sim.call_later(1.0, process.interrupt)
+    sim.call_later(2.0, event.succeed)  # must NOT resume the process again
+    sim.run()
+    assert woke == ["interrupt"]
+    assert sim.now == 51.0
+
+
+def test_yield_non_event_raises_inside_process():
+    sim = Simulator()
+    caught = []
+
+    def proc(sim):
+        try:
+            yield 42
+        except SimulationError as exc:
+            caught.append("caught")
+            raise
+
+    process = sim.process(proc(sim))
+    sim.run()
+    assert caught == ["caught"]
+    assert not process.ok
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_is_alive():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+
+    process = sim.process(proc(sim))
+    assert process.is_alive
+    sim.run()
+    assert not process.is_alive
+
+
+def test_active_process_visible_during_execution():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        seen.append(sim.active_process)
+        yield sim.timeout(0)
+
+    process = sim.process(proc(sim))
+    sim.run()
+    assert seen == [process]
+    assert sim.active_process is None

@@ -1,0 +1,168 @@
+"""Store, PriorityStore and Resource semantics."""
+
+import pytest
+
+from repro.sim import PriorityStore, Resource, Simulator, Store
+
+
+def drain(sim, store, out, count):
+    for _ in range(count):
+        item = yield store.get()
+        out.append((sim.now, item))
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+    sim.process(drain(sim, store, out, 3))
+    for i in range(3):
+        store.put(i)
+    sim.run()
+    assert [item for _, item in out] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+    sim.process(drain(sim, store, out, 1))
+    sim.call_later(5.0, store.put, "item")
+    sim.run()
+    assert out == [(5.0, "item")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer(sim):
+        yield store.put("a")
+        log.append(("a", sim.now))
+        yield store.put("b")
+        log.append(("b", sim.now))
+
+    def consumer(sim):
+        yield sim.timeout(4.0)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert ("a", 0.0) in log
+    assert ("b", 4.0) in log  # second put admitted when the slot freed
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("x")
+    sim.run()
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_store_len_and_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    sim.run()
+    assert len(store) == 2
+    assert store.items == [1, 2]
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_priority_store_orders_by_key():
+    sim = Simulator()
+    store = PriorityStore(sim, key=lambda item: item[0])
+    out = []
+    for entry in [(3, "low"), (1, "high"), (2, "mid")]:
+        store.put(entry)
+    sim.process(drain(sim, store, out, 3))
+    sim.run()
+    assert [item[1] for _, item in out] == ["high", "mid", "low"]
+
+
+def test_priority_store_fifo_within_same_priority():
+    sim = Simulator()
+    store = PriorityStore(sim, key=lambda item: item[0])
+    out = []
+    for entry in [(1, "first"), (1, "second"), (1, "third")]:
+        store.put(entry)
+    sim.process(drain(sim, store, out, 3))
+    sim.run()
+    assert [item[1] for _, item in out] == ["first", "second", "third"]
+
+
+def test_resource_limits_concurrency():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=2)
+    finish_times = []
+
+    def job(sim):
+        grant = yield cpu.acquire()
+        yield sim.timeout(10.0)
+        cpu.release(grant)
+        finish_times.append(sim.now)
+
+    for _ in range(4):
+        sim.process(job(sim))
+    sim.run()
+    # Two run 0-10, two run 10-20.
+    assert finish_times == [10.0, 10.0, 20.0, 20.0]
+
+
+def test_resource_release_without_acquire():
+    sim = Simulator()
+    cpu = Resource(sim)
+    with pytest.raises(RuntimeError):
+        cpu.release()
+
+
+def test_resource_counters():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=3)
+
+    def job(sim):
+        yield cpu.acquire()
+        yield sim.timeout(100.0)
+
+    for _ in range(5):
+        sim.process(job(sim))
+    sim.run(until=1.0)
+    assert cpu.in_use == 3
+    assert cpu.available == 0
+    assert cpu.queue_length == 2
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_fifo_granting():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+    order = []
+
+    def job(sim, label, hold):
+        grant = yield cpu.acquire()
+        order.append(label)
+        yield sim.timeout(hold)
+        cpu.release(grant)
+
+    sim.process(job(sim, "a", 1.0))
+    sim.process(job(sim, "b", 1.0))
+    sim.process(job(sim, "c", 1.0))
+    sim.run()
+    assert order == ["a", "b", "c"]

@@ -1,0 +1,79 @@
+"""Deterministic RNG streams and distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Distributions, RngRegistry, lognormal_params_from_quantiles
+from repro.sim.rng import _normal_ppf
+
+
+def test_same_seed_same_stream():
+    a = RngRegistry(42).stream("workload")
+    b = RngRegistry(42).stream("workload")
+    assert a.random() == b.random()
+
+
+def test_different_names_independent():
+    registry = RngRegistry(42)
+    a = registry.stream("alpha").random(100)
+    b = registry.stream("beta").random(100)
+    assert not np.allclose(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(1).stream("x").random()
+    b = RngRegistry(2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    registry = RngRegistry(0)
+    assert registry.stream("s") is registry.stream("s")
+
+
+def test_spawn_child_registry_independent():
+    registry = RngRegistry(7)
+    child = registry.spawn("child")
+    assert registry.stream("x").random() != child.stream("x").random()
+
+
+def test_spawn_deterministic():
+    a = RngRegistry(7).spawn("c").stream("x").random()
+    b = RngRegistry(7).spawn("c").stream("x").random()
+    assert a == b
+
+
+def test_lognormal_quantile_parameterization():
+    mu, sigma = lognormal_params_from_quantiles(median=0.010, high=0.030)
+    samples = np.random.default_rng(0).lognormal(mu, sigma, 200_000)
+    assert np.median(samples) == pytest.approx(0.010, rel=0.02)
+    assert np.percentile(samples, 99) == pytest.approx(0.030, rel=0.05)
+
+
+def test_lognormal_quantile_validation():
+    with pytest.raises(ValueError):
+        lognormal_params_from_quantiles(median=0.0, high=1.0)
+    with pytest.raises(ValueError):
+        lognormal_params_from_quantiles(median=2.0, high=1.0)
+
+
+def test_normal_ppf_matches_scipy():
+    scipy_stats = pytest.importorskip("scipy.stats")
+    for q in [0.001, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999]:
+        assert _normal_ppf(q) == pytest.approx(scipy_stats.norm.ppf(q), abs=1e-6)
+
+
+def test_normal_ppf_domain():
+    with pytest.raises(ValueError):
+        _normal_ppf(0.0)
+    with pytest.raises(ValueError):
+        _normal_ppf(1.0)
+
+
+def test_distributions_sampling():
+    dist = Distributions(np.random.default_rng(0))
+    assert dist.constant(5.0) == 5.0
+    assert dist.exponential(1.0) >= 0
+    assert 1.0 <= dist.uniform(1.0, 2.0) <= 2.0
+    assert dist.lognormal(0.0, 0.5) > 0
+    assert dist.lognormal_by_quantiles(0.01, 0.05) > 0

@@ -1,0 +1,328 @@
+"""End-to-end transport tests over a simulated two-host network."""
+
+import pytest
+
+from repro.net import FifoQdisc, Network, Tos
+from repro.sim import Simulator
+from repro.transport import TransportConfig, TransportStack
+
+
+def build_net(sim, rate_bps=8_000_000, delay=0.001, qdisc_a=None, config=None):
+    """Two hosts, one link; returns (net, stack_a, stack_b)."""
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", rate_bps=rate_bps, delay=delay, qdisc_a=qdisc_a)
+    config = config or TransportConfig()
+    stack_a = TransportStack(sim, net, "a", "10.1.0.1", config=config)
+    stack_b = TransportStack(sim, net, "b", "10.1.0.2", config=config)
+    net.build_routes()
+    return net, stack_a, stack_b
+
+
+def start_echo_server(sim, stack, port=80):
+    """Echo every received message back at the same size."""
+
+    def on_accept(conn):
+        def serve():
+            while True:
+                message, size = yield conn.receive()
+                conn.send(("echo", message), size)
+
+        sim.process(serve(), name="echo")
+
+    stack.listen(port, on_accept)
+
+
+def start_sink_server(sim, stack, received, port=80):
+    def on_accept(conn):
+        def serve():
+            while True:
+                message, size = yield conn.receive()
+                received.append((sim.now, message, size))
+
+        sim.process(serve(), name="sink")
+
+    stack.listen(port, on_accept)
+
+
+class TestHandshake:
+    def test_established_after_one_rtt(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim, delay=0.005)
+        start_echo_server(sim, stack_b)
+        conn = stack_a.connect("10.1.0.2", 80)
+        sim.run(until=conn.established)
+        # SYN + SYN-ACK = one RTT (2 x 5ms) plus tiny serialization.
+        assert 0.010 <= sim.now < 0.012
+
+    def test_connect_to_dead_port_fails(self):
+        sim = Simulator()
+        _, stack_a, _stack_b = build_net(sim)
+        conn = stack_a.connect("10.1.0.2", 9999)
+        with pytest.raises(ConnectionError):
+            sim.run(until=conn.established)
+
+    def test_accept_callback_runs(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim)
+        accepted = []
+        stack_b.listen(80, accepted.append)
+        conn = stack_a.connect("10.1.0.2", 80)
+        sim.run(until=conn.established)
+        assert len(accepted) == 1
+        assert accepted[0].remote == "10.1.0.1"
+        assert stack_b.connections_accepted == 1
+        assert stack_a.connections_opened == 1
+
+    def test_duplicate_listener_rejected(self):
+        sim = Simulator()
+        _, _stack_a, stack_b = build_net(sim)
+        stack_b.listen(80, lambda conn: None)
+        with pytest.raises(ValueError):
+            stack_b.listen(80, lambda conn: None)
+
+    def test_server_inherits_cc_and_tos_from_syn(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim)
+        accepted = []
+        stack_b.listen(80, accepted.append)
+        conn = stack_a.connect(
+            "10.1.0.2", 80, tos=Tos.SCAVENGER, cc_name="ledbat"
+        )
+        sim.run(until=conn.established)
+        assert accepted[0].cc_name == "ledbat"
+        assert accepted[0].tos == Tos.SCAVENGER
+
+
+class TestMessageDelivery:
+    def test_small_message_round_trip(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim)
+        start_echo_server(sim, stack_b)
+        conn = stack_a.connect("10.1.0.2", 80)
+        got = []
+
+        def client(sim):
+            yield conn.established
+            conn.send("hello", 100)
+            message, size = yield conn.receive()
+            got.append((message, size, sim.now))
+
+        sim.process(client(sim))
+        sim.run()
+        assert len(got) == 1
+        assert got[0][0] == ("echo", "hello")
+
+    def test_identity_of_message_objects_preserved(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim)
+        received = []
+        start_sink_server(sim, stack_b, received)
+        payload = {"unique": object()}
+        conn = stack_a.connect("10.1.0.2", 80)
+
+        def client(sim):
+            yield conn.established
+            conn.send(payload, 5000)
+
+        sim.process(client(sim))
+        sim.run()
+        assert received[0][1] is payload
+
+    def test_messages_delivered_in_order(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim)
+        received = []
+        start_sink_server(sim, stack_b, received)
+        conn = stack_a.connect("10.1.0.2", 80)
+
+        def client(sim):
+            yield conn.established
+            for i in range(20):
+                conn.send(i, 3000)
+
+        sim.process(client(sim))
+        sim.run()
+        assert [message for _, message, _ in received] == list(range(20))
+
+    def test_large_transfer_saturates_link(self):
+        sim = Simulator()
+        # 8 Mbps = 1 MB/s; 500 KB should take just over 0.5 s.
+        _, stack_a, stack_b = build_net(sim, rate_bps=8_000_000, delay=0.001)
+        received = []
+        start_sink_server(sim, stack_b, received)
+        conn = stack_a.connect("10.1.0.2", 80)
+
+        def client(sim):
+            yield conn.established
+            conn.send("blob", 500_000)
+
+        sim.process(client(sim))
+        sim.run()
+        assert len(received) == 1
+        finish = received[0][0]
+        assert 0.5 <= finish <= 0.65  # rate-bound plus handshake/headers
+
+    def test_send_before_established_is_buffered(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim)
+        received = []
+        start_sink_server(sim, stack_b, received)
+        conn = stack_a.connect("10.1.0.2", 80)
+        conn.send("early", 1000)  # no yield on established
+        sim.run()
+        assert [m for _, m, _ in received] == ["early"]
+
+    def test_bidirectional_concurrent_transfer(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim)
+        got_at_a, got_at_b = [], []
+
+        def on_accept(conn):
+            def serve():
+                message, _size = yield conn.receive()
+                got_at_b.append(message)
+                conn.send("reply-blob", 200_000)
+
+            sim.process(serve())
+
+        stack_b.listen(80, on_accept)
+        conn = stack_a.connect("10.1.0.2", 80)
+
+        def client(sim):
+            yield conn.established
+            conn.send("req-blob", 200_000)
+            message, _size = yield conn.receive()
+            got_at_a.append(message)
+
+        sim.process(client(sim))
+        sim.run()
+        assert got_at_b == ["req-blob"]
+        assert got_at_a == ["reply-blob"]
+
+    def test_send_on_closed_connection_raises(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim)
+        start_echo_server(sim, stack_b)
+        conn = stack_a.connect("10.1.0.2", 80)
+        sim.run(until=conn.established)
+        conn.close()
+        with pytest.raises(RuntimeError):
+            conn.send("x", 10)
+
+    def test_zero_size_message_rejected(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim)
+        start_echo_server(sim, stack_b)
+        conn = stack_a.connect("10.1.0.2", 80)
+        with pytest.raises(ValueError):
+            conn.send("x", 0)
+
+
+class TestLossRecovery:
+    def test_transfer_completes_despite_tail_drops(self):
+        sim = Simulator()
+        # Tiny egress buffer at the sender: guaranteed drops under slow start.
+        _, stack_a, stack_b = build_net(
+            sim, rate_bps=8_000_000, qdisc_a=FifoQdisc(limit_bytes=6000)
+        )
+        received = []
+        start_sink_server(sim, stack_b, received)
+        conn = stack_a.connect("10.1.0.2", 80)
+
+        def client(sim):
+            yield conn.established
+            conn.send("blob", 300_000)
+
+        sim.process(client(sim))
+        sim.run(until=60.0)
+        assert [m for _, m, _ in received] == ["blob"]
+        assert conn.retransmits > 0
+
+    def test_fast_retransmit_engages(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(
+            sim, rate_bps=8_000_000, qdisc_a=FifoQdisc(limit_bytes=20_000)
+        )
+        received = []
+        start_sink_server(sim, stack_b, received)
+        conn = stack_a.connect("10.1.0.2", 80)
+
+        def client(sim):
+            yield conn.established
+            conn.send("blob", 400_000)
+
+        sim.process(client(sim))
+        sim.run(until=60.0)
+        assert received, "transfer did not complete"
+        assert conn.retransmits > 0
+
+    def test_rtt_estimate_tracks_path(self):
+        sim = Simulator()
+        _, stack_a, stack_b = build_net(sim, delay=0.010)
+        received = []
+        start_sink_server(sim, stack_b, received)
+        conn = stack_a.connect("10.1.0.2", 80)
+
+        def client(sim):
+            yield conn.established
+            conn.send("blob", 50_000)
+
+        sim.process(client(sim))
+        sim.run()
+        assert conn.srtt is not None
+        assert conn.srtt >= 0.020  # at least the two-way propagation delay
+        assert conn.srtt < 0.080
+
+
+class TestFairnessAndScavenging:
+    def run_pair(self, cc_a, cc_b, size=400_000, rate=8_000_000):
+        """Two flows from one host through the shared bottleneck; returns
+        (finish_a, finish_b)."""
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("src")
+        net.add_host("dst")
+        net.connect("src", "dst", rate_bps=rate, delay=0.002)
+        config = TransportConfig()
+        src1 = TransportStack(sim, net, "src", "10.1.0.1", config=config)
+        src2 = TransportStack(sim, net, "src", "10.1.0.3", config=config)
+        dst = TransportStack(sim, net, "dst", "10.1.0.2", config=config)
+        net.build_routes()
+        finishes = {}
+
+        def on_accept(conn):
+            def serve():
+                message, _size = yield conn.receive()
+                finishes[message] = sim.now
+
+            sim.process(serve())
+
+        dst.listen(80, on_accept)
+
+        def client(sim, stack, label, cc):
+            conn = stack.connect("10.1.0.2", 80, cc_name=cc)
+            yield conn.established
+            conn.send(label, size)
+
+        sim.process(client(sim, src1, "a", cc_a))
+        sim.process(client(sim, src2, "b", cc_b))
+        sim.run(until=120.0)
+        assert set(finishes) == {"a", "b"}, f"missing flows: {finishes}"
+        return finishes["a"], finishes["b"]
+
+    def test_reno_pair_roughly_fair(self):
+        finish_a, finish_b = self.run_pair("reno", "reno")
+        assert finish_a == pytest.approx(finish_b, rel=0.5)
+
+    def test_ledbat_yields_to_reno(self):
+        reno_vs_ledbat, _ = self.run_pair("reno", "ledbat")
+        reno_vs_reno, _ = self.run_pair("reno", "reno")
+        # Against a scavenger the foreground flow finishes markedly sooner.
+        assert reno_vs_ledbat < reno_vs_reno * 0.8
+
+    def test_tcplp_yields_to_reno(self):
+        reno_vs_lp, _ = self.run_pair("reno", "tcplp")
+        reno_vs_reno, _ = self.run_pair("reno", "reno")
+        assert reno_vs_lp < reno_vs_reno * 0.85

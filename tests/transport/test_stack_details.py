@@ -1,0 +1,116 @@
+"""Transport stack details: ALPN, flow teardown, multi-stack hosts."""
+
+import pytest
+
+from repro.net import Network
+from repro.sim import Simulator
+from repro.transport import TransportConfig, TransportStack
+
+
+def build(sim):
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", rate_bps=1e9, delay=0.001)
+    config = TransportConfig()
+    src = TransportStack(sim, net, "a", "10.1.0.1", config=config)
+    dst = TransportStack(sim, net, "b", "10.1.0.2", config=config)
+    net.build_routes()
+    return net, src, dst
+
+
+class TestAlpn:
+    def test_default_alpn(self):
+        sim = Simulator()
+        _, src, dst = build(sim)
+        accepted = []
+        dst.listen(80, accepted.append)
+        conn = src.connect("10.1.0.2", 80)
+        sim.run(until=conn.established)
+        assert conn.alpn == "message"
+        assert accepted[0].alpn == "message"
+
+    def test_negotiated_alpn_reaches_server(self):
+        sim = Simulator()
+        _, src, dst = build(sim)
+        accepted = []
+        dst.listen(80, accepted.append)
+        conn = src.connect("10.1.0.2", 80, alpn="mux")
+        sim.run(until=conn.established)
+        assert accepted[0].alpn == "mux"
+
+
+class TestFlowTeardown:
+    def test_drop_flow_closes_and_forgets(self):
+        sim = Simulator()
+        _, src, dst = build(sim)
+        dst.listen(80, lambda conn: None)
+        conn = src.connect("10.1.0.2", 80)
+        sim.run(until=conn.established)
+        src.drop_flow(conn.flow_id)
+        assert conn.closed
+        # Packets for the dropped flow are ignored, not crashed on.
+        src.drop_flow(conn.flow_id)  # idempotent
+
+    def test_failed_connect_closes_connection(self):
+        sim = Simulator()
+        _, src, _dst = build(sim)
+        conn = src.connect("10.1.0.2", 4242)  # nobody listening
+        with pytest.raises(ConnectionError):
+            sim.run(until=conn.established)
+        assert conn.closed
+
+    def test_late_packet_for_unknown_flow_is_ignored(self):
+        sim = Simulator()
+        net, src, dst = build(sim)
+        received = []
+
+        def on_accept(conn):
+            def serve():
+                message, _size = yield conn.receive()
+                received.append(message)
+
+            sim.process(serve())
+
+        dst.listen(80, on_accept)
+        conn = src.connect("10.1.0.2", 80)
+        sim.run(until=conn.established)
+        conn.send("hello", 1000)
+        sim.run(until=sim.now + 0.0005)  # data in flight
+        dst.drop_flow(conn.flow_id)  # server forgets the flow mid-transfer
+        sim.run(until=sim.now + 5.0)
+        assert received == []  # silently dropped, no crash
+
+
+class TestMultiStackHost:
+    def test_two_addresses_one_host_are_independent(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", rate_bps=1e9, delay=0.001)
+        config = TransportConfig()
+        stack1 = TransportStack(sim, net, "a", "10.1.0.1", config=config)
+        stack2 = TransportStack(sim, net, "a", "10.1.0.9", config=config)
+        dst = TransportStack(sim, net, "b", "10.1.0.2", config=config)
+        net.build_routes()
+        seen = []
+
+        def on_accept(conn):
+            def serve():
+                message, _size = yield conn.receive()
+                seen.append((conn.remote, message))
+
+            sim.process(serve())
+
+        dst.listen(80, on_accept)
+        for stack, label in ((stack1, "one"), (stack2, "two")):
+            conn = stack.connect("10.1.0.2", 80)
+
+            def client(conn=conn, label=label):
+                yield conn.established
+                conn.send(label, 100)
+
+            sim.process(client())
+        sim.run()
+        assert sorted(seen) == [("10.1.0.1", "one"), ("10.1.0.9", "two")]

@@ -1,0 +1,61 @@
+"""Latency statistics."""
+
+import numpy as np
+import pytest
+
+from repro.util import percentile, summarize
+from repro.util.stats import LatencySummary
+
+
+def test_percentile_basic():
+    samples = list(range(1, 101))
+    assert percentile(samples, 50) == pytest.approx(50.5)
+    assert percentile(samples, 99) == pytest.approx(99.01)
+
+
+def test_percentile_empty():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_summarize_fields():
+    samples = [0.010, 0.020, 0.030, 0.040, 0.050]
+    summary = summarize(samples)
+    assert summary.count == 5
+    assert summary.mean == pytest.approx(0.030)
+    assert summary.minimum == 0.010
+    assert summary.maximum == 0.050
+    assert summary.p50 == pytest.approx(0.030)
+
+
+def test_summarize_percentile_ordering():
+    rng = np.random.default_rng(0)
+    summary = summarize(rng.lognormal(0, 1, 10_000))
+    assert summary.minimum <= summary.p50 <= summary.p90
+    assert summary.p90 <= summary.p99 <= summary.p999 <= summary.maximum
+
+
+def test_summarize_empty():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summary_as_dict_and_str():
+    summary = summarize([0.001, 0.002, 0.003])
+    d = summary.as_dict()
+    assert d["count"] == 3
+    assert "p99" in d
+    text = str(summary)
+    assert "n=3" in text and "ms" in text
+
+
+def test_summary_is_frozen():
+    summary = summarize([1.0])
+    with pytest.raises(AttributeError):
+        summary.mean = 2.0
+
+
+def test_single_sample():
+    summary = summarize([0.5])
+    assert summary.p50 == summary.p99 == summary.maximum == 0.5
+    assert isinstance(summary, LatencySummary)

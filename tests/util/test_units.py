@@ -1,0 +1,81 @@
+"""Unit parsing and formatting."""
+
+import pytest
+
+from repro.util import (
+    format_bytes,
+    format_duration,
+    format_rate,
+    parse_rate,
+    parse_size,
+)
+from repro.util.units import GB, Gbps, KB, MB, Mbps
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("1500B") == 1500
+
+    def test_decimal_units(self):
+        assert parse_size("2MB") == 2 * MB
+        assert parse_size("3KB") == 3 * KB
+        assert parse_size("1GB") == GB
+
+    def test_binary_units(self):
+        assert parse_size("1KiB") == 1024
+        assert parse_size("2MiB") == 2 * 1024**2
+
+    def test_fractional(self):
+        assert parse_size("1.5KB") == 1500
+
+    def test_case_insensitive(self):
+        assert parse_size("2mb") == 2 * MB
+
+    def test_numeric_passthrough(self):
+        assert parse_size(4096) == 4096
+        assert parse_size(1e6) == 1_000_000
+
+    def test_whitespace_tolerated(self):
+        assert parse_size(" 10 KB ") == 10 * KB
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parse_size("fast")
+        with pytest.raises(ValueError):
+            parse_size("10XB")
+
+
+class TestParseRate:
+    def test_gbps(self):
+        assert parse_rate("1Gbps") == Gbps
+        assert parse_rate("15Gbps") == 15 * Gbps
+
+    def test_mbps(self):
+        assert parse_rate("100Mbps") == 100 * Mbps
+
+    def test_numeric_passthrough(self):
+        assert parse_rate(1e9) == 1e9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parse_rate("1GB")  # size unit, not a rate
+        with pytest.raises(ValueError):
+            parse_rate("fast")
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(1500) == "1.50 KB"
+        assert format_bytes(2 * MB) == "2.00 MB"
+        assert format_bytes(3 * GB) == "3.00 GB"
+        assert format_bytes(12) == "12 B"
+
+    def test_format_rate(self):
+        assert format_rate(Gbps) == "1.00 Gbps"
+        assert format_rate(1_500_000) == "1.50 Mbps"
+        assert format_rate(500) == "500 bps"
+
+    def test_format_duration(self):
+        assert format_duration(1.5) == "1.500 s"
+        assert format_duration(0.0031) == "3.100 ms"
+        assert format_duration(25e-6) == "25.0 µs"

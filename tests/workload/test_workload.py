@@ -1,0 +1,181 @@
+"""Arrival processes, latency recording, open-loop generation."""
+
+import numpy as np
+import pytest
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.sim import RngRegistry
+from repro.workload import (
+    DeterministicArrivals,
+    LatencyRecorder,
+    LoadGenerator,
+    MixConfig,
+    MixedWorkload,
+    PoissonArrivals,
+    UniformRandomArrivals,
+    WorkloadSpec,
+    make_arrivals,
+)
+
+
+class TestArrivals:
+    def test_uniform_mean_is_one_over_rate(self):
+        arrivals = UniformRandomArrivals(20.0, np.random.default_rng(0))
+        gaps = [arrivals.next_gap() for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(1 / 20.0, rel=0.02)
+        assert max(gaps) <= 2 / 20.0
+
+    def test_poisson_mean(self):
+        arrivals = PoissonArrivals(10.0, np.random.default_rng(0))
+        gaps = [arrivals.next_gap() for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(0.1, rel=0.03)
+
+    def test_deterministic(self):
+        arrivals = DeterministicArrivals(4.0)
+        assert arrivals.next_gap() == 0.25
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals(0)
+
+    def test_registry(self):
+        rng = np.random.default_rng(0)
+        assert isinstance(make_arrivals("uniform", 1, rng), UniformRandomArrivals)
+        assert isinstance(make_arrivals("poisson", 1, rng), PoissonArrivals)
+        assert isinstance(
+            make_arrivals("deterministic", 1, rng), DeterministicArrivals
+        )
+        with pytest.raises(ValueError):
+            make_arrivals("bursty", 1, rng)
+
+
+class TestLatencyRecorder:
+    def test_filters(self):
+        recorder = LatencyRecorder()
+        recorder.record("ls", sent_at=1.0, latency=0.01, status=200)
+        recorder.record("ls", sent_at=5.0, latency=0.02, status=200)
+        recorder.record("li", sent_at=1.0, latency=0.50, status=200)
+        recorder.record("ls", sent_at=2.0, latency=9.99, status=504)
+        assert recorder.latencies("ls") == [0.01, 0.02]
+        assert recorder.latencies("ls", window=(0.0, 2.0)) == [0.01]
+        assert recorder.latencies() == [0.01, 0.02, 0.50]
+
+    def test_error_rate(self):
+        recorder = LatencyRecorder()
+        recorder.record("w", 0, 0.01, 200)
+        recorder.record("w", 0, 0.01, 503)
+        assert recorder.error_rate("w") == 0.5
+        assert recorder.error_rate("empty") == 0.0
+
+    def test_summary(self):
+        recorder = LatencyRecorder()
+        for latency in (0.01, 0.02, 0.03):
+            recorder.record("w", 0, latency, 200)
+        assert recorder.summary("w").p50 == 0.02
+
+    def test_len(self):
+        recorder = LatencyRecorder()
+        assert len(recorder) == 0
+        recorder.record("w", 0, 0.01, 200)
+        assert len(recorder) == 1
+
+
+class TestLoadGenerator:
+    def make(self, rps=50.0, duration=2.0, **spec_kwargs):
+        testbed = MeshTestbed()
+        testbed.add_service("echo", echo_handler(), workers=32)
+        gateway = testbed.finish("echo")
+        recorder = LatencyRecorder()
+        generator = LoadGenerator(
+            testbed.sim,
+            gateway,
+            WorkloadSpec(name="w", rps=rps, **spec_kwargs),
+            recorder,
+            RngRegistry(0),
+        )
+        generator.start(duration)
+        testbed.sim.run(until=duration + 5.0)
+        return testbed, generator, recorder
+
+    def test_offered_load_close_to_rps(self):
+        _, generator, _ = self.make(rps=50.0, duration=4.0)
+        assert generator.issued == pytest.approx(200, rel=0.15)
+
+    def test_all_requests_complete_and_recorded(self):
+        _, generator, recorder = self.make()
+        assert generator.completed == generator.issued
+        assert len(recorder) == generator.issued
+        assert generator.failed == 0
+
+    def test_workload_type_marked(self):
+        testbed = MeshTestbed()
+        seen = []
+
+        def capture(ctx, request):
+            seen.append(request.headers.get("x-workload"))
+            yield ctx.sleep(0.001)
+            return request.reply(body_size=1)
+
+        testbed.add_service("cap", capture)
+        gateway = testbed.finish("cap")
+        generator = LoadGenerator(
+            testbed.sim,
+            gateway,
+            WorkloadSpec(name="w", rps=30, workload_type="batch"),
+            LatencyRecorder(),
+            RngRegistry(0),
+        )
+        generator.start(1.0)
+        testbed.sim.run(until=3.0)
+        assert seen and all(value == "batch" for value in seen)
+
+    def test_cannot_start_twice(self):
+        testbed = MeshTestbed()
+        testbed.add_service("echo", echo_handler())
+        gateway = testbed.finish("echo")
+        generator = LoadGenerator(
+            testbed.sim,
+            gateway,
+            WorkloadSpec(name="w", rps=10),
+            LatencyRecorder(),
+            RngRegistry(0),
+        )
+        generator.start(1.0)
+        with pytest.raises(RuntimeError):
+            generator.start(1.0)
+
+    def test_invalid_rps(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="w", rps=0)
+
+
+class TestMixedWorkload:
+    def test_two_streams_share_recorder(self):
+        testbed = MeshTestbed()
+        testbed.add_service("echo", echo_handler(), workers=32)
+        gateway = testbed.finish("echo")
+        mix = MixedWorkload(
+            testbed.sim, gateway, MixConfig(rps=30.0), RngRegistry(0)
+        )
+        mix.start(2.0)
+        testbed.sim.run(until=6.0)
+        ls = mix.recorder.of("ls")
+        li = mix.recorder.of("li")
+        assert ls and li
+        assert mix.issued == len(ls) + len(li)
+        assert mix.completed == mix.issued
+
+    def test_asymmetric_rates(self):
+        testbed = MeshTestbed()
+        testbed.add_service("echo", echo_handler(), workers=32)
+        gateway = testbed.finish("echo")
+        mix = MixedWorkload(
+            testbed.sim,
+            gateway,
+            MixConfig(rps=50.0, li_rps=5.0),
+            RngRegistry(0),
+        )
+        mix.start(3.0)
+        testbed.sim.run(until=8.0)
+        assert mix.ls.issued > mix.li.issued * 5
