@@ -11,9 +11,14 @@ import os
 
 import pytest
 
-from repro.experiments import ScenarioConfig
+from repro.experiments import Runner, ScenarioConfig
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: Worker processes for sweep-engine benchmarks. Defaults to 1 so the
+#: benchmark clock measures simulation cost, not parallel speedup; set
+#: REPRO_BENCH_WORKERS>1 to exercise the parallel path.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def bench_scenario_config(**overrides) -> ScenarioConfig:
@@ -28,6 +33,14 @@ def bench_scenario_config(**overrides) -> ScenarioConfig:
 
 def rps_levels():
     return (10, 20, 30, 40, 50) if FULL else (10, 30, 50)
+
+
+@pytest.fixture
+def bench_runner():
+    """A sweep runner for benchmarks: no cache (benchmarks must always
+    simulate), worker count from REPRO_BENCH_WORKERS."""
+    with Runner(workers=WORKERS) as runner:
+        yield runner
 
 
 @pytest.fixture

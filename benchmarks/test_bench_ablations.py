@@ -20,8 +20,8 @@ VARIANTS = ["baseline", "paper-prototype", "pinning-only", "tc-only", "strict-99
 def test_component_ablations(once):
     result = once(
         run_ablations,
-        VARIANTS,
         bench_scenario_config(rps=40.0),
+        variants=VARIANTS,
     )
     print()
     print(result.table())

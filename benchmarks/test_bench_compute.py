@@ -15,8 +15,8 @@ from repro.experiments.compute import run_compute
 def test_priority_queue_on_cpu_bottleneck(once):
     result = once(
         run_compute,
-        40.0,
-        20.0 if FULL else 8.0,
+        rps=40.0,
+        duration=20.0 if FULL else 8.0,
     )
     print()
     print(result.table())

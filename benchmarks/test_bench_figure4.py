@@ -12,8 +12,13 @@ from conftest import bench_scenario_config, rps_levels
 from repro.experiments import run_figure4
 
 
-def test_figure4_sweep(once):
-    result = once(run_figure4, rps_levels(), bench_scenario_config())
+def test_figure4_sweep(once, bench_runner):
+    result = once(
+        run_figure4,
+        bench_scenario_config(),
+        rps_levels=rps_levels(),
+        runner=bench_runner,
+    )
     print()
     print(result.table())
 

@@ -14,9 +14,9 @@ from repro.experiments.hops import run_hops
 def test_overhead_scales_with_hops(once):
     result = once(
         run_hops,
-        (1, 4, 8, 16),
-        30.0,
-        20.0 if FULL else 6.0,
+        depths=(1, 4, 8, 16),
+        rps=30.0,
+        duration=20.0 if FULL else 6.0,
     )
     print()
     print(result.table())

@@ -13,13 +13,7 @@ from repro.experiments import run_inference
 
 def test_priority_inference(once):
     base = bench_scenario_config(rps=40.0)
-    result = once(
-        run_inference,
-        base.rps,
-        base.duration,
-        base.seed,
-        base,
-    )
+    result = once(run_inference, base)
     print()
     print(result.table())
     # Explicit signalling helps (sanity).

@@ -16,8 +16,8 @@ VARIANTS = ["baseline", "scavenger-only", "full-stack"]
 def test_scavenger_transport(once):
     result = once(
         run_ablations,
-        VARIANTS,
         bench_scenario_config(rps=40.0),
+        variants=VARIANTS,
     )
     print()
     print(result.table())

@@ -2,42 +2,80 @@
 
 Usage::
 
-    python -m repro figure4 [--full] [--csv PATH]
+    python -m repro figure4 [--full] [--csv PATH] [--workers N]
     python -m repro overhead | ablations | te | hedging | inference
-    python -m repro all        # everything, scaled
+    python -m repro all        # everything, through ONE shared runner
 
 Scaled runs (default) finish in minutes; ``--full`` uses paper-scale
 parameters (the 10-50 RPS sweep with long steady states).
+
+Common sweep flags:
+
+* ``--workers N`` — worker processes for the sweep engine (default: all
+  cores). ``--workers 1`` runs serially; both orders of execution emit
+  byte-identical tables for the same seed.
+* ``--cache-dir PATH`` / ``--no-cache`` — finished points are cached on
+  disk keyed by a content hash of their config, so re-running a sweep
+  only simulates changed points. Default dir: ``$REPRO_CACHE_DIR`` or
+  ``.repro-cache``.
+* ``--rps X`` — override the offered load of any experiment.
+* ``--duration S`` — steady-state seconds; an explicit value always
+  wins, including under ``--full``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from dataclasses import dataclass
+from typing import Callable
 
 from .experiments import (
     PAPER_RPS_LEVELS,
-    ScenarioConfig,
-    run_ablations,
-    run_compute,
-    run_figure4,
-    run_hedging,
-    run_hops,
-    run_inference,
-    run_overhead,
-    run_te,
+    AblationExperiment,
+    ComputeExperiment,
+    Experiment,
+    Figure4Experiment,
+    HedgingExperiment,
+    HopsExperiment,
+    InferenceExperiment,
+    OverheadExperiment,
+    Runner,
+    TeExperiment,
 )
 
-
-def _base_config(args) -> ScenarioConfig:
-    if args.full:
-        return ScenarioConfig(duration=30.0, warmup=5.0, seed=args.seed)
-    return ScenarioConfig(duration=8.0, warmup=2.0, seed=args.seed)
+#: Steady-state seconds for scaled (non ``--full``) runs.
+SCALED_DURATION = 8.0
 
 
-def _cmd_figure4(args) -> str:
+def _overrides(args, full_duration: float, **per_command) -> dict:
+    """ScenarioConfig overrides shared by every subcommand.
+
+    Explicit ``--duration`` always wins (the old CLI silently ignored
+    it under ``--full`` for some subcommands); ``--rps`` overrides the
+    per-command default load.
+    """
+    overrides = dict(per_command)
+    overrides["seed"] = args.seed
+    if args.duration is not None:
+        duration = args.duration
+    else:
+        duration = full_duration if args.full else SCALED_DURATION
+    overrides["duration"] = duration
+    warmup = 5.0 if args.full else 2.0
+    overrides["warmup"] = min(warmup, duration / 4)
+    if args.rps is not None:
+        overrides["rps"] = args.rps
+    return overrides
+
+
+def _exp_figure4(args) -> Experiment:
     levels = PAPER_RPS_LEVELS if args.full else (10, 30, 50)
-    result = run_figure4(rps_levels=levels, base_config=_base_config(args))
+    return Figure4Experiment(rps_levels=levels, **_overrides(args, 30.0))
+
+
+def _render_figure4(result, args) -> str:
     if args.csv:
         with open(args.csv, "w") as f:
             f.write(result.csv())
@@ -48,53 +86,53 @@ def _cmd_figure4(args) -> str:
     )
 
 
-def _cmd_overhead(args) -> str:
-    duration = 30.0 if args.full else args.duration
-    return run_overhead(rps=50.0, duration=duration, seed=args.seed).table()
+def _render_table(result, args) -> str:
+    return result.table()
 
 
-def _cmd_ablations(args) -> str:
-    config = _base_config(args)
-    config = ScenarioConfig(
-        rps=40.0, duration=config.duration, warmup=config.warmup, seed=args.seed
-    )
-    return run_ablations(base_config=config).table()
+@dataclass(frozen=True)
+class Command:
+    """One subcommand: an experiment factory plus a result renderer."""
 
-
-def _cmd_te(args) -> str:
-    duration = 20.0 if args.full else args.duration
-    return run_te(rps=25.0, duration=duration, seed=args.seed).table()
-
-
-def _cmd_hedging(args) -> str:
-    duration = 30.0 if args.full else args.duration
-    return run_hedging(rps=40.0, duration=duration, seed=args.seed).table()
-
-
-def _cmd_inference(args) -> str:
-    duration = 20.0 if args.full else args.duration
-    return run_inference(rps=40.0, duration=duration, seed=args.seed).table()
-
-
-def _cmd_compute(args) -> str:
-    duration = 20.0 if args.full else args.duration
-    return run_compute(duration=duration, seed=args.seed).table()
-
-
-def _cmd_hops(args) -> str:
-    duration = 20.0 if args.full else args.duration
-    return run_hops(duration=duration, seed=args.seed).table()
+    factory: Callable[[argparse.Namespace], Experiment]
+    help: str
+    render: Callable = _render_table
 
 
 COMMANDS = {
-    "figure4": (_cmd_figure4, "Fig. 4: LS latency vs RPS, w/o vs w/ optimization"),
-    "overhead": (_cmd_overhead, "T-2: sidecar latency overhead (~3 ms p99)"),
-    "hops": (_cmd_hops, "T-3: overhead amplification over deep call chains"),
-    "ablations": (_cmd_ablations, "A-1/A-3: component ablations"),
-    "te": (_cmd_te, "A-4: priority-aware traffic engineering"),
-    "hedging": (_cmd_hedging, "X-1: redundant requests cut tail latency"),
-    "inference": (_cmd_inference, "X-2: automatic priority inference"),
-    "compute": (_cmd_compute, "X-4: prioritized request queueing (CPU bottleneck)"),
+    "figure4": Command(
+        _exp_figure4,
+        "Fig. 4: LS latency vs RPS, w/o vs w/ optimization",
+        render=_render_figure4,
+    ),
+    "overhead": Command(
+        lambda args: OverheadExperiment(**_overrides(args, 30.0, rps=50.0)),
+        "T-2: sidecar latency overhead (~3 ms p99)",
+    ),
+    "hops": Command(
+        lambda args: HopsExperiment(**_overrides(args, 20.0, rps=30.0)),
+        "T-3: overhead amplification over deep call chains",
+    ),
+    "ablations": Command(
+        lambda args: AblationExperiment(**_overrides(args, 30.0, rps=40.0)),
+        "A-1/A-3: component ablations",
+    ),
+    "te": Command(
+        lambda args: TeExperiment(**_overrides(args, 20.0, rps=25.0)),
+        "A-4: priority-aware traffic engineering",
+    ),
+    "hedging": Command(
+        lambda args: HedgingExperiment(**_overrides(args, 30.0, rps=40.0)),
+        "X-1: redundant requests cut tail latency",
+    ),
+    "inference": Command(
+        lambda args: InferenceExperiment(**_overrides(args, 20.0, rps=40.0)),
+        "X-2: automatic priority inference",
+    ),
+    "compute": Command(
+        lambda args: ComputeExperiment(**_overrides(args, 20.0, rps=40.0)),
+        "X-4: prioritized request queueing (CPU bottleneck)",
+    ),
 }
 
 
@@ -107,10 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    for name, (_fn, help_text) in COMMANDS.items():
-        sub = subparsers.add_parser(name, help=help_text)
+    for name, command in COMMANDS.items():
+        sub = subparsers.add_parser(name, help=command.help)
         _add_common(sub)
-    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser = subparsers.add_parser(
+        "all", help="run every experiment through one shared runner"
+    )
     _add_common(all_parser)
     return parser
 
@@ -119,22 +159,58 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--full", action="store_true", help="paper-scale run")
     sub.add_argument("--seed", type=int, default=42)
     sub.add_argument(
-        "--duration", type=float, default=8.0,
-        help="steady-state seconds for scaled runs",
+        "--duration", type=float, default=None,
+        help="steady-state seconds (explicit value wins even with --full)",
+    )
+    sub.add_argument(
+        "--rps", type=float, default=None,
+        help="override the experiment's offered load (requests/second)",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=None,
+        help="sweep worker processes (default: all cores; 1 = serial)",
+    )
+    sub.add_argument(
+        "--cache-dir", metavar="PATH",
+        default=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
+        help="result-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    sub.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
     )
     sub.add_argument("--csv", metavar="PATH", help="write CSV (figure4 only)")
 
 
+def _make_runner(args) -> Runner:
+    cache_dir = None if args.no_cache else args.cache_dir
+    return Runner(workers=args.workers, cache_dir=cache_dir, progress=True)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "all":
-        for name, (fn, _help) in COMMANDS.items():
-            print(f"\n### {name} ###")
-            print(fn(args))
+    try:
+        runner = _make_runner(args)
+    except ValueError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.command == "all":
+            # Submit every experiment's grid up front: the points of all
+            # experiments interleave across one shared worker pool.
+            pending = [
+                (name, command, command.factory(args).submit(runner))
+                for name, command in COMMANDS.items()
+            ]
+            for name, command, submitted in pending:
+                print(f"\n### {name} ###")
+                print(command.render(submitted.result(), args))
+            return 0
+        command = COMMANDS[args.command]
+        print(command.render(command.factory(args).run(runner), args))
         return 0
-    fn, _help = COMMANDS[args.command]
-    print(fn(args))
-    return 0
+    finally:
+        runner.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

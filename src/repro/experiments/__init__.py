@@ -1,6 +1,8 @@
 """Experiment harnesses regenerating the paper's evaluation.
 
 * :mod:`scenario` — the §4.3 testbed as a parameterized scenario.
+* :mod:`runner` — the sweep engine: parallel workers, result caching,
+  the declarative :class:`Experiment` base every harness builds on.
 * :mod:`figure4` — the RPS sweep of Fig. 4 (+ the T-1 LI-cost claim).
 * :mod:`overhead` — T-2, sidecar latency overhead (§3.6).
 * :mod:`hops` — T-3, overhead amplification over deep call chains (§3.6).
@@ -9,22 +11,42 @@
 * :mod:`hedging` — X-1, redundant requests (§3.4).
 * :mod:`inference` — X-2, automatic priority inference (§3.3).
 * :mod:`compute` — X-4, prioritized request queueing on CPU (§5).
+
+Every harness follows one contract::
+
+    run_<name>(base_config: ScenarioConfig | None = None,
+               *, runner: Runner | None = None, **overrides)
+
+``overrides`` patch :class:`ScenarioConfig` fields (``rps``,
+``duration``, ``seed``, ``mesh``, ...); passing a :class:`Runner` fans
+the harness's grid out across worker processes with result caching.
 """
 
-from .ablations import AblationResult, ablation_policies, run_ablations
-from .compute import ComputeResult, run_compute
+from .ablations import AblationExperiment, AblationResult, ablation_policies, run_ablations
+from .compute import ComputeExperiment, ComputeResult, run_compute
 from .figure4 import (
     PAPER_RPS_LEVELS,
+    Figure4Experiment,
     Figure4Result,
     Figure4Row,
     run_figure4,
 )
-from .hedging import HedgingResult, run_hedging
-from .hops import HopsResult, HopsRow, chain_specs, run_hops
-from .inference import InferenceResult, run_inference
-from .overhead import OverheadResult, run_overhead
+from .hedging import HedgingExperiment, HedgingResult, run_hedging
+from .hops import HopsExperiment, HopsResult, HopsRow, chain_specs, run_hops
+from .inference import InferenceExperiment, InferenceResult, run_inference
+from .overhead import OverheadExperiment, OverheadResult, run_overhead
 from .replicate import Replicated, ReplicationResult, compare_with_replication, replicate
 from .report import format_table, ms, to_csv
+from .runner import (
+    Experiment,
+    Point,
+    ResultCache,
+    Runner,
+    RunnerStats,
+    ScenarioMeasurement,
+    config_digest,
+    measure_scenario,
+)
 from .scenario import (
     DEFAULT_MSS,
     ScenarioConfig,
@@ -32,38 +54,54 @@ from .scenario import (
     build_scenario,
     run_scenario,
 )
-from .te import TeResult, run_te
+from .te import TeExperiment, TeResult, run_te
 
 __all__ = [
+    "AblationExperiment",
     "AblationResult",
+    "ComputeExperiment",
     "ComputeResult",
     "DEFAULT_MSS",
+    "Experiment",
+    "Figure4Experiment",
     "Figure4Result",
     "Figure4Row",
+    "HedgingExperiment",
     "HedgingResult",
+    "HopsExperiment",
     "HopsResult",
     "HopsRow",
+    "InferenceExperiment",
     "InferenceResult",
+    "OverheadExperiment",
     "OverheadResult",
     "PAPER_RPS_LEVELS",
+    "Point",
     "Replicated",
     "ReplicationResult",
+    "ResultCache",
+    "Runner",
+    "RunnerStats",
     "ScenarioConfig",
+    "ScenarioMeasurement",
     "ScenarioResult",
+    "TeExperiment",
     "TeResult",
     "ablation_policies",
     "build_scenario",
     "chain_specs",
     "compare_with_replication",
+    "config_digest",
     "format_table",
+    "measure_scenario",
     "ms",
+    "replicate",
     "run_ablations",
     "run_compute",
     "run_figure4",
     "run_hedging",
     "run_hops",
     "run_inference",
-    "replicate",
     "run_overhead",
     "run_scenario",
     "run_te",

@@ -8,12 +8,14 @@ per variant.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 from ..core.policy import CrossLayerPolicy
 from ..util.stats import LatencySummary
 from .report import format_table, ms
-from .scenario import ScenarioConfig, run_scenario
+from .runner import Experiment, Point, Runner, measure_scenario
+from .scenario import ScenarioConfig
 
 
 def ablation_policies() -> dict[str, CrossLayerPolicy]:
@@ -84,16 +86,57 @@ class AblationResult:
         return baseline / variant
 
 
+class AblationExperiment(Experiment):
+    """One scenario per named :func:`ablation_policies` variant."""
+
+    name = "ablations"
+
+    def __init__(
+        self,
+        base_config: ScenarioConfig | None = None,
+        *,
+        variants: list[str] | None = None,
+        **overrides,
+    ):
+        super().__init__(base_config, **overrides)
+        self.variants = (
+            list(variants) if variants is not None else list(ablation_policies())
+        )
+
+    def points(self) -> list[Point]:
+        policies = ablation_policies()
+        return [
+            Point(
+                label=name,
+                fn=measure_scenario,
+                config=replace(
+                    self.base, policy=policies[name], cross_layer=False
+                ),
+            )
+            for name in self.variants
+        ]
+
+    def collect(self, measurements) -> AblationResult:
+        result = AblationResult()
+        for name in self.variants:
+            result.ls[name] = measurements[name].ls
+            result.li[name] = measurements[name].li
+        return result
+
+
 def run_ablations(
-    variants: list[str] | None = None,
     base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
+    variants: list[str] | None = None,
+    **overrides,
 ) -> AblationResult:
-    base = base_config if base_config is not None else ScenarioConfig()
-    policies = ablation_policies()
-    names = variants if variants is not None else list(policies)
-    result = AblationResult()
-    for name in names:
-        run = run_scenario(replace(base, policy=policies[name], cross_layer=False))
-        result.ls[name] = run.ls_summary()
-        result.li[name] = run.li_summary()
-    return result
+    if isinstance(base_config, (tuple, list)):
+        warnings.warn(
+            "passing variants as the first positional argument of "
+            "run_ablations is deprecated; use run_ablations(variants=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        base_config, variants = None, base_config
+    return AblationExperiment(base_config, variants=variants, **overrides).run(runner)

@@ -14,6 +14,7 @@ before it reaches a CPU, without touching the application.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..apps.framework import AppContext, Microservice, is_batch
@@ -29,7 +30,9 @@ from ..sim import Simulator
 from ..sim.rng import Distributions, RngRegistry
 from ..transport import TransportConfig
 from ..util.stats import LatencySummary
-from ..workload.mixes import MixConfig, MixedWorkload
+from ..workload.mixes import LI_WORKLOAD, LS_WORKLOAD, MixConfig, MixedWorkload
+from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .scenario import ScenarioConfig
 
 API = "api"
 
@@ -122,26 +125,96 @@ def _run_once(
     return (
         mix.recorder.summary("ls", window=window),
         mix.recorder.summary("li", window=window),
+        sim,
     )
+
+
+@dataclass(frozen=True)
+class ComputePoint:
+    """One CPU-bottleneck run: the picklable config of a sweep point."""
+
+    priority_queue: bool
+    rps: float
+    duration: float
+    seed: int
+    workers: int
+    interactive_ms: float
+    batch_ms: float
+
+
+def measure_compute(point: ComputePoint) -> ScenarioMeasurement:
+    start = time.perf_counter()
+    ls, li, sim = _run_once(
+        point.priority_queue, point.rps, point.duration, point.seed,
+        point.workers, point.interactive_ms, point.batch_ms,
+    )
+    return ScenarioMeasurement(
+        config=point,
+        summaries={LS_WORKLOAD: ls, LI_WORKLOAD: li},
+        sim_time=sim.now,
+        sim_events=sim.processed_events,
+        wall_clock=time.perf_counter() - start,
+    )
+
+
+class ComputeExperiment(Experiment):
+    """FIFO admission vs the priority-ordered sidecar queue."""
+
+    name = "compute"
+    defaults = {"rps": 40.0, "duration": 20.0}
+
+    def __init__(
+        self,
+        base_config: ScenarioConfig | None = None,
+        *,
+        workers: int = 2,
+        interactive_ms: float = 3.0,
+        batch_ms: float = 40.0,
+        **overrides,
+    ):
+        super().__init__(base_config, **overrides)
+        self.workers = int(workers)
+        self.interactive_ms = float(interactive_ms)
+        self.batch_ms = float(batch_ms)
+
+    def points(self) -> list[Point]:
+        base = self.base
+        return [
+            Point(
+                label=f"queue={'priority' if enabled else 'fifo'}",
+                fn=measure_compute,
+                config=ComputePoint(
+                    enabled, base.rps, base.duration, base.seed,
+                    self.workers, self.interactive_ms, self.batch_ms,
+                ),
+            )
+            for enabled in (False, True)
+        ]
+
+    def collect(self, measurements) -> ComputeResult:
+        fifo = measurements["queue=fifo"]
+        priority = measurements["queue=priority"]
+        return ComputeResult(
+            ls_fifo=fifo.ls,
+            ls_priority=priority.ls,
+            li_fifo=fifo.li,
+            li_priority=priority.li,
+        )
 
 
 def run_compute(
-    rps: float = 40.0,
-    duration: float = 20.0,
-    seed: int = 42,
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
     workers: int = 2,
     interactive_ms: float = 3.0,
     batch_ms: float = 40.0,
+    **overrides,
 ) -> ComputeResult:
-    ls_fifo, li_fifo = _run_once(
-        False, rps, duration, seed, workers, interactive_ms, batch_ms
-    )
-    ls_prio, li_prio = _run_once(
-        True, rps, duration, seed, workers, interactive_ms, batch_ms
-    )
-    return ComputeResult(
-        ls_fifo=ls_fifo,
-        ls_priority=ls_prio,
-        li_fifo=li_fifo,
-        li_priority=li_prio,
-    )
+    return ComputeExperiment(
+        base_config,
+        workers=workers,
+        interactive_ms=interactive_ms,
+        batch_ms=batch_ms,
+        **overrides,
+    ).run(runner)

@@ -9,11 +9,13 @@ reporting an ≈1.5× improvement at both percentiles, at the cost of a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 from ..util.stats import LatencySummary
 from .report import format_table, ms, to_csv
-from .scenario import ScenarioConfig, run_scenario
+from .runner import Experiment, Point, Runner, measure_scenario
+from .scenario import ScenarioConfig
 
 PAPER_RPS_LEVELS = (10, 20, 30, 40, 50)
 
@@ -105,23 +107,70 @@ class Figure4Result:
         return max(r.li_p99_cost for r in self.rows)
 
 
+class Figure4Experiment(Experiment):
+    """The Fig. 4 grid: (RPS level) × (cross-layer off, on)."""
+
+    name = "figure4"
+
+    def __init__(
+        self,
+        base_config: ScenarioConfig | None = None,
+        *,
+        rps_levels=None,
+        **overrides,
+    ):
+        super().__init__(base_config, **overrides)
+        levels = PAPER_RPS_LEVELS if rps_levels is None else tuple(rps_levels)
+        self.rps_levels = tuple(float(rps) for rps in levels)
+
+    def points(self) -> list[Point]:
+        grid = []
+        for rps in self.rps_levels:
+            for tag, enabled in (("off", False), ("on", True)):
+                grid.append(
+                    Point(
+                        label=f"rps={rps:g}/{tag}",
+                        fn=measure_scenario,
+                        config=replace(
+                            self.base, rps=rps, cross_layer=enabled, policy=None
+                        ),
+                    )
+                )
+        return grid
+
+    def collect(self, measurements) -> Figure4Result:
+        result = Figure4Result()
+        for rps in self.rps_levels:
+            off = measurements[f"rps={rps:g}/off"]
+            on = measurements[f"rps={rps:g}/on"]
+            result.rows.append(
+                Figure4Row(
+                    rps=rps,
+                    ls_off=off.ls,
+                    ls_on=on.ls,
+                    li_off=off.li,
+                    li_on=on.li,
+                )
+            )
+        return result
+
+
 def run_figure4(
-    rps_levels=PAPER_RPS_LEVELS,
     base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
+    rps_levels=None,
+    **overrides,
 ) -> Figure4Result:
     """Run the full sweep; one scenario per (RPS level, configuration)."""
-    base = base_config if base_config is not None else ScenarioConfig()
-    result = Figure4Result()
-    for rps in rps_levels:
-        off = run_scenario(replace(base, rps=float(rps), cross_layer=False, policy=None))
-        on = run_scenario(replace(base, rps=float(rps), cross_layer=True, policy=None))
-        result.rows.append(
-            Figure4Row(
-                rps=float(rps),
-                ls_off=off.ls_summary(),
-                ls_on=on.ls_summary(),
-                li_off=off.li_summary(),
-                li_on=on.li_summary(),
-            )
+    if isinstance(base_config, (tuple, list)):
+        warnings.warn(
+            "passing rps_levels as the first positional argument of "
+            "run_figure4 is deprecated; use run_figure4(rps_levels=...)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    return result
+        base_config, rps_levels = None, base_config
+    return Figure4Experiment(
+        base_config, rps_levels=rps_levels, **overrides
+    ).run(runner)

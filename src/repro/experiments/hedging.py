@@ -9,6 +9,7 @@ extra-load cost.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
 from ..apps.framework import AppBuilder, ServiceSpec
@@ -23,6 +24,8 @@ from ..transport import TransportConfig
 from ..util.stats import LatencySummary
 from ..workload.generator import LoadGenerator, WorkloadSpec
 from ..workload.latency import LatencyRecorder
+from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .scenario import ScenarioConfig
 
 SKEWED = "skewed"
 
@@ -94,22 +97,85 @@ def _run_once(hedge: HedgePolicy | None, rps: float, duration: float, seed: int)
     warmup = min(2.0, duration / 4)
     summary = recorder.summary("hedged", window=(warmup, duration))
     hedges = sum(s.hedges_issued for s in mesh.sidecars)
-    return summary, hedges, generator.issued
+    return summary, hedges, generator.issued, sim
+
+
+@dataclass(frozen=True)
+class HedgePoint:
+    """One heavy-tailed echo run: the picklable config of a sweep point."""
+
+    hedge: HedgePolicy | None
+    rps: float
+    duration: float
+    seed: int
+
+
+def measure_hedging(point: HedgePoint) -> ScenarioMeasurement:
+    start = time.perf_counter()
+    summary, hedges, issued, sim = _run_once(
+        point.hedge, point.rps, point.duration, point.seed
+    )
+    return ScenarioMeasurement(
+        config=point,
+        summaries={"hedged": summary},
+        counters={"hedges_issued": float(hedges), "issued": float(issued)},
+        sim_time=sim.now,
+        sim_events=sim.processed_events,
+        wall_clock=time.perf_counter() - start,
+    )
+
+
+class HedgingExperiment(Experiment):
+    """Hedging off vs on over the heavy-tailed service."""
+
+    name = "hedging"
+    defaults = {"rps": 40.0, "duration": 25.0}
+
+    def __init__(
+        self,
+        base_config: ScenarioConfig | None = None,
+        *,
+        hedge_delay: float = 0.02,
+        **overrides,
+    ):
+        super().__init__(base_config, **overrides)
+        self.hedge_delay = float(hedge_delay)
+
+    def points(self) -> list[Point]:
+        base = self.base
+        return [
+            Point(
+                label="no-hedge",
+                fn=measure_hedging,
+                config=HedgePoint(None, base.rps, base.duration, base.seed),
+            ),
+            Point(
+                label="hedge",
+                fn=measure_hedging,
+                config=HedgePoint(
+                    HedgePolicy(delay=self.hedge_delay, max_hedges=1),
+                    base.rps, base.duration, base.seed,
+                ),
+            ),
+        ]
+
+    def collect(self, measurements) -> HedgingResult:
+        hedged = measurements["hedge"]
+        return HedgingResult(
+            without_hedge=measurements["no-hedge"].summary("hedged"),
+            with_hedge=hedged.summary("hedged"),
+            hedges_issued=int(hedged.counters["hedges_issued"]),
+            requests_total=int(hedged.counters["issued"]),
+        )
 
 
 def run_hedging(
-    rps: float = 40.0,
-    duration: float = 25.0,
-    seed: int = 42,
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
     hedge_delay: float = 0.02,
+    **overrides,
 ) -> HedgingResult:
-    without, _, _ = _run_once(None, rps, duration, seed)
-    with_hedge, hedges, total = _run_once(
-        HedgePolicy(delay=hedge_delay, max_hedges=1), rps, duration, seed
-    )
-    return HedgingResult(
-        without_hedge=without,
-        with_hedge=with_hedge,
-        hedges_issued=hedges,
-        requests_total=total,
-    )
+    return HedgingExperiment(
+        base_config, hedge_delay=hedge_delay, **overrides
+    ).run(runner)

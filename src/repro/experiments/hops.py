@@ -10,6 +10,8 @@ sidecars' worth of traversals on the critical path).
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, replace
 
 from ..apps.framework import AppBuilder, ServiceSpec
@@ -23,7 +25,12 @@ from ..transport import TransportConfig
 from ..util.stats import LatencySummary
 from ..workload.generator import LoadGenerator, WorkloadSpec
 from ..workload.latency import LatencyRecorder
+from .overhead import NEAR_ZERO_PROXY
 from .report import format_table, ms
+from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .scenario import ScenarioConfig
+
+DEFAULT_DEPTHS = (1, 4, 8, 16)
 
 
 def chain_specs(depth: int) -> list[ServiceSpec]:
@@ -108,25 +115,101 @@ def _run_chain(depth: int, config: MeshConfig, rps: float, duration: float, seed
     generator.start(duration)
     sim.run(until=duration + 15.0)
     warmup = min(2.0, duration / 4)
-    return recorder.summary("chain", window=(warmup, duration))
+    return recorder.summary("chain", window=(warmup, duration)), sim
+
+
+@dataclass(frozen=True)
+class ChainPoint:
+    """One chain run: the picklable config of a sweep point."""
+
+    depth: int
+    mesh: MeshConfig
+    rps: float
+    duration: float
+    seed: int
+
+
+def measure_chain(point: ChainPoint) -> ScenarioMeasurement:
+    start = time.perf_counter()
+    summary, sim = _run_chain(
+        point.depth, point.mesh, point.rps, point.duration, point.seed
+    )
+    return ScenarioMeasurement(
+        config=point,
+        summaries={"chain": summary},
+        sim_time=sim.now,
+        sim_events=sim.processed_events,
+        wall_clock=time.perf_counter() - start,
+    )
+
+
+class HopsExperiment(Experiment):
+    """(chain depth) × (calibrated proxy, near-zero proxy)."""
+
+    name = "hops"
+    defaults = {"rps": 30.0, "duration": 10.0}
+
+    def __init__(
+        self,
+        base_config: ScenarioConfig | None = None,
+        *,
+        depths=DEFAULT_DEPTHS,
+        **overrides,
+    ):
+        super().__init__(base_config, **overrides)
+        self.depths = tuple(int(depth) for depth in depths)
+
+    def points(self) -> list[Point]:
+        base = self.base
+        zero = replace(base.mesh, **NEAR_ZERO_PROXY)
+        grid = []
+        for depth in self.depths:
+            for tag, mesh in (("mesh", base.mesh), ("zero", zero)):
+                grid.append(
+                    Point(
+                        label=f"depth={depth}/{tag}",
+                        fn=measure_chain,
+                        config=ChainPoint(
+                            depth, mesh, base.rps, base.duration, base.seed
+                        ),
+                    )
+                )
+        return grid
+
+    def collect(self, measurements) -> HopsResult:
+        rows = [
+            HopsRow(
+                depth=depth,
+                with_mesh=measurements[f"depth={depth}/mesh"].summary("chain"),
+                near_zero_proxy=measurements[f"depth={depth}/zero"].summary("chain"),
+            )
+            for depth in self.depths
+        ]
+        return HopsResult(rows)
 
 
 def run_hops(
-    depths=(1, 4, 8, 16),
-    rps: float = 30.0,
-    duration: float = 10.0,
-    seed: int = 42,
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
+    depths=DEFAULT_DEPTHS,
     mesh_config: MeshConfig | None = None,
+    **overrides,
 ) -> HopsResult:
-    config = mesh_config if mesh_config is not None else MeshConfig()
-    zero = replace(config, proxy_delay_median=1e-7, proxy_delay_p99=2e-7)
-    rows = []
-    for depth in depths:
-        rows.append(
-            HopsRow(
-                depth=depth,
-                with_mesh=_run_chain(depth, config, rps, duration, seed),
-                near_zero_proxy=_run_chain(depth, zero, rps, duration, seed),
-            )
+    if isinstance(base_config, (tuple, list)):
+        warnings.warn(
+            "passing depths as the first positional argument of run_hops "
+            "is deprecated; use run_hops(depths=...)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    return HopsResult(rows)
+        base_config, depths = None, base_config
+    if mesh_config is not None:
+        warnings.warn(
+            "run_hops(mesh_config=...) is deprecated; pass the mesh "
+            "override instead: run_hops(mesh=<MeshConfig>)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        overrides.setdefault("mesh", mesh_config)
+    return HopsExperiment(base_config, depths=depths, **overrides).run(runner)

@@ -17,7 +17,8 @@ from dataclasses import dataclass, replace
 
 from ..core.classifier import InferringClassifier, RuleClassifier
 from ..util.stats import LatencySummary
-from .scenario import ScenarioConfig, run_scenario
+from .runner import Experiment, Point, Runner, measure_scenario
+from .scenario import ScenarioConfig
 
 
 @dataclass
@@ -58,26 +59,57 @@ class InferenceResult:
         )
 
 
-def run_inference(
-    rps: float = 30.0,
-    duration: float = 20.0,
-    seed: int = 42,
-    base_config: ScenarioConfig | None = None,
-) -> InferenceResult:
-    base = base_config if base_config is not None else ScenarioConfig()
-    base = replace(base, rps=rps, duration=duration, seed=seed)
+class InferenceExperiment(Experiment):
+    """baseline vs explicit (rule) vs inferred (EWMA) classification.
 
-    baseline = run_scenario(replace(base, cross_layer=False, policy=None))
-    explicit = run_scenario(
-        replace(base, cross_layer=True, policy=None, classifier=RuleClassifier())
-    )
-    inferring = InferringClassifier()
-    inferred = run_scenario(
-        replace(base, cross_layer=True, policy=None, classifier=inferring)
-    )
-    return InferenceResult(
-        baseline=baseline.ls_summary(),
-        explicit=explicit.ls_summary(),
-        inferred=inferred.ls_summary(),
-        learned_sizes=inferring.learned_sizes,
-    )
+    The inferred point's learned per-path sizes come back through the
+    measurement's ``extra["learned_sizes"]`` — the classifier instance
+    itself is mutated in the worker process, so the measurement carries
+    the learned state across the process boundary.
+    """
+
+    name = "inference"
+
+    def points(self) -> list[Point]:
+        base = self.base
+        return [
+            Point(
+                label="baseline",
+                fn=measure_scenario,
+                config=replace(base, cross_layer=False, policy=None),
+            ),
+            Point(
+                label="explicit",
+                fn=measure_scenario,
+                config=replace(
+                    base, cross_layer=True, policy=None,
+                    classifier=RuleClassifier(),
+                ),
+            ),
+            Point(
+                label="inferred",
+                fn=measure_scenario,
+                config=replace(
+                    base, cross_layer=True, policy=None,
+                    classifier=InferringClassifier(),
+                ),
+            ),
+        ]
+
+    def collect(self, measurements) -> InferenceResult:
+        inferred = measurements["inferred"]
+        return InferenceResult(
+            baseline=measurements["baseline"].ls,
+            explicit=measurements["explicit"].ls,
+            inferred=inferred.ls,
+            learned_sizes=inferred.extra.get("learned_sizes", {}),
+        )
+
+
+def run_inference(
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
+    **overrides,
+) -> InferenceResult:
+    return InferenceExperiment(base_config, **overrides).run(runner)

@@ -11,6 +11,8 @@ reports the p50/p99 difference.
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, replace
 
 from ..apps.framework import AppBuilder, ServiceSpec
@@ -24,8 +26,13 @@ from ..transport import TransportConfig
 from ..util.stats import LatencySummary
 from ..workload.generator import LoadGenerator, WorkloadSpec
 from ..workload.latency import LatencyRecorder
+from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .scenario import ScenarioConfig
 
 ECHO = "echo"
+
+#: Proxy cost used for the "no mesh tax" baseline runs.
+NEAR_ZERO_PROXY = dict(proxy_delay_median=1e-7, proxy_delay_p99=2e-7)
 
 
 @dataclass
@@ -91,20 +98,73 @@ def _run_echo(config: MeshConfig, rps: float, duration: float, seed: int) -> Lat
     generator.start(duration)
     sim.run(until=duration + 10.0)
     warmup = min(2.0, duration / 4)
-    return recorder.summary("echo", window=(warmup, duration))
+    return recorder.summary("echo", window=(warmup, duration)), sim
+
+
+@dataclass(frozen=True)
+class EchoPoint:
+    """One echo-service run: the picklable config of a sweep point."""
+
+    mesh: MeshConfig
+    rps: float
+    duration: float
+    seed: int
+
+
+def measure_echo(point: EchoPoint) -> ScenarioMeasurement:
+    start = time.perf_counter()
+    summary, sim = _run_echo(point.mesh, point.rps, point.duration, point.seed)
+    return ScenarioMeasurement(
+        config=point,
+        summaries={ECHO: summary},
+        sim_time=sim.now,
+        sim_events=sim.processed_events,
+        wall_clock=time.perf_counter() - start,
+    )
+
+
+class OverheadExperiment(Experiment):
+    """Calibrated proxy cost vs a near-zero proxy cost, one echo each."""
+
+    name = "overhead"
+    defaults = {"rps": 50.0, "duration": 20.0}
+
+    def points(self) -> list[Point]:
+        base = self.base
+        zero = replace(base.mesh, **NEAR_ZERO_PROXY)
+        return [
+            Point(
+                label="with-mesh",
+                fn=measure_echo,
+                config=EchoPoint(base.mesh, base.rps, base.duration, base.seed),
+            ),
+            Point(
+                label="near-zero",
+                fn=measure_echo,
+                config=EchoPoint(zero, base.rps, base.duration, base.seed),
+            ),
+        ]
+
+    def collect(self, measurements) -> OverheadResult:
+        return OverheadResult(
+            with_mesh=measurements["with-mesh"].summary(ECHO),
+            near_zero_proxy=measurements["near-zero"].summary(ECHO),
+        )
 
 
 def run_overhead(
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
     mesh_config: MeshConfig | None = None,
-    rps: float = 50.0,
-    duration: float = 20.0,
-    seed: int = 42,
+    **overrides,
 ) -> OverheadResult:
-    config = mesh_config if mesh_config is not None else MeshConfig()
-    baseline_config = replace(
-        config, proxy_delay_median=1e-7, proxy_delay_p99=2e-7
-    )
-    return OverheadResult(
-        with_mesh=_run_echo(config, rps, duration, seed),
-        near_zero_proxy=_run_echo(baseline_config, rps, duration, seed),
-    )
+    if mesh_config is not None:
+        warnings.warn(
+            "run_overhead(mesh_config=...) is deprecated; pass the mesh "
+            "override instead: run_overhead(mesh=<MeshConfig>)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        overrides.setdefault("mesh", mesh_config)
+    return OverheadExperiment(base_config, **overrides).run(runner)

@@ -12,7 +12,8 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from .scenario import ScenarioConfig, run_scenario
+from .runner import Runner, measure_scenario
+from .scenario import ScenarioConfig
 
 
 @dataclass
@@ -61,31 +62,37 @@ class ReplicationResult:
 def replicate(
     config: ScenarioConfig,
     seeds=(42, 7, 123),
+    *,
+    runner: Runner | None = None,
 ) -> ReplicationResult:
     """Run ``config`` once per seed and aggregate the summaries."""
-    ls_p50, ls_p99, li_p50, li_p99 = [], [], [], []
-    for seed in seeds:
-        result = run_scenario(replace(config, seed=seed))
-        ls = result.ls_summary()
-        li = result.li_summary()
-        ls_p50.append(ls.p50)
-        ls_p99.append(ls.p99)
-        li_p50.append(li.p50)
-        li_p99.append(li.p99)
+    configs = [replace(config, seed=seed) for seed in seeds]
+    labels = [f"replicate/seed={seed}" for seed in seeds]
+    if runner is not None:
+        measurements = runner.map(measure_scenario, configs, labels=labels)
+    else:
+        with Runner(workers=1) as local:
+            measurements = local.map(measure_scenario, configs, labels=labels)
     return ReplicationResult(
         seeds=list(seeds),
-        ls_p50=Replicated(ls_p50),
-        ls_p99=Replicated(ls_p99),
-        li_p50=Replicated(li_p50),
-        li_p99=Replicated(li_p99),
+        ls_p50=Replicated([m.ls.p50 for m in measurements]),
+        ls_p99=Replicated([m.ls.p99 for m in measurements]),
+        li_p50=Replicated([m.li.p50 for m in measurements]),
+        li_p99=Replicated([m.li.p99 for m in measurements]),
     )
 
 
 def compare_with_replication(
     config: ScenarioConfig,
     seeds=(42, 7, 123),
+    *,
+    runner: Runner | None = None,
 ) -> tuple[ReplicationResult, ReplicationResult]:
     """(baseline, optimized) replication results for one config."""
-    baseline = replicate(replace(config, cross_layer=False, policy=None), seeds)
-    optimized = replicate(replace(config, cross_layer=True, policy=None), seeds)
+    baseline = replicate(
+        replace(config, cross_layer=False, policy=None), seeds, runner=runner
+    )
+    optimized = replicate(
+        replace(config, cross_layer=True, policy=None), seeds, runner=runner
+    )
     return baseline, optimized

@@ -145,6 +145,19 @@ def build_scenario(config: ScenarioConfig):
     return sim, cluster, mesh, app, gateway, mix, manager
 
 
+def _drain(sim: Simulator, mix: MixedWorkload, deadline: float) -> None:
+    """Run in 1-second slices until every issued request is recorded.
+
+    Exits as soon as the event heap is empty: once nothing remains to
+    simulate, the missing requests can never complete, and re-entering
+    ``sim.run`` until the deadline would only burn wall-clock.
+    """
+    while len(mix.recorder) < mix.issued and sim.now < deadline:
+        if sim.peek() == float("inf"):
+            break
+        sim.run(until=min(sim.now + 1.0, deadline))
+
+
 def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioResult:
     """Build and run a scenario; keyword overrides patch the config."""
     if config is None:
@@ -155,9 +168,7 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
     mix.start(config.duration)
     sim.run(until=config.duration)
     # Drain: let in-flight requests finish (bounded grace period).
-    deadline = config.duration + config.drain
-    while len(mix.recorder) < mix.issued and sim.now < deadline:
-        sim.run(until=min(sim.now + 1.0, deadline))
+    _drain(sim, mix, config.duration + config.drain)
     window = (config.warmup, config.duration)
     return ScenarioResult(
         config=config,

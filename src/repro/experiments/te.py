@@ -12,6 +12,7 @@ base routing picked.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..apps.framework import AppBuilder, ServiceSpec
@@ -29,7 +30,9 @@ from ..sim.rng import RngRegistry
 from ..transport import TransportConfig
 from ..util.stats import LatencySummary
 from ..util.units import Gbps
-from ..workload.mixes import MixConfig, MixedWorkload
+from ..workload.mixes import LI_WORKLOAD, LS_WORKLOAD, MixConfig, MixedWorkload
+from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .scenario import ScenarioConfig
 
 API = "api"
 BACKEND = "backend"
@@ -137,20 +140,84 @@ def _run_once(
     return (
         mix.recorder.summary("ls", window=window),
         mix.recorder.summary("li", window=window),
+        sim,
     )
+
+
+@dataclass(frozen=True)
+class TePoint:
+    """One two-spine run: the picklable config of a sweep point."""
+
+    enable_te: bool
+    rps: float
+    duration: float
+    seed: int
+    spine_rate_bps: float
+
+
+def measure_te(point: TePoint) -> ScenarioMeasurement:
+    start = time.perf_counter()
+    ls, li, sim = _run_once(
+        point.enable_te, point.rps, point.duration, point.seed,
+        point.spine_rate_bps,
+    )
+    return ScenarioMeasurement(
+        config=point,
+        summaries={LS_WORKLOAD: ls, LI_WORKLOAD: li},
+        sim_time=sim.now,
+        sim_events=sim.processed_events,
+        wall_clock=time.perf_counter() - start,
+    )
+
+
+class TeExperiment(Experiment):
+    """TE disabled vs enabled on the two-spine topology."""
+
+    name = "te"
+    defaults = {"rps": 25.0, "duration": 15.0}
+
+    def __init__(
+        self,
+        base_config: ScenarioConfig | None = None,
+        *,
+        spine_rate_bps: float = 1 * Gbps,
+        **overrides,
+    ):
+        super().__init__(base_config, **overrides)
+        self.spine_rate_bps = float(spine_rate_bps)
+
+    def points(self) -> list[Point]:
+        base = self.base
+        return [
+            Point(
+                label=f"te={'on' if enabled else 'off'}",
+                fn=measure_te,
+                config=TePoint(
+                    enabled, base.rps, base.duration, base.seed,
+                    self.spine_rate_bps,
+                ),
+            )
+            for enabled in (False, True)
+        ]
+
+    def collect(self, measurements) -> TeResult:
+        off = measurements["te=off"]
+        on = measurements["te=on"]
+        return TeResult(
+            ls_without_te=off.ls,
+            ls_with_te=on.ls,
+            li_without_te=off.li,
+            li_with_te=on.li,
+        )
 
 
 def run_te(
-    rps: float = 25.0,
-    duration: float = 15.0,
-    seed: int = 42,
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
     spine_rate_bps: float = 1 * Gbps,
+    **overrides,
 ) -> TeResult:
-    ls_off, li_off = _run_once(False, rps, duration, seed, spine_rate_bps)
-    ls_on, li_on = _run_once(True, rps, duration, seed, spine_rate_bps)
-    return TeResult(
-        ls_without_te=ls_off,
-        ls_with_te=ls_on,
-        li_without_te=li_off,
-        li_with_te=li_on,
-    )
+    return TeExperiment(
+        base_config, spine_rate_bps=spine_rate_bps, **overrides
+    ).run(runner)

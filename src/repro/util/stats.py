@@ -54,6 +54,19 @@ class LatencySummary:
             f"p99={self.p99 * to_ms:.2f}ms max={self.maximum * to_ms:.2f}ms"
         )
 
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The summary of zero samples (all statistics zero).
+
+        Sweep measurements use this when a workload produced no samples
+        inside the steady-state window (e.g. very short smoke runs), so
+        a point can still be cached and tabulated instead of crashing.
+        """
+        return cls(
+            count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, p999=0.0,
+            maximum=0.0, minimum=0.0, stddev=0.0,
+        )
+
 
 def summarize(samples) -> LatencySummary:
     """Build a :class:`LatencySummary` from an iterable of seconds."""

@@ -1,0 +1,91 @@
+"""The unified harness contract:
+
+    run_<name>(base_config=None, *, runner=None, **overrides)
+
+plus the deprecation shims for the old ad-hoc signatures.
+"""
+
+import inspect
+
+import pytest
+
+from repro.experiments import (
+    ScenarioConfig,
+    run_ablations,
+    run_compute,
+    run_figure4,
+    run_hedging,
+    run_hops,
+    run_inference,
+    run_overhead,
+    run_te,
+)
+from repro.mesh.config import MeshConfig
+
+ALL_HARNESSES = [
+    run_figure4,
+    run_overhead,
+    run_hops,
+    run_ablations,
+    run_te,
+    run_hedging,
+    run_inference,
+    run_compute,
+]
+
+
+class TestContract:
+    @pytest.mark.parametrize("harness", ALL_HARNESSES, ids=lambda f: f.__name__)
+    def test_signature_shape(self, harness):
+        signature = inspect.signature(harness)
+        parameters = list(signature.parameters.values())
+        first = parameters[0]
+        assert first.name == "base_config"
+        assert first.default is None
+        runner = signature.parameters["runner"]
+        assert runner.kind is inspect.Parameter.KEYWORD_ONLY
+        assert runner.default is None
+        assert any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters
+        ), f"{harness.__name__} must accept **overrides"
+
+    def test_overrides_patch_scenario_fields(self):
+        # rps/duration/seed are plain ScenarioConfig overrides now — the
+        # old per-harness keyword arguments keep working through them.
+        result = run_overhead(rps=20.0, duration=1.0, seed=3)
+        assert result.with_mesh.count > 0
+
+    def test_base_config_positional(self):
+        base = ScenarioConfig(rps=20.0, duration=1.0, warmup=0.25, seed=3)
+        result = run_overhead(base)
+        assert result.with_mesh.count > 0
+
+
+class TestDeprecationShims:
+    def test_figure4_positional_levels(self):
+        with pytest.warns(DeprecationWarning, match="rps_levels"):
+            result = run_figure4(
+                (5,), duration=1.0, warmup=0.25, drain=5.0
+            )
+        assert [row.rps for row in result.rows] == [5.0]
+
+    def test_ablations_positional_variants(self):
+        with pytest.warns(DeprecationWarning, match="variants"):
+            result = run_ablations(
+                ["baseline"], rps=5.0, duration=1.0, warmup=0.25, drain=5.0
+            )
+        assert set(result.ls) == {"baseline"}
+
+    def test_overhead_mesh_config_keyword(self):
+        with pytest.warns(DeprecationWarning, match="mesh_config"):
+            result = run_overhead(
+                mesh_config=MeshConfig(), rps=20.0, duration=1.0
+            )
+        assert result.overhead_p99 != 0.0
+
+    def test_hops_mesh_config_keyword(self):
+        with pytest.warns(DeprecationWarning, match="mesh_config"):
+            result = run_hops(
+                mesh_config=MeshConfig(), depths=(1,), rps=10.0, duration=1.0
+            )
+        assert result.rows[0].depth == 1
