@@ -1,0 +1,52 @@
+"""Deterministic cross-layer fault injection.
+
+The mesh layer's value proposition (§3) includes resilience — retries,
+timeouts, outlier ejection — but resilience only earns its keep under
+failure. This package is the failure side of that bargain, unified from
+what used to be three disconnected stubs:
+
+* :mod:`requestfaults` — request-level delays/aborts attached to route
+  rules (formerly ``repro.mesh.faults``).
+* :mod:`primitives` — immediate cluster-level operations: pod
+  kill/restore, sidecar crash/restart, link partitions (formerly
+  ``repro.cluster.chaos``).
+* :mod:`events` — declarative :class:`FaultProfile`/:class:`FaultSpec`
+  descriptions expanded into ordered :class:`FaultEvent` timelines.
+* :mod:`injector` — the engine: arms a timeline against a running
+  scenario and applies/reverts each fault at its scheduled time.
+
+Everything random draws from named streams of the simulation's
+:class:`~repro.sim.rng.RngRegistry`, so one root seed fully determines
+the fault timeline — the property the resilience experiment's
+serial-vs-parallel determinism check enforces.
+"""
+
+from .events import (
+    KINDS,
+    PROFILE_ORDER,
+    FaultEvent,
+    FaultProfile,
+    FaultSpec,
+    build_timeline,
+    standard_profiles,
+    timeline_text,
+)
+from .injector import FaultInjector, default_targets
+from .primitives import BlackholeQdisc, Chaos
+from .requestfaults import FaultInjection
+
+__all__ = [
+    "BlackholeQdisc",
+    "Chaos",
+    "FaultEvent",
+    "FaultInjection",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultSpec",
+    "KINDS",
+    "PROFILE_ORDER",
+    "build_timeline",
+    "default_targets",
+    "standard_profiles",
+    "timeline_text",
+]

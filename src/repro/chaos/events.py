@@ -1,0 +1,219 @@
+"""Fault timelines: declarative specs expanded into scheduled events.
+
+A :class:`FaultProfile` is a picklable, content-hashable description of
+*what kinds* of faults to inject (so it can ride in an experiment
+config through the sweep engine's result cache). Expanding a profile
+with :func:`build_timeline` produces the concrete, fully-ordered
+:class:`FaultEvent` sequence for one run.
+
+Determinism is the design constraint: event times come from a named
+stream of the simulation's :class:`~repro.sim.rng.RngRegistry` and
+targets are drawn from *sorted* candidate lists, so the same root seed
+always yields the byte-identical timeline — serially, under worker
+processes, and across reruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fault kinds the injector knows how to apply.
+KINDS = (
+    "pod_kill",        # pod leaves endpoints; blackholed; restarts after duration
+    "sidecar_crash",   # pod blackholed but STAYS in endpoints (proxy died)
+    "link_flap",       # pod<->node veth severed, healed after duration
+    "bandwidth",       # pod link rate scaled by ``severity`` for duration
+    "latency",         # ``severity`` seconds added to pod link delay
+    "loss",            # packet loss with probability ``severity`` at the qdisc
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One recurring fault kind within a profile.
+
+    * ``kind`` — one of :data:`KINDS`.
+    * ``rate`` — mean injections per second (exponential interarrivals).
+    * ``duration`` — how long each injected fault persists before the
+      injector reverts it.
+    * ``severity`` — kind-specific magnitude: the rate *factor* for
+      ``bandwidth`` (0.1 = 10% of line rate), added seconds for
+      ``latency``, drop probability for ``loss``; ignored otherwise.
+    * ``start`` — no injections before this simulated time (lets the
+      measurement warm up on a healthy cluster).
+    * ``scope`` — which pods are eligible: ``"redundant"`` restricts to
+      pods whose service has other replicas (the mesh *can* route around
+      the fault), ``"any"`` allows every application pod.
+    """
+
+    kind: str
+    rate: float
+    duration: float = 1.0
+    severity: float = 0.5
+    start: float = 0.0
+    scope: str = "any"
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.scope not in ("any", "redundant"):
+            raise ValueError(f"unknown fault scope {self.scope!r}")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.kind == "loss" and not 0.0 <= self.severity <= 1.0:
+            raise ValueError("loss severity is a probability in [0, 1]")
+        if self.kind == "bandwidth" and not 0.0 < self.severity <= 1.0:
+            raise ValueError("bandwidth severity is a rate factor in (0, 1]")
+        if self.kind == "latency" and self.severity < 0:
+            raise ValueError("latency severity must be non-negative")
+        if self.start < 0:
+            raise ValueError("start must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named bundle of fault specs — one row of the resilience matrix."""
+
+    name: str
+    faults: tuple = ()   # tuple[FaultSpec, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One concrete scheduled fault: apply at ``at``, revert at
+    ``at + duration``. ``target`` is a pod name (all current kinds
+    target a pod or its veth link)."""
+
+    at: float
+    kind: str
+    target: str
+    duration: float
+    severity: float
+
+    def line(self) -> str:
+        """Canonical one-line rendering (timeline digests hash these)."""
+        return (
+            f"{self.at:.9f} {self.kind} {self.target} "
+            f"dur={self.duration:.9f} sev={self.severity:.9f}"
+        )
+
+
+def build_timeline(
+    profile: FaultProfile,
+    targets,
+    horizon: float,
+    rng,
+) -> tuple[FaultEvent, ...]:
+    """Expand ``profile`` into the ordered fault events for one run.
+
+    ``targets`` maps each scope (``"any"``/``"redundant"``) to its
+    candidate pod names — a plain list is treated as every scope's
+    candidates. Candidates are sorted internally, so the caller's
+    ordering cannot perturb determinism; ``horizon`` bounds injection
+    times; ``rng`` is the dedicated numpy stream. Specs are expanded in
+    their declared order, each drawing its own interarrival sequence,
+    then the merged sequence is sorted by time with the spec order as
+    tie-break — a total order, independent of dict/set state.
+    """
+    if not isinstance(targets, dict):
+        targets = {"any": list(targets), "redundant": list(targets)}
+    by_scope = {scope: sorted(names) for scope, names in targets.items()}
+    if horizon <= 0:
+        return ()
+    events: list[tuple[float, int, FaultEvent]] = []
+    for spec_index, spec in enumerate(profile.faults):
+        candidates = by_scope.get(spec.scope, [])
+        if not candidates:
+            continue
+        at = spec.start + float(rng.exponential(1.0 / spec.rate))
+        while at < horizon:
+            target = candidates[int(rng.integers(len(candidates)))]
+            events.append(
+                (
+                    at,
+                    spec_index,
+                    FaultEvent(
+                        at=at,
+                        kind=spec.kind,
+                        target=target,
+                        duration=spec.duration,
+                        severity=spec.severity,
+                    ),
+                )
+            )
+            at += float(rng.exponential(1.0 / spec.rate))
+    events.sort(key=lambda item: (item[0], item[1]))
+    return tuple(event for _at, _index, event in events)
+
+
+def timeline_text(timeline) -> str:
+    """The canonical textual form of a timeline (one event per line).
+
+    Two runs injected identically produce byte-identical text — this is
+    what the determinism tests and the CSV digest compare.
+    """
+    return "\n".join(event.line() for event in timeline)
+
+
+# -- the standard profile library ------------------------------------------
+
+def standard_profiles(duration_scale: float = 1.0) -> dict[str, FaultProfile]:
+    """The built-in fault matrix for the resilience experiment.
+
+    ``duration_scale`` stretches fault durations for longer runs (the
+    defaults are tuned for the scaled ~8 s steady state).
+    """
+    s = duration_scale
+
+    def profile(name, *faults):
+        return FaultProfile(name=name, faults=tuple(faults))
+
+    return {
+        "baseline": profile("baseline"),
+        "pod-kill": profile(
+            "pod-kill",
+            FaultSpec(
+                kind="pod_kill", rate=1.0, duration=1.5 * s, start=1.0,
+                scope="redundant",
+            ),
+        ),
+        "sidecar-crash": profile(
+            "sidecar-crash",
+            FaultSpec(
+                kind="sidecar_crash", rate=1.0, duration=1.0 * s, start=1.0,
+                scope="redundant",
+            ),
+        ),
+        "link-flap": profile(
+            "link-flap",
+            FaultSpec(kind="link_flap", rate=1.5, duration=0.4 * s, start=1.0),
+        ),
+        "degraded-net": profile(
+            "degraded-net",
+            FaultSpec(
+                kind="bandwidth", rate=1.0, duration=2.0 * s, severity=0.25,
+                start=1.0,
+            ),
+            FaultSpec(
+                kind="latency", rate=1.0, duration=2.0 * s, severity=0.002,
+                start=1.0,
+            ),
+        ),
+        "lossy": profile(
+            "lossy",
+            FaultSpec(
+                kind="loss", rate=1.0, duration=2.0 * s, severity=0.05, start=1.0
+            ),
+        ),
+    }
+
+
+#: Names in presentation order (tables, CLI defaults).
+PROFILE_ORDER = (
+    "baseline", "pod-kill", "sidecar-crash", "link-flap", "degraded-net", "lossy",
+)

@@ -1,0 +1,199 @@
+"""The fault-injection engine: applies a timeline to a live scenario.
+
+The :class:`FaultInjector` binds the declarative side (profiles expanded
+into :class:`~repro.chaos.events.FaultEvent` timelines) to the
+operational side (:class:`~repro.chaos.primitives.Chaos` plus the
+net-layer fault hooks). Every fault is applied at its scheduled time and
+reverted ``duration`` seconds later via ``sim.call_at``, so a run is a
+pure function of (scenario config, profile, seed).
+
+Overlap policy: at most one active fault per (kind, target). A scheduled
+event whose slot is still occupied is *skipped* (counted, not queued) —
+re-deciding it later would make the applied sequence depend on fault
+durations in a way that is hard to reason about; skipping keeps the
+applied set an exact, reproducible function of the timeline.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..net.qdisc import LossyQdisc
+from .events import FaultEvent, FaultProfile, build_timeline
+from .primitives import Chaos
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+    from ..sim import Simulator
+    from ..sim.rng import RngRegistry
+
+#: Pods never injected: the ingress gateway is the measurement probe's
+#: entry point, not part of the system under test.
+PROTECTED_PREFIXES = ("istio-ingressgateway",)
+
+#: Sentinel a per-kind apply handler returns to veto an injection (it is
+#: then counted as skipped, exactly like an occupied slot).
+SKIP = object()
+
+
+def default_targets(cluster: "Cluster") -> dict[str, list[str]]:
+    """Candidate pods per scope, derived from the cluster's services.
+
+    * ``any`` — every application pod (gateway excluded).
+    * ``redundant`` — pods of services that currently have at least two
+      ready endpoints, i.e. pods the mesh can route around.
+    """
+    app_pods = [
+        pod.name
+        for pod in cluster.pods
+        if not pod.name.startswith(PROTECTED_PREFIXES)
+    ]
+    redundant: set[str] = set()
+    for service in cluster.services.values():
+        endpoints = service.endpoints
+        if len(endpoints) >= 2:
+            redundant.update(e.pod_name for e in endpoints)
+    return {
+        "any": sorted(app_pods),
+        "redundant": sorted(redundant & set(app_pods)),
+    }
+
+
+class FaultInjector:
+    """Schedules and applies one fault timeline against one cluster."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: "Cluster",
+        rng_registry: "RngRegistry",
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.chaos = Chaos(cluster)
+        self._timeline_rng = rng_registry.stream("chaos:timeline")
+        self._loss_rng = rng_registry.stream("chaos:loss")
+        self._active: dict[tuple[str, str], object] = {}
+        self.timeline: tuple[FaultEvent, ...] = ()
+        self.applied = 0
+        self.skipped = 0
+        self.reverted = 0
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(
+        self,
+        profile: FaultProfile,
+        horizon: float,
+        targets: dict[str, list[str]] | None = None,
+    ) -> tuple[FaultEvent, ...]:
+        """Expand ``profile`` over ``[0, horizon)`` and arm the timers.
+
+        Returns the timeline (also kept on ``self.timeline``). Must be
+        called before ``sim.run`` passes the first event time.
+        """
+        if targets is None:
+            targets = default_targets(self.cluster)
+        self.timeline = build_timeline(
+            profile, targets, horizon, self._timeline_rng
+        )
+        for event in self.timeline:
+            self.sim.call_at(event.at, self._apply, event)
+        return self.timeline
+
+    # -- application ---------------------------------------------------
+    def _apply(self, event: FaultEvent) -> None:
+        slot = (event.kind, event.target)
+        if slot in self._active:
+            self.skipped += 1
+            return
+        handler = getattr(self, f"_apply_{event.kind}")
+        state = handler(event)
+        if state is SKIP:
+            self.skipped += 1
+            return
+        self._active[slot] = state
+        self.applied += 1
+        self.sim.call_at(event.at + event.duration, self._revert, event)
+
+    def _revert(self, event: FaultEvent) -> None:
+        slot = (event.kind, event.target)
+        if slot not in self._active:
+            return  # already lifted (e.g. by revert_all)
+        state = self._active.pop(slot)
+        handler = getattr(self, f"_revert_{event.kind}")
+        handler(event, state)
+        self.reverted += 1
+
+    def revert_all(self) -> None:
+        """Immediately lift every active fault (end-of-run cleanup)."""
+        for kind, target in list(self._active):
+            self._revert(
+                FaultEvent(self.sim.now, kind, target, 0.0, 0.0)
+            )
+
+    # -- per-kind handlers ---------------------------------------------
+    def _apply_pod_kill(self, event):
+        # Never take a service's last ready endpoint down: the
+        # "redundant" scope promises the mesh *can* route around the
+        # kill, and concurrent kills of sibling replicas would break it.
+        for service in self.cluster.services.values():
+            endpoints = service.endpoints
+            if (
+                any(e.pod_name == event.target for e in endpoints)
+                and len(endpoints) < 2
+            ):
+                return SKIP
+        self.chaos.kill_pod(event.target)
+
+    def _revert_pod_kill(self, event, _state):
+        self.chaos.restore_pod(event.target)
+
+    def _apply_sidecar_crash(self, event):
+        self.chaos.crash_sidecar(event.target)
+
+    def _revert_sidecar_crash(self, event, _state):
+        self.chaos.restart_sidecar(event.target)
+
+    def _apply_link_flap(self, event):
+        pod = self.cluster.pod(event.target)
+        self.chaos.partition(f"pod:{pod.name}", f"node:{pod.node.name}")
+
+    def _revert_link_flap(self, event, _state):
+        pod = self.cluster.pod(event.target)
+        self.chaos.heal(f"pod:{pod.name}", f"node:{pod.node.name}")
+
+    def _apply_bandwidth(self, event):
+        pod = self.cluster.pod(event.target)
+        original = (pod.egress.rate_bps, pod.ingress.rate_bps)
+        pod.egress.set_rate(original[0] * event.severity)
+        pod.ingress.set_rate(original[1] * event.severity)
+        return original
+
+    def _revert_bandwidth(self, event, state):
+        pod = self.cluster.pod(event.target)
+        egress_rate, ingress_rate = state
+        pod.egress.set_rate(egress_rate)
+        pod.ingress.set_rate(ingress_rate)
+
+    def _apply_latency(self, event):
+        pod = self.cluster.pod(event.target)
+        link = pod.egress.link
+        original = link.delay
+        link.set_delay(original + event.severity)
+        return original
+
+    def _revert_latency(self, event, state):
+        self.cluster.pod(event.target).egress.link.set_delay(state)
+
+    def _apply_loss(self, event):
+        pod = self.cluster.pod(event.target)
+        for iface in (pod.egress, pod.ingress):
+            # Wrap whatever TC config is installed; unwrapping restores it.
+            iface.qdisc = LossyQdisc(iface.qdisc, event.severity, self._loss_rng)
+
+    def _revert_loss(self, event, _state):
+        pod = self.cluster.pod(event.target)
+        for iface in (pod.egress, pod.ingress):
+            if isinstance(iface.qdisc, LossyQdisc):
+                iface.qdisc = iface.qdisc.child
+                iface._try_send()

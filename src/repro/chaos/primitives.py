@@ -1,0 +1,145 @@
+"""Cluster-level failure primitives: the hands of the chaos engine.
+
+These used to live in ``repro.cluster.chaos``; they are the low-level,
+immediately-applied operations — kill/restore a pod, sever/heal a link —
+that :class:`~repro.chaos.injector.FaultInjector` sequences over time.
+They remain usable directly from tests that want one surgical failure
+rather than a scheduled timeline.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from ..net.packet import Packet
+from ..net.qdisc import Qdisc
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+
+
+class BlackholeQdisc(Qdisc):
+    """Drops everything — a severed link."""
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        self._record_drop(packet)
+        return False
+
+    def dequeue(self, now: float):
+        return None
+
+    def next_ready_time(self, now: float) -> float:
+        return float("inf")
+
+    def __len__(self) -> int:
+        return 0
+
+    @property
+    def backlog_bytes(self) -> int:
+        return 0
+
+
+@dataclass
+class Chaos:
+    """Failure injection bound to one cluster."""
+
+    cluster: "Cluster"
+    _killed: dict = field(default_factory=dict)
+    _crashed: dict = field(default_factory=dict)
+    _partitions: dict = field(default_factory=dict)
+
+    # -- pod failures ---------------------------------------------------
+    def kill_pod(self, pod_name: str) -> None:
+        """Crash a pod: it stops being a service endpoint and its
+        network interface blackholes (in-flight requests die)."""
+        if pod_name in self._killed:
+            return
+        pod = self.cluster.pod(pod_name)
+        pod.ready = False
+        saved = (pod.egress.qdisc, pod.ingress.qdisc)
+        pod.egress.set_qdisc(BlackholeQdisc())
+        pod.ingress.set_qdisc(BlackholeQdisc())
+        self._killed[pod_name] = saved
+        self.cluster.refresh_services()
+
+    def restore_pod(self, pod_name: str) -> None:
+        """Bring a killed pod back (same IP, as a restarted container)."""
+        saved = self._killed.pop(pod_name, None)
+        if saved is None:
+            return
+        pod = self.cluster.pod(pod_name)
+        egress_qdisc, ingress_qdisc = saved
+        pod.egress.set_qdisc(egress_qdisc)
+        pod.ingress.set_qdisc(ingress_qdisc)
+        pod.ready = True
+        pod.restarts += 1
+        self.cluster.refresh_services()
+
+    @property
+    def killed_pods(self) -> list[str]:
+        return sorted(self._killed)
+
+    # -- sidecar failures -----------------------------------------------
+    def crash_sidecar(self, pod_name: str) -> None:
+        """Crash only the pod's proxy: traffic toward the pod blackholes,
+        but the pod *stays registered* as a service endpoint.
+
+        This is the nastier failure mode: discovery never removes the
+        endpoint, so only client-side resilience (retries, outlier
+        ejection, circuit breaking) can route around it.
+        """
+        if pod_name in self._crashed or pod_name in self._killed:
+            return
+        pod = self.cluster.pod(pod_name)
+        saved = (pod.egress.qdisc, pod.ingress.qdisc)
+        pod.egress.set_qdisc(BlackholeQdisc())
+        pod.ingress.set_qdisc(BlackholeQdisc())
+        self._crashed[pod_name] = saved
+
+    def restart_sidecar(self, pod_name: str) -> None:
+        """Restart a crashed proxy (traffic flows again)."""
+        saved = self._crashed.pop(pod_name, None)
+        if saved is None:
+            return
+        pod = self.cluster.pod(pod_name)
+        egress_qdisc, ingress_qdisc = saved
+        pod.egress.set_qdisc(egress_qdisc)
+        pod.ingress.set_qdisc(ingress_qdisc)
+        pod.restarts += 1
+
+    @property
+    def crashed_sidecars(self) -> list[str]:
+        return sorted(self._crashed)
+
+    # -- network partitions -----------------------------------------------
+    def partition(self, device_a: str, device_b: str) -> None:
+        """Sever the link between two devices (both directions)."""
+        key = tuple(sorted((device_a, device_b)))
+        if key in self._partitions:
+            return
+        iface_ab = self.cluster.network.interface_between(device_a, device_b)
+        iface_ba = self.cluster.network.interface_between(device_b, device_a)
+        self._partitions[key] = (
+            (iface_ab, iface_ab.qdisc),
+            (iface_ba, iface_ba.qdisc),
+        )
+        iface_ab.set_qdisc(BlackholeQdisc())
+        iface_ba.set_qdisc(BlackholeQdisc())
+
+    def heal(self, device_a: str, device_b: str) -> None:
+        """Restore a severed link."""
+        key = tuple(sorted((device_a, device_b)))
+        saved = self._partitions.pop(key, None)
+        if saved is None:
+            return
+        for iface, qdisc in saved:
+            iface.set_qdisc(qdisc)
+
+    def heal_all(self) -> None:
+        for key in list(self._partitions):
+            self.heal(*key)
+        for pod_name in list(self._crashed):
+            self.restart_sidecar(pod_name)
+        for pod_name in list(self._killed):
+            self.restore_pod(pod_name)

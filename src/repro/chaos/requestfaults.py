@@ -1,0 +1,55 @@
+"""Request-level fault injection (Istio VirtualService-style).
+
+Real meshes let operators inject delays and aborts into a fraction of
+requests to test application resilience without touching code — one of
+the mesh-layer capabilities §2 catalogues. A :class:`FaultInjection`
+attaches to route rules; the sidecar applies it before forwarding.
+
+Formerly ``repro.mesh.faults``; it now lives in the unified
+``repro.chaos`` subsystem alongside the cluster- and network-level
+fault machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """What to do to matched requests.
+
+    * ``delay_seconds``/``delay_fraction`` — add a fixed delay to that
+      fraction of requests (Istio's ``fixedDelay``).
+    * ``abort_status``/``abort_fraction`` — answer that fraction locally
+      with the given status instead of forwarding (Istio's ``abort``).
+    """
+
+    delay_seconds: float = 0.0
+    delay_fraction: float = 0.0
+    abort_status: int | None = None
+    abort_fraction: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.delay_fraction <= 1.0:
+            raise ValueError("delay_fraction must be in [0, 1]")
+        if not 0.0 <= self.abort_fraction <= 1.0:
+            raise ValueError("abort_fraction must be in [0, 1]")
+        if self.delay_fraction > 0 and self.delay_seconds <= 0:
+            raise ValueError("delay_fraction needs delay_seconds > 0")
+        if self.abort_fraction > 0 and self.abort_status is None:
+            raise ValueError("abort_fraction needs abort_status")
+
+    def sample_delay(self, rng: np.random.Generator) -> float:
+        """The delay to add to this request (0 if not selected)."""
+        if self.delay_fraction > 0 and rng.random() < self.delay_fraction:
+            return self.delay_seconds
+        return 0.0
+
+    def sample_abort(self, rng: np.random.Generator) -> int | None:
+        """The status to abort with, or None to forward normally."""
+        if self.abort_fraction > 0 and rng.random() < self.abort_fraction:
+            return self.abort_status
+        return None

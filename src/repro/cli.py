@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro figure4 [--full] [--csv PATH] [--workers N]
-    python -m repro overhead | ablations | te | hedging | inference
+    python -m repro overhead | ablations | te | hedging | resilience
     python -m repro all        # everything, through ONE shared runner
 
 Scaled runs (default) finish in minutes; ``--full`` uses paper-scale
@@ -41,6 +41,7 @@ from .experiments import (
     HopsExperiment,
     InferenceExperiment,
     OverheadExperiment,
+    ResilienceExperiment,
     Runner,
     TeExperiment,
 )
@@ -75,10 +76,14 @@ def _exp_figure4(args) -> Experiment:
     return Figure4Experiment(rps_levels=levels, **_overrides(args, 30.0))
 
 
-def _render_figure4(result, args) -> str:
-    if args.csv:
+def _write_csv(result, args) -> None:
+    if args.csv and hasattr(result, "csv"):
         with open(args.csv, "w") as f:
             f.write(result.csv())
+
+
+def _render_figure4(result, args) -> str:
+    _write_csv(result, args)
     return (
         result.table()
         + f"\nmean p50 speedup {result.mean_p50_speedup:.2f}x, "
@@ -87,6 +92,7 @@ def _render_figure4(result, args) -> str:
 
 
 def _render_table(result, args) -> str:
+    _write_csv(result, args)
     return result.table()
 
 
@@ -128,6 +134,10 @@ COMMANDS = {
     "inference": Command(
         lambda args: InferenceExperiment(**_overrides(args, 20.0, rps=40.0)),
         "X-2: automatic priority inference",
+    ),
+    "resilience": Command(
+        lambda args: ResilienceExperiment(**_overrides(args, 20.0, rps=30.0)),
+        "X-3: fault injection — LS/LI latency under chaos profiles",
     ),
     "compute": Command(
         lambda args: ComputeExperiment(**_overrides(args, 20.0, rps=40.0)),
@@ -179,7 +189,10 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache",
     )
-    sub.add_argument("--csv", metavar="PATH", help="write CSV (figure4 only)")
+    sub.add_argument(
+        "--csv", metavar="PATH",
+        help="write CSV (experiments with a CSV form, e.g. figure4, resilience)",
+    )
 
 
 def _make_runner(args) -> Runner:

@@ -1,106 +1,8 @@
-"""Chaos utilities: controlled failure injection at the cluster level.
+"""Back-compat shim: cluster-level failure primitives moved to
+:mod:`repro.chaos.primitives` when the fault machinery was unified into
+the ``repro.chaos`` subsystem. Import from there (or from
+``repro.chaos``) in new code."""
 
-The mesh's resilience features (retries, circuit breaking, outlier
-ejection — §2) only earn their keep under failure. This module provides
-the failures: killing and restoring pods, and partitioning the network
-between nodes, so tests and experiments can verify the mesh rides
-through them.
-"""
+from ..chaos.primitives import BlackholeQdisc, Chaos
 
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-
-from ..net.packet import Packet
-from ..net.qdisc import Qdisc
-from .cluster import Cluster
-
-
-class BlackholeQdisc(Qdisc):
-    """Drops everything — a severed link."""
-
-    def enqueue(self, packet: Packet, now: float) -> bool:
-        self._record_drop(packet)
-        return False
-
-    def dequeue(self, now: float):
-        return None
-
-    def next_ready_time(self, now: float) -> float:
-        return float("inf")
-
-    def __len__(self) -> int:
-        return 0
-
-    @property
-    def backlog_bytes(self) -> int:
-        return 0
-
-
-@dataclass
-class Chaos:
-    """Failure injection bound to one cluster."""
-
-    cluster: Cluster
-    _killed: dict = field(default_factory=dict)
-    _partitions: dict = field(default_factory=dict)
-
-    # -- pod failures ---------------------------------------------------
-    def kill_pod(self, pod_name: str) -> None:
-        """Crash a pod: it stops being a service endpoint and its
-        network interface blackholes (in-flight requests die)."""
-        if pod_name in self._killed:
-            return
-        pod = self.cluster.pod(pod_name)
-        pod.ready = False
-        saved = (pod.egress.qdisc, pod.ingress.qdisc)
-        pod.egress.set_qdisc(BlackholeQdisc())
-        pod.ingress.set_qdisc(BlackholeQdisc())
-        self._killed[pod_name] = saved
-        self.cluster.refresh_services()
-
-    def restore_pod(self, pod_name: str) -> None:
-        """Bring a killed pod back (same IP, as a restarted container)."""
-        saved = self._killed.pop(pod_name, None)
-        if saved is None:
-            return
-        pod = self.cluster.pod(pod_name)
-        egress_qdisc, ingress_qdisc = saved
-        pod.egress.set_qdisc(egress_qdisc)
-        pod.ingress.set_qdisc(ingress_qdisc)
-        pod.ready = True
-        self.cluster.refresh_services()
-
-    @property
-    def killed_pods(self) -> list[str]:
-        return sorted(self._killed)
-
-    # -- network partitions -----------------------------------------------
-    def partition(self, device_a: str, device_b: str) -> None:
-        """Sever the link between two devices (both directions)."""
-        key = tuple(sorted((device_a, device_b)))
-        if key in self._partitions:
-            return
-        iface_ab = self.cluster.network.interface_between(device_a, device_b)
-        iface_ba = self.cluster.network.interface_between(device_b, device_a)
-        self._partitions[key] = (
-            (iface_ab, iface_ab.qdisc),
-            (iface_ba, iface_ba.qdisc),
-        )
-        iface_ab.set_qdisc(BlackholeQdisc())
-        iface_ba.set_qdisc(BlackholeQdisc())
-
-    def heal(self, device_a: str, device_b: str) -> None:
-        """Restore a severed link."""
-        key = tuple(sorted((device_a, device_b)))
-        saved = self._partitions.pop(key, None)
-        if saved is None:
-            return
-        for iface, qdisc in saved:
-            iface.set_qdisc(qdisc)
-
-    def heal_all(self) -> None:
-        for key in list(self._partitions):
-            self.heal(*key)
-        for pod_name in list(self._killed):
-            self.restore_pod(pod_name)
+__all__ = ["BlackholeQdisc", "Chaos"]

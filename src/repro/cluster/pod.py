@@ -50,6 +50,7 @@ class Pod:
         self._transport_config = transport_config
         self.containers: list[str] = []
         self.ready = False
+        self.restarts = 0   # lifecycle churn (chaos kills + restores)
 
     def attach_stack(self, network) -> TransportStack:
         """Create the pod's transport stack (its network namespace)."""

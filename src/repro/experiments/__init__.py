@@ -10,6 +10,7 @@
 * :mod:`te` — A-4, priority-aware traffic engineering (§4.2d).
 * :mod:`hedging` — X-1, redundant requests (§3.4).
 * :mod:`inference` — X-2, automatic priority inference (§3.3).
+* :mod:`resilience` — X-3, fault injection + resilience under chaos.
 * :mod:`compute` — X-4, prioritized request queueing on CPU (§5).
 
 Every harness follows one contract::
@@ -37,6 +38,14 @@ from .inference import InferenceExperiment, InferenceResult, run_inference
 from .overhead import OverheadExperiment, OverheadResult, run_overhead
 from .replicate import Replicated, ReplicationResult, compare_with_replication, replicate
 from .report import format_table, ms, to_csv
+from .resilience import (
+    ResilienceExperiment,
+    ResiliencePoint,
+    ResilienceResult,
+    ResilienceRow,
+    measure_resilience,
+    run_resilience,
+)
 from .runner import (
     Experiment,
     Point,
@@ -79,6 +88,10 @@ __all__ = [
     "Point",
     "Replicated",
     "ReplicationResult",
+    "ResilienceExperiment",
+    "ResiliencePoint",
+    "ResilienceResult",
+    "ResilienceRow",
     "ResultCache",
     "Runner",
     "RunnerStats",
@@ -93,6 +106,7 @@ __all__ = [
     "compare_with_replication",
     "config_digest",
     "format_table",
+    "measure_resilience",
     "measure_scenario",
     "ms",
     "replicate",
@@ -103,6 +117,7 @@ __all__ = [
     "run_hops",
     "run_inference",
     "run_overhead",
+    "run_resilience",
     "run_scenario",
     "run_te",
     "to_csv",

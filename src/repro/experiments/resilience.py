@@ -1,0 +1,256 @@
+"""X-3: resilience under injected faults, with and without cross-layer
+prioritization.
+
+The Figure-4 scenario is rerun under each chaos profile (pod kills,
+sidecar crashes, link flaps, degraded/lossy networks) from
+:mod:`repro.chaos`, with the mesh's resilience machinery switched on:
+per-route retry budgets with jittered exponential backoff, request
+timeouts, outlier ejection, and priority-aware hedging that duplicates
+only latency-sensitive requests. Each profile runs twice — cross-layer
+prioritization off and on — over the *same* seeded fault timeline, so
+the comparison isolates what prioritization buys once failures start
+happening (§3.4's redundancy argument meeting §4's case study).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field, replace
+
+from ..chaos import FaultInjector, FaultProfile, standard_profiles, timeline_text
+from ..mesh.outlier import OutlierConfig
+from ..mesh.resilience import HedgePolicy, RetryPolicy
+from ..sim.rng import RngRegistry
+from ..util.stats import LatencySummary
+from .report import format_table, ms, to_csv
+from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .scenario import ScenarioConfig, ScenarioResult, _drain, build_scenario
+
+#: The LS priority-header value (see ``repro.core.priorities.Priority``).
+LS_PRIORITY = "high"
+
+
+def resilient_mesh_config(base):
+    """The mesh resilience posture every resilience run uses: a retry
+    budget with jittered backoff, per-try timeouts, outlier ejection,
+    and hedging restricted to the latency-sensitive class."""
+    return replace(
+        base,
+        retry=RetryPolicy(
+            max_attempts=3,
+            per_try_timeout=2.0,
+            backoff_base=0.025,
+            backoff_max=0.25,
+            jitter=0.5,
+        ),
+        hedge=HedgePolicy(
+            delay=0.25,
+            max_hedges=1,
+            only_priorities=frozenset({LS_PRIORITY}),
+        ),
+        outlier=OutlierConfig(),
+    )
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """One chaos run: the picklable config of a sweep point."""
+
+    scenario: ScenarioConfig
+    profile: FaultProfile
+
+
+def measure_resilience(point: ResiliencePoint) -> ScenarioMeasurement:
+    """Point function: run the scenario with the profile's fault timeline
+    armed. All randomness derives from the scenario seed, so the result —
+    including the timeline — is a pure function of the point config."""
+    start = time.perf_counter()
+    config = point.scenario
+    sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
+    # A fresh registry from the same seed yields the same named streams
+    # as the scenario's internal one; the chaos streams are namespaced so
+    # they collide with nothing the scenario itself draws.
+    injector = FaultInjector(sim, cluster, RngRegistry(config.seed))
+    injector.schedule(point.profile, horizon=config.duration)
+    mix.start(config.duration)
+    sim.run(until=config.duration)
+    # Lift any still-active fault so the drain can complete in-flight
+    # requests instead of timing them out against a blackholed pod.
+    injector.revert_all()
+    _drain(sim, mix, config.duration + config.drain)
+    result = ScenarioResult(
+        config=config,
+        sim=sim,
+        cluster=cluster,
+        mesh=mesh,
+        app=app,
+        gateway=gateway,
+        mix=mix,
+        manager=manager,
+        window=(config.warmup, config.duration),
+    )
+    measurement = ScenarioMeasurement.from_scenario(
+        result, wall_clock=time.perf_counter() - start
+    )
+    measurement.counters["faults_applied"] = float(injector.applied)
+    measurement.counters["faults_skipped"] = float(injector.skipped)
+    measurement.counters["faults_reverted"] = float(injector.reverted)
+    measurement.counters["pod_restarts"] = float(
+        sum(pod.restarts for pod in cluster.pods)
+    )
+    measurement.counters["hedges_cancelled"] = float(
+        sum(s.hedges_cancelled for s in mesh.sidecars)
+    )
+    measurement.extra["fault_timeline"] = timeline_text(injector.timeline)
+    return measurement
+
+
+def timeline_digest(measurement: ScenarioMeasurement) -> str:
+    """Short content hash of a run's fault timeline (CSV column)."""
+    text = measurement.extra.get("fault_timeline", "")
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class ResilienceRow:
+    """One fault profile: LS and LI percentiles for both configurations."""
+
+    profile: str
+    ls_off: LatencySummary
+    ls_on: LatencySummary
+    li_off: LatencySummary
+    li_on: LatencySummary
+    faults_applied: int
+    timeline_sha: str
+
+    @property
+    def p99_speedup(self) -> float:
+        return self.ls_off.p99 / self.ls_on.p99
+
+
+@dataclass
+class ResilienceResult:
+    rows: list[ResilienceRow] = field(default_factory=list)
+
+    def row(self, profile: str) -> ResilienceRow:
+        for row in self.rows:
+            if row.profile == profile:
+                return row
+        raise KeyError(profile)
+
+    def table(self) -> str:
+        headers = [
+            "Profile",
+            "Faults",
+            "LS p50 w/o (ms)",
+            "LS p50 w/ (ms)",
+            "LS p99 w/o (ms)",
+            "LS p99 w/ (ms)",
+            "p99 gain",
+            "LI p99 w/ (ms)",
+        ]
+        body = [
+            [
+                row.profile,
+                f"{row.faults_applied}",
+                ms(row.ls_off.p50),
+                ms(row.ls_on.p50),
+                ms(row.ls_off.p99),
+                ms(row.ls_on.p99),
+                f"{row.p99_speedup:.2f}x",
+                ms(row.li_on.p99),
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            headers,
+            body,
+            title="X-3: resilience under faults, w/o vs w/ cross-layer optimization",
+        )
+
+    def csv(self) -> str:
+        headers = [
+            "profile", "faults_applied", "timeline_sha",
+            "ls_p50_off_s", "ls_p50_on_s", "ls_p99_off_s", "ls_p99_on_s",
+            "li_p50_off_s", "li_p50_on_s", "li_p99_off_s", "li_p99_on_s",
+        ]
+        body = [
+            [
+                row.profile, row.faults_applied, row.timeline_sha,
+                row.ls_off.p50, row.ls_on.p50, row.ls_off.p99, row.ls_on.p99,
+                row.li_off.p50, row.li_on.p50, row.li_off.p99, row.li_on.p99,
+            ]
+            for row in self.rows
+        ]
+        return to_csv(headers, body)
+
+
+class ResilienceExperiment(Experiment):
+    """The chaos grid: (fault profile) × (cross-layer off, on)."""
+
+    name = "resilience"
+    defaults = {"rps": 30.0}
+
+    def __init__(
+        self,
+        base_config: ScenarioConfig | None = None,
+        *,
+        profiles: dict[str, FaultProfile] | None = None,
+        **overrides,
+    ):
+        super().__init__(base_config, **overrides)
+        if profiles is None:
+            # Scale fault durations down with short (smoke) runs so a
+            # single fault never spans the whole measurement window.
+            scale = min(1.0, self.base.duration / 20.0)
+            profiles = standard_profiles(duration_scale=scale)
+        self.profiles = dict(profiles)
+
+    def points(self) -> list[Point]:
+        grid = []
+        mesh = resilient_mesh_config(self.base.mesh)
+        for name, profile in self.profiles.items():
+            for tag, enabled in (("off", False), ("on", True)):
+                scenario = replace(
+                    self.base, cross_layer=enabled, policy=None, mesh=mesh
+                )
+                grid.append(
+                    Point(
+                        label=f"{name}/{tag}",
+                        fn=measure_resilience,
+                        config=ResiliencePoint(scenario=scenario, profile=profile),
+                    )
+                )
+        return grid
+
+    def collect(self, measurements) -> ResilienceResult:
+        result = ResilienceResult()
+        for name in self.profiles:
+            off = measurements[f"{name}/off"]
+            on = measurements[f"{name}/on"]
+            result.rows.append(
+                ResilienceRow(
+                    profile=name,
+                    ls_off=off.ls,
+                    ls_on=on.ls,
+                    li_off=off.li,
+                    li_on=on.li,
+                    faults_applied=int(on.counters["faults_applied"]),
+                    timeline_sha=timeline_digest(on),
+                )
+            )
+        return result
+
+
+def run_resilience(
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
+    profiles: dict[str, FaultProfile] | None = None,
+    **overrides,
+) -> ResilienceResult:
+    """Run the chaos grid; one scenario per (profile, configuration)."""
+    return ResilienceExperiment(
+        base_config, profiles=profiles, **overrides
+    ).run(runner)

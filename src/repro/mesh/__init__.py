@@ -33,7 +33,7 @@ from .routing import (
 )
 from .sidecar import NoHealthyUpstream, Sidecar
 from .telemetry import RequestRecord, Telemetry
-from .tracing import Span, Trace, Tracer, new_trace_id
+from .tracing import IdAllocator, Span, Trace, Tracer, new_trace_id
 
 __all__ = [
     "AdaptiveLB",
@@ -48,6 +48,7 @@ __all__ = [
     "GATEWAY_DEPLOYMENT",
     "HeaderMatch",
     "HedgePolicy",
+    "IdAllocator",
     "IngressGateway",
     "LB_REGISTRY",
     "LeastRequestLB",

@@ -11,8 +11,7 @@ from __future__ import annotations
 from ..http.headers import REQUEST_ID, TRACE_ID
 from ..http.message import HttpRequest
 from ..sim import Simulator
-from .sidecar import Sidecar, _new_request_id
-from .tracing import new_trace_id
+from .sidecar import Sidecar
 
 
 class IngressGateway:
@@ -33,9 +32,9 @@ class IngressGateway:
         if request.service in ("", None):
             request.service = self.entry_service
         if REQUEST_ID not in request.headers:
-            request.headers[REQUEST_ID] = _new_request_id()
+            request.headers[REQUEST_ID] = self.sidecar.tracer.ids.request_id()
         if TRACE_ID not in request.headers:
-            request.headers[TRACE_ID] = new_trace_id()
+            request.headers[TRACE_ID] = self.sidecar.tracer.ids.trace_id()
         self.sidecar.policy.classify_ingress(request)
         self.requests_admitted += 1
         event = self.sidecar.request(request, timeout=timeout)

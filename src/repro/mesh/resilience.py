@@ -13,21 +13,39 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Envoy-style retry budget for one logical request."""
+    """Envoy-style retry budget for one logical request.
+
+    ``jitter`` desynchronizes retry storms: with jitter ``j`` the delay
+    before a retry is drawn uniformly from ``[(1-j)*d, d]`` where ``d``
+    is the exponential backoff (still capped by ``backoff_max``). A
+    policy can also be attached to one :class:`~repro.mesh.routing.RouteRule`
+    to give that route its own retry budget.
+    """
 
     max_attempts: int = 3            # total tries including the first
     per_try_timeout: float | None = None
     backoff_base: float = 0.025
     backoff_max: float = 0.25
+    jitter: float = 0.0              # fraction of the backoff randomized away
     retry_on_status: frozenset = frozenset({502, 503, 504})
 
     def __post_init__(self):
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
 
-    def backoff(self, attempt: int) -> float:
-        """Delay before retry number ``attempt`` (1-based)."""
-        return min(self.backoff_max, self.backoff_base * (2 ** (attempt - 1)))
+    def backoff(self, attempt: int, rng=None) -> float:
+        """Delay before retry number ``attempt`` (1-based).
+
+        With a numpy ``rng`` and ``jitter`` > 0 the delay is jittered;
+        the cap always holds: the jittered delay never exceeds
+        ``backoff_max``.
+        """
+        delay = min(self.backoff_max, self.backoff_base * (2 ** (attempt - 1)))
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 - self.jitter * float(rng.random())
+        return delay
 
     def should_retry(self, attempt: int, status: int | None) -> bool:
         """``status`` None means the try timed out."""
@@ -39,14 +57,27 @@ class RetryPolicy:
 @dataclass(frozen=True)
 class HedgePolicy:
     """Issue a duplicate request if no response within ``delay``; first
-    response wins. ``max_hedges`` bounds the duplicates."""
+    response wins. ``max_hedges`` bounds the duplicates.
+
+    ``only_priorities`` makes hedging priority-aware (§3.4 meets §4.2):
+    only requests whose ``x-priority`` header is in the set are hedged —
+    the latency-sensitive class buys its tail cut with redundant load,
+    while batch traffic never doubles itself. ``None`` hedges everything.
+    """
 
     delay: float = 0.05
     max_hedges: int = 1
+    only_priorities: frozenset | None = None
 
     def __post_init__(self):
         if self.delay < 0 or self.max_hedges < 0:
             raise ValueError("invalid hedge policy")
+
+    def applies_to(self, priority: str | None) -> bool:
+        """Should a request with this ``x-priority`` value be hedged?"""
+        if self.only_priorities is None:
+            return True
+        return priority is not None and priority in self.only_priorities
 
 
 class CircuitBreaker:

@@ -54,11 +54,18 @@ class RouteRule:
     """One match->destinations rule. Rules are evaluated in order; the
     first whose matches all succeed wins. A rule with no matches is a
     catch-all. ``fault`` optionally injects delays/aborts into matched
-    requests (Istio VirtualService fault injection)."""
+    requests (Istio VirtualService fault injection).
+
+    Per-route resilience (Istio's VirtualService ``retries``/``timeout``):
+    ``retry`` overrides the mesh-wide retry budget for matched requests
+    and ``timeout`` caps their end-to-end deadline (an explicit caller
+    timeout still wins)."""
 
     matches: tuple = ()
     destinations: tuple = (RouteDestination(),)
     fault: object = None   # FaultInjection | None
+    retry: object = None   # RetryPolicy | None — per-route retry budget
+    timeout: float | None = None   # per-route request deadline
 
     def applies_to(self, request: HttpRequest) -> bool:
         return all(match.matches(request) for match in self.matches)

@@ -18,7 +18,6 @@ overhead — and emits telemetry and trace spans.
 
 from __future__ import annotations
 
-import itertools
 import typing
 from typing import Callable
 
@@ -26,7 +25,7 @@ from ..cluster.pod import Pod
 from ..cluster.service import Endpoint
 from ..http.headers import PRIORITY, REQUEST_ID, SPAN_ID, TRACE_ID, propagate
 from ..http.message import HttpRequest, HttpResponse, HttpStatus
-from ..sim import PriorityStore, Simulator
+from ..sim import Interrupt, PriorityStore, Simulator
 from ..sim.rng import Distributions, lognormal_params_from_quantiles
 from ..transport.connection import ConnectionEnd
 from .config import MESH_PORT, MeshConfig
@@ -35,18 +34,18 @@ from .policy import PolicyHooks, TransportParams
 from .resilience import CircuitBreaker
 from .routing import RouteTable
 from .telemetry import RequestRecord, Telemetry
-from .tracing import Tracer, new_trace_id
+from .tracing import Tracer, _default_ids
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from ..net.topology import Network
-
-_request_ids = itertools.count(1)
 
 AppHandler = Callable[[HttpRequest], typing.Generator]
 
 
 def _new_request_id() -> str:
-    return f"req-{next(_request_ids):010d}"
+    """Back-compat process-global request id (tests / ad-hoc callers).
+    Mesh code paths allocate from the per-simulation tracer instead."""
+    return _default_ids.request_id()
 
 
 class NoHealthyUpstream(Exception):
@@ -96,6 +95,7 @@ class Sidecar:
         self.requests_proxied = 0
         self.requests_shed = 0
         self.hedges_issued = 0
+        self.hedges_cancelled = 0
         self.pool_connections_created = 0
 
     # ------------------------------------------------------------------
@@ -280,9 +280,9 @@ class Sidecar:
 
     def _prepare_headers(self, request: HttpRequest) -> None:
         if REQUEST_ID not in request.headers:
-            request.headers[REQUEST_ID] = _new_request_id()
+            request.headers[REQUEST_ID] = self.tracer.ids.request_id()
         if TRACE_ID not in request.headers:
-            request.headers[TRACE_ID] = new_trace_id()
+            request.headers[TRACE_ID] = self.tracer.ids.trace_id()
 
     def _request_process(self, request, result, timeout):
         self._prepare_headers(request)
@@ -302,9 +302,15 @@ class Sidecar:
         request.headers = child_headers
 
         # Fault injection (Istio VirtualService faults): applied once per
-        # logical request, upstream of retries/hedges.
+        # logical request, upstream of retries/hedges. The same rule also
+        # carries the per-route resilience overrides.
         rule = self.routes.matching_rule(request)
         fault = rule.fault if rule is not None else None
+        if timeout is None and rule is not None and rule.timeout is not None:
+            deadline = min(deadline, start + rule.timeout)
+        retry_policy = self.config.retry
+        if rule is not None and rule.retry is not None:
+            retry_policy = rule.retry
         aborted = None
         if fault is not None:
             delay = fault.sample_delay(self._dist.rng)
@@ -315,13 +321,17 @@ class Sidecar:
         hedge = self.config.hedge
         if aborted is not None:
             response, retries, endpoint = request.reply(aborted), 0, None
-        elif hedge is not None and hedge.max_hedges > 0:
+        elif (
+            hedge is not None
+            and hedge.max_hedges > 0
+            and hedge.applies_to(request.headers.get(PRIORITY))
+        ):
             response, retries, endpoint = yield from self._hedged_request(
                 request, deadline, hedge
             )
         else:
             response, retries, endpoint = yield from self._retried_request(
-                request, deadline
+                request, deadline, retry_policy
             )
 
         latency = self.sim.now - start
@@ -341,16 +351,23 @@ class Sidecar:
         )
         result.succeed(response)
 
-    def _retried_request(self, request, deadline):
-        """Retry loop. Returns (response, retries_used, endpoint|None)."""
-        policy = self.config.retry
+    def _retried_request(self, request, deadline, policy):
+        """Retry loop under ``policy`` (the mesh-wide budget or a
+        per-route override). Returns (response, retries_used, endpoint|None).
+
+        Budget exhaustion surfaces the *last real error* (e.g. the 503
+        that kept us retrying), not a synthetic 504 — only a run with no
+        response at all maps to GATEWAY_TIMEOUT.
+        """
         response = None
         endpoint = None
         attempt = 0
         for attempt in range(1, policy.max_attempts + 1):
             remaining = deadline - self.sim.now
             if remaining <= 0:
-                return request.reply(HttpStatus.GATEWAY_TIMEOUT), attempt - 1, endpoint
+                if response is None:
+                    response = request.reply(HttpStatus.GATEWAY_TIMEOUT)
+                return response, attempt - 1, endpoint
             per_try = remaining
             if policy.per_try_timeout is not None:
                 per_try = min(per_try, policy.per_try_timeout)
@@ -359,7 +376,7 @@ class Sidecar:
             except NoHealthyUpstream:
                 response = request.reply(HttpStatus.SERVICE_UNAVAILABLE)
                 if policy.should_retry(attempt, response.status):
-                    yield self.sim.timeout(policy.backoff(attempt))
+                    yield self.sim.timeout(policy.backoff(attempt, self._dist.rng))
                     continue
                 return response, attempt - 1, None
             outcome = yield from self._try_once(request, endpoint, per_try)
@@ -367,17 +384,19 @@ class Sidecar:
             self._update_breaker(endpoint, status, service=request.service)
             if outcome is not None and not outcome.retryable:
                 return outcome, attempt - 1, endpoint
-            response = outcome
+            if outcome is not None:
+                response = outcome
             if not policy.should_retry(attempt, status):
                 break
-            yield self.sim.timeout(policy.backoff(attempt))
+            yield self.sim.timeout(policy.backoff(attempt, self._dist.rng))
         if response is None:
             response = request.reply(HttpStatus.GATEWAY_TIMEOUT)
         return response, attempt - 1, endpoint
 
     def _hedged_request(self, request, deadline, hedge):
         """Primary try plus up to ``max_hedges`` duplicates after a delay;
-        the first response wins (§3.4, redundancy for tail latency)."""
+        the first usable (non-retryable) response wins and still-pending
+        losers are cancelled (§3.4, redundancy for tail latency)."""
         tries = [
             self.sim.process(
                 self._single_try_process(request, deadline),
@@ -385,10 +404,10 @@ class Sidecar:
             )
         ]
         timer = self.sim.timeout(hedge.delay)
-        winner = yield self.sim.any_of([tries[0], timer])
+        yield self.sim.any_of([tries[0], timer])
         if tries[0].processed:
             response, endpoint = tries[0].value
-            if response is not None:
+            if response is not None and not response.retryable:
                 return response, 0, endpoint
         for index in range(hedge.max_hedges):
             self.hedges_issued += 1
@@ -399,16 +418,34 @@ class Sidecar:
                 )
             )
         while True:
+            fallback = None
             for try_proc in tries:
-                if try_proc.processed:
-                    response, endpoint = try_proc.value
-                    if response is not None:
-                        return response, 0, endpoint
+                if not try_proc.processed:
+                    continue
+                response, endpoint = try_proc.value
+                if response is None:
+                    continue
+                if not response.retryable:
+                    self._cancel_losers(tries, try_proc)
+                    return response, 0, endpoint
+                if fallback is None:
+                    fallback = (response, endpoint)
             pending = [t for t in tries if not t.processed]
             if not pending:
+                # All tries settled without a clean win: surface the best
+                # error we saw rather than a synthetic 504.
+                if fallback is not None:
+                    return fallback[0], 0, fallback[1]
                 self.telemetry.record_timeout()
                 return request.reply(HttpStatus.GATEWAY_TIMEOUT), 0, None
             yield self.sim.any_of(pending)
+
+    def _cancel_losers(self, tries, winner) -> None:
+        """Interrupt still-running hedge tries once a winner is in."""
+        for try_proc in tries:
+            if try_proc is not winner and try_proc.is_alive:
+                try_proc.interrupt("hedge-winner")
+                self.hedges_cancelled += 1
 
     def _single_try_process(self, request, deadline):
         """One endpoint pick + try, for hedging. Returns (response|None, ep)."""
@@ -417,7 +454,13 @@ class Sidecar:
         except NoHealthyUpstream:
             return request.reply(HttpStatus.SERVICE_UNAVAILABLE), None
         per_try = max(deadline - self.sim.now, 1e-6)
-        response = yield from self._try_once(request, endpoint, per_try)
+        try:
+            response = yield from self._try_once(request, endpoint, per_try)
+        except Interrupt:
+            # A hedge sibling won; this try was abandoned mid-flight.
+            # No breaker update: an interrupted try says nothing about
+            # the endpoint's health.
+            return None, None
         self._update_breaker(
             endpoint,
             response.status if response else None,
@@ -513,19 +556,33 @@ class Sidecar:
         except (ConnectionError, TimeoutError):
             lb.on_request_end(endpoint, self.sim.now - started, ok=False)
             return None
-        yield self.sim.timeout(self._proxy_delay())  # outbound traversal
-        conn.send(
-            request, request.wire_size() + self.config.mtls.message_overhead()
-        )
-        get = conn.receive()
-        timer = self.sim.timeout(per_try)
-        yield self.sim.any_of([get, timer])
-        if get.processed and get.ok:
-            response, _size = get.value
-            yield self.sim.timeout(self._proxy_delay())  # response traversal
-            self._release_connection(endpoint, params, conn)
-            lb.on_request_end(endpoint, self.sim.now - started, ok=True)
-            return response
+        except Interrupt:
+            lb.on_request_end(endpoint, self.sim.now - started, ok=False)
+            raise
+        get = None
+        try:
+            yield self.sim.timeout(self._proxy_delay())  # outbound traversal
+            conn.send(
+                request, request.wire_size() + self.config.mtls.message_overhead()
+            )
+            get = conn.receive()
+            timer = self.sim.timeout(per_try)
+            yield self.sim.any_of([get, timer])
+            if get.processed and get.ok:
+                response, _size = get.value
+                yield self.sim.timeout(self._proxy_delay())  # response traversal
+                self._release_connection(endpoint, params, conn)
+                lb.on_request_end(endpoint, self.sim.now - started, ok=True)
+                return response
+        except Interrupt:
+            # Cancelled (hedge loser): tear the exchange down, then let
+            # the interruption propagate. Not a timeout — no telemetry.
+            if get is not None:
+                conn.inbox.cancel(get)
+            conn.close()
+            self.pod.stack.drop_flow(conn.flow_id)
+            lb.on_request_end(endpoint, self.sim.now - started, ok=False)
+            raise
         # Timed out: the connection has an orphaned in-flight exchange.
         conn.inbox.cancel(get)
         conn.close()
@@ -562,20 +619,29 @@ class Sidecar:
                 self.sim, conn, chunk_bytes=self.config.mux_chunk_bytes
             )
             self._mux_channels[key] = channel
-        yield self.sim.timeout(self._proxy_delay())  # outbound traversal
-        priority = self.policy.request_priority(request)
-        event = channel.request(
-            request,
-            request.wire_size() + self.config.mtls.message_overhead(),
-            priority,
-        )
-        timer = self.sim.timeout(per_try)
-        yield self.sim.any_of([event, timer])
-        if event.processed and event.ok:
-            response = event.value
-            yield self.sim.timeout(self._proxy_delay())  # response traversal
-            lb.on_request_end(endpoint, self.sim.now - started, ok=True)
-            return response
+        event = None
+        try:
+            yield self.sim.timeout(self._proxy_delay())  # outbound traversal
+            priority = self.policy.request_priority(request)
+            event = channel.request(
+                request,
+                request.wire_size() + self.config.mtls.message_overhead(),
+                priority,
+            )
+            timer = self.sim.timeout(per_try)
+            yield self.sim.any_of([event, timer])
+            if event.processed and event.ok:
+                response = event.value
+                yield self.sim.timeout(self._proxy_delay())  # response traversal
+                lb.on_request_end(endpoint, self.sim.now - started, ok=True)
+                return response
+        except Interrupt:
+            # Cancelled (hedge loser): abandon the stream, keep the
+            # channel, and propagate. Not a timeout — no telemetry.
+            if event is not None:
+                channel.abandon(request)
+            lb.on_request_end(endpoint, self.sim.now - started, ok=False)
+            raise
         channel.abandon(request)
         lb.on_request_end(endpoint, self.sim.now - started, ok=False)
         self.telemetry.record_timeout()
@@ -607,7 +673,12 @@ class Sidecar:
         self.pool_connections_created += 1
         connect_start = self.sim.now
         timer = self.sim.timeout(budget)
-        yield self.sim.any_of([conn.established, timer])
+        try:
+            yield self.sim.any_of([conn.established, timer])
+        except Interrupt:
+            conn.close()
+            self.pod.stack.drop_flow(conn.flow_id)
+            raise
         if not conn.established.processed:
             conn.close()
             self.pod.stack.drop_flow(conn.flow_id)

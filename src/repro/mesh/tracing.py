@@ -10,19 +10,55 @@ in-band.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 
-_trace_ids = itertools.count(1)
-_span_ids = itertools.count(1)
+
+class IdAllocator:
+    """Per-simulation source of trace/span/request ids.
+
+    Ids used to come from module-global ``itertools.count`` objects — a
+    determinism hazard: the ids a run emits depended on how many runs had
+    already executed in the same process, so back-to-back runs of the
+    same seed produced different traces. Each simulation now owns one
+    allocator (via its mesh's :class:`Tracer`), making id sequences a
+    pure function of the run itself.
+    """
+
+    def __init__(self):
+        self._trace = itertools.count(1)
+        self._span = itertools.count(1)
+        self._request = itertools.count(1)
+
+    def trace_id(self) -> str:
+        return f"trace-{next(self._trace):08x}"
+
+    def span_id(self) -> str:
+        return f"span-{next(self._span):08x}"
+
+    def request_id(self) -> str:
+        return f"req-{next(self._request):010d}"
+
+
+#: Process-wide fallback for code that calls the module-level helpers
+#: below (kept for back-compat; simulation code paths use per-mesh
+#: allocators and never touch this).
+_default_ids = IdAllocator()
 
 
 def new_trace_id() -> str:
-    return f"trace-{next(_trace_ids):08x}"
+    return _default_ids.trace_id()
 
 
 def new_span_id() -> str:
-    return f"span-{next(_span_ids):08x}"
+    return _default_ids.span_id()
+
+
+def _stable_hash(text: str) -> int:
+    """Process-independent string hash (``hash()`` is salted per process,
+    which would make sampling decisions differ between workers)."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
 
 
 @dataclass
@@ -100,11 +136,17 @@ class Tracer:
     trace id (head-based sampling, like Istio's).
     """
 
-    def __init__(self, sample_rate: float = 1.0, max_traces: int | None = None):
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        max_traces: int | None = None,
+        ids: IdAllocator | None = None,
+    ):
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError("sample_rate must be within [0, 1]")
         self.sample_rate = sample_rate
         self.max_traces = max_traces
+        self.ids = ids if ids is not None else IdAllocator()
         self._traces: dict[str, Trace] = {}
         self._sampled: dict[str, bool] = {}
         self.spans_recorded = 0
@@ -119,7 +161,9 @@ class Tracer:
                 decision = False
             else:
                 # Deterministic hash-based decision keeps the whole trace.
-                decision = (hash(trace_id) % 10_000) < self.sample_rate * 10_000
+                decision = (
+                    _stable_hash(trace_id) % 10_000
+                ) < self.sample_rate * 10_000
             self._sampled[trace_id] = decision
         return decision
 
@@ -134,7 +178,7 @@ class Tracer:
     ) -> Span:
         span = Span(
             trace_id=trace_id,
-            span_id=new_span_id(),
+            span_id=self.ids.span_id(),
             parent_span_id=parent_span_id,
             service=service,
             operation=operation,

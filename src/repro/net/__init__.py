@@ -14,6 +14,7 @@ from .packet import Packet, Tos
 from .qdisc import (
     DRRQdisc,
     FifoQdisc,
+    LossyQdisc,
     PrioQdisc,
     Qdisc,
     TokenBucketQdisc,
@@ -39,6 +40,7 @@ __all__ = [
     "DRRQdisc",
     "Device",
     "FifoQdisc",
+    "LossyQdisc",
     "Host",
     "Interface",
     "Link",

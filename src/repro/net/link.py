@@ -45,6 +45,16 @@ class Interface:
         self.packets_transmitted = 0
         self.busy_time = 0.0
 
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the line rate (models ``tc`` re-shaping a veth; the
+        chaos engine uses it for bandwidth-degradation faults).
+
+        A packet already being serialized finishes at the old rate.
+        """
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bps = float(rate_bps)
+
     def set_qdisc(self, qdisc: Qdisc) -> None:
         """Swap the egress discipline (models installing TC rules).
 
@@ -136,6 +146,13 @@ class Link:
         self.delay = float(delay)
         a.link = self
         b.link = self
+
+    def set_delay(self, delay: float) -> None:
+        """Change the propagation delay (chaos latency faults). Packets
+        already in flight keep the delay they departed with."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = float(delay)
 
     def peer_of(self, interface: Interface) -> Interface:
         if interface is self.a:

@@ -416,6 +416,57 @@ class DRRQdisc(Qdisc):
         return sum(q.backlog_bytes for q in self._queues)
 
 
+class LossyQdisc(Qdisc):
+    """Random packet loss in front of a child qdisc (``netem loss``-style).
+
+    Each arriving packet is dropped with probability ``loss`` before the
+    child ever sees it; everything else is delegated. The chaos engine
+    wraps an interface's installed qdisc with this for the duration of a
+    packet-loss fault and unwraps it afterwards, so it composes with
+    whatever TC configuration (priority bands, shaping) is in place.
+
+    Draws come from the supplied numpy ``Generator`` so loss patterns are
+    reproducible from the simulation seed.
+    """
+
+    def __init__(self, child: Qdisc, loss: float, rng):
+        super().__init__()
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError("loss must be in [0, 1]")
+        self.child = child
+        self.loss = float(loss)
+        self.rng = rng
+        self.injected_drops = 0
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self.loss > 0.0 and self.rng.random() < self.loss:
+            self.injected_drops += 1
+            self._record_drop(packet)
+            return False
+        accepted = self.child.enqueue(packet, now)
+        if accepted:
+            self._record_enqueue(packet)
+        else:
+            self._record_drop(packet)
+        return accepted
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        packet = self.child.dequeue(now)
+        if packet is not None:
+            self._record_dequeue(packet)
+        return packet
+
+    def next_ready_time(self, now: float) -> float:
+        return self.child.next_ready_time(now)
+
+    def __len__(self) -> int:
+        return len(self.child)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self.child.backlog_bytes
+
+
 class TokenBucketQdisc(Qdisc):
     """Token-bucket shaping in front of a child qdisc (HTB-style leaf).
 

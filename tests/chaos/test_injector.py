@@ -1,0 +1,202 @@
+"""The fault-injection engine against a live cluster."""
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.chaos import (
+    BlackholeQdisc,
+    FaultEvent,
+    FaultInjector,
+    FaultProfile,
+    FaultSpec,
+    default_targets,
+    timeline_text,
+)
+from repro.net import LossyQdisc
+from repro.sim import RngRegistry
+
+
+def make_testbed(replicas=2):
+    testbed = MeshTestbed()
+    testbed.add_service("svc", echo_handler(body_size=10), replicas=replicas)
+    testbed.finish("svc")
+    return testbed
+
+
+def make_injector(testbed, seed=42):
+    return FaultInjector(testbed.sim, testbed.cluster, RngRegistry(seed))
+
+
+class TestDefaultTargets:
+    def test_gateway_excluded(self):
+        testbed = make_testbed()
+        targets = default_targets(testbed.cluster)
+        for names in targets.values():
+            assert not any(n.startswith("istio-ingressgateway") for n in names)
+        assert targets["any"] == ["svc-v1-1", "svc-v1-2"]
+
+    def test_redundant_requires_two_endpoints(self):
+        testbed = make_testbed(replicas=1)
+        targets = default_targets(testbed.cluster)
+        assert targets["any"] == ["svc-v1-1"]
+        assert targets["redundant"] == []
+
+
+class TestApplyRevert:
+    def test_pod_kill_applies_then_reverts(self):
+        testbed = make_testbed()
+        injector = make_injector(testbed)
+        pod = testbed.cluster.pod("svc-v1-1")
+        injector._apply(FaultEvent(0.0, "pod_kill", "svc-v1-1", 1.0, 0.0))
+        assert not pod.ready
+        assert injector.applied == 1
+        testbed.sim.run(until=2.0)
+        assert pod.ready
+        assert pod.restarts == 1
+        assert injector.reverted == 1
+
+    def test_pod_kill_never_takes_last_endpoint(self):
+        testbed = make_testbed(replicas=2)
+        injector = make_injector(testbed)
+        injector._apply(FaultEvent(0.0, "pod_kill", "svc-v1-1", 5.0, 0.0))
+        # The sibling is now the last ready endpoint: the kill is vetoed.
+        injector._apply(FaultEvent(0.0, "pod_kill", "svc-v1-2", 5.0, 0.0))
+        assert injector.applied == 1
+        assert injector.skipped == 1
+        assert testbed.cluster.pod("svc-v1-2").ready
+
+    def test_sidecar_crash_keeps_endpoint_registered(self):
+        testbed = make_testbed()
+        injector = make_injector(testbed)
+        injector._apply(FaultEvent(0.0, "sidecar_crash", "svc-v1-1", 1.0, 0.0))
+        pod = testbed.cluster.pod("svc-v1-1")
+        assert isinstance(pod.ingress.qdisc, BlackholeQdisc)
+        endpoints = testbed.cluster.services["svc"].endpoints
+        assert any(e.pod_name == "svc-v1-1" for e in endpoints)
+        testbed.sim.run(until=2.0)
+        assert not isinstance(pod.ingress.qdisc, BlackholeQdisc)
+        assert pod.restarts == 1
+
+    def test_bandwidth_scales_and_restores_rates(self):
+        testbed = make_testbed()
+        injector = make_injector(testbed)
+        pod = testbed.cluster.pod("svc-v1-1")
+        before = (pod.egress.rate_bps, pod.ingress.rate_bps)
+        injector._apply(FaultEvent(0.0, "bandwidth", "svc-v1-1", 1.0, 0.25))
+        assert pod.egress.rate_bps == before[0] * 0.25
+        assert pod.ingress.rate_bps == before[1] * 0.25
+        testbed.sim.run(until=2.0)
+        assert (pod.egress.rate_bps, pod.ingress.rate_bps) == before
+
+    def test_latency_adds_and_restores_delay(self):
+        testbed = make_testbed()
+        injector = make_injector(testbed)
+        link = testbed.cluster.pod("svc-v1-1").egress.link
+        before = link.delay
+        injector._apply(FaultEvent(0.0, "latency", "svc-v1-1", 1.0, 0.005))
+        assert link.delay == before + 0.005
+        testbed.sim.run(until=2.0)
+        assert link.delay == before
+
+    def test_loss_wraps_and_unwraps_qdisc(self):
+        testbed = make_testbed()
+        injector = make_injector(testbed)
+        pod = testbed.cluster.pod("svc-v1-1")
+        inner = pod.egress.qdisc
+        injector._apply(FaultEvent(0.0, "loss", "svc-v1-1", 1.0, 0.1))
+        assert isinstance(pod.egress.qdisc, LossyQdisc)
+        assert pod.egress.qdisc.child is inner
+        testbed.sim.run(until=2.0)
+        assert pod.egress.qdisc is inner
+
+    def test_overlapping_slot_is_skipped(self):
+        testbed = make_testbed()
+        injector = make_injector(testbed)
+        injector._apply(FaultEvent(0.0, "latency", "svc-v1-1", 1.0, 0.005))
+        injector._apply(FaultEvent(0.0, "latency", "svc-v1-1", 1.0, 0.005))
+        assert injector.applied == 1
+        assert injector.skipped == 1
+
+    def test_revert_all_then_timer_noop(self):
+        testbed = make_testbed()
+        injector = make_injector(testbed)
+        link = testbed.cluster.pod("svc-v1-1").egress.link
+        before = link.delay
+        injector._apply(FaultEvent(0.0, "latency", "svc-v1-1", 1.0, 0.005))
+        injector.revert_all()
+        assert link.delay == before
+        assert injector.reverted == 1
+        # The originally scheduled revert timer fires and must not
+        # double-revert (or crash unpacking missing state).
+        testbed.sim.run(until=2.0)
+        assert injector.reverted == 1
+        assert link.delay == before
+
+
+class TestChaosPrimitives:
+    def test_blackhole_drops_everything(self):
+        from repro.net import Packet
+
+        q = BlackholeQdisc()
+        assert not q.enqueue(Packet(src="a", dst="b", size=100, seq=0), 0.0)
+        assert q.dequeue(0.0) is None
+        assert q.next_ready_time(0.0) == float("inf")
+        assert len(q) == 0
+        assert q.backlog_bytes == 0
+        assert q.stats.dropped == 1
+
+    def test_kill_and_crash_are_idempotent(self):
+        testbed = make_testbed()
+        chaos = make_injector(testbed).chaos
+        chaos.kill_pod("svc-v1-1")
+        chaos.kill_pod("svc-v1-1")
+        chaos.crash_sidecar("svc-v1-1")  # already killed: no-op
+        assert chaos.killed_pods == ["svc-v1-1"]
+        assert chaos.crashed_sidecars == []
+        chaos.restore_pod("svc-v1-1")
+        chaos.restore_pod("svc-v1-1")  # second restore: no-op
+        assert testbed.cluster.pod("svc-v1-1").restarts == 1
+
+    def test_heal_all_lifts_everything(self):
+        testbed = make_testbed()
+        chaos = make_injector(testbed).chaos
+        pod = testbed.cluster.pod("svc-v1-1")
+        chaos.kill_pod("svc-v1-1")
+        chaos.crash_sidecar("svc-v1-2")
+        chaos.partition(f"pod:{pod.name}", f"node:{pod.node.name}")
+        chaos.heal_all()
+        assert chaos.killed_pods == []
+        assert chaos.crashed_sidecars == []
+        assert chaos._partitions == {}
+        assert pod.ready
+
+
+class TestSchedule:
+    PROFILE = FaultProfile(
+        name="flaky",
+        faults=(
+            FaultSpec(kind="latency", rate=5.0, duration=0.2, severity=0.001),
+            FaultSpec(kind="pod_kill", rate=3.0, duration=0.3, scope="redundant"),
+        ),
+    )
+
+    def test_schedule_applies_over_run(self):
+        testbed = make_testbed()
+        injector = make_injector(testbed)
+        timeline = injector.schedule(self.PROFILE, horizon=3.0)
+        assert timeline
+        testbed.sim.run(until=5.0)
+        assert injector.applied > 0
+        assert injector.applied + injector.skipped == len(timeline)
+        assert injector.reverted == injector.applied
+        # Everything is back to normal after the last revert.
+        assert not injector._active
+
+    def test_same_seed_same_applied_sequence(self):
+        lines = []
+        for _ in range(2):
+            testbed = make_testbed()
+            injector = make_injector(testbed, seed=7)
+            injector.schedule(self.PROFILE, horizon=3.0)
+            testbed.sim.run(until=5.0)
+            lines.append(timeline_text(injector.timeline))
+        assert lines[0] == lines[1]

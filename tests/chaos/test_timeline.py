@@ -1,0 +1,135 @@
+"""Unit tests for the declarative fault-timeline layer."""
+
+import pytest
+
+from repro.chaos import (
+    KINDS,
+    PROFILE_ORDER,
+    FaultProfile,
+    FaultSpec,
+    build_timeline,
+    standard_profiles,
+    timeline_text,
+)
+from repro.sim import RngRegistry
+
+TARGETS = {
+    "any": ["frontend-v1-1", "details-v1-1", "reviews-v1-1", "reviews-v2-1"],
+    "redundant": ["reviews-v1-1", "reviews-v2-1"],
+}
+
+BUSY = FaultProfile(
+    name="busy",
+    faults=(
+        FaultSpec(kind="latency", rate=5.0, duration=0.2, severity=0.001),
+        FaultSpec(kind="pod_kill", rate=3.0, duration=0.3, scope="redundant"),
+    ),
+)
+
+
+def stream(seed=42):
+    return RngRegistry(seed).stream("chaos:timeline")
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor", rate=1.0)
+
+    def test_unknown_scope(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="pod_kill", rate=1.0, scope="everything")
+
+    def test_rate_duration_start_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="pod_kill", rate=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="pod_kill", rate=1.0, duration=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="pod_kill", rate=1.0, start=-1.0)
+
+    def test_severity_semantics_per_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="loss", rate=1.0, severity=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="bandwidth", rate=1.0, severity=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="latency", rate=1.0, severity=-0.1)
+        # Valid edges.
+        FaultSpec(kind="loss", rate=1.0, severity=1.0)
+        FaultSpec(kind="bandwidth", rate=1.0, severity=1.0)
+
+
+class TestBuildTimeline:
+    def test_same_seed_same_timeline(self):
+        a = build_timeline(BUSY, TARGETS, 5.0, stream())
+        b = build_timeline(BUSY, TARGETS, 5.0, stream())
+        assert timeline_text(a) == timeline_text(b)
+        assert len(a) > 0
+
+    def test_different_seed_differs(self):
+        a = build_timeline(BUSY, TARGETS, 5.0, stream(1))
+        b = build_timeline(BUSY, TARGETS, 5.0, stream(2))
+        assert timeline_text(a) != timeline_text(b)
+
+    def test_target_order_does_not_matter(self):
+        shuffled = {
+            scope: list(reversed(names)) for scope, names in TARGETS.items()
+        }
+        a = build_timeline(BUSY, TARGETS, 5.0, stream())
+        b = build_timeline(BUSY, shuffled, 5.0, stream())
+        assert timeline_text(a) == timeline_text(b)
+
+    def test_sorted_by_time(self):
+        timeline = build_timeline(BUSY, TARGETS, 5.0, stream())
+        times = [event.at for event in timeline]
+        assert times == sorted(times)
+
+    def test_horizon_and_start_respected(self):
+        spec = FaultSpec(kind="latency", rate=10.0, duration=0.1, start=1.0)
+        profile = FaultProfile(name="p", faults=(spec,))
+        timeline = build_timeline(profile, TARGETS, 3.0, stream())
+        assert timeline
+        for event in timeline:
+            assert 1.0 <= event.at < 3.0
+
+    def test_scope_restricts_targets(self):
+        spec = FaultSpec(kind="pod_kill", rate=10.0, scope="redundant")
+        profile = FaultProfile(name="p", faults=(spec,))
+        timeline = build_timeline(profile, TARGETS, 5.0, stream())
+        assert timeline
+        assert {event.target for event in timeline} <= set(TARGETS["redundant"])
+
+    def test_plain_list_targets(self):
+        timeline = build_timeline(BUSY, ["a", "b"], 5.0, stream())
+        assert {event.target for event in timeline} <= {"a", "b"}
+
+    def test_empty_candidates_yield_no_events(self):
+        spec = FaultSpec(kind="pod_kill", rate=10.0, scope="redundant")
+        profile = FaultProfile(name="p", faults=(spec,))
+        timeline = build_timeline(profile, {"any": ["a"]}, 5.0, stream())
+        assert timeline == ()
+
+    def test_zero_horizon(self):
+        assert build_timeline(BUSY, TARGETS, 0.0, stream()) == ()
+
+
+class TestStandardProfiles:
+    def test_order_covers_profiles(self):
+        profiles = standard_profiles()
+        assert set(PROFILE_ORDER) == set(profiles)
+
+    def test_baseline_is_empty(self):
+        assert standard_profiles()["baseline"].faults == ()
+
+    def test_every_kind_is_known(self):
+        for profile in standard_profiles().values():
+            for spec in profile.faults:
+                assert spec.kind in KINDS
+
+    def test_duration_scale(self):
+        full = standard_profiles(duration_scale=1.0)
+        half = standard_profiles(duration_scale=0.5)
+        for name in full:
+            for a, b in zip(full[name].faults, half[name].faults):
+                assert b.duration == pytest.approx(a.duration * 0.5)

@@ -1,0 +1,81 @@
+"""X-3 integration: the chaos grid is deterministic — the same seed
+produces the byte-identical fault timeline and CSV whether the sweep
+runs serially or across worker processes."""
+
+from repro.chaos import FaultProfile, FaultSpec
+from repro.experiments import (
+    ResilienceExperiment,
+    ResiliencePoint,
+    Runner,
+    ScenarioConfig,
+    measure_resilience,
+)
+
+TINY = dict(rps=20.0, duration=2.0, warmup=0.3, drain=10.0, seed=42)
+
+#: High-rate profile tuned so faults actually land inside a 2 s run.
+PROFILES = {
+    "flaky": FaultProfile(
+        name="flaky",
+        faults=(
+            FaultSpec(
+                kind="latency", rate=5.0, duration=0.3, severity=0.002,
+                start=0.2,
+            ),
+            FaultSpec(
+                kind="pod_kill", rate=3.0, duration=0.5, start=0.2,
+                scope="redundant",
+            ),
+        ),
+    ),
+    "lossy": FaultProfile(
+        name="lossy",
+        faults=(
+            FaultSpec(
+                kind="loss", rate=4.0, duration=0.4, severity=0.05, start=0.2
+            ),
+        ),
+    ),
+}
+
+
+def experiment():
+    return ResilienceExperiment(profiles=PROFILES, **TINY)
+
+
+class TestPointDeterminism:
+    def test_same_seed_same_timeline_and_summaries(self):
+        point = ResiliencePoint(
+            scenario=ScenarioConfig(**TINY), profile=PROFILES["flaky"]
+        )
+        a = measure_resilience(point)
+        b = measure_resilience(point)
+        assert a.extra["fault_timeline"] == b.extra["fault_timeline"]
+        assert a.counters["faults_applied"] > 0
+        assert a.counters == b.counters
+        assert a.summaries == b.summaries
+
+    def test_different_seed_different_timeline(self):
+        base = ScenarioConfig(**TINY)
+        a = measure_resilience(
+            ResiliencePoint(scenario=base, profile=PROFILES["flaky"])
+        )
+        other = ScenarioConfig(**{**TINY, "seed": 7})
+        b = measure_resilience(
+            ResiliencePoint(scenario=other, profile=PROFILES["flaky"])
+        )
+        assert a.extra["fault_timeline"] != b.extra["fault_timeline"]
+
+
+class TestSerialVsWorkers:
+    def test_csv_identical_across_execution_modes(self):
+        """The acceptance bar: serial and --workers 2 runs of the same
+        seed emit byte-identical CSVs (timeline digests included)."""
+        with Runner(workers=1) as runner:
+            serial = experiment().run(runner)
+        with Runner(workers=2) as runner:
+            parallel = experiment().run(runner)
+        assert serial.csv() == parallel.csv()
+        for name in PROFILES:
+            assert serial.row(name).faults_applied > 0
+            assert serial.row(name).timeline_sha == parallel.row(name).timeline_sha

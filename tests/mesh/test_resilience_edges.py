@@ -1,0 +1,193 @@
+"""Edge cases of the resilience machinery: retry budgets, backoff caps,
+per-route overrides, priority-aware hedging and loser cancellation."""
+
+import numpy as np
+import pytest
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.http import HttpRequest, HttpStatus
+from repro.http.headers import PRIORITY
+from repro.mesh import (
+    HedgePolicy,
+    MeshConfig,
+    RetryPolicy,
+    RouteRule,
+)
+
+
+def failing_handler(status=HttpStatus.SERVICE_UNAVAILABLE):
+    """A handler that always errors (retryable by default)."""
+
+    def handler(ctx, request):
+        if False:
+            yield
+        return request.reply(status)
+
+    return handler
+
+
+class TestRetryPolicyUnits:
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_backoff_respects_max_delay_cap(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_max=0.1, jitter=0.5)
+        rng = np.random.default_rng(0)
+        for attempt in range(1, 8):
+            assert policy.backoff(attempt) <= 0.1
+            assert policy.backoff(attempt, rng) <= 0.1
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_max=10.0, jitter=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            delay = policy.backoff(1, rng)
+            assert 0.05 <= delay <= 0.1
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_max=10.0, jitter=0.5)
+        assert policy.backoff(1) == 0.1
+        assert policy.backoff(2) == 0.2
+
+
+class TestHedgePolicyUnits:
+    def test_applies_to_everything_by_default(self):
+        policy = HedgePolicy()
+        assert policy.applies_to(None)
+        assert policy.applies_to("low")
+
+    def test_only_priorities_gates(self):
+        policy = HedgePolicy(only_priorities=frozenset({"high"}))
+        assert policy.applies_to("high")
+        assert not policy.applies_to("low")
+        assert not policy.applies_to(None)
+
+
+class TestRetryBudget:
+    def test_exhaustion_surfaces_original_error(self):
+        """When the budget runs out, the caller sees the 503 that kept us
+        retrying — not a synthetic 504."""
+        config = MeshConfig(
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.005)
+        )
+        testbed = MeshTestbed(mesh_config=config)
+        testbed.add_service("svc", failing_handler(), replicas=2)
+        gateway = testbed.finish("svc")
+        event = gateway.submit(HttpRequest(service=""))
+        response = testbed.sim.run(until=event)
+        assert response.status == HttpStatus.SERVICE_UNAVAILABLE
+        micro = testbed.microservices["svc"]
+        assert sum(m.requests_handled for m in micro) == 3
+
+    def test_timeout_during_retry_records_one_request(self):
+        """Per-try timeouts during a retried request count one logical
+        RequestRecord (with the retry count), not one per try."""
+        config = MeshConfig(
+            retry=RetryPolicy(
+                max_attempts=3, per_try_timeout=0.05, backoff_base=0.005
+            )
+        )
+        testbed = MeshTestbed(mesh_config=config)
+        testbed.add_service("svc", echo_handler(delay=5.0), replicas=2)
+        gateway = testbed.finish("svc")
+        event = gateway.submit(HttpRequest(service=""), timeout=1.0)
+        response = testbed.sim.run(until=event)
+        assert response.status == HttpStatus.GATEWAY_TIMEOUT
+        telemetry = testbed.mesh.telemetry
+        gateway_records = [
+            r for r in telemetry.records if r.destination == "svc"
+        ]
+        assert len(gateway_records) == 1
+        assert gateway_records[0].retries == 2
+        assert telemetry.timeouts_total >= 2
+
+
+class TestPerRouteResilience:
+    def test_route_retry_overrides_mesh_budget(self):
+        config = MeshConfig(
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.005)
+        )
+        testbed = MeshTestbed(mesh_config=config)
+        testbed.add_service("svc", failing_handler(), replicas=2)
+        gateway = testbed.finish("svc")
+        testbed.mesh.set_route_rules(
+            "svc", [RouteRule(retry=RetryPolicy(max_attempts=1))]
+        )
+        event = gateway.submit(HttpRequest(service=""))
+        response = testbed.sim.run(until=event)
+        assert response.status == HttpStatus.SERVICE_UNAVAILABLE
+        micro = testbed.microservices["svc"]
+        assert sum(m.requests_handled for m in micro) == 1
+
+    def test_route_timeout_caps_deadline(self):
+        testbed = MeshTestbed(
+            mesh_config=MeshConfig(retry=RetryPolicy(max_attempts=1))
+        )
+        testbed.add_service("svc", echo_handler(delay=5.0))
+        gateway = testbed.finish("svc")
+        testbed.mesh.set_route_rules("svc", [RouteRule(timeout=0.2)])
+        event = gateway.submit(HttpRequest(service=""))
+        response = testbed.sim.run(until=event)
+        assert response.status == HttpStatus.GATEWAY_TIMEOUT
+        assert testbed.sim.now < 1.0
+
+    def test_explicit_timeout_wins_over_route(self):
+        testbed = MeshTestbed(
+            mesh_config=MeshConfig(retry=RetryPolicy(max_attempts=1))
+        )
+        testbed.add_service("svc", echo_handler(delay=0.3))
+        gateway = testbed.finish("svc")
+        testbed.mesh.set_route_rules("svc", [RouteRule(timeout=0.05)])
+        event = gateway.submit(HttpRequest(service=""), timeout=2.0)
+        response = testbed.sim.run(until=event)
+        assert response.status == HttpStatus.OK
+
+
+class TestHedging:
+    def make(self, hedge):
+        testbed = MeshTestbed(mesh_config=MeshConfig(hedge=hedge))
+        # v1 fast, v2 pathologically slow: a hedge against the other
+        # replica always beats a try stuck on v2.
+        testbed.add_service("svc", echo_handler(delay=0.001), version="v1")
+        testbed.add_service("svc", echo_handler(delay=3.0), version="v2")
+        return testbed, testbed.finish("svc")
+
+    def test_hedge_cancels_the_loser(self):
+        testbed, gateway = self.make(HedgePolicy(delay=0.05, max_hedges=1))
+        # Two sequential requests: round-robin guarantees exactly one of
+        # them lands its primary try on the slow replica and must hedge.
+        for _ in range(2):
+            event = gateway.submit(HttpRequest(service=""))
+            response = testbed.sim.run(until=event)
+            assert response.status == HttpStatus.OK
+        sidecars = list(testbed.mesh.sidecars)
+        assert sum(s.hedges_issued for s in sidecars) == 1
+        assert sum(s.hedges_cancelled for s in sidecars) == 1
+        # Both winners resolved well before the slow replica's 3 s.
+        assert testbed.sim.now < 1.0
+
+    def test_priority_gate_blocks_unmarked_requests(self):
+        hedge = HedgePolicy(
+            delay=0.05, max_hedges=1, only_priorities=frozenset({"high"})
+        )
+        testbed, gateway = self.make(hedge)
+        event = gateway.submit(HttpRequest(service=""), timeout=10.0)
+        testbed.sim.run(until=event)
+        assert sum(s.hedges_issued for s in testbed.mesh.sidecars) == 0
+
+    def test_priority_gate_admits_ls_requests(self):
+        hedge = HedgePolicy(
+            delay=0.05, max_hedges=1, only_priorities=frozenset({"high"})
+        )
+        testbed, gateway = self.make(hedge)
+        for _ in range(2):
+            request = HttpRequest(service="")
+            request.headers[PRIORITY] = "high"
+            event = gateway.submit(request)
+            response = testbed.sim.run(until=event)
+            assert response.status == HttpStatus.OK
+        assert sum(s.hedges_issued for s in testbed.mesh.sidecars) == 1

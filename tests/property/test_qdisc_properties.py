@@ -1,11 +1,13 @@
 """Property-based tests: qdisc invariants under arbitrary traffic."""
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net import (
     DRRQdisc,
     FifoQdisc,
+    LossyQdisc,
     Packet,
     PrioQdisc,
     Tos,
@@ -154,3 +156,70 @@ def test_weighted_prio_byte_accounting(backlog, high_share):
         q.enqueue(Packet(src="a", dst="b", size=1500, seq=i, tos=tos), 0.0)
     assert q.backlog_bytes == 1500 * backlog
     assert q.high_backlog_bytes + q.low_backlog_bytes == q.backlog_bytes
+
+
+@given(ops=operations)
+@settings(max_examples=150, deadline=None)
+def test_prio_strict_priority_invariant(ops):
+    """A strict-priority qdisc never serves a lower band while a higher
+    band is backlogged — under arbitrary enqueue/dequeue interleavings."""
+    q = PrioQdisc(classifier=classify_by_tos)
+    for op, value in ops:
+        if op == "enq":
+            q.enqueue(value, now=0.0)
+        else:
+            for _ in range(value):
+                high_backlogged = q.band_backlog(0) > 0
+                packet = q.dequeue(0.0)
+                if packet is None:
+                    break
+                if high_backlogged:
+                    assert packet.tos == Tos.HIGH
+
+
+@given(ops=operations, loss=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_lossy_conservation(ops, loss):
+    """Injected drops + child-accepted packets account for every offer."""
+    q = LossyQdisc(FifoQdisc(), loss, np.random.default_rng(0))
+    offered = 0
+    dequeued = 0
+    for op, value in ops:
+        if op == "enq":
+            offered += 1
+            q.enqueue(value, now=0.0)
+        else:
+            for _ in range(value):
+                if q.dequeue(0.0) is not None:
+                    dequeued += 1
+    assert q.stats.enqueued + q.stats.dropped == offered
+    assert q.injected_drops <= q.stats.dropped
+    assert q.stats.enqueued == dequeued + len(q)
+
+
+@given(packets=st.lists(packet_strategy, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_lossy_zero_loss_is_transparent(packets):
+    """loss=0 never drops and delegates FIFO order to the child."""
+    q = LossyQdisc(FifoQdisc(), 0.0, np.random.default_rng(0))
+    for packet in packets:
+        assert q.enqueue(packet, 0.0)
+    assert q.injected_drops == 0
+    out = []
+    while True:
+        packet = q.dequeue(0.0)
+        if packet is None:
+            break
+        out.append(packet)
+    assert [p.packet_id for p in out] == [p.packet_id for p in packets]
+
+
+@given(packets=st.lists(packet_strategy, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_lossy_total_loss_drops_everything(packets):
+    q = LossyQdisc(FifoQdisc(), 1.0, np.random.default_rng(0))
+    for packet in packets:
+        assert not q.enqueue(packet, 0.0)
+    assert q.injected_drops == len(packets)
+    assert len(q) == 0
+    assert q.dequeue(0.0) is None
