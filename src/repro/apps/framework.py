@@ -21,10 +21,11 @@ from dataclasses import dataclass
 from ..cluster.cluster import Cluster
 from ..cluster.deployment import PodSpec
 from ..cluster.pod import Pod
-from ..http.headers import propagate
+from ..http.headers import REQUEST_ID, propagate
 from ..http.message import HttpRequest, HttpResponse, HttpStatus
 from ..mesh.mesh import ServiceMesh
 from ..mesh.sidecar import Sidecar
+from ..obs.attribution import LAYER_APP
 from ..sim import Simulator
 from ..sim.rng import Distributions, RngRegistry
 
@@ -88,11 +89,22 @@ class AppContext:
         """``yield from`` helper: hold one CPU worker for ``seconds``."""
         if seconds <= 0:
             return
+        started = self.sim.now
         grant = yield self.pod.cpu.acquire()
         try:
             yield self.sim.timeout(seconds)
         finally:
             self.pod.cpu.release(grant)
+            # App service time includes CPU-queue wait: from the app's
+            # point of view both are time spent "being served".
+            attributor = self.sidecar.telemetry.attributor
+            if attributor is not None:
+                attributor.record(
+                    self.request.headers.get(REQUEST_ID),
+                    LAYER_APP,
+                    started,
+                    self.sim.now,
+                )
 
     def sleep(self, seconds: float):
         return self.sim.timeout(seconds)

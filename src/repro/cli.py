@@ -40,6 +40,7 @@ from .experiments import (
     HedgingExperiment,
     HopsExperiment,
     InferenceExperiment,
+    ObserveExperiment,
     OverheadExperiment,
     ResilienceExperiment,
     Runner,
@@ -96,6 +97,11 @@ def _render_table(result, args) -> str:
     return result.table()
 
 
+def _render_observe(result, args) -> str:
+    _write_csv(result, args)
+    return result.report()
+
+
 @dataclass(frozen=True)
 class Command:
     """One subcommand: an experiment factory plus a result renderer."""
@@ -142,6 +148,11 @@ COMMANDS = {
     "compute": Command(
         lambda args: ComputeExperiment(**_overrides(args, 20.0, rps=40.0)),
         "X-4: prioritized request queueing (CPU bottleneck)",
+    ),
+    "observe": Command(
+        lambda args: ObserveExperiment(**_overrides(args, 20.0, rps=30.0)),
+        "X-5: per-layer latency attribution waterfall",
+        render=_render_observe,
     ),
 }
 

@@ -12,6 +12,7 @@
 * :mod:`inference` — X-2, automatic priority inference (§3.3).
 * :mod:`resilience` — X-3, fault injection + resilience under chaos.
 * :mod:`compute` — X-4, prioritized request queueing on CPU (§5).
+* :mod:`observe` — X-5, per-layer latency attribution waterfall (§3).
 
 Every harness follows one contract::
 
@@ -35,6 +36,12 @@ from .figure4 import (
 from .hedging import HedgingExperiment, HedgingResult, run_hedging
 from .hops import HopsExperiment, HopsResult, HopsRow, chain_specs, run_hops
 from .inference import InferenceExperiment, InferenceResult, run_inference
+from .observe import (
+    ObserveExperiment,
+    ObserveResult,
+    measure_observed,
+    run_observe,
+)
 from .overhead import OverheadExperiment, OverheadResult, run_overhead
 from .replicate import Replicated, ReplicationResult, compare_with_replication, replicate
 from .report import format_table, ms, to_csv
@@ -82,6 +89,8 @@ __all__ = [
     "HopsRow",
     "InferenceExperiment",
     "InferenceResult",
+    "ObserveExperiment",
+    "ObserveResult",
     "OverheadExperiment",
     "OverheadResult",
     "PAPER_RPS_LEVELS",
@@ -106,6 +115,7 @@ __all__ = [
     "compare_with_replication",
     "config_digest",
     "format_table",
+    "measure_observed",
     "measure_resilience",
     "measure_scenario",
     "ms",
@@ -116,6 +126,7 @@ __all__ = [
     "run_hedging",
     "run_hops",
     "run_inference",
+    "run_observe",
     "run_overhead",
     "run_resilience",
     "run_scenario",

@@ -1,0 +1,247 @@
+"""X-5: the per-layer latency waterfall of the Figure-4 scenario.
+
+The observability plane (:mod:`repro.obs`) is installed on the §4.3
+testbed and the scenario reruns twice — cross-layer prioritization off
+and on.  Every request's end-to-end latency is decomposed into app
+service time, sidecar proxy overhead, retry/hedge wait, transport/CC
+time, and link queueing; because the decomposition *partitions* each
+request's window (uncovered time is transport residual), the layers sum
+to the measured end-to-end latency exactly, and the table quantifies
+*which layer* the paper's ≈1.5× p50/p99 win comes from (spoiler: LS
+queueing and transport wait collapse; app and proxy time don't move).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from ..obs import ObservabilityPlane, snapshot_digest
+from ..obs.attribution import LAYERS
+from ..obs.export import waterfall_csv, waterfall_text
+from .report import format_table, ms
+from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .scenario import ScenarioConfig, ScenarioResult, _drain, build_scenario
+
+#: How many critical-path services the report lists per configuration.
+_TOP_SERVICES = 6
+
+
+def measure_observed(config: ScenarioConfig) -> ScenarioMeasurement:
+    """Point function: the Figure-4 scenario with the observability
+    plane installed; attribution/waterfall data rides in ``extra``."""
+    start = time.perf_counter()
+    sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
+    plane = ObservabilityPlane().install(mesh=mesh, cluster=cluster)
+    mix.start(config.duration)
+    sim.run(until=config.duration)
+    _drain(sim, mix, config.duration + config.drain)
+    plane.harvest(mesh=mesh, network=cluster.network)
+    result = ScenarioResult(
+        config=config,
+        sim=sim,
+        cluster=cluster,
+        mesh=mesh,
+        app=app,
+        gateway=gateway,
+        mix=mix,
+        manager=manager,
+        window=(config.warmup, config.duration),
+    )
+    measurement = ScenarioMeasurement.from_scenario(
+        result, wall_clock=time.perf_counter() - start
+    )
+    window = (config.warmup, config.duration)
+    attributor = plane.attributor
+    report = attributor.class_report(window)
+    exemplars = {}
+    for request_class in report:
+        exemplar = attributor.exemplar(request_class, window)
+        if exemplar is not None:
+            exemplars[request_class] = {
+                "root": exemplar.root,
+                "request_class": exemplar.request_class,
+                "elapsed": exemplar.elapsed,
+                "status": exemplar.status,
+                "segments": [
+                    (layer, t0 - exemplar.start, t1 - t0)
+                    for layer, t0, t1 in exemplar.segments
+                ],
+            }
+    measurement.extra["attribution"] = report
+    measurement.extra["exemplars"] = exemplars
+    measurement.extra["critical_path"] = plane.spans.service_rows()[:_TOP_SERVICES]
+    measurement.extra["obs_digest"] = snapshot_digest(plane.registry.snapshot())
+    measurement.counters["attributed_requests"] = float(
+        len(attributor.finished)
+    )
+    measurement.counters["dropped_intervals"] = float(
+        attributor.dropped_intervals
+    )
+    measurement.counters["traces_seen"] = float(plane.spans.traces_seen)
+    return measurement
+
+
+@dataclass
+class ObserveResult:
+    """Both configurations' attribution reports plus trace aggregates."""
+
+    #: tag ("off"/"on") → class_report dict (see LayerAttributor).
+    reports: dict[str, dict] = field(default_factory=dict)
+    exemplars: dict[str, dict] = field(default_factory=dict)
+    critical_paths: dict[str, list] = field(default_factory=dict)
+    digests: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def max_attribution_error(self) -> float:
+        """Worst per-request relative |Σ layers − e2e| across all runs."""
+        return max(
+            (
+                row["max_error"]
+                for report in self.reports.values()
+                for row in report.values()
+            ),
+            default=0.0,
+        )
+
+    def table(self) -> str:
+        headers = ["Class", "Xlayer", "n", "e2e (ms)"]
+        headers += [f"{layer} (ms)" for layer in LAYERS]
+        headers += ["Σ layers (ms)", "resid %"]
+        body = []
+        for request_class in sorted(
+            {c for report in self.reports.values() for c in report}
+        ):
+            for tag in ("off", "on"):
+                row = self.reports.get(tag, {}).get(request_class)
+                if row is None:
+                    continue
+                total = sum(row["layer_means"][layer] for layer in LAYERS)
+                e2e = row["e2e_mean"]
+                residual = abs(total - e2e) / e2e * 100.0 if e2e > 0 else 0.0
+                body.append(
+                    [request_class, tag, f"{row['count']}", ms(e2e)]
+                    + [ms(row["layer_means"][layer]) for layer in LAYERS]
+                    + [ms(total), f"{residual:.4f}"]
+                )
+        return format_table(
+            headers,
+            body,
+            title=(
+                "X-5: per-layer latency attribution "
+                "(Fig. 4 scenario, w/o vs w/ cross-layer optimization)"
+            ),
+        )
+
+    def delta_lines(self) -> str:
+        """Where the win comes from: per-layer LS mean change off → on."""
+        off = self.reports.get("off", {}).get("LS")
+        on = self.reports.get("on", {}).get("LS")
+        if not off or not on:
+            return ""
+        lines = ["LS mean per layer, off -> on:"]
+        for layer in LAYERS:
+            before = off["layer_means"][layer]
+            after = on["layer_means"][layer]
+            lines.append(
+                f"  {layer:<9} {before * 1e3:9.3f} ms -> {after * 1e3:9.3f} ms"
+                f"  ({(after - before) * 1e3:+9.3f} ms)"
+            )
+        lines.append(
+            f"  {'e2e':<9} {off['e2e_mean'] * 1e3:9.3f} ms -> "
+            f"{on['e2e_mean'] * 1e3:9.3f} ms"
+            f"  ({(on['e2e_mean'] - off['e2e_mean']) * 1e3:+9.3f} ms)"
+        )
+        return "\n".join(lines)
+
+    def waterfalls(self) -> str:
+        blocks = []
+        for tag in ("off", "on"):
+            if tag in self.reports:
+                blocks.append(
+                    waterfall_text(
+                        self.reports[tag],
+                        title=f"waterfall (cross-layer {tag}):",
+                    )
+                )
+        return "\n\n".join(blocks)
+
+    def critical_path_lines(self) -> str:
+        lines = []
+        for tag in ("off", "on"):
+            rows = self.critical_paths.get(tag)
+            if not rows:
+                continue
+            lines.append(f"critical path, top services (cross-layer {tag}):")
+            for service, count, total, mean in rows:
+                lines.append(
+                    f"  {service:<16} on-path {count:6d}x  "
+                    f"mean exclusive {mean * 1e3:8.3f} ms"
+                )
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        parts = [self.table()]
+        delta = self.delta_lines()
+        if delta:
+            parts.append(delta)
+        parts.append(self.waterfalls())
+        paths = self.critical_path_lines()
+        if paths:
+            parts.append(paths)
+        parts.append(
+            "max per-request attribution residual: "
+            f"{self.max_attribution_error * 100.0:.6f}% "
+            "(layers partition each request's window by construction)"
+        )
+        parts.append(
+            "registry digests: "
+            + ", ".join(
+                f"{tag}={self.digests[tag]}" for tag in sorted(self.digests)
+            )
+        )
+        return "\n\n".join(parts)
+
+    def csv(self) -> str:
+        return waterfall_csv(self.reports)
+
+
+class ObserveExperiment(Experiment):
+    """The observability grid: cross-layer prioritization off vs on."""
+
+    name = "observe"
+    defaults = {"rps": 30.0}
+
+    def points(self) -> list[Point]:
+        grid = []
+        for tag, enabled in (("off", False), ("on", True)):
+            grid.append(
+                Point(
+                    label=tag,
+                    fn=measure_observed,
+                    config=replace(self.base, cross_layer=enabled, policy=None),
+                )
+            )
+        return grid
+
+    def collect(self, measurements) -> ObserveResult:
+        result = ObserveResult()
+        for tag in ("off", "on"):
+            measurement = measurements[tag]
+            result.reports[tag] = measurement.extra.get("attribution", {})
+            result.exemplars[tag] = measurement.extra.get("exemplars", {})
+            result.critical_paths[tag] = measurement.extra.get(
+                "critical_path", []
+            )
+            result.digests[tag] = measurement.extra.get("obs_digest", "")
+        return result
+
+
+def run_observe(
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
+    **overrides,
+) -> ObserveResult:
+    """Run the per-layer attribution harness (X-5)."""
+    return ObserveExperiment(base_config, **overrides).run(runner)

@@ -50,6 +50,12 @@ class MeshConfig:
     mux_chunk_bytes: int = 16_000
     # Control plane push latency (config distribution, Fig. 1).
     config_push_delay: float = 0.050
+    # Cap on the telemetry per-request record list (None = unbounded,
+    # the historical behavior). With a cap, Telemetry.records becomes a
+    # ring buffer and distribution queries fall back to the streaming
+    # histograms once truncation starts — the bounded-memory posture
+    # long "millions of users" sweeps need.
+    telemetry_max_records: int | None = None
 
     def __post_init__(self):
         if self.proxy_delay_median <= 0 or self.proxy_delay_p99 <= self.proxy_delay_median:

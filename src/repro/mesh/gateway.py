@@ -13,6 +13,9 @@ from ..http.message import HttpRequest
 from ..sim import Simulator
 from .sidecar import Sidecar
 
+#: x-workload header value → the request class attribution reports use.
+_WORKLOAD_CLASSES = {"interactive": "LS", "batch": "LI"}
+
 
 class IngressGateway:
     """Mesh entry point bound to one upstream (front-end) service."""
@@ -37,7 +40,25 @@ class IngressGateway:
             request.headers[TRACE_ID] = self.sidecar.tracer.ids.trace_id()
         self.sidecar.policy.classify_ingress(request)
         self.requests_admitted += 1
-        event = self.sidecar.request(request, timeout=timeout)
+        attributor = self.sidecar.telemetry.attributor
+        if attributor is not None:
+            # The gateway brackets the end-to-end window: open the root
+            # here, close it when the response event fires. Everything
+            # any layer reports in between lands in this window.
+            workload = request.headers.get("x-workload")
+            request_class = _WORKLOAD_CLASSES.get(workload, workload or "default")
+            root = request.headers[REQUEST_ID]
+            attributor.start_request(root, request_class, self.sim.now)
+            event = self.sidecar.request(request, timeout=timeout)
+            event.callbacks.append(
+                lambda ev: attributor.finish_request(
+                    root,
+                    self.sim.now,
+                    status=ev.value.status if ev.ok else 504,
+                )
+            )
+        else:
+            event = self.sidecar.request(request, timeout=timeout)
         event.callbacks.append(
             lambda ev: self.sidecar.policy.observe_response(request, ev.value)
             if ev.ok

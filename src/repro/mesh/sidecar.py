@@ -25,6 +25,7 @@ from ..cluster.pod import Pod
 from ..cluster.service import Endpoint
 from ..http.headers import PRIORITY, REQUEST_ID, SPAN_ID, TRACE_ID, propagate
 from ..http.message import HttpRequest, HttpResponse, HttpStatus
+from ..obs.attribution import LAYER_PROXY, LAYER_RETRY
 from ..sim import Interrupt, PriorityStore, Simulator
 from ..sim.rng import Distributions, lognormal_params_from_quantiles
 from ..transport.connection import ConnectionEnd
@@ -99,6 +100,25 @@ class Sidecar:
         self.pool_connections_created = 0
 
     # ------------------------------------------------------------------
+    # Layer attribution (repro.obs)
+    # ------------------------------------------------------------------
+    def _note(self, request, layer: str, start: float, end: float) -> None:
+        """Report a layer interval for the request's root id to the
+        attributor, when one is installed (no-op otherwise)."""
+        attributor = self.telemetry.attributor
+        if attributor is None or request is None:
+            return
+        attributor.record(request.headers.get(REQUEST_ID), layer, start, end)
+
+    def _traverse(self, request):
+        """One proxy traversal: draws the lognormal §3.6 delay,
+        attributes it to the proxy layer, and returns the timeout to
+        yield on."""
+        delay = self._proxy_delay()
+        self._note(request, LAYER_PROXY, self.sim.now, self.sim.now + delay)
+        return self.sim.timeout(delay)
+
+    # ------------------------------------------------------------------
     # Control-plane interface
     # ------------------------------------------------------------------
     def update_endpoints(self, service: str, endpoints: list[Endpoint]) -> None:
@@ -170,7 +190,7 @@ class Sidecar:
         reply = self._plain_replier(conn)
         while True:
             request, _size = yield conn.receive()
-            yield self.sim.timeout(self._proxy_delay())  # inbound traversal
+            yield self._traverse(request)  # inbound traversal
             if not (yield from self._admit(request, reply)):
                 continue
             if self._inbound_queue is None:
@@ -207,7 +227,7 @@ class Sidecar:
             )
 
     def _serve_mux_request(self, request: HttpRequest, reply):
-        yield self.sim.timeout(self._proxy_delay())  # inbound traversal
+        yield self._traverse(request)  # inbound traversal
         if not (yield from self._admit(request, reply)):
             return
         if self._inbound_queue is None:
@@ -255,7 +275,7 @@ class Sidecar:
                 response = yield from self._app_handler(request)
             except Exception:
                 response = request.reply(HttpStatus.INTERNAL_ERROR)
-        yield self.sim.timeout(self._proxy_delay())  # response traversal
+        yield self._traverse(request)  # response traversal
         span.finish(self.sim.now, status=response.status)
         self.tracer.record(span)
         reply(response)
@@ -315,6 +335,9 @@ class Sidecar:
         if fault is not None:
             delay = fault.sample_delay(self._dist.rng)
             if delay > 0:
+                self._note(
+                    request, LAYER_RETRY, self.sim.now, self.sim.now + delay
+                )
                 yield self.sim.timeout(delay)
             aborted = fault.sample_abort(self._dist.rng)
 
@@ -376,7 +399,11 @@ class Sidecar:
             except NoHealthyUpstream:
                 response = request.reply(HttpStatus.SERVICE_UNAVAILABLE)
                 if policy.should_retry(attempt, response.status):
-                    yield self.sim.timeout(policy.backoff(attempt, self._dist.rng))
+                    backoff = policy.backoff(attempt, self._dist.rng)
+                    self._note(
+                        request, LAYER_RETRY, self.sim.now, self.sim.now + backoff
+                    )
+                    yield self.sim.timeout(backoff)
                     continue
                 return response, attempt - 1, None
             outcome = yield from self._try_once(request, endpoint, per_try)
@@ -388,7 +415,9 @@ class Sidecar:
                 response = outcome
             if not policy.should_retry(attempt, status):
                 break
-            yield self.sim.timeout(policy.backoff(attempt, self._dist.rng))
+            backoff = policy.backoff(attempt, self._dist.rng)
+            self._note(request, LAYER_RETRY, self.sim.now, self.sim.now + backoff)
+            yield self.sim.timeout(backoff)
         if response is None:
             response = request.reply(HttpStatus.GATEWAY_TIMEOUT)
         return response, attempt - 1, endpoint
@@ -403,12 +432,16 @@ class Sidecar:
                 name=f"{self.name}-try0",
             )
         ]
+        hedge_wait_start = self.sim.now
         timer = self.sim.timeout(hedge.delay)
         yield self.sim.any_of([tries[0], timer])
         if tries[0].processed:
             response, endpoint = tries[0].value
             if response is not None and not response.retryable:
                 return response, 0, endpoint
+        # The primary try did not win within the hedge delay: the time
+        # spent holding back the duplicate is hedge wait (§3.4).
+        self._note(request, LAYER_RETRY, hedge_wait_start, self.sim.now)
         for index in range(hedge.max_hedges):
             self.hedges_issued += 1
             tries.append(
@@ -552,16 +585,24 @@ class Sidecar:
         lb.on_request_start(endpoint)
         started = self.sim.now
         try:
-            conn = yield from self._acquire_connection(endpoint, params, per_try)
+            conn = yield from self._acquire_connection(
+                endpoint, params, per_try, request=request
+            )
         except (ConnectionError, TimeoutError):
             lb.on_request_end(endpoint, self.sim.now - started, ok=False)
             return None
         except Interrupt:
             lb.on_request_end(endpoint, self.sim.now - started, ok=False)
             raise
+        # Map the connection's flow to this request so qdisc waits on
+        # its packets (both directions) attribute to the right root.
+        attributor = self.telemetry.attributor
+        root = request.headers.get(REQUEST_ID)
+        if attributor is not None:
+            attributor.claim_flow(conn.flow_id, root)
         get = None
         try:
-            yield self.sim.timeout(self._proxy_delay())  # outbound traversal
+            yield self._traverse(request)  # outbound traversal
             conn.send(
                 request, request.wire_size() + self.config.mtls.message_overhead()
             )
@@ -570,7 +611,7 @@ class Sidecar:
             yield self.sim.any_of([get, timer])
             if get.processed and get.ok:
                 response, _size = get.value
-                yield self.sim.timeout(self._proxy_delay())  # response traversal
+                yield self._traverse(request)  # response traversal
                 self._release_connection(endpoint, params, conn)
                 lb.on_request_end(endpoint, self.sim.now - started, ok=True)
                 return response
@@ -583,6 +624,9 @@ class Sidecar:
             self.pod.stack.drop_flow(conn.flow_id)
             lb.on_request_end(endpoint, self.sim.now - started, ok=False)
             raise
+        finally:
+            if attributor is not None:
+                attributor.release_flow(conn.flow_id, root)
         # Timed out: the connection has an orphaned in-flight exchange.
         conn.inbox.cancel(get)
         conn.close()
@@ -619,9 +663,16 @@ class Sidecar:
                 self.sim, conn, chunk_bytes=self.config.mux_chunk_bytes
             )
             self._mux_channels[key] = channel
+        # Mux streams share one flow: the last claimant wins, which is
+        # an approximation but keeps queue wait attributed to a live
+        # root rather than dropped on the floor.
+        attributor = self.telemetry.attributor
+        root = request.headers.get(REQUEST_ID)
+        if attributor is not None:
+            attributor.claim_flow(channel.conn.flow_id, root)
         event = None
         try:
-            yield self.sim.timeout(self._proxy_delay())  # outbound traversal
+            yield self._traverse(request)  # outbound traversal
             priority = self.policy.request_priority(request)
             event = channel.request(
                 request,
@@ -632,7 +683,7 @@ class Sidecar:
             yield self.sim.any_of([event, timer])
             if event.processed and event.ok:
                 response = event.value
-                yield self.sim.timeout(self._proxy_delay())  # response traversal
+                yield self._traverse(request)  # response traversal
                 lb.on_request_end(endpoint, self.sim.now - started, ok=True)
                 return response
         except Interrupt:
@@ -642,6 +693,9 @@ class Sidecar:
                 channel.abandon(request)
             lb.on_request_end(endpoint, self.sim.now - started, ok=False)
             raise
+        finally:
+            if attributor is not None:
+                attributor.release_flow(channel.conn.flow_id, root)
         channel.abandon(request)
         lb.on_request_end(endpoint, self.sim.now - started, ok=False)
         self.telemetry.record_timeout()
@@ -651,17 +705,21 @@ class Sidecar:
     def _pool_key(self, endpoint: Endpoint, params: TransportParams) -> tuple:
         return (endpoint.ip, endpoint.port, params.tos, params.cc_name)
 
-    def _acquire_connection(self, endpoint, params, budget: float):
+    def _acquire_connection(self, endpoint, params, budget: float, request=None):
         key = self._pool_key(endpoint, params)
         pool = self._pools.setdefault(key, [])
         while pool:
             conn = pool.pop()
             if not conn.closed:
                 return conn
-        conn = yield from self._open_connection(endpoint, params, budget)
+        conn = yield from self._open_connection(
+            endpoint, params, budget, request=request
+        )
         return conn
 
-    def _open_connection(self, endpoint, params, budget: float, alpn: str = "message"):
+    def _open_connection(
+        self, endpoint, params, budget: float, alpn: str = "message", request=None
+    ):
         conn = self.pod.stack.connect(
             endpoint.ip,
             MESH_PORT,
@@ -691,8 +749,16 @@ class Sidecar:
                 self.config.mtls.handshake_rtts * tcp_rtt
                 + 2 * self.config.mtls.handshake_cpu
             )
+            # mTLS setup is sidecar work the app never asked for: proxy.
+            self._note(request, LAYER_PROXY, self.sim.now, self.sim.now + tls_cost)
             yield self.sim.timeout(tls_cost)
         if self.config.connect_extra_delay > 0:
+            self._note(
+                request,
+                LAYER_PROXY,
+                self.sim.now,
+                self.sim.now + self.config.connect_extra_delay,
+            )
             yield self.sim.timeout(self.config.connect_extra_delay)
         return conn
 

@@ -4,14 +4,29 @@ collection function).
 Metrics are grouped by (source service, destination service) pair plus a
 free-form label set, which is how the experiments slice latency by
 priority class.
+
+Since the observability plane landed, the aggregate counters and latency
+distributions live in a :class:`repro.obs.MetricsRegistry` — bounded
+memory, mergeable across worker processes — while the per-request
+``records`` list is kept (behind the same public API) for queries that
+need exact samples or per-record fields.  ``max_records`` opts into a
+ring buffer for long sweeps: once it truncates, distribution queries
+transparently fall back to the registry histograms, which saw every
+request.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+import warnings
+from collections import defaultdict, deque
+from dataclasses import dataclass
 
+from ..obs.metrics import MetricsRegistry, summary_from_histograms
 from ..util.stats import LatencySummary, summarize
+
+#: Bucket resolution for the mesh latency histograms: 0.9 % relative
+#: width, well under experiment noise, at a few hundred buckets/decade.
+_LATENCY_BINS_PER_DECADE = 1000
 
 
 @dataclass
@@ -31,43 +46,95 @@ class RequestRecord:
 class Telemetry:
     """Aggregates request records mesh-wide."""
 
-    def __init__(self):
-        self.records: list[RequestRecord] = []
-        self._counts = defaultdict(int)
-        self._errors = defaultdict(int)
+    def __init__(
+        self,
+        max_records: int | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1 (or None for unbounded)")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_records = max_records
+        self.records = (
+            deque(maxlen=max_records) if max_records is not None else []
+        )
+        self._truncation_warned = False
         self.retries_total = 0
         self.timeouts_total = 0
         self.circuit_breaker_rejections = 0
+        #: Optional :class:`repro.obs.LayerAttributor`; when installed
+        #: (by the observability plane) sidecars report per-layer
+        #: intervals through it.
+        self.attributor = None
+
+    @property
+    def truncated(self) -> bool:
+        """True once the ring buffer has evicted at least one record."""
+        return (
+            self.max_records is not None
+            and len(self.records) == self.max_records
+            and self.registry.counter_total("mesh_requests_total")
+            > self.max_records
+        )
 
     def record_request(self, record: RequestRecord) -> None:
+        if (
+            self.max_records is not None
+            and len(self.records) == self.max_records
+            and not self._truncation_warned
+        ):
+            self._truncation_warned = True
+            warnings.warn(
+                f"Telemetry.records hit max_records={self.max_records}; "
+                "oldest records are being evicted. Distribution queries "
+                "now answer from the streaming histograms (which saw "
+                "every request); per-record queries see only the most "
+                "recent window.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.records.append(record)
-        key = (record.source, record.destination)
-        self._counts[key] += 1
+        self.registry.counter(
+            "mesh_requests_total",
+            source=record.source,
+            destination=record.destination,
+        ).inc()
         if record.status >= 500:
-            self._errors[key] += 1
-        self.retries_total += record.retries
+            self.registry.counter(
+                "mesh_errors_total",
+                source=record.source,
+                destination=record.destination,
+            ).inc()
+        self.registry.histogram(
+            "mesh_request_latency_seconds",
+            bins_per_decade=_LATENCY_BINS_PER_DECADE,
+            destination=record.destination,
+            priority=str(record.priority),
+        ).record(record.latency)
+        if record.retries:
+            self.retries_total += record.retries
+            self.registry.counter("mesh_retries_total").inc(record.retries)
 
     def record_timeout(self) -> None:
         self.timeouts_total += 1
+        self.registry.counter("mesh_timeouts_total").inc()
 
     def record_breaker_rejection(self) -> None:
         self.circuit_breaker_rejections += 1
+        self.registry.counter("mesh_breaker_rejections_total").inc()
 
     # -- queries ----------------------------------------------------------
     def request_count(self, source: str | None = None, destination: str | None = None) -> int:
-        return sum(
-            count
-            for (src, dst), count in self._counts.items()
-            if (source is None or src == source)
-            and (destination is None or dst == destination)
-        )
+        match = {}
+        if source is not None:
+            match["source"] = source
+        if destination is not None:
+            match["destination"] = destination
+        return int(self.registry.counter_total("mesh_requests_total", **match))
 
     def error_count(self, destination: str | None = None) -> int:
-        return sum(
-            count
-            for (_src, dst), count in self._errors.items()
-            if destination is None or dst == destination
-        )
+        match = {} if destination is None else {"destination": destination}
+        return int(self.registry.counter_total("mesh_errors_total", **match))
 
     def latencies(
         self,
@@ -86,6 +153,20 @@ class Telemetry:
     def latency_summary(
         self, destination: str | None = None, priority: str | None = None
     ) -> LatencySummary:
+        if self.truncated:
+            # The ring buffer no longer holds every sample; answer from
+            # the histograms instead (bounded-error quantiles over the
+            # complete stream).
+            match = {}
+            if destination is not None:
+                match["destination"] = destination
+            if priority is not None:
+                match["priority"] = str(priority)
+            return summary_from_histograms(
+                self.registry.histograms_matching(
+                    "mesh_request_latency_seconds", **match
+                )
+            )
         samples = self.latencies(destination=destination, priority=priority)
         return summarize(samples)
 

@@ -40,6 +40,10 @@ class Interface:
         self.link: Link | None = None
         self._transmitting = False
         self._retry_scheduled_at = float("inf")
+        #: Optional hook called as ``observer(packet, now)`` when a packet
+        #: leaves the egress queue — the observability plane attributes
+        #: the packet's qdisc wait to the request its flow serves.
+        self.queue_observer = None
         # Telemetry.
         self.bytes_transmitted = 0
         self.packets_transmitted = 0
@@ -112,6 +116,8 @@ class Interface:
                     self._retry_scheduled_at = retry_at
                     self.sim.call_at(retry_at, self._retry)
             return
+        if self.queue_observer is not None:
+            self.queue_observer(packet, now)
         self._transmitting = True
         tx_time = packet.size * 8.0 / self.rate_bps
         self.busy_time += tx_time

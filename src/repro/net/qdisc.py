@@ -46,7 +46,10 @@ def classify_by_dst(high_priority_dsts: set) -> Classifier:
 class QdiscStats:
     """Counters every qdisc maintains."""
 
-    __slots__ = ("enqueued", "dequeued", "dropped", "bytes_sent", "bytes_dropped")
+    __slots__ = (
+        "enqueued", "dequeued", "dropped", "bytes_sent", "bytes_dropped",
+        "queue_wait_seconds",
+    )
 
     def __init__(self):
         self.enqueued = 0
@@ -54,6 +57,7 @@ class QdiscStats:
         self.dropped = 0
         self.bytes_sent = 0
         self.bytes_dropped = 0
+        self.queue_wait_seconds = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -62,6 +66,7 @@ class QdiscStats:
             "dropped": self.dropped,
             "bytes_sent": self.bytes_sent,
             "bytes_dropped": self.bytes_dropped,
+            "queue_wait_seconds": self.queue_wait_seconds,
         }
 
 
@@ -102,9 +107,13 @@ class Qdisc:
         self.stats.dropped += 1
         self.stats.bytes_dropped += packet.size
 
-    def _record_dequeue(self, packet: Packet) -> None:
+    def _record_dequeue(self, packet: Packet, now: float | None = None) -> None:
         self.stats.dequeued += 1
         self.stats.bytes_sent += packet.size
+        if now is not None:
+            enqueued = getattr(packet, "enqueued_at", None)
+            if enqueued is not None and now > enqueued:
+                self.stats.queue_wait_seconds += now - enqueued
 
 
 class FifoQdisc(Qdisc):
@@ -158,7 +167,7 @@ class FifoQdisc(Qdisc):
             return None
         packet = self._queue.popleft()
         self._backlog -= packet.size
-        self._record_dequeue(packet)
+        self._record_dequeue(packet, now)
         return packet
 
     def next_ready_time(self, now: float) -> float:
@@ -215,7 +224,7 @@ class PrioQdisc(Qdisc):
         for queue in self._queues:
             packet = queue.dequeue(now)
             if packet is not None:
-                self._record_dequeue(packet)
+                self._record_dequeue(packet, now)
                 return packet
         return None
 
@@ -289,11 +298,11 @@ class WeightedPrioQdisc(Qdisc):
         # Work conservation: only one band backlogged -> serve it fully.
         if high_pending and not low_pending:
             packet = self._high.dequeue(now)
-            self._record_dequeue(packet)
+            self._record_dequeue(packet, now)
             return packet
         if low_pending and not high_pending:
             packet = self._low.dequeue(now)
-            self._record_dequeue(packet)
+            self._record_dequeue(packet, now)
             return packet
         # Both backlogged: deficit round robin with priority to the high
         # band whenever it has allowance.
@@ -302,13 +311,13 @@ class WeightedPrioQdisc(Qdisc):
             if self._high_deficit >= head_high.size:
                 self._high_deficit -= head_high.size
                 packet = self._high.dequeue(now)
-                self._record_dequeue(packet)
+                self._record_dequeue(packet, now)
                 return packet
             head_low = self._low._queue[0]
             if self._low_deficit >= head_low.size:
                 self._low_deficit -= head_low.size
                 packet = self._low.dequeue(now)
-                self._record_dequeue(packet)
+                self._record_dequeue(packet, now)
                 return packet
             # Neither band has allowance: replenish both quanta.
             self._high_deficit += self._high_quantum
@@ -387,7 +396,7 @@ class DRRQdisc(Qdisc):
                 if self._deficits[index] >= head.size:
                     self._deficits[index] -= head.size
                     packet = queue.dequeue(now)
-                    self._record_dequeue(packet)
+                    self._record_dequeue(packet, now)
                     if not len(queue):
                         # Classic DRR: an emptied class forfeits its deficit.
                         self._deficits[index] = 0
@@ -453,7 +462,7 @@ class LossyQdisc(Qdisc):
     def dequeue(self, now: float) -> Optional[Packet]:
         packet = self.child.dequeue(now)
         if packet is not None:
-            self._record_dequeue(packet)
+            self._record_dequeue(packet, now)
         return packet
 
     def next_ready_time(self, now: float) -> float:
@@ -522,7 +531,7 @@ class TokenBucketQdisc(Qdisc):
             return None
         self._tokens -= head.size
         packet = self.child.dequeue(now)
-        self._record_dequeue(packet)
+        self._record_dequeue(packet, now)
         return packet
 
     def next_ready_time(self, now: float) -> float:

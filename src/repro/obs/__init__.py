@@ -1,0 +1,77 @@
+"""repro.obs — the mesh-native observability plane.
+
+The paper's first claim for the mesh layer (§3) is *visibility*: the
+sidecar sees every request, so the mesh can answer "where does each
+millisecond go?" without touching application code.  This package is
+the repo's single sink for measurement:
+
+* :mod:`metrics` — bounded-memory streaming metrics: counters, gauges,
+  and log-linear HDR-style histograms.  Everything is exactly mergeable
+  across processes, so the parallel Runner can reduce shard results
+  deterministically.
+* :mod:`spans` — ingests :mod:`repro.mesh.tracing` spans and computes
+  the critical path of each request's call tree.
+* :mod:`attribution` — per-layer latency attribution: decomposes every
+  request into app service time, sidecar proxy overhead, retry/hedge
+  wait, transport/CC time, and link queueing.
+* :mod:`export` — JSON/CSV exporters plus a flame-style text waterfall.
+* :mod:`plane` — :class:`ObservabilityPlane`, the wiring that installs
+  all of the above onto a built scenario.
+"""
+
+from .attribution import (
+    LAYER_APP,
+    LAYER_PROXY,
+    LAYER_QUEUE,
+    LAYER_RETRY,
+    LAYER_TRANSPORT,
+    LAYERS,
+    LayerAttributor,
+    RequestAttribution,
+    decompose,
+)
+from .export import (
+    HistogramRecorder,
+    snapshot_csv,
+    snapshot_json,
+    waterfall_csv,
+    waterfall_text,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    LogLinearHistogram,
+    MetricsRegistry,
+    merge_snapshots,
+    snapshot_digest,
+    summary_from_histograms,
+)
+from .plane import ObservabilityPlane
+from .spans import CriticalPathStep, SpanCollector
+
+__all__ = [
+    "LAYERS",
+    "LAYER_APP",
+    "LAYER_PROXY",
+    "LAYER_QUEUE",
+    "LAYER_RETRY",
+    "LAYER_TRANSPORT",
+    "Counter",
+    "CriticalPathStep",
+    "Gauge",
+    "HistogramRecorder",
+    "LayerAttributor",
+    "LogLinearHistogram",
+    "MetricsRegistry",
+    "ObservabilityPlane",
+    "RequestAttribution",
+    "SpanCollector",
+    "decompose",
+    "merge_snapshots",
+    "snapshot_csv",
+    "snapshot_digest",
+    "snapshot_json",
+    "summary_from_histograms",
+    "waterfall_csv",
+    "waterfall_text",
+]

@@ -1,0 +1,204 @@
+"""Exporters: JSON/CSV snapshots, flame-style text waterfalls, and a
+bounded-memory drop-in for the workload ``LatencyRecorder``."""
+
+from __future__ import annotations
+
+import json
+
+from ..util.stats import LatencySummary
+from .attribution import LAYERS
+from .metrics import LogLinearHistogram, MetricsRegistry, summary_from_histograms
+
+#: One glyph per layer in waterfall bars (legend printed alongside).
+LAYER_GLYPHS = {
+    "app": "A",
+    "proxy": "P",
+    "retry": "R",
+    "transport": "T",
+    "queue": "Q",
+}
+
+
+def snapshot_json(snapshot: dict, indent: int = 2) -> str:
+    """A registry snapshot as canonical (sorted-key) JSON."""
+    return json.dumps(snapshot, sort_keys=True, indent=indent)
+
+
+def snapshot_csv(snapshot: dict) -> str:
+    """Flatten a registry snapshot to ``kind,metric,field,value`` rows —
+    counters and gauges verbatim, histograms as summary statistics."""
+    lines = ["kind,metric,field,value"]
+
+    def esc(text: str) -> str:
+        return f'"{text}"' if "," in text else text
+
+    for key in sorted(snapshot.get("counters", {})):
+        lines.append(f"counter,{esc(key)},value,{snapshot['counters'][key]:g}")
+    for key in sorted(snapshot.get("gauges", {})):
+        gauge = snapshot["gauges"][key]
+        lines.append(f"gauge,{esc(key)},value,{gauge['value']:g}")
+        lines.append(f"gauge,{esc(key)},max,{gauge['max']:g}")
+    for key in sorted(snapshot.get("histograms", {})):
+        hist = LogLinearHistogram.from_dict(snapshot["histograms"][key])
+        for stat, value in (
+            ("count", float(hist.count)),
+            ("mean", hist.mean),
+            ("p50", hist.quantile(50.0)),
+            ("p99", hist.quantile(99.0)),
+        ):
+            lines.append(f"histogram,{esc(key)},{stat},{value:g}")
+    return "\n".join(lines) + "\n"
+
+
+def _bar(fraction: float, width: int) -> int:
+    """Cells for a component occupying ``fraction`` of the window:
+    zero stays zero, anything positive gets at least one cell."""
+    if fraction <= 0.0:
+        return 0
+    return max(1, round(fraction * width))
+
+
+def waterfall_text(
+    class_report: dict[str, dict], title: str = "", width: int = 44
+) -> str:
+    """Flame-style per-class waterfall from a
+    :meth:`LayerAttributor.class_report` dict: one bar per class, each
+    layer's mean share drawn proportionally with its glyph."""
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{LAYER_GLYPHS[layer]}={layer}" for layer in LAYERS)
+    lines.append(f"legend: {legend}")
+    label_width = max([len(c) for c in class_report] + [5])
+    for request_class, row in class_report.items():
+        e2e = row["e2e_mean"]
+        bar = ""
+        for layer in LAYERS:
+            share = row["layer_means"][layer] / e2e if e2e > 0 else 0.0
+            bar += LAYER_GLYPHS[layer] * _bar(share, width)
+        lines.append(
+            f"{request_class:<{label_width}} |{bar:<{width}.{width + 8}s}| "
+            f"{e2e * 1e3:8.2f} ms  (n={row['count']})"
+        )
+    return "\n".join(lines)
+
+
+def request_waterfall_text(attribution, width: int = 60) -> str:
+    """One request's timeline: its disjoint layer segments drawn to
+    scale, plus a per-segment listing — the 'flame' view of a single
+    end-to-end request."""
+    lines = [
+        f"request {attribution.root} [{attribution.request_class}] "
+        f"{attribution.elapsed * 1e3:.2f} ms"
+    ]
+    elapsed = attribution.elapsed
+    if elapsed <= 0 or not attribution.segments:
+        return lines[0]
+    bar = ""
+    for layer, t0, t1 in attribution.segments:
+        bar += LAYER_GLYPHS[layer] * _bar((t1 - t0) / elapsed, width)
+    lines.append(f"  |{bar}|")
+    for layer, t0, t1 in attribution.segments:
+        rel0 = (t0 - attribution.start) * 1e3
+        rel1 = (t1 - attribution.start) * 1e3
+        lines.append(
+            f"  {rel0:9.3f} - {rel1:9.3f} ms  {layer:<9} "
+            f"({(t1 - t0) * 1e3:8.3f} ms)"
+        )
+    return "\n".join(lines)
+
+
+def waterfall_csv(reports: dict[str, dict[str, dict]]) -> str:
+    """CSV of per-layer attribution across configurations.
+
+    ``reports`` maps a configuration tag (e.g. ``off``/``on``) to a
+    :meth:`LayerAttributor.class_report` dict.  Rows carry each layer's
+    mean seconds and share of the end-to-end mean, plus an ``e2e``
+    summary row per (config, class).
+    """
+    lines = ["config,class,layer,mean_s,share,count"]
+    for tag in sorted(reports):
+        for request_class, row in sorted(reports[tag].items()):
+            e2e = row["e2e_mean"]
+            lines.append(
+                f"{tag},{request_class},e2e,{e2e:.9f},1.0,{row['count']}"
+            )
+            for layer in LAYERS:
+                mean = row["layer_means"][layer]
+                share = mean / e2e if e2e > 0 else 0.0
+                lines.append(
+                    f"{tag},{request_class},{layer},{mean:.9f},"
+                    f"{share:.6f},{row['count']}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+class HistogramRecorder:
+    """Registry-backed, bounded-memory stand-in for
+    :class:`repro.workload.LatencyRecorder`.
+
+    Samples stream straight into per-workload histograms instead of a
+    Python list; the steady-state window must therefore be known up
+    front (samples outside it are counted but not folded into the
+    latency histogram).  With the default 2000 bins per decade the
+    bucket width is 0.45 %, well inside experiment noise.
+    """
+
+    def __init__(
+        self,
+        window: tuple[float, float] | None = None,
+        registry: MetricsRegistry | None = None,
+        bins_per_decade: int = 2000,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.window = window
+        self.bins_per_decade = bins_per_decade
+
+    def record(
+        self, workload: str, sent_at: float, latency: float, status: int
+    ) -> None:
+        ok = 200 <= status < 300
+        self.registry.counter(
+            "workload_requests_total",
+            workload=workload,
+            outcome="ok" if ok else "error",
+        ).inc()
+        if self.window is not None:
+            start, end = self.window
+            if not (start <= sent_at < end):
+                return
+        if ok:
+            self.registry.histogram(
+                "workload_latency_seconds",
+                bins_per_decade=self.bins_per_decade,
+                workload=workload,
+            ).record(latency)
+
+    def summary(
+        self,
+        workload: str | None = None,
+        window: tuple[float, float] | None = None,
+    ) -> LatencySummary:
+        if window is not None and window != self.window:
+            raise ValueError(
+                "HistogramRecorder windows samples at record time; "
+                f"constructed with {self.window}, queried with {window}"
+            )
+        match = {} if workload is None else {"workload": workload}
+        return summary_from_histograms(
+            self.registry.histograms_matching("workload_latency_seconds", **match)
+        )
+
+    def error_rate(self, workload: str | None = None) -> float:
+        match = {} if workload is None else {"workload": workload}
+        ok = self.registry.counter_total(
+            "workload_requests_total", outcome="ok", **match
+        )
+        errors = self.registry.counter_total(
+            "workload_requests_total", outcome="error", **match
+        )
+        total = ok + errors
+        return errors / total if total else 0.0
+
+    def __len__(self) -> int:
+        return int(self.registry.counter_total("workload_requests_total"))

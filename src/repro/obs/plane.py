@@ -1,0 +1,77 @@
+"""The observability plane: wiring that turns a built scenario into a
+fully instrumented one.
+
+``install`` hooks the plane into every layer *before* traffic starts:
+
+* the mesh telemetry adopts the plane's registry (single sink) and the
+  plane's :class:`LayerAttributor`, so sidecars report layer intervals;
+* every network interface gets a dequeue observer, attributing qdisc
+  wait to the request each packet's flow currently serves;
+* the cluster's shared transport config gets ``metrics``, streaming RTT
+  samples and retransmit/RTO/ECN counters from every connection.
+
+``harvest`` runs after the simulation: it folds the per-interface and
+per-qdisc counters into the registry and ingests the tracer's spans
+into the :class:`SpanCollector`.
+"""
+
+from __future__ import annotations
+
+from .attribution import LayerAttributor
+from .metrics import MetricsRegistry
+from .spans import SpanCollector
+
+
+class ObservabilityPlane:
+    """One scenario's measurement hub: registry + attributor + spans."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.attributor = LayerAttributor()
+        self.spans = SpanCollector(self.registry)
+        self.installed = False
+
+    def install(self, mesh=None, cluster=None, network=None) -> "ObservabilityPlane":
+        """Hook into a built (but not yet running) scenario.
+
+        Any argument may be None to skip that layer (unit tests exercise
+        single layers).  ``network`` defaults to ``cluster.network``.
+        """
+        if mesh is not None:
+            # The telemetry's registry is empty until traffic flows, so
+            # adopting ours here loses nothing and makes every sidecar
+            # counter land in the plane's single sink.
+            mesh.telemetry.registry = self.registry
+            mesh.telemetry.attributor = self.attributor
+        if cluster is not None:
+            if network is None:
+                network = cluster.network
+            if cluster.transport_config is not None:
+                cluster.transport_config.metrics = self.registry
+        if network is not None:
+            for name in sorted(network.devices):
+                for interface in network.devices[name].interfaces:
+                    interface.queue_observer = self.attributor.observe_queue_wait
+        self.installed = True
+        return self
+
+    def harvest(self, mesh=None, network=None) -> None:
+        """Post-run sweep: interface/qdisc counters and trace ingestion."""
+        if network is not None:
+            for name in sorted(network.devices):
+                for interface in network.devices[name].interfaces:
+                    self.registry.counter(
+                        "interface_bytes_transmitted_total", iface=interface.name
+                    ).inc(interface.bytes_transmitted)
+                    self.registry.counter(
+                        "interface_packets_transmitted_total", iface=interface.name
+                    ).inc(interface.packets_transmitted)
+                    stats = interface.qdisc.stats
+                    self.registry.counter(
+                        "qdisc_dropped_total", iface=interface.name
+                    ).inc(stats.dropped)
+                    self.registry.counter(
+                        "qdisc_queue_wait_seconds_total", iface=interface.name
+                    ).inc(stats.queue_wait_seconds)
+        if mesh is not None:
+            self.spans.ingest(mesh.tracer)

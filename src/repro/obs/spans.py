@@ -1,0 +1,91 @@
+"""Span collection: critical paths out of the mesh's distributed traces.
+
+The tracer already assembles per-request call trees; this module turns
+them into the answer the paper's visibility claim promises — *which
+services* the end-to-end latency is made of.  For every trace we walk
+:meth:`repro.mesh.tracing.Trace.critical_path` (the chain of
+latest-ending children) and charge each on-path span its *exclusive*
+time: its own duration minus the duration of its on-path child, i.e.
+the time the request spent at that hop rather than below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class CriticalPathStep:
+    """One hop on a trace's critical path."""
+
+    service: str
+    operation: str
+    duration: float
+    exclusive: float
+
+
+class SpanCollector:
+    """Ingests traces and aggregates critical-path exclusive time.
+
+    Feeds two sinks: an in-object per-service aggregate (for reports)
+    and, when a registry is supplied, the
+    ``critical_path_exclusive_seconds{service=...}`` histogram family.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry
+        self.traces_seen = 0
+        self.spans_seen = 0
+        self._per_service: dict[str, list] = {}
+
+    def ingest_trace(self, trace) -> list[CriticalPathStep]:
+        """Compute one trace's critical path and fold it into the
+        aggregates; returns the path for inspection."""
+        path = [s for s in trace.critical_path() if s.duration is not None]
+        steps: list[CriticalPathStep] = []
+        for index, span in enumerate(path):
+            child_duration = (
+                path[index + 1].duration if index + 1 < len(path) else 0.0
+            )
+            exclusive = max(span.duration - child_duration, 0.0)
+            steps.append(
+                CriticalPathStep(
+                    service=span.service,
+                    operation=span.operation,
+                    duration=span.duration,
+                    exclusive=exclusive,
+                )
+            )
+        self.traces_seen += 1
+        self.spans_seen += len(trace.spans)
+        for step in steps:
+            entry = self._per_service.setdefault(step.service, [0, 0.0])
+            entry[0] += 1
+            entry[1] += step.exclusive
+            if self.registry is not None:
+                self.registry.histogram(
+                    "critical_path_exclusive_seconds", service=step.service
+                ).record(step.exclusive)
+        return steps
+
+    def ingest(self, tracer) -> int:
+        """Ingest every trace the tracer holds (sorted by trace id so
+        the aggregation order — and any float accumulation — is
+        deterministic); returns the number of traces ingested."""
+        count = 0
+        for trace in sorted(tracer.traces, key=lambda t: t.trace_id):
+            self.ingest_trace(trace)
+            count += 1
+        return count
+
+    def service_rows(self) -> list[tuple[str, int, float, float]]:
+        """Per-service ``(service, appearances, total_exclusive, mean)``
+        sorted by total exclusive time (descending, name tiebreak)."""
+        rows = [
+            (service, count, total, total / count if count else 0.0)
+            for service, (count, total) in self._per_service.items()
+        ]
+        rows.sort(key=lambda r: (-r[2], r[0]))
+        return rows

@@ -36,6 +36,11 @@ class TransportConfig:
     dupack_threshold: int = 3
     receive_buffer_messages: int | None = None
     ecn_enabled: bool = True
+    #: Optional :class:`repro.obs.MetricsRegistry`.  When set, every
+    #: connection sharing this config streams RTT samples and
+    #: retransmit/RTO/ECN counters into it (the observability plane
+    #: sets this on the cluster's shared transport config).
+    metrics: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         if self.mss <= 0 or self.header_bytes < 0:
@@ -214,6 +219,8 @@ class ConnectionEnd:
             self._rtt_probe = (offset + length, self.sim.now)
         if not fresh:
             self.retransmits += 1
+            if self.config.metrics is not None:
+                self.config.metrics.counter("transport_retransmits_total").inc()
             # Karn: a retransmission overlapping the probe invalidates it.
             if self._rtt_probe is not None and offset < self._rtt_probe[0]:
                 self._rtt_probe = None
@@ -253,6 +260,8 @@ class ConnectionEnd:
             return
         # Retransmission timeout: collapse and go back to snd_una.
         self.timeouts += 1
+        if self.config.metrics is not None:
+            self.config.metrics.counter("transport_rto_total").inc()
         self.cc.on_loss("timeout")
         self._rto_backoff = min(self._rto_backoff * 2.0, 64.0)
         self._in_recovery = False
@@ -279,6 +288,8 @@ class ConnectionEnd:
             self.config.max_rto,
             max(self.config.min_rto, self._srtt + 4.0 * self._rttvar),
         )
+        if self.config.metrics is not None:
+            self.config.metrics.histogram("transport_rtt_seconds").record(sample)
         return sample
 
     def _handle_ack(self, info: AckInfo) -> None:
@@ -289,6 +300,10 @@ class ConnectionEnd:
             if self.sim.now - self._last_ecn_cut >= interval:
                 self._last_ecn_cut = self.sim.now
                 self.ecn_reductions += 1
+                if self.config.metrics is not None:
+                    self.config.metrics.counter(
+                        "transport_ecn_reductions_total"
+                    ).inc()
                 self.cc.on_loss("dupack")
         ack = info.ack
         if ack > self._snd_una:

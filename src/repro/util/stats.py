@@ -69,10 +69,16 @@ class LatencySummary:
 
 
 def summarize(samples) -> LatencySummary:
-    """Build a :class:`LatencySummary` from an iterable of seconds."""
+    """Build a :class:`LatencySummary` from an iterable of seconds.
+
+    An empty sample set yields :meth:`LatencySummary.empty` rather than
+    raising: experiment report code calls this on window-filtered
+    streams that can legitimately be empty (a class that produced no
+    in-window requests), and a zero row beats a crashed sweep.
+    """
     data = np.asarray(list(samples), dtype=float)
     if data.size == 0:
-        raise ValueError("cannot summarize an empty sample set")
+        return LatencySummary.empty()
     p50, p90, p99, p999 = np.percentile(data, [50, 90, 99, 99.9])
     return LatencySummary(
         count=int(data.size),

@@ -1,0 +1,100 @@
+"""X-5 integration: attribution sums to end-to-end latency and the
+observe grid is deterministic across runs and execution modes."""
+
+import pytest
+
+from repro.experiments import (
+    ObserveExperiment,
+    Runner,
+    ScenarioConfig,
+    measure_observed,
+)
+from repro.obs import LAYERS
+
+TINY = dict(rps=25.0, duration=2.0, warmup=0.3, drain=10.0, seed=42)
+
+
+def experiment():
+    return ObserveExperiment(**TINY)
+
+
+class TestAttributionAcceptance:
+    @pytest.fixture(scope="class")
+    def measurement(self):
+        return measure_observed(ScenarioConfig(**TINY, cross_layer=True))
+
+    def test_requests_attributed(self, measurement):
+        assert measurement.counters["attributed_requests"] > 0
+        report = measurement.extra["attribution"]
+        assert {"LS", "LI"} <= set(report)
+
+    def test_layers_sum_within_one_percent(self, measurement):
+        """The acceptance bar: per-layer components account for the
+        end-to-end mean within 1% for every request class."""
+        for request_class, row in measurement.extra["attribution"].items():
+            total = sum(row["layer_means"][layer] for layer in LAYERS)
+            assert total == pytest.approx(row["e2e_mean"], rel=0.01), request_class
+            # And the worst single request, not just the mean:
+            assert row["max_error"] <= 0.01
+
+    def test_layers_have_mass(self, measurement):
+        # The decomposition must be non-degenerate: app work, proxy
+        # overhead, and transport residual all show up for LS traffic.
+        ls = measurement.extra["attribution"]["LS"]
+        for layer in ("app", "proxy", "transport"):
+            assert ls["layer_means"][layer] > 0.0, layer
+
+    def test_exemplar_segments_cover_request(self, measurement):
+        for request_class, exemplar in measurement.extra["exemplars"].items():
+            covered = sum(width for _, _, width in exemplar["segments"])
+            assert covered == pytest.approx(exemplar["elapsed"], rel=1e-9)
+
+    def test_critical_paths_collected(self, measurement):
+        assert measurement.counters["traces_seen"] > 0
+        assert measurement.extra["critical_path"]
+
+    def test_no_dropped_intervals(self, measurement):
+        # Instrumentation reporting on unknown roots would silently
+        # skew the decomposition — it must be zero in a healthy run.
+        assert measurement.counters["dropped_intervals"] == 0
+
+
+class TestDeterminism:
+    def test_back_to_back_runs_identical(self):
+        a = measure_observed(ScenarioConfig(**TINY))
+        b = measure_observed(ScenarioConfig(**TINY))
+        assert a.extra["obs_digest"] == b.extra["obs_digest"]
+        assert a.extra["attribution"] == b.extra["attribution"]
+        assert a.summaries == b.summaries
+
+    def test_serial_vs_workers_identical(self):
+        """Same seed, serial vs --workers 2: byte-identical CSV and
+        equal registry digests."""
+        with Runner(workers=1) as runner:
+            serial = experiment().run(runner)
+        with Runner(workers=2) as runner:
+            parallel = experiment().run(runner)
+        assert serial.csv() == parallel.csv()
+        assert serial.digests == parallel.digests
+        assert serial.report() == parallel.report()
+
+
+class TestResultRendering:
+    @pytest.fixture(scope="class")
+    def result(self):
+        with Runner(workers=2) as runner:
+            return experiment().run(runner)
+
+    def test_report_sections(self, result):
+        text = result.report()
+        assert "X-5: per-layer latency attribution" in text
+        assert "LS mean per layer, off -> on:" in text
+        assert "legend: A=app" in text
+        assert "registry digests:" in text
+        assert result.max_attribution_error <= 0.01
+
+    def test_csv_covers_both_configs(self, result):
+        lines = result.csv().splitlines()
+        assert lines[0] == "config,class,layer,mean_s,share,count"
+        tags = {line.split(",")[0] for line in lines[1:]}
+        assert tags == {"off", "on"}

@@ -6,6 +6,7 @@ plus the deprecation shims for the old ad-hoc signatures.
 """
 
 import inspect
+import warnings
 
 import pytest
 
@@ -17,6 +18,7 @@ from repro.experiments import (
     run_hedging,
     run_hops,
     run_inference,
+    run_observe,
     run_overhead,
     run_te,
 )
@@ -31,6 +33,7 @@ ALL_HARNESSES = [
     run_hedging,
     run_inference,
     run_compute,
+    run_observe,
 ]
 
 
@@ -89,3 +92,41 @@ class TestDeprecationShims:
                 mesh_config=MeshConfig(), depths=(1,), rps=10.0, duration=1.0
             )
         assert result.rows[0].depth == 1
+
+
+class TestShimWarnOnce:
+    """Each deprecated spelling must warn exactly once per call AND
+    still forward the value it carried — a shim that warns twice (or
+    silently drops the argument) regresses the PR-1 migration story."""
+
+    @staticmethod
+    def _deprecations(caught):
+        return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def test_figure4_positional_levels_once_and_forwarded(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_figure4((7,), duration=1.0, warmup=0.25, drain=5.0)
+        assert len(self._deprecations(caught)) == 1
+        assert [row.rps for row in result.rows] == [7.0]
+
+    def test_ablations_positional_variants_once_and_forwarded(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_ablations(
+                ["baseline"], rps=5.0, duration=1.0, warmup=0.25, drain=5.0
+            )
+        assert len(self._deprecations(caught)) == 1
+        assert set(result.ls) == {"baseline"}
+
+    def test_overhead_mesh_config_once_and_forwarded(self):
+        # A distinctive proxy cost must reach the simulation through the
+        # shim, not just avoid crashing.
+        slow = MeshConfig(proxy_delay_median=5e-3, proxy_delay_p99=6e-3)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_overhead(mesh_config=slow, rps=20.0, duration=1.0)
+        assert len(self._deprecations(caught)) == 1
+        # Four proxy traversals at a 5 ms median dominate the near-zero
+        # baseline by construction.
+        assert result.overhead_p50 > 10e-3

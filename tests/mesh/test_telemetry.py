@@ -1,5 +1,9 @@
 """Telemetry aggregation and queries."""
 
+import warnings
+
+import pytest
+
 from repro.mesh import RequestRecord, Telemetry
 
 
@@ -103,3 +107,68 @@ def test_endpoint_distribution():
         "reviews-v1-1": 2,
         "reviews-v2-1": 1,
     }
+
+
+class TestRingBuffer:
+    """Opt-in max_records bounds memory without losing aggregates."""
+
+    def test_default_is_unbounded(self):
+        telemetry = Telemetry()
+        for i in range(100):
+            record(telemetry, latency=0.001 * (i + 1))
+        assert len(telemetry.records) == 100
+        assert not telemetry.truncated
+
+    def test_ring_evicts_oldest(self):
+        telemetry = Telemetry(max_records=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for i in range(5):
+                record(telemetry, latency=0.001 * (i + 1), time=float(i))
+        assert len(telemetry.records) == 3
+        assert [r.time for r in telemetry.records] == [2.0, 3.0, 4.0]
+        assert telemetry.truncated
+        # Aggregate counters saw every request regardless of eviction.
+        assert telemetry.request_count() == 5
+
+    def test_eviction_warns_exactly_once(self):
+        telemetry = Telemetry(max_records=2)
+        record(telemetry)
+        record(telemetry)
+        with pytest.warns(RuntimeWarning, match="max_records=2"):
+            record(telemetry)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            record(telemetry)
+
+    def test_full_but_not_overflowed_is_not_truncated(self):
+        telemetry = Telemetry(max_records=2)
+        record(telemetry)
+        record(telemetry)
+        assert not telemetry.truncated
+
+    def test_truncated_summary_falls_back_to_histograms(self):
+        telemetry = Telemetry(max_records=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for i in range(10):
+                record(telemetry, latency=0.001 * (i + 1))
+        # The ring only holds the last 2 samples; the summary must still
+        # describe all 10 (histograms are lossless in count, ~0.9 % in
+        # value).
+        summary = telemetry.latency_summary(destination="b")
+        assert summary.count == 10
+        assert summary.mean == pytest.approx(0.0055, rel=0.01)
+        assert summary.minimum == pytest.approx(0.001, rel=0.01)
+
+    def test_untruncated_summary_stays_exact(self):
+        telemetry = Telemetry(max_records=10)
+        for latency in (0.010, 0.020, 0.030):
+            record(telemetry, latency=latency)
+        summary = telemetry.latency_summary()
+        assert summary.count == 3
+        assert summary.mean == 0.020  # exact: computed from raw samples
+
+    def test_max_records_validation(self):
+        with pytest.raises(ValueError):
+            Telemetry(max_records=0)

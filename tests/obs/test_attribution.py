@@ -1,0 +1,153 @@
+"""Unit tests for per-layer latency attribution (the interval sweep)."""
+
+import pytest
+
+from repro.obs import (
+    LAYER_APP,
+    LAYER_PROXY,
+    LAYER_QUEUE,
+    LAYER_RETRY,
+    LAYER_TRANSPORT,
+    LAYERS,
+    LayerAttributor,
+    decompose,
+)
+
+
+class FakePacket:
+    def __init__(self, flow_id, enqueued_at):
+        self.flow_id = flow_id
+        self.enqueued_at = enqueued_at
+
+
+class TestDecompose:
+    def test_uncovered_time_is_transport(self):
+        components, segments = decompose(0.0, 10.0, [])
+        assert components[LAYER_TRANSPORT] == 10.0
+        assert segments == [(LAYER_TRANSPORT, 0.0, 10.0)]
+
+    def test_partition_sums_exactly(self):
+        intervals = [
+            (LAYER_APP, 1.0, 3.0),
+            (LAYER_PROXY, 2.5, 4.0),
+            (LAYER_QUEUE, 3.5, 5.0),
+            (LAYER_RETRY, 6.0, 7.0),
+        ]
+        components, _segments = decompose(0.0, 10.0, intervals)
+        assert sum(components.values()) == 10.0
+        # Overlaps resolve by priority: app > proxy > queue > retry.
+        assert components[LAYER_APP] == 2.0
+        assert components[LAYER_PROXY] == 1.0
+        assert components[LAYER_QUEUE] == 1.0
+        assert components[LAYER_RETRY] == 1.0
+        assert components[LAYER_TRANSPORT] == 5.0
+
+    def test_intervals_clipped_to_window(self):
+        components, _ = decompose(5.0, 10.0, [(LAYER_APP, 0.0, 7.0)])
+        assert components[LAYER_APP] == 2.0
+        assert components[LAYER_TRANSPORT] == 3.0
+
+    def test_transport_inputs_ignored(self):
+        # Transport is the residual, never an explicit interval.
+        components, _ = decompose(0.0, 4.0, [(LAYER_TRANSPORT, 0.0, 4.0)])
+        assert components[LAYER_TRANSPORT] == 4.0
+
+    def test_zero_window(self):
+        components, segments = decompose(3.0, 3.0, [(LAYER_APP, 0.0, 9.0)])
+        assert sum(components.values()) == 0.0
+        assert segments == []
+
+    def test_adjacent_same_layer_segments_merge(self):
+        intervals = [(LAYER_APP, 0.0, 1.0), (LAYER_APP, 1.0, 2.0)]
+        _, segments = decompose(0.0, 2.0, intervals)
+        assert segments == [(LAYER_APP, 0.0, 2.0)]
+
+    def test_overlapping_same_layer_not_double_counted(self):
+        # Parallel fan-out: two children's proxy work overlaps in time.
+        intervals = [(LAYER_PROXY, 1.0, 3.0), (LAYER_PROXY, 2.0, 4.0)]
+        components, _ = decompose(0.0, 5.0, intervals)
+        assert components[LAYER_PROXY] == 3.0
+        assert sum(components.values()) == 5.0
+
+
+class TestLayerAttributor:
+    def test_lifecycle_and_exact_sum(self):
+        attributor = LayerAttributor()
+        attributor.start_request("r1", "LS", 0.0)
+        attributor.record("r1", LAYER_APP, 0.2, 0.5)
+        attributor.record("r1", LAYER_PROXY, 0.5, 0.6)
+        attribution = attributor.finish_request("r1", 1.0)
+        assert attribution.elapsed == 1.0
+        assert sum(attribution.components.values()) == pytest.approx(1.0)
+        assert attribution.attribution_error < 1e-12
+
+    def test_unknown_root_dropped(self):
+        attributor = LayerAttributor()
+        attributor.record("ghost", LAYER_APP, 0.0, 1.0)
+        assert attributor.dropped_intervals == 1
+        assert attributor.finish_request("ghost", 1.0) is None
+
+    def test_none_root_ignored_silently(self):
+        attributor = LayerAttributor()
+        attributor.record(None, LAYER_APP, 0.0, 1.0)
+        assert attributor.dropped_intervals == 0
+
+    def test_record_after_finish_dropped(self):
+        attributor = LayerAttributor()
+        attributor.start_request("r1", "LS", 0.0)
+        attributor.finish_request("r1", 1.0)
+        attributor.record("r1", LAYER_APP, 0.5, 0.8)
+        assert attributor.dropped_intervals == 1
+
+    def test_flow_claims_route_queue_wait(self):
+        attributor = LayerAttributor()
+        attributor.start_request("r1", "LS", 0.0)
+        attributor.claim_flow(7, "r1")
+        attributor.observe_queue_wait(FakePacket(7, 0.1), 0.4)
+        attributor.release_flow(7, "r1")
+        # After release the flow no longer maps to the request.
+        attributor.observe_queue_wait(FakePacket(7, 0.5), 0.6)
+        attribution = attributor.finish_request("r1", 1.0)
+        assert attribution.components[LAYER_QUEUE] == pytest.approx(0.3)
+
+    def test_release_only_matching_root(self):
+        attributor = LayerAttributor()
+        attributor.claim_flow(1, "a")
+        attributor.release_flow(1, "b")  # someone else's release: no-op
+        assert attributor.flow_root(1) == "a"
+        attributor.release_flow(1)  # unconditional release
+        assert attributor.flow_root(1) is None
+
+    def test_class_report_window_and_errors(self):
+        attributor = LayerAttributor()
+        attributor.start_request("warm", "LS", 0.5)
+        attributor.finish_request("warm", 1.0)
+        attributor.start_request("in1", "LS", 2.0)
+        attributor.record("in1", LAYER_APP, 2.0, 2.4)
+        attributor.finish_request("in1", 3.0)
+        attributor.start_request("in2", "LS", 2.5)
+        attributor.finish_request("in2", 3.0, status=503)
+        report = attributor.class_report(window=(1.5, 4.0))
+        row = report["LS"]
+        assert row["count"] == 2  # "warm" started before the window
+        assert row["errors"] == 1
+        assert row["e2e_mean"] == pytest.approx(0.75)
+        total = sum(row["layer_means"][layer] for layer in LAYERS)
+        assert total == pytest.approx(row["e2e_mean"])
+
+    def test_exemplar_is_median_latency(self):
+        attributor = LayerAttributor()
+        for root, elapsed in (("a", 1.0), ("b", 2.0), ("c", 9.0)):
+            attributor.start_request(root, "LS", 0.0)
+            attributor.finish_request(root, elapsed)
+        exemplar = attributor.exemplar("LS")
+        assert exemplar.root == "b"
+        assert attributor.exemplar("missing") is None
+
+    def test_hedge_fault_and_retry_layers_exist(self):
+        # The layer vocabulary is closed: reports carry all five keys.
+        attributor = LayerAttributor()
+        attributor.start_request("r", "LI", 0.0)
+        attributor.record("r", LAYER_RETRY, 0.1, 0.2)
+        attribution = attributor.finish_request("r", 1.0)
+        assert set(attribution.components) == set(LAYERS)

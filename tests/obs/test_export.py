@@ -1,0 +1,102 @@
+"""Exporters: snapshot CSV/JSON, waterfalls, and the HistogramRecorder."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    HistogramRecorder,
+    LAYER_APP,
+    LAYER_QUEUE,
+    LayerAttributor,
+    MetricsRegistry,
+    snapshot_csv,
+    snapshot_json,
+    waterfall_csv,
+    waterfall_text,
+)
+from repro.obs.export import request_waterfall_text
+
+
+def _report():
+    attributor = LayerAttributor()
+    attributor.start_request("r1", "LS", 0.0)
+    attributor.record("r1", LAYER_APP, 0.0, 0.004)
+    attributor.record("r1", LAYER_QUEUE, 0.004, 0.006)
+    attributor.finish_request("r1", 0.010)
+    return attributor
+
+
+class TestSnapshots:
+    def test_json_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        text = snapshot_json(registry.snapshot())
+        assert json.loads(text)["counters"] == {"a": 2, "b": 1}
+        assert text == snapshot_json(registry.snapshot())
+
+    def test_csv_rows(self):
+        registry = MetricsRegistry()
+        registry.counter("req", dst="x").inc(3)
+        registry.gauge("depth").set(4)
+        registry.histogram("lat").record(0.01)
+        lines = snapshot_csv(registry.snapshot()).splitlines()
+        assert lines[0] == "kind,metric,field,value"
+        assert "counter,req{dst=x},value,3" in lines
+        assert "gauge,depth,max,4" in lines
+        assert "histogram,lat,count,1" in lines
+
+
+class TestWaterfalls:
+    def test_class_waterfall_shape(self):
+        text = waterfall_text(_report().class_report(), title="demo")
+        assert text.startswith("demo\nlegend: A=app")
+        (bar_line,) = [l for l in text.splitlines() if l.startswith("LS")]
+        # 40% app, 20% queue, 40% transport residual of the 10 ms request.
+        assert "A" in bar_line and "Q" in bar_line and "T" in bar_line
+        assert "R" not in bar_line.split("|")[1]
+        assert "10.00 ms" in bar_line and "(n=1)" in bar_line
+
+    def test_request_waterfall_lists_segments(self):
+        attributor = _report()
+        text = request_waterfall_text(attributor.exemplar("LS"))
+        assert text.startswith("request r1 [LS] 10.00 ms")
+        assert "app" in text and "queue" in text and "transport" in text
+        assert "0.000 -     4.000 ms" in text
+
+    def test_waterfall_csv_sums_to_e2e(self):
+        csv = waterfall_csv({"on": _report().class_report()})
+        rows = [line.split(",") for line in csv.splitlines()[1:]]
+        e2e = next(float(r[3]) for r in rows if r[2] == "e2e")
+        layer_sum = sum(float(r[3]) for r in rows if r[2] != "e2e")
+        share_sum = sum(float(r[4]) for r in rows if r[2] != "e2e")
+        assert layer_sum == pytest.approx(e2e)
+        assert share_sum == pytest.approx(1.0)
+
+    def test_waterfall_csv_config_order_sorted(self):
+        report = _report().class_report()
+        csv = waterfall_csv({"on": report, "off": report})
+        tags = [line.split(",")[0] for line in csv.splitlines()[1:]]
+        assert tags == sorted(tags)
+
+
+class TestHistogramRecorder:
+    def test_latencyrecorder_compatible_summary(self):
+        recorder = HistogramRecorder(window=(1.0, 5.0))
+        recorder.record("w", 0.5, 0.010, 200)  # warmup: counted, not summarized
+        recorder.record("w", 2.0, 0.020, 200)
+        recorder.record("w", 3.0, 0.040, 200)
+        recorder.record("w", 4.0, 0.100, 500)  # error: never summarized
+        summary = recorder.summary("w")
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(0.030, rel=0.01)
+        assert len(recorder) == 4
+        assert recorder.error_rate("w") == pytest.approx(0.25)
+
+    def test_mismatched_window_query_rejected(self):
+        recorder = HistogramRecorder(window=(1.0, 5.0))
+        with pytest.raises(ValueError):
+            recorder.summary("w", window=(0.0, 9.0))
+        # Re-querying the constructed window is fine.
+        assert recorder.summary("w", window=(1.0, 5.0)).count == 0

@@ -1,0 +1,84 @@
+"""ObservabilityPlane wiring: install hooks and the harvest sweep."""
+
+from types import SimpleNamespace
+
+from repro.obs import ObservabilityPlane
+
+
+class FakeTelemetry:
+    def __init__(self):
+        self.registry = None
+        self.attributor = None
+
+
+def fake_network():
+    def iface(name):
+        return SimpleNamespace(
+            name=name,
+            queue_observer=None,
+            bytes_transmitted=1000,
+            packets_transmitted=10,
+            qdisc=SimpleNamespace(
+                stats=SimpleNamespace(dropped=2, queue_wait_seconds=0.5)
+            ),
+        )
+
+    return SimpleNamespace(
+        devices={
+            "node-b": SimpleNamespace(interfaces=[iface("node-b-eth0")]),
+            "node-a": SimpleNamespace(interfaces=[iface("node-a-eth0")]),
+        }
+    )
+
+
+def test_install_mesh_adopts_registry_and_attributor():
+    mesh = SimpleNamespace(telemetry=FakeTelemetry())
+    plane = ObservabilityPlane().install(mesh=mesh)
+    assert mesh.telemetry.registry is plane.registry
+    assert mesh.telemetry.attributor is plane.attributor
+    assert plane.installed
+
+
+def test_install_cluster_wires_transport_and_interfaces():
+    network = fake_network()
+    cluster = SimpleNamespace(
+        network=network, transport_config=SimpleNamespace(metrics=None)
+    )
+    plane = ObservabilityPlane().install(cluster=cluster)
+    assert cluster.transport_config.metrics is plane.registry
+    for device in network.devices.values():
+        for interface in device.interfaces:
+            assert interface.queue_observer == plane.attributor.observe_queue_wait
+
+
+def test_install_tolerates_missing_transport_config():
+    cluster = SimpleNamespace(network=fake_network(), transport_config=None)
+    ObservabilityPlane().install(cluster=cluster)  # must not raise
+
+
+def test_install_explicit_network_only():
+    network = fake_network()
+    plane = ObservabilityPlane().install(network=network)
+    interface = network.devices["node-a"].interfaces[0]
+    assert interface.queue_observer == plane.attributor.observe_queue_wait
+
+
+def test_harvest_folds_interface_and_qdisc_counters():
+    plane = ObservabilityPlane()
+    plane.harvest(network=fake_network())
+    registry = plane.registry
+    assert registry.counter_total("interface_bytes_transmitted_total") == 2000
+    assert registry.counter_total("interface_packets_transmitted_total") == 20
+    assert registry.counter_total("qdisc_dropped_total") == 4
+    assert (
+        registry.counter_total(
+            "qdisc_queue_wait_seconds_total", iface="node-a-eth0"
+        )
+        == 0.5
+    )
+
+
+def test_harvest_ingests_tracer():
+    plane = ObservabilityPlane()
+    plane.harvest(mesh=SimpleNamespace(tracer=SimpleNamespace(traces=[])))
+    assert plane.spans.traces_seen == 0

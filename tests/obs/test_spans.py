@@ -1,0 +1,94 @@
+"""Critical-path span collection over hand-built traces."""
+
+import pytest
+
+from repro.mesh.tracing import Span, Trace, Tracer
+from repro.obs import MetricsRegistry, SpanCollector
+
+
+def _span(trace_id, span_id, parent, service, start, end):
+    return Span(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_span_id=parent,
+        service=service,
+        operation="GET /",
+        start_time=start,
+        end_time=end,
+    )
+
+
+def _fanout_trace(trace_id="trace-1"):
+    """frontend(0..10) -> {cache(1..3), backend(2..9) -> db(3..7)}.
+
+    Critical path is frontend -> backend -> db (backend ends latest).
+    """
+    trace = Trace(trace_id)
+    trace.spans = [
+        _span(trace_id, "s1", None, "frontend", 0.0, 10.0),
+        _span(trace_id, "s2", "s1", "cache", 1.0, 3.0),
+        _span(trace_id, "s3", "s1", "backend", 2.0, 9.0),
+        _span(trace_id, "s4", "s3", "db", 3.0, 7.0),
+    ]
+    return trace
+
+
+class TestSpanCollector:
+    def test_exclusive_time_subtracts_on_path_child(self):
+        collector = SpanCollector()
+        steps = collector.ingest_trace(_fanout_trace())
+        assert [s.service for s in steps] == ["frontend", "backend", "db"]
+        assert steps[0].duration == 10.0
+        # frontend exclusive = 10 - backend's 7; off-path cache is not
+        # subtracted (it overlapped the on-path child).
+        assert steps[0].exclusive == pytest.approx(3.0)
+        assert steps[1].exclusive == pytest.approx(3.0)  # 7 - db's 4
+        assert steps[2].exclusive == pytest.approx(4.0)  # leaf: full duration
+        assert collector.traces_seen == 1
+        assert collector.spans_seen == 4
+
+    def test_exclusive_clamped_nonnegative(self):
+        # A child reported longer than its parent (clock skew in real
+        # systems; here just defensive) must not yield negative time.
+        trace = Trace("trace-odd")
+        trace.spans = [
+            _span("trace-odd", "s1", None, "a", 0.0, 1.0),
+            _span("trace-odd", "s2", "s1", "b", 0.0, 5.0),
+        ]
+        steps = SpanCollector().ingest_trace(trace)
+        assert steps[0].exclusive == 0.0
+
+    def test_unfinished_spans_skipped(self):
+        trace = _fanout_trace()
+        trace.spans.append(_span("trace-1", "s5", "s4", "orphan", 4.0, None))
+        steps = SpanCollector().ingest_trace(trace)
+        assert "orphan" not in [s.service for s in steps]
+
+    def test_service_rows_sorted_by_total_exclusive(self):
+        collector = SpanCollector()
+        collector.ingest_trace(_fanout_trace("trace-1"))
+        collector.ingest_trace(_fanout_trace("trace-2"))
+        rows = collector.service_rows()
+        assert [r[0] for r in rows] == ["db", "backend", "frontend"]
+        service, count, total, mean = rows[0]
+        assert (count, total, mean) == (2, pytest.approx(8.0), pytest.approx(4.0))
+
+    def test_registry_histograms_fed(self):
+        registry = MetricsRegistry()
+        SpanCollector(registry).ingest_trace(_fanout_trace())
+        hists = registry.histograms_matching("critical_path_exclusive_seconds")
+        assert sum(h.count for h in hists) == 3
+
+    def test_ingest_tracer_sorted_and_counted(self):
+        tracer = Tracer()
+        for trace in (_fanout_trace("trace-b"), _fanout_trace("trace-a")):
+            for span in trace.spans:
+                tracer.record(span)
+        collector = SpanCollector()
+        assert collector.ingest(tracer) == 2
+        assert collector.traces_seen == 2
+
+    def test_empty_trace_is_harmless(self):
+        collector = SpanCollector()
+        assert collector.ingest_trace(Trace("trace-empty")) == []
+        assert collector.service_rows() == []

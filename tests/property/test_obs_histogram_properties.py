@@ -1,0 +1,98 @@
+"""Property-based tests: obs histogram merge algebra and quantile error.
+
+The observability plane merges per-worker registry snapshots into one;
+results may only be trusted if merging is a proper commutative monoid on
+histograms (shard order and grouping must not matter) and if quantile
+estimates stay within the log-linear design bound of
+``9 / bins_per_decade`` relative error.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import LogLinearHistogram, MetricsRegistry, merge_snapshots, snapshot_digest
+
+# Latencies spanning the histogram's trustable range (1 us .. 10 ks).
+latencies = st.floats(min_value=1e-6, max_value=1e4, allow_nan=False)
+samples = st.lists(latencies, min_size=0, max_size=60)
+
+
+def _hist(values, bins_per_decade=90):
+    hist = LogLinearHistogram(bins_per_decade=bins_per_decade)
+    for value in values:
+        hist.record(value)
+    return hist
+
+
+def _equivalent(a: LogLinearHistogram, b: LogLinearHistogram) -> None:
+    assert a.counts == b.counts
+    assert a.count == b.count
+    assert a.minimum == b.minimum
+    assert a.maximum == b.maximum
+    # Sums are floats accumulated in different orders: equal to rounding.
+    assert abs(a.sum - b.sum) <= 1e-9 * max(1.0, abs(a.sum))
+    for q in (1, 50, 90, 99, 99.9):
+        assert a.quantile(q) == b.quantile(q)
+
+
+@given(xs=samples, ys=samples)
+@settings(max_examples=100, deadline=None)
+def test_merge_commutative(xs, ys):
+    xy = _hist(xs)
+    xy.merge(_hist(ys))
+    yx = _hist(ys)
+    yx.merge(_hist(xs))
+    _equivalent(xy, yx)
+
+
+@given(xs=samples, ys=samples, zs=samples)
+@settings(max_examples=100, deadline=None)
+def test_merge_associative(xs, ys, zs):
+    # (x + y) + z
+    left = _hist(xs)
+    left.merge(_hist(ys))
+    left.merge(_hist(zs))
+    # x + (y + z)
+    inner = _hist(ys)
+    inner.merge(_hist(zs))
+    right = _hist(xs)
+    right.merge(inner)
+    _equivalent(left, right)
+
+
+@given(xs=samples, ys=samples)
+@settings(max_examples=100, deadline=None)
+def test_merge_equals_single_stream(xs, ys):
+    merged = _hist(xs)
+    merged.merge(_hist(ys))
+    _equivalent(merged, _hist(xs + ys))
+
+
+@given(values=st.lists(latencies, min_size=1, max_size=80))
+@settings(max_examples=100, deadline=None)
+def test_quantile_relative_error_within_bucket_bound(values):
+    bins = 90
+    hist = _hist(values, bins_per_decade=bins)
+    ordered = sorted(values)
+    bound = 9.0 / bins
+    for q in (1, 25, 50, 75, 90, 99):
+        rank = max(1, -(-int(q) * len(ordered) // 100))  # ceil(q% * n)
+        true = ordered[min(rank, len(ordered)) - 1]
+        estimate = hist.quantile(q)
+        assert abs(estimate - true) <= bound * true + 1e-12
+
+
+@given(xs=samples, ys=samples)
+@settings(max_examples=50, deadline=None)
+def test_snapshot_merge_order_independent(xs, ys):
+    shard1, shard2 = MetricsRegistry(), MetricsRegistry()
+    for value in xs:
+        shard1.histogram("lat").record(value)
+        shard1.counter("n").inc()
+    for value in ys:
+        shard2.histogram("lat").record(value)
+        shard2.counter("n").inc()
+    ab = merge_snapshots(shard1.snapshot(), shard2.snapshot())
+    ba = merge_snapshots(shard2.snapshot(), shard1.snapshot())
+    assert snapshot_digest(ab) == snapshot_digest(ba)
+    assert ab["counters"].get("n", 0) == len(xs) + len(ys)
