@@ -4,6 +4,8 @@ Usage::
 
     python -m repro figure4 [--full] [--csv PATH] [--workers N]
     python -m repro overhead | ablations | te | hedging | resilience
+    python -m repro slo [--out DIR]     # X-6: online SLO / alerting
+    python -m repro compare BASE CAND   # diff two run snapshots
     python -m repro all        # everything, through ONE shared runner
 
 Scaled runs (default) finish in minutes; ``--full`` uses paper-scale
@@ -44,8 +46,10 @@ from .experiments import (
     OverheadExperiment,
     ResilienceExperiment,
     Runner,
+    SloExperiment,
     TeExperiment,
 )
+from .obs.compare import DEFAULT_THRESHOLD, compare_runs
 
 #: Steady-state seconds for scaled (non ``--full``) runs.
 SCALED_DURATION = 8.0
@@ -102,6 +106,16 @@ def _render_observe(result, args) -> str:
     return result.report()
 
 
+def _render_slo(result, args) -> str:
+    _write_csv(result, args)
+    if getattr(args, "out", None):
+        written = result.write_artifacts(args.out)
+        print(
+            f"wrote {len(written)} artifacts to {args.out}", file=sys.stderr
+        )
+    return result.report()
+
+
 @dataclass(frozen=True)
 class Command:
     """One subcommand: an experiment factory plus a result renderer."""
@@ -154,6 +168,11 @@ COMMANDS = {
         "X-5: per-layer latency attribution waterfall",
         render=_render_observe,
     ),
+    "slo": Command(
+        lambda args: SloExperiment(**_overrides(args, 20.0, rps=30.0)),
+        "X-6: online SLO engine + burn-rate alert timeline",
+        render=_render_slo,
+    ),
 }
 
 
@@ -173,6 +192,23 @@ def build_parser() -> argparse.ArgumentParser:
         "all", help="run every experiment through one shared runner"
     )
     _add_common(all_parser)
+    compare_parser = subparsers.add_parser(
+        "compare",
+        help="diff two run snapshots; exit 1 on quantile regressions",
+    )
+    compare_parser.add_argument(
+        "baseline", help="baseline snapshot directory (or single file)"
+    )
+    compare_parser.add_argument(
+        "candidate", help="candidate snapshot directory (or single file)"
+    )
+    compare_parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help=(
+            "relative slowdown tolerated before a quantile regresses "
+            f"(default {DEFAULT_THRESHOLD:g})"
+        ),
+    )
     return parser
 
 
@@ -204,6 +240,14 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
         "--csv", metavar="PATH",
         help="write CSV (experiments with a CSV form, e.g. figure4, resilience)",
     )
+    sub.add_argument(
+        "--out", metavar="DIR",
+        help=(
+            "write run-snapshot artifacts (registry JSON, Prometheus "
+            "text, Jaeger JSON, attribution + alert CSVs) for "
+            "experiments that export them (slo)"
+        ),
+    )
 
 
 def _make_runner(args) -> Runner:
@@ -213,6 +257,13 @@ def _make_runner(args) -> Runner:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        # No simulation, no runner: read the two snapshots and verdict.
+        report = compare_runs(
+            args.baseline, args.candidate, threshold=args.threshold
+        )
+        print(report.text())
+        return 0 if report.ok else 1
     try:
         runner = _make_runner(args)
     except ValueError as error:

@@ -13,6 +13,7 @@
 * :mod:`resilience` — X-3, fault injection + resilience under chaos.
 * :mod:`compute` — X-4, prioritized request queueing on CPU (§5).
 * :mod:`observe` — X-5, per-layer latency attribution waterfall (§3).
+* :mod:`slo` — X-6, online SLO engine + burn-rate alerting (§3/§4.1).
 
 Every harness follows one contract::
 
@@ -70,6 +71,7 @@ from .scenario import (
     build_scenario,
     run_scenario,
 )
+from .slo import SloExperiment, SloResult, default_slos, measure_slo, run_slo
 from .te import TeExperiment, TeResult, run_te
 
 __all__ = [
@@ -107,6 +109,8 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioMeasurement",
     "ScenarioResult",
+    "SloExperiment",
+    "SloResult",
     "TeExperiment",
     "TeResult",
     "ablation_policies",
@@ -114,10 +118,12 @@ __all__ = [
     "chain_specs",
     "compare_with_replication",
     "config_digest",
+    "default_slos",
     "format_table",
     "measure_observed",
     "measure_resilience",
     "measure_scenario",
+    "measure_slo",
     "ms",
     "replicate",
     "run_ablations",
@@ -130,6 +136,7 @@ __all__ = [
     "run_overhead",
     "run_resilience",
     "run_scenario",
+    "run_slo",
     "run_te",
     "to_csv",
 ]

@@ -140,9 +140,7 @@ class ScenarioMeasurement:
         summaries = {}
         for workload in (LS_WORKLOAD, LI_WORKLOAD):
             samples = result.recorder.latencies(workload, window=result.window)
-            summaries[workload] = (
-                summarize(samples) if samples else LatencySummary.empty()
-            )
+            summaries[workload] = summarize(samples)
         telemetry = result.telemetry
         counters = {
             "issued": float(result.mix.issued),

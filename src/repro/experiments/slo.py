@@ -1,0 +1,347 @@
+"""X-6: the online SLO engine on the Figure-4 scenario.
+
+The observability plane's *online* half is installed on the §4.3
+testbed: two declarative objectives (LS p99 and LI p99) stream every
+gateway-observed end-to-end latency into the
+:class:`~repro.obs.SloEngine` while the simulation runs, and the
+SRE-style multi-window burn-rate rules fire and resolve as sim events.
+The scenario reruns twice — cross-layer prioritization off and on —
+and the harness reports each SLO's alert timeline, time-to-detect,
+time-to-resolve, and total duration in violation.
+
+The LS objective sits between the two configurations' observed p99
+(≈32 ms off, ≈13 ms on at the default load), so the run demonstrates
+the paper's §3 claim operationally: with prioritization off the LS SLO
+burns budget for most of the run; with it on the same objective stays
+quiet.  ``write_artifacts`` exports the interop surface — Prometheus
+text, Jaeger JSON, registry snapshots, attribution CSV — for the
+``repro compare`` regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..obs import ObservabilityPlane, SloEngine, SloSpec, snapshot_digest
+from ..obs.alerts import AlertEvent, AlertTimeline, timeline_csv
+from ..obs.export import snapshot_json, waterfall_csv
+from ..obs.jaeger import jaeger_trace_dict
+from ..obs.promexport import prometheus_text
+from .report import format_table
+from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .scenario import ScenarioConfig, ScenarioResult, _drain, build_scenario
+
+#: LS latency objective (seconds): between the optimized (~13 ms) and
+#: unoptimized (~32 ms) LS p99 of the Fig. 4 scenario at the default
+#: load, so prioritization off sustains a burn-rate violation and on
+#: leaves the error budget untouched.
+LS_THRESHOLD_S = 0.015
+
+#: LI objective (seconds): far above the observed LI p99 (≤ ~90 ms), a
+#: deliberately healthy SLO demonstrating that a met objective stays
+#: quiet through the whole run.
+LI_THRESHOLD_S = 0.5
+
+#: Compliance window (sim seconds) both objectives are judged over.
+SLO_WINDOW_S = 4.0
+
+#: Traces exported to the Jaeger artifact (first N by trace id, so the
+#: pick is deterministic); bounds artifact size.
+_TRACE_EXPORT_LIMIT = 20
+
+
+def default_slos() -> tuple[SloSpec, ...]:
+    """The two objectives the X-6 harness registers."""
+    return (
+        SloSpec(
+            name="LS-p99",
+            target="LS",
+            threshold_s=LS_THRESHOLD_S,
+            quantile=99.0,
+            window_s=SLO_WINDOW_S,
+        ),
+        SloSpec(
+            name="LI-p99",
+            target="LI",
+            threshold_s=LI_THRESHOLD_S,
+            quantile=99.0,
+            window_s=SLO_WINDOW_S,
+        ),
+    )
+
+
+def measure_slo(config: ScenarioConfig) -> ScenarioMeasurement:
+    """Point function: the Figure-4 scenario with the online SLO engine
+    (plus the rest of the observability plane) installed; the alert
+    timeline and export payloads ride in ``extra``."""
+    start = time.perf_counter()
+    sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
+    engine = SloEngine()
+    for spec in default_slos():
+        engine.register(spec)
+    plane = ObservabilityPlane(slo=engine).install(mesh=mesh, cluster=cluster)
+    engine.attach(sim)
+    mix.start(config.duration)
+    sim.run(until=config.duration)
+    _drain(sim, mix, config.duration + config.drain)
+    # One final evaluation at the actual end time (the ticker stops on
+    # its fixed grid), then close still-open alerts for accounting.
+    engine.evaluate(sim.now)
+    engine.finalize(sim.now)
+    plane.harvest(mesh=mesh, network=cluster.network)
+    result = ScenarioResult(
+        config=config,
+        sim=sim,
+        cluster=cluster,
+        mesh=mesh,
+        app=app,
+        gateway=gateway,
+        mix=mix,
+        manager=manager,
+        window=(config.warmup, config.duration),
+    )
+    measurement = ScenarioMeasurement.from_scenario(
+        result, wall_clock=time.perf_counter() - start
+    )
+    timeline = engine.timeline
+    measurement.extra["alert_events"] = [
+        {
+            "time": event.time,
+            "slo": event.slo,
+            "rule": event.rule,
+            "kind": event.kind,
+            "burn_long": event.burn_long,
+            "burn_short": event.burn_short,
+        }
+        for event in timeline.events
+    ]
+    slo_stats = {}
+    for spec in sorted(engine.specs, key=lambda s: s.name):
+        stats = timeline.stats(spec.name)
+        slo_stats[spec.name] = {
+            "target": spec.target,
+            "threshold_s": spec.threshold_s,
+            "quantile": spec.quantile,
+            "alerts_fired": stats.alerts_fired,
+            "time_to_detect": stats.time_to_detect,
+            "time_to_resolve": stats.time_to_resolve,
+            "violation_seconds": stats.violation_seconds,
+            "open_at_end": stats.open_at_end,
+            "rolling_quantile_s": engine.rolling_quantile(spec.name, sim.now),
+        }
+    measurement.extra["slo_stats"] = slo_stats
+    window = (config.warmup, config.duration)
+    measurement.extra["attribution"] = plane.attributor.class_report(window)
+    snapshot = plane.registry.snapshot()
+    measurement.extra["snapshot"] = snapshot
+    measurement.extra["obs_digest"] = snapshot_digest(snapshot)
+    traces = sorted(mesh.tracer.traces, key=lambda t: t.trace_id)
+    measurement.extra["jaeger"] = {
+        "data": [
+            jaeger_trace_dict(trace)
+            for trace in traces[:_TRACE_EXPORT_LIMIT]
+        ]
+    }
+    measurement.counters["alerts_fired"] = float(
+        sum(1 for event in timeline.events if event.kind == "fire")
+    )
+    measurement.counters["slo_violation_seconds"] = float(
+        sum(stats["violation_seconds"] for stats in slo_stats.values())
+    )
+    return measurement
+
+
+def _fmt_opt_s(value: float | None) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
+@dataclass
+class SloResult:
+    """Both configurations' alert timelines, SLO stats, and artifacts."""
+
+    #: tag ("off"/"on") -> slo name -> stats dict (see ``measure_slo``).
+    stats: dict[str, dict] = field(default_factory=dict)
+    #: tag -> list of alert-event dicts, in emission order.
+    events: dict[str, list] = field(default_factory=dict)
+    #: tag -> registry snapshot dict (for JSON/Prometheus artifacts).
+    snapshots: dict[str, dict] = field(default_factory=dict)
+    #: tag -> per-class attribution report (for the attribution CSV).
+    attributions: dict[str, dict] = field(default_factory=dict)
+    #: tag -> Jaeger query-API envelope ({"data": [trace, ...]}).
+    jaeger: dict[str, dict] = field(default_factory=dict)
+    digests: dict[str, str] = field(default_factory=dict)
+
+    # -- accessors ------------------------------------------------------
+
+    def timelines(self) -> dict[str, AlertTimeline]:
+        """Rebuild per-tag :class:`AlertTimeline` views (events only —
+        interval accounting already lives in :attr:`stats`)."""
+        out = {}
+        for tag in sorted(self.events):
+            timeline = AlertTimeline()
+            for event in self.events[tag]:
+                timeline.events.append(AlertEvent(**event))
+            out[tag] = timeline
+        return out
+
+    def violation_seconds(self, tag: str, slo: str) -> float:
+        return self.stats.get(tag, {}).get(slo, {}).get(
+            "violation_seconds", 0.0
+        )
+
+    def alerts_fired(self, tag: str, slo: str | None = None) -> int:
+        rows = self.stats.get(tag, {})
+        names = [slo] if slo is not None else sorted(rows)
+        return sum(int(rows[name]["alerts_fired"]) for name in names)
+
+    @property
+    def ls_improved(self) -> bool:
+        """The headline claim: LS SLO burn strictly lower with
+        cross-layer prioritization on than off."""
+        return self.violation_seconds("on", "LS-p99") < self.violation_seconds(
+            "off", "LS-p99"
+        )
+
+    # -- rendering ------------------------------------------------------
+
+    def table(self) -> str:
+        headers = [
+            "SLO", "Xlayer", "objective", "alerts",
+            "detect (s)", "resolve (s)", "violation (s)", "open@end",
+            "rolling q (ms)",
+        ]
+        body = []
+        for slo in sorted({s for rows in self.stats.values() for s in rows}):
+            for tag in ("off", "on"):
+                row = self.stats.get(tag, {}).get(slo)
+                if row is None:
+                    continue
+                objective = (
+                    f"p{row['quantile']:g} <= {row['threshold_s'] * 1e3:g} ms"
+                )
+                body.append([
+                    slo,
+                    tag,
+                    objective,
+                    f"{row['alerts_fired']}",
+                    _fmt_opt_s(row["time_to_detect"]),
+                    _fmt_opt_s(row["time_to_resolve"]),
+                    f"{row['violation_seconds']:.2f}",
+                    "yes" if row["open_at_end"] else "no",
+                    f"{row['rolling_quantile_s'] * 1e3:.2f}",
+                ])
+        return format_table(
+            headers,
+            body,
+            title=(
+                "X-6: online SLO burn-rate alerting "
+                "(Fig. 4 scenario, w/o vs w/ cross-layer optimization)"
+            ),
+        )
+
+    def timeline_text(self) -> str:
+        blocks = []
+        for tag, timeline in self.timelines().items():
+            blocks.append(
+                timeline.text(title=f"alert timeline (cross-layer {tag}):")
+            )
+        return "\n\n".join(blocks)
+
+    def headline(self) -> str:
+        off = self.violation_seconds("off", "LS-p99")
+        on = self.violation_seconds("on", "LS-p99")
+        lines = [
+            f"LS-p99 burn duration: off {off:.2f} s -> on {on:.2f} s "
+            f"({off - on:+.2f} s recovered by cross-layer prioritization)",
+            "LI-p99 (healthy objective) alerts: "
+            f"off {self.alerts_fired('off', 'LI-p99')}, "
+            f"on {self.alerts_fired('on', 'LI-p99')}",
+        ]
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        parts = [self.table(), self.timeline_text(), self.headline()]
+        if self.digests:
+            parts.append(
+                "registry digests: "
+                + ", ".join(
+                    f"{tag}={self.digests[tag]}"
+                    for tag in sorted(self.digests)
+                )
+            )
+        return "\n\n".join(parts)
+
+    def csv(self) -> str:
+        return timeline_csv(self.timelines())
+
+    # -- artifacts ------------------------------------------------------
+
+    def write_artifacts(self, out_dir: str | Path) -> list[Path]:
+        """Export the run snapshot ``repro compare`` consumes: registry
+        JSON + Prometheus text + Jaeger JSON per configuration, plus the
+        attribution CSV and the alert-timeline CSV."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        written = []
+
+        def emit(name: str, text: str) -> None:
+            path = out / name
+            path.write_text(text)
+            written.append(path)
+
+        for tag in sorted(self.snapshots):
+            emit(f"metrics_{tag}.json", snapshot_json(self.snapshots[tag]))
+            emit(f"metrics_{tag}.prom", prometheus_text(self.snapshots[tag]))
+        for tag in sorted(self.jaeger):
+            emit(
+                f"traces_{tag}.json",
+                json.dumps(self.jaeger[tag], sort_keys=True, indent=2) + "\n",
+            )
+        if self.attributions:
+            emit("attribution.csv", waterfall_csv(self.attributions))
+        emit("alerts.csv", self.csv())
+        return written
+
+
+class SloExperiment(Experiment):
+    """The SLO grid: cross-layer prioritization off vs on."""
+
+    name = "slo"
+    defaults = {"rps": 30.0}
+
+    def points(self) -> list[Point]:
+        grid = []
+        for tag, enabled in (("off", False), ("on", True)):
+            grid.append(
+                Point(
+                    label=tag,
+                    fn=measure_slo,
+                    config=replace(self.base, cross_layer=enabled, policy=None),
+                )
+            )
+        return grid
+
+    def collect(self, measurements) -> SloResult:
+        result = SloResult()
+        for tag in ("off", "on"):
+            measurement = measurements[tag]
+            result.stats[tag] = measurement.extra.get("slo_stats", {})
+            result.events[tag] = measurement.extra.get("alert_events", [])
+            result.snapshots[tag] = measurement.extra.get("snapshot", {})
+            result.attributions[tag] = measurement.extra.get("attribution", {})
+            result.jaeger[tag] = measurement.extra.get("jaeger", {"data": []})
+            result.digests[tag] = measurement.extra.get("obs_digest", "")
+        return result
+
+
+def run_slo(
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
+    **overrides,
+) -> SloResult:
+    """Run the online SLO / burn-rate alerting harness (X-6)."""
+    return SloExperiment(base_config, **overrides).run(runner)

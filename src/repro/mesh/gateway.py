@@ -41,22 +41,35 @@ class IngressGateway:
         self.sidecar.policy.classify_ingress(request)
         self.requests_admitted += 1
         attributor = self.sidecar.telemetry.attributor
-        if attributor is not None:
+        slo_engine = self.sidecar.telemetry.slo_engine
+        if attributor is not None or slo_engine is not None:
             # The gateway brackets the end-to-end window: open the root
             # here, close it when the response event fires. Everything
-            # any layer reports in between lands in this window.
+            # any layer reports in between lands in this window, and the
+            # SLO engine sees the finished end-to-end latency under the
+            # same request class the attributor files it under.
             workload = request.headers.get("x-workload")
             request_class = _WORKLOAD_CLASSES.get(workload, workload or "default")
             root = request.headers[REQUEST_ID]
-            attributor.start_request(root, request_class, self.sim.now)
+            started = self.sim.now
+            if attributor is not None:
+                attributor.start_request(root, request_class, started)
             event = self.sidecar.request(request, timeout=timeout)
-            event.callbacks.append(
-                lambda ev: attributor.finish_request(
-                    root,
-                    self.sim.now,
-                    status=ev.value.status if ev.ok else 504,
-                )
-            )
+
+            def _completed(ev):
+                status = ev.value.status if ev.ok else 504
+                if attributor is not None:
+                    attributor.finish_request(root, self.sim.now, status=status)
+                if slo_engine is not None:
+                    slo_engine.observe(
+                        "class",
+                        request_class,
+                        self.sim.now,
+                        latency=self.sim.now - started,
+                        ok=status < 500,
+                    )
+
+            event.callbacks.append(_completed)
         else:
             event = self.sidecar.request(request, timeout=timeout)
         event.callbacks.append(

@@ -469,7 +469,9 @@ class Sidecar:
                 # error we saw rather than a synthetic 504.
                 if fallback is not None:
                     return fallback[0], 0, fallback[1]
-                self.telemetry.record_timeout()
+                self.telemetry.record_timeout(
+                    destination=request.service, now=self.sim.now
+                )
                 return request.reply(HttpStatus.GATEWAY_TIMEOUT), 0, None
             yield self.sim.any_of(pending)
 
@@ -632,7 +634,9 @@ class Sidecar:
         conn.close()
         self.pod.stack.drop_flow(conn.flow_id)
         lb.on_request_end(endpoint, self.sim.now - started, ok=False)
-        self.telemetry.record_timeout()
+        self.telemetry.record_timeout(
+            destination=request.service, now=self.sim.now
+        )
         return None
 
     def _mux_try_once(self, request, endpoint: Endpoint, per_try: float):
@@ -698,7 +702,9 @@ class Sidecar:
                 attributor.release_flow(channel.conn.flow_id, root)
         channel.abandon(request)
         lb.on_request_end(endpoint, self.sim.now - started, ok=False)
-        self.telemetry.record_timeout()
+        self.telemetry.record_timeout(
+            destination=request.service, now=self.sim.now
+        )
         return None
 
     # -- connection pool --------------------------------------------------

@@ -66,6 +66,11 @@ class Telemetry:
         #: (by the observability plane) sidecars report per-layer
         #: intervals through it.
         self.attributor = None
+        #: Optional :class:`repro.obs.SloEngine`; when installed (by the
+        #: observability plane, and only if SLOs are registered) every
+        #: per-hop request outcome streams into it as it is recorded.
+        #: ``None`` keeps the streaming path zero-overhead.
+        self.slo_engine = None
 
     @property
     def truncated(self) -> bool:
@@ -114,10 +119,30 @@ class Telemetry:
         if record.retries:
             self.retries_total += record.retries
             self.registry.counter("mesh_retries_total").inc(record.retries)
+        if self.slo_engine is not None:
+            self.slo_engine.observe(
+                "destination",
+                record.destination,
+                record.time,
+                latency=record.latency,
+                ok=record.status < 500,
+            )
 
-    def record_timeout(self) -> None:
+    def record_timeout(
+        self, destination: str | None = None, now: float | None = None
+    ) -> None:
+        """A request that produced no response at all.  ``destination``
+        and ``now`` let per-destination SLOs count the timeout against
+        their budget the moment it happens (there is no latency sample
+        to stream); both default to None for back-compat callers."""
         self.timeouts_total += 1
         self.registry.counter("mesh_timeouts_total").inc()
+        if (
+            self.slo_engine is not None
+            and destination is not None
+            and now is not None
+        ):
+            self.slo_engine.observe("destination", destination, now, ok=False)
 
     def record_breaker_rejection(self) -> None:
         self.circuit_breaker_rejections += 1

@@ -9,16 +9,28 @@ the repo's single sink for measurement:
   and log-linear HDR-style histograms.  Everything is exactly mergeable
   across processes, so the parallel Runner can reduce shard results
   deterministically.
+* :mod:`windows` — sim-time sliding-window aggregation: rolling counts
+  and p50/p99 with bounded memory (the online half of the plane).
+* :mod:`slo` — the declarative SLO engine: per-class objectives
+  evaluated continuously, with Google-SRE-style multi-window burn-rate
+  alert rules.
+* :mod:`alerts` — the deterministic alert timeline those rules produce
+  (time-to-detect, time-to-resolve, duration-in-violation).
 * :mod:`spans` — ingests :mod:`repro.mesh.tracing` spans and computes
   the critical path of each request's call tree.
 * :mod:`attribution` — per-layer latency attribution: decomposes every
   request into app service time, sidecar proxy overhead, retry/hedge
   wait, transport/CC time, and link queueing.
 * :mod:`export` — JSON/CSV exporters plus a flame-style text waterfall.
+* :mod:`promexport` / :mod:`jaeger` — interop exporters: Prometheus
+  text exposition for registry snapshots, Jaeger JSON for traces.
+* :mod:`compare` — run-snapshot diffing (``repro compare``): flags
+  quantile regressions between two exported runs.
 * :mod:`plane` — :class:`ObservabilityPlane`, the wiring that installs
   all of the above onto a built scenario.
 """
 
+from .alerts import AlertEvent, AlertTimeline, SloStats, timeline_csv
 from .attribution import (
     LAYER_APP,
     LAYER_PROXY,
@@ -30,13 +42,16 @@ from .attribution import (
     RequestAttribution,
     decompose,
 )
+from .compare import CompareReport, Delta, compare_runs
 from .export import (
     HistogramRecorder,
+    csv_escape,
     snapshot_csv,
     snapshot_json,
     waterfall_csv,
     waterfall_text,
 )
+from .jaeger import jaeger_json, jaeger_trace_dict
 from .metrics import (
     Counter,
     Gauge,
@@ -47,7 +62,17 @@ from .metrics import (
     summary_from_histograms,
 )
 from .plane import ObservabilityPlane
+from .promexport import parse_prometheus_text, prometheus_text
+from .slo import (
+    SCOPE_CLASS,
+    SCOPE_DESTINATION,
+    BurnRateRule,
+    SloEngine,
+    SloSpec,
+    default_rules,
+)
 from .spans import CriticalPathStep, SpanCollector
+from .windows import WindowedCounter, WindowedHistogram
 
 __all__ = [
     "LAYERS",
@@ -56,8 +81,15 @@ __all__ = [
     "LAYER_QUEUE",
     "LAYER_RETRY",
     "LAYER_TRANSPORT",
+    "SCOPE_CLASS",
+    "SCOPE_DESTINATION",
+    "AlertEvent",
+    "AlertTimeline",
+    "BurnRateRule",
+    "CompareReport",
     "Counter",
     "CriticalPathStep",
+    "Delta",
     "Gauge",
     "HistogramRecorder",
     "LayerAttributor",
@@ -65,13 +97,26 @@ __all__ = [
     "MetricsRegistry",
     "ObservabilityPlane",
     "RequestAttribution",
+    "SloEngine",
+    "SloSpec",
+    "SloStats",
     "SpanCollector",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "compare_runs",
+    "csv_escape",
     "decompose",
+    "default_rules",
+    "jaeger_json",
+    "jaeger_trace_dict",
     "merge_snapshots",
+    "parse_prometheus_text",
+    "prometheus_text",
     "snapshot_csv",
     "snapshot_digest",
     "snapshot_json",
     "summary_from_histograms",
+    "timeline_csv",
     "waterfall_csv",
     "waterfall_text",
 ]

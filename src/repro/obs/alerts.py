@@ -1,0 +1,159 @@
+"""Alert timeline: the deterministic event log the SLO engine produces.
+
+Alerts fire and resolve as plain sim-time events — no wall clock, no
+randomness — so a run's timeline is a pure function of its seed and the
+registered SLOs, and serial vs. parallel sweeps emit byte-identical
+timelines.  The timeline also computes the operator-facing numbers the
+X-6 harness reports: time-to-detect, time-to-resolve, and the total
+duration each SLO spent in violation (the union of its rules' fired
+intervals, so overlapping fast/slow-burn alerts never double-count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .export import csv_escape
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One transition of one (SLO, rule) alert state machine."""
+
+    time: float
+    slo: str
+    rule: str
+    kind: str                 # "fire" | "resolve"
+    burn_long: float = 0.0
+    burn_short: float = 0.0
+
+    def line(self) -> str:
+        glyph = "FIRE   " if self.kind == "fire" else "resolve"
+        return (
+            f"  t={self.time:8.3f}s  {glyph}  {self.slo}/{self.rule}  "
+            f"burn long={self.burn_long:.2f}x short={self.burn_short:.2f}x"
+        )
+
+
+@dataclass
+class SloStats:
+    """Per-SLO summary of one run's alert activity."""
+
+    slo: str
+    alerts_fired: int = 0
+    time_to_detect: float | None = None   # first fire time
+    time_to_resolve: float | None = None  # last resolve (None if open at end)
+    violation_seconds: float = 0.0        # union of fired intervals
+    open_at_end: bool = False
+
+
+class AlertTimeline:
+    """Ordered fire/resolve events plus interval accounting."""
+
+    def __init__(self) -> None:
+        self.events: list[AlertEvent] = []
+        #: (slo, rule) -> fire time of the currently-open alert.
+        self._open: dict[tuple[str, str], float] = {}
+        #: slo -> list of closed [fire, resolve] intervals.
+        self._intervals: dict[str, list[tuple[float, float]]] = {}
+
+    # -- state transitions (driven by the SLO engine) ------------------
+
+    def is_firing(self, slo: str, rule: str) -> bool:
+        return (slo, rule) in self._open
+
+    def fire(
+        self, now: float, slo: str, rule: str,
+        burn_long: float = 0.0, burn_short: float = 0.0,
+    ) -> None:
+        if self.is_firing(slo, rule):
+            return
+        self._open[(slo, rule)] = now
+        self.events.append(
+            AlertEvent(now, slo, rule, "fire", burn_long, burn_short)
+        )
+
+    def resolve(
+        self, now: float, slo: str, rule: str,
+        burn_long: float = 0.0, burn_short: float = 0.0,
+    ) -> None:
+        fired_at = self._open.pop((slo, rule), None)
+        if fired_at is None:
+            return
+        self._intervals.setdefault(slo, []).append((fired_at, now))
+        self.events.append(
+            AlertEvent(now, slo, rule, "resolve", burn_long, burn_short)
+        )
+
+    def finalize(self, now: float) -> None:
+        """Close the books at the end of a run: still-open alerts are
+        counted as violating up to ``now`` (without emitting a resolve
+        event — the operator never saw one)."""
+        for (slo, _rule), fired_at in sorted(self._open.items()):
+            self._intervals.setdefault(slo, []).append((fired_at, now))
+
+    # -- accounting ----------------------------------------------------
+
+    @staticmethod
+    def _union_seconds(intervals: list[tuple[float, float]]) -> float:
+        total = 0.0
+        end = -float("inf")
+        for t0, t1 in sorted(intervals):
+            if t0 > end:
+                total += t1 - t0
+                end = t1
+            elif t1 > end:
+                total += t1 - end
+                end = t1
+        return total
+
+    def slos(self) -> list[str]:
+        names = {e.slo for e in self.events} | set(self._intervals)
+        return sorted(names)
+
+    def stats(self, slo: str) -> SloStats:
+        stats = SloStats(slo=slo)
+        fires = [e for e in self.events if e.slo == slo and e.kind == "fire"]
+        resolves = [
+            e for e in self.events if e.slo == slo and e.kind == "resolve"
+        ]
+        stats.alerts_fired = len(fires)
+        if fires:
+            stats.time_to_detect = fires[0].time
+        if resolves:
+            stats.time_to_resolve = resolves[-1].time
+        stats.open_at_end = any(key[0] == slo for key in self._open)
+        stats.violation_seconds = self._union_seconds(
+            self._intervals.get(slo, [])
+        )
+        return stats
+
+    def violation_seconds(self, slo: str) -> float:
+        return self.stats(slo).violation_seconds
+
+    # -- rendering -----------------------------------------------------
+
+    def text(self, title: str = "") -> str:
+        lines = [title] if title else []
+        if not self.events:
+            lines.append("  (no alerts)")
+        for event in self.events:
+            lines.append(event.line())
+        return "\n".join(lines)
+
+    def csv_rows(self, tag: str = "") -> list[str]:
+        """Timeline rows for :func:`timeline_csv` (one run = one tag)."""
+        return [
+            f"{csv_escape(tag)},{csv_escape(e.slo)},{csv_escape(e.rule)},"
+            f"{e.kind},{e.time:.6f},{e.burn_long:.6f},{e.burn_short:.6f}"
+            for e in self.events
+        ]
+
+
+def timeline_csv(timelines: dict[str, AlertTimeline]) -> str:
+    """CSV of alert timelines across configurations (sorted by tag),
+    with the exporters' trailing-newline + stable-order contract."""
+    lines = ["config,slo,rule,kind,time_s,burn_long,burn_short"]
+    for tag in sorted(timelines):
+        lines.extend(timelines[tag].csv_rows(tag))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,186 @@
+"""``repro compare``: diff two run snapshots, flag quantile regressions.
+
+A *run snapshot* is a directory of exported artifacts (what
+``python -m repro slo --out DIR`` writes, but any harness can produce
+one): registry snapshots as ``*.json`` and per-layer attribution CSVs
+as ``*.csv``.  The comparison walks the baseline's files, pairs them
+with the candidate's by name, and checks every latency statistic it
+understands:
+
+* registry snapshots — p50 and p99 of every histogram present in both
+  sides (same sparse log-linear buckets, so the quantiles are directly
+  comparable);
+* attribution CSVs (``config,class,layer,mean_s,...``) — the e2e mean
+  of every (config, class) row pair.
+
+A statistic regresses when the candidate exceeds the baseline by more
+than ``threshold`` (relative) *and* by more than ``min_abs_s``
+(absolute floor, so nanosecond jitter on microsecond metrics never
+fails a build).  Files present in the baseline but missing from the
+candidate also fail the comparison — a deleted metric must be an
+explicit decision, not a silent pass.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .metrics import LogLinearHistogram
+
+#: Relative slowdown tolerated before a quantile counts as regressed.
+DEFAULT_THRESHOLD = 0.05
+#: Absolute floor (seconds): deltas smaller than this never regress.
+DEFAULT_MIN_ABS_S = 1e-4
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared statistic: ``metric``'s ``stat`` in ``file``."""
+
+    file: str
+    metric: str
+    stat: str
+    baseline: float
+    candidate: float
+
+    @property
+    def relative(self) -> float:
+        if self.baseline == 0.0:
+            return 0.0 if self.candidate == 0.0 else float("inf")
+        return (self.candidate - self.baseline) / self.baseline
+
+    def line(self) -> str:
+        return (
+            f"{self.file}  {self.metric}  {self.stat}: "
+            f"{self.baseline * 1e3:.3f} ms -> {self.candidate * 1e3:.3f} ms "
+            f"({self.relative * 100.0:+.1f}%)"
+        )
+
+
+@dataclass
+class CompareReport:
+    """Everything ``repro compare`` found, plus the verdict."""
+
+    baseline: str
+    candidate: str
+    threshold: float
+    compared: int = 0
+    regressions: list[Delta] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def text(self) -> str:
+        lines = [
+            f"compare: baseline={self.baseline} candidate={self.candidate} "
+            f"(threshold {self.threshold * 100.0:.1f}%)",
+            f"  {self.compared} statistics compared, "
+            f"{len(self.regressions)} regressions, "
+            f"{len(self.missing)} missing",
+        ]
+        for name in self.missing:
+            lines.append(f"  MISSING    {name}")
+        for delta in self.regressions:
+            lines.append(f"  REGRESSION {delta.line()}")
+        if self.ok:
+            lines.append("  OK: no quantile regressions")
+        return "\n".join(lines)
+
+
+def _snapshot_quantiles(path: Path) -> dict[tuple[str, str], float] | None:
+    """(histogram key, stat) -> seconds, or None if not a registry
+    snapshot (Jaeger exports and other JSON are skipped)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or "histograms" not in data:
+        return None
+    out: dict[tuple[str, str], float] = {}
+    for key, payload in data["histograms"].items():
+        hist = LogLinearHistogram.from_dict(payload)
+        out[(key, "p50")] = hist.quantile(50.0)
+        out[(key, "p99")] = hist.quantile(99.0)
+    return out
+
+
+def _attribution_means(path: Path) -> dict[tuple[str, str], float] | None:
+    """(``config/class``, "e2e_mean") -> seconds, or None if the CSV is
+    not an attribution export."""
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return None
+    if not lines or not lines[0].startswith("config,class,layer,mean_s"):
+        return None
+    out: dict[tuple[str, str], float] = {}
+    for line in lines[1:]:
+        parts = line.split(",")
+        if len(parts) < 4 or parts[2] != "e2e":
+            continue
+        out[(f"{parts[0]}/{parts[1]}", "e2e_mean")] = float(parts[3])
+    return out
+
+
+_READERS = {".json": _snapshot_quantiles, ".csv": _attribution_means}
+
+
+def _compare_stats(
+    report: CompareReport,
+    name: str,
+    base: dict[tuple[str, str], float],
+    cand: dict[tuple[str, str], float],
+    threshold: float,
+    min_abs_s: float,
+) -> None:
+    for key in sorted(base):
+        if key not in cand:
+            report.missing.append(f"{name}:{key[0]}:{key[1]}")
+            continue
+        metric, stat = key
+        delta = Delta(name, metric, stat, base[key], cand[key])
+        report.compared += 1
+        slower = delta.candidate - delta.baseline
+        if slower > min_abs_s and delta.relative > threshold:
+            report.regressions.append(delta)
+
+
+def compare_runs(
+    baseline: str | Path,
+    candidate: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_abs_s: float = DEFAULT_MIN_ABS_S,
+) -> CompareReport:
+    """Compare two run-snapshot directories (or two single files)."""
+    baseline, candidate = Path(baseline), Path(candidate)
+    report = CompareReport(
+        baseline=str(baseline), candidate=str(candidate), threshold=threshold
+    )
+    if baseline.is_dir():
+        pairs = [
+            (path.name, path, candidate / path.name)
+            for path in sorted(baseline.iterdir())
+            if path.suffix in _READERS
+        ]
+    else:
+        pairs = [(baseline.name, baseline, candidate)]
+    for name, base_path, cand_path in pairs:
+        reader = _READERS.get(base_path.suffix)
+        if reader is None:
+            continue
+        base = reader(base_path)
+        if base is None:
+            continue  # not a format we understand: ignore on both sides
+        if not cand_path.exists():
+            report.missing.append(name)
+            continue
+        cand = reader(cand_path)
+        if cand is None:
+            report.missing.append(name)
+            continue
+        _compare_stats(report, name, base, cand, threshold, min_abs_s)
+    return report

@@ -1,5 +1,12 @@
 """Exporters: JSON/CSV snapshots, flame-style text waterfalls, and a
-bounded-memory drop-in for the workload ``LatencyRecorder``."""
+bounded-memory drop-in for the workload ``LatencyRecorder``.
+
+Every exporter in this module (and the interop exporters in
+:mod:`promexport` / :mod:`jaeger` / :mod:`alerts`) honours one
+contract so artifact diffs are stable: keys/rows come out in a sorted,
+deterministic order and the text ends with exactly one trailing
+newline.  Exporting the same data twice is byte-identical.
+"""
 
 from __future__ import annotations
 
@@ -19,25 +26,35 @@ LAYER_GLYPHS = {
 }
 
 
+def csv_escape(text: str) -> str:
+    """RFC-4180 field quoting, shared by every CSV writer here.
+
+    Fields containing a comma, a double quote, or a newline are wrapped
+    in double quotes with embedded quotes doubled; anything else passes
+    through untouched (so the common case stays grep-able).
+    """
+    text = str(text)
+    if any(c in text for c in ',"\n\r'):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
 def snapshot_json(snapshot: dict, indent: int = 2) -> str:
-    """A registry snapshot as canonical (sorted-key) JSON."""
-    return json.dumps(snapshot, sort_keys=True, indent=indent)
+    """A registry snapshot as canonical (sorted-key) JSON with the
+    exporters' trailing-newline contract."""
+    return json.dumps(snapshot, sort_keys=True, indent=indent) + "\n"
 
 
 def snapshot_csv(snapshot: dict) -> str:
     """Flatten a registry snapshot to ``kind,metric,field,value`` rows —
     counters and gauges verbatim, histograms as summary statistics."""
     lines = ["kind,metric,field,value"]
-
-    def esc(text: str) -> str:
-        return f'"{text}"' if "," in text else text
-
     for key in sorted(snapshot.get("counters", {})):
-        lines.append(f"counter,{esc(key)},value,{snapshot['counters'][key]:g}")
+        lines.append(f"counter,{csv_escape(key)},value,{snapshot['counters'][key]:g}")
     for key in sorted(snapshot.get("gauges", {})):
         gauge = snapshot["gauges"][key]
-        lines.append(f"gauge,{esc(key)},value,{gauge['value']:g}")
-        lines.append(f"gauge,{esc(key)},max,{gauge['max']:g}")
+        lines.append(f"gauge,{csv_escape(key)},value,{gauge['value']:g}")
+        lines.append(f"gauge,{csv_escape(key)},max,{gauge['max']:g}")
     for key in sorted(snapshot.get("histograms", {})):
         hist = LogLinearHistogram.from_dict(snapshot["histograms"][key])
         for stat, value in (
@@ -46,7 +63,7 @@ def snapshot_csv(snapshot: dict) -> str:
             ("p50", hist.quantile(50.0)),
             ("p99", hist.quantile(99.0)),
         ):
-            lines.append(f"histogram,{esc(key)},{stat},{value:g}")
+            lines.append(f"histogram,{csv_escape(key)},{stat},{value:g}")
     return "\n".join(lines) + "\n"
 
 
@@ -120,14 +137,13 @@ def waterfall_csv(reports: dict[str, dict[str, dict]]) -> str:
     for tag in sorted(reports):
         for request_class, row in sorted(reports[tag].items()):
             e2e = row["e2e_mean"]
-            lines.append(
-                f"{tag},{request_class},e2e,{e2e:.9f},1.0,{row['count']}"
-            )
+            prefix = f"{csv_escape(tag)},{csv_escape(request_class)}"
+            lines.append(f"{prefix},e2e,{e2e:.9f},1.0,{row['count']}")
             for layer in LAYERS:
                 mean = row["layer_means"][layer]
                 share = mean / e2e if e2e > 0 else 0.0
                 lines.append(
-                    f"{tag},{request_class},{layer},{mean:.9f},"
+                    f"{prefix},{layer},{mean:.9f},"
                     f"{share:.6f},{row['count']}"
                 )
     return "\n".join(lines) + "\n"

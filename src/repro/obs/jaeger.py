@@ -1,0 +1,75 @@
+"""Jaeger-compatible JSON export for the mesh's distributed traces.
+
+Turns :class:`repro.mesh.tracing.Trace` call trees into the JSON shape
+Jaeger's query API returns (and its UI imports): one object per trace
+with ``spans`` carrying ``CHILD_OF`` references and a ``processes``
+table mapping process ids to service names.  Sim times (seconds) become
+microsecond integers, Jaeger's native unit.
+
+Determinism contract: traces sort by trace id, spans by (start time,
+span id), process ids are assigned in sorted service order, and the
+JSON serializes with sorted keys and one trailing newline — exporting
+the same tracer twice is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def _micros(seconds: float) -> int:
+    return round(seconds * 1e6)
+
+
+def _span_dict(span, process_ids: dict[str, str]) -> dict:
+    references = []
+    if span.parent_span_id is not None:
+        references.append(
+            {
+                "refType": "CHILD_OF",
+                "traceID": span.trace_id,
+                "spanID": span.parent_span_id,
+            }
+        )
+    end = span.end_time if span.end_time is not None else span.start_time
+    return {
+        "traceID": span.trace_id,
+        "spanID": span.span_id,
+        "operationName": span.operation,
+        "references": references,
+        "startTime": _micros(span.start_time),
+        "duration": _micros(end - span.start_time),
+        "processID": process_ids[span.service],
+        "tags": [
+            {"key": key, "type": "string", "value": str(span.tags[key])}
+            for key in sorted(span.tags)
+        ],
+    }
+
+
+def jaeger_trace_dict(trace) -> dict:
+    """One trace in Jaeger JSON form (spans + processes)."""
+    services = sorted({span.service for span in trace.spans})
+    process_ids = {service: f"p{i + 1}" for i, service in enumerate(services)}
+    spans = sorted(trace.spans, key=lambda s: (s.start_time, s.span_id))
+    return {
+        "traceID": trace.trace_id,
+        "spans": [_span_dict(span, process_ids) for span in spans],
+        "processes": {
+            pid: {"serviceName": service}
+            for service, pid in process_ids.items()
+        },
+    }
+
+
+def jaeger_json(traces, indent: int = 2) -> str:
+    """All traces (a tracer, or an iterable of traces) as Jaeger JSON.
+
+    The top-level shape matches Jaeger's query-API envelope:
+    ``{"data": [trace, ...]}``.
+    """
+    if hasattr(traces, "traces"):
+        traces = traces.traces
+    ordered = sorted(traces, key=lambda t: t.trace_id)
+    payload = {"data": [jaeger_trace_dict(trace) for trace in ordered]}
+    return json.dumps(payload, sort_keys=True, indent=indent) + "\n"

@@ -13,22 +13,38 @@ fully instrumented one.
 ``harvest`` runs after the simulation: it folds the per-interface and
 per-qdisc counters into the registry and ingests the tracer's spans
 into the :class:`SpanCollector`.
+
+The *online* half (ISSUE 4) rides the same wiring: construct the plane
+with an :class:`~repro.obs.slo.SloEngine` carrying registered specs and
+``install`` points the telemetry's ``slo_engine`` hook at it, so the
+gateway and every sidecar stream request outcomes into the engine as
+they happen.  With no engine (or an empty one) the hook stays ``None``
+and the streaming path costs nothing.
 """
 
 from __future__ import annotations
 
 from .attribution import LayerAttributor
 from .metrics import MetricsRegistry
+from .slo import SloEngine
 from .spans import SpanCollector
 
 
 class ObservabilityPlane:
-    """One scenario's measurement hub: registry + attributor + spans."""
+    """One scenario's measurement hub: registry + attributor + spans
+    (+ the optional online SLO engine)."""
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        slo: SloEngine | None = None,
+    ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.attributor = LayerAttributor()
         self.spans = SpanCollector(self.registry)
+        self.slo = slo
+        if slo is not None and slo.registry is None:
+            slo.registry = self.registry
         self.installed = False
 
     def install(self, mesh=None, cluster=None, network=None) -> "ObservabilityPlane":
@@ -43,6 +59,8 @@ class ObservabilityPlane:
             # counter land in the plane's single sink.
             mesh.telemetry.registry = self.registry
             mesh.telemetry.attributor = self.attributor
+            if self.slo is not None and self.slo.specs:
+                mesh.telemetry.slo_engine = self.slo
         if cluster is not None:
             if network is None:
                 network = cluster.network

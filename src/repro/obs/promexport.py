@@ -1,0 +1,190 @@
+"""Prometheus text exposition for registry snapshots.
+
+The registry's native snapshot is a JSON-stable dict; this module turns
+it into the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so a
+run's metrics can be loaded into any Prometheus-compatible tool:
+
+* counters and gauges export verbatim (a gauge additionally exports a
+  ``<name>_max`` series, since the registry tracks the high-water mark);
+* log-linear histograms export as native Prometheus histograms —
+  cumulative ``_bucket{le="..."}`` series over the *occupied* sparse
+  buckets plus ``_sum`` and ``_count`` — so quantile math downstream
+  (``histogram_quantile``) sees the same bucket boundaries the
+  in-process quantile queries use.
+
+Output follows the exporters' contract: families sorted by name,
+series sorted by label set, floats rendered via ``repr`` (shortest
+round-trip form), one trailing newline.  :func:`parse_prometheus_text`
+is the inverse used by the round-trip tests and ``repro compare``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .metrics import LogLinearHistogram, parse_metric_key
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_ESCAPES.get(c, c) for c in str(value))
+
+
+def _unescape_label(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        if value[i] == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    value = float(value)
+    # Integral floats print as integers (Prometheus style); everything
+    # else uses repr, the shortest exact round-trip form.
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _series(name: str, labels: dict, value: float, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return f"{name} {_fmt(value)}"
+    body = ",".join(
+        f'{k}="{_escape_label(merged[k])}"' for k in sorted(merged)
+    )
+    return f"{name}{{{body}}} {_fmt(value)}"
+
+
+def _grouped(section: dict) -> dict[str, list[tuple[str, dict]]]:
+    """metric family name -> [(full key, labels), ...] in key order."""
+    families: dict[str, list[tuple[str, dict]]] = {}
+    for key in sorted(section):
+        name, labels = parse_metric_key(key)
+        families.setdefault(name, []).append((key, labels))
+    return families
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """A registry snapshot in Prometheus text exposition format."""
+    lines: list[str] = []
+
+    for name, members in sorted(_grouped(snapshot.get("counters", {})).items()):
+        lines.append(f"# TYPE {name} counter")
+        for key, labels in members:
+            lines.append(_series(name, labels, snapshot["counters"][key]))
+
+    for name, members in sorted(_grouped(snapshot.get("gauges", {})).items()):
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"# TYPE {name}_max gauge")
+        for key, labels in members:
+            gauge = snapshot["gauges"][key]
+            lines.append(_series(name, labels, gauge["value"]))
+            lines.append(_series(f"{name}_max", labels, gauge["max"]))
+
+    for name, members in sorted(_grouped(snapshot.get("histograms", {})).items()):
+        lines.append(f"# TYPE {name} histogram")
+        for key, labels in members:
+            hist = LogLinearHistogram.from_dict(snapshot["histograms"][key])
+            cumulative = 0
+            for index in sorted(hist.counts):
+                cumulative += hist.counts[index]
+                upper = (
+                    math.inf
+                    if index >= hist._overflow_index()
+                    else hist._bucket_bounds(index)[1]
+                )
+                lines.append(
+                    _series(
+                        f"{name}_bucket", labels, cumulative,
+                        extra={"le": _fmt(upper)},
+                    )
+                )
+            lines.append(
+                _series(
+                    f"{name}_bucket", labels, hist.count, extra={"le": "+Inf"}
+                )
+            )
+            lines.append(_series(f"{name}_sum", labels, hist.sum))
+            lines.append(_series(f"{name}_count", labels, hist.count))
+
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(body: str) -> dict:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        key = body[i:eq]
+        assert body[eq + 1] == '"', f"malformed label value near {body[eq:]!r}"
+        j = eq + 2
+        raw = []
+        while body[j] != '"':
+            if body[j] == "\\":
+                raw.append(body[j : j + 2])
+                j += 2
+            else:
+                raw.append(body[j])
+                j += 1
+        labels[key] = _unescape_label("".join(raw))
+        i = j + 1
+        if i < len(body) and body[i] == ",":
+            i += 1
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Inverse of :func:`prometheus_text` (line-format round-trip).
+
+    Returns ``{"types": {family: type}, "samples": {key: value}}`` where
+    ``key`` is the registry's canonical ``name{k=v,...}`` form (with
+    ``le`` kept for bucket series).  Good enough for the round-trip
+    tests and for ``repro compare`` to diff exported runs.
+    """
+    types: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, kind = rest.partition(" ")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        if "{" in series:
+            name, _, body = series.partition("{")
+            labels = _parse_labels(body.rstrip("}"))
+            label_body = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+            key = f"{name}{{{label_body}}}"
+        else:
+            key = series
+        samples[key] = _parse_value(value)
+    return {"types": types, "samples": samples}

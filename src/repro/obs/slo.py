@@ -1,0 +1,287 @@
+"""The online SLO engine: declarative objectives, burn-rate alerting.
+
+The paper's §3/§4.1 argument is that the mesh layer *knows the
+objective* of every request while it is in flight; this module is that
+knowledge made operational.  An :class:`SloSpec` declares an objective
+the way an operator would ("99 % of LS requests complete under 15 ms,
+judged over a 4 s window"), and the :class:`SloEngine` evaluates every
+registered spec continuously as sidecars and the gateway record
+latencies — during the run, in sim time, deterministically.
+
+Alerting follows the Google-SRE multi-window burn-rate recipe: an
+objective with quantile ``q`` grants an error budget of ``1 - q/100``
+(the fraction of requests allowed to miss the threshold), and the
+*burn rate* of a window is ``observed bad fraction / budget``.  A
+:class:`BurnRateRule` fires when both its long window (evidence that
+the problem is real) and its short window (evidence that it is *still*
+happening) burn faster than ``max_burn``, and resolves when the short
+window recovers — the standard trick for alerts that are both fast to
+fire and fast to resolve, without flapping.
+
+Determinism and overhead:
+
+* all state advances on sim time only — the engine never reads a wall
+  clock and draws no randomness, so the alert timeline is a pure
+  function of the run;
+* every hook checks ``engine is None`` at the call site (telemetry,
+  gateway), so with no SLOs registered the streaming path costs
+  nothing and no evaluation process is ever spawned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .alerts import AlertTimeline
+from .metrics import MetricsRegistry
+from .windows import WindowedCounter, WindowedHistogram
+
+#: Scope of an objective: end-to-end request classes (observed by the
+#: ingress gateway) or per-hop destination services (observed by every
+#: sidecar's telemetry).
+SCOPE_CLASS = "class"
+SCOPE_DESTINATION = "destination"
+
+#: How often (sim seconds) the attached evaluation process ticks.
+DEFAULT_EVAL_INTERVAL = 0.25
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective: workload x quantile x threshold x window."""
+
+    name: str
+    target: str                    # request class ("LS") or destination
+    threshold_s: float             # latency objective (seconds)
+    quantile: float = 99.0         # "quantile % of requests under threshold"
+    window_s: float = 4.0          # compliance window for rolling quantiles
+    scope: str = SCOPE_CLASS
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 100.0:
+            raise ValueError("quantile must be in (0, 100)")
+        if self.threshold_s <= 0:
+            raise ValueError("threshold_s must be positive")
+        if self.scope not in (SCOPE_CLASS, SCOPE_DESTINATION):
+            raise ValueError(f"unknown scope {self.scope!r}")
+
+    @property
+    def budget(self) -> float:
+        """Allowed bad fraction: 1 - q/100 (e.g. 1 % for a p99 SLO)."""
+        return 1.0 - self.quantile / 100.0
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """A multi-window burn-rate alert condition.
+
+    Fires when *both* windows consume error budget at ``max_burn`` or
+    faster; resolves when the short window drops back under.  Windows
+    with fewer than ``min_samples`` observations report a burn of zero
+    (no evidence is treated as healthy, so a cold start never pages).
+    """
+
+    name: str
+    long_window_s: float
+    short_window_s: float
+    max_burn: float = 1.0
+    min_samples: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0 < self.short_window_s <= self.long_window_s:
+            raise ValueError("need 0 < short_window_s <= long_window_s")
+        if self.max_burn <= 0:
+            raise ValueError("max_burn must be positive")
+
+
+def default_rules(spec: SloSpec) -> tuple[BurnRateRule, ...]:
+    """The SRE-style fast/slow pair, scaled to the spec's window.
+
+    Real deployments pair (5 m, 1 h) x 14.4 with (30 m, 6 h) x 1; at
+    simulation scale the same shape becomes a fast rule over half the
+    compliance window and a slow rule over the whole of it.
+    """
+    return (
+        BurnRateRule(
+            name="fast-burn",
+            long_window_s=spec.window_s / 2.0,
+            short_window_s=spec.window_s / 8.0,
+            max_burn=2.0,
+            min_samples=5,
+        ),
+        BurnRateRule(
+            name="slow-burn",
+            long_window_s=spec.window_s,
+            short_window_s=spec.window_s / 4.0,
+            max_burn=1.0,
+            min_samples=10,
+        ),
+    )
+
+
+class _SloState:
+    """Windows and alert state for one registered spec."""
+
+    def __init__(self, spec: SloSpec, rules: tuple[BurnRateRule, ...]):
+        self.spec = spec
+        self.rules = rules
+        #: window seconds -> (total, bad) windowed counters. One pair
+        #: per distinct window across the rules: bounded by rule count.
+        self.pairs: dict[float, tuple[WindowedCounter, WindowedCounter]] = {}
+        for rule in rules:
+            for window in (rule.long_window_s, rule.short_window_s):
+                if window not in self.pairs:
+                    self.pairs[window] = (
+                        WindowedCounter(window),
+                        WindowedCounter(window),
+                    )
+        self.hist = WindowedHistogram(spec.window_s)
+
+    def observe(self, now: float, latency: float | None, ok: bool) -> bool:
+        bad = (not ok) or (
+            latency is not None and latency > self.spec.threshold_s
+        )
+        for total, bad_counter in self.pairs.values():
+            total.add(now)
+            if bad:
+                bad_counter.add(now)
+        if latency is not None:
+            self.hist.record(now, latency)
+        return bad
+
+    def burn(self, window: float, now: float, min_samples: int) -> float:
+        total, bad = self.pairs[window]
+        seen = total.total(now)
+        if seen < min_samples:
+            return 0.0
+        return (bad.total(now) / seen) / self.spec.budget
+
+
+class SloEngine:
+    """Evaluates every registered SLO continuously, in sim time.
+
+    Feed it observations via :meth:`observe` (the telemetry and gateway
+    hooks do this), attach it to a simulator so rules are evaluated on
+    a fixed tick, and read the result off :attr:`timeline`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        eval_interval: float = DEFAULT_EVAL_INTERVAL,
+    ) -> None:
+        if eval_interval <= 0:
+            raise ValueError("eval_interval must be positive")
+        self.registry = registry
+        self.eval_interval = eval_interval
+        self.timeline = AlertTimeline()
+        self._states: dict[str, _SloState] = {}
+        #: (scope, target) -> spec names listening on that stream.
+        self._routes: dict[tuple[str, str], list[str]] = {}
+
+    # -- registration --------------------------------------------------
+
+    @property
+    def specs(self) -> list[SloSpec]:
+        return [state.spec for state in self._states.values()]
+
+    def register(
+        self, spec: SloSpec, rules: tuple[BurnRateRule, ...] | None = None
+    ) -> "SloEngine":
+        if spec.name in self._states:
+            raise ValueError(f"SLO {spec.name!r} already registered")
+        if rules is None:
+            rules = default_rules(spec)
+        self._states[spec.name] = _SloState(spec, tuple(rules))
+        self._routes.setdefault((spec.scope, spec.target), []).append(spec.name)
+        return self
+
+    # -- the streaming path --------------------------------------------
+
+    def observe(
+        self,
+        scope: str,
+        target: str,
+        now: float,
+        latency: float | None = None,
+        ok: bool = True,
+    ) -> None:
+        """One request outcome on a (scope, target) stream.
+
+        ``latency=None`` records an outcome with no usable latency (a
+        timeout): it counts against the budget when ``ok`` is false but
+        never lands in the rolling histogram.
+        """
+        names = self._routes.get((scope, target))
+        if not names:
+            return
+        for name in names:
+            state = self._states[name]
+            bad = state.observe(now, latency, ok)
+            if self.registry is not None:
+                self.registry.counter(
+                    "slo_observations_total",
+                    slo=name,
+                    outcome="bad" if bad else "good",
+                ).inc()
+
+    # -- evaluation ----------------------------------------------------
+
+    def rolling_quantile(self, slo: str, now: float) -> float:
+        """The spec's own quantile over its compliance window, now."""
+        state = self._states[slo]
+        return state.hist.quantile(now, state.spec.quantile)
+
+    def evaluate(self, now: float) -> None:
+        """Run every rule's state machine against the current windows."""
+        for name in sorted(self._states):
+            state = self._states[name]
+            for rule in state.rules:
+                burn_long = state.burn(rule.long_window_s, now, rule.min_samples)
+                burn_short = state.burn(rule.short_window_s, now, rule.min_samples)
+                firing = self.timeline.is_firing(name, rule.name)
+                if not firing:
+                    if burn_long >= rule.max_burn and burn_short >= rule.max_burn:
+                        self.timeline.fire(now, name, rule.name, burn_long, burn_short)
+                        self._count_transition(name, rule.name, "fire")
+                elif burn_short < rule.max_burn:
+                    self.timeline.resolve(now, name, rule.name, burn_long, burn_short)
+                    self._count_transition(name, rule.name, "resolve")
+                if self.registry is not None:
+                    self.registry.gauge(
+                        "slo_burn_rate", slo=name, rule=rule.name, window="long"
+                    ).set(burn_long)
+                    self.registry.gauge(
+                        "slo_burn_rate", slo=name, rule=rule.name, window="short"
+                    ).set(burn_short)
+            if self.registry is not None:
+                self.registry.gauge(
+                    "slo_rolling_quantile_seconds", slo=name
+                ).set(self.rolling_quantile(name, now))
+
+    def _count_transition(self, slo: str, rule: str, kind: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                "slo_alerts_total", kind=kind, rule=rule, slo=slo
+            ).inc()
+
+    # -- simulator attachment ------------------------------------------
+
+    def attach(self, sim, interval: float | None = None):
+        """Spawn the periodic evaluation process (a no-op with no SLOs
+        registered, preserving the zero-overhead contract); returns the
+        process, or None when nothing was spawned."""
+        if not self._states:
+            return None
+        tick = interval if interval is not None else self.eval_interval
+
+        def ticker():
+            while True:
+                yield sim.timeout(tick)
+                self.evaluate(sim.now)
+
+        return sim.process(ticker(), name="slo-engine")
+
+    def finalize(self, now: float) -> None:
+        """End of run: close still-open alerts for interval accounting."""
+        self.timeline.finalize(now)

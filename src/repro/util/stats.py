@@ -12,10 +12,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
-def percentile(samples, q: float) -> float:
-    """The ``q``-th percentile (0-100) of ``samples``."""
+_RAISE = object()
+
+
+def percentile(samples, q: float, default: float = _RAISE) -> float:
+    """The ``q``-th percentile (0-100) of ``samples``.
+
+    An empty sample set raises ``ValueError`` unless ``default`` is
+    given, in which case it is returned instead — callers windowing a
+    stream that can legitimately be empty pass ``default=0.0`` rather
+    than guarding every call site.
+    """
     if len(samples) == 0:
-        raise ValueError("percentile of empty sample set")
+        if default is _RAISE:
+            raise ValueError("percentile of empty sample set")
+        return default
     return float(np.percentile(np.asarray(samples, dtype=float), q))
 
 

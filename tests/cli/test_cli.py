@@ -46,6 +46,19 @@ class TestParser:
         assert args.duration is None         # explicit value always wins
         assert not args.no_cache
 
+    def test_out_flag(self):
+        args = build_parser().parse_args(["slo", "--out", "artifacts"])
+        assert args.out == "artifacts"
+        assert build_parser().parse_args(["slo"]).out is None
+
+    def test_compare_args(self):
+        args = build_parser().parse_args(
+            ["compare", "base", "cand", "--threshold", "0.1"]
+        )
+        assert args.command == "compare"
+        assert args.baseline == "base" and args.candidate == "cand"
+        assert args.threshold == 0.1
+
     def test_duration_not_ignored_under_full(self):
         # The old CLI silently used the --full duration even when the
         # user passed --duration explicitly. Explicit now always wins.
@@ -91,3 +104,15 @@ class TestDispatch:
         code = main(["overhead", "--duration", "1", "--workers", "2", "--no-cache"])
         assert code == 0
         assert "T-2 sidecar overhead" in capsys.readouterr().out
+
+    def test_slo_runs_and_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "snapshot"
+        code = main([
+            "slo", "--duration", "2", "--workers", "1", "--no-cache",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        assert "X-6: online SLO burn-rate alerting" in capsys.readouterr().out
+        assert (out_dir / "alerts.csv").exists()
+        assert (out_dir / "metrics_off.prom").exists()
+        assert (out_dir / "traces_on.json").exists()

@@ -1,0 +1,152 @@
+"""X-6 integration: the online SLO engine fires on the unoptimized
+run, stays quiet on the optimized one, and the harness is deterministic
+across execution modes."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    Runner,
+    ScenarioConfig,
+    SloExperiment,
+    measure_slo,
+)
+from repro.obs import compare_runs, parse_prometheus_text
+
+#: Long enough for the burn-rate rules to fire (the fast rule needs
+#: half the 4 s compliance window of evidence).
+TINY = dict(rps=30.0, duration=4.0, warmup=1.0, drain=10.0, seed=42)
+
+#: Shorter variant for determinism checks (alert activity not needed).
+QUICK = dict(rps=25.0, duration=2.0, warmup=0.3, drain=10.0, seed=42)
+
+
+def experiment(**overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    return SloExperiment(**params)
+
+
+class TestSloAcceptance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        with Runner(workers=2) as runner:
+            return experiment().run(runner)
+
+    def test_unoptimized_run_fires_ls_alerts(self, result):
+        assert result.alerts_fired("off", "LS-p99") >= 1
+        assert result.violation_seconds("off", "LS-p99") > 0.0
+
+    def test_optimized_run_stays_quiet(self, result):
+        assert result.alerts_fired("on", "LS-p99") == 0
+        assert result.violation_seconds("on", "LS-p99") == 0.0
+
+    def test_ls_violation_strictly_lower_with_prioritization(self, result):
+        assert result.ls_improved
+        assert result.violation_seconds(
+            "on", "LS-p99"
+        ) < result.violation_seconds("off", "LS-p99")
+
+    def test_healthy_li_slo_never_fires(self, result):
+        assert result.alerts_fired("off", "LI-p99") == 0
+        assert result.alerts_fired("on", "LI-p99") == 0
+
+    def test_detect_before_resolve(self, result):
+        stats = result.stats["off"]["LS-p99"]
+        assert stats["time_to_detect"] is not None
+        if stats["time_to_resolve"] is not None:
+            assert stats["time_to_detect"] < stats["time_to_resolve"]
+
+    def test_report_sections(self, result):
+        text = result.report()
+        assert "X-6: online SLO burn-rate alerting" in text
+        assert "alert timeline (cross-layer off):" in text
+        assert "alert timeline (cross-layer on):" in text
+        assert "LS-p99 burn duration:" in text
+        assert "registry digests:" in text
+
+    def test_csv_timeline(self, result):
+        lines = result.csv().splitlines()
+        assert lines[0] == "config,slo,rule,kind,time_s,burn_long,burn_short"
+        assert any(line.startswith("off,LS-p99") for line in lines[1:])
+
+
+class TestArtifacts:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        with Runner(workers=2) as runner:
+            result = experiment().run(runner)
+        out = tmp_path_factory.mktemp("slo-artifacts")
+        written = result.write_artifacts(out)
+        return out, written
+
+    def test_expected_files(self, exported):
+        out, written = exported
+        names = {path.name for path in written}
+        assert names == {
+            "metrics_off.json", "metrics_on.json",
+            "metrics_off.prom", "metrics_on.prom",
+            "traces_off.json", "traces_on.json",
+            "attribution.csv", "alerts.csv",
+        }
+
+    def test_prometheus_artifact_parses(self, exported):
+        out, _ = exported
+        parsed = parse_prometheus_text((out / "metrics_off.prom").read_text())
+        assert parsed["types"].get("mesh_requests_total") == "counter"
+        assert parsed["types"].get("slo_burn_rate") == "gauge"
+        assert any(
+            key.startswith("slo_observations_total")
+            for key in parsed["samples"]
+        )
+
+    def test_jaeger_artifact_preserves_span_tree(self, exported):
+        out, _ = exported
+        data = json.loads((out / "traces_off.json").read_text())
+        assert data["data"], "expected at least one exported trace"
+        trace = data["data"][0]
+        span_ids = {span["spanID"] for span in trace["spans"]}
+        roots = 0
+        for span in trace["spans"]:
+            if not span["references"]:
+                roots += 1
+                continue
+            (ref,) = span["references"]
+            assert ref["refType"] == "CHILD_OF"
+            assert ref["spanID"] in span_ids  # parent present in the tree
+        assert roots == 1
+
+    def test_compare_run_against_itself_is_clean(self, exported):
+        out, _ = exported
+        report = compare_runs(out, out)
+        assert report.ok
+        assert report.compared > 0
+
+    def test_alert_timeline_artifact(self, exported):
+        out, _ = exported
+        lines = (out / "alerts.csv").read_text().splitlines()
+        assert lines[0] == "config,slo,rule,kind,time_s,burn_long,burn_short"
+        assert any(",fire," in line for line in lines[1:])
+
+
+class TestDeterminism:
+    def test_back_to_back_runs_identical(self):
+        a = measure_slo(ScenarioConfig(**QUICK))
+        b = measure_slo(ScenarioConfig(**QUICK))
+        assert a.extra["alert_events"] == b.extra["alert_events"]
+        assert a.extra["slo_stats"] == b.extra["slo_stats"]
+        assert a.extra["obs_digest"] == b.extra["obs_digest"]
+        assert a.extra["jaeger"] == b.extra["jaeger"]
+        assert a.summaries == b.summaries
+
+    def test_serial_vs_workers_identical(self):
+        """Same seed, serial vs --workers 2: byte-identical timeline
+        CSV and report."""
+        with Runner(workers=1) as runner:
+            serial = experiment(**QUICK).run(runner)
+        with Runner(workers=2) as runner:
+            parallel = experiment(**QUICK).run(runner)
+        assert serial.csv() == parallel.csv()
+        assert serial.report() == parallel.report()
+        assert serial.digests == parallel.digests

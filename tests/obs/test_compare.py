@@ -1,0 +1,128 @@
+"""``repro compare``: run-snapshot diffing and the regression verdict."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, compare_runs
+from repro.obs.export import snapshot_json, waterfall_csv
+
+
+def _snapshot_text(latencies):
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency_seconds", destination="fe")
+    for value in latencies:
+        hist.record(value)
+    return snapshot_json(registry.snapshot())
+
+
+def _attribution_text(e2e_mean):
+    report = {
+        "LS": {
+            "count": 10,
+            "e2e_mean": e2e_mean,
+            "layer_means": {
+                "app": e2e_mean, "proxy": 0.0, "retry": 0.0,
+                "transport": 0.0, "queue": 0.0,
+            },
+            "max_error": 0.0,
+        }
+    }
+    return waterfall_csv({"off": report})
+
+
+def _write_run(path, latencies, e2e_mean):
+    path.mkdir(exist_ok=True)
+    (path / "metrics.json").write_text(_snapshot_text(latencies))
+    (path / "attribution.csv").write_text(_attribution_text(e2e_mean))
+
+
+BASE = [0.010] * 99 + [0.020]
+
+
+class TestCompareRuns:
+    def test_identical_runs_pass(self, tmp_path):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", BASE, 0.010)
+        report = compare_runs(tmp_path / "a", tmp_path / "b")
+        assert report.ok
+        assert report.compared > 0
+        assert "OK: no quantile regressions" in report.text()
+
+    def test_injected_quantile_regression_fails(self, tmp_path):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", [v * 2 for v in BASE], 0.010)
+        report = compare_runs(tmp_path / "a", tmp_path / "b")
+        assert not report.ok
+        stats = {(d.metric, d.stat) for d in report.regressions}
+        assert ("latency_seconds{destination=fe}", "p99") in stats
+        assert "REGRESSION" in report.text()
+
+    def test_attribution_mean_regression_fails(self, tmp_path):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", BASE, 0.020)
+        report = compare_runs(tmp_path / "a", tmp_path / "b")
+        assert [d.stat for d in report.regressions] == ["e2e_mean"]
+
+    def test_small_absolute_deltas_never_regress(self, tmp_path):
+        # 50% relative but only 50 us absolute: under the 1e-4 s floor.
+        _write_run(tmp_path / "a", [0.0001] * 100, 0.0001)
+        _write_run(tmp_path / "b", [0.00015] * 100, 0.00015)
+        assert compare_runs(tmp_path / "a", tmp_path / "b").ok
+
+    def test_speedup_is_not_a_regression(self, tmp_path):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", [v / 2 for v in BASE], 0.005)
+        assert compare_runs(tmp_path / "a", tmp_path / "b").ok
+
+    def test_missing_candidate_file_fails(self, tmp_path):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", BASE, 0.010)
+        (tmp_path / "b" / "attribution.csv").unlink()
+        report = compare_runs(tmp_path / "a", tmp_path / "b")
+        assert not report.ok
+        assert "attribution.csv" in report.missing
+
+    def test_single_file_pair(self, tmp_path):
+        (tmp_path / "a.json").write_text(_snapshot_text(BASE))
+        (tmp_path / "b.json").write_text(_snapshot_text([v * 3 for v in BASE]))
+        report = compare_runs(tmp_path / "a.json", tmp_path / "b.json")
+        assert not report.ok
+
+    def test_non_snapshot_files_are_skipped(self, tmp_path):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", BASE, 0.010)
+        (tmp_path / "a" / "notes.json").write_text('{"data": []}')
+        (tmp_path / "b" / "notes.json").write_text('{"data": []}')
+        assert compare_runs(tmp_path / "a", tmp_path / "b").ok
+
+    def test_threshold_is_respected(self, tmp_path):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", [v * 1.5 for v in BASE], 0.010)
+        assert not compare_runs(tmp_path / "a", tmp_path / "b").ok
+        assert compare_runs(
+            tmp_path / "a", tmp_path / "b", threshold=1.0
+        ).ok
+
+
+class TestCompareCli:
+    def test_exit_zero_on_identical(self, tmp_path, capsys):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", BASE, 0.010)
+        code = main(["compare", str(tmp_path / "a"), str(tmp_path / "b")])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", [v * 2 for v in BASE], 0.010)
+        code = main(["compare", str(tmp_path / "a"), str(tmp_path / "b")])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", [v * 1.2 for v in BASE], 0.012)
+        assert main([
+            "compare", str(tmp_path / "a"), str(tmp_path / "b"),
+            "--threshold", "0.5",
+        ]) == 0

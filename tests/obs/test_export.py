@@ -10,6 +10,7 @@ from repro.obs import (
     LAYER_QUEUE,
     LayerAttributor,
     MetricsRegistry,
+    csv_escape,
     snapshot_csv,
     snapshot_json,
     waterfall_csv,
@@ -79,6 +80,77 @@ class TestWaterfalls:
         csv = waterfall_csv({"on": report, "off": report})
         tags = [line.split(",")[0] for line in csv.splitlines()[1:]]
         assert tags == sorted(tags)
+
+
+class TestCsvEscape:
+    def test_plain_text_passes_through(self):
+        assert csv_escape("plain") == "plain"
+        assert csv_escape(42) == "42"
+
+    def test_comma_is_quoted(self):
+        assert csv_escape("a,b") == '"a,b"'
+
+    def test_quotes_are_doubled(self):
+        assert csv_escape('say "hi"') == '"say ""hi"""'
+
+    def test_newlines_are_quoted(self):
+        assert csv_escape("a\nb") == '"a\nb"'
+        assert csv_escape("a\rb") == '"a\rb"'
+
+    def test_label_values_survive_snapshot_csv(self):
+        registry = MetricsRegistry()
+        registry.counter("req", route='GET "/a,b"').inc()
+        lines = snapshot_csv(registry.snapshot()).splitlines()
+        (row,) = [l for l in lines if l.startswith("counter")]
+        # The quoted field parses back to the original key.
+        import csv as csv_module
+        import io
+
+        ((_, metric, _, _),) = csv_module.reader(io.StringIO(row))
+        assert metric == 'req{route=GET "/a,b"}'
+
+    def test_waterfall_csv_escapes_tag_and_class(self):
+        attributor = LayerAttributor()
+        attributor.start_request("r1", 'LS,"batch"', 0.0)
+        attributor.record("r1", LAYER_APP, 0.0, 0.004)
+        attributor.finish_request("r1", 0.010)
+        text = waterfall_csv({"off,on": attributor.class_report()})
+        import csv as csv_module
+        import io
+
+        rows = list(csv_module.reader(io.StringIO(text)))
+        assert rows[1][0] == "off,on"
+        assert rows[1][1] == 'LS,"batch"'
+
+
+class TestExporterContract:
+    """Sorted keys + exactly one trailing newline, byte-stable twice."""
+
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("b", x="1").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").record(0.003)
+        return registry.snapshot()
+
+    def test_exporting_twice_is_byte_identical(self):
+        snapshot = self._snapshot()
+        report = _report().class_report()
+        for exporter, data in (
+            (snapshot_json, snapshot),
+            (snapshot_csv, snapshot),
+            (waterfall_csv, {"off": report, "on": report}),
+        ):
+            first, second = exporter(data), exporter(data)
+            assert first == second
+            assert first.endswith("\n") and not first.endswith("\n\n")
+
+    def test_snapshot_json_sorts_keys(self):
+        text = snapshot_json(self._snapshot())
+        counters = text.index('"counters"')
+        histograms = text.index('"histograms"')
+        assert counters < histograms
 
 
 class TestHistogramRecorder:

@@ -1,0 +1,78 @@
+"""Jaeger JSON export: span tree preserved through json.loads."""
+
+import json
+
+from repro.mesh.tracing import Span, Trace
+from repro.obs import jaeger_json, jaeger_trace_dict
+
+
+def _trace(trace_id="t1"):
+    trace = Trace(trace_id)
+    trace.spans.append(
+        Span(trace_id, "s1", None, "gateway", "ingress", 0.000, 0.020,
+             tags={"status": 200})
+    )
+    trace.spans.append(
+        Span(trace_id, "s2", "s1", "frontend", "GET /", 0.002, 0.018)
+    )
+    trace.spans.append(
+        Span(trace_id, "s3", "s2", "backend", "GET /db", 0.005, 0.012)
+    )
+    return trace
+
+
+class TestTraceDict:
+    def test_span_tree_survives_json_loads(self):
+        data = json.loads(jaeger_json([_trace()]))
+        (trace,) = data["data"]
+        spans = {span["spanID"]: span for span in trace["spans"]}
+        assert set(spans) == {"s1", "s2", "s3"}
+        assert spans["s1"]["references"] == []
+        (ref2,) = spans["s2"]["references"]
+        assert ref2 == {"refType": "CHILD_OF", "traceID": "t1", "spanID": "s1"}
+        (ref3,) = spans["s3"]["references"]
+        assert ref3["spanID"] == "s2"
+
+    def test_times_become_microseconds(self):
+        trace = jaeger_trace_dict(_trace())
+        root = next(s for s in trace["spans"] if s["spanID"] == "s1")
+        assert root["startTime"] == 0
+        assert root["duration"] == 20_000
+
+    def test_processes_map_services(self):
+        trace = jaeger_trace_dict(_trace())
+        names = {
+            p["serviceName"] for p in trace["processes"].values()
+        }
+        assert names == {"gateway", "frontend", "backend"}
+        for span in trace["spans"]:
+            assert span["processID"] in trace["processes"]
+
+    def test_tags_are_string_typed(self):
+        trace = jaeger_trace_dict(_trace())
+        root = next(s for s in trace["spans"] if s["spanID"] == "s1")
+        assert root["tags"] == [
+            {"key": "status", "type": "string", "value": "200"}
+        ]
+
+
+class TestDeterminism:
+    def test_byte_identical_and_sorted(self):
+        traces = [_trace("t2"), _trace("t1")]
+        text = jaeger_json(traces)
+        assert text == jaeger_json(list(reversed(traces)))
+        assert text.endswith("\n") and not text.endswith("\n\n")
+        ids = [t["traceID"] for t in json.loads(text)["data"]]
+        assert ids == ["t1", "t2"]
+
+    def test_accepts_tracer_like_object(self):
+        class FakeTracer:
+            traces = [_trace()]
+
+        assert json.loads(jaeger_json(FakeTracer()))["data"][0]["traceID"] == "t1"
+
+    def test_open_span_gets_zero_duration(self):
+        trace = Trace("t9")
+        trace.spans.append(Span("t9", "s1", None, "svc", "op", 1.0, None))
+        span = jaeger_trace_dict(trace)["spans"][0]
+        assert span["duration"] == 0

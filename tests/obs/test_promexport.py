@@ -1,0 +1,97 @@
+"""Prometheus text exposition: format and line-level round-trip."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_prometheus_text, prometheus_text
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("mesh_requests_total", source="gw", destination="fe").inc(3)
+    registry.counter("mesh_requests_total", source="fe", destination="db").inc(7)
+    registry.gauge("queue_depth", iface="eth0").set(4.0)
+    hist = registry.histogram("latency_seconds", destination="fe")
+    for value in (0.001, 0.002, 0.004, 0.040):
+        hist.record(value)
+    return registry
+
+
+class TestExposition:
+    def test_type_lines_and_series(self):
+        text = prometheus_text(_registry().snapshot())
+        lines = text.splitlines()
+        assert "# TYPE mesh_requests_total counter" in lines
+        assert "# TYPE queue_depth gauge" in lines
+        assert "# TYPE latency_seconds histogram" in lines
+        assert (
+            'mesh_requests_total{destination="fe",source="gw"} 3' in lines
+        )
+        assert 'queue_depth{iface="eth0"} 4' in lines
+        assert 'queue_depth_max{iface="eth0"} 4' in lines
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = prometheus_text(_registry().snapshot())
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("latency_seconds_bucket")
+        ]
+        values = [float(line.rpartition(" ")[2]) for line in buckets]
+        assert values == sorted(values)  # cumulative
+        assert 'le="+Inf"' in buckets[-1]
+        assert values[-1] == 4
+        assert "latency_seconds_count" in text
+        assert "latency_seconds_sum" in text
+
+    def test_trailing_newline_and_byte_stability(self):
+        snapshot = _registry().snapshot()
+        text = prometheus_text(snapshot)
+        assert text.endswith("\n") and not text.endswith("\n\n")
+        assert text == prometheus_text(snapshot)
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("weird_total", label='a"b\\c\nd').inc()
+        text = prometheus_text(registry.snapshot())
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        parsed = parse_prometheus_text(text)
+        assert parsed["samples"]['weird_total{label=a"b\\c\nd}'] == 1
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        snapshot = _registry().snapshot()
+        parsed = parse_prometheus_text(prometheus_text(snapshot))
+        assert parsed["types"] == {
+            "mesh_requests_total": "counter",
+            "queue_depth": "gauge",
+            "queue_depth_max": "gauge",
+            "latency_seconds": "histogram",
+        }
+        samples = parsed["samples"]
+        assert samples["mesh_requests_total{destination=fe,source=gw}"] == 3
+        assert samples["mesh_requests_total{destination=db,source=fe}"] == 7
+        assert samples["queue_depth{iface=eth0}"] == 4.0
+        # Histogram invariants survive the text form.
+        count_key = "latency_seconds_count{destination=fe}"
+        assert samples[count_key] == 4
+        inf_bucket = [
+            key for key in samples
+            if key.startswith("latency_seconds_bucket") and "le=+Inf" in key
+        ]
+        assert len(inf_bucket) == 1
+        assert samples[inf_bucket[0]] == samples[count_key]
+        total = samples["latency_seconds_sum{destination=fe}"]
+        assert total == pytest.approx(0.047)
+
+    def test_parse_handles_inf_values(self):
+        parsed = parse_prometheus_text("x +Inf\ny -Inf\n")
+        assert parsed["samples"]["x"] == math.inf
+        assert parsed["samples"]["y"] == -math.inf
+
+    def test_unlabeled_series(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total").inc(2)
+        parsed = parse_prometheus_text(prometheus_text(registry.snapshot()))
+        assert parsed["samples"]["plain_total"] == 2

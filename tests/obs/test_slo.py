@@ -1,0 +1,235 @@
+"""The online SLO engine: specs, burn-rate rules, alert timeline."""
+
+import pytest
+
+from repro.obs import (
+    AlertTimeline,
+    BurnRateRule,
+    MetricsRegistry,
+    ObservabilityPlane,
+    SloEngine,
+    SloSpec,
+    default_rules,
+    timeline_csv,
+)
+from repro.sim import Simulator
+
+
+def _spec(**overrides):
+    base = dict(
+        name="LS-p99", target="LS", threshold_s=0.015,
+        quantile=99.0, window_s=4.0,
+    )
+    base.update(overrides)
+    return SloSpec(**base)
+
+
+#: A single aggressive rule so unit tests drive the state machine with
+#: few observations: fire when both 2 s and 0.5 s windows burn >= 2x.
+_RULE = BurnRateRule(
+    name="fast", long_window_s=2.0, short_window_s=0.5,
+    max_burn=2.0, min_samples=2,
+)
+
+
+def _feed(engine, t0, t1, step, latency):
+    t = t0
+    while t < t1:
+        engine.observe("class", "LS", t, latency=latency)
+        t += step
+
+
+class TestSpecValidation:
+    def test_budget(self):
+        assert _spec(quantile=99.0).budget == pytest.approx(0.01)
+        assert _spec(quantile=90.0).budget == pytest.approx(0.10)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            _spec(quantile=100.0)
+        with pytest.raises(ValueError):
+            _spec(quantile=0.0)
+
+    def test_rejects_bad_threshold_and_scope(self):
+        with pytest.raises(ValueError):
+            _spec(threshold_s=0.0)
+        with pytest.raises(ValueError):
+            _spec(scope="pod")
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            BurnRateRule(name="r", long_window_s=1.0, short_window_s=2.0)
+        with pytest.raises(ValueError):
+            BurnRateRule(
+                name="r", long_window_s=2.0, short_window_s=1.0, max_burn=0.0
+            )
+
+    def test_default_rules_scale_with_window(self):
+        fast, slow = default_rules(_spec(window_s=8.0))
+        assert fast.long_window_s == 4.0 and fast.short_window_s == 1.0
+        assert slow.long_window_s == 8.0 and slow.short_window_s == 2.0
+
+    def test_duplicate_registration_rejected(self):
+        engine = SloEngine().register(_spec())
+        with pytest.raises(ValueError):
+            engine.register(_spec())
+
+
+class TestBurnRateAlerting:
+    def test_fires_on_sustained_violation_and_resolves(self):
+        engine = SloEngine()
+        engine.register(_spec(), rules=(_RULE,))
+        # 100% bad traffic (latency over threshold): burn = 100x budget.
+        _feed(engine, 0.0, 2.0, 0.1, latency=0.050)
+        engine.evaluate(2.0)
+        assert engine.timeline.is_firing("LS-p99", "fast")
+        # Recovery: fast traffic floods the short window.
+        _feed(engine, 2.0, 4.0, 0.05, latency=0.001)
+        engine.evaluate(4.0)
+        assert not engine.timeline.is_firing("LS-p99", "fast")
+        kinds = [e.kind for e in engine.timeline.events]
+        assert kinds == ["fire", "resolve"]
+
+    def test_healthy_traffic_never_fires(self):
+        engine = SloEngine()
+        engine.register(_spec(), rules=(_RULE,))
+        _feed(engine, 0.0, 4.0, 0.05, latency=0.001)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.evaluate(t)
+        assert engine.timeline.events == []
+
+    def test_min_samples_guard_keeps_cold_start_quiet(self):
+        engine = SloEngine()
+        engine.register(_spec(), rules=(_RULE,))
+        engine.observe("class", "LS", 0.1, latency=9.9)  # 1 bad sample
+        engine.evaluate(0.2)
+        assert engine.timeline.events == []
+
+    def test_not_ok_counts_against_budget_without_latency(self):
+        engine = SloEngine()
+        engine.register(_spec(), rules=(_RULE,))
+        t = 0.0
+        while t < 2.0:
+            engine.observe("class", "LS", t, ok=False)  # timeouts
+            t += 0.1
+        engine.evaluate(2.0)
+        assert engine.timeline.is_firing("LS-p99", "fast")
+
+    def test_unrouted_streams_are_ignored(self):
+        engine = SloEngine()
+        engine.register(_spec(), rules=(_RULE,))
+        for i in range(40):
+            engine.observe("class", "LI", i * 0.05, latency=9.9)
+        engine.evaluate(2.0)
+        assert engine.timeline.events == []
+
+    def test_rolling_quantile_tracks_window(self):
+        engine = SloEngine()
+        engine.register(_spec(window_s=2.0), rules=(_RULE,))
+        _feed(engine, 0.0, 1.0, 0.01, latency=0.010)
+        assert engine.rolling_quantile("LS-p99", 1.0) == pytest.approx(
+            0.010, rel=0.02
+        )
+
+    def test_registry_instrumentation(self):
+        registry = MetricsRegistry()
+        engine = SloEngine(registry=registry)
+        engine.register(_spec(), rules=(_RULE,))
+        _feed(engine, 0.0, 2.0, 0.1, latency=0.050)
+        engine.evaluate(2.0)
+        assert registry.counter_total("slo_observations_total", slo="LS-p99") > 0
+        assert registry.counter_total("slo_alerts_total", kind="fire") == 1
+
+
+class TestTimelineAccounting:
+    def test_stats_and_union(self):
+        timeline = AlertTimeline()
+        timeline.fire(1.0, "S", "fast")
+        timeline.fire(2.0, "S", "slow")
+        timeline.resolve(3.0, "S", "fast")
+        timeline.resolve(5.0, "S", "slow")
+        stats = timeline.stats("S")
+        assert stats.alerts_fired == 2
+        assert stats.time_to_detect == 1.0
+        assert stats.time_to_resolve == 5.0
+        # Union of [1,3] and [2,5] is 4 s, not 5 s.
+        assert stats.violation_seconds == pytest.approx(4.0)
+        assert not stats.open_at_end
+
+    def test_finalize_closes_open_alerts_without_resolve_event(self):
+        timeline = AlertTimeline()
+        timeline.fire(1.0, "S", "fast")
+        timeline.finalize(4.0)
+        assert timeline.stats("S").violation_seconds == pytest.approx(3.0)
+        assert timeline.stats("S").open_at_end
+        assert [e.kind for e in timeline.events] == ["fire"]
+
+    def test_double_fire_and_orphan_resolve_are_noops(self):
+        timeline = AlertTimeline()
+        timeline.fire(1.0, "S", "fast")
+        timeline.fire(2.0, "S", "fast")
+        timeline.resolve(3.0, "S", "other")
+        assert len(timeline.events) == 1
+
+    def test_text_and_csv(self):
+        timeline = AlertTimeline()
+        timeline.fire(1.0, "S", "fast", 3.0, 4.0)
+        timeline.resolve(2.0, "S", "fast", 1.0, 0.5)
+        text = timeline.text(title="demo:")
+        assert text.startswith("demo:")
+        assert "FIRE" in text and "resolve" in text
+        assert AlertTimeline().text() == "  (no alerts)"
+        csv = timeline_csv({"off": timeline})
+        lines = csv.splitlines()
+        assert lines[0] == "config,slo,rule,kind,time_s,burn_long,burn_short"
+        assert lines[1].startswith("off,S,fast,fire,1.000000")
+        assert csv.endswith("\n") and not csv.endswith("\n\n")
+
+
+class TestZeroOverheadContract:
+    def test_attach_without_specs_spawns_nothing(self):
+        sim = Simulator()
+        assert SloEngine().attach(sim) is None
+        assert sim.peek() == float("inf")
+
+    def test_attach_with_specs_ticks(self):
+        sim = Simulator()
+        engine = SloEngine(eval_interval=0.5)
+        engine.register(_spec(), rules=(_RULE,))
+        assert engine.attach(sim) is not None
+        _feed(engine, 0.0, 2.0, 0.1, latency=0.050)
+        sim.run(until=2.1)
+        assert engine.timeline.is_firing("LS-p99", "fast")
+
+    def test_plane_without_slos_leaves_hook_none(self):
+        class FakeMesh:
+            pass
+
+        class FakeTelemetry:
+            registry = None
+            attributor = None
+            slo_engine = None
+
+        mesh = FakeMesh()
+        mesh.telemetry = FakeTelemetry()
+        ObservabilityPlane().install(mesh=mesh)
+        assert mesh.telemetry.slo_engine is None
+        # An engine with no registered specs is also not installed.
+        ObservabilityPlane(slo=SloEngine()).install(mesh=mesh)
+        assert mesh.telemetry.slo_engine is None
+
+    def test_plane_with_specs_installs_engine_and_adopts_registry(self):
+        class FakeMesh:
+            pass
+
+        class FakeTelemetry:
+            registry = None
+            attributor = None
+            slo_engine = None
+
+        mesh = FakeMesh()
+        mesh.telemetry = FakeTelemetry()
+        engine = SloEngine().register(_spec())
+        plane = ObservabilityPlane(slo=engine).install(mesh=mesh)
+        assert mesh.telemetry.slo_engine is engine
+        assert engine.registry is plane.registry

@@ -1,0 +1,102 @@
+"""Sliding-window counters and histograms (the online plane's core)."""
+
+import pytest
+
+from repro.obs import WindowedCounter, WindowedHistogram
+
+
+class TestWindowedCounter:
+    def test_counts_within_window(self):
+        counter = WindowedCounter(window=4.0)
+        counter.add(0.1)
+        counter.add(1.0)
+        counter.add(2.0, amount=3.0)
+        assert counter.total(2.0) == 5.0
+
+    def test_old_slices_expire(self):
+        counter = WindowedCounter(window=4.0, slices=4)
+        counter.add(0.1)
+        counter.add(5.0)
+        # At t=5 the window starts at a slice boundary >= 1.0: the t=0.1
+        # sample expired, only the t=5 sample remains.
+        assert counter.window_start(5.0) > 0.1
+        assert counter.total(5.0) == 1.0
+
+    def test_stale_add_is_dropped(self):
+        counter = WindowedCounter(window=2.0, slices=2)
+        counter.add(10.0)
+        counter.add(0.5)  # far older than the live window
+        assert counter.total(10.0) == 1.0
+
+    def test_rate_uses_nominal_window(self):
+        counter = WindowedCounter(window=2.0)
+        for t in (0.1, 0.5, 1.0, 1.5):
+            counter.add(t)
+        assert counter.rate(1.5) == pytest.approx(4 / 2.0)
+
+    def test_query_is_read_only(self):
+        counter = WindowedCounter(window=1.0)
+        counter.add(0.5)
+        assert counter.total(0.5) == counter.total(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedCounter(window=0.0)
+        with pytest.raises(ValueError):
+            WindowedCounter(window=1.0, slices=0)
+
+
+class TestWindowedHistogram:
+    def test_empty_window_quantile_is_zero(self):
+        hist = WindowedHistogram(window=4.0)
+        assert hist.count(0.0) == 0
+        assert hist.quantile(0.0, 99.0) == 0.0
+
+    def test_single_sample(self):
+        hist = WindowedHistogram(window=4.0)
+        hist.record(1.0, 0.010)
+        assert hist.count(1.0) == 1
+        assert hist.quantile(1.0, 50.0) == pytest.approx(0.010, rel=0.01)
+        assert hist.quantile(1.0, 99.0) == pytest.approx(0.010, rel=0.01)
+
+    def test_rolling_forgets_old_samples(self):
+        hist = WindowedHistogram(window=2.0, slices=2)
+        hist.record(0.1, 1.0)     # a huge early outlier
+        hist.record(3.0, 0.001)
+        # By t=3 the outlier's slice has expired entirely.
+        assert hist.count(3.0) == 1
+        assert hist.quantile(3.0, 99.0) == pytest.approx(0.001, rel=0.01)
+
+    def test_exact_boundary_tick_lands_in_its_slice(self):
+        # t == k * slice_width must land in slice k (the +1e-9 nudge).
+        hist = WindowedHistogram(window=4.0, slices=8)  # slice width 0.5
+        hist.record(0.5, 0.010)   # boundary: slice 1, not slice 0
+        hist.record(4.0, 0.020)   # boundary: slice 8; live = slices 1..8
+        assert hist.window_start(4.0) == pytest.approx(0.5)
+        assert hist.count(4.0) == 2
+        # One slice later the boundary sample's slice expires.
+        assert hist.count(4.5) == 1
+
+    def test_membership_predicate_is_slice_aligned(self):
+        hist = WindowedHistogram(window=4.0, slices=8)
+        samples = [(0.3, 0.001), (1.2, 0.002), (2.9, 0.004), (4.1, 0.008)]
+        for t, v in samples:
+            hist.record(t, v)
+        now = 4.1
+        start = hist.window_start(now)
+        expected = [v for t, v in samples if t >= start]
+        assert hist.count(now) == len(expected)
+
+    def test_summary_matches_merged(self):
+        hist = WindowedHistogram(window=4.0)
+        for i in range(100):
+            hist.record(i * 0.01, 0.001 * (i + 1))
+        summary = hist.summary(1.0)
+        assert summary.count == hist.count(1.0)
+        assert summary.p99 == hist.quantile(1.0, 99.0)
+
+    def test_memory_bounded_by_slices(self):
+        hist = WindowedHistogram(window=1.0, slices=4)
+        for i in range(10_000):
+            hist.record(i * 0.01, 0.005)
+        assert len(hist.slices) <= 4

@@ -1,0 +1,102 @@
+"""Property tests: sliding-window aggregates vs an exact rolling oracle.
+
+The windowed histogram's membership is slice-aligned by design (a
+sample at ``t`` is live at ``now`` iff its slice index is within the
+``slices`` most recent), so a test can replay the exact same predicate
+over a plain list and compare: counts must match exactly, and the
+rolling p50/p99 must stay within the documented ~1 % relative bound of
+the true order statistic (ceil-rank convention, matching
+``LogLinearHistogram.quantile``).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import WindowedCounter, WindowedHistogram
+
+WINDOW = 4.0
+SLICES = 8
+
+# Latencies within the histogram's trustable range; sim time advances
+# by nonnegative deltas (time never goes backwards in the simulator).
+latencies = st.floats(min_value=1e-6, max_value=1e4, allow_nan=False)
+steps = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=2.0), latencies),
+    min_size=1,
+    max_size=80,
+)
+
+
+def _slice_index(t: float, width: float) -> int:
+    # Mirrors _SliceRing._index exactly (including the boundary nudge).
+    return math.floor(t / width + 1e-9)
+
+
+def _live(samples, now, width):
+    oldest = _slice_index(now, width) - SLICES + 1
+    return sorted(v for t, v in samples if _slice_index(t, width) >= oldest)
+
+
+@given(steps=steps)
+@settings(max_examples=150, deadline=None)
+def test_windowed_quantiles_match_exact_rolling_oracle(steps):
+    hist = WindowedHistogram(WINDOW, slices=SLICES, bins_per_decade=1000)
+    counter = WindowedCounter(WINDOW, slices=SLICES)
+    t = 0.0
+    samples = []
+    for dt, value in steps:
+        t += dt
+        hist.record(t, value)
+        counter.add(t)
+        samples.append((t, value))
+    now = t  # query at the newest time seen
+    live = _live(samples, now, hist.slice_width)
+    assert hist.count(now) == len(live)
+    assert counter.total(now) == len(live)
+    # The last sample is always live, so the window is never empty here.
+    for q in (50.0, 99.0):
+        rank = max(1, math.ceil(q / 100.0 * len(live)))
+        exact = live[rank - 1]
+        estimate = hist.quantile(now, q)
+        assert abs(estimate - exact) <= 0.01 * exact + 1e-12
+
+
+@given(steps=steps, gap=st.floats(min_value=2 * WINDOW, max_value=100.0))
+@settings(max_examples=60, deadline=None)
+def test_window_empties_after_a_long_gap(steps, gap):
+    hist = WindowedHistogram(WINDOW, slices=SLICES)
+    t = 0.0
+    for dt, value in steps:
+        t += dt
+        hist.record(t, value)
+    now = t + gap
+    assert hist.count(now) == 0
+    assert hist.quantile(now, 99.0) == 0.0  # empty window: documented 0.0
+
+
+@given(value=latencies)
+@settings(max_examples=60, deadline=None)
+def test_single_sample_window(value):
+    hist = WindowedHistogram(WINDOW, slices=SLICES)
+    hist.record(1.0, value)
+    assert hist.count(1.0) == 1
+    for q in (50.0, 99.0):
+        assert abs(hist.quantile(1.0, q) - value) <= 0.01 * value + 1e-12
+
+
+@given(k=st.integers(min_value=0, max_value=200), value=latencies)
+@settings(max_examples=60, deadline=None)
+def test_exact_boundary_tick_is_consistent(k, value):
+    """A sample recorded exactly on a slice boundary stays live for the
+    full ``slices`` slices from its own slice, per the membership
+    predicate (the +1e-9 nudge keeps k * width in slice k)."""
+    hist = WindowedHistogram(WINDOW, slices=SLICES)
+    width = hist.slice_width
+    t = k * width
+    hist.record(t, value)
+    # Live through the last instant of slice k + SLICES - 1 ...
+    assert hist.count(t + (SLICES - 1) * width) == 1
+    # ... and expired the moment the next slice boundary is crossed.
+    assert hist.count(t + SLICES * width) == 0

@@ -18,6 +18,15 @@ def test_percentile_empty():
         percentile([], 50)
 
 
+def test_percentile_empty_with_default():
+    assert percentile([], 50, default=0.0) == 0.0
+    assert percentile([], 99, default=-1.0) == -1.0
+
+
+def test_percentile_default_ignored_when_samples_present():
+    assert percentile([1.0, 2.0, 3.0], 50, default=99.0) == pytest.approx(2.0)
+
+
 def test_summarize_fields():
     samples = [0.010, 0.020, 0.030, 0.040, 0.050]
     summary = summarize(samples)
