@@ -5,7 +5,8 @@ Usage::
     python -m repro figure4 [--full] [--csv PATH] [--workers N]
     python -m repro overhead | ablations | te | hedging | resilience
     python -m repro slo [--out DIR]     # X-6: online SLO / alerting
-    python -m repro compare BASE CAND   # diff two run snapshots
+    python -m repro bench [--out FILE]  # X-7: self-profiled benchmark
+    python -m repro compare BASE CAND [--wall]  # diff two snapshots
     python -m repro all        # everything, through ONE shared runner
 
 Scaled runs (default) finish in minutes; ``--full`` uses paper-scale
@@ -192,6 +193,34 @@ def build_parser() -> argparse.ArgumentParser:
         "all", help="run every experiment through one shared runner"
     )
     _add_common(all_parser)
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help=(
+            "X-7: run the standardized benchmark scenarios with the "
+            "self-profiler attached; write a BENCH_<n>.json report"
+        ),
+    )
+    bench_parser.add_argument("--full", action="store_true", help="paper-scale run")
+    bench_parser.add_argument("--seed", type=int, default=42)
+    bench_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="steady-state seconds per scenario (default 8; 20 with --full)",
+    )
+    bench_parser.add_argument(
+        "--rps", type=float, default=None,
+        help="override the base offered load (requests/second)",
+    )
+    bench_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: all cores; 1 = serial)",
+    )
+    bench_parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help=(
+            "report path (default: the first unused BENCH_<n>.json in "
+            "the working directory)"
+        ),
+    )
     compare_parser = subparsers.add_parser(
         "compare",
         help="diff two run snapshots; exit 1 on quantile regressions",
@@ -207,6 +236,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "relative slowdown tolerated before a quantile regresses "
             f"(default {DEFAULT_THRESHOLD:g})"
+        ),
+    )
+    compare_parser.add_argument(
+        "--wall", action="store_true",
+        help=(
+            "also gate host-dependent bench statistics (wall seconds, "
+            "events/sec); off by default so cross-machine comparisons "
+            "only judge the deterministic event counts"
         ),
     )
     return parser
@@ -255,15 +292,37 @@ def _make_runner(args) -> Runner:
     return Runner(workers=args.workers, cache_dir=cache_dir, progress=True)
 
 
+def _run_bench(args) -> int:
+    """``repro bench``: run the profiled grid, write the JSON report.
+
+    The result cache is always off here — a cache hit would report a
+    previous run's wall-clock as this machine's numbers."""
+    from pathlib import Path
+
+    from .experiments.bench import next_bench_path, run_bench
+
+    result = run_bench(
+        workers=args.workers, progress=True, **_overrides(args, 20.0)
+    )
+    out = Path(args.out) if args.out else next_bench_path()
+    out.write_text(result.json())
+    print(result.table(), end="")
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "compare":
         # No simulation, no runner: read the two snapshots and verdict.
         report = compare_runs(
-            args.baseline, args.candidate, threshold=args.threshold
+            args.baseline, args.candidate, threshold=args.threshold,
+            include_wall=args.wall,
         )
         print(report.text())
         return 0 if report.ok else 1
+    if args.command == "bench":
+        return _run_bench(args)
     try:
         runner = _make_runner(args)
     except ValueError as error:

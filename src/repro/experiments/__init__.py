@@ -14,6 +14,8 @@
 * :mod:`compute` — X-4, prioritized request queueing on CPU (§5).
 * :mod:`observe` — X-5, per-layer latency attribution waterfall (§3).
 * :mod:`slo` — X-6, online SLO engine + burn-rate alerting (§3/§4.1).
+* :mod:`bench` — X-7, the self-profiled benchmark grid behind
+  ``python -m repro bench`` (BENCH_<n>.json reports).
 
 Every harness follows one contract::
 
@@ -26,6 +28,14 @@ the harness's grid out across worker processes with result caching.
 """
 
 from .ablations import AblationExperiment, AblationResult, ablation_policies, run_ablations
+from .bench import (
+    BENCH_SCHEMA,
+    BenchExperiment,
+    BenchResult,
+    bench_scenarios,
+    next_bench_path,
+    run_bench,
+)
 from .compute import ComputeExperiment, ComputeResult, run_compute
 from .figure4 import (
     PAPER_RPS_LEVELS,
@@ -63,6 +73,7 @@ from .runner import (
     ScenarioMeasurement,
     config_digest,
     measure_scenario,
+    wall_timer,
 )
 from .scenario import (
     DEFAULT_MSS,
@@ -77,6 +88,9 @@ from .te import TeExperiment, TeResult, run_te
 __all__ = [
     "AblationExperiment",
     "AblationResult",
+    "BENCH_SCHEMA",
+    "BenchExperiment",
+    "BenchResult",
     "ComputeExperiment",
     "ComputeResult",
     "DEFAULT_MSS",
@@ -114,6 +128,7 @@ __all__ = [
     "TeExperiment",
     "TeResult",
     "ablation_policies",
+    "bench_scenarios",
     "build_scenario",
     "chain_specs",
     "compare_with_replication",
@@ -125,8 +140,10 @@ __all__ = [
     "measure_scenario",
     "measure_slo",
     "ms",
+    "next_bench_path",
     "replicate",
     "run_ablations",
+    "run_bench",
     "run_compute",
     "run_figure4",
     "run_hedging",
@@ -139,4 +156,5 @@ __all__ = [
     "run_slo",
     "run_te",
     "to_csv",
+    "wall_timer",
 ]

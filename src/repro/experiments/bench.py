@@ -1,0 +1,250 @@
+"""``python -m repro bench``: the repository's reproducible benchmark.
+
+A fixed set of scenarios — the Figure-4 testbed in both configurations
+plus the subsystems with distinctive hot paths (multiplexed transport,
+inbound queueing, tail-based tracing) — runs through the sweep
+:class:`~repro.experiments.runner.Runner` with the self-profiler
+(:class:`~repro.obs.profile.SimProfiler`) attached, and the result is a
+schema-versioned ``BENCH_<n>.json`` report: machine facts, per-scenario
+throughput (events/sec, sim-seconds per wall-second), and the
+per-subsystem profile breakdown.
+
+The report splits cleanly into two halves:
+
+* **deterministic** — event counts, sim times, and config digests are a
+  pure function of the scenarios, byte-identical across back-to-back
+  runs and across machines.  ``deterministic_digest`` is a sha256 over
+  exactly this subset, so CI can assert reproducibility with ``cmp``
+  semantics without being fooled by wall-clock noise.
+* **host-dependent** — wall seconds, events/sec, and the per-section
+  seconds vary with the machine; ``repro compare`` ignores them unless
+  asked (``--wall``).
+
+Benchmark runs force the result cache off: a cache hit would report the
+previous run's wall-clock as this machine's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..obs.profile import profile_text
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    RunnerStats,
+    ScenarioMeasurement,
+    config_digest,
+    measure_scenario,
+)
+from .scenario import ScenarioConfig
+
+#: Bench-report schema tag; bump on layout changes so ``repro compare``
+#: never silently diffs incompatible reports.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: ``BENCH_<n>.json`` filename pattern for :func:`next_bench_path`.
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def bench_scenarios(base: ScenarioConfig) -> list[Point]:
+    """The standardized scenario grid, parameterized by a base config.
+
+    Every point runs with ``profile=True`` so the report can break the
+    simulator's wall-clock down by subsystem.
+    """
+
+    def point(label: str, **overrides) -> Point:
+        mesh_overrides = overrides.pop("mesh", None)
+        config = replace(base, profile=True, **overrides)
+        if mesh_overrides is not None:
+            config = replace(config, mesh=replace(base.mesh, **mesh_overrides))
+        return Point(label=label, fn=measure_scenario, config=config)
+
+    return [
+        # The paper's headline scenario, both configurations; "hot"
+        # doubles the load to exercise queueing-heavy code paths.
+        point("figure4-off", cross_layer=False),
+        point("figure4-on"),
+        point("figure4-hot", rps=base.rps * 2),
+        # Subsystems with their own hot paths.
+        point("mux", mesh={"use_mux": True}),
+        point(
+            "inbound-queue",
+            mesh={"inbound_concurrency": 2, "max_inbound_queue": 64},
+        ),
+        point("tail-tracing", mesh={"tracing_tail_keep": 5}),
+    ]
+
+
+def machine_info() -> dict:
+    """Host facts recorded in every report (outside the deterministic
+    digest — they explain wall-clock differences, nothing more)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+@dataclass
+class BenchResult:
+    """The collected bench grid plus everything the report needs."""
+
+    base: ScenarioConfig
+    measurements: dict[str, ScenarioMeasurement]
+    workers: int = 1
+    runner_stats: dict = field(default_factory=dict)
+
+    def scenario_rows(self) -> dict[str, dict]:
+        rows: dict[str, dict] = {}
+        for name in sorted(self.measurements):
+            measurement = self.measurements[name]
+            wall = measurement.wall_clock
+            rows[name] = {
+                "config_digest": config_digest(
+                    measure_scenario, measurement.config
+                ),
+                "sim_time": measurement.sim_time,
+                "sim_events": measurement.sim_events,
+                "wall_seconds": wall,
+                "events_per_wall_second": (
+                    measurement.sim_events / wall if wall > 0 else 0.0
+                ),
+                "sim_seconds_per_wall_second": (
+                    measurement.sim_time / wall if wall > 0 else 0.0
+                ),
+                "profile": measurement.profile,
+            }
+        return rows
+
+    def deterministic_digest(self, rows: dict | None = None) -> str:
+        """sha256 over the deterministic subset of the report: config
+        digests, sim times, kernel event counts, and the per-section
+        event counts — everything that must be byte-identical across
+        back-to-back runs of the same code."""
+        if rows is None:
+            rows = self.scenario_rows()
+        subset = {
+            name: {
+                "config_digest": row["config_digest"],
+                "sim_time": row["sim_time"],
+                "sim_events": row["sim_events"],
+                "events": (row["profile"] or {}).get("events", {}),
+            }
+            for name, row in sorted(rows.items())
+        }
+        blob = json.dumps(subset, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def report(self) -> dict:
+        rows = self.scenario_rows()
+        return {
+            "schema": BENCH_SCHEMA,
+            "machine": machine_info(),
+            "config": {
+                "rps": self.base.rps,
+                "duration": self.base.duration,
+                "seed": self.base.seed,
+                "workers": self.workers,
+            },
+            "cache": dict(self.runner_stats),
+            "scenarios": rows,
+            "deterministic_digest": self.deterministic_digest(rows),
+        }
+
+    def json(self) -> str:
+        """Exporter contract: sorted keys, exactly one trailing newline,
+        byte-equal across double export."""
+        return json.dumps(self.report(), sort_keys=True, indent=2) + "\n"
+
+    def table(self) -> str:
+        """Aligned per-scenario summary plus the profile of the slowest
+        scenario (one trailing newline, exporter style)."""
+        rows = self.scenario_rows()
+        lines = [
+            f"repro bench  (duration {self.base.duration:g}s, "
+            f"seed {self.base.seed}, {self.workers} worker(s))",
+            "scenario        sim_events     wall      events/s   sim-s/wall-s",
+        ]
+        for name, row in sorted(rows.items()):
+            lines.append(
+                f"{name:<14} {row['sim_events']:>11,}"
+                f"   {row['wall_seconds']:6.2f}s"
+                f"   {row['events_per_wall_second']:>11,.0f}"
+                f"   {row['sim_seconds_per_wall_second']:10.2f}"
+            )
+        lines.append(f"deterministic digest: {self.deterministic_digest(rows)}")
+        slowest = max(rows, key=lambda name: rows[name]["wall_seconds"])
+        profile = rows[slowest]["profile"]
+        if profile:
+            lines.append(f"\nprofile of slowest scenario ({slowest}):")
+            lines.append(
+                profile_text(profile, sim_time=rows[slowest]["sim_time"])
+                .rstrip("\n")
+            )
+        return "\n".join(lines) + "\n"
+
+
+class BenchExperiment(Experiment):
+    """The bench grid as a standard :class:`Experiment`, so it shares
+    the Runner/worker plumbing with every other harness."""
+
+    name = "bench"
+    defaults = {"rps": 30.0, "duration": 6.0, "warmup": 1.5}
+
+    def points(self) -> list[Point]:
+        return bench_scenarios(self.base)
+
+    def collect(self, measurements) -> BenchResult:
+        return BenchResult(base=self.base, measurements=dict(measurements))
+
+
+def runner_stats_dict(stats: RunnerStats) -> dict:
+    """The cache-stats block of a report, from a runner's counters."""
+    return {
+        "submitted": stats.submitted,
+        "hits": stats.hits,
+        "simulated": stats.simulated,
+        "point_seconds": stats.point_seconds,
+    }
+
+
+def next_bench_path(directory: str | os.PathLike = ".") -> Path:
+    """The first unused ``BENCH_<n>.json`` in ``directory`` (n >= 1)."""
+    directory = Path(directory)
+    taken = [
+        int(match.group(1))
+        for path in directory.glob("BENCH_*.json")
+        if (match := _BENCH_NAME.match(path.name))
+    ]
+    return directory / f"BENCH_{max(taken, default=0) + 1}.json"
+
+
+def run_bench(
+    base_config: ScenarioConfig | None = None,
+    *,
+    workers: int | None = None,
+    progress: bool = False,
+    **overrides,
+) -> BenchResult:
+    """Run the bench grid and return the collected result.
+
+    Caching is deliberately off: a cache hit would report a previous
+    run's wall-clock as this machine's numbers.
+    """
+    experiment = BenchExperiment(base_config, **overrides)
+    with Runner(workers=workers, cache_dir=None, progress=progress) as runner:
+        result = experiment.run(runner)
+        result.workers = runner.workers
+        result.runner_stats = runner_stats_dict(runner.stats)
+    return result

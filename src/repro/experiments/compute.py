@@ -14,7 +14,6 @@ before it reaches a CPU, without touching the application.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from ..apps.framework import AppContext, Microservice, is_batch
@@ -31,7 +30,13 @@ from ..sim.rng import Distributions, RngRegistry
 from ..transport import TransportConfig
 from ..util.stats import LatencySummary
 from ..workload.mixes import LI_WORKLOAD, LS_WORKLOAD, MixConfig, MixedWorkload
-from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    ScenarioMeasurement,
+    wall_timer,
+)
 from .scenario import ScenarioConfig
 
 API = "api"
@@ -143,17 +148,17 @@ class ComputePoint:
 
 
 def measure_compute(point: ComputePoint) -> ScenarioMeasurement:
-    start = time.perf_counter()
-    ls, li, sim = _run_once(
-        point.priority_queue, point.rps, point.duration, point.seed,
-        point.workers, point.interactive_ms, point.batch_ms,
-    )
+    with wall_timer() as timer:
+        ls, li, sim = _run_once(
+            point.priority_queue, point.rps, point.duration, point.seed,
+            point.workers, point.interactive_ms, point.batch_ms,
+        )
     return ScenarioMeasurement(
         config=point,
         summaries={LS_WORKLOAD: ls, LI_WORKLOAD: li},
         sim_time=sim.now,
         sim_events=sim.processed_events,
-        wall_clock=time.perf_counter() - start,
+        wall_clock=timer.elapsed,
     )
 
 

@@ -9,7 +9,6 @@ extra-load cost.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 
 from ..apps.framework import AppBuilder, ServiceSpec
@@ -24,7 +23,13 @@ from ..transport import TransportConfig
 from ..util.stats import LatencySummary
 from ..workload.generator import LoadGenerator, WorkloadSpec
 from ..workload.latency import LatencyRecorder
-from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    ScenarioMeasurement,
+    wall_timer,
+)
 from .scenario import ScenarioConfig
 
 SKEWED = "skewed"
@@ -111,17 +116,17 @@ class HedgePoint:
 
 
 def measure_hedging(point: HedgePoint) -> ScenarioMeasurement:
-    start = time.perf_counter()
-    summary, hedges, issued, sim = _run_once(
-        point.hedge, point.rps, point.duration, point.seed
-    )
+    with wall_timer() as timer:
+        summary, hedges, issued, sim = _run_once(
+            point.hedge, point.rps, point.duration, point.seed
+        )
     return ScenarioMeasurement(
         config=point,
         summaries={"hedged": summary},
         counters={"hedges_issued": float(hedges), "issued": float(issued)},
         sim_time=sim.now,
         sim_events=sim.processed_events,
-        wall_clock=time.perf_counter() - start,
+        wall_clock=timer.elapsed,
     )
 
 

@@ -10,7 +10,6 @@ sidecars' worth of traversals on the critical path).
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass, replace
 
@@ -27,7 +26,13 @@ from ..workload.generator import LoadGenerator, WorkloadSpec
 from ..workload.latency import LatencyRecorder
 from .overhead import NEAR_ZERO_PROXY
 from .report import format_table, ms
-from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    ScenarioMeasurement,
+    wall_timer,
+)
 from .scenario import ScenarioConfig
 
 DEFAULT_DEPTHS = (1, 4, 8, 16)
@@ -130,16 +135,16 @@ class ChainPoint:
 
 
 def measure_chain(point: ChainPoint) -> ScenarioMeasurement:
-    start = time.perf_counter()
-    summary, sim = _run_chain(
-        point.depth, point.mesh, point.rps, point.duration, point.seed
-    )
+    with wall_timer() as timer:
+        summary, sim = _run_chain(
+            point.depth, point.mesh, point.rps, point.duration, point.seed
+        )
     return ScenarioMeasurement(
         config=point,
         summaries={"chain": summary},
         sim_time=sim.now,
         sim_events=sim.processed_events,
-        wall_clock=time.perf_counter() - start,
+        wall_clock=timer.elapsed,
     )
 
 

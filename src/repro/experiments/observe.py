@@ -13,14 +13,19 @@ queueing and transport wait collapse; app and proxy time don't move).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 
 from ..obs import ObservabilityPlane, snapshot_digest
 from ..obs.attribution import LAYERS
 from ..obs.export import waterfall_csv, waterfall_text
 from .report import format_table, ms
-from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    ScenarioMeasurement,
+    wall_timer,
+)
 from .scenario import ScenarioConfig, ScenarioResult, _drain, build_scenario
 
 #: How many critical-path services the report lists per configuration.
@@ -30,13 +35,13 @@ _TOP_SERVICES = 6
 def measure_observed(config: ScenarioConfig) -> ScenarioMeasurement:
     """Point function: the Figure-4 scenario with the observability
     plane installed; attribution/waterfall data rides in ``extra``."""
-    start = time.perf_counter()
-    sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
-    plane = ObservabilityPlane().install(mesh=mesh, cluster=cluster)
-    mix.start(config.duration)
-    sim.run(until=config.duration)
-    _drain(sim, mix, config.duration + config.drain)
-    plane.harvest(mesh=mesh, network=cluster.network)
+    with wall_timer() as timer:
+        sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
+        plane = ObservabilityPlane().install(mesh=mesh, cluster=cluster)
+        mix.start(config.duration)
+        sim.run(until=config.duration)
+        _drain(sim, mix, config.duration + config.drain)
+        plane.harvest(mesh=mesh, network=cluster.network)
     result = ScenarioResult(
         config=config,
         sim=sim,
@@ -49,7 +54,7 @@ def measure_observed(config: ScenarioConfig) -> ScenarioMeasurement:
         window=(config.warmup, config.duration),
     )
     measurement = ScenarioMeasurement.from_scenario(
-        result, wall_clock=time.perf_counter() - start
+        result, wall_clock=timer.elapsed
     )
     window = (config.warmup, config.duration)
     attributor = plane.attributor

@@ -11,7 +11,6 @@ reports the p50/p99 difference.
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass, replace
 
@@ -26,7 +25,13 @@ from ..sim.rng import RngRegistry
 from ..transport import TransportConfig
 from ..util.stats import LatencySummary
 from ..workload.generator import LoadGenerator, WorkloadSpec
-from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    ScenarioMeasurement,
+    wall_timer,
+)
 from .scenario import ScenarioConfig
 
 ECHO = "echo"
@@ -114,14 +119,16 @@ class EchoPoint:
 
 
 def measure_echo(point: EchoPoint) -> ScenarioMeasurement:
-    start = time.perf_counter()
-    summary, sim = _run_echo(point.mesh, point.rps, point.duration, point.seed)
+    with wall_timer() as timer:
+        summary, sim = _run_echo(
+            point.mesh, point.rps, point.duration, point.seed
+        )
     return ScenarioMeasurement(
         config=point,
         summaries={ECHO: summary},
         sim_time=sim.now,
         sim_events=sim.processed_events,
-        wall_clock=time.perf_counter() - start,
+        wall_clock=timer.elapsed,
     )
 
 

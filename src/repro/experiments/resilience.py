@@ -15,7 +15,6 @@ happening (§3.4's redundancy argument meeting §4's case study).
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import dataclass, field, replace
 
 from ..chaos import FaultInjector, FaultProfile, standard_profiles, timeline_text
@@ -24,7 +23,13 @@ from ..mesh.resilience import HedgePolicy, RetryPolicy
 from ..sim.rng import RngRegistry
 from ..util.stats import LatencySummary
 from .report import format_table, ms, to_csv
-from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    ScenarioMeasurement,
+    wall_timer,
+)
 from .scenario import ScenarioConfig, ScenarioResult, _drain, build_scenario
 
 #: The LS priority-header value (see ``repro.core.priorities.Priority``).
@@ -65,20 +70,20 @@ def measure_resilience(point: ResiliencePoint) -> ScenarioMeasurement:
     """Point function: run the scenario with the profile's fault timeline
     armed. All randomness derives from the scenario seed, so the result —
     including the timeline — is a pure function of the point config."""
-    start = time.perf_counter()
-    config = point.scenario
-    sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
-    # A fresh registry from the same seed yields the same named streams
-    # as the scenario's internal one; the chaos streams are namespaced so
-    # they collide with nothing the scenario itself draws.
-    injector = FaultInjector(sim, cluster, RngRegistry(config.seed))
-    injector.schedule(point.profile, horizon=config.duration)
-    mix.start(config.duration)
-    sim.run(until=config.duration)
-    # Lift any still-active fault so the drain can complete in-flight
-    # requests instead of timing them out against a blackholed pod.
-    injector.revert_all()
-    _drain(sim, mix, config.duration + config.drain)
+    with wall_timer() as timer:
+        config = point.scenario
+        sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
+        # A fresh registry from the same seed yields the same named
+        # streams as the scenario's internal one; the chaos streams are
+        # namespaced so they collide with nothing the scenario draws.
+        injector = FaultInjector(sim, cluster, RngRegistry(config.seed))
+        injector.schedule(point.profile, horizon=config.duration)
+        mix.start(config.duration)
+        sim.run(until=config.duration)
+        # Lift any still-active fault so the drain can complete in-flight
+        # requests instead of timing them out against a blackholed pod.
+        injector.revert_all()
+        _drain(sim, mix, config.duration + config.drain)
     result = ScenarioResult(
         config=config,
         sim=sim,
@@ -91,7 +96,7 @@ def measure_resilience(point: ResiliencePoint) -> ScenarioMeasurement:
         window=(config.warmup, config.duration),
     )
     measurement = ScenarioMeasurement.from_scenario(
-        result, wall_clock=time.perf_counter() - start
+        result, wall_clock=timer.elapsed
     )
     measurement.counters["faults_applied"] = float(injector.applied)
     measurement.counters["faults_skipped"] = float(injector.skipped)

@@ -49,7 +49,44 @@ from .scenario import ScenarioConfig, ScenarioResult, run_scenario
 
 #: Bump when the measurement layout changes; stale cache entries are
 #: then treated as misses instead of being deserialized incorrectly.
-CACHE_SCHEMA = 1
+#: 2: ScenarioMeasurement grew the ``profile`` field.
+CACHE_SCHEMA = 2
+
+
+class wall_timer:
+    """Context manager for the wall-clock pattern every harness used to
+    hand-roll (``start = perf_counter(); ...; perf_counter() - start``).
+
+    The elapsed time is available as ``.elapsed`` — live while the block
+    runs, frozen at exit::
+
+        with wall_timer() as timer:
+            result = run_scenario(config)
+        measurement = ScenarioMeasurement.from_scenario(
+            result, wall_clock=timer.elapsed
+        )
+    """
+
+    __slots__ = ("_start", "_elapsed")
+
+    def __init__(self):
+        self._start = None
+        self._elapsed = None
+
+    def __enter__(self) -> "wall_timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed(self) -> float:
+        if self._elapsed is not None:
+            return self._elapsed
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
 
 
 # -- content hashing ------------------------------------------------------
@@ -120,6 +157,9 @@ class ScenarioMeasurement:
     sim_time: float = 0.0
     sim_events: int = 0
     wall_clock: float = 0.0
+    #: Self-profiler report (``SimProfiler.report()``) when the scenario
+    #: ran with ``profile=True``; None otherwise.
+    profile: dict | None = None
 
     def summary(self, workload: str) -> LatencySummary:
         return self.summaries[workload]
@@ -155,6 +195,7 @@ class ScenarioMeasurement:
         classifier = result.config.classifier
         if classifier is not None and hasattr(classifier, "learned_sizes"):
             extra["learned_sizes"] = dict(classifier.learned_sizes)
+        profiler = result.sim.profiler
         return cls(
             config=result.config,
             summaries=summaries,
@@ -163,16 +204,15 @@ class ScenarioMeasurement:
             sim_time=result.sim.now,
             sim_events=result.sim.processed_events,
             wall_clock=wall_clock,
+            profile=profiler.report() if profiler is not None else None,
         )
 
 
 def measure_scenario(config: ScenarioConfig) -> ScenarioMeasurement:
     """The point function for full §4.3-scenario experiments."""
-    start = time.perf_counter()
-    result = run_scenario(config)
-    return ScenarioMeasurement.from_scenario(
-        result, wall_clock=time.perf_counter() - start
-    )
+    with wall_timer() as timer:
+        result = run_scenario(config)
+    return ScenarioMeasurement.from_scenario(result, wall_clock=timer.elapsed)
 
 
 # -- the cache ------------------------------------------------------------

@@ -9,6 +9,7 @@ parameterization of this scenario.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 from ..apps.elibrary import ELibraryConfig, FRONTEND, REVIEWS, build_elibrary
@@ -53,6 +54,11 @@ class ScenarioConfig:
     cores_per_node: int = 32
     arrivals: str = "uniform"
     redundant_core: bool = False
+    # Self-profiling (repro.obs.profile): attach a SimProfiler to the
+    # event loop so the run reports per-subsystem event counts and
+    # wall-clock attribution. Off by default — with False, zero hooks
+    # are installed and the hot path is untouched.
+    profile: bool = False
 
     def effective_policy(self) -> CrossLayerPolicy:
         if self.policy is not None:
@@ -101,6 +107,10 @@ class ScenarioResult:
 def build_scenario(config: ScenarioConfig):
     """Construct (but do not run) the full scenario."""
     sim = Simulator()
+    if config.profile:
+        from ..obs.profile import PROFILE_TIMING_STRIDE, SimProfiler
+
+        sim.attach_profiler(SimProfiler(timing_stride=PROFILE_TIMING_STRIDE))
     rng = RngRegistry(config.seed)
     transport = TransportConfig(mss=config.mss, header_bytes=60)
     cluster = Cluster(
@@ -112,6 +122,10 @@ def build_scenario(config: ScenarioConfig):
     for index in range(config.nodes):
         cluster.add_node(f"node-{index}", cores=config.cores_per_node)
     mesh = ServiceMesh(sim, cluster, config.mesh, rng_registry=rng)
+    if sim.profiler is not None:
+        # Registry/SLO ingest gets charged to the "obs" section instead
+        # of whichever sidecar happened to record the request.
+        mesh.telemetry.profiler = sim.profiler
     app = build_elibrary(sim, cluster, mesh, config.elibrary, rng_registry=rng)
     gateway = mesh.create_gateway(FRONTEND)
     cluster.build_routes()
@@ -164,11 +178,20 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
         config = ScenarioConfig()
     if overrides:
         config = replace(config, **overrides)
+    build_start = time.perf_counter()
     sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
+    if sim.profiler is not None:
+        sim.profiler.add_phase("build", time.perf_counter() - build_start)
     mix.start(config.duration)
-    sim.run(until=config.duration)
-    # Drain: let in-flight requests finish (bounded grace period).
-    _drain(sim, mix, config.duration + config.drain)
+    if sim.profiler is not None:
+        with sim.profiler.phase("run"):
+            sim.run(until=config.duration)
+        with sim.profiler.phase("drain"):
+            _drain(sim, mix, config.duration + config.drain)
+    else:
+        sim.run(until=config.duration)
+        # Drain: let in-flight requests finish (bounded grace period).
+        _drain(sim, mix, config.duration + config.drain)
     window = (config.warmup, config.duration)
     return ScenarioResult(
         config=config,

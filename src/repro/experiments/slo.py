@@ -21,7 +21,6 @@ text, Jaeger JSON, registry snapshots, attribution CSV — for the
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -31,7 +30,13 @@ from ..obs.export import snapshot_json, waterfall_csv
 from ..obs.jaeger import jaeger_trace_dict
 from ..obs.promexport import prometheus_text
 from .report import format_table
-from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    ScenarioMeasurement,
+    wall_timer,
+)
 from .scenario import ScenarioConfig, ScenarioResult, _drain, build_scenario
 
 #: LS latency objective (seconds): between the optimized (~13 ms) and
@@ -77,21 +82,23 @@ def measure_slo(config: ScenarioConfig) -> ScenarioMeasurement:
     """Point function: the Figure-4 scenario with the online SLO engine
     (plus the rest of the observability plane) installed; the alert
     timeline and export payloads ride in ``extra``."""
-    start = time.perf_counter()
-    sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
-    engine = SloEngine()
-    for spec in default_slos():
-        engine.register(spec)
-    plane = ObservabilityPlane(slo=engine).install(mesh=mesh, cluster=cluster)
-    engine.attach(sim)
-    mix.start(config.duration)
-    sim.run(until=config.duration)
-    _drain(sim, mix, config.duration + config.drain)
-    # One final evaluation at the actual end time (the ticker stops on
-    # its fixed grid), then close still-open alerts for accounting.
-    engine.evaluate(sim.now)
-    engine.finalize(sim.now)
-    plane.harvest(mesh=mesh, network=cluster.network)
+    with wall_timer() as timer:
+        sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
+        engine = SloEngine()
+        for spec in default_slos():
+            engine.register(spec)
+        plane = ObservabilityPlane(slo=engine).install(
+            mesh=mesh, cluster=cluster
+        )
+        engine.attach(sim)
+        mix.start(config.duration)
+        sim.run(until=config.duration)
+        _drain(sim, mix, config.duration + config.drain)
+        # One final evaluation at the actual end time (the ticker stops
+        # on its fixed grid), then close still-open alerts for accounting.
+        engine.evaluate(sim.now)
+        engine.finalize(sim.now)
+        plane.harvest(mesh=mesh, network=cluster.network)
     result = ScenarioResult(
         config=config,
         sim=sim,
@@ -104,7 +111,7 @@ def measure_slo(config: ScenarioConfig) -> ScenarioMeasurement:
         window=(config.warmup, config.duration),
     )
     measurement = ScenarioMeasurement.from_scenario(
-        result, wall_clock=time.perf_counter() - start
+        result, wall_clock=timer.elapsed
     )
     timeline = engine.timeline
     measurement.extra["alert_events"] = [

@@ -12,7 +12,6 @@ base routing picked.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from ..apps.framework import AppBuilder, ServiceSpec
@@ -31,7 +30,13 @@ from ..transport import TransportConfig
 from ..util.stats import LatencySummary
 from ..util.units import Gbps
 from ..workload.mixes import LI_WORKLOAD, LS_WORKLOAD, MixConfig, MixedWorkload
-from .runner import Experiment, Point, Runner, ScenarioMeasurement
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    ScenarioMeasurement,
+    wall_timer,
+)
 from .scenario import ScenarioConfig
 
 API = "api"
@@ -156,17 +161,17 @@ class TePoint:
 
 
 def measure_te(point: TePoint) -> ScenarioMeasurement:
-    start = time.perf_counter()
-    ls, li, sim = _run_once(
-        point.enable_te, point.rps, point.duration, point.seed,
-        point.spine_rate_bps,
-    )
+    with wall_timer() as timer:
+        ls, li, sim = _run_once(
+            point.enable_te, point.rps, point.duration, point.seed,
+            point.spine_rate_bps,
+        )
     return ScenarioMeasurement(
         config=point,
         summaries={LS_WORKLOAD: ls, LI_WORKLOAD: li},
         sim_time=sim.now,
         sim_events=sim.processed_events,
-        wall_clock=time.perf_counter() - start,
+        wall_clock=timer.elapsed,
     )
 
 

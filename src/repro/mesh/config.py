@@ -32,6 +32,12 @@ class MeshConfig:
     outlier: object = None   # OutlierConfig | None
     mtls: MtlsContext = field(default_factory=MtlsContext)
     tracing_sample_rate: float = 1.0
+    # Tail-based trace sampling (None = keep every sampled trace, the
+    # historical behavior). With a value N, the tracer retains only the
+    # N slowest completed traces per workload class plus every
+    # errored/retried trace, bounding tracer memory for long sweeps
+    # (the trace-side analogue of ``telemetry_max_records``).
+    tracing_tail_keep: int | None = None
     # Optional sidecar-local request scheduling (§5 "prioritized request
     # queuing"): when set, at most this many inbound requests execute
     # concurrently per sidecar; excess waits in a priority queue.
@@ -62,3 +68,7 @@ class MeshConfig:
             raise ValueError("need 0 < proxy_delay_median < proxy_delay_p99")
         if self.default_timeout <= 0:
             raise ValueError("default_timeout must be positive")
+        if self.tracing_tail_keep is not None and self.tracing_tail_keep < 1:
+            raise ValueError(
+                "tracing_tail_keep must be >= 1 (or None to disable)"
+            )

@@ -35,7 +35,10 @@ class ControlPlane:
         self.cluster = cluster
         self.config = config if config is not None else MeshConfig()
         self.rng = rng_registry if rng_registry is not None else RngRegistry(0)
-        self.tracer = Tracer(sample_rate=self.config.tracing_sample_rate)
+        self.tracer = Tracer(
+            sample_rate=self.config.tracing_sample_rate,
+            tail_keep=self.config.tracing_tail_keep,
+        )
         self.telemetry = Telemetry(max_records=self.config.telemetry_max_records)
         self.ca = CertificateAuthority()
         self.policy = PolicyHooks()

@@ -71,6 +71,11 @@ class Telemetry:
         #: per-hop request outcome streams into it as it is recorded.
         #: ``None`` keeps the streaming path zero-overhead.
         self.slo_engine = None
+        #: Optional :class:`repro.obs.profile.SimProfiler`; when the
+        #: simulator self-profiles, the registry/SLO ingest work below
+        #: is charged to the ``obs`` section instead of whichever
+        #: sidecar process happened to record the request.
+        self.profiler = None
 
     @property
     def truncated(self) -> bool:
@@ -99,6 +104,13 @@ class Telemetry:
                 stacklevel=2,
             )
         self.records.append(record)
+        if self.profiler is None:
+            self._ingest(record)
+        else:
+            self.profiler.run_section("obs", self._ingest, record)
+
+    def _ingest(self, record: RequestRecord) -> None:
+        """Stream one record into the registry (and SLO engine)."""
         self.registry.counter(
             "mesh_requests_total",
             source=record.source,

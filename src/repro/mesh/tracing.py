@@ -11,7 +11,9 @@ in-band.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import itertools
+import warnings
 from dataclasses import dataclass, field
 
 
@@ -134,6 +136,15 @@ class Tracer:
 
     ``sample_rate`` < 1.0 keeps only that fraction of traces, decided per
     trace id (head-based sampling, like Istio's).
+
+    ``tail_keep`` opts into *tail-based* sampling: once a trace
+    completes (its root span is recorded), it is retained only if it is
+    among the ``tail_keep`` slowest of its workload class (keyed by the
+    root span's operation) or if any of its spans errored or retried —
+    the traces worth keeping at scale.  Everything else is evicted, so
+    tracer memory is bounded by ``classes x tail_keep`` plus the
+    error/retry population, mirroring the ``Telemetry(max_records=)``
+    warn-once ring-buffer posture.
     """
 
     def __init__(
@@ -141,16 +152,26 @@ class Tracer:
         sample_rate: float = 1.0,
         max_traces: int | None = None,
         ids: IdAllocator | None = None,
+        tail_keep: int | None = None,
     ):
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError("sample_rate must be within [0, 1]")
+        if tail_keep is not None and tail_keep < 1:
+            raise ValueError("tail_keep must be >= 1 (or None to disable)")
         self.sample_rate = sample_rate
         self.max_traces = max_traces
+        self.tail_keep = tail_keep
         self.ids = ids if ids is not None else IdAllocator()
         self._traces: dict[str, Trace] = {}
         self._sampled: dict[str, bool] = {}
         self.spans_recorded = 0
         self.spans_dropped = 0
+        # Tail sampling state: per-class min-heap of (duration, trace_id)
+        # for the kept slow traces; hot (errored/retried) traces bypass it.
+        self._tail_heaps: dict[str, list[tuple[float, str]]] = {}
+        self._tail_warned = False
+        self.traces_evicted = 0
+        self.spans_evicted = 0
 
     def _is_sampled(self, trace_id: str) -> bool:
         decision = self._sampled.get(trace_id)
@@ -199,6 +220,56 @@ class Tracer:
         trace = self._traces.setdefault(span.trace_id, Trace(span.trace_id))
         trace.spans.append(span)
         self.spans_recorded += 1
+        if self.tail_keep is not None and span.parent_span_id is None:
+            # The root span closes last: the trace is complete, decide
+            # its retention now.
+            self._tail_decide(trace, span)
+
+    # -- tail-based sampling ------------------------------------------
+
+    @staticmethod
+    def _is_hot(trace: Trace) -> bool:
+        """Errored or retried traces are always worth keeping."""
+        for span in trace.spans:
+            status = span.tags.get("status")
+            if status is not None and status >= 400:
+                return True
+            if span.tags.get("retries"):
+                return True
+        return False
+
+    def _tail_decide(self, trace: Trace, root: Span) -> None:
+        if self._is_hot(trace):
+            return
+        heap = self._tail_heaps.setdefault(root.operation, [])
+        duration = root.duration if root.duration is not None else 0.0
+        entry = (duration, trace.trace_id)
+        if len(heap) < self.tail_keep:
+            heapq.heappush(heap, entry)
+            return
+        if entry <= heap[0]:
+            # Faster than every kept trace of its class: evict itself.
+            self._tail_evict(trace.trace_id)
+            return
+        _duration, evicted_id = heapq.heapreplace(heap, entry)
+        self._tail_evict(evicted_id)
+
+    def _tail_evict(self, trace_id: str) -> None:
+        trace = self._traces.pop(trace_id, None)
+        if trace is None:
+            return
+        self.traces_evicted += 1
+        self.spans_evicted += len(trace.spans)
+        if not self._tail_warned:
+            self._tail_warned = True
+            warnings.warn(
+                f"Tracer tail sampling active: keeping the {self.tail_keep} "
+                "slowest traces per workload class plus all errored/retried "
+                "traces; faster traces are evicted (counts in "
+                "traces_evicted/spans_evicted).",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def trace(self, trace_id: str) -> Trace | None:
         return self._traces.get(trace_id)

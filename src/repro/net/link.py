@@ -79,10 +79,30 @@ class Interface:
         """Hand a packet to the egress queue; False if tail-dropped."""
         if self.link is None:
             raise RuntimeError(f"interface {self.name} is not connected")
-        accepted = self.qdisc.enqueue(packet, self.sim.now)
+        accepted = self._qdisc_enqueue(packet)
         if accepted:
             self._try_send()
         return accepted
+
+    def _qdisc_enqueue(self, packet: Packet) -> bool:
+        """Enqueue with the qdisc's cost attributed to the qdisc section
+        when the self-profiler is on (callers otherwise charge it to
+        whatever subsystem happened to deliver the packet).  The
+        ``_timing`` pre-check skips the ``run_section`` call entirely on
+        dispatches the stride sampler is not timing — this runs twice
+        per packet, so it must cost a branch, not a frame."""
+        profiler = self.sim.profiler
+        if profiler is None or not profiler._timing:
+            return self.qdisc.enqueue(packet, self.sim.now)
+        return profiler.run_section(
+            "qdisc", self.qdisc.enqueue, packet, self.sim.now
+        )
+
+    def _qdisc_dequeue(self, now: float):
+        profiler = self.sim.profiler
+        if profiler is None or not profiler._timing:
+            return self.qdisc.dequeue(now)
+        return profiler.run_section("qdisc", self.qdisc.dequeue, now)
 
     @property
     def utilization_window_bytes(self) -> int:
@@ -103,7 +123,7 @@ class Interface:
                 self._retry_scheduled_at = ready
                 self.sim.call_at(ready, self._retry)
             return
-        packet = self.qdisc.dequeue(now)
+        packet = self._qdisc_dequeue(now)
         if packet is None:
             # A shaped qdisc can report ready-now yet still refuse the
             # dequeue by a float hair (token refill rounding). Re-ask and

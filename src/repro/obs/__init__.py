@@ -26,6 +26,8 @@ the repo's single sink for measurement:
   text exposition for registry snapshots, Jaeger JSON for traces.
 * :mod:`compare` — run-snapshot diffing (``repro compare``): flags
   quantile regressions between two exported runs.
+* :mod:`profile` — the simulator's *self*-profiler: per-subsystem event
+  counts and wall-clock attribution for the discrete-event core.
 * :mod:`plane` — :class:`ObservabilityPlane`, the wiring that installs
   all of the above onto a built scenario.
 """
@@ -62,6 +64,7 @@ from .metrics import (
     summary_from_histograms,
 )
 from .plane import ObservabilityPlane
+from .profile import PROFILE_SCHEMA, SECTIONS, SimProfiler, profile_text
 from .promexport import parse_prometheus_text, prometheus_text
 from .slo import (
     SCOPE_CLASS,
@@ -96,7 +99,10 @@ __all__ = [
     "LogLinearHistogram",
     "MetricsRegistry",
     "ObservabilityPlane",
+    "PROFILE_SCHEMA",
     "RequestAttribution",
+    "SECTIONS",
+    "SimProfiler",
     "SloEngine",
     "SloSpec",
     "SloStats",
@@ -111,6 +117,7 @@ __all__ = [
     "jaeger_trace_dict",
     "merge_snapshots",
     "parse_prometheus_text",
+    "profile_text",
     "prometheus_text",
     "snapshot_csv",
     "snapshot_digest",

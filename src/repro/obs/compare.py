@@ -1,24 +1,29 @@
-"""``repro compare``: diff two run snapshots, flag quantile regressions.
+"""``repro compare``: diff two run snapshots, flag regressions.
 
 A *run snapshot* is a directory of exported artifacts (what
 ``python -m repro slo --out DIR`` writes, but any harness can produce
-one): registry snapshots as ``*.json`` and per-layer attribution CSVs
-as ``*.csv``.  The comparison walks the baseline's files, pairs them
-with the candidate's by name, and checks every latency statistic it
+one), or a single file.  The comparison walks the baseline's files,
+pairs them with the candidate's by name, and checks every statistic it
 understands:
 
-* registry snapshots — p50 and p99 of every histogram present in both
-  sides (same sparse log-linear buckets, so the quantiles are directly
-  comparable);
+* registry snapshots (``*.json`` with a ``histograms`` block) — p50 and
+  p99 of every histogram present in both sides (same sparse log-linear
+  buckets, so the quantiles are directly comparable);
 * attribution CSVs (``config,class,layer,mean_s,...``) — the e2e mean
-  of every (config, class) row pair.
+  of every (config, class) row pair;
+* bench reports (``*.json`` with ``schema: repro-bench/1``, written by
+  ``python -m repro bench``) — per-scenario kernel event counts and
+  per-section profile counts (deterministic), plus — only with
+  ``include_wall`` — wall seconds and events/sec (host-dependent, so
+  gating on them across machines is opt-in).
 
-A statistic regresses when the candidate exceeds the baseline by more
-than ``threshold`` (relative) *and* by more than ``min_abs_s``
-(absolute floor, so nanosecond jitter on microsecond metrics never
-fails a build).  Files present in the baseline but missing from the
-candidate also fail the comparison — a deleted metric must be an
-explicit decision, not a silent pass.
+A statistic regresses when the candidate is worse than the baseline by
+more than ``threshold`` (relative) *and* by more than the unit's
+absolute floor (so nanosecond jitter on microsecond metrics never fails
+a build).  "Worse" is unit-aware: latencies and event counts regress
+upward, events/sec regresses downward.  Files present in the baseline
+but missing from the candidate also fail the comparison — a deleted
+metric must be an explicit decision, not a silent pass.
 """
 
 from __future__ import annotations
@@ -29,10 +34,21 @@ from pathlib import Path
 
 from .metrics import LogLinearHistogram
 
-#: Relative slowdown tolerated before a quantile counts as regressed.
+#: Relative slowdown tolerated before a statistic counts as regressed.
 DEFAULT_THRESHOLD = 0.05
-#: Absolute floor (seconds): deltas smaller than this never regress.
+#: Absolute floor (seconds) for latency statistics.
 DEFAULT_MIN_ABS_S = 1e-4
+
+#: Bench-report schema accepted by the bench reader (kept in sync with
+#: :data:`repro.experiments.bench.BENCH_SCHEMA`).
+_BENCH_SCHEMA = "repro-bench/1"
+
+#: Units where a *lower* candidate value is the regression direction.
+_HIGHER_IS_BETTER = {"events/s"}
+#: Units that only exist as host wall-clock (skipped unless asked).
+_WALL_UNITS = {"wall_s", "events/s"}
+#: Per-unit absolute floors below which a delta never regresses.
+_MIN_ABS = {"events": 1.0, "wall_s": 0.05, "events/s": 0.0}
 
 
 @dataclass(frozen=True)
@@ -44,6 +60,7 @@ class Delta:
     stat: str
     baseline: float
     candidate: float
+    unit: str = "s"
 
     @property
     def relative(self) -> float:
@@ -51,10 +68,20 @@ class Delta:
             return 0.0 if self.candidate == 0.0 else float("inf")
         return (self.candidate - self.baseline) / self.baseline
 
+    def _format(self, value: float) -> str:
+        if self.unit == "s":
+            return f"{value * 1e3:.3f} ms"
+        if self.unit == "wall_s":
+            return f"{value:.2f} s"
+        if self.unit == "events/s":
+            return f"{value:,.0f}/s"
+        return f"{value:,.0f}"
+
     def line(self) -> str:
         return (
             f"{self.file}  {self.metric}  {self.stat}: "
-            f"{self.baseline * 1e3:.3f} ms -> {self.candidate * 1e3:.3f} ms "
+            f"{self._format(self.baseline)} -> "
+            f"{self._format(self.candidate)} "
             f"({self.relative * 100.0:+.1f}%)"
         )
 
@@ -87,65 +114,115 @@ class CompareReport:
         for delta in self.regressions:
             lines.append(f"  REGRESSION {delta.line()}")
         if self.ok:
-            lines.append("  OK: no quantile regressions")
+            lines.append("  OK: no regressions")
         return "\n".join(lines)
 
 
-def _snapshot_quantiles(path: Path) -> dict[tuple[str, str], float] | None:
-    """(histogram key, stat) -> seconds, or None if not a registry
-    snapshot (Jaeger exports and other JSON are skipped)."""
+# Every reader returns ``{(metric, stat): (value, unit)}`` or None when
+# the file is not its format.
+
+
+def _snapshot_quantiles(path: Path):
+    """Registry snapshot: (histogram key, p50/p99) -> seconds.  None if
+    the JSON is not a registry snapshot (Jaeger exports etc. skip)."""
     try:
         data = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
         return None
     if not isinstance(data, dict) or "histograms" not in data:
         return None
-    out: dict[tuple[str, str], float] = {}
+    out = {}
     for key, payload in data["histograms"].items():
         hist = LogLinearHistogram.from_dict(payload)
-        out[(key, "p50")] = hist.quantile(50.0)
-        out[(key, "p99")] = hist.quantile(99.0)
+        out[(key, "p50")] = (hist.quantile(50.0), "s")
+        out[(key, "p99")] = (hist.quantile(99.0), "s")
     return out
 
 
-def _attribution_means(path: Path) -> dict[tuple[str, str], float] | None:
-    """(``config/class``, "e2e_mean") -> seconds, or None if the CSV is
-    not an attribution export."""
+def _attribution_means(path: Path):
+    """Attribution CSV: (``config/class``, "e2e_mean") -> seconds."""
     try:
         lines = path.read_text().splitlines()
     except OSError:
         return None
     if not lines or not lines[0].startswith("config,class,layer,mean_s"):
         return None
-    out: dict[tuple[str, str], float] = {}
+    out = {}
     for line in lines[1:]:
         parts = line.split(",")
         if len(parts) < 4 or parts[2] != "e2e":
             continue
-        out[(f"{parts[0]}/{parts[1]}", "e2e_mean")] = float(parts[3])
+        out[(f"{parts[0]}/{parts[1]}", "e2e_mean")] = (float(parts[3]), "s")
     return out
 
 
-_READERS = {".json": _snapshot_quantiles, ".csv": _attribution_means}
+def _bench_metrics(path: Path):
+    """Bench report: per-scenario event counts (deterministic) and wall
+    statistics (host-dependent, unit-tagged so the wall filter can drop
+    them)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != _BENCH_SCHEMA:
+        return None
+    out = {}
+    for name, row in data.get("scenarios", {}).items():
+        out[(name, "sim_events")] = (float(row["sim_events"]), "events")
+        profile = row.get("profile") or {}
+        for section, count in profile.get("events", {}).items():
+            out[(name, f"events[{section}]")] = (float(count), "events")
+        out[(name, "wall_seconds")] = (float(row["wall_seconds"]), "wall_s")
+        out[(name, "events_per_wall_second")] = (
+            float(row["events_per_wall_second"]),
+            "events/s",
+        )
+    return out
+
+
+#: Readers tried in order per suffix; the first non-None answer wins.
+_READERS = {
+    ".json": (_bench_metrics, _snapshot_quantiles),
+    ".csv": (_attribution_means,),
+}
+
+
+def _read(path: Path):
+    for reader in _READERS.get(path.suffix, ()):
+        stats = reader(path)
+        if stats is not None:
+            return stats
+    return None
 
 
 def _compare_stats(
     report: CompareReport,
     name: str,
-    base: dict[tuple[str, str], float],
-    cand: dict[tuple[str, str], float],
+    base,
+    cand,
     threshold: float,
     min_abs_s: float,
+    include_wall: bool,
 ) -> None:
     for key in sorted(base):
+        value, unit = base[key]
+        if not include_wall and unit in _WALL_UNITS:
+            continue
         if key not in cand:
             report.missing.append(f"{name}:{key[0]}:{key[1]}")
             continue
+        cand_value, _unit = cand[key]
         metric, stat = key
-        delta = Delta(name, metric, stat, base[key], cand[key])
+        delta = Delta(name, metric, stat, value, cand_value, unit=unit)
         report.compared += 1
-        slower = delta.candidate - delta.baseline
-        if slower > min_abs_s and delta.relative > threshold:
+        min_abs = _MIN_ABS.get(unit, min_abs_s)
+        if unit in _HIGHER_IS_BETTER:
+            worse = delta.baseline - delta.candidate
+            regressed = worse >= min_abs and -delta.relative > threshold
+        else:
+            worse = delta.candidate - delta.baseline
+            regressed = worse >= min_abs and delta.relative > threshold
+        if worse > 0 and regressed:
             report.regressions.append(delta)
 
 
@@ -154,6 +231,7 @@ def compare_runs(
     candidate: str | Path,
     threshold: float = DEFAULT_THRESHOLD,
     min_abs_s: float = DEFAULT_MIN_ABS_S,
+    include_wall: bool = False,
 ) -> CompareReport:
     """Compare two run-snapshot directories (or two single files)."""
     baseline, candidate = Path(baseline), Path(candidate)
@@ -169,18 +247,17 @@ def compare_runs(
     else:
         pairs = [(baseline.name, baseline, candidate)]
     for name, base_path, cand_path in pairs:
-        reader = _READERS.get(base_path.suffix)
-        if reader is None:
-            continue
-        base = reader(base_path)
+        base = _read(base_path)
         if base is None:
             continue  # not a format we understand: ignore on both sides
         if not cand_path.exists():
             report.missing.append(name)
             continue
-        cand = reader(cand_path)
+        cand = _read(cand_path)
         if cand is None:
             report.missing.append(name)
             continue
-        _compare_stats(report, name, base, cand, threshold, min_abs_s)
+        _compare_stats(
+            report, name, base, cand, threshold, min_abs_s, include_wall
+        )
     return report

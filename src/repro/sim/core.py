@@ -10,11 +10,145 @@ are processed in scheduling order.
 from __future__ import annotations
 
 import heapq
+import time
+from types import FunctionType, MethodType
 from typing import Callable, Iterable
 
 from .errors import StopSimulation
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
+
+
+class _ScheduledCall:
+    """A ``call_later`` callback as an inspectable object.
+
+    A plain lambda would work, but the self-profiler needs to see the
+    *original* bound callback to attribute the dispatch to its owner's
+    subsystem, so the wrapper keeps it in a slot.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable, args: tuple):
+        self.fn = fn
+        self.args = args
+
+    def __call__(self, _event) -> None:
+        self.fn(*self.args)
+
+
+def _make_profiled_hooks(sim: "Simulator", profiler):
+    """Build the self-profiling dispatch hooks (``step``, ``_advance``).
+
+    Closures rather than methods so every hot name — the heap, the
+    profiler's count/second tables, the key cache — is a local.  Per
+    event the loop reduces the first callback to a hashable key with
+    plain type checks (``getattr`` with a missed attribute costs ~10x a
+    hit, so no speculative lookups), resolves the section through the
+    key cache, and bumps its count.  Only every ``timing_stride``-th
+    event pays the ``perf_counter`` pair; explicit sections observe the
+    ``_timing`` flag and skip their own timing on unsampled dispatches.
+
+    ``_advance`` fuses the dispatch body straight into the run loop —
+    no per-event ``step()`` frame — which pays back a large share of
+    the instrumentation cost.  ``step`` wraps the same body for direct
+    single-event callers; the two must stay in sync.
+    """
+    heappop = heapq.heappop
+    perf_counter = time.perf_counter
+    queue = sim._queue
+    cache = profiler._key_cache
+    classify = profiler._classify
+    extra_counts = profiler._extra_counts
+    extra_seconds = profiler._extra_seconds
+    stride = profiler.timing_stride
+    tick = 0
+    profiler._timing = False
+
+    def advance(deadline: float) -> None:
+        nonlocal tick
+        while queue and queue[0][0] < deadline:
+            when, _seq, event = heappop(queue)
+            sim._now = when
+            sim._event_count += 1
+            callbacks = event.callbacks
+            # Branches ordered by observed frequency: scheduled calls
+            # dominate (packet timers), then process resumes.
+            if callbacks:
+                owner = callbacks[0]
+                cls = owner.__class__
+                if cls is _ScheduledCall:
+                    fn = owner.fn
+                    fn_cls = fn.__class__
+                    if fn_cls is MethodType:
+                        key = fn.__self__.__class__
+                    elif fn_cls is FunctionType:
+                        key = fn.__code__
+                    else:
+                        key = fn_cls
+                elif cls is MethodType:
+                    obj = owner.__self__
+                    # Process resume: attribute to the generator's code.
+                    key = (
+                        obj._generator.gi_code
+                        if obj.__class__ is Process
+                        else obj.__class__
+                    )
+                elif cls is FunctionType:
+                    # Keyed by code object: closures are re-created per
+                    # call site, their code is shared.
+                    key = owner.__code__
+                else:
+                    key = cls
+            else:
+                key = None
+            try:
+                cell = cache[key]
+            except KeyError:
+                cell = classify(key)
+            cell[0] += 1
+            tick += 1
+            if tick >= stride:
+                tick = 0
+                profiler._timing = True
+                profiler._child = 0.0
+                start = perf_counter()
+                event._process()
+                elapsed = perf_counter() - start
+                profiler._timing = False
+                cell[1] += elapsed - profiler._child
+            else:
+                event._process()
+
+    def step() -> None:
+        # Single-event mirror of the fused loop for direct callers
+        # (``run(until=<Event>)``, tests).  Off the hot path, so it
+        # classifies through the uncached slow path and accumulates
+        # into the section-keyed extras.
+        nonlocal tick
+        when, _seq, event = heappop(queue)
+        sim._now = when
+        sim._event_count += 1
+        callbacks = event.callbacks
+        owner = callbacks[0] if callbacks else None
+        section = profiler._section_of(owner)
+        extra_counts[section] = extra_counts.get(section, 0) + 1
+        tick += 1
+        if tick >= stride:
+            tick = 0
+            profiler._timing = True
+            profiler._child = 0.0
+            start = perf_counter()
+            event._process()
+            elapsed = perf_counter() - start
+            profiler._timing = False
+            extra_seconds[section] = (
+                extra_seconds.get(section, 0.0) + elapsed - profiler._child
+            )
+        else:
+            event._process()
+
+    return step, advance
 
 
 class Simulator:
@@ -39,6 +173,10 @@ class Simulator:
         self._sequence = 0
         self._active_process: Process | None = None
         self._event_count = 0
+        #: Optional :class:`repro.obs.profile.SimProfiler`.  ``None``
+        #: means no profiling hooks are installed: ``step`` stays the
+        #: plain class method and the dispatch loop is untouched.
+        self.profiler = None
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -84,8 +222,30 @@ class Simulator:
     def call_later(self, delay: float, callback: Callable, *args) -> Event:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         event = Timeout(self, delay)
-        event.callbacks.append(lambda _ev: callback(*args))
+        event.callbacks.append(_ScheduledCall(callback, args))
         return event
+
+    # -- profiling ---------------------------------------------------------
+    def attach_profiler(self, profiler) -> None:
+        """Install the self-profiling dispatch hook.
+
+        ``step`` and ``_advance`` are overridden with instance
+        attributes built by :func:`_make_profiled_hooks`: a fused
+        dispatch loop that counts every event into its owning subsystem
+        and stride-samples the wall-clock.  With no profiler attached
+        there is nothing to pay: no wrapper, no branch.
+        """
+        if profiler is None:
+            self.detach_profiler()
+            return
+        self.profiler = profiler
+        self.step, self._advance = _make_profiled_hooks(self, profiler)
+
+    def detach_profiler(self) -> None:
+        """Remove the dispatch hooks, restoring the plain loop."""
+        self.profiler = None
+        self.__dict__.pop("step", None)
+        self.__dict__.pop("_advance", None)
 
     # -- kernel ------------------------------------------------------------
     def _enqueue_event(self, event: Event, delay: float = 0.0) -> None:
@@ -104,6 +264,16 @@ class Simulator:
         self._event_count += 1
         event._process()
 
+    def _advance(self, deadline: float) -> None:
+        """Dispatch every event due strictly before ``deadline``.
+
+        The inner loop of :meth:`run`; the profiler installs a fused
+        instance override so instrumentation amortizes the loop's
+        per-event call overhead.
+        """
+        while self._queue and self._queue[0][0] < deadline:
+            self.step()
+
     def run(self, until: float | Event | None = None):
         """Run the simulation.
 
@@ -116,8 +286,7 @@ class Simulator:
         """
         if until is None:
             try:
-                while self._queue:
-                    self.step()
+                self._advance(float("inf"))
             except StopSimulation as stop:
                 return stop.value
             return None
@@ -149,8 +318,7 @@ class Simulator:
         if deadline < self._now:
             raise ValueError(f"cannot run backwards ({deadline} < {self._now})")
         try:
-            while self._queue and self._queue[0][0] < deadline:
-                self.step()
+            self._advance(deadline)
         except StopSimulation as stop:
             return stop.value
         self._now = deadline

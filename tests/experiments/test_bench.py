@@ -1,0 +1,182 @@
+"""``repro bench``: report schema, determinism, and the compare gate."""
+
+import json
+
+import pytest
+
+from repro.experiments import ScenarioConfig, wall_timer
+from repro.experiments.bench import (
+    BENCH_SCHEMA,
+    BenchResult,
+    bench_scenarios,
+    next_bench_path,
+    run_bench,
+)
+from repro.obs.compare import compare_runs
+
+#: One tiny-but-real bench config shared by the module (session-scoped
+#: fixture: the grid simulates once, every test reads the result).
+BENCH_CONFIG = dict(duration=1.0, warmup=0.25, rps=10.0, seed=42)
+
+
+@pytest.fixture(scope="module")
+def bench_result() -> BenchResult:
+    return run_bench(workers=1, **BENCH_CONFIG)
+
+
+@pytest.fixture()
+def report(bench_result) -> dict:
+    return bench_result.report()
+
+
+class TestGrid:
+    def test_scenarios_all_profiled_and_distinct(self):
+        points = bench_scenarios(ScenarioConfig(**BENCH_CONFIG))
+        labels = [point.label for point in points]
+        assert len(labels) == len(set(labels))
+        assert "figure4-on" in labels and "tail-tracing" in labels
+        for point in points:
+            assert point.config.profile is True
+
+    def test_tail_tracing_point_sets_the_knob(self):
+        points = {p.label: p for p in bench_scenarios(ScenarioConfig())}
+        assert points["tail-tracing"].config.mesh.tracing_tail_keep == 5
+        assert points["mux"].config.mesh.use_mux is True
+
+
+class TestReport:
+    def test_schema_and_shape(self, report):
+        assert report["schema"] == BENCH_SCHEMA
+        assert set(report["scenarios"]) == {
+            "figure4-off", "figure4-on", "figure4-hot",
+            "mux", "inbound-queue", "tail-tracing",
+        }
+        for row in report["scenarios"].values():
+            assert row["sim_events"] > 0
+            assert row["wall_seconds"] > 0
+            assert row["events_per_wall_second"] > 0
+            assert row["profile"]["events"]
+        assert report["config"]["seed"] == 42
+        assert report["cache"]["simulated"] == 6
+        assert report["machine"]["cpu_count"] >= 1
+
+    def test_json_round_trip_and_trailing_newline(self, bench_result):
+        blob = bench_result.json()
+        assert blob.endswith("\n") and not blob.endswith("\n\n")
+        assert blob == bench_result.json()  # byte-equal double export
+        parsed = json.loads(blob)
+        assert parsed["schema"] == BENCH_SCHEMA
+        assert parsed["deterministic_digest"] == (
+            bench_result.deterministic_digest()
+        )
+
+    def test_table_render(self, bench_result):
+        table = bench_result.table()
+        assert table.endswith("\n")
+        assert "figure4-on" in table
+        assert "deterministic digest:" in table
+        assert "profile of slowest scenario" in table
+
+    def test_digest_covers_only_deterministic_fields(self, bench_result):
+        digest = bench_result.deterministic_digest()
+        rows = bench_result.scenario_rows()
+        # Perturbing wall-clock must not move the digest...
+        rows["mux"]["wall_seconds"] *= 100
+        assert bench_result.deterministic_digest(rows) == digest
+        # ...but perturbing an event count must.
+        rows["mux"]["sim_events"] += 1
+        assert bench_result.deterministic_digest(rows) != digest
+
+
+class TestNextBenchPath:
+    def test_empty_directory_starts_at_one(self, tmp_path):
+        assert next_bench_path(tmp_path).name == "BENCH_1.json"
+
+    def test_increments_past_existing(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_7.json").write_text("{}")
+        (tmp_path / "BENCH_nope.json").write_text("{}")
+        assert next_bench_path(tmp_path).name == "BENCH_8.json"
+
+
+class TestCompareGate:
+    def _write(self, path, report):
+        path.write_text(json.dumps(report) + "\n")
+
+    def test_self_compare_passes(self, tmp_path, report):
+        self._write(tmp_path / "base.json", report)
+        self._write(tmp_path / "cand.json", report)
+        result = compare_runs(tmp_path / "base.json", tmp_path / "cand.json")
+        assert result.ok
+        assert result.compared > 0
+
+    def test_wall_metrics_ignored_by_default(self, tmp_path, report):
+        import copy
+
+        slower = copy.deepcopy(report)
+        for row in slower["scenarios"].values():
+            row["wall_seconds"] *= 10
+            row["events_per_wall_second"] /= 10
+        self._write(tmp_path / "base.json", report)
+        self._write(tmp_path / "cand.json", slower)
+        assert compare_runs(tmp_path / "base.json", tmp_path / "cand.json").ok
+        gated = compare_runs(
+            tmp_path / "base.json", tmp_path / "cand.json", include_wall=True
+        )
+        assert not gated.ok
+        assert any(d.unit in ("wall_s", "events/s") for d in gated.regressions)
+
+    def test_event_count_regression_fails(self, tmp_path, report):
+        import copy
+
+        worse = copy.deepcopy(report)
+        worse["scenarios"]["mux"]["sim_events"] = int(
+            worse["scenarios"]["mux"]["sim_events"] * 1.5
+        )
+        self._write(tmp_path / "base.json", report)
+        self._write(tmp_path / "cand.json", worse)
+        result = compare_runs(tmp_path / "base.json", tmp_path / "cand.json")
+        assert not result.ok
+        assert any(d.stat == "sim_events" for d in result.regressions)
+
+    def test_improvement_passes(self, tmp_path, report):
+        import copy
+
+        better = copy.deepcopy(report)
+        better["scenarios"]["mux"]["sim_events"] = int(
+            better["scenarios"]["mux"]["sim_events"] * 0.5
+        )
+        self._write(tmp_path / "base.json", report)
+        self._write(tmp_path / "cand.json", better)
+        assert compare_runs(tmp_path / "base.json", tmp_path / "cand.json").ok
+
+    def test_missing_scenario_fails(self, tmp_path, report):
+        import copy
+
+        partial = copy.deepcopy(report)
+        del partial["scenarios"]["tail-tracing"]
+        self._write(tmp_path / "base.json", report)
+        self._write(tmp_path / "cand.json", partial)
+        result = compare_runs(tmp_path / "base.json", tmp_path / "cand.json")
+        assert not result.ok
+        assert any("tail-tracing" in name for name in result.missing)
+
+
+class TestWallTimer:
+    def test_elapsed_frozen_after_exit(self):
+        with wall_timer() as timer:
+            live = timer.elapsed
+        assert live >= 0.0
+        frozen = timer.elapsed
+        assert frozen >= live
+        assert timer.elapsed == frozen
+
+    def test_unentered_timer_reads_zero(self):
+        assert wall_timer().elapsed == 0.0
+
+
+class TestMeasurementProfile:
+    def test_measurements_carry_profile_reports(self, bench_result):
+        for measurement in bench_result.measurements.values():
+            assert measurement.profile is not None
+            assert measurement.profile["events"]

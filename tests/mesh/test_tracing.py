@@ -151,3 +151,121 @@ def test_root_missing():
     assert trace.root is None
     assert trace.duration is None
     assert trace.critical_path() == []
+
+
+# -- tail-based sampling ---------------------------------------------------
+
+def traced(tracer, trace_id, duration, operation="GET /", status=200,
+           retries=0):
+    """One complete trace: a child span recorded first, then the root
+    (the real mesh order — the root span closes last)."""
+    root = tracer.start_span(trace_id, "gateway", operation, 0.0)
+    child = tracer.start_span(
+        trace_id, "svc", f"{operation}:svc", 0.0,
+        parent_span_id=root.span_id,
+    )
+    child.finish(duration * 0.9, status=status, retries=retries)
+    tracer.record(child)
+    root.finish(duration, status=status)
+    tracer.record(root)
+
+
+class TestTailSampling:
+    def test_keeps_only_n_slowest_per_class(self):
+        tracer = Tracer(tail_keep=2)
+        durations = [0.01, 0.05, 0.03, 0.02, 0.04]
+        with pytest.warns(RuntimeWarning):  # first eviction warns (once)
+            for index, duration in enumerate(durations):
+                traced(tracer, f"t{index}", duration)
+        kept = {t.trace_id for t in tracer.traces}
+        assert kept == {"t1", "t4"}  # the two slowest (0.05, 0.04)
+        assert tracer.traces_evicted == 3
+        assert tracer.spans_evicted == 6
+
+    def test_errored_and_retried_traces_always_kept(self):
+        tracer = Tracer(tail_keep=1)
+        traced(tracer, "slow", 0.5)
+        traced(tracer, "err", 0.001, status=503)
+        traced(tracer, "retried", 0.001, retries=2)
+        with pytest.warns(RuntimeWarning):
+            traced(tracer, "fast", 0.002)
+        kept = {t.trace_id for t in tracer.traces}
+        assert kept == {"slow", "err", "retried"}
+
+    def test_classes_keep_independent_budgets(self):
+        tracer = Tracer(tail_keep=1)
+        traced(tracer, "a1", 0.01, operation="GET /a")
+        traced(tracer, "b1", 0.01, operation="GET /b")
+        assert len(tracer.traces) == 2  # one slot per workload class
+
+    def test_warns_once_then_stays_quiet(self):
+        tracer = Tracer(tail_keep=1)
+        traced(tracer, "t0", 0.02)
+        with pytest.warns(RuntimeWarning):
+            traced(tracer, "t1", 0.01)
+        with _no_warning():
+            traced(tracer, "t2", 0.005)
+        assert tracer.traces_evicted == 2
+
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        for index in range(10):
+            traced(tracer, f"t{index}", 0.001 * (index + 1))
+        assert len(tracer.traces) == 10
+        assert tracer.traces_evicted == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(tail_keep=0)
+
+    def test_mesh_config_knob(self):
+        from repro.mesh.config import MeshConfig
+
+        with pytest.raises(ValueError):
+            MeshConfig(tracing_tail_keep=0)
+        config = MeshConfig(tracing_tail_keep=3)
+        assert config.tracing_tail_keep == 3
+
+    def test_scenario_bounds_trace_memory(self):
+        """End to end: a short run with the knob keeps at most
+        ``classes x tail_keep`` non-hot traces."""
+        import warnings
+
+        from repro.experiments import ScenarioConfig, run_scenario
+        from repro.mesh.config import MeshConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            capped = run_scenario(
+                ScenarioConfig(
+                    duration=1.5, warmup=0.25, rps=20,
+                    mesh=MeshConfig(tracing_tail_keep=2),
+                )
+            )
+            free = run_scenario(
+                ScenarioConfig(duration=1.5, warmup=0.25, rps=20)
+            )
+        tracer = capped.tracer
+        assert tracer.traces_evicted > 0
+        assert len(tracer.traces) < len(free.tracer.traces)
+        hot = sum(1 for t in tracer.traces if Tracer._is_hot(t))
+        classes = {t.root.operation for t in tracer.traces if t.root}
+        assert len(tracer.traces) - hot <= 2 * max(len(classes), 1)
+
+
+class _no_warning:
+    """Context asserting the block emits no warnings at all."""
+
+    def __enter__(self):
+        import warnings
+
+        self._catcher = warnings.catch_warnings(record=True)
+        self._records = self._catcher.__enter__()
+        import warnings as w
+
+        w.simplefilter("always")
+        return self
+
+    def __exit__(self, *exc):
+        self._catcher.__exit__(*exc)
+        assert not self._records, [str(r.message) for r in self._records]

@@ -46,7 +46,7 @@ class TestCompareRuns:
         report = compare_runs(tmp_path / "a", tmp_path / "b")
         assert report.ok
         assert report.compared > 0
-        assert "OK: no quantile regressions" in report.text()
+        assert "OK: no regressions" in report.text()
 
     def test_injected_quantile_regression_fails(self, tmp_path):
         _write_run(tmp_path / "a", BASE, 0.010)
