@@ -6,6 +6,7 @@ Usage::
     python -m repro overhead | ablations | te | hedging | resilience
     python -m repro slo [--out DIR]     # X-6: online SLO / alerting
     python -m repro bench [--out FILE]  # X-7: self-profiled benchmark
+    python -m repro fidelity   # X-8: fluid-vs-packet agreement gate
     python -m repro compare BASE CAND [--wall]  # diff two snapshots
     python -m repro all        # everything, through ONE shared runner
 
@@ -39,6 +40,7 @@ from .experiments import (
     AblationExperiment,
     ComputeExperiment,
     Experiment,
+    FidelityExperiment,
     Figure4Experiment,
     HedgingExperiment,
     HopsExperiment,
@@ -107,6 +109,17 @@ def _render_observe(result, args) -> str:
     return result.report()
 
 
+def _render_fidelity(result, args) -> str:
+    _write_csv(result, args)
+    lines = [result.table()]
+    if result.passed:
+        lines.append("fidelity: PASS (every percentile within tolerance)")
+    else:
+        lines.append("fidelity: FAIL")
+        lines.extend(f"  {problem}" for problem in result.violations())
+    return "\n".join(lines)
+
+
 def _render_slo(result, args) -> str:
     _write_csv(result, args)
     if getattr(args, "out", None):
@@ -124,6 +137,8 @@ class Command:
     factory: Callable[[argparse.Namespace], Experiment]
     help: str
     render: Callable = _render_table
+    # Optional result -> exit-code hook (e.g. the fidelity gate).
+    exit_code: Callable | None = None
 
 
 COMMANDS = {
@@ -173,6 +188,12 @@ COMMANDS = {
         lambda args: SloExperiment(**_overrides(args, 20.0, rps=30.0)),
         "X-6: online SLO engine + burn-rate alert timeline",
         render=_render_slo,
+    ),
+    "fidelity": Command(
+        lambda args: FidelityExperiment(**_overrides(args, 20.0, rps=30.0)),
+        "X-8: fluid-vs-packet agreement gate (exit 1 on divergence)",
+        render=_render_fidelity,
+        exit_code=lambda result: 0 if result.passed else 1,
     ),
 }
 
@@ -336,13 +357,18 @@ def main(argv=None) -> int:
                 (name, command, command.factory(args).submit(runner))
                 for name, command in COMMANDS.items()
             ]
+            status = 0
             for name, command, submitted in pending:
                 print(f"\n### {name} ###")
-                print(command.render(submitted.result(), args))
-            return 0
+                result = submitted.result()
+                print(command.render(result, args))
+                if command.exit_code is not None:
+                    status = max(status, command.exit_code(result))
+            return status
         command = COMMANDS[args.command]
-        print(command.render(command.factory(args).run(runner), args))
-        return 0
+        result = command.factory(args).run(runner)
+        print(command.render(result, args))
+        return command.exit_code(result) if command.exit_code else 0
     finally:
         runner.close()
 

@@ -16,6 +16,8 @@
 * :mod:`slo` — X-6, online SLO engine + burn-rate alerting (§3/§4.1).
 * :mod:`bench` — X-7, the self-profiled benchmark grid behind
   ``python -m repro bench`` (BENCH_<n>.json reports).
+* :mod:`fidelity` — X-8, fluid-vs-packet agreement on the Figure-4
+  scenario (the hybrid-transport validation gate).
 
 Every harness follows one contract::
 
@@ -37,6 +39,13 @@ from .bench import (
     run_bench,
 )
 from .compute import ComputeExperiment, ComputeResult, run_compute
+from .fidelity import (
+    FidelityExperiment,
+    FidelityLevel,
+    FidelityResult,
+    FidelityRow,
+    run_fidelity,
+)
 from .figure4 import (
     PAPER_RPS_LEVELS,
     Figure4Experiment,
@@ -95,6 +104,10 @@ __all__ = [
     "ComputeResult",
     "DEFAULT_MSS",
     "Experiment",
+    "FidelityExperiment",
+    "FidelityLevel",
+    "FidelityResult",
+    "FidelityRow",
     "Figure4Experiment",
     "Figure4Result",
     "Figure4Row",
@@ -145,6 +158,7 @@ __all__ = [
     "run_ablations",
     "run_bench",
     "run_compute",
+    "run_fidelity",
     "run_figure4",
     "run_hedging",
     "run_hops",

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from ..obs.profile import profile_text
+from ..transport import TransportSpec
 from .runner import (
     Experiment,
     Point,
@@ -44,7 +45,7 @@ from .runner import (
     config_digest,
     measure_scenario,
 )
-from .scenario import ScenarioConfig
+from .scenario import SIM_TRANSPORT_SPEC, ScenarioConfig
 
 #: Bench-report schema tag; bump on layout changes so ``repro compare``
 #: never silently diffs incompatible reports.
@@ -68,14 +69,24 @@ def bench_scenarios(base: ScenarioConfig) -> list[Point]:
             config = replace(config, mesh=replace(base.mesh, **mesh_overrides))
         return Point(label=label, fn=measure_scenario, config=config)
 
+    hybrid = replace(SIM_TRANSPORT_SPEC, fidelity="hybrid")
+    # Uncongested pair: light enough load that no link crosses the
+    # contention threshold, so hybrid mode runs every connection fluid —
+    # the packet twin quantifies the dispatched-event reduction.
+    uncongested = base.rps / 5
     return [
         # The paper's headline scenario, both configurations; "hot"
         # doubles the load to exercise queueing-heavy code paths.
         point("figure4-off", cross_layer=False),
         point("figure4-on"),
         point("figure4-hot", rps=base.rps * 2),
+        # Hybrid fidelity on the headline scenario: fluid where the path
+        # is cold, packet where the bottleneck heats up.
+        point("figure4-fluid", transport=hybrid),
+        point("uncongested-packet", rps=uncongested),
+        point("uncongested-fluid", rps=uncongested, transport=hybrid),
         # Subsystems with their own hot paths.
-        point("mux", mesh={"use_mux": True}),
+        point("mux", mesh={"transport": TransportSpec(mux=True)}),
         point(
             "inbound-queue",
             mesh={"inbound_concurrency": 2, "max_inbound_queue": 64},

@@ -1,0 +1,239 @@
+"""X-8: hybrid-fidelity validation — fluid vs packet agreement.
+
+The hybrid transport (ROADMAP item 1) only earns its speedup if it does
+not move the numbers the repository exists to reproduce. This harness
+runs the Figure-4 scenario at each RPS level twice — packet fidelity and
+hybrid fidelity — and checks that the LS and LI p50/p99 agree within
+tolerance (5% relative with a 50 µs absolute floor). It also reports the
+dispatched-transport-event reduction and wall-clock win, the measured
+side of the bargain.
+
+``python -m repro fidelity`` exits 1 when any percentile diverges, which
+is the CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..util.stats import LatencySummary
+from .report import format_table, ms, to_csv
+from .runner import Experiment, Point, Runner, measure_scenario
+from .scenario import SIM_TRANSPORT_SPEC, ScenarioConfig
+
+#: Agreement tolerance: relative, with an absolute floor so a 10 µs
+#: wiggle on a 100 µs percentile does not count as divergence.
+TOLERANCE_REL = 0.05
+TOLERANCE_ABS = 50e-6
+
+DEFAULT_RPS_LEVELS = (10.0, 30.0)
+
+
+def diverges(packet_value: float, fluid_value: float) -> bool:
+    """True when the fluid percentile is outside tolerance of packet's."""
+    allowed = max(TOLERANCE_ABS, TOLERANCE_REL * packet_value)
+    return abs(fluid_value - packet_value) > allowed
+
+
+@dataclass
+class FidelityRow:
+    """One (RPS level, workload): both fidelity modes side by side."""
+
+    rps: float
+    workload: str
+    packet: LatencySummary
+    fluid: LatencySummary
+
+    def divergences(self) -> list[str]:
+        problems = []
+        for stat in ("p50", "p99"):
+            packet_value = getattr(self.packet, stat)
+            fluid_value = getattr(self.fluid, stat)
+            if diverges(packet_value, fluid_value):
+                problems.append(
+                    f"rps={self.rps:g} {self.workload} {stat}: "
+                    f"packet={packet_value * 1e3:.3f}ms "
+                    f"fluid={fluid_value * 1e3:.3f}ms "
+                    f"(tolerance {TOLERANCE_REL:.0%} rel, "
+                    f"{TOLERANCE_ABS * 1e6:.0f}us abs)"
+                )
+        return problems
+
+
+@dataclass
+class FidelityLevel:
+    """Per-RPS speedup facts (shared by both workloads)."""
+
+    rps: float
+    packet_transport_events: int
+    fluid_transport_events: int
+    packet_wall: float
+    fluid_wall: float
+
+    @property
+    def event_reduction(self) -> float:
+        if self.fluid_transport_events <= 0:
+            return float("inf")
+        return self.packet_transport_events / self.fluid_transport_events
+
+    @property
+    def wall_speedup(self) -> float:
+        if self.fluid_wall <= 0:
+            return float("inf")
+        return self.packet_wall / self.fluid_wall
+
+
+@dataclass
+class FidelityResult:
+    rows: list[FidelityRow] = field(default_factory=list)
+    levels: list[FidelityLevel] = field(default_factory=list)
+
+    def violations(self) -> list[str]:
+        return [problem for row in self.rows for problem in row.divergences()]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations()
+
+    @property
+    def best_event_reduction(self) -> float:
+        return max((level.event_reduction for level in self.levels), default=0.0)
+
+    def table(self) -> str:
+        headers = [
+            "RPS", "load", "p50 pkt (ms)", "p50 fluid (ms)",
+            "p99 pkt (ms)", "p99 fluid (ms)", "p50 drift", "p99 drift",
+        ]
+        body = []
+        for row in self.rows:
+            p50_drift = (row.fluid.p50 - row.packet.p50) / row.packet.p50
+            p99_drift = (row.fluid.p99 - row.packet.p99) / row.packet.p99
+            body.append(
+                [
+                    f"{row.rps:g}",
+                    row.workload,
+                    ms(row.packet.p50),
+                    ms(row.fluid.p50),
+                    ms(row.packet.p99),
+                    ms(row.fluid.p99),
+                    f"{p50_drift * 100:+.2f}%",
+                    f"{p99_drift * 100:+.2f}%",
+                ]
+            )
+        lines = [
+            format_table(
+                headers,
+                body,
+                title="X-8: fluid vs packet fidelity on the Figure-4 scenario",
+            )
+        ]
+        for level in self.levels:
+            lines.append(
+                f"rps={level.rps:g}: transport events "
+                f"{level.packet_transport_events:,} -> "
+                f"{level.fluid_transport_events:,} "
+                f"({level.event_reduction:.1f}x fewer), wall "
+                f"{level.packet_wall:.2f}s -> {level.fluid_wall:.2f}s "
+                f"({level.wall_speedup:.1f}x)"
+            )
+        return "\n".join(lines)
+
+    def csv(self) -> str:
+        headers = [
+            "rps", "workload",
+            "p50_packet_s", "p50_fluid_s", "p99_packet_s", "p99_fluid_s",
+        ]
+        body = [
+            [
+                row.rps, row.workload,
+                row.packet.p50, row.fluid.p50, row.packet.p99, row.fluid.p99,
+            ]
+            for row in self.rows
+        ]
+        return to_csv(headers, body)
+
+
+class FidelityExperiment(Experiment):
+    """(RPS level) × (packet, hybrid fidelity) on the Figure-4 testbed."""
+
+    name = "fidelity"
+
+    def __init__(
+        self,
+        base_config: ScenarioConfig | None = None,
+        *,
+        rps_levels=None,
+        **overrides,
+    ):
+        super().__init__(base_config, **overrides)
+        levels = DEFAULT_RPS_LEVELS if rps_levels is None else tuple(rps_levels)
+        self.rps_levels = tuple(float(rps) for rps in levels)
+
+    def points(self) -> list[Point]:
+        base_spec = (
+            self.base.transport
+            if self.base.transport is not None
+            else SIM_TRANSPORT_SPEC
+        )
+        hybrid = replace(base_spec, fidelity="hybrid")
+        packet = replace(base_spec, fidelity="packet")
+        grid = []
+        for rps in self.rps_levels:
+            for tag, spec in (("packet", packet), ("fluid", hybrid)):
+                grid.append(
+                    Point(
+                        label=f"rps={rps:g}/{tag}",
+                        fn=measure_scenario,
+                        # profile=True so the report can count dispatched
+                        # transport events per fidelity mode.
+                        config=replace(
+                            self.base, rps=rps, transport=spec, profile=True
+                        ),
+                    )
+                )
+        return grid
+
+    def collect(self, measurements) -> FidelityResult:
+        result = FidelityResult()
+        for rps in self.rps_levels:
+            packet = measurements[f"rps={rps:g}/packet"]
+            fluid = measurements[f"rps={rps:g}/fluid"]
+            for workload, packet_summary, fluid_summary in (
+                ("LS", packet.ls, fluid.ls),
+                ("LI", packet.li, fluid.li),
+            ):
+                result.rows.append(
+                    FidelityRow(
+                        rps=rps,
+                        workload=workload,
+                        packet=packet_summary,
+                        fluid=fluid_summary,
+                    )
+                )
+            result.levels.append(
+                FidelityLevel(
+                    rps=rps,
+                    packet_transport_events=int(
+                        (packet.profile or {}).get("events", {}).get("transport", 0)
+                    ),
+                    fluid_transport_events=int(
+                        (fluid.profile or {}).get("events", {}).get("transport", 0)
+                    ),
+                    packet_wall=packet.wall_clock,
+                    fluid_wall=fluid.wall_clock,
+                )
+            )
+        return result
+
+
+def run_fidelity(
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
+    rps_levels=None,
+    **overrides,
+) -> FidelityResult:
+    """Run the validation grid: one scenario per (RPS, fidelity mode)."""
+    return FidelityExperiment(
+        base_config, rps_levels=rps_levels, **overrides
+    ).run(runner)

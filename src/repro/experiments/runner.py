@@ -190,6 +190,15 @@ class ScenarioMeasurement:
             "retries": float(telemetry.retries_total),
             "timeouts": float(telemetry.timeouts_total),
             "breaker_rejections": float(telemetry.circuit_breaker_rejections),
+            # Wire bytes moved by the flow-level fast path — nonzero iff
+            # any connection actually ran fluid (X-8 validation hook).
+            "fluid_bytes": float(
+                sum(
+                    iface.fluid_bytes_transmitted
+                    for device in result.cluster.network.devices.values()
+                    for iface in device.interfaces
+                )
+            ),
         }
         extra = {}
         classifier = result.config.classifier

@@ -23,7 +23,8 @@ from ..mesh.mesh import ServiceMesh
 from ..net.sdn import SdnController
 from ..sim import Simulator
 from ..sim.rng import RngRegistry
-from ..transport import TransportConfig
+from ..transport import TransportConfig, TransportSpec
+from ..util.deprecation import warn_once
 from ..util.stats import LatencySummary
 from ..workload.mixes import LI_WORKLOAD, LS_WORKLOAD, MixConfig, MixedWorkload
 
@@ -31,6 +32,10 @@ from ..workload.mixes import LI_WORKLOAD, LS_WORKLOAD, MixConfig, MixedWorkload
 # while preserving the queueing behaviour (a 2 MB response is still ~130
 # segments through the bottleneck).
 DEFAULT_MSS = 15_000
+
+#: The scenario-scale transport description every run uses unless it
+#: passes its own (packet fidelity, sim-scale segments).
+SIM_TRANSPORT_SPEC = TransportSpec(mss=DEFAULT_MSS, header_bytes=60)
 
 
 @dataclass
@@ -49,7 +54,11 @@ class ScenarioConfig:
     classifier: Classifier | None = None
     elibrary: ELibraryConfig = field(default_factory=ELibraryConfig)
     mesh: MeshConfig = field(default_factory=MeshConfig)
-    mss: int = DEFAULT_MSS
+    # Transport description (fidelity mode, cc, segment sizes). None
+    # means SIM_TRANSPORT_SPEC.
+    transport: TransportSpec | None = None
+    # Deprecated: use transport=TransportSpec(mss=...). None = unset.
+    mss: int | None = None
     nodes: int = 1                  # the paper: one 32-core server
     cores_per_node: int = 32
     arrivals: str = "uniform"
@@ -60,12 +69,26 @@ class ScenarioConfig:
     # are installed and the hot path is untouched.
     profile: bool = False
 
+    def __post_init__(self):
+        if self.mss is not None:
+            warn_once(
+                "scenarioconfig-mss",
+                "ScenarioConfig(mss=...) is deprecated; pass "
+                "transport=TransportSpec(mss=...) instead",
+            )
+            base = self.transport if self.transport is not None else SIM_TRANSPORT_SPEC
+            self.transport = replace(base, mss=self.mss)
+            self.mss = None  # folded; keeps dataclasses.replace() idempotent
+
     def effective_policy(self) -> CrossLayerPolicy:
         if self.policy is not None:
             return self.policy
         if self.cross_layer:
             return CrossLayerPolicy.paper_prototype()
         return CrossLayerPolicy.disabled()
+
+    def effective_transport(self) -> TransportSpec:
+        return self.transport if self.transport is not None else SIM_TRANSPORT_SPEC
 
 
 @dataclass
@@ -112,7 +135,8 @@ def build_scenario(config: ScenarioConfig):
 
         sim.attach_profiler(SimProfiler(timing_stride=PROFILE_TIMING_STRIDE))
     rng = RngRegistry(config.seed)
-    transport = TransportConfig(mss=config.mss, header_bytes=60)
+    spec = config.effective_transport()
+    transport = TransportConfig.from_spec(spec)
     cluster = Cluster(
         sim,
         scheduler=Scheduler("first-fit" if config.nodes == 1 else "least-pods"),
@@ -121,7 +145,12 @@ def build_scenario(config: ScenarioConfig):
     )
     for index in range(config.nodes):
         cluster.add_node(f"node-{index}", cores=config.cores_per_node)
-    mesh = ServiceMesh(sim, cluster, config.mesh, rng_registry=rng)
+    mesh_config = config.mesh
+    if mesh_config.transport is None:
+        # One spec end to end: the sidecars' mux knobs follow the
+        # scenario's transport description unless the mesh overrides.
+        mesh_config = replace(mesh_config, transport=spec)
+    mesh = ServiceMesh(sim, cluster, mesh_config, rng_registry=rng)
     if sim.profiler is not None:
         # Registry/SLO ingest gets charged to the "obs" section instead
         # of whichever sidecar happened to record the request.

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from ..transport import TransportSpec
+from ..util.deprecation import warn_once
 from .mtls import MtlsContext
 from .resilience import HedgePolicy, RetryPolicy
 
@@ -49,11 +51,14 @@ class MeshConfig:
     # policy that needs an SDN controller handle (§3.5). Receives the
     # sidecar, returns a LoadBalancer; None = build by ``lb_name``.
     lb_factory: object = None
-    # SST-style multiplexing (§3.6): carry all requests to an upstream
-    # over ONE priority-scheduled multiplexed connection instead of a
-    # connection-per-request pool.
-    use_mux: bool = False
-    mux_chunk_bytes: int = 16_000
+    # Transport description (fidelity mode, cc, segment sizes, SST-style
+    # multiplexing). None means the default packet-level TransportSpec.
+    transport: TransportSpec | None = None
+    # Deprecated: the mux knobs moved into TransportSpec. None = unset;
+    # a concrete value is folded into ``transport`` with a warn-once
+    # DeprecationWarning.
+    use_mux: bool | None = None
+    mux_chunk_bytes: int | None = None
     # Control plane push latency (config distribution, Fig. 1).
     config_push_delay: float = 0.050
     # Cap on the telemetry per-request record list (None = unbounded,
@@ -72,3 +77,25 @@ class MeshConfig:
             raise ValueError(
                 "tracing_tail_keep must be >= 1 (or None to disable)"
             )
+        if self.use_mux is not None or self.mux_chunk_bytes is not None:
+            warn_once(
+                "meshconfig-mux",
+                "MeshConfig(use_mux=..., mux_chunk_bytes=...) is deprecated; "
+                "pass MeshConfig(transport=TransportSpec(mux=..., "
+                "mux_chunk_bytes=...)) instead",
+            )
+            base = self.transport if self.transport is not None else TransportSpec()
+            overrides = {}
+            if self.use_mux is not None:
+                overrides["mux"] = bool(self.use_mux)
+            if self.mux_chunk_bytes is not None:
+                overrides["mux_chunk_bytes"] = self.mux_chunk_bytes
+            self.transport = replace(base, **overrides)
+            # Folded: clear the legacy fields so dataclasses.replace()
+            # round-trips without re-warning or double-applying.
+            self.use_mux = None
+            self.mux_chunk_bytes = None
+
+    def transport_spec(self) -> TransportSpec:
+        """The effective transport description (default spec when unset)."""
+        return self.transport if self.transport is not None else TransportSpec()

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from ..http.message import HttpResponse
 from ..sim import Simulator
-from ..transport.connection import ConnectionEnd
-from ..transport.mux import MuxConnection
+from ..transport import ConnectionEnd, MuxConnection
 
 
 class MuxChannel:

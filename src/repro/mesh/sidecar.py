@@ -28,7 +28,7 @@ from ..http.message import HttpRequest, HttpResponse, HttpStatus
 from ..obs.attribution import LAYER_PROXY, LAYER_RETRY
 from ..sim import Interrupt, PriorityStore, Simulator
 from ..sim.rng import Distributions, lognormal_params_from_quantiles
-from ..transport.connection import ConnectionEnd
+from ..transport import ConnectionEnd
 from .config import MESH_PORT, MeshConfig
 from .loadbalancer import LoadBalancer, make_lb
 from .policy import PolicyHooks, TransportParams
@@ -71,6 +71,7 @@ class Sidecar:
         self.pod = pod
         self.service_name = service_name
         self.config = config
+        self._transport_spec = config.transport_spec()
         self.tracer = tracer
         self.telemetry = telemetry
         self.policy = policy if policy is not None else PolicyHooks()
@@ -200,10 +201,12 @@ class Sidecar:
         """Multiplexed serving: streams are independent, so requests on
         one connection execute concurrently; responses go back on
         priority-scheduled streams (no head-of-line blocking)."""
-        from ..transport.mux import MuxConnection
+        from ..transport import MuxConnection
 
         mux = MuxConnection(
-            conn, chunk_bytes=self.config.mux_chunk_bytes, scheduler="priority"
+            conn,
+            chunk_bytes=self._transport_spec.mux_chunk_bytes,
+            scheduler="priority",
         )
         while True:
             request, _size = yield mux.receive()
@@ -579,7 +582,7 @@ class Sidecar:
     def _try_once(self, request, endpoint: Endpoint, per_try: float):
         """Send the request to one endpoint, await the response or a
         timeout. Returns HttpResponse or None on timeout/connect failure."""
-        if self.config.use_mux:
+        if self._transport_spec.mux:
             result = yield from self._mux_try_once(request, endpoint, per_try)
             return result
         params = self.policy.transport_params(request)
@@ -664,7 +667,7 @@ class Sidecar:
             )
             self.pool_connections_created += 1
             channel = MuxChannel(
-                self.sim, conn, chunk_bytes=self.config.mux_chunk_bytes
+                self.sim, conn, chunk_bytes=self._transport_spec.mux_chunk_bytes
             )
             self._mux_channels[key] = channel
         # Mux streams share one flow: the last claimant wins, which is

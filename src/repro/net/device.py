@@ -148,6 +148,17 @@ class Switch(Device):
             return override
         return self._routes.get(packet.dst)
 
+    def route_for_address(
+        self, dst: str, tos: Tos | None = None
+    ) -> Optional[Interface]:
+        """Table lookup without a packet in hand — the fidelity policy
+        walks forwarding tables to resolve a connection's path."""
+        if tos is not None:
+            override = self._tos_routes.get((dst, tos))
+            if override is not None:
+                return override
+        return self._routes.get(dst)
+
     def receive(self, packet: Packet, interface: Interface) -> None:
         out = self.route_for(packet)
         if out is None:

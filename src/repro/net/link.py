@@ -48,6 +48,13 @@ class Interface:
         self.bytes_transmitted = 0
         self.packets_transmitted = 0
         self.busy_time = 0.0
+        # Flow-level (fluid) occupancy: analytic transfers never enqueue
+        # packets here, so they account their wire time separately. The
+        # FidelityPolicy sums busy_time + fluid_busy_time so fluid
+        # traffic still counts toward contention detection.
+        self.fluid_busy_time = 0.0
+        self.fluid_bytes_transmitted = 0
+        self.fluid_active = 0
 
     def set_rate(self, rate_bps: float) -> None:
         """Change the line rate (models ``tc`` re-shaping a veth; the
@@ -108,6 +115,21 @@ class Interface:
     def utilization_window_bytes(self) -> int:
         """Cumulative bytes sent; monitors diff this over time."""
         return self.bytes_transmitted
+
+    # -- flow-level (fluid) accounting --------------------------------------
+    def fluid_rate_bps(self) -> float:
+        """Line rate available to flow-level transfers (shaped qdiscs
+        cap it below the physical rate)."""
+        return self.qdisc.fluid_rate_cap(self.rate_bps)
+
+    def fluid_register(self, wire_bytes: int) -> None:
+        """Account an analytic transfer's occupancy on this interface."""
+        self.fluid_busy_time += wire_bytes * 8.0 / self.fluid_rate_bps()
+        self.fluid_bytes_transmitted += wire_bytes
+        self.fluid_active += 1
+
+    def fluid_release(self) -> None:
+        self.fluid_active -= 1
 
     # -- transmitter --------------------------------------------------------
     def _try_send(self) -> None:

@@ -99,6 +99,12 @@ class Qdisc:
     def backlog_bytes(self) -> int:
         raise NotImplementedError
 
+    def fluid_rate_cap(self, line_rate_bps: float) -> float:
+        """Rate a flow-level (fluid) transfer can push through this
+        discipline. Work-conserving qdiscs pass the line rate through;
+        shapers cap it at their configured rate."""
+        return line_rate_bps
+
     # -- helpers ------------------------------------------------------------
     def _record_enqueue(self, packet: Packet) -> None:
         self.stats.enqueued += 1
@@ -468,6 +474,9 @@ class LossyQdisc(Qdisc):
     def next_ready_time(self, now: float) -> float:
         return self.child.next_ready_time(now)
 
+    def fluid_rate_cap(self, line_rate_bps: float) -> float:
+        return self.child.fluid_rate_cap(line_rate_bps)
+
     def __len__(self) -> int:
         return len(self.child)
 
@@ -543,6 +552,9 @@ class TokenBucketQdisc(Qdisc):
             return now
         deficit_bytes = head.size - self._tokens
         return now + deficit_bytes * 8.0 / self.rate_bps
+
+    def fluid_rate_cap(self, line_rate_bps: float) -> float:
+        return min(line_rate_bps, self.rate_bps)
 
     def __len__(self) -> int:
         return len(self.child)

@@ -36,6 +36,10 @@ class Network:
         self._ifaces: dict[tuple[str, str], Interface] = {}
         self.links: list[Link] = []
         self._tracers: list = []
+        #: Bumped on every build_routes()/install_path() so path caches
+        #: (the transport fidelity policy's) know to re-resolve.
+        self.routes_generation = 0
+        self._fidelity_policy = None
 
     # -- construction -------------------------------------------------------
     def add_host(self, name: str) -> Host:
@@ -161,6 +165,7 @@ class Network:
                 iface = self._ifaces[(device_name, next_hop)]
                 for address in target.addresses:
                     device.set_route(address, iface)
+        self.routes_generation += 1
 
     def install_path(self, path: list[str], dst_address: str, tos=None) -> None:
         """Install explicit forwarding for ``dst_address`` along ``path``.
@@ -177,6 +182,43 @@ class Network:
                 device.set_tos_route(dst_address, tos, iface)
             # Hosts keep their base route for TOS steering: steering
             # happens at the first switch (hosts are single-homed).
+        self.routes_generation += 1
+
+    def forwarding_path(self, src: str, dst: str, tos=None) -> list[Interface]:
+        """Egress interfaces a packet from ``src`` to ``dst`` traverses,
+        resolved against the *live* forwarding tables (including per-TOS
+        overrides) — so the answer matches what packets actually do, not
+        just the shortest path. Empty list for same-host (loopback).
+        """
+        src_host = self.host_of_address.get(src)
+        if src_host is None:
+            raise KeyError(f"unknown source address {src}")
+        if dst in src_host.addresses:
+            return []
+        path: list[Interface] = []
+        device: Device = src_host
+        for _ in range(len(self.devices) + 1):
+            if isinstance(device, Host) and dst in device.addresses:
+                return path
+            if isinstance(device, Host):
+                iface = device.route_for(dst)
+            else:
+                iface = device.route_for_address(dst, tos)
+            if iface is None or iface.link is None:
+                raise RuntimeError(f"{device.name}: no route to {dst}")
+            path.append(iface)
+            device = iface.link.peer_of(iface).owner
+        raise RuntimeError(f"forwarding loop resolving {src} -> {dst}")
+
+    def shared_fidelity_policy(self, spec) -> "FidelityPolicy":
+        """The network-wide fidelity policy (one per network, so every
+        stack sees the same utilization samples). Created lazily from the
+        first spec-carrying config that asks for it."""
+        if self._fidelity_policy is None:
+            from ..transport.model import FidelityPolicy
+
+            self._fidelity_policy = FidelityPolicy(self, spec)
+        return self._fidelity_policy
 
     # -- sending ----------------------------------------------------------
     def send(self, packet: Packet) -> bool:

@@ -27,14 +27,16 @@ class _ScheduledCall:
     subsystem, so the wrapper keeps it in a slot.
     """
 
-    __slots__ = ("fn", "args")
+    __slots__ = ("fn", "args", "cancelled")
 
     def __init__(self, fn: Callable, args: tuple):
         self.fn = fn
         self.args = args
+        self.cancelled = False
 
     def __call__(self, _event) -> None:
-        self.fn(*self.args)
+        if not self.cancelled:
+            self.fn(*self.args)
 
 
 def _make_profiled_hooks(sim: "Simulator", profiler):
@@ -224,6 +226,21 @@ class Simulator:
         event = Timeout(self, delay)
         event.callbacks.append(_ScheduledCall(callback, args))
         return event
+
+    def cancel_call(self, event: Event) -> bool:
+        """Cancel a pending :meth:`call_later`/:meth:`call_at` callback.
+
+        The heap entry stays (removing mid-heap would be O(n)); dispatch
+        becomes a no-op. Cancelling an already-processed call returns
+        False. The fluid transport cancels completion events this way
+        when a connection closes with transfers in flight.
+        """
+        cancelled = False
+        for callback in event.callbacks or ():
+            if isinstance(callback, _ScheduledCall) and not callback.cancelled:
+                callback.cancelled = True
+                cancelled = True
+        return cancelled
 
     # -- profiling ---------------------------------------------------------
     def attach_profiler(self, profiler) -> None:

@@ -1,9 +1,19 @@
 """Transport layer: reliable message streams with pluggable congestion
-control, including the scavenger protocols of §4.2(b).
+control (including the scavenger protocols of §4.2(b)) behind pluggable
+fidelity models.
 
+* :class:`TransportSpec` — frozen, declarative transport description
+  (fidelity mode, cc algo, segment size, contention threshold); the one
+  place transport knobs live.
+* :class:`TransportModel` — strategy interface; :class:`PacketModel`
+  simulates every segment, :class:`FluidModel` completes transfers
+  analytically (flow-level fidelity).
+* :class:`FidelityPolicy` — per-connection fluid/packet selector driven
+  by path contention (hybrid mode).
 * :class:`TransportStack` — per-(host, address) endpoint manager.
 * :class:`ConnectionEnd` — one side of a full-duplex message stream.
-* :class:`TransportConfig` — MSS, RTO bounds, header sizes.
+* :class:`TransportConfig` — runtime companion of the spec
+  (``TransportConfig.from_spec``).
 * Congestion control: :class:`RenoCC`, :class:`CubicCC` (standard), and
   :class:`LedbatCC`, :class:`TcpLpCC` (scavengers); ``make_cc`` builds by
   name, ``SCAVENGER_ALGORITHMS`` names the low-priority set.
@@ -20,6 +30,17 @@ from .cc import (
     make_cc,
 )
 from .connection import AckInfo, ConnectionEnd, SegmentInfo, TransportConfig
+from .fluid import FluidConnectionEnd, FluidModel, fluid_transfer_time
+from .model import (
+    FIDELITY_FLUID,
+    FIDELITY_HYBRID,
+    FIDELITY_MODES,
+    FIDELITY_PACKET,
+    FidelityPolicy,
+    PacketModel,
+    TransportModel,
+    TransportSpec,
+)
 from .mux import ChunkFrame, MuxConnection, SCHEDULERS
 from .stack import SynInfo, TransportStack
 
@@ -27,18 +48,29 @@ __all__ = [
     "AckInfo",
     "CC_REGISTRY",
     "ChunkFrame",
-    "MuxConnection",
-    "SCHEDULERS",
     "CongestionControl",
     "ConnectionEnd",
     "CubicCC",
+    "FIDELITY_FLUID",
+    "FIDELITY_HYBRID",
+    "FIDELITY_MODES",
+    "FIDELITY_PACKET",
+    "FidelityPolicy",
+    "FluidConnectionEnd",
+    "FluidModel",
     "LedbatCC",
+    "MuxConnection",
+    "PacketModel",
     "RenoCC",
     "SCAVENGER_ALGORITHMS",
+    "SCHEDULERS",
     "SegmentInfo",
     "SynInfo",
     "TcpLpCC",
     "TransportConfig",
+    "TransportModel",
+    "TransportSpec",
     "TransportStack",
+    "fluid_transfer_time",
     "make_cc",
 ]

@@ -19,13 +19,28 @@ from dataclasses import dataclass, field
 from ..net.packet import Packet, Tos
 from ..sim import Simulator, Store
 from .cc import CongestionControl, make_cc
+from .model import (
+    DEFAULT_CONTENTION_BACKLOG_BYTES,
+    DEFAULT_CONTENTION_THRESHOLD,
+    DEFAULT_UTILIZATION_WINDOW,
+    FIDELITY_MODES,
+    FIDELITY_PACKET,
+    TransportSpec,
+)
 
 _flow_ids = itertools.count(1)
 
 
 @dataclass
 class TransportConfig:
-    """Knobs shared by every connection on a stack."""
+    """Knobs shared by every connection on a stack.
+
+    Runtime companion of the declarative
+    :class:`~repro.transport.model.TransportSpec`: specs are frozen and
+    comparable (they feed config digests), while this carries the same
+    transport knobs plus mutable runtime state (the metrics hook).
+    Build one from a spec with :meth:`from_spec`.
+    """
 
     mss: int = 1460                 # payload bytes per segment
     header_bytes: int = 40          # per-segment header overhead
@@ -36,6 +51,12 @@ class TransportConfig:
     dupack_threshold: int = 3
     receive_buffer_messages: int | None = None
     ecn_enabled: bool = True
+    #: Fidelity mode ("packet" | "fluid" | "hybrid") plus the hybrid
+    #: switching criterion — see :class:`~repro.transport.model.FidelityPolicy`.
+    fidelity: str = FIDELITY_PACKET
+    contention_threshold: float = DEFAULT_CONTENTION_THRESHOLD
+    utilization_window: float = DEFAULT_UTILIZATION_WINDOW
+    contention_backlog_bytes: int = DEFAULT_CONTENTION_BACKLOG_BYTES
     #: Optional :class:`repro.obs.MetricsRegistry`.  When set, every
     #: connection sharing this config streams RTT samples and
     #: retransmit/RTO/ECN counters into it (the observability plane
@@ -47,6 +68,28 @@ class TransportConfig:
             raise ValueError("invalid mss/header size")
         if self.min_rto <= 0 or self.max_rto < self.min_rto:
             raise ValueError("invalid RTO bounds")
+        if self.fidelity not in FIDELITY_MODES:
+            raise ValueError(
+                f"unknown fidelity {self.fidelity!r}; known: {FIDELITY_MODES}"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: TransportSpec, metrics: object = None) -> "TransportConfig":
+        """Materialize the runtime config a frozen spec describes."""
+        return cls(
+            mss=spec.mss,
+            header_bytes=spec.header_bytes,
+            ack_bytes=spec.ack_bytes,
+            initial_cwnd_segments=spec.initial_cwnd_segments,
+            min_rto=spec.min_rto,
+            max_rto=spec.max_rto,
+            ecn_enabled=spec.ecn_enabled,
+            fidelity=spec.fidelity,
+            contention_threshold=spec.contention_threshold,
+            utilization_window=spec.utilization_window,
+            contention_backlog_bytes=spec.contention_backlog_bytes,
+            metrics=metrics,
+        )
 
 
 @dataclass

@@ -3,6 +3,15 @@
 One :class:`TransportStack` is bound to one address on one host. It
 implements a SYN / SYN-ACK handshake (one RTT, as TCP) and then hands
 packets to the right :class:`ConnectionEnd` by flow id.
+
+Connections are built through a pluggable
+:class:`~repro.transport.model.TransportModel`: packet-level fidelity
+simulates every segment, flow-level (fluid) fidelity completes transfers
+analytically. Under ``fidelity="hybrid"`` the shared
+:class:`~repro.transport.model.FidelityPolicy` picks per connection at
+connect time, based on path contention. The handshake itself is always
+real packets — it is cheap, and it keeps addressing and route state
+honest regardless of fidelity.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from ..net.packet import Packet, Tos
 from ..net.topology import Network
 from ..sim import Simulator
 from .connection import ConnectionEnd, TransportConfig
+from .model import FIDELITY_FLUID, FIDELITY_PACKET, PacketModel
 
 AcceptCallback = Callable[[ConnectionEnd], None]
 
@@ -24,13 +34,19 @@ class SynInfo:
 
     ``alpn`` negotiates the application protocol, like TLS ALPN:
     ``"message"`` for plain framed messages, ``"mux"`` for SST-style
-    multiplexed streams.
+    multiplexed streams. ``fidelity`` carries the client's transport
+    model choice so both ends run the same machinery; for fluid
+    connections ``peer`` is the client's connection end — the in-process
+    reference over which analytic completions deliver (a simulator
+    shortcut; on the wire this would be connection state, not a pointer).
     """
 
     port: int
     cc_name: str
     tos: Tos
     alpn: str = "message"
+    fidelity: str = FIDELITY_PACKET
+    peer: object = None
 
 
 class TransportStack:
@@ -45,17 +61,49 @@ class TransportStack:
         host_name: str,
         address: str,
         config: TransportConfig | None = None,
+        fidelity_policy=None,
     ):
         self.sim = sim
         self.network = network
         self.host_name = host_name
         self.address = address
         self.config = config if config is not None else TransportConfig()
+        if fidelity_policy is None and self.config.fidelity != FIDELITY_PACKET:
+            # One policy per network: every stack must see the same
+            # utilization samples or switching decisions would depend on
+            # which stack asked first.
+            fidelity_policy = network.shared_fidelity_policy(self.config)
+        self.fidelity_policy = fidelity_policy
+        self._packet_model = PacketModel()
+        self._fluid_model = None
         self._flows: dict[int, ConnectionEnd] = {}
         self._listeners: dict[int, AcceptCallback] = {}
         network.bind(address, host_name, handler=self._on_packet)
         self.connections_accepted = 0
         self.connections_opened = 0
+
+    # ------------------------------------------------------------------
+    # Model selection
+    # ------------------------------------------------------------------
+    def _model_named(self, fidelity: str):
+        if fidelity == FIDELITY_FLUID:
+            if self._fluid_model is None:
+                from .fluid import FluidModel
+
+                policy = self.fidelity_policy
+                if policy is None:
+                    policy = self.network.shared_fidelity_policy(self.config)
+                    self.fidelity_policy = policy
+                self._fluid_model = FluidModel(self.network, policy)
+            return self._fluid_model
+        return self._packet_model
+
+    def _fidelity_for(self, remote: str, alpn: str, tos: Tos) -> str:
+        if self.fidelity_policy is None:
+            return FIDELITY_PACKET
+        return self.fidelity_policy.mode_for(
+            self.address, remote, self.sim.now, alpn=alpn, tos=tos
+        )
 
     # ------------------------------------------------------------------
     # Server side
@@ -80,9 +128,10 @@ class TransportStack:
     ) -> ConnectionEnd:
         """Open a connection; yield ``conn.established`` to await the
         handshake (one network RTT)."""
-        conn = ConnectionEnd(
-            self.sim,
-            self.network,
+        fidelity = self._fidelity_for(remote, alpn, tos)
+        model = self._model_named(fidelity)
+        conn = model.create_connection(
+            self,
             local=self.address,
             remote=remote,
             cc_name=cc_name,
@@ -91,6 +140,7 @@ class TransportStack:
             name=name,
         )
         conn.alpn = alpn
+        conn.fidelity = fidelity
         self._flows[conn.flow_id] = conn
         self.connections_opened += 1
         self._send_syn(conn, port, attempt=0)
@@ -105,6 +155,7 @@ class TransportStack:
             )
             conn.close()  # a failed connect is unusable thereafter
             return
+        fidelity = getattr(conn, "fidelity", FIDELITY_PACKET)
         self.network.send(
             Packet(
                 src=self.address,
@@ -118,6 +169,8 @@ class TransportStack:
                     cc_name=conn.cc_name,
                     tos=conn.tos,
                     alpn=getattr(conn, "alpn", "message"),
+                    fidelity=fidelity,
+                    peer=conn if fidelity == FIDELITY_FLUID else None,
                 ),
             )
         )
@@ -148,9 +201,9 @@ class TransportStack:
         on_accept = self._listeners.get(info.port)
         if on_accept is None:
             return  # nobody listening: the SYN is dropped
-        conn = ConnectionEnd(
-            self.sim,
-            self.network,
+        model = self._model_named(info.fidelity)
+        conn = model.create_connection(
+            self,
             local=self.address,
             remote=packet.src,
             flow_id=packet.flow_id,
@@ -160,6 +213,10 @@ class TransportStack:
             name=f"conn-{packet.flow_id}-srv",
         )
         conn.alpn = info.alpn
+        conn.fidelity = info.fidelity
+        if info.fidelity == FIDELITY_FLUID and info.peer is not None:
+            conn._peer = info.peer
+            info.peer._peer = conn
         self._flows[conn.flow_id] = conn
         self.connections_accepted += 1
         self._send_syn_ack(conn)

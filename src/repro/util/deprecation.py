@@ -1,0 +1,28 @@
+"""Warn-once deprecation shims.
+
+Old constructor kwargs keep working across a release while emitting one
+``DeprecationWarning`` per process per shim — not one per construction,
+which would drown experiment sweeps that build thousands of configs.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_seen: set[str] = set()
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` the first time only."""
+    if key in _seen:
+        return
+    _seen.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset(key: str | None = None) -> None:
+    """Forget emitted warnings (tests re-arm shims with this)."""
+    if key is None:
+        _seen.clear()
+    else:
+        _seen.discard(key)

@@ -41,14 +41,25 @@ class TestGrid:
     def test_tail_tracing_point_sets_the_knob(self):
         points = {p.label: p for p in bench_scenarios(ScenarioConfig())}
         assert points["tail-tracing"].config.mesh.tracing_tail_keep == 5
-        assert points["mux"].config.mesh.use_mux is True
+        assert points["mux"].config.mesh.transport_spec().mux is True
+
+    def test_fluid_points_use_hybrid_fidelity(self):
+        points = {p.label: p for p in bench_scenarios(ScenarioConfig())}
+        for label in ("figure4-fluid", "uncongested-fluid"):
+            assert points[label].config.transport.fidelity == "hybrid"
+        assert points["uncongested-packet"].config.transport is None
+        assert (
+            points["uncongested-packet"].config.rps
+            == points["uncongested-fluid"].config.rps
+        )
 
 
 class TestReport:
     def test_schema_and_shape(self, report):
         assert report["schema"] == BENCH_SCHEMA
         assert set(report["scenarios"]) == {
-            "figure4-off", "figure4-on", "figure4-hot",
+            "figure4-off", "figure4-on", "figure4-hot", "figure4-fluid",
+            "uncongested-packet", "uncongested-fluid",
             "mux", "inbound-queue", "tail-tracing",
         }
         for row in report["scenarios"].values():
@@ -57,7 +68,7 @@ class TestReport:
             assert row["events_per_wall_second"] > 0
             assert row["profile"]["events"]
         assert report["config"]["seed"] == 42
-        assert report["cache"]["simulated"] == 6
+        assert report["cache"]["simulated"] == 9
         assert report["machine"]["cpu_count"] >= 1
 
     def test_json_round_trip_and_trailing_newline(self, bench_result):

@@ -1,0 +1,127 @@
+"""X-8 harness: grid shape, tolerance gate, and determinism."""
+
+import pytest
+
+from repro.experiments import (
+    FidelityExperiment,
+    FidelityResult,
+    FidelityRow,
+    Runner,
+    run_fidelity,
+)
+from repro.experiments.fidelity import TOLERANCE_ABS, TOLERANCE_REL, diverges
+from repro.util.stats import summarize
+
+#: One small-but-real grid shared by the module.
+TINY = dict(rps_levels=(8.0,), duration=1.5, warmup=0.4, drain=10.0, seed=42)
+
+
+@pytest.fixture(scope="module")
+def result() -> FidelityResult:
+    return run_fidelity(**TINY)
+
+
+class TestGrid:
+    def test_points_pair_each_level(self):
+        experiment = FidelityExperiment(rps_levels=(5.0, 9.0), duration=1.0)
+        points = {p.label: p for p in experiment.points()}
+        assert set(points) == {
+            "rps=5/packet", "rps=5/fluid", "rps=9/packet", "rps=9/fluid",
+        }
+        for label, point in points.items():
+            assert point.config.profile is True
+            expected = "hybrid" if label.endswith("fluid") else "packet"
+            assert point.config.transport.fidelity == expected
+
+    def test_rps_levels_override_base_rps(self):
+        experiment = FidelityExperiment(rps_levels=(5.0,), rps=99.0)
+        for point in experiment.points():
+            assert point.config.rps == 5.0
+
+
+class TestTolerance:
+    def test_diverges_relative(self):
+        assert diverges(0.010, 0.010 * (1 + TOLERANCE_REL) + 1e-9)
+        assert not diverges(0.010, 0.010 * (1 + TOLERANCE_REL) - 1e-9)
+
+    def test_diverges_absolute_floor(self):
+        # 40 µs apart on a 100 µs percentile: 40% relative, but inside
+        # the absolute floor.
+        assert not diverges(100e-6, 140e-6)
+        assert diverges(100e-6, 100e-6 + TOLERANCE_ABS + 1e-9)
+
+    def test_row_reports_both_stats(self):
+        row = FidelityRow(
+            rps=10.0,
+            workload="LI",
+            packet=summarize([0.010] * 10),
+            fluid=summarize([0.020] * 10),
+        )
+        problems = row.divergences()
+        assert len(problems) == 2
+        assert any("p50" in p for p in problems)
+        assert any("p99" in p for p in problems)
+
+    def test_result_passes_when_rows_agree(self):
+        summary = summarize([0.010, 0.011, 0.012])
+        result = FidelityResult(
+            rows=[FidelityRow(10.0, "LS", summary, summary)]
+        )
+        assert result.passed
+        assert result.violations() == []
+
+
+class TestResult:
+    def test_rows_cover_both_workloads(self, result):
+        assert [(r.rps, r.workload) for r in result.rows] == [
+            (8.0, "LS"), (8.0, "LI"),
+        ]
+        for row in result.rows:
+            assert row.packet.count > 0
+            assert row.fluid.count > 0
+
+    def test_levels_report_event_reduction(self, result):
+        (level,) = result.levels
+        assert level.packet_transport_events > 0
+        assert level.fluid_transport_events > 0
+        # The tentpole claim: flow-level dispatches far fewer transport
+        # events on a lightly loaded scenario.
+        assert level.event_reduction >= 3.0
+        assert result.best_event_reduction == level.event_reduction
+
+    def test_agreement_on_tiny_grid(self, result):
+        assert result.passed, result.violations()
+
+    def test_table_and_csv_render(self, result):
+        table = result.table()
+        assert "fluid" in table and "rps=8" in table
+        csv_text = result.csv()
+        assert csv_text.splitlines()[0] == (
+            "rps,workload,p50_packet_s,p50_fluid_s,p99_packet_s,p99_fluid_s"
+        )
+        assert len(csv_text.splitlines()) == 1 + len(result.rows)
+
+
+class TestDeterminism:
+    def test_back_to_back_runs_are_byte_identical(self, result):
+        again = run_fidelity(**TINY)
+        assert again.csv() == result.csv()
+        assert [
+            (lv.packet_transport_events, lv.fluid_transport_events)
+            for lv in again.levels
+        ] == [
+            (lv.packet_transport_events, lv.fluid_transport_events)
+            for lv in result.levels
+        ]
+
+    def test_serial_and_parallel_runs_agree(self, result):
+        with Runner(workers=2, cache_dir=None) as runner:
+            parallel = run_fidelity(runner=runner, **TINY)
+        assert parallel.csv() == result.csv()
+        assert [
+            (lv.packet_transport_events, lv.fluid_transport_events)
+            for lv in parallel.levels
+        ] == [
+            (lv.packet_transport_events, lv.fluid_transport_events)
+            for lv in result.levels
+        ]

@@ -1,6 +1,8 @@
 """X-5 integration: attribution sums to end-to-end latency and the
 observe grid is deterministic across runs and execution modes."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.experiments import (
@@ -56,6 +58,32 @@ class TestAttributionAcceptance:
     def test_no_dropped_intervals(self, measurement):
         # Instrumentation reporting on unknown roots would silently
         # skew the decomposition — it must be zero in a healthy run.
+        assert measurement.counters["dropped_intervals"] == 0
+
+
+class TestFluidModeAttribution:
+    """X-8 rider: the per-layer decomposition must keep partitioning
+    exactly when transfers ride the flow-level fast path."""
+
+    @pytest.fixture(scope="class")
+    def measurement(self):
+        from repro.experiments.scenario import SIM_TRANSPORT_SPEC
+
+        spec = replace(SIM_TRANSPORT_SPEC, fidelity="hybrid")
+        return measure_observed(
+            ScenarioConfig(**TINY, cross_layer=True, transport=spec)
+        )
+
+    def test_fluid_path_actually_used(self, measurement):
+        assert measurement.counters["fluid_bytes"] > 0
+
+    def test_residual_stays_within_one_percent(self, measurement):
+        for request_class, row in measurement.extra["attribution"].items():
+            total = sum(row["layer_means"][layer] for layer in LAYERS)
+            assert total == pytest.approx(row["e2e_mean"], rel=0.01), request_class
+            assert row["max_error"] <= 0.01
+
+    def test_no_dropped_intervals(self, measurement):
         assert measurement.counters["dropped_intervals"] == 0
 
 

@@ -1,0 +1,114 @@
+"""Property-based validation of the fluid transport model.
+
+On a single uncongested link — the regime the fluid fast path is built
+for — the analytic completion time must track the packet-level
+simulation across arbitrary sizes, rates, and propagation delays.  The
+tolerance here (2% relative, 50 µs absolute floor) is tighter than the
+5% the X-8 acceptance gate allows on the full Figure-4 scenario.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Network
+from repro.sim import Simulator
+from repro.transport import TransportConfig, TransportSpec, TransportStack
+
+TOLERANCE_REL = 0.02
+TOLERANCE_ABS = 50e-6
+
+
+def transfer_time(fidelity, size, rate_bps, delay, mss):
+    """Seconds from established connection to message delivery."""
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", rate_bps=rate_bps, delay=delay)
+    spec = TransportSpec(fidelity=fidelity, mss=mss, header_bytes=60)
+    config = TransportConfig.from_spec(spec)
+    src = TransportStack(sim, net, "a", "10.1.0.1", config=config)
+    dst = TransportStack(sim, net, "b", "10.1.0.2", config=config)
+    net.build_routes()
+    delivered = []
+
+    def on_accept(conn):
+        def loop():
+            yield conn.receive()
+            delivered.append(sim.now)
+
+        sim.process(loop())
+
+    dst.listen(80, on_accept)
+    conn = src.connect("10.1.0.2", 80)
+
+    def client(sim):
+        yield conn.established
+        conn.send("m", size)
+
+    sim.process(client(sim))
+    sim.run(until=conn.established)
+    start = sim.now
+    sim.run(until=600.0)
+    assert delivered, "transfer never completed"
+    return delivered[0] - start
+
+
+@given(
+    size=st.integers(min_value=1_000, max_value=1_000_000),
+    rate=st.sampled_from([1e8, 1e9, 1e10]),
+    delay=st.sampled_from([20e-6, 200e-6, 2e-3]),
+    mss=st.sampled_from([1460, 15_000]),
+)
+@settings(max_examples=25, deadline=None)
+def test_fluid_tracks_packet_on_uncongested_link(size, rate, delay, mss):
+    packet = transfer_time("packet", size, rate, delay, mss)
+    fluid = transfer_time("fluid", size, rate, delay, mss)
+    allowed = max(TOLERANCE_ABS, TOLERANCE_REL * packet)
+    assert abs(fluid - packet) <= allowed, (
+        f"size={size} rate={rate:g} delay={delay:g} mss={mss}: "
+        f"packet={packet * 1e3:.3f}ms fluid={fluid * 1e3:.3f}ms"
+    )
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1_000, max_value=300_000), min_size=2, max_size=6
+    ),
+)
+@settings(max_examples=15, deadline=None)
+def test_fluid_delivery_order_is_fifo(sizes):
+    """Mixed small/large sends on one fluid connection arrive in order
+    (chained completions), whatever their individual analytic times."""
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", rate_bps=1e9, delay=0.001)
+    config = TransportConfig.from_spec(
+        TransportSpec(fidelity="fluid", mss=15_000, header_bytes=60)
+    )
+    src = TransportStack(sim, net, "a", "10.1.0.1", config=config)
+    dst = TransportStack(sim, net, "b", "10.1.0.2", config=config)
+    net.build_routes()
+    received = []
+
+    def on_accept(conn):
+        def loop():
+            while True:
+                message, _size = yield conn.receive()
+                received.append(message)
+
+        sim.process(loop())
+
+    dst.listen(80, on_accept)
+    conn = src.connect("10.1.0.2", 80)
+
+    def client(sim):
+        yield conn.established
+        for index, size in enumerate(sizes):
+            conn.send(index, size)
+
+    sim.process(client(sim))
+    sim.run(until=120.0)
+    assert received == list(range(len(sizes)))

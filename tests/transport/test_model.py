@@ -1,0 +1,208 @@
+"""The redesigned transport API: TransportSpec, FidelityPolicy, and the
+public surface of ``repro.transport``."""
+
+import dataclasses
+
+import pytest
+
+import repro.transport as transport
+from repro.net import Network
+from repro.sim import Simulator
+from repro.transport import (
+    FidelityPolicy,
+    FluidModel,
+    PacketModel,
+    TransportConfig,
+    TransportModel,
+    TransportSpec,
+)
+from repro.transport.model import (
+    FIDELITY_FLUID,
+    FIDELITY_HYBRID,
+    FIDELITY_PACKET,
+)
+
+
+def build_network(rate_bps=1e9, delay=0.001):
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", rate_bps=rate_bps, delay=delay)
+    net.bind("10.1.0.1", "a")
+    net.bind("10.1.0.2", "b")
+    net.build_routes()
+    return sim, net
+
+
+class TestTransportSpec:
+    def test_defaults_are_packet_fidelity(self):
+        spec = TransportSpec()
+        assert spec.fidelity == FIDELITY_PACKET
+        assert not spec.wants_fluid
+        assert spec.mux is False
+
+    def test_frozen(self):
+        spec = TransportSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.mss = 9000
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            TransportSpec(fidelity="quantum")
+
+    @pytest.mark.parametrize("fidelity", [FIDELITY_FLUID, FIDELITY_HYBRID])
+    def test_wants_fluid(self, fidelity):
+        assert TransportSpec(fidelity=fidelity).wants_fluid
+
+    def test_validation_bounds(self):
+        with pytest.raises(ValueError):
+            TransportSpec(mss=0)
+        with pytest.raises(ValueError):
+            TransportSpec(min_rto=0.5, max_rto=0.1)
+        with pytest.raises(ValueError):
+            TransportSpec(contention_threshold=0.0)
+        with pytest.raises(ValueError):
+            TransportSpec(utilization_window=-1.0)
+
+    def test_from_spec_maps_every_knob(self):
+        spec = TransportSpec(
+            fidelity=FIDELITY_HYBRID,
+            mss=9000,
+            header_bytes=66,
+            ack_bytes=50,
+            initial_cwnd_segments=4,
+            min_rto=0.005,
+            max_rto=1.0,
+            ecn_enabled=False,
+            contention_threshold=0.5,
+            utilization_window=0.1,
+            contention_backlog_bytes=1_000,
+        )
+        config = TransportConfig.from_spec(spec)
+        assert config.fidelity == FIDELITY_HYBRID
+        assert config.mss == 9000
+        assert config.header_bytes == 66
+        assert config.ack_bytes == 50
+        assert config.initial_cwnd_segments == 4
+        assert config.min_rto == 0.005
+        assert config.max_rto == 1.0
+        assert config.ecn_enabled is False
+        assert config.contention_threshold == 0.5
+        assert config.utilization_window == 0.1
+        assert config.contention_backlog_bytes == 1_000
+
+    def test_transport_config_rejects_unknown_fidelity(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            TransportConfig(fidelity="quantum")
+
+
+class TestPublicSurface:
+    def test_all_names_importable(self):
+        for name in transport.__all__:
+            assert hasattr(transport, name), name
+
+    def test_api_redesign_names_exported(self):
+        for name in (
+            "TransportModel",
+            "PacketModel",
+            "FluidModel",
+            "FidelityPolicy",
+            "TransportSpec",
+        ):
+            assert name in transport.__all__
+
+    def test_base_model_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            TransportModel().create_connection(None)
+
+
+class TestFidelityPolicy:
+    def test_idle_path_runs_fluid_under_hybrid(self):
+        sim, net = build_network()
+        policy = FidelityPolicy(net, TransportSpec(fidelity=FIDELITY_HYBRID))
+        assert policy.mode_for("10.1.0.1", "10.1.0.2", sim.now) == FIDELITY_FLUID
+        assert policy.fluid_decisions == 1
+
+    def test_packet_spec_always_packet(self):
+        sim, net = build_network()
+        policy = FidelityPolicy(net, TransportSpec())
+        assert policy.mode_for("10.1.0.1", "10.1.0.2", sim.now) == FIDELITY_PACKET
+
+    def test_mux_alpn_always_packet(self):
+        sim, net = build_network()
+        policy = FidelityPolicy(net, TransportSpec(fidelity=FIDELITY_FLUID))
+        assert policy.mode_for("10.1.0.1", "10.1.0.2", sim.now, alpn="mux") == FIDELITY_PACKET
+        assert policy.mode_for("10.1.0.1", "10.1.0.2", sim.now) == FIDELITY_FLUID
+
+    def test_backlog_drops_to_packet(self):
+        sim, net = build_network()
+        policy = FidelityPolicy(net, TransportSpec(fidelity=FIDELITY_HYBRID))
+        iface = policy.path("10.1.0.1", "10.1.0.2")[0]
+        iface.qdisc._backlog = policy.spec.contention_backlog_bytes + 1
+        assert policy.mode_for("10.1.0.1", "10.1.0.2", sim.now) == FIDELITY_PACKET
+        assert policy.packet_decisions == 1
+        iface.qdisc._backlog = 0
+        assert policy.mode_for("10.1.0.1", "10.1.0.2", sim.now) == FIDELITY_FLUID
+
+    def test_windowed_utilization_drops_to_packet(self):
+        sim, net = build_network()
+        spec = TransportSpec(fidelity=FIDELITY_HYBRID, utilization_window=0.1)
+        policy = FidelityPolicy(net, spec)
+        iface = policy.path("10.1.0.1", "10.1.0.2")[0]
+        # Prime the sampling window at t=0, then report a busy link.
+        assert policy.link_utilization(iface, 0.0) == 0.0
+        iface.busy_time += 0.09
+        assert policy.link_utilization(iface, 0.1) >= spec.contention_threshold
+        assert policy.mode_for("10.1.0.1", "10.1.0.2", 0.1) == FIDELITY_PACKET
+
+    def test_reverse_path_contention_counts(self):
+        sim, net = build_network()
+        policy = FidelityPolicy(net, TransportSpec(fidelity=FIDELITY_HYBRID))
+        reverse_iface = policy.path("10.1.0.2", "10.1.0.1")[0]
+        reverse_iface.qdisc._backlog = 10**6
+        assert policy.mode_for("10.1.0.1", "10.1.0.2", sim.now) == FIDELITY_PACKET
+
+    def test_path_cache_invalidates_on_route_rebuild(self):
+        sim, net = build_network()
+        policy = FidelityPolicy(net, TransportSpec(fidelity=FIDELITY_HYBRID))
+        first = policy.path("10.1.0.1", "10.1.0.2")
+        assert policy.path("10.1.0.1", "10.1.0.2") is first  # cached
+        net.build_routes()  # bumps routes_generation
+        second = policy.path("10.1.0.1", "10.1.0.2")
+        assert second is not first
+        assert [i.owner.name for i in second] == [i.owner.name for i in first]
+
+    def test_loopback_path_is_empty(self):
+        sim, net = build_network()
+        policy = FidelityPolicy(net, TransportSpec(fidelity=FIDELITY_HYBRID))
+        assert policy.path("10.1.0.1", "10.1.0.1") == ()
+
+    def test_shared_policy_per_network(self):
+        sim, net = build_network()
+        spec = TransportSpec(fidelity=FIDELITY_HYBRID)
+        policy = net.shared_fidelity_policy(spec)
+        assert net.shared_fidelity_policy(spec) is policy
+        assert isinstance(policy, FidelityPolicy)
+
+
+class TestModels:
+    def test_packet_model_builds_connection_end(self):
+        from repro.transport import ConnectionEnd, TransportStack
+
+        sim, net = build_network()
+        stack = TransportStack(sim, net, "a", "10.0.0.1")
+        conn = PacketModel().create_connection(
+            stack,
+            local="10.0.0.1",
+            remote="10.0.0.2",
+            config=stack.config,
+        )
+        assert isinstance(conn, ConnectionEnd)
+
+    def test_fluid_model_names(self):
+        sim, net = build_network()
+        policy = FidelityPolicy(net, TransportSpec(fidelity=FIDELITY_FLUID))
+        model = FluidModel(net, policy)
+        assert model.name == FIDELITY_FLUID
+        assert PacketModel().name == FIDELITY_PACKET

@@ -1,0 +1,95 @@
+"""Deprecated-kwarg shims: old call sites keep working, warn once."""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import ScenarioConfig
+from repro.experiments.scenario import DEFAULT_MSS, SIM_TRANSPORT_SPEC
+from repro.mesh.config import MeshConfig
+from repro.transport import TransportSpec
+from repro.util import deprecation
+
+
+@pytest.fixture(autouse=True)
+def rearm_shims():
+    """Each test observes its shim's first firing."""
+    deprecation.reset()
+    yield
+    deprecation.reset()
+
+
+class TestWarnOnce:
+    def test_second_call_is_silent(self):
+        with pytest.warns(DeprecationWarning, match="old"):
+            deprecation.warn_once("k", "old thing")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            deprecation.warn_once("k", "old thing")  # must not raise
+
+    def test_reset_rearms_one_key(self):
+        with pytest.warns(DeprecationWarning):
+            deprecation.warn_once("k", "old thing")
+        deprecation.reset("k")
+        with pytest.warns(DeprecationWarning):
+            deprecation.warn_once("k", "old thing")
+
+
+class TestMeshConfigMuxShim:
+    def test_use_mux_folds_into_transport_spec(self):
+        with pytest.warns(DeprecationWarning, match="use_mux"):
+            config = MeshConfig(use_mux=True, mux_chunk_bytes=8_000)
+        assert config.transport_spec().mux is True
+        assert config.transport_spec().mux_chunk_bytes == 8_000
+        # Folded: the legacy fields are cleared.
+        assert config.use_mux is None
+        assert config.mux_chunk_bytes is None
+
+    def test_fold_preserves_existing_transport_spec(self):
+        with pytest.warns(DeprecationWarning):
+            config = MeshConfig(
+                transport=TransportSpec(mss=9000), use_mux=True
+            )
+        assert config.transport_spec().mss == 9000
+        assert config.transport_spec().mux is True
+
+    def test_replace_roundtrip_does_not_rewarn(self):
+        with pytest.warns(DeprecationWarning):
+            config = MeshConfig(use_mux=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            clone = replace(config, proxy_delay_median=0.0005)
+        assert clone.transport_spec().mux is True
+
+    def test_new_style_config_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = MeshConfig(transport=TransportSpec(mux=True))
+        assert config.transport_spec().mux is True
+
+
+class TestScenarioConfigMssShim:
+    def test_mss_folds_into_transport_spec(self):
+        with pytest.warns(DeprecationWarning, match="mss"):
+            config = ScenarioConfig(mss=9_000)
+        assert config.effective_transport().mss == 9_000
+        assert config.mss is None
+
+    def test_fold_keeps_sim_scale_defaults(self):
+        with pytest.warns(DeprecationWarning):
+            config = ScenarioConfig(mss=9_000)
+        spec = config.effective_transport()
+        assert spec.header_bytes == SIM_TRANSPORT_SPEC.header_bytes
+
+    def test_default_config_uses_sim_scale_spec(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = ScenarioConfig()
+        assert config.effective_transport() is SIM_TRANSPORT_SPEC
+        assert config.effective_transport().mss == DEFAULT_MSS
+
+    def test_explicit_transport_wins(self):
+        spec = TransportSpec(fidelity="hybrid", mss=1460)
+        config = ScenarioConfig(transport=spec)
+        assert config.effective_transport() is spec
