@@ -28,6 +28,7 @@ from .events import (
     FaultProfile,
     FaultSpec,
     build_timeline,
+    metastable_profile,
     standard_profiles,
     timeline_text,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "PROFILE_ORDER",
     "build_timeline",
     "default_targets",
+    "metastable_profile",
     "standard_profiles",
     "timeline_text",
 ]

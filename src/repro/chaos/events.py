@@ -213,6 +213,39 @@ def standard_profiles(duration_scale: float = 1.0) -> dict[str, FaultProfile]:
     }
 
 
+def metastable_profile(
+    start: float = 3.0,
+    duration: float = 3.0,
+    added_latency: float = 0.15,
+) -> FaultProfile:
+    """The metastable-failure trigger: one transient latency fault.
+
+    A single burst of added link latency pushes in-flight requests past
+    their per-try timeouts; the resulting retries amplify offered load;
+    with the system near capacity, the backlog built during the fault
+    keeps latencies above the timeout *after the fault reverts*, so the
+    retry storm sustains itself — the classic metastable shape (the
+    fault is the trigger, the sustaining effect is load amplification).
+
+    The rate is tuned for one-or-two injections in a scaled (~8-15 s)
+    run; tests that need *exactly* one trigger at an exact time should
+    arm the injector with a hand-built ``FaultEvent`` timeline instead
+    (the injector takes any ordered event tuple).
+    """
+    return FaultProfile(
+        name="metastable",
+        faults=(
+            FaultSpec(
+                kind="latency",
+                rate=0.2,
+                duration=duration,
+                severity=added_latency,
+                start=start,
+            ),
+        ),
+    )
+
+
 #: Names in presentation order (tables, CLI defaults).
 PROFILE_ORDER = (
     "baseline", "pod-kill", "sidecar-crash", "link-flap", "degraded-net", "lossy",

@@ -7,6 +7,7 @@ Usage::
     python -m repro slo [--out DIR]     # X-6: online SLO / alerting
     python -m repro bench [--out FILE]  # X-7: self-profiled benchmark
     python -m repro fidelity   # X-8: fluid-vs-packet agreement gate
+    python -m repro overload [--csv PATH]  # X-9: saturation curves
     python -m repro compare BASE CAND [--wall]  # diff two snapshots
     python -m repro all        # everything, through ONE shared runner
 
@@ -47,6 +48,7 @@ from .experiments import (
     InferenceExperiment,
     ObserveExperiment,
     OverheadExperiment,
+    OverloadExperiment,
     ResilienceExperiment,
     Runner,
     SloExperiment,
@@ -194,6 +196,11 @@ COMMANDS = {
         "X-8: fluid-vs-packet agreement gate (exit 1 on divergence)",
         render=_render_fidelity,
         exit_code=lambda result: 0 if result.passed else 1,
+    ),
+    "overload": Command(
+        lambda args: OverloadExperiment(**_overrides(args, 20.0, rps=30.0)),
+        "X-9: overload & admission control — graceful degradation curves",
+        render=_render_observe,
     ),
 }
 

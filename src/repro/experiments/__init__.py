@@ -18,6 +18,8 @@
   ``python -m repro bench`` (BENCH_<n>.json reports).
 * :mod:`fidelity` — X-8, fluid-vs-packet agreement on the Figure-4
   scenario (the hybrid-transport validation gate).
+* :mod:`overload` — X-9, overload & admission control at saturation
+  (the graceful-degradation curves behind ``python -m repro overload``).
 
 Every harness follows one contract::
 
@@ -63,6 +65,12 @@ from .observe import (
     run_observe,
 )
 from .overhead import OverheadExperiment, OverheadResult, run_overhead
+from .overload import (
+    OverloadExperiment,
+    OverloadResult,
+    measure_overload,
+    run_overload,
+)
 from .replicate import Replicated, ReplicationResult, compare_with_replication, replicate
 from .report import format_table, ms, to_csv
 from .resilience import (
@@ -122,6 +130,8 @@ __all__ = [
     "ObserveResult",
     "OverheadExperiment",
     "OverheadResult",
+    "OverloadExperiment",
+    "OverloadResult",
     "PAPER_RPS_LEVELS",
     "Point",
     "Replicated",
@@ -149,6 +159,7 @@ __all__ = [
     "default_slos",
     "format_table",
     "measure_observed",
+    "measure_overload",
     "measure_resilience",
     "measure_scenario",
     "measure_slo",
@@ -165,6 +176,7 @@ __all__ = [
     "run_inference",
     "run_observe",
     "run_overhead",
+    "run_overload",
     "run_resilience",
     "run_scenario",
     "run_slo",

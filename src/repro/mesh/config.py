@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..overload import OverloadConfig
 from ..transport import TransportSpec
 from ..util.deprecation import warn_once
 from .mtls import MtlsContext
@@ -47,6 +48,11 @@ class MeshConfig:
     # Backpressure (§3.6): with inbound queueing on, shed load with 503s
     # once the queue holds this many requests (None = unbounded).
     max_inbound_queue: int | None = None
+    # Overload posture (repro.overload): adaptive admission at the
+    # gateway, bounded load-leveling queues + retry budgets at every
+    # sidecar. None (or enabled=False) keeps legacy behavior; supersedes
+    # inbound_concurrency/max_inbound_queue when its concurrency is set.
+    overload: OverloadConfig | None = None
     # Custom load-balancer construction, e.g. the congestion-aware
     # policy that needs an SDN controller handle (§3.5). Receives the
     # sidecar, returns a LoadBalancer; None = build by ``lb_name``.

@@ -3,13 +3,19 @@ stages 1-2).
 
 The gateway is a pod with a sidecar; :meth:`submit` is the edge where the
 paper's design classifies each request's performance objective (§4.2
-component 1) before forwarding to the front-end service.
+component 1) before forwarding to the front-end service.  When the mesh
+carries an overload posture (``MeshConfig.overload``), the gateway is
+also where adaptive admission happens: a CoDel-style gate
+(:class:`repro.overload.AdmissionGate`) watches the rolling p99 of
+completed requests and sheds lower-priority arrivals before they can
+deepen a standing queue.
 """
 
 from __future__ import annotations
 
 from ..http.headers import REQUEST_ID, TRACE_ID
 from ..http.message import HttpRequest
+from ..overload import AdmissionGate
 from ..sim import Simulator
 from .sidecar import Sidecar
 
@@ -25,12 +31,22 @@ class IngressGateway:
         self.sidecar = sidecar
         self.entry_service = entry_service
         self.requests_admitted = 0
+        self.requests_shed = 0
+        self.admission: AdmissionGate | None = None
+        self._shed_status = 429
+        overload = getattr(sidecar.config, "overload", None)
+        if overload is not None and overload.enabled and overload.gate is not None:
+            self.admission = AdmissionGate(overload.gate)
+            self._shed_status = overload.shed_status
 
     def submit(self, request: HttpRequest, timeout: float | None = None):
         """Admit an external request; returns an event with the response.
 
         Assigns the global request id and trace id (the provenance
-        anchors) and runs the ingress classifier policy hook.
+        anchors) and runs the ingress classifier policy hook.  With an
+        admission gate installed, arrivals the gate sheds are answered
+        immediately with ``shed_status`` (429: not retryable, so shed
+        load leaves the system) and never reach the sidecar.
         """
         if request.service in ("", None):
             request.service = self.entry_service
@@ -39,10 +55,13 @@ class IngressGateway:
         if TRACE_ID not in request.headers:
             request.headers[TRACE_ID] = self.sidecar.tracer.ids.trace_id()
         self.sidecar.policy.classify_ingress(request)
-        self.requests_admitted += 1
         attributor = self.sidecar.telemetry.attributor
         slo_engine = self.sidecar.telemetry.slo_engine
-        if attributor is not None or slo_engine is not None:
+        if (
+            attributor is not None
+            or slo_engine is not None
+            or self.admission is not None
+        ):
             # The gateway brackets the end-to-end window: open the root
             # here, close it when the response event fires. Everything
             # any layer reports in between lands in this window, and the
@@ -52,29 +71,54 @@ class IngressGateway:
             request_class = _WORKLOAD_CLASSES.get(workload, workload or "default")
             root = request.headers[REQUEST_ID]
             started = self.sim.now
+            if self.admission is not None and not self.admission.admit(
+                request_class, started
+            ):
+                return self._shed(request, request_class, started, slo_engine)
+            self.requests_admitted += 1
             if attributor is not None:
                 attributor.start_request(root, request_class, started)
             event = self.sidecar.request(request, timeout=timeout)
 
             def _completed(ev):
                 status = ev.value.status if ev.ok else 504
+                now = self.sim.now
                 if attributor is not None:
-                    attributor.finish_request(root, self.sim.now, status=status)
+                    attributor.finish_request(root, now, status=status)
+                if self.admission is not None:
+                    # Only completions feed the gate: shed replies are
+                    # instantaneous and would drag the p99 down exactly
+                    # when the gate needs to see the standing queue.
+                    self.admission.observe(now, now - started)
                 if slo_engine is not None:
                     slo_engine.observe(
                         "class",
                         request_class,
-                        self.sim.now,
-                        latency=self.sim.now - started,
+                        now,
+                        latency=now - started,
                         ok=status < 500,
                     )
 
             event.callbacks.append(_completed)
         else:
+            self.requests_admitted += 1
             event = self.sidecar.request(request, timeout=timeout)
         event.callbacks.append(
             lambda ev: self.sidecar.policy.observe_response(request, ev.value)
             if ev.ok
             else None
         )
+        return event
+
+    def _shed(self, request, request_class, now, slo_engine):
+        """Answer a gate-shed arrival without entering the mesh."""
+        self.requests_shed += 1
+        self.sidecar.telemetry.record_shed(request_class)
+        if slo_engine is not None:
+            # A shed request is an SLO-bad event for its class: the gate
+            # trades them away deliberately, and the verdicts must show
+            # the cost, not hide it.
+            slo_engine.observe("class", request_class, now, ok=False)
+        event = self.sim.event(f"gateway-shed:{request.headers[REQUEST_ID]}")
+        event.succeed(request.reply(self._shed_status))
         return event

@@ -26,6 +26,7 @@ from ..cluster.service import Endpoint
 from ..http.headers import PRIORITY, REQUEST_ID, SPAN_ID, TRACE_ID, propagate
 from ..http.message import HttpRequest, HttpResponse, HttpStatus
 from ..obs.attribution import LAYER_PROXY, LAYER_RETRY
+from ..overload import REJECTED, LevelingQueue, RetryBudget
 from ..sim import Interrupt, PriorityStore, Simulator
 from ..sim.rng import Distributions, lognormal_params_from_quantiles
 from ..transport import ConnectionEnd
@@ -93,6 +94,23 @@ class Sidecar:
         self._app_handler: AppHandler | None = None
         self._inbound_queue: PriorityStore | None = None
         self._started = False
+        # Overload posture (repro.overload): the bounded leveling queue
+        # replaces the unbounded inbound queue, and the retry budget
+        # caps retries as a fraction of in-flight requests.
+        overload = getattr(config, "overload", None)
+        self._overload = (
+            overload if overload is not None and overload.enabled else None
+        )
+        self._leveling: LevelingQueue | None = None
+        self._retry_budget: RetryBudget | None = None
+        if (
+            self._overload is not None
+            and self._overload.retry_budget_ratio is not None
+        ):
+            self._retry_budget = RetryBudget(
+                ratio=self._overload.retry_budget_ratio,
+                min_retries=self._overload.retry_budget_min,
+            )
         # Telemetry local to this sidecar.
         self.requests_proxied = 0
         self.requests_shed = 0
@@ -142,7 +160,21 @@ class Sidecar:
             return
         self._started = True
         self.pod.stack.listen(MESH_PORT, self._on_accept)
-        if self.config.inbound_concurrency is not None:
+        if self._overload is not None and self._overload.concurrency is not None:
+            # Queue-based load leveling: a bounded priority buffer in
+            # front of a fixed worker pool. Supersedes the legacy
+            # unbounded inbound queue.
+            self._leveling = LevelingQueue(
+                self.sim,
+                depth=self._overload.queue_depth,
+                key=lambda item: item[0],
+            )
+            self._inbound_queue = self._leveling.store
+            for index in range(self._overload.concurrency):
+                self.sim.process(
+                    self._inbound_worker(), name=f"{self.name}-worker{index}"
+                )
+        elif self.config.inbound_concurrency is not None:
             self._inbound_queue = PriorityStore(
                 self.sim, key=lambda item: item[0]
             )
@@ -244,6 +276,18 @@ class Sidecar:
         """
         if self._inbound_queue is None:
             return True
+        if self._leveling is not None:
+            # Bounded load leveling: the queue itself decides. Either
+            # the newcomer is rejected outright, or it displaces the
+            # worst queued entry (which is then shed in its place).
+            priority = self.policy.request_priority(request)
+            outcome, displaced = self._leveling.offer((priority, request, reply))
+            if outcome == REJECTED:
+                self._shed_inbound(request, reply)
+            elif displaced is not None:
+                _vp, victim_request, victim_reply = displaced
+                self._shed_inbound(victim_request, victim_reply)
+            return False
         limit = self.config.max_inbound_queue
         if limit is not None and len(self._inbound_queue) >= limit:
             # Backpressure: shed load instead of queueing without
@@ -254,6 +298,13 @@ class Sidecar:
         priority = self.policy.request_priority(request)
         yield self._inbound_queue.put((priority, request, reply))
         return False
+
+    def _shed_inbound(self, request: HttpRequest, reply) -> None:
+        """Answer an overload-rejected inbound request with the shed
+        status (429: not retryable, so the load leaves the system)."""
+        self.requests_shed += 1
+        self.telemetry.record_overload_rejection(self.service_name)
+        reply(request.reply(self._overload.shed_status))
 
     def _inbound_worker(self):
         while True:
@@ -310,6 +361,8 @@ class Sidecar:
     def _request_process(self, request, result, timeout):
         self._prepare_headers(request)
         self.requests_proxied += 1
+        if self._retry_budget is not None:
+            self._retry_budget.request_started()
         start = self.sim.now
         deadline = start + (timeout if timeout is not None else self.config.default_timeout)
         span = self.tracer.start_span(
@@ -375,6 +428,8 @@ class Sidecar:
                 endpoint=endpoint.pod_name if endpoint is not None else None,
             )
         )
+        if self._retry_budget is not None:
+            self._retry_budget.request_finished()
         result.succeed(response)
 
     def _retried_request(self, request, deadline, policy):
@@ -384,11 +439,25 @@ class Sidecar:
         Budget exhaustion surfaces the *last real error* (e.g. the 503
         that kept us retrying), not a synthetic 504 — only a run with no
         response at all maps to GATEWAY_TIMEOUT.
+
+        When the mesh carries a retry budget (``overload.retry_budget_*``)
+        every retry must first claim a token; a denied claim ends the
+        loop with whatever response we have. The token is held through
+        the backoff and the retried attempt, so the budget bounds
+        retries genuinely in flight.
         """
+        budget = self._retry_budget
+        holding = False
         response = None
         endpoint = None
         attempt = 0
         for attempt in range(1, policy.max_attempts + 1):
+            if holding:
+                # The retry the previous iteration paid for is now done
+                # (or about to start its attempt): settle the token at a
+                # single point so every exit path below is covered.
+                budget.release()
+                holding = False
             remaining = deadline - self.sim.now
             if remaining <= 0:
                 if response is None:
@@ -402,6 +471,10 @@ class Sidecar:
             except NoHealthyUpstream:
                 response = request.reply(HttpStatus.SERVICE_UNAVAILABLE)
                 if policy.should_retry(attempt, response.status):
+                    if budget is not None and not budget.try_acquire():
+                        self.telemetry.record_retry_denied()
+                        return response, attempt - 1, None
+                    holding = budget is not None
                     backoff = policy.backoff(attempt, self._dist.rng)
                     self._note(
                         request, LAYER_RETRY, self.sim.now, self.sim.now + backoff
@@ -418,9 +491,15 @@ class Sidecar:
                 response = outcome
             if not policy.should_retry(attempt, status):
                 break
+            if budget is not None and not budget.try_acquire():
+                self.telemetry.record_retry_denied()
+                break
+            holding = budget is not None
             backoff = policy.backoff(attempt, self._dist.rng)
             self._note(request, LAYER_RETRY, self.sim.now, self.sim.now + backoff)
             yield self.sim.timeout(backoff)
+        if holding:
+            budget.release()
         if response is None:
             response = request.reply(HttpStatus.GATEWAY_TIMEOUT)
         return response, attempt - 1, endpoint

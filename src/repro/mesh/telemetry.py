@@ -62,6 +62,9 @@ class Telemetry:
         self.retries_total = 0
         self.timeouts_total = 0
         self.circuit_breaker_rejections = 0
+        self.requests_shed_total = 0
+        self.overload_rejections_total = 0
+        self.retries_denied_total = 0
         #: Optional :class:`repro.obs.LayerAttributor`; when installed
         #: (by the observability plane) sidecars report per-layer
         #: intervals through it.
@@ -159,6 +162,24 @@ class Telemetry:
     def record_breaker_rejection(self) -> None:
         self.circuit_breaker_rejections += 1
         self.registry.counter("mesh_breaker_rejections_total").inc()
+
+    def record_shed(self, request_class: str) -> None:
+        """A request shed by the gateway's admission gate."""
+        self.requests_shed_total += 1
+        self.registry.counter(
+            "overload_shed_total", request_class=request_class
+        ).inc()
+
+    def record_overload_rejection(self, service: str) -> None:
+        """A request rejected (or displaced) by a sidecar's bounded
+        leveling queue."""
+        self.overload_rejections_total += 1
+        self.registry.counter("overload_rejected_total", service=service).inc()
+
+    def record_retry_denied(self) -> None:
+        """A retry attempt denied by the sidecar's retry budget."""
+        self.retries_denied_total += 1
+        self.registry.counter("overload_retries_denied_total").inc()
 
     # -- queries ----------------------------------------------------------
     def request_count(self, source: str | None = None, destination: str | None = None) -> int:

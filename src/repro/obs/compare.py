@@ -21,9 +21,12 @@ A statistic regresses when the candidate is worse than the baseline by
 more than ``threshold`` (relative) *and* by more than the unit's
 absolute floor (so nanosecond jitter on microsecond metrics never fails
 a build).  "Worse" is unit-aware: latencies and event counts regress
-upward, events/sec regresses downward.  Files present in the baseline
-but missing from the candidate also fail the comparison — a deleted
-metric must be an explicit decision, not a silent pass.
+upward, events/sec regresses downward.  The walk is a *symmetric*
+difference: files or statistics present only in the baseline fail as
+``missing``, and ones present only in the candidate fail as ``extra`` —
+a deleted metric must be an explicit decision, not a silent pass, and
+two snapshots over disjoint grids must not silently compare their
+(possibly empty) intersection.
 """
 
 from __future__ import annotations
@@ -96,10 +99,13 @@ class CompareReport:
     compared: int = 0
     regressions: list[Delta] = field(default_factory=list)
     missing: list[str] = field(default_factory=list)
+    #: Files/statistics only the candidate has (the other half of the
+    #: symmetric difference — grids must match, not merely overlap).
+    extras: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.regressions and not self.missing
+        return not self.regressions and not self.missing and not self.extras
 
     def text(self) -> str:
         lines = [
@@ -107,10 +113,13 @@ class CompareReport:
             f"(threshold {self.threshold * 100.0:.1f}%)",
             f"  {self.compared} statistics compared, "
             f"{len(self.regressions)} regressions, "
-            f"{len(self.missing)} missing",
+            f"{len(self.missing)} missing, "
+            f"{len(self.extras)} extra",
         ]
         for name in self.missing:
             lines.append(f"  MISSING    {name}")
+        for name in self.extras:
+            lines.append(f"  EXTRA      {name}")
         for delta in self.regressions:
             lines.append(f"  REGRESSION {delta.line()}")
         if self.ok:
@@ -224,6 +233,12 @@ def _compare_stats(
             regressed = worse >= min_abs and delta.relative > threshold
         if worse > 0 and regressed:
             report.regressions.append(delta)
+    for key in sorted(cand):
+        _value, unit = cand[key]
+        if not include_wall and unit in _WALL_UNITS:
+            continue
+        if key not in base:
+            report.extras.append(f"{name}:{key[0]}:{key[1]}")
 
 
 def compare_runs(
@@ -244,6 +259,17 @@ def compare_runs(
             for path in sorted(baseline.iterdir())
             if path.suffix in _READERS
         ]
+        # The other half of the symmetric difference: readable files
+        # only the candidate side has.
+        if candidate.is_dir():
+            base_names = {name for name, _b, _c in pairs}
+            for path in sorted(candidate.iterdir()):
+                if (
+                    path.suffix in _READERS
+                    and path.name not in base_names
+                    and _read(path) is not None
+                ):
+                    report.extras.append(path.name)
     else:
         pairs = [(baseline.name, baseline, candidate)]
     for name, base_path, cand_path in pairs:

@@ -1,0 +1,162 @@
+"""Adaptive admission at the ingress: a CoDel-style queue-delay gate.
+
+CoDel's insight transplanted from packet queues to request admission:
+don't react to instantaneous latency spikes (bursts are fine), react to
+latency that stays above target for a full interval — that is standing
+queue, and standing queue under overload only grows.  The gate watches
+the rolling p99 of completed end-to-end requests (the obs plane's
+:class:`~repro.obs.windows.WindowedHistogram`, sim-time sliced) and
+flips into *dropping* state after ``interval_s`` of sustained violation.
+
+Priority ordering is structural, not probabilistic: in dropping state
+every unprotected request is shed, while protected (LS) requests keep
+flowing until the p99 escalates past ``ls_escalation × target`` — only
+then are they thinned by a deterministic stride.  The invariant the
+property tests pin down: **a protected request is never shed in a state
+where an unprotected request would be admitted.**
+
+No randomness anywhere: decisions are a pure function of the arrival
+sequence and the observed latencies, which is what makes the overload
+harness byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from ..obs.windows import WindowedHistogram
+from .config import GateConfig
+
+#: The request class the gate protects (shed last).
+PROTECTED_CLASS = "LS"
+
+
+def admission_class(request) -> str:
+    """The admission class of a request: ``x-priority`` provenance wins
+    (a request already classified high is protected wherever it came
+    from), then the ingress workload mapping, else unprotected."""
+    # Imported lazily: repro.core's package __init__ reaches through
+    # apps into mesh, and mesh.config imports this package.
+    from ..core.priorities import Priority, get_priority
+
+    priority = get_priority(request)
+    if priority is Priority.HIGH:
+        return "LS"
+    if priority is Priority.LOW:
+        return "LI"
+    workload = request.headers.get("x-workload")
+    return {"interactive": "LS", "batch": "LI"}.get(workload, "default")
+
+
+class AdmissionGate:
+    """One gateway's admission controller.
+
+    Call :meth:`observe` with every completed request latency and
+    :meth:`admit` for every arrival; read the conservation counters
+    (``offered == admitted + shed``, per class) for accounting.
+    """
+
+    def __init__(self, config: GateConfig | None = None):
+        self.config = config if config is not None else GateConfig()
+        self.histogram = WindowedHistogram(self.config.window_s)
+        self._above_since: float | None = None
+        self._dropping = False
+        self._stride = 0          # 0 = protected class unthinned
+        self._stride_counter = 0
+        self._last_adjust = 0.0
+        #: class -> count; conservation: offered == admitted + shed.
+        self.offered: dict[str, int] = {}
+        self.admitted: dict[str, int] = {}
+        self.shed: dict[str, int] = {}
+        self.drop_intervals = 0   # times the gate flipped into dropping
+
+    # -- measurement feed ----------------------------------------------
+    def observe(self, now: float, latency: float) -> None:
+        """Feed one completed request's end-to-end latency."""
+        self.histogram.record(now, latency)
+
+    def rolling_p99(self, now: float) -> float:
+        """The gate's current estimate (0.0 during cold start)."""
+        if self.histogram.count(now) < self.config.min_samples:
+            return 0.0
+        return self.histogram.quantile(now, 99.0)
+
+    # -- state machine --------------------------------------------------
+    def _update(self, now: float) -> None:
+        cfg = self.config
+        p99 = self.rolling_p99(now)
+        if p99 > cfg.target_s:
+            if self._above_since is None:
+                self._above_since = now
+            if not self._dropping and now - self._above_since >= cfg.interval_s:
+                self._dropping = True
+                self.drop_intervals += 1
+                self._last_adjust = now
+        else:
+            self._above_since = None
+            if self._dropping:
+                self._dropping = False
+                self._stride = 0
+        if not self._dropping:
+            return
+        # Escalation: thin the protected class only under extreme and
+        # *sustained* violation; back off stride-by-stride on recovery.
+        if now - self._last_adjust < cfg.interval_s:
+            return
+        if p99 > cfg.ls_escalation * cfg.target_s:
+            self._stride = min(max(2, self._stride * 2), cfg.ls_stride_max)
+            self._last_adjust = now
+        elif self._stride:
+            self._stride //= 2
+            if self._stride < 2:
+                self._stride = 0
+            self._last_adjust = now
+
+    # -- decisions ------------------------------------------------------
+    @property
+    def dropping(self) -> bool:
+        """True while the gate sheds unprotected traffic."""
+        return self._dropping
+
+    @property
+    def stride(self) -> int:
+        """Protected-class thinning stride (0 = unthinned)."""
+        return self._stride
+
+    def would_shed(self, request_class: str) -> bool:
+        """Pure predicate: would an arrival of ``request_class`` be shed
+        *right now*, without mutating counters or the stride cursor?
+        The shed-ordering invariant is phrased against this: whenever a
+        protected request is shed, ``would_shed`` is True for every
+        unprotected class too."""
+        if not self._dropping:
+            return False
+        if request_class != PROTECTED_CLASS:
+            return True
+        if self._stride == 0:
+            return False
+        return (self._stride_counter + 1) % self._stride != 0
+
+    def admit(self, request_class: str, now: float) -> bool:
+        """Decide one arrival; returns True to admit, False to shed."""
+        self.offered[request_class] = self.offered.get(request_class, 0) + 1
+        self._update(now)
+        if not self._dropping:
+            decision = True
+        elif request_class != PROTECTED_CLASS:
+            decision = False
+        elif self._stride == 0:
+            decision = True
+        else:
+            self._stride_counter += 1
+            decision = self._stride_counter % self._stride == 0
+        bucket = self.admitted if decision else self.shed
+        bucket[request_class] = bucket.get(request_class, 0) + 1
+        return decision
+
+    # -- accounting ------------------------------------------------------
+    def totals(self) -> dict[str, dict[str, int]]:
+        """Per-class conservation counters (offered/admitted/shed)."""
+        return {
+            "offered": dict(self.offered),
+            "admitted": dict(self.admitted),
+            "shed": dict(self.shed),
+        }

@@ -1,0 +1,62 @@
+"""Retry budgeting: the coupling that stops shed load from re-entering.
+
+A retry storm is a positive feedback loop: overload causes errors and
+timeouts, error-triggered retries multiply the offered load, which
+deepens the overload.  Envoy's answer (``retry_budget``) caps retries as
+a *fraction of active requests* rather than per-request attempts — a
+per-request cap of 3 still triples load at 100 % failure, while a 20 %
+budget bounds amplification at 1.2× no matter what fails.
+
+:class:`RetryBudget` is that mechanism per sidecar: a retry may start
+only while ``active_retries < max(min_retries, ratio × active_requests)``.
+The token is held through the backoff *and* the retried attempt, so the
+bound is on retries genuinely in flight.
+"""
+
+from __future__ import annotations
+
+
+class RetryBudget:
+    """Concurrency-coupled retry admission for one sidecar."""
+
+    def __init__(self, ratio: float = 0.2, min_retries: int = 1):
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("ratio must be in [0, 1]")
+        if min_retries < 0:
+            raise ValueError("min_retries must be >= 0")
+        self.ratio = ratio
+        self.min_retries = min_retries
+        self.active_requests = 0
+        self.active_retries = 0
+        self.retries_started = 0
+        self.retries_denied = 0
+
+    @property
+    def limit(self) -> int:
+        """Retries allowed in flight right now."""
+        return max(self.min_retries, int(self.ratio * self.active_requests))
+
+    # -- request lifecycle (the denominator) ---------------------------
+    def request_started(self) -> None:
+        self.active_requests += 1
+
+    def request_finished(self) -> None:
+        if self.active_requests <= 0:
+            raise RuntimeError("request_finished() without request_started()")
+        self.active_requests -= 1
+
+    # -- retry tokens ---------------------------------------------------
+    def try_acquire(self) -> bool:
+        """Claim a retry token; False (and counted as denied) when the
+        budget is spent."""
+        if self.active_retries < self.limit:
+            self.active_retries += 1
+            self.retries_started += 1
+            return True
+        self.retries_denied += 1
+        return False
+
+    def release(self) -> None:
+        if self.active_retries <= 0:
+            raise RuntimeError("release() without matching try_acquire()")
+        self.active_retries -= 1

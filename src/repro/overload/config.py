@@ -1,0 +1,102 @@
+"""Overload-control configuration: frozen, picklable, content-hashable.
+
+Both dataclasses ride inside :class:`~repro.mesh.config.MeshConfig`
+(field ``overload``), which itself rides inside experiment point
+configs — so they must canonicalize cleanly for the sweep engine's
+result cache (:func:`repro.experiments.runner.canonical`): frozen,
+primitives only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..http.message import HttpStatus
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """The CoDel-style admission gate at the ingress gateway.
+
+    The gate watches the rolling p99 of *completed* request latencies
+    (fed by the gateway, held in an obs-plane
+    :class:`~repro.obs.windows.WindowedHistogram`).  Like CoDel, it acts
+    on *sustained* violation: the p99 must sit above ``target_s`` for a
+    full ``interval_s`` before shedding starts, and shedding stops the
+    moment the p99 returns below target.
+
+    Shedding is priority-ordered (§4.2 meets overload): while dropping,
+    every unprotected (LI/unclassified) request is shed; the protected
+    class is only thinned once the p99 escalates past
+    ``ls_escalation × target_s``, and then by a deterministic stride
+    (admit 1 in ``stride``) that doubles per sustained interval up to
+    ``ls_stride_max`` and backs off the same way.
+    """
+
+    target_s: float = 0.5       # queue-delay objective the gate defends
+    interval_s: float = 0.5     # sustained violation before state flips
+    window_s: float = 2.0       # sliding window of the p99 estimate
+    min_samples: int = 10       # cold-start guard: below this, never shed
+    ls_escalation: float = 6.0  # protected thinning starts at this × target
+    ls_stride_max: int = 8      # worst case: admit 1 in 8 protected requests
+
+    def __post_init__(self):
+        if self.target_s <= 0:
+            raise ValueError("target_s must be positive")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.ls_escalation < 1.0:
+            raise ValueError("ls_escalation must be >= 1 (× target_s)")
+        if self.ls_stride_max < 2:
+            raise ValueError("ls_stride_max must be >= 2")
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Mesh-wide overload posture (``MeshConfig.overload``).
+
+    * ``gate`` — the ingress admission gate; ``None`` disables adaptive
+      admission while keeping the sidecar-side limits.
+    * ``concurrency`` — per-service execution limit: at most this many
+      inbound requests run at once per sidecar; the rest wait in the
+      leveling buffer.  ``None`` keeps the sidecar's legacy behavior
+      (``MeshConfig.inbound_concurrency``).
+    * ``queue_depth`` — bound on the leveling buffer.  Overflow policy
+      is deterministic: a newcomer that outranks the worst queued entry
+      displaces it (the displaced request is shed); otherwise the
+      newcomer is rejected.
+    * ``shed_status`` — the reply for shed/rejected requests.  429 by
+      design: it is *not* in :data:`HttpStatus.RETRYABLE`, so upstream
+      retry policies do not re-offer shed load (the retry-storm
+      coupling).  The legacy backpressure path sheds with retryable 503.
+    * ``retry_budget_ratio`` / ``retry_budget_min`` — Envoy-style retry
+      budget per sidecar: retries in flight stay under
+      ``max(min, ratio × active requests)``.  ``ratio=None`` disables
+      budgeting.
+    """
+
+    enabled: bool = True
+    gate: GateConfig | None = field(default_factory=GateConfig)
+    concurrency: int | None = 2
+    queue_depth: int = 64
+    shed_status: int = HttpStatus.TOO_MANY_REQUESTS
+    retry_budget_ratio: float | None = 0.2
+    retry_budget_min: int = 1
+
+    def __post_init__(self):
+        if self.concurrency is not None and self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1 (or None)")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if not 400 <= self.shed_status <= 599:
+            raise ValueError("shed_status must be a 4xx/5xx status code")
+        if self.retry_budget_ratio is not None and not (
+            0.0 <= self.retry_budget_ratio <= 1.0
+        ):
+            raise ValueError("retry_budget_ratio must be in [0, 1] (or None)")
+        if self.retry_budget_min < 0:
+            raise ValueError("retry_budget_min must be >= 0")

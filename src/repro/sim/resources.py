@@ -144,6 +144,23 @@ class PriorityStore(Store):
     def _pop_item(self):
         return heapq.heappop(self._heap)[2]
 
+    def peek_max(self):
+        """The worst-ranked item (largest key, youngest on ties), or None."""
+        if not self._heap:
+            return None
+        return max(self._heap)[2]
+
+    def pop_max(self):
+        """Remove and return the worst-ranked item (largest key, youngest
+        on ties). Raises IndexError when empty."""
+        if not self._heap:
+            raise IndexError("pop_max from empty PriorityStore")
+        index = max(range(len(self._heap)), key=lambda i: self._heap[i])
+        entry = self._heap.pop(index)
+        heapq.heapify(self._heap)
+        self._dispatch()
+        return entry[2]
+
     def _dispatch(self) -> None:
         while self._putters and (
             self.capacity is None or len(self._heap) < self.capacity

@@ -1,0 +1,94 @@
+"""The pod scheduler: policies, hints, and failure modes."""
+
+import pytest
+
+from repro.cluster import Cluster, PodSpec, Scheduler
+from repro.cluster.node import Node
+from repro.sim import Simulator
+
+
+def nodes(sim, count):
+    return [Node(sim, f"node-{i}") for i in range(count)]
+
+
+class TestConstruction:
+    def test_known_policies(self):
+        assert Scheduler.POLICIES == ("least-pods", "round-robin", "first-fit")
+        for policy in Scheduler.POLICIES:
+            assert Scheduler(policy).policy == policy
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            Scheduler("best-fit")
+
+    def test_default_is_least_pods(self):
+        assert Scheduler().policy == "least-pods"
+
+
+class TestPick:
+    def test_no_nodes_raises(self):
+        with pytest.raises(RuntimeError, match="no nodes"):
+            Scheduler().pick([])
+
+    def test_hint_pins_regardless_of_policy(self):
+        sim = Simulator()
+        pool = nodes(sim, 3)
+        for policy in Scheduler.POLICIES:
+            picked = Scheduler(policy).pick(pool, node_hint="node-2")
+            assert picked is pool[2]
+
+    def test_unknown_hint_raises(self):
+        sim = Simulator()
+        with pytest.raises(KeyError, match="unknown node"):
+            Scheduler().pick(nodes(sim, 2), node_hint="node-9")
+
+    def test_first_fit_always_first(self):
+        sim = Simulator()
+        pool = nodes(sim, 3)
+        scheduler = Scheduler("first-fit")
+        assert [scheduler.pick(pool) for _ in range(4)] == [pool[0]] * 4
+
+    def test_round_robin_rotates(self):
+        sim = Simulator()
+        pool = nodes(sim, 3)
+        scheduler = Scheduler("round-robin")
+        picks = [scheduler.pick(pool).name for _ in range(6)]
+        assert picks == ["node-0", "node-1", "node-2"] * 2
+
+    def test_least_pods_balances(self):
+        sim = Simulator()
+        pool = nodes(sim, 2)
+        pool[0].pods.extend(["a", "b"])  # pick() only reads pod_count
+        assert Scheduler("least-pods").pick(pool) is pool[1]
+
+
+class TestThroughCluster:
+    """The scheduler as the cluster drives it."""
+
+    def build(self, policy):
+        cluster = Cluster(Simulator(), scheduler=Scheduler(policy))
+        for i in range(3):
+            cluster.add_node(f"node-{i}")
+        return cluster
+
+    def placements(self, cluster):
+        return {pod.name: pod.node.name for pod in cluster.pods}
+
+    def test_least_pods_spreads_replicas(self):
+        cluster = self.build("least-pods")
+        cluster.create_deployment("web", replicas=3, spec=PodSpec())
+        assert sorted(self.placements(cluster).values()) == [
+            "node-0", "node-1", "node-2",
+        ]
+
+    def test_first_fit_stacks_one_node(self):
+        cluster = self.build("first-fit")
+        cluster.create_deployment("web", replicas=3, spec=PodSpec())
+        assert set(self.placements(cluster).values()) == {"node-0"}
+
+    def test_node_hint_wins_over_policy(self):
+        cluster = self.build("first-fit")
+        cluster.create_deployment(
+            "web", replicas=2, spec=PodSpec(node_hint="node-2")
+        )
+        assert set(self.placements(cluster).values()) == {"node-2"}

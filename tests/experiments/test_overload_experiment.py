@@ -1,0 +1,137 @@
+"""X-9 harness: grid shape, the degradation verdict, and determinism."""
+
+import pytest
+
+from repro.experiments import OverloadExperiment, OverloadResult, measure_overload
+from repro.experiments.overload import (
+    BATCH_MULTIPLIER,
+    FRONTEND_WORKERS,
+    LS_FRACTION,
+    MULTIPLIERS,
+    ON_OVERLOAD,
+)
+
+#: One stressed cell (2x capacity), scaled down for the unit suite.
+SHORT = dict(duration=5.0, warmup=1.5, drain=20.0, seed=42, rps=30.0)
+
+
+def cell_config(mode, multiplier):
+    points = {p.label: p for p in OverloadExperiment(**SHORT).points()}
+    return points[f"{mode}:x{multiplier:g}"].config
+
+
+@pytest.fixture(scope="module")
+def off_cell():
+    return measure_overload(cell_config("off", 2))
+
+
+@pytest.fixture(scope="module")
+def on_cell():
+    return measure_overload(cell_config("on", 2))
+
+
+class TestGrid:
+    def test_points_cover_both_modes_at_every_multiplier(self):
+        points = {p.label: p for p in OverloadExperiment(**SHORT).points()}
+        assert set(points) == {
+            f"{mode}:x{m:g}" for mode in ("off", "on") for m in MULTIPLIERS
+        }
+
+    def test_rps_is_read_as_capacity(self):
+        for point in OverloadExperiment(**SHORT).points():
+            multiplier = float(point.label.split("x")[1])
+            total = point.config.rps + point.config.li_rps
+            assert total == pytest.approx(30.0 * multiplier)
+            assert point.config.rps == pytest.approx(
+                LS_FRACTION * 30.0 * multiplier
+            )
+
+    def test_modes_differ_only_in_posture(self):
+        off = cell_config("off", 2)
+        on = cell_config("on", 2)
+        assert off.mesh.overload is None and not off.cross_layer
+        assert on.mesh.overload is ON_OVERLOAD and on.cross_layer
+        for config in (off, on):
+            frontend = config.elibrary.specs_overrides["frontend"]
+            assert frontend["workers"] == FRONTEND_WORKERS
+            assert config.elibrary.batch_multiplier == BATCH_MULTIPLIER
+
+
+class TestStressedCell:
+    def test_off_mode_collapses_and_alerts(self, off_cell):
+        assert off_cell.ls.p99 > 1.0          # way past the 500 ms SLO
+        assert off_cell.counters["alerts_fired"] >= 1
+        assert off_cell.counters["gateway_shed"] == 0
+
+    def test_on_mode_sheds_and_protects(self, on_cell):
+        assert on_cell.counters["gateway_shed"] > 0
+        assert on_cell.counters["alerts_fired"] == 0
+        assert on_cell.ls.p99 < 0.5
+
+    def test_on_mode_gate_conservation(self, on_cell):
+        totals = on_cell.extra["overload"]["gate_totals"]
+        assert totals is not None
+        for cls, offered in totals["offered"].items():
+            assert offered == totals["admitted"].get(cls, 0) + totals[
+                "shed"
+            ].get(cls, 0)
+
+    def test_goodput_reported_per_class(self, on_cell):
+        overload = on_cell.extra["overload"]
+        assert overload["ls_goodput_rps"] > 0
+        assert overload["li_goodput_rps"] > 0
+
+    def test_measurement_is_deterministic(self, on_cell):
+        again = measure_overload(cell_config("on", 2))
+        assert again.counters == on_cell.counters
+        assert again.ls.p99 == on_cell.ls.p99
+        assert again.li.p99 == on_cell.li.p99
+        assert again.extra["overload"] == on_cell.extra["overload"]
+
+
+def synthetic_result(on_stressed_p99=0.12, off_stressed_p99=3.0):
+    result = OverloadResult(capacity_rps=30.0)
+    for mode, stressed in (("off", off_stressed_p99), ("on", on_stressed_p99)):
+        for multiplier in MULTIPLIERS:
+            p99 = 0.08 if multiplier < 1.5 else stressed
+            result.rows[(mode, multiplier)] = {
+                "ls_p99_s": p99,
+                "li_p99_s": p99 * 2,
+                "ls_goodput_rps": 6.0,
+                "li_goodput_rps": 12.0,
+                "shed": 100.0 if mode == "on" else 0.0,
+                "rejected": 0.0,
+                "retries_denied": 0.0,
+                "alerts": 2.0 if mode == "off" and multiplier >= 1.5 else 0.0,
+            }
+    return result
+
+
+class TestResult:
+    def test_degradation_ratio_is_vs_own_uncongested(self):
+        result = synthetic_result()
+        assert result.degradation_ratio("off", 2.0) == pytest.approx(37.5)
+        assert result.degradation_ratio("on", 2.0) == pytest.approx(1.5)
+
+    def test_graceful_verdict(self):
+        assert synthetic_result().graceful
+        # On-mode degrading past 2x uncongested breaks the claim...
+        assert not synthetic_result(on_stressed_p99=0.5).graceful
+        # ...as does the off mode failing to collapse (nothing to save).
+        assert not synthetic_result(off_stressed_p99=0.2).graceful
+
+    def test_alerts_accessor_sums(self):
+        result = synthetic_result()
+        assert result.alerts("off") == 6
+        assert result.alerts("off", 2.0) == 2
+        assert result.alerts("on") == 0
+
+    def test_csv_shape(self):
+        lines = synthetic_result().csv().strip().splitlines()
+        assert lines[0].startswith("multiplier,mode,ls_p99_ms")
+        assert len(lines) == 1 + 2 * len(MULTIPLIERS)
+
+    def test_report_carries_verdict(self):
+        report = synthetic_result().report()
+        assert "X-9" in report
+        assert "GRACEFUL" in report

@@ -1,0 +1,186 @@
+"""The retry-storm feedback loop, off and on.
+
+A retry storm is offered-load amplification: failures trigger retries,
+retries multiply the load the failing system sees.  With a seeded 50 %
+fault rate and 3-attempt retries the expected amplification is
+1 + 0.5 + 0.25 = 1.75x; the overload posture's retry budget plus
+non-retryable 429 shedding must hold it at ~1x.  Both arms are fully
+seeded and must reproduce byte-identically back-to-back.
+"""
+
+import random
+
+from helpers import MeshTestbed
+
+from repro.chaos import FaultEvent, FaultInjector, metastable_profile
+from repro.http import HttpRequest, HttpStatus
+from repro.mesh import MeshConfig, RetryPolicy
+from repro.overload import OverloadConfig
+
+LOGICAL_REQUESTS = 120
+FAILURE_RATE = 0.5
+SEED = 1234
+
+
+def flaky_handler(seed):
+    """503 with seeded probability FAILURE_RATE, else 200."""
+    rng = random.Random(seed)
+
+    def handler(ctx, request):
+        if rng.random() < FAILURE_RATE:
+            return request.reply(HttpStatus.SERVICE_UNAVAILABLE)
+        if False:
+            yield  # pragma: no cover - marks this as a generator
+        return request.reply(body_size=100)
+
+    return handler
+
+
+def storm_config(budgeted):
+    retry = RetryPolicy(max_attempts=3, backoff_base=0.002, backoff_max=0.01)
+    if not budgeted:
+        return MeshConfig(retry=retry)
+    return MeshConfig(
+        retry=retry,
+        overload=OverloadConfig(
+            gate=None,
+            concurrency=None,
+            retry_budget_ratio=0.05,
+            retry_budget_min=0,
+        ),
+    )
+
+
+def run_storm(budgeted):
+    """One seeded run; returns the canonical result line."""
+    testbed = MeshTestbed(mesh_config=storm_config(budgeted), seed=SEED)
+    testbed.add_service("flaky", flaky_handler(SEED))
+    gateway = testbed.finish("flaky")
+    events = []
+
+    def drive():
+        # Open-loop arrivals: 10 ms spacing keeps a handful in flight,
+        # which is what gives the ratio-based budget its denominator.
+        for _ in range(LOGICAL_REQUESTS):
+            events.append(gateway.submit(HttpRequest(service=""), timeout=5.0))
+            yield testbed.sim.timeout(0.01)
+
+    testbed.sim.process(drive())
+    testbed.sim.run(until=10.0)
+    testbed.sim.run(until=testbed.sim.all_of(events))
+    telemetry = testbed.mesh.telemetry
+    tries = LOGICAL_REQUESTS + telemetry.retries_total
+    amplification = tries / LOGICAL_REQUESTS
+    statuses = [event.value.status for event in events]
+    return {
+        "amplification": round(amplification, 6),
+        "retries": telemetry.retries_total,
+        "denied": telemetry.retries_denied_total,
+        "ok": statuses.count(200),
+        "statuses": tuple(statuses),
+    }
+
+
+class TestRetryStorm:
+    def test_unbudgeted_amplification_exceeds_1_5(self):
+        result = run_storm(budgeted=False)
+        assert result["amplification"] > 1.5
+        assert result["denied"] == 0
+
+    def test_budget_caps_amplification_at_1_1(self):
+        result = run_storm(budgeted=True)
+        assert result["amplification"] <= 1.1
+        assert result["denied"] > 0
+        # The budget trades retries away: failures surface instead of
+        # being retried into extra offered load.
+        assert result["ok"] < LOGICAL_REQUESTS
+
+    def test_byte_identical_back_to_back(self):
+        for budgeted in (False, True):
+            first = repr(run_storm(budgeted=budgeted))
+            second = repr(run_storm(budgeted=budgeted))
+            assert first == second
+
+
+class TestMetastableLatencyFault:
+    """The chaos side of the tentpole: a transient latency fault makes
+    every in-fault try blow its per-try timeout, and timeout-triggered
+    retries are exactly the storm fuel the budget must cut off."""
+
+    def build(self, budgeted):
+        retry = RetryPolicy(
+            max_attempts=4,
+            per_try_timeout=0.1,
+            backoff_base=0.002,
+            backoff_max=0.01,
+        )
+        if budgeted:
+            config = MeshConfig(
+                retry=retry,
+                overload=OverloadConfig(
+                    gate=None,
+                    concurrency=None,
+                    retry_budget_ratio=0.0,
+                    retry_budget_min=0,
+                ),
+            )
+        else:
+            config = MeshConfig(retry=retry)
+        testbed = MeshTestbed(mesh_config=config, seed=SEED)
+
+        def quick(ctx, request):
+            yield ctx.sleep(0.005)
+            return request.reply(body_size=100)
+
+        testbed.add_service("svc", quick)
+        return testbed, testbed.finish("svc")
+
+    def run_with_fault(self, budgeted):
+        testbed, gateway = self.build(budgeted)
+        injector = FaultInjector(testbed.sim, testbed.cluster, testbed.rng)
+        pod = testbed.cluster.pods_of("svc-v1")[0]
+        # Hand-built timeline (exact control; no RNG): +300 ms on the
+        # pod link from t=1 to t=3, dwarfing the 100 ms per-try timeout.
+        event = FaultEvent(
+            at=1.0, kind="latency", target=pod.name, duration=2.0, severity=0.3
+        )
+        testbed.sim.call_at(event.at, injector._apply, event)
+        events = []
+
+        def drive():
+            for _ in range(60):
+                events.append(
+                    gateway.submit(HttpRequest(service=""), timeout=5.0)
+                )
+                yield testbed.sim.timeout(0.05)
+
+        testbed.sim.process(drive())
+        testbed.sim.run(until=15.0)
+        testbed.sim.run(until=testbed.sim.all_of(events))
+        assert injector.applied == 1 and injector.reverted == 1
+        return testbed.mesh.telemetry
+
+    def test_fault_driven_retries_cut_by_budget(self):
+        off = self.run_with_fault(budgeted=False)
+        on = self.run_with_fault(budgeted=True)
+        assert off.retries_total > 10   # the fault fuels a storm...
+        assert on.retries_total == 0    # ...the zero budget extinguishes
+        assert on.retries_denied_total > 10
+
+
+class TestMetastableProfile:
+    def test_profile_expands_to_latency_events(self):
+        from repro.chaos.events import build_timeline
+        from repro.sim import RngRegistry
+
+        profile = metastable_profile(start=3.0, duration=3.0)
+        timeline = build_timeline(
+            profile,
+            ["pod-a", "pod-b"],
+            horizon=20.0,
+            rng=RngRegistry(7).stream("chaos:timeline"),
+        )
+        assert timeline, "profile must inject within a 20 s horizon"
+        assert all(e.kind == "latency" for e in timeline)
+        assert all(e.at >= 3.0 for e in timeline)
+        assert all(e.severity > 0 for e in timeline)

@@ -111,3 +111,82 @@ class TestDetectorInMesh:
         assert all(status == 200 for status in late), late
         distribution = testbed.mesh.telemetry.endpoint_distribution("svc")
         assert distribution["svc-v2-1"] > distribution["svc-v1-1"]
+
+
+class TestDetectorLifecycle:
+    def test_re_ejection_after_expiry(self):
+        detector = OutlierDetector(
+            OutlierConfig(
+                window=100.0, min_requests=5,
+                error_rate_threshold=0.5, ejection_time=1.0,
+            )
+        )
+        for i in range(5):
+            detector.record("10.0.0.1", ok=False, now=0.1 * i)
+        assert detector.is_ejected("10.0.0.1", now=0.5)
+        assert not detector.is_ejected("10.0.0.1", now=2.0)
+        # Ejection wiped the history (fresh slate on parole), so the
+        # endpoint must re-earn its ejection with min_requests evidence.
+        for i in range(5):
+            detector.record("10.0.0.1", ok=False, now=2.5 + 0.1 * i)
+        assert detector.is_ejected("10.0.0.1", now=3.0)
+        assert detector.ejections == 2
+
+    def test_successes_dilute_error_rate_below_threshold(self):
+        detector = OutlierDetector(
+            OutlierConfig(min_requests=4, error_rate_threshold=0.5)
+        )
+        detector.record("10.0.0.1", ok=False, now=0.0)
+        for i in range(5):
+            detector.record("10.0.0.1", ok=True, now=0.3 + 0.1 * i)
+        assert detector.error_rate("10.0.0.1", now=1.0) == pytest.approx(1 / 6)
+        assert not detector.is_ejected("10.0.0.1", now=1.0)
+
+    def test_filter_healthy_passes_all_when_clean(self):
+        detector = OutlierDetector()
+        ips = ["10.0.0.1", "10.0.0.2"]
+        for ip in ips:
+            detector.record(ip, ok=True, now=0.0)
+        assert detector.filter_healthy(ips, now=0.1) == ips
+
+
+class TestOutlierWithOverloadPosture:
+    def test_ejection_still_shifts_traffic_with_leveling_queues(self):
+        """Outlier ejection and the overload posture's bounded leveling
+        queues are independent defenses; enabling the second must not
+        blind the first."""
+        from repro.overload import OverloadConfig
+
+        config = MeshConfig(
+            retry=RetryPolicy(max_attempts=1),
+            outlier=OutlierConfig(
+                min_requests=6, error_rate_threshold=0.4, ejection_time=60.0
+            ),
+            overload=OverloadConfig(
+                gate=None, concurrency=2, queue_depth=32,
+                retry_budget_ratio=None,
+            ),
+        )
+        testbed = MeshTestbed(mesh_config=config)
+        calls = {"n": 0}
+
+        def flaky(ctx, request):
+            calls["n"] += 1
+            yield ctx.sleep(0.001)
+            if calls["n"] % 2 == 0:
+                return request.reply(503)
+            return request.reply(body_size=1)
+
+        testbed.add_service("svc", flaky, version="v1")
+        testbed.add_service("svc", echo_handler(body_size=1), version="v2")
+        gateway = testbed.finish("svc")
+        statuses = []
+        for _ in range(40):
+            event = gateway.submit(HttpRequest(service=""))
+            statuses.append(testbed.sim.run(until=event).status)
+        # Light sequential load: the queues never overflow (no 429s)...
+        assert 429 not in statuses
+        # ...and the flaky replica still gets ejected.
+        assert all(status == 200 for status in statuses[-10:])
+        distribution = testbed.mesh.telemetry.endpoint_distribution("svc")
+        assert distribution["svc-v2-1"] > distribution["svc-v1-1"]

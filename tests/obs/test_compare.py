@@ -126,3 +126,77 @@ class TestCompareCli:
             "compare", str(tmp_path / "a"), str(tmp_path / "b"),
             "--threshold", "0.5",
         ]) == 0
+
+
+def _bench_text(scenario_names, events=1000):
+    import json
+
+    return json.dumps({
+        "schema": "repro-bench/1",
+        "scenarios": {
+            name: {
+                "sim_events": events,
+                "wall_seconds": 0.5,
+                "events_per_wall_second": events / 0.5,
+                "profile": {"events": {"transport": events // 2}},
+            }
+            for name in scenario_names
+        },
+    })
+
+
+class TestSymmetricDifference:
+    """Two snapshots over disjoint grids must fail in BOTH directions —
+    never silently compare the (possibly empty) intersection."""
+
+    def test_disjoint_bench_grids_fail_both_ways(self, tmp_path):
+        (tmp_path / "base.json").write_text(_bench_text(["figure4", "hops"]))
+        (tmp_path / "cand.json").write_text(_bench_text(["hops", "overload"]))
+        report = compare_runs(tmp_path / "base.json", tmp_path / "cand.json")
+        assert not report.ok
+        assert any("figure4" in name for name in report.missing)
+        assert any("overload" in name for name in report.extras)
+        # The shared scenario still got compared.
+        assert report.compared > 0
+
+    def test_candidate_only_stat_is_extra_not_silent(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.histogram("latency_seconds", destination="fe").record(0.01)
+        (tmp_path / "base.json").write_text(snapshot_json(registry.snapshot()))
+        registry.histogram("latency_seconds", destination="ratings").record(0.01)
+        (tmp_path / "cand.json").write_text(snapshot_json(registry.snapshot()))
+        report = compare_runs(tmp_path / "base.json", tmp_path / "cand.json")
+        assert not report.ok
+        assert any("ratings" in name for name in report.extras)
+        assert "EXTRA" in report.text()
+
+    def test_candidate_only_file_is_extra(self, tmp_path):
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", BASE, 0.010)
+        (tmp_path / "b" / "bench.json").write_text(_bench_text(["figure4"]))
+        report = compare_runs(tmp_path / "a", tmp_path / "b")
+        assert not report.ok
+        assert "bench.json" in report.extras
+
+    def test_unreadable_candidate_extra_ignored(self, tmp_path):
+        # A candidate-side file no reader understands is skipped, same
+        # as it would be on the baseline side.
+        _write_run(tmp_path / "a", BASE, 0.010)
+        _write_run(tmp_path / "b", BASE, 0.010)
+        (tmp_path / "b" / "notes.json").write_text('{"data": []}')
+        assert compare_runs(tmp_path / "a", tmp_path / "b").ok
+
+    def test_wall_stats_do_not_count_as_extras(self, tmp_path):
+        # Identical deterministic stats; only host-dependent wall stats
+        # differ in coverage: still clean without include_wall.
+        (tmp_path / "base.json").write_text(_bench_text(["figure4"]))
+        (tmp_path / "cand.json").write_text(_bench_text(["figure4"]))
+        report = compare_runs(tmp_path / "base.json", tmp_path / "cand.json")
+        assert report.ok
+        assert not report.extras
+
+    def test_extra_count_in_text(self, tmp_path):
+        (tmp_path / "base.json").write_text(_bench_text(["a"]))
+        (tmp_path / "cand.json").write_text(_bench_text(["a", "b"]))
+        report = compare_runs(tmp_path / "base.json", tmp_path / "cand.json")
+        assert "2 extra" in report.text()  # sim_events + events[transport]

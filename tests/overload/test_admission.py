@@ -1,0 +1,215 @@
+"""The CoDel-style admission gate: state machine, priority ordering,
+escalation stride, and the conservation counters."""
+
+import pytest
+
+from repro.core.priorities import Priority, set_priority
+from repro.http import HttpRequest
+from repro.overload import AdmissionGate, GateConfig, admission_class
+from repro.overload.admission import PROTECTED_CLASS
+
+#: A gate config with round numbers the tests can reason about:
+#: target 100 ms, flips after 0.5 s sustained, escalates at 4x target.
+CFG = GateConfig(
+    target_s=0.1,
+    interval_s=0.5,
+    window_s=60.0,
+    min_samples=5,
+    ls_escalation=4.0,
+    ls_stride_max=8,
+)
+
+
+def feed(gate, now, latency, n=10):
+    for _ in range(n):
+        gate.observe(now, latency)
+
+
+class TestAdmissionClass:
+    def test_provenance_high_is_protected(self):
+        request = HttpRequest(service="s", headers={"x-workload": "batch"})
+        set_priority(request, Priority.HIGH)
+        assert admission_class(request) == "LS"
+
+    def test_provenance_low_is_li(self):
+        request = HttpRequest(service="s", headers={"x-workload": "interactive"})
+        set_priority(request, Priority.LOW)
+        assert admission_class(request) == "LI"
+
+    def test_workload_header_fallback(self):
+        assert (
+            admission_class(HttpRequest(service="s", headers={"x-workload": "interactive"}))
+            == "LS"
+        )
+        assert (
+            admission_class(HttpRequest(service="s", headers={"x-workload": "batch"}))
+            == "LI"
+        )
+
+    def test_unclassified_is_default(self):
+        assert admission_class(HttpRequest(service="s")) == "default"
+
+
+class TestStateMachine:
+    def test_cold_start_never_sheds(self):
+        gate = AdmissionGate(CFG)
+        # Below min_samples the p99 estimate is 0.0: no evidence, no
+        # shedding, however bad the few samples look.
+        feed(gate, 0.0, 10.0, n=CFG.min_samples - 1)
+        for i in range(50):
+            assert gate.admit("LI", float(i))
+        assert not gate.dropping
+
+    def test_brief_spike_does_not_flip(self):
+        gate = AdmissionGate(CFG)
+        feed(gate, 0.0, 1.0)
+        assert gate.admit("LI", 0.0)          # starts the violation clock
+        assert gate.admit("LI", CFG.interval_s - 0.1)
+        assert not gate.dropping
+
+    def test_sustained_violation_sheds_unprotected(self):
+        gate = AdmissionGate(CFG)
+        feed(gate, 0.0, 1.0)
+        assert gate.admit("LI", 0.0)
+        assert not gate.admit("LI", CFG.interval_s)
+        assert gate.dropping
+        assert gate.drop_intervals == 1
+
+    def test_protected_flows_while_dropping(self):
+        gate = AdmissionGate(CFG)
+        feed(gate, 0.0, 1.0)
+        gate.admit("LI", 0.0)
+        gate.admit("LI", CFG.interval_s)
+        assert gate.dropping
+        # LS sails through (stride 0 = unthinned); LI and unclassified shed.
+        assert all(gate.admit(PROTECTED_CLASS, 0.6) for _ in range(20))
+        assert not gate.admit("default", 0.6)
+
+    def test_recovery_clears_dropping(self):
+        gate = AdmissionGate(
+            GateConfig(
+                target_s=0.1, interval_s=0.5, window_s=1.0, min_samples=5
+            )
+        )
+        feed(gate, 0.0, 1.0)
+        gate.admit("LI", 0.0)
+        gate.admit("LI", 0.5)
+        assert gate.dropping
+        # The bad samples age out of the 1 s window; with the estimate
+        # back below target the gate reopens immediately (CoDel-style:
+        # shedding stops the moment the standing queue is gone).
+        assert gate.admit("LI", 5.0)
+        assert not gate.dropping
+
+    def test_rolling_p99_cold_and_warm(self):
+        gate = AdmissionGate(CFG)
+        assert gate.rolling_p99(0.0) == 0.0
+        feed(gate, 0.0, 0.2)
+        assert gate.rolling_p99(0.0) == pytest.approx(0.2, rel=0.2)
+
+
+def escalated_gate():
+    """A gate driven into dropping with p99 past ls_escalation x target."""
+    gate = AdmissionGate(CFG)
+    feed(gate, 0.0, 1.0)  # 1.0 s >> 4 x 0.1 s escalation threshold
+    gate.admit("LI", 0.0)
+    gate.admit("LI", 0.5)   # flips dropping, _last_adjust = 0.5
+    return gate
+
+
+class TestEscalation:
+    def test_stride_starts_at_two(self):
+        gate = escalated_gate()
+        assert gate.stride == 0
+        gate.admit("LI", 1.0)   # one full interval in dropping: escalate
+        assert gate.stride == 2
+
+    def test_stride_thins_one_in_stride(self):
+        gate = escalated_gate()
+        gate.admit("LI", 1.0)
+        decisions = [gate.admit(PROTECTED_CLASS, 1.1) for _ in range(8)]
+        assert decisions == [False, True] * 4
+
+    def test_stride_doubles_to_cap(self):
+        gate = escalated_gate()
+        for step, expected in ((1.0, 2), (1.5, 4), (2.0, 8), (2.5, 8)):
+            gate.admit("LI", step)
+            assert gate.stride == expected
+
+    def test_stride_backs_off_on_partial_recovery(self):
+        gate = AdmissionGate(
+            GateConfig(
+                target_s=0.1, interval_s=0.5, window_s=2.0,
+                min_samples=5, ls_escalation=4.0, ls_stride_max=8,
+            )
+        )
+        feed(gate, 0.0, 1.0)
+        gate.admit("LI", 0.0)
+        for step in (0.5, 1.0, 1.5, 2.0):
+            feed(gate, step, 1.0)   # keep the violation in-window
+            gate.admit("LI", step)
+        assert gate.stride == 8
+        # p99 falls between target and the escalation threshold: the
+        # stride halves per interval (8 -> 4 -> 2 -> 0) while dropping
+        # state persists.
+        strides = []
+        for step in (4.5, 5.0, 5.5):
+            feed(gate, step, 0.2)   # above target, below 4 x target
+            gate.admit("LI", step)
+            strides.append(gate.stride)
+        assert strides == [4, 2, 0]
+        assert gate.dropping
+
+    def test_stride_resets_on_full_recovery(self):
+        gate = escalated_gate()
+        gate.admit("LI", 1.0)
+        assert gate.stride == 2
+        gate.admit("LI", 70.0)  # everything aged out of the window
+        assert gate.stride == 0
+        assert not gate.dropping
+
+
+class TestOrderingAndAccounting:
+    def test_would_shed_matches_admit_for_unprotected(self):
+        gate = escalated_gate()
+        assert gate.would_shed("LI")
+        assert gate.would_shed("default")
+        assert not gate.would_shed(PROTECTED_CLASS)  # stride still 0
+
+    def test_shed_protected_implies_shed_unprotected(self):
+        # The ordering invariant, point-checked (the property suite
+        # fuzzes it): any state shedding LS is also shedding LI.
+        gate = escalated_gate()
+        gate.admit("LI", 1.0)   # stride = 2
+        for _ in range(10):
+            if gate.would_shed(PROTECTED_CLASS):
+                assert gate.would_shed("LI")
+            gate.admit(PROTECTED_CLASS, 1.1)
+
+    def test_conservation_per_class(self):
+        gate = AdmissionGate(CFG)
+        feed(gate, 0.0, 1.0)
+        for i in range(40):
+            gate.admit(("LS", "LI", "default")[i % 3], 0.1 * i)
+        totals = gate.totals()
+        for cls, offered in totals["offered"].items():
+            admitted = totals["admitted"].get(cls, 0)
+            shed = totals["shed"].get(cls, 0)
+            assert offered == admitted + shed
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_s": 0.0},
+            {"interval_s": -1.0},
+            {"window_s": 0.0},
+            {"min_samples": 0},
+            {"ls_escalation": 0.5},
+            {"ls_stride_max": 1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            GateConfig(**kwargs)

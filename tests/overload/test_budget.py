@@ -1,0 +1,76 @@
+"""The Envoy-style retry budget: limits, lifecycle guards, counters."""
+
+import pytest
+
+from repro.overload import RetryBudget
+
+
+class TestLimit:
+    def test_limit_scales_with_active_requests(self):
+        budget = RetryBudget(ratio=0.2, min_retries=1)
+        assert budget.limit == 1  # floor wins while idle
+        for _ in range(10):
+            budget.request_started()
+        assert budget.limit == 2  # int(0.2 * 10)
+        for _ in range(40):
+            budget.request_started()
+        assert budget.limit == 10
+
+    def test_floor_keeps_retries_alive_at_low_load(self):
+        # The min_retries floor is what lets a single failing request
+        # still retry when it is the only thing in flight.
+        budget = RetryBudget(ratio=0.2, min_retries=1)
+        budget.request_started()
+        assert budget.try_acquire()
+
+    def test_zero_budget_denies_everything(self):
+        budget = RetryBudget(ratio=0.0, min_retries=0)
+        for _ in range(100):
+            budget.request_started()
+        assert not budget.try_acquire()
+        assert budget.retries_denied == 1
+        assert budget.retries_started == 0
+
+
+class TestTokens:
+    def test_acquire_until_limit_then_deny(self):
+        budget = RetryBudget(ratio=0.5, min_retries=0)
+        for _ in range(4):
+            budget.request_started()
+        assert budget.try_acquire()
+        assert budget.try_acquire()
+        assert not budget.try_acquire()  # limit = int(0.5 * 4) = 2
+        assert budget.retries_started == 2
+        assert budget.retries_denied == 1
+
+    def test_release_frees_a_slot(self):
+        budget = RetryBudget(ratio=0.5, min_retries=0)
+        for _ in range(2):
+            budget.request_started()
+        assert budget.try_acquire()
+        assert not budget.try_acquire()
+        budget.release()
+        assert budget.try_acquire()
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            RetryBudget().release()
+
+    def test_finish_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            RetryBudget().request_finished()
+
+    def test_request_lifecycle_balances(self):
+        budget = RetryBudget()
+        budget.request_started()
+        budget.request_started()
+        budget.request_finished()
+        budget.request_finished()
+        assert budget.active_requests == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [{"ratio": -0.1}, {"ratio": 1.5}, {"min_retries": -1}])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryBudget(**kwargs)

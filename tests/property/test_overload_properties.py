@@ -1,0 +1,159 @@
+"""Property-based invariants of the overload-control subsystem.
+
+The three invariants the ISSUE pins down, fuzzed over random priority
+mixes, latencies, and arrival orders:
+
+* **shed ordering** — the gate never sheds a protected (LS) request in
+  a state where an unprotected one would be admitted;
+* **queue bound** — the leveling buffer never holds more than its
+  configured depth;
+* **conservation** — offered == admitted + shed (gate, per class) and
+  offered == queued + rejected (buffer), with no request lost or
+  double-counted.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overload import (
+    QUEUED,
+    REJECTED,
+    AdmissionGate,
+    GateConfig,
+    LevelingQueue,
+    RetryBudget,
+)
+from repro.overload.admission import PROTECTED_CLASS
+from repro.sim import Simulator
+
+classes = st.sampled_from(["LS", "LI", "default"])
+
+#: One gate step: either a completion latency observation or an arrival.
+gate_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["observe", "admit"]),
+        classes,
+        st.floats(min_value=0.001, max_value=5.0),
+        st.floats(min_value=0.0, max_value=0.3),  # time advance per step
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(steps=gate_steps)
+@settings(max_examples=150, deadline=None)
+def test_gate_shed_ordering(steps):
+    """No LS shed while an LI would be admitted in the same instant."""
+    gate = AdmissionGate(
+        GateConfig(target_s=0.2, interval_s=0.3, window_s=2.0, min_samples=5)
+    )
+    now = 0.0
+    for kind, cls, latency, advance in steps:
+        now += advance
+        if kind == "observe":
+            gate.observe(now, latency)
+            continue
+        admitted = gate.admit(cls, now)
+        if cls == PROTECTED_CLASS and not admitted:
+            # The decision just taken left the gate in a state where
+            # every unprotected class is shed too.
+            assert gate.would_shed("LI")
+            assert gate.would_shed("default")
+        if cls != PROTECTED_CLASS and admitted:
+            # Dually: an admitted unprotected request proves the gate
+            # was not dropping, so LS could not have been shed then.
+            assert not gate.would_shed(PROTECTED_CLASS)
+
+
+@given(steps=gate_steps)
+@settings(max_examples=150, deadline=None)
+def test_gate_conservation(steps):
+    gate = AdmissionGate(
+        GateConfig(target_s=0.2, interval_s=0.3, window_s=2.0, min_samples=5)
+    )
+    now = 0.0
+    offered = {}
+    for kind, cls, latency, advance in steps:
+        now += advance
+        if kind == "observe":
+            gate.observe(now, latency)
+        else:
+            gate.admit(cls, now)
+            offered[cls] = offered.get(cls, 0) + 1
+    totals = gate.totals()
+    assert totals["offered"] == offered
+    for cls, count in offered.items():
+        assert count == totals["admitted"].get(cls, 0) + totals["shed"].get(
+            cls, 0
+        )
+
+
+#: Buffer workloads: offers of (priority, seq) with occasional gets.
+buffer_ops = st.lists(
+    st.tuples(st.sampled_from(["offer", "get"]), st.integers(0, 5)),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(depth=st.integers(1, 8), ops=buffer_ops)
+@settings(max_examples=150, deadline=None)
+def test_leveling_queue_bound_and_conservation(depth, ops):
+    sim = Simulator()
+    queue = LevelingQueue(sim, depth=depth, key=lambda item: item[0])
+    taken = []
+
+    def consume():
+        item = yield queue.get()
+        taken.append(item)
+
+    for seq, (op, priority) in enumerate(ops):
+        if op == "offer":
+            outcome, displaced = queue.offer((priority, seq))
+            assert outcome in (QUEUED, REJECTED)
+            # A rejection never comes with a displacement, and a
+            # displaced entry is never better than the newcomer.
+            if outcome == REJECTED:
+                assert displaced is None
+            if displaced is not None:
+                assert displaced[0] >= priority
+        else:
+            sim.process(consume())
+        sim.run()  # settle consumers woken by this op's put/get
+        assert len(queue) <= depth  # the bound, after every single op
+    assert queue.offered == queue.queued + queue.rejected
+    assert len(queue) == queue.queued - queue.evicted - len(taken)
+
+
+@given(
+    ops=st.lists(
+        st.sampled_from(["start", "finish", "acquire", "release"]),
+        min_size=1,
+        max_size=200,
+    ),
+    ratio=st.floats(min_value=0.0, max_value=1.0),
+    min_retries=st.integers(0, 3),
+)
+@settings(max_examples=150, deadline=None)
+def test_retry_budget_never_exceeds_limit(ops, ratio, min_retries):
+    budget = RetryBudget(ratio=ratio, min_retries=min_retries)
+    for op in ops:
+        if op == "start":
+            budget.request_started()
+        elif op == "finish" and budget.active_requests > 0:
+            budget.request_finished()
+        elif op == "acquire":
+            before = budget.active_retries
+            if budget.try_acquire():
+                # A granted token was within the limit at grant time.
+                assert budget.active_retries <= budget.limit
+            else:
+                assert budget.active_retries == before  # denied = no-op
+        elif op == "release" and budget.active_retries > 0:
+            budget.release()
+        assert budget.active_retries >= 0
+        assert (
+            budget.retries_started
+            >= budget.active_retries
+        )
