@@ -8,6 +8,7 @@ Usage::
     python -m repro bench [--out FILE]  # X-7: self-profiled benchmark
     python -m repro fidelity   # X-8: fluid-vs-packet agreement gate
     python -m repro overload [--csv PATH]  # X-9: saturation curves
+    python -m repro dataplane [--csv PATH] # X-10: sidecar/ambient/none
     python -m repro compare BASE CAND [--wall]  # diff two snapshots
     python -m repro all        # everything, through ONE shared runner
 
@@ -40,6 +41,7 @@ from .experiments import (
     PAPER_RPS_LEVELS,
     AblationExperiment,
     ComputeExperiment,
+    DataplaneExperiment,
     Experiment,
     FidelityExperiment,
     Figure4Experiment,
@@ -200,6 +202,13 @@ COMMANDS = {
     "overload": Command(
         lambda args: OverloadExperiment(**_overrides(args, 20.0, rps=30.0)),
         "X-9: overload & admission control — graceful degradation curves",
+        render=_render_observe,
+    ),
+    "dataplane": Command(
+        lambda args: DataplaneExperiment(
+            **_overrides(args, 20.0, rps=30.0, nodes=2)
+        ),
+        "X-10: data-plane dissection — sidecar vs ambient vs no-mesh",
         render=_render_observe,
     ),
 }

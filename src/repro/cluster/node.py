@@ -30,6 +30,9 @@ class Node:
         self.cpu = Resource(sim, capacity=cores)
         self.switch = switch
         self.pods: list = []
+        # Node-scoped shared proxy (repro.dataplane.NodeProxy) when the
+        # mesh runs the ambient data plane; None under sidecar/none.
+        self.proxy = None
 
     @property
     def pod_count(self) -> int:

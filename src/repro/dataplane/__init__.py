@@ -1,0 +1,52 @@
+"""Pluggable data planes (ROADMAP item 3, the second architecture axis).
+
+* :mod:`costmodel` — :class:`ProxyCostModel`: the §3.6 sidecar tax
+  decomposed into interception / parsing / crypto / filter components
+  ("Dissecting Service Mesh Overheads"), each tunable, all seeded.
+* :mod:`planes` — the three architectures (``sidecar`` / ``ambient`` /
+  ``none``) behind :func:`make_data_plane`.
+* :mod:`nodeproxy` — the shared per-node proxy of the ambient plane
+  ("Sidecars on the Central Lane").
+"""
+
+from .costmodel import (
+    COMPONENT_CRYPTO,
+    COMPONENT_FILTERS,
+    COMPONENT_INTERCEPT,
+    COMPONENT_PARSE,
+    COMPONENT_WAIT,
+    PROXY_COMPONENTS,
+    ProxyCostModel,
+)
+from .nodeproxy import NodeProxy
+from .planes import (
+    DATA_PLANE_AMBIENT,
+    DATA_PLANE_NONE,
+    DATA_PLANE_SIDECAR,
+    DATA_PLANES,
+    AmbientDataPlane,
+    DataPlane,
+    NoMeshDataPlane,
+    SidecarDataPlane,
+    make_data_plane,
+)
+
+__all__ = [
+    "AmbientDataPlane",
+    "COMPONENT_CRYPTO",
+    "COMPONENT_FILTERS",
+    "COMPONENT_INTERCEPT",
+    "COMPONENT_PARSE",
+    "COMPONENT_WAIT",
+    "DATA_PLANES",
+    "DATA_PLANE_AMBIENT",
+    "DATA_PLANE_NONE",
+    "DATA_PLANE_SIDECAR",
+    "DataPlane",
+    "NoMeshDataPlane",
+    "NodeProxy",
+    "PROXY_COMPONENTS",
+    "ProxyCostModel",
+    "SidecarDataPlane",
+    "make_data_plane",
+]

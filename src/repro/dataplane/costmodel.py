@@ -1,0 +1,149 @@
+"""The decomposed proxy cost model.
+
+"Dissecting Service Mesh Overheads" shows the sidecar tax the paper
+cites (§3.6, ~3 ms p99 through two proxies) is not monolithic: traffic
+interception (iptables REDIRECT), protocol parsing (HTTP codec work,
+scaling with message size), mTLS crypto (handshake + record
+encryption), and filter/telemetry chains each contribute differently
+per protocol and load.  :class:`ProxyCostModel` decomposes every proxy
+traversal into those components while keeping the *total* an exact
+single draw from the same calibrated lognormal the mesh has always
+used — so the default model reproduces the seed's end-to-end numbers
+byte-for-byte, and each component is independently tunable on top.
+
+Sampling contract (the determinism rules every data plane relies on):
+
+* exactly **one** RNG draw per traversal, from the caller's stream, with
+  the same (mu, sigma) the legacy ``MeshConfig.proxy_delay_*`` fields
+  produced — stream draw *order* is what byte-identity hangs on;
+* with all extras at their zero defaults the returned total **is** the
+  raw draw (no float re-association), so default-mode event times are
+  bit-equal to the seed's;
+* the component split is bookkeeping for the attribution plane; it never
+  feeds back into event timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.rng import Distributions, lognormal_params_from_quantiles
+
+#: Traffic interception/redirection (iptables, connection bookkeeping).
+COMPONENT_INTERCEPT = "intercept"
+#: Protocol parsing: HTTP codec work, headers + body (per-byte term).
+COMPONENT_PARSE = "parse"
+#: Filter chain + telemetry emission (per-request term).
+COMPONENT_FILTERS = "filters"
+#: mTLS crypto: handshake amortization + record encryption.
+COMPONENT_CRYPTO = "crypto"
+#: Wait for a shared (node-scoped) proxy worker — ambient mode only.
+COMPONENT_WAIT = "wait"
+
+#: Report/display order for the proxy sub-attribution.
+PROXY_COMPONENTS = (
+    COMPONENT_INTERCEPT,
+    COMPONENT_PARSE,
+    COMPONENT_FILTERS,
+    COMPONENT_CRYPTO,
+    COMPONENT_WAIT,
+)
+
+
+@dataclass(frozen=True)
+class ProxyCostModel:
+    """Tunable per-traversal proxy cost, decomposed by component.
+
+    The lognormal (``traversal_median``/``traversal_p99``) is the
+    calibrated §3.6 base cost — identical to the legacy
+    ``MeshConfig.proxy_delay_median/p99`` pair it replaces.  The three
+    ``*_share`` fields split that draw into interception, parsing, and
+    filter/telemetry work (they must sum to 1); shares follow the
+    "Dissecting Service Mesh Overheads" finding that codec + filter
+    work dominates while interception is comparatively small.
+
+    On top of the base draw, optional *extras* (all default 0, keeping
+    the default model byte-identical to the seed):
+
+    * ``parse_per_byte`` — codec cost proportional to the message size;
+    * ``filter_per_request`` — fixed per-request filter/telemetry cost;
+    * ``record_crypto_per_byte`` — mTLS record encryption, charged only
+      when the mesh actually runs mTLS;
+    * ``connect_extra`` — per-new-connection pool extras (the legacy
+      ``MeshConfig.connect_extra_delay``).
+    """
+
+    traversal_median: float = 0.0004
+    traversal_p99: float = 0.0014
+    intercept_share: float = 0.25
+    parse_share: float = 0.45
+    filter_share: float = 0.30
+    parse_per_byte: float = 0.0
+    filter_per_request: float = 0.0
+    record_crypto_per_byte: float = 0.0
+    connect_extra: float = 0.0
+
+    def __post_init__(self):
+        if self.traversal_median <= 0 or self.traversal_p99 <= self.traversal_median:
+            raise ValueError("need 0 < traversal_median < traversal_p99")
+        shares = (self.intercept_share, self.parse_share, self.filter_share)
+        if any(share < 0 for share in shares):
+            raise ValueError("component shares must be >= 0")
+        if abs(sum(shares) - 1.0) > 1e-9:
+            raise ValueError("component shares must sum to 1")
+        for name in ("parse_per_byte", "filter_per_request",
+                     "record_crypto_per_byte", "connect_extra"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        object.__setattr__(
+            self,
+            "_params",
+            lognormal_params_from_quantiles(
+                self.traversal_median, self.traversal_p99
+            ),
+        )
+
+    @property
+    def lognormal_params(self) -> tuple[float, float]:
+        """The (mu, sigma) of the base traversal draw."""
+        return self._params
+
+    def sample(
+        self,
+        dist: Distributions,
+        nbytes: int = 0,
+        l4: bool = False,
+        mtls: bool = False,
+    ) -> tuple[float, list[tuple[str, float]]]:
+        """One proxy traversal: ``(total_seconds, [(component, s), ...])``.
+
+        Draws exactly one lognormal from ``dist``.  ``l4=True`` models a
+        pass-through (ambient ztunnel-style) traversal: the proxy
+        intercepts and forwards without L7 parsing or filter chains, so
+        only the interception share (plus record crypto) is charged —
+        which is why an ambient traversal is strictly cheaper than a
+        sidecar one for the same draw.  ``mtls`` enables the per-byte
+        record-encryption term.
+        """
+        mu, sigma = self._params
+        base = dist.lognormal(mu, sigma)
+        if l4:
+            total = base * self.intercept_share
+            components = [(COMPONENT_INTERCEPT, total)]
+        else:
+            components = [
+                (COMPONENT_INTERCEPT, base * self.intercept_share),
+                (COMPONENT_PARSE,
+                 base * self.parse_share + self.parse_per_byte * nbytes),
+                (COMPONENT_FILTERS,
+                 base * self.filter_share + self.filter_per_request),
+            ]
+            extra = self.parse_per_byte * nbytes + self.filter_per_request
+            # With zero extras the total IS the draw — no re-association,
+            # so default-mode timings stay byte-identical to the seed.
+            total = base + extra if extra else base
+        if mtls and self.record_crypto_per_byte:
+            crypto = self.record_crypto_per_byte * nbytes
+            components.append((COMPONENT_CRYPTO, crypto))
+            total += crypto
+        return total, components

@@ -1,0 +1,213 @@
+"""Pluggable data planes: who interposes on pod-to-pod traffic, where.
+
+Three architectures, selected per mesh by ``MeshConfig.data_plane``:
+
+* ``sidecar`` — the default and the paper's model: one L7 proxy per
+  pod, traversed on every hop in both directions (4 traversals per
+  request/response through two interposed sidecars, §3.6).
+* ``ambient`` — one shared :class:`~repro.dataplane.nodeproxy.NodeProxy`
+  per node (Istio ambient / "Sidecars on the Central Lane"): pods on
+  the same node traverse it **once** per direction, its
+  concurrency/queues are node-scoped, and node-local hops skip the
+  network entirely (delivered pod-to-pod on the node).
+* ``none`` — direct pod-to-pod baseline: no proxy interposes, no mTLS,
+  zero proxy cost.  Routing/LB/retries still run in-process so the
+  comparison isolates the data-plane tax, not the control logic.
+
+The sidecar delegates every point where a proxy *could* interpose —
+per-hop traversals, connection-setup extras (mTLS handshake, pool
+extras), per-message wire overhead — to the installed plane.  Phases
+name the four traversal points of one request/response exchange:
+``egress-req`` / ``egress-resp`` at the caller, ``ingress-req`` /
+``ingress-resp`` at the callee.
+"""
+
+from __future__ import annotations
+
+from ..obs.attribution import LAYER_PROXY
+from .costmodel import (
+    COMPONENT_CRYPTO,
+    COMPONENT_INTERCEPT,
+    ProxyCostModel,
+)
+from .nodeproxy import NodeProxy
+
+DATA_PLANE_SIDECAR = "sidecar"
+DATA_PLANE_AMBIENT = "ambient"
+DATA_PLANE_NONE = "none"
+
+#: Valid ``MeshConfig.data_plane`` values.
+DATA_PLANES = (DATA_PLANE_SIDECAR, DATA_PLANE_AMBIENT, DATA_PLANE_NONE)
+
+#: Traversal phases where the callee cannot know the peer's node from
+#: the wire; on these, a known-local peer skips the charge in ambient
+#: mode (the node proxy was already paid on the other side of the hop).
+_SKIP_WHEN_LOCAL = ("ingress-req", "egress-resp")
+
+
+class DataPlane:
+    """Interface every data plane implements (default: full sidecar)."""
+
+    name = DATA_PLANE_SIDECAR
+
+    def __init__(self, config):
+        self.config = config
+        self.model: ProxyCostModel = config.proxy_cost_model()
+
+    # -- wiring --------------------------------------------------------
+    def register_sidecar(self, sidecar) -> None:
+        """Called by the control plane for every injected sidecar."""
+
+    # -- per-hop traversal ---------------------------------------------
+    def traverse(self, sidecar, request, phase: str, nbytes: int,
+                 peer_node: str | None = None):
+        """Charge one proxy traversal at ``sidecar`` (generator)."""
+        total, components = self.model.sample(
+            sidecar._dist, nbytes, mtls=self.config.mtls.enabled
+        )
+        now = sidecar.sim.now
+        sidecar._note(request, LAYER_PROXY, now, now + total,
+                      components=components)
+        yield sidecar.sim.timeout(total)
+
+    # -- node-local delivery (ambient only) ----------------------------
+    def local_sidecar(self, sidecar, endpoint):
+        """The co-located target sidecar when this plane delivers the
+        hop on-node (skipping the network); None otherwise."""
+        return None
+
+    # -- connection-scoped costs ---------------------------------------
+    def mtls_enabled(self) -> bool:
+        return self.config.mtls.enabled
+
+    def message_overhead(self) -> int:
+        """Per-message wire overhead the proxy adds (mTLS records)."""
+        return self.config.mtls.message_overhead()
+
+    def connect_overhead(self, sidecar, request, connect_start: float):
+        """Proxy costs on a fresh connection: the mTLS handshake (one
+        extra RTT + CPU, charged as crypto) and pool connect extras."""
+        mtls = self.config.mtls
+        if mtls.enabled:
+            tcp_rtt = sidecar.sim.now - connect_start
+            tls_cost = mtls.handshake_rtts * tcp_rtt + 2 * mtls.handshake_cpu
+            # mTLS setup is sidecar work the app never asked for: proxy.
+            sidecar._note(
+                request, LAYER_PROXY, sidecar.sim.now,
+                sidecar.sim.now + tls_cost, component=COMPONENT_CRYPTO,
+            )
+            yield sidecar.sim.timeout(tls_cost)
+        extra = self.model.connect_extra
+        if extra > 0:
+            sidecar._note(
+                request, LAYER_PROXY, sidecar.sim.now,
+                sidecar.sim.now + extra, component=COMPONENT_INTERCEPT,
+            )
+            yield sidecar.sim.timeout(extra)
+
+
+class SidecarDataPlane(DataPlane):
+    """Today's per-pod proxy: every phase charged at the pod's sidecar."""
+
+    name = DATA_PLANE_SIDECAR
+
+
+class AmbientDataPlane(DataPlane):
+    """One shared proxy per node; node-local hops skip the network."""
+
+    name = DATA_PLANE_AMBIENT
+
+    def __init__(self, config, sim, rng_registry):
+        super().__init__(config)
+        self.sim = sim
+        self.rng_registry = rng_registry
+        self._by_pod: dict[str, object] = {}
+        self._node_proxies: dict[str, NodeProxy] = {}
+
+    def register_sidecar(self, sidecar) -> None:
+        self._by_pod[sidecar.pod.name] = sidecar
+        self.node_proxy(sidecar.pod.node)
+
+    def node_proxy(self, node) -> NodeProxy:
+        proxy = self._node_proxies.get(node.name)
+        if proxy is None:
+            proxy = NodeProxy(
+                self.sim,
+                node,
+                self.model,
+                self.rng_registry,
+                concurrency=self.config.node_proxy_concurrency,
+                mtls=self.config.mtls.enabled,
+            )
+            self._node_proxies[node.name] = proxy
+            # Node-scoped placement: the proxy is cluster state, not
+            # mesh state — schedulers/telemetry can see it on the node.
+            node.proxy = proxy
+        return proxy
+
+    @property
+    def node_proxies(self) -> list[NodeProxy]:
+        return list(self._node_proxies.values())
+
+    def traverse(self, sidecar, request, phase: str, nbytes: int,
+                 peer_node: str | None = None):
+        # One traversal per direction per *node* crossing: the phases
+        # where the peer is known to be co-located are the second half
+        # of a hop the shared proxy already carried — skip them.
+        if phase in _SKIP_WHEN_LOCAL and peer_node == sidecar.pod.node.name:
+            return
+        yield from self.node_proxy(sidecar.pod.node).traverse(
+            sidecar, request, nbytes
+        )
+
+    def local_sidecar(self, sidecar, endpoint):
+        if endpoint.node != sidecar.pod.node.name:
+            return None
+        target = self._by_pod.get(endpoint.pod_name)
+        if target is None or not getattr(target.pod, "ready", True):
+            # A killed/draining pod must fail the way the wire would
+            # (connect failure on the network path), not be reached
+            # through the in-process shortcut.
+            return None
+        return target
+
+
+class NoMeshDataPlane(DataPlane):
+    """Direct pod-to-pod: no proxy, no mTLS, zero proxy attribution."""
+
+    name = DATA_PLANE_NONE
+
+    def traverse(self, sidecar, request, phase: str, nbytes: int,
+                 peer_node: str | None = None):
+        return
+        yield  # pragma: no cover - makes this a (empty) generator
+
+    def mtls_enabled(self) -> bool:
+        return False
+
+    def message_overhead(self) -> int:
+        return 0
+
+    def connect_overhead(self, sidecar, request, connect_start: float):
+        return
+        yield  # pragma: no cover - makes this a (empty) generator
+
+
+def make_data_plane(config, sim=None, rng_registry=None) -> DataPlane:
+    """Build the plane ``config.data_plane`` names.
+
+    ``ambient`` needs the simulator and RNG registry (its node proxies
+    own seeded streams); the control plane always provides both.
+    """
+    mode = config.data_plane
+    if mode == DATA_PLANE_SIDECAR:
+        return SidecarDataPlane(config)
+    if mode == DATA_PLANE_NONE:
+        return NoMeshDataPlane(config)
+    if mode == DATA_PLANE_AMBIENT:
+        if sim is None or rng_registry is None:
+            raise ValueError(
+                "the ambient data plane needs sim= and rng_registry="
+            )
+        return AmbientDataPlane(config, sim, rng_registry)
+    raise ValueError(f"unknown data plane {mode!r} (choose from {DATA_PLANES})")

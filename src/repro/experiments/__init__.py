@@ -20,6 +20,9 @@
   scenario (the hybrid-transport validation gate).
 * :mod:`overload` — X-9, overload & admission control at saturation
   (the graceful-degradation curves behind ``python -m repro overload``).
+* :mod:`dataplane` — X-10, the data-plane dissection: sidecar vs
+  ambient vs no-mesh, with the proxy layer sub-attributed into its
+  :mod:`repro.dataplane` cost components.
 
 Every harness follows one contract::
 
@@ -41,6 +44,12 @@ from .bench import (
     run_bench,
 )
 from .compute import ComputeExperiment, ComputeResult, run_compute
+from .dataplane import (
+    DataplaneExperiment,
+    DataplaneResult,
+    measure_dataplane,
+    run_dataplane,
+)
 from .fidelity import (
     FidelityExperiment,
     FidelityLevel,
@@ -111,6 +120,8 @@ __all__ = [
     "ComputeExperiment",
     "ComputeResult",
     "DEFAULT_MSS",
+    "DataplaneExperiment",
+    "DataplaneResult",
     "Experiment",
     "FidelityExperiment",
     "FidelityLevel",
@@ -158,6 +169,7 @@ __all__ = [
     "config_digest",
     "default_slos",
     "format_table",
+    "measure_dataplane",
     "measure_observed",
     "measure_overload",
     "measure_resilience",
@@ -169,6 +181,7 @@ __all__ = [
     "run_ablations",
     "run_bench",
     "run_compute",
+    "run_dataplane",
     "run_fidelity",
     "run_figure4",
     "run_hedging",

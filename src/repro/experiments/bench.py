@@ -92,6 +92,12 @@ def bench_scenarios(base: ScenarioConfig) -> list[Point]:
             mesh={"inbound_concurrency": 2, "max_inbound_queue": 64},
         ),
         point("tail-tracing", mesh={"tracing_tail_keep": 5}),
+        # Data-plane pair (repro.dataplane): the same two-node scenario
+        # under per-pod sidecars vs the shared per-node ambient proxy —
+        # the ambient run's node-local in-process delivery is its own
+        # hot path (no connections, no wire events on local hops).
+        point("dataplane-sidecar", nodes=2),
+        point("dataplane-ambient", nodes=2, mesh={"data_plane": "ambient"}),
     ]
 
 

@@ -1,0 +1,398 @@
+"""X-10: data-plane dissection — sidecar vs ambient vs no-mesh.
+
+The paper treats the sidecar tax (§3.6) as one number; the follow-up
+literature decomposes it ("Dissecting Service Mesh Overheads") and
+re-architects it (Istio ambient, "Sidecars on the Central Lane").  This
+harness does both on the §4.3 testbed:
+
+* **Dissection grid** — architecture (``sidecar`` / ``ambient`` /
+  ``none``) × protocol (plain / mTLS, mux off / on) × offered load,
+  each cell run with the observability plane attached so the proxy
+  layer sub-attributes into its :mod:`repro.dataplane` components
+  (interception, parse, filters, crypto, node-proxy wait).
+* **Figure-4 stage** — the headline cross-layer off/on comparison
+  rerun under every data plane: the paper's win should survive a
+  re-architected (or absent) proxy layer.
+
+Invariants the report asserts (and CI gates on):
+
+* sub-attributed proxy components sum to the swept proxy layer within
+  ≤ 1 % per class;
+* the ``none`` plane attributes exactly zero proxy time;
+* at equal load the ambient plane spends strictly less total proxy
+  time than sidecars (2 shared-proxy traversals per node-local hop
+  instead of 4 per-pod ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..dataplane import DATA_PLANES, PROXY_COMPONENTS
+from ..mesh.config import MeshConfig
+from ..mesh.mtls import MtlsContext
+from ..obs import ObservabilityPlane
+from ..obs.attribution import LAYER_PROXY, LAYERS
+from ..transport import TransportSpec
+from ..workload.mixes import LS_WORKLOAD
+from .report import format_table, ms, to_csv
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    ScenarioMeasurement,
+    measure_scenario,
+    wall_timer,
+)
+from .scenario import (
+    SIM_TRANSPORT_SPEC,
+    ScenarioConfig,
+    ScenarioResult,
+    _drain,
+    build_scenario,
+)
+
+#: Offered loads of the dissection grid (requests/second).
+RPS_LEVELS = (10.0, 30.0)
+
+#: Protocol axis: label → MeshConfig overrides. The transport override
+#: keeps sim-scale segment sizes so the only delta is the mux itself.
+PROTOCOLS = {
+    "plain": {},
+    "mtls": {"mtls": MtlsContext(enabled=True)},
+    "mux": {"transport": replace(SIM_TRANSPORT_SPEC, mux=True)},
+    "mtls+mux": {
+        "mtls": MtlsContext(enabled=True),
+        "transport": replace(SIM_TRANSPORT_SPEC, mux=True),
+    },
+}
+
+#: Component sub-attribution must close within this relative residual.
+COMPONENT_RESIDUAL_BOUND = 0.01
+
+
+def measure_dataplane(config: ScenarioConfig) -> ScenarioMeasurement:
+    """Point function: one dissection cell with attribution attached.
+
+    Beyond :func:`~repro.experiments.observe.measure_observed`'s report,
+    the ``extra`` payload carries the node-proxy counters (ambient) so
+    the collector can show where the shared proxies spent their time.
+    """
+    with wall_timer() as timer:
+        sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
+        plane = ObservabilityPlane().install(mesh=mesh, cluster=cluster)
+        mix.start(config.duration)
+        sim.run(until=config.duration)
+        _drain(sim, mix, config.duration + config.drain)
+        plane.harvest(mesh=mesh, network=cluster.network)
+    result = ScenarioResult(
+        config=config,
+        sim=sim,
+        cluster=cluster,
+        mesh=mesh,
+        app=app,
+        gateway=gateway,
+        mix=mix,
+        manager=manager,
+        window=(config.warmup, config.duration),
+    )
+    measurement = ScenarioMeasurement.from_scenario(
+        result, wall_clock=timer.elapsed
+    )
+    window = (config.warmup, config.duration)
+    measurement.extra["attribution"] = plane.attributor.class_report(window)
+    node_proxies = getattr(mesh.dataplane, "node_proxies", None)
+    if node_proxies:
+        measurement.extra["node_proxies"] = [
+            {
+                "node": proxy.node.name,
+                "traversals": proxy.traversals,
+                "busy_seconds": proxy.busy_seconds,
+                "wait_seconds": proxy.wait_seconds,
+            }
+            for proxy in node_proxies
+        ]
+    measurement.counters["attributed_requests"] = float(
+        len(plane.attributor.finished)
+    )
+    return measurement
+
+
+@dataclass
+class DataplaneResult:
+    """The dissection grid plus the per-architecture Figure-4 stage."""
+
+    #: (arch, proto, rps) → {"report": class_report, "node_proxies": [...]}.
+    cells: dict[tuple, dict] = field(default_factory=dict)
+    #: arch → {"off"/"on" → {"p50": s, "p99": s}} for the LS workload.
+    figure4: dict[str, dict] = field(default_factory=dict)
+
+    # -- invariants the CI smoke job gates on --------------------------
+
+    def proxy_mean(self, arch: str, proto: str, rps: float,
+                   request_class: str) -> float:
+        row = self.cells[(arch, proto, rps)]["report"].get(request_class)
+        return row["layer_means"][LAYER_PROXY] if row else 0.0
+
+    def total_proxy_seconds(self, arch: str, proto: str, rps: float) -> float:
+        """Summed proxy-layer seconds across every class of one cell."""
+        report = self.cells[(arch, proto, rps)]["report"]
+        return sum(row["layers"][LAYER_PROXY] for row in report.values())
+
+    def component_residual(self, arch: str, proto: str, rps: float,
+                           request_class: str) -> float:
+        """Relative |Σ components − proxy layer| for one cell+class."""
+        row = self.cells[(arch, proto, rps)]["report"].get(request_class)
+        if row is None:
+            return 0.0
+        proxy = row["layer_means"][LAYER_PROXY]
+        total = sum(row["proxy_component_means"].values())
+        if proxy <= 0.0:
+            return abs(total)
+        return abs(total - proxy) / proxy
+
+    @property
+    def max_component_residual(self) -> float:
+        return max(
+            (
+                self.component_residual(arch, proto, rps, request_class)
+                for (arch, proto, rps), cell in self.cells.items()
+                for request_class in cell["report"]
+            ),
+            default=0.0,
+        )
+
+    @property
+    def max_nomesh_proxy_seconds(self) -> float:
+        """Worst proxy-layer attribution under the ``none`` plane (must
+        be exactly zero: nothing interposes)."""
+        return max(
+            (
+                row["layers"][LAYER_PROXY]
+                for (arch, _proto, _rps), cell in self.cells.items()
+                if arch == "none"
+                for row in cell["report"].values()
+            ),
+            default=0.0,
+        )
+
+    def ambient_vs_sidecar(self) -> list[tuple]:
+        """(proto, rps, sidecar_s, ambient_s) for every matched cell."""
+        rows = []
+        for (arch, proto, rps) in sorted(self.cells):
+            if arch != "sidecar" or ("ambient", proto, rps) not in self.cells:
+                continue
+            rows.append(
+                (
+                    proto,
+                    rps,
+                    self.total_proxy_seconds("sidecar", proto, rps),
+                    self.total_proxy_seconds("ambient", proto, rps),
+                )
+            )
+        return rows
+
+    @property
+    def ambient_leaner_everywhere(self) -> bool:
+        """Ambient spends strictly less total proxy time than sidecars
+        at every matched (protocol, load) cell."""
+        rows = self.ambient_vs_sidecar()
+        return bool(rows) and all(amb < side for _, _, side, amb in rows)
+
+    # -- rendering -----------------------------------------------------
+
+    def table(self) -> str:
+        headers = ["Arch", "Proto", "RPS", "Class", "e2e (ms)", "proxy (ms)"]
+        headers += [f"{name} (ms)" for name in PROXY_COMPONENTS]
+        headers += ["resid %"]
+        body = []
+        for (arch, proto, rps) in sorted(self.cells):
+            report = self.cells[(arch, proto, rps)]["report"]
+            for request_class, row in report.items():
+                means = row["proxy_component_means"]
+                residual = self.component_residual(
+                    arch, proto, rps, request_class
+                )
+                body.append(
+                    [arch, proto, f"{rps:g}", request_class,
+                     ms(row["e2e_mean"]), ms(row["layer_means"][LAYER_PROXY])]
+                    + [ms(means.get(name, 0.0)) for name in PROXY_COMPONENTS]
+                    + [f"{residual * 100.0:.4f}"]
+                )
+        return format_table(
+            headers,
+            body,
+            title=(
+                "X-10: per-component proxy overhead "
+                "(arch x protocol x load; components sum to the proxy layer)"
+            ),
+        )
+
+    def figure4_table(self) -> str:
+        headers = [
+            "Arch", "LS p50 off", "LS p50 on", "p50 speedup",
+            "LS p99 off", "LS p99 on", "p99 speedup",
+        ]
+        body = []
+        for arch in sorted(self.figure4):
+            off = self.figure4[arch]["off"]
+            on = self.figure4[arch]["on"]
+            p50x = off["p50"] / on["p50"] if on["p50"] > 0 else 0.0
+            p99x = off["p99"] / on["p99"] if on["p99"] > 0 else 0.0
+            body.append(
+                [arch, ms(off["p50"]), ms(on["p50"]), f"{p50x:.2f}x",
+                 ms(off["p99"]), ms(on["p99"]), f"{p99x:.2f}x"]
+            )
+        return format_table(
+            headers,
+            body,
+            title=(
+                "Figure 4 under each data plane "
+                "(cross-layer off vs on, LS latency in ms)"
+            ),
+        )
+
+    def node_proxy_lines(self) -> str:
+        lines = []
+        for (arch, proto, rps) in sorted(self.cells):
+            proxies = self.cells[(arch, proto, rps)].get("node_proxies")
+            if not proxies:
+                continue
+            for proxy in proxies:
+                lines.append(
+                    f"  {arch}/{proto}/r{rps:g} {proxy['node']}: "
+                    f"{proxy['traversals']} traversals, "
+                    f"busy {proxy['busy_seconds']:.3f} s, "
+                    f"queued {proxy['wait_seconds']:.3f} s"
+                )
+        if not lines:
+            return ""
+        return "node proxies (ambient):\n" + "\n".join(lines)
+
+    def report(self) -> str:
+        parts = [self.table(), self.figure4_table()]
+        node_lines = self.node_proxy_lines()
+        if node_lines:
+            parts.append(node_lines)
+        checks = [
+            "checks:",
+            f"  component residual <= {COMPONENT_RESIDUAL_BOUND:.0%}: "
+            f"{'PASS' if self.max_component_residual <= COMPONENT_RESIDUAL_BOUND else 'FAIL'}"
+            f" (worst {self.max_component_residual * 100.0:.4f}%)",
+            f"  no-mesh proxy attribution == 0: "
+            f"{'PASS' if self.max_nomesh_proxy_seconds == 0.0 else 'FAIL'}"
+            f" (worst {self.max_nomesh_proxy_seconds:.9f} s)",
+            f"  ambient < sidecar total proxy seconds everywhere: "
+            f"{'PASS' if self.ambient_leaner_everywhere else 'FAIL'}",
+        ]
+        for proto, rps, side, amb in self.ambient_vs_sidecar():
+            ratio = amb / side if side > 0 else 0.0
+            checks.append(
+                f"    {proto}/r{rps:g}: sidecar {side:.3f} s -> "
+                f"ambient {amb:.3f} s ({ratio:.2f}x)"
+            )
+        parts.append("\n".join(checks))
+        return "\n\n".join(parts)
+
+    def csv(self) -> str:
+        """Long form: one row per (cell, class, layer-or-component)."""
+        headers = [
+            "section", "arch", "proto", "rps", "class", "name",
+            "mean_s", "count",
+        ]
+        rows = []
+        for (arch, proto, rps) in sorted(self.cells):
+            report = self.cells[(arch, proto, rps)]["report"]
+            for request_class, row in report.items():
+                for layer in LAYERS:
+                    rows.append(
+                        ["layer", arch, proto, f"{rps:g}", request_class,
+                         layer, f"{row['layer_means'][layer]:.9f}",
+                         row["count"]]
+                    )
+                for name, mean in row["proxy_component_means"].items():
+                    rows.append(
+                        ["component", arch, proto, f"{rps:g}", request_class,
+                         name, f"{mean:.9f}", row["count"]]
+                    )
+        for arch in sorted(self.figure4):
+            for tag in ("off", "on"):
+                for quantile in ("p50", "p99"):
+                    rows.append(
+                        ["figure4", arch, "plain", "", LS_WORKLOAD,
+                         f"{quantile}_{tag}",
+                         f"{self.figure4[arch][tag][quantile]:.9f}", ""]
+                    )
+        return to_csv(headers, rows)
+
+
+def _mesh_for(arch: str, proto: str) -> MeshConfig:
+    return MeshConfig(data_plane=arch, **PROTOCOLS[proto])
+
+
+class DataplaneExperiment(Experiment):
+    """The dissection grid plus a Figure-4 stage per architecture."""
+
+    name = "dataplane"
+    defaults = {"rps": 30.0, "nodes": 2}
+
+    def points(self) -> list[Point]:
+        grid = []
+        base = replace(self.base, nodes=max(self.base.nodes, 2), policy=None)
+        for arch in DATA_PLANES:
+            for proto in PROTOCOLS:
+                for rps in RPS_LEVELS:
+                    grid.append(
+                        Point(
+                            label=f"{arch}/{proto}/r{rps:g}",
+                            fn=measure_dataplane,
+                            config=replace(
+                                base,
+                                rps=rps,
+                                cross_layer=True,
+                                mesh=_mesh_for(arch, proto),
+                            ),
+                        )
+                    )
+            for tag, enabled in (("off", False), ("on", True)):
+                grid.append(
+                    Point(
+                        label=f"fig4/{arch}/{tag}",
+                        fn=measure_scenario,
+                        config=replace(
+                            base,
+                            cross_layer=enabled,
+                            mesh=_mesh_for(arch, "plain"),
+                        ),
+                    )
+                )
+        return grid
+
+    def collect(self, measurements) -> DataplaneResult:
+        result = DataplaneResult()
+        for arch in DATA_PLANES:
+            for proto in PROTOCOLS:
+                for rps in RPS_LEVELS:
+                    measurement = measurements[f"{arch}/{proto}/r{rps:g}"]
+                    result.cells[(arch, proto, rps)] = {
+                        "report": measurement.extra.get("attribution", {}),
+                        "node_proxies": measurement.extra.get("node_proxies"),
+                    }
+            result.figure4[arch] = {}
+            for tag in ("off", "on"):
+                summary = measurements[f"fig4/{arch}/{tag}"].ls
+                result.figure4[arch][tag] = {
+                    "p50": summary.p50,
+                    "p99": summary.p99,
+                }
+        return result
+
+
+def run_dataplane(
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
+    **overrides,
+) -> DataplaneResult:
+    """Run the data-plane dissection harness (X-10)."""
+    return DataplaneExperiment(base_config, **overrides).run(runner)

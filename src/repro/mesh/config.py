@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import typing
 from dataclasses import dataclass, field, replace
 
 from ..overload import OverloadConfig
@@ -9,6 +10,9 @@ from ..transport import TransportSpec
 from ..util.deprecation import warn_once
 from .mtls import MtlsContext
 from .resilience import HedgePolicy, RetryPolicy
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..dataplane import ProxyCostModel
 
 #: The port every sidecar listens on for mesh traffic (Envoy's 15006).
 MESH_PORT = 15006
@@ -18,16 +22,32 @@ MESH_PORT = 15006
 class MeshConfig:
     """Knobs shared by all sidecars in a mesh.
 
-    The proxy delay defaults are calibrated so that a request+response
+    The proxy cost defaults are calibrated so that a request+response
     through *two* interposed sidecars (four proxy traversals) costs about
     3 ms at the 99th percentile — the Istio figure the paper cites
-    (§3.6). Each traversal is a lognormal sample.
+    (§3.6). Each traversal is one lognormal sample, decomposed into
+    interception/parse/crypto/filter components by
+    :class:`repro.dataplane.ProxyCostModel`.
     """
 
-    proxy_delay_median: float = 0.0004
-    proxy_delay_p99: float = 0.0014
+    # Data-plane architecture (repro.dataplane): "sidecar" (per-pod
+    # proxy, the paper's model and the default), "ambient" (one shared
+    # per-node proxy; node-local hops skip the network), or "none"
+    # (direct pod-to-pod baseline, zero proxy cost).
+    data_plane: str = "sidecar"
+    # Decomposed per-traversal proxy cost. None = the default model
+    # (byte-identical to the legacy proxy_delay_* lognormal).
+    proxy_cost: "ProxyCostModel | None" = None
+    # Concurrency of each ambient node proxy (worker slots shared by
+    # every pod on the node; excess traversals queue FIFO).
+    node_proxy_concurrency: int = 8
+    # Deprecated: the single-lognormal proxy knobs moved into
+    # ProxyCostModel. None = unset; concrete values are folded into
+    # ``proxy_cost`` with a warn-once DeprecationWarning.
+    proxy_delay_median: float | None = None
+    proxy_delay_p99: float | None = None
+    connect_extra_delay: float | None = None
     default_timeout: float = 15.0
-    connect_extra_delay: float = 0.0
     lb_name: str = "round-robin"
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     hedge: HedgePolicy | None = None
@@ -75,8 +95,44 @@ class MeshConfig:
     telemetry_max_records: int | None = None
 
     def __post_init__(self):
-        if self.proxy_delay_median <= 0 or self.proxy_delay_p99 <= self.proxy_delay_median:
-            raise ValueError("need 0 < proxy_delay_median < proxy_delay_p99")
+        if self.data_plane not in ("sidecar", "ambient", "none"):
+            raise ValueError(
+                "data_plane must be one of 'sidecar', 'ambient', 'none'"
+            )
+        if self.node_proxy_concurrency < 1:
+            raise ValueError("node_proxy_concurrency must be >= 1")
+        if (
+            self.proxy_delay_median is not None
+            or self.proxy_delay_p99 is not None
+            or self.connect_extra_delay is not None
+        ):
+            warn_once(
+                "meshconfig-proxy-cost",
+                "MeshConfig(proxy_delay_median=..., proxy_delay_p99=..., "
+                "connect_extra_delay=...) is deprecated; pass "
+                "MeshConfig(proxy_cost=ProxyCostModel(traversal_median=..., "
+                "traversal_p99=..., connect_extra=...)) instead",
+            )
+            from ..dataplane import ProxyCostModel
+
+            base = (
+                self.proxy_cost
+                if self.proxy_cost is not None
+                else ProxyCostModel()
+            )
+            overrides = {}
+            if self.proxy_delay_median is not None:
+                overrides["traversal_median"] = self.proxy_delay_median
+            if self.proxy_delay_p99 is not None:
+                overrides["traversal_p99"] = self.proxy_delay_p99
+            if self.connect_extra_delay is not None:
+                overrides["connect_extra"] = self.connect_extra_delay
+            self.proxy_cost = replace(base, **overrides)
+            # Folded: clear the legacy fields so dataclasses.replace()
+            # round-trips without re-warning or double-applying.
+            self.proxy_delay_median = None
+            self.proxy_delay_p99 = None
+            self.connect_extra_delay = None
         if self.default_timeout <= 0:
             raise ValueError("default_timeout must be positive")
         if self.tracing_tail_keep is not None and self.tracing_tail_keep < 1:
@@ -105,3 +161,9 @@ class MeshConfig:
     def transport_spec(self) -> TransportSpec:
         """The effective transport description (default spec when unset)."""
         return self.transport if self.transport is not None else TransportSpec()
+
+    def proxy_cost_model(self) -> "ProxyCostModel":
+        """The effective proxy cost model (default model when unset)."""
+        from ..dataplane import ProxyCostModel
+
+        return self.proxy_cost if self.proxy_cost is not None else ProxyCostModel()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..cluster.cluster import Cluster
 from ..cluster.pod import Pod
 from ..cluster.service import Service
+from ..dataplane import make_data_plane
 from ..sim import Simulator
 from ..sim.rng import RngRegistry
 from .config import MeshConfig
@@ -42,6 +43,12 @@ class ControlPlane:
         self.telemetry = Telemetry(max_records=self.config.telemetry_max_records)
         self.ca = CertificateAuthority()
         self.policy = PolicyHooks()
+        # One data plane mesh-wide (repro.dataplane): the ambient plane
+        # keeps per-node shared proxies and the pod registry for
+        # node-local delivery; sidecar/none are stateless cost policies.
+        self.dataplane = make_data_plane(
+            self.config, sim=sim, rng_registry=self.rng
+        )
         self.sidecars: list[Sidecar] = []
         self._route_rules: dict[str, list] = {}
         self.pushes = 0
@@ -62,7 +69,9 @@ class ControlPlane:
             telemetry=self.telemetry,
             rng_registry=self.rng,
             policy=self.policy,
+            dataplane=self.dataplane,
         )
+        self.dataplane.register_sidecar(sidecar)
         self.ca.issue(f"spiffe://cluster.local/sa/{service_name}", self.sim.now)
         pod.add_container("istio-proxy")
         for service in self.cluster.dns.services:

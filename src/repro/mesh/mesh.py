@@ -36,6 +36,11 @@ class ServiceMesh:
         return self.control_plane.config
 
     @property
+    def dataplane(self):
+        """The installed data plane (repro.dataplane): sidecar/ambient/none."""
+        return self.control_plane.dataplane
+
+    @property
     def telemetry(self):
         return self.control_plane.telemetry
 

@@ -16,8 +16,12 @@ from dataclasses import dataclass
 
 _serials = itertools.count(1)
 
-TLS_RECORD_OVERHEAD_BYTES = 29       # per-message framing + MAC
-TLS_HANDSHAKE_CPU_SECONDS = 0.0002   # sign/verify cost per side
+#: Default per-message framing + MAC bytes. A *default* only: every
+#: consumer reads the tunable :attr:`MtlsContext.record_overhead_bytes`.
+TLS_RECORD_OVERHEAD_BYTES = 29
+#: Default sign/verify CPU seconds per handshake side; tunable per mesh
+#: via :attr:`MtlsContext.handshake_cpu`.
+TLS_HANDSHAKE_CPU_SECONDS = 0.0002
 
 
 @dataclass(frozen=True)
@@ -65,12 +69,27 @@ class CertificateAuthority:
 
 @dataclass(frozen=True)
 class MtlsContext:
-    """What a sidecar needs to do mTLS: its cert and the cost model."""
+    """What a sidecar needs to do mTLS: its cert and the cost model.
+
+    The cost terms are tunable per mesh; the module-level
+    ``TLS_RECORD_OVERHEAD_BYTES`` / ``TLS_HANDSHAKE_CPU_SECONDS``
+    constants are only their defaults. The data plane
+    (:mod:`repro.dataplane`) charges ``handshake_rtts * tcp_rtt +
+    2 * handshake_cpu`` per fresh connection (as the proxy layer's
+    ``crypto`` component) and ``record_overhead_bytes`` per message on
+    the wire.
+    """
 
     enabled: bool = False
     handshake_rtts: int = 1
     handshake_cpu: float = TLS_HANDSHAKE_CPU_SECONDS
     record_overhead_bytes: int = TLS_RECORD_OVERHEAD_BYTES
+
+    def __post_init__(self):
+        if self.handshake_rtts < 0 or self.handshake_cpu < 0:
+            raise ValueError("handshake cost terms must be >= 0")
+        if self.record_overhead_bytes < 0:
+            raise ValueError("record_overhead_bytes must be >= 0")
 
     def message_overhead(self) -> int:
         return self.record_overhead_bytes if self.enabled else 0

@@ -12,8 +12,13 @@ it, in both directions:
   requests by priority, hands them to the application handler, and ships
   the response back.
 
-Every proxy traversal costs a lognormal processing delay — the §3.6
-overhead — and emits telemetry and trace spans.
+Every proxy traversal costs a decomposed proxy delay — the §3.6
+overhead, sampled and split by the mesh's
+:class:`~repro.dataplane.ProxyCostModel` — and emits telemetry and
+trace spans.  *Where* traversals are charged is the installed data
+plane's decision (:mod:`repro.dataplane`): per-pod (``sidecar``),
+per-node shared (``ambient``, which also delivers node-local hops
+without touching the network), or nowhere (``none``).
 """
 
 from __future__ import annotations
@@ -23,12 +28,13 @@ from typing import Callable
 
 from ..cluster.pod import Pod
 from ..cluster.service import Endpoint
+from ..dataplane import make_data_plane
 from ..http.headers import PRIORITY, REQUEST_ID, SPAN_ID, TRACE_ID, propagate
 from ..http.message import HttpRequest, HttpResponse, HttpStatus
 from ..obs.attribution import LAYER_PROXY, LAYER_RETRY
 from ..overload import REJECTED, LevelingQueue, RetryBudget
 from ..sim import Interrupt, PriorityStore, Simulator
-from ..sim.rng import Distributions, lognormal_params_from_quantiles
+from ..sim.rng import Distributions
 from ..transport import ConnectionEnd
 from .config import MESH_PORT, MeshConfig
 from .loadbalancer import LoadBalancer, make_lb
@@ -67,6 +73,7 @@ class Sidecar:
         telemetry: Telemetry,
         rng_registry,
         policy: PolicyHooks | None = None,
+        dataplane=None,
     ):
         self.sim = sim
         self.pod = pod
@@ -78,9 +85,17 @@ class Sidecar:
         self.policy = policy if policy is not None else PolicyHooks()
         self.name = f"sidecar:{pod.name}"
         self._dist = Distributions(rng_registry.stream(self.name))
-        self._delay_mu, self._delay_sigma = lognormal_params_from_quantiles(
-            config.proxy_delay_median, config.proxy_delay_p99
+        # The data plane decides where proxy cost lands (repro.dataplane).
+        # The control plane shares one plane mesh-wide; directly
+        # constructed sidecars (tests) build their own.
+        self._dataplane = (
+            dataplane
+            if dataplane is not None
+            else make_data_plane(config, sim=sim, rng_registry=rng_registry)
         )
+        # Per-message wire overhead the plane adds (mTLS records; zero
+        # without a proxy on the path).
+        self._msg_overhead = self._dataplane.message_overhead()
         # Control-plane-pushed state.
         self.endpoints: dict[str, list[Endpoint]] = {}
         self.routes = RouteTable(rng=rng_registry.stream(f"{self.name}:routes"))
@@ -121,21 +136,43 @@ class Sidecar:
     # ------------------------------------------------------------------
     # Layer attribution (repro.obs)
     # ------------------------------------------------------------------
-    def _note(self, request, layer: str, start: float, end: float) -> None:
+    def _note(
+        self,
+        request,
+        layer: str,
+        start: float,
+        end: float,
+        component: str | None = None,
+        components=None,
+    ) -> None:
         """Report a layer interval for the request's root id to the
-        attributor, when one is installed (no-op otherwise)."""
+        attributor, when one is installed (no-op otherwise).
+
+        ``component``/``components`` additionally tally the interval
+        into the proxy layer's sub-attribution (repro.dataplane): a
+        single component name for the whole interval, or a pre-split
+        ``[(component, seconds), ...]`` list from the cost model.
+        """
         attributor = self.telemetry.attributor
         if attributor is None or request is None:
             return
-        attributor.record(request.headers.get(REQUEST_ID), layer, start, end)
+        root = request.headers.get(REQUEST_ID)
+        attributor.record(root, layer, start, end)
+        if component is not None:
+            attributor.record_component(root, component, end - start)
+        if components is not None:
+            for name, seconds in components:
+                attributor.record_component(root, name, seconds)
 
-    def _traverse(self, request):
-        """One proxy traversal: draws the lognormal §3.6 delay,
-        attributes it to the proxy layer, and returns the timeout to
-        yield on."""
-        delay = self._proxy_delay()
-        self._note(request, LAYER_PROXY, self.sim.now, self.sim.now + delay)
-        return self.sim.timeout(delay)
+    def _traverse(self, request, phase: str, nbytes: int = 0,
+                  peer_node: str | None = None):
+        """One proxy traversal (generator): the installed data plane
+        samples the decomposed §3.6 cost, attributes it to the proxy
+        layer, and yields the delay — or nothing at all, when no proxy
+        interposes at this ``phase`` (ambient local hops, no-mesh)."""
+        yield from self._dataplane.traverse(
+            self, request, phase, nbytes, peer_node=peer_node
+        )
 
     # ------------------------------------------------------------------
     # Control-plane interface
@@ -210,10 +247,7 @@ class Sidecar:
     def _plain_replier(self, conn: ConnectionEnd):
         def reply(response: HttpResponse) -> None:
             if not conn.closed:
-                conn.send(
-                    response,
-                    response.wire_size() + self.config.mtls.message_overhead(),
-                )
+                conn.send(response, response.wire_size() + self._msg_overhead)
 
         return reply
 
@@ -223,7 +257,12 @@ class Sidecar:
         reply = self._plain_replier(conn)
         while True:
             request, _size = yield conn.receive()
-            yield self._traverse(request)  # inbound traversal
+            # Inbound traversal. A connection always crosses nodes under
+            # the ambient plane (node-local hops never reach the network),
+            # so the peer is remote by construction: no peer_node hint.
+            yield from self._traverse(
+                request, "ingress-req", request.wire_size()
+            )
             if not (yield from self._admit(request, reply)):
                 continue
             if self._inbound_queue is None:
@@ -249,8 +288,7 @@ class Sidecar:
                     if not conn.closed:
                         mux.send(
                             response,
-                            response.wire_size()
-                            + self.config.mtls.message_overhead(),
+                            response.wire_size() + self._msg_overhead,
                             priority=stream_priority,
                         )
 
@@ -262,7 +300,8 @@ class Sidecar:
             )
 
     def _serve_mux_request(self, request: HttpRequest, reply):
-        yield self._traverse(request)  # inbound traversal
+        # Inbound traversal (remote by construction: see _serve_connection).
+        yield from self._traverse(request, "ingress-req", request.wire_size())
         if not (yield from self._admit(request, reply)):
             return
         if self._inbound_queue is None:
@@ -329,7 +368,9 @@ class Sidecar:
                 response = yield from self._app_handler(request)
             except Exception:
                 response = request.reply(HttpStatus.INTERNAL_ERROR)
-        yield self._traverse(request)  # response traversal
+        # Response traversal: always charged (the callee-side proxy
+        # carries the response out whether the caller is local or not).
+        yield from self._traverse(request, "ingress-resp", response.wire_size())
         span.finish(self.sim.now, status=response.status)
         self.tracer.record(span)
         reply(response)
@@ -661,6 +702,12 @@ class Sidecar:
     def _try_once(self, request, endpoint: Endpoint, per_try: float):
         """Send the request to one endpoint, await the response or a
         timeout. Returns HttpResponse or None on timeout/connect failure."""
+        target = self._dataplane.local_sidecar(self, endpoint)
+        if target is not None:
+            result = yield from self._local_try_once(
+                request, target, endpoint, per_try
+            )
+            return result
         if self._transport_spec.mux:
             result = yield from self._mux_try_once(request, endpoint, per_try)
             return result
@@ -686,16 +733,19 @@ class Sidecar:
             attributor.claim_flow(conn.flow_id, root)
         get = None
         try:
-            yield self._traverse(request)  # outbound traversal
-            conn.send(
-                request, request.wire_size() + self.config.mtls.message_overhead()
-            )
+            # Outbound traversal.
+            yield from self._traverse(request, "egress-req", request.wire_size())
+            conn.send(request, request.wire_size() + self._msg_overhead)
             get = conn.receive()
             timer = self.sim.timeout(per_try)
             yield self.sim.any_of([get, timer])
             if get.processed and get.ok:
                 response, _size = get.value
-                yield self._traverse(request)  # response traversal
+                # Response traversal back through the caller-side proxy.
+                yield from self._traverse(
+                    request, "egress-resp", response.wire_size(),
+                    peer_node=endpoint.node,
+                )
                 self._release_connection(endpoint, params, conn)
                 lb.on_request_end(endpoint, self.sim.now - started, ok=True)
                 return response
@@ -758,18 +808,23 @@ class Sidecar:
             attributor.claim_flow(channel.conn.flow_id, root)
         event = None
         try:
-            yield self._traverse(request)  # outbound traversal
+            # Outbound traversal.
+            yield from self._traverse(request, "egress-req", request.wire_size())
             priority = self.policy.request_priority(request)
             event = channel.request(
                 request,
-                request.wire_size() + self.config.mtls.message_overhead(),
+                request.wire_size() + self._msg_overhead,
                 priority,
             )
             timer = self.sim.timeout(per_try)
             yield self.sim.any_of([event, timer])
             if event.processed and event.ok:
                 response = event.value
-                yield self._traverse(request)  # response traversal
+                # Response traversal back through the caller-side proxy.
+                yield from self._traverse(
+                    request, "egress-resp", response.wire_size(),
+                    peer_node=endpoint.node,
+                )
                 lb.on_request_end(endpoint, self.sim.now - started, ok=True)
                 return response
         except Interrupt:
@@ -831,23 +886,9 @@ class Sidecar:
             raise TimeoutError("connect timed out")
         if not conn.established.ok:
             raise ConnectionError("connect failed")
-        if self.config.mtls.enabled:
-            tcp_rtt = self.sim.now - connect_start
-            tls_cost = (
-                self.config.mtls.handshake_rtts * tcp_rtt
-                + 2 * self.config.mtls.handshake_cpu
-            )
-            # mTLS setup is sidecar work the app never asked for: proxy.
-            self._note(request, LAYER_PROXY, self.sim.now, self.sim.now + tls_cost)
-            yield self.sim.timeout(tls_cost)
-        if self.config.connect_extra_delay > 0:
-            self._note(
-                request,
-                LAYER_PROXY,
-                self.sim.now,
-                self.sim.now + self.config.connect_extra_delay,
-            )
-            yield self.sim.timeout(self.config.connect_extra_delay)
+        # Proxy costs on a fresh connection — mTLS handshake, pool
+        # extras — are the data plane's to charge (nothing under "none").
+        yield from self._dataplane.connect_overhead(self, request, connect_start)
         return conn
 
     def _release_connection(self, endpoint, params, conn) -> None:
@@ -855,9 +896,73 @@ class Sidecar:
             return
         self._pools.setdefault(self._pool_key(endpoint, params), []).append(conn)
 
-    # -- misc -----------------------------------------------------------------
-    def _proxy_delay(self) -> float:
-        return self._dist.lognormal(self._delay_mu, self._delay_sigma)
+    # -- node-local delivery (ambient data plane) -------------------------
+    def local_submit(self, request: HttpRequest):
+        """Serve a node-local request without a connection (ambient):
+        the caller's node proxy already carried the bytes; admission,
+        queueing, and the app handler run exactly as for a wire arrival.
+        Returns an event carrying the HttpResponse."""
+        event = self.sim.event(name=f"local-{request.message_id}")
 
+        def reply(response: HttpResponse) -> None:
+            # The caller may have timed out (or lost a hedge race) and
+            # stopped listening; a settled event stays settled.
+            if not event.triggered:
+                event.succeed(response)
+
+        self.sim.process(
+            self._serve_local(request, reply), name=f"{self.name}-serve-local"
+        )
+        return event
+
+    def _serve_local(self, request: HttpRequest, reply):
+        # Inbound traversal with a known-local peer: the ambient plane
+        # skips it (the shared node proxy was paid on egress).
+        yield from self._traverse(
+            request, "ingress-req", request.wire_size(),
+            peer_node=self.pod.node.name,
+        )
+        if not (yield from self._admit(request, reply)):
+            return
+        if self._inbound_queue is None:
+            yield from self._handle_inbound(request, reply)
+
+    def _local_try_once(self, request, target: "Sidecar",
+                        endpoint: Endpoint, per_try: float):
+        """One node-local try: traverse the shared node proxy out, hand
+        the request to the co-located sidecar in-process, await the
+        reply. No connection, no wire, no flow to claim."""
+        lb = self._lb_for(request.service)
+        lb.on_request_start(endpoint)
+        started = self.sim.now
+        try:
+            yield from self._traverse(
+                request, "egress-req", request.wire_size()
+            )
+            event = target.local_submit(request)
+            timer = self.sim.timeout(per_try)
+            yield self.sim.any_of([event, timer])
+        except Interrupt:
+            # Cancelled (hedge loser): the callee finishes on its own
+            # and replies into a settled/abandoned event.
+            lb.on_request_end(endpoint, self.sim.now - started, ok=False)
+            raise
+        if event.processed and event.ok:
+            response = event.value
+            # Known-local response: the plane skips the egress-resp
+            # traversal (the callee's node proxy carried it already).
+            yield from self._traverse(
+                request, "egress-resp", response.wire_size(),
+                peer_node=endpoint.node,
+            )
+            lb.on_request_end(endpoint, self.sim.now - started, ok=True)
+            return response
+        lb.on_request_end(endpoint, self.sim.now - started, ok=False)
+        self.telemetry.record_timeout(
+            destination=request.service, now=self.sim.now
+        )
+        return None
+
+    # -- misc -----------------------------------------------------------------
     def __repr__(self):
         return f"<Sidecar {self.pod.name} services={len(self.endpoints)}>"

@@ -126,6 +126,11 @@ class RequestAttribution:
     status: int
     components: dict[str, float]
     segments: list[tuple[str, float, float]] = field(default_factory=list)
+    #: Sub-attribution of the proxy layer (repro.dataplane): component
+    #: name → seconds, scaled so the values sum exactly to
+    #: ``components["proxy"]`` (raw per-traversal durations can overlap
+    #: under fan-out; the sweep total is authoritative).
+    proxy_components: dict[str, float] = field(default_factory=dict)
 
     @property
     def elapsed(self) -> float:
@@ -160,6 +165,7 @@ class LayerAttributor:
     def __init__(self) -> None:
         self._open: dict[str, tuple[str, float]] = {}
         self._intervals: dict[str, list[tuple[str, float, float]]] = {}
+        self._proxy_components: dict[str, dict[str, float]] = {}
         self._flow_roots: dict[int, str] = {}
         self.finished: list[RequestAttribution] = []
         self.dropped_intervals = 0
@@ -178,6 +184,22 @@ class LayerAttributor:
             return
         self._intervals[root].append((layer, start, end))
 
+    def record_component(
+        self, root: str | None, component: str, seconds: float
+    ) -> None:
+        """Tally proxy work by component (repro.dataplane) for ``root``.
+
+        A parallel accounting to :meth:`record`: the interval stream
+        still drives the sweep (so layers partition the window exactly,
+        unchanged), while the component tally sub-divides the proxy
+        layer. At :meth:`finish_request` the raw tally is scaled to the
+        swept proxy total, so the sub-components also sum exactly.
+        """
+        if root is None or seconds <= 0 or root not in self._open:
+            return
+        tally = self._proxy_components.setdefault(root, {})
+        tally[component] = tally.get(component, 0.0) + seconds
+
     def finish_request(
         self, root: str, now: float, status: int = 200
     ) -> RequestAttribution | None:
@@ -187,6 +209,19 @@ class LayerAttributor:
         request_class, started = entry
         intervals = self._intervals.pop(root, [])
         components, segments = decompose(started, now, intervals)
+        raw = self._proxy_components.pop(root, {})
+        proxy_components: dict[str, float] = {}
+        proxy_total = components.get(LAYER_PROXY, 0.0)
+        raw_total = sum(raw.values())
+        if raw_total > 0 and proxy_total > 0:
+            # Scale the per-traversal tallies onto the swept proxy time:
+            # overlapping traversals (fan-out) and clipping make the raw
+            # sum drift from the partitioned total; the ratio keeps the
+            # sub-components summing to the proxy layer exactly.
+            scale = proxy_total / raw_total
+            proxy_components = {
+                component: seconds * scale for component, seconds in raw.items()
+            }
         attribution = RequestAttribution(
             root=root,
             request_class=request_class,
@@ -195,6 +230,7 @@ class LayerAttributor:
             status=status,
             components=components,
             segments=segments,
+            proxy_components=proxy_components,
         )
         self.finished.append(attribution)
         return attribution
@@ -249,6 +285,7 @@ class LayerAttributor:
                     "errors": 0,
                     "e2e_total": 0.0,
                     "layers": {layer: 0.0 for layer in LAYERS},
+                    "proxy_components": {},
                     "max_error": 0.0,
                 },
             )
@@ -258,6 +295,10 @@ class LayerAttributor:
             row["e2e_total"] += attribution.elapsed
             for layer, value in attribution.components.items():
                 row["layers"][layer] += value
+            for component, value in attribution.proxy_components.items():
+                row["proxy_components"][component] = (
+                    row["proxy_components"].get(component, 0.0) + value
+                )
             row["max_error"] = max(row["max_error"], attribution.attribution_error)
         for row in report.values():
             count = row["count"]
@@ -265,6 +306,10 @@ class LayerAttributor:
             row["layer_means"] = {
                 layer: (total / count if count else 0.0)
                 for layer, total in row["layers"].items()
+            }
+            row["proxy_component_means"] = {
+                component: (total / count if count else 0.0)
+                for component, total in sorted(row["proxy_components"].items())
             }
         return dict(sorted(report.items()))
 

@@ -1,0 +1,134 @@
+"""ProxyCostModel: validation, determinism, byte-identity with the
+legacy single-lognormal proxy delay."""
+
+import pytest
+
+from repro.dataplane import (
+    COMPONENT_CRYPTO,
+    COMPONENT_FILTERS,
+    COMPONENT_INTERCEPT,
+    COMPONENT_PARSE,
+    ProxyCostModel,
+)
+from repro.sim.rng import (
+    Distributions,
+    RngRegistry,
+    lognormal_params_from_quantiles,
+)
+
+
+def _dist(seed=7, stream="proxy"):
+    return Distributions(RngRegistry(seed).stream(stream))
+
+
+class TestValidation:
+    def test_median_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProxyCostModel(traversal_median=0.0)
+
+    def test_p99_must_exceed_median(self):
+        with pytest.raises(ValueError):
+            ProxyCostModel(traversal_median=0.002, traversal_p99=0.001)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ProxyCostModel(
+                intercept_share=0.5, parse_share=0.5, filter_share=0.5
+            )
+
+    def test_shares_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            ProxyCostModel(
+                intercept_share=-0.1, parse_share=0.8, filter_share=0.3
+            )
+
+    def test_extras_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            ProxyCostModel(parse_per_byte=-1e-9)
+        with pytest.raises(ValueError):
+            ProxyCostModel(connect_extra=-1.0)
+
+    def test_custom_shares_accepted(self):
+        model = ProxyCostModel(
+            intercept_share=0.2, parse_share=0.5, filter_share=0.3
+        )
+        total, components = model.sample(_dist())
+        assert total > 0
+        assert {name for name, _ in components} == {
+            COMPONENT_INTERCEPT, COMPONENT_PARSE, COMPONENT_FILTERS
+        }
+
+
+class TestByteIdentity:
+    def test_default_total_is_the_legacy_lognormal_draw(self):
+        """The default model's total must be bit-equal to one draw from
+        the legacy (median=0.4ms, p99=1.4ms) lognormal — the contract
+        keeping the seed's event times unchanged."""
+        mu, sigma = lognormal_params_from_quantiles(0.0004, 0.0014)
+        legacy = _dist()
+        model_dist = _dist()
+        model = ProxyCostModel()
+        for _ in range(100):
+            expected = legacy.lognormal(mu, sigma)
+            total, _ = model.sample(model_dist)
+            assert total == expected  # bit-equal, not approx
+
+    def test_one_draw_per_sample(self):
+        """sample() consumes exactly one lognormal draw regardless of
+        options — stream alignment is what determinism hangs on."""
+        a = _dist()
+        b = _dist()
+        model = ProxyCostModel(record_crypto_per_byte=1e-9,
+                               parse_per_byte=1e-9)
+        model.sample(a, nbytes=1000, mtls=True)
+        model.sample(a, nbytes=0, l4=True)
+        plain = ProxyCostModel()
+        plain.sample(b)
+        plain.sample(b)
+        # Both streams are now aligned: the next draws agree.
+        assert a.lognormal(0.0, 1.0) == b.lognormal(0.0, 1.0)
+
+    def test_back_to_back_determinism(self):
+        model = ProxyCostModel(parse_per_byte=1e-9, filter_per_request=2e-6)
+        first = [model.sample(_dist(), nbytes=500) for _ in range(1)]
+        second = [model.sample(_dist(), nbytes=500) for _ in range(1)]
+        assert first == second
+
+
+class TestDecomposition:
+    def test_components_sum_to_total(self):
+        model = ProxyCostModel(
+            parse_per_byte=1e-9,
+            filter_per_request=2e-6,
+            record_crypto_per_byte=3e-9,
+        )
+        total, components = model.sample(_dist(), nbytes=4000, mtls=True)
+        assert sum(value for _, value in components) == pytest.approx(
+            total, rel=1e-12
+        )
+        names = [name for name, _ in components]
+        assert COMPONENT_CRYPTO in names
+
+    def test_l4_traversal_is_interception_only_and_cheaper(self):
+        l7 = _dist()
+        l4 = _dist()
+        model = ProxyCostModel()
+        full, _ = model.sample(l7)
+        thin, components = model.sample(l4, l4=True)
+        assert components == [(COMPONENT_INTERCEPT, thin)]
+        assert thin == full * model.intercept_share
+        assert thin < full
+
+    def test_byte_and_request_extras_charged(self):
+        base_dist = _dist()
+        extra_dist = _dist()
+        plain = ProxyCostModel()
+        loaded = ProxyCostModel(parse_per_byte=1e-9, filter_per_request=5e-6)
+        base, _ = plain.sample(base_dist, nbytes=10_000)
+        total, _ = loaded.sample(extra_dist, nbytes=10_000)
+        assert total == pytest.approx(base + 1e-9 * 10_000 + 5e-6, rel=1e-12)
+
+    def test_no_crypto_without_mtls(self):
+        model = ProxyCostModel(record_crypto_per_byte=1e-9)
+        _, components = model.sample(_dist(), nbytes=1000, mtls=False)
+        assert COMPONENT_CRYPTO not in [name for name, _ in components]

@@ -1,0 +1,206 @@
+"""The three data planes over the real simulated mesh: factory wiring,
+ambient node-scoped sharing, local-hop shortcut, no-mesh baseline."""
+
+import pytest
+
+from helpers import MeshTestbed, echo_handler
+
+from repro.cluster import PodSpec
+from repro.dataplane import (
+    AmbientDataPlane,
+    NoMeshDataPlane,
+    SidecarDataPlane,
+    make_data_plane,
+)
+from repro.http import HttpRequest
+from repro.mesh import MeshConfig, MtlsContext
+from repro.sim import RngRegistry, Simulator
+
+
+def submit(testbed, gateway):
+    event = gateway.submit(HttpRequest(service=""))
+    return testbed.sim.run(until=event)
+
+
+def ambient_testbed(**mesh_kwargs):
+    config = MeshConfig(data_plane="ambient", **mesh_kwargs)
+    return MeshTestbed(mesh_config=config)
+
+
+class TestFactory:
+    def test_default_is_sidecar(self):
+        plane = make_data_plane(MeshConfig())
+        assert isinstance(plane, SidecarDataPlane)
+
+    def test_none_plane(self):
+        plane = make_data_plane(MeshConfig(data_plane="none"))
+        assert isinstance(plane, NoMeshDataPlane)
+
+    def test_ambient_needs_sim_and_rng(self):
+        config = MeshConfig(data_plane="ambient")
+        with pytest.raises(ValueError, match="ambient"):
+            make_data_plane(config)
+        plane = make_data_plane(
+            config, sim=Simulator(), rng_registry=RngRegistry(0)
+        )
+        assert isinstance(plane, AmbientDataPlane)
+
+    def test_unknown_plane_rejected_at_config(self):
+        with pytest.raises(ValueError, match="data_plane"):
+            MeshConfig(data_plane="ztunnel")
+
+    def test_mesh_shares_one_plane_with_every_sidecar(self):
+        testbed = MeshTestbed()
+        testbed.add_service("echo", echo_handler(), replicas=2)
+        testbed.finish("echo")
+        plane = testbed.mesh.dataplane
+        assert all(
+            sidecar._dataplane is plane for sidecar in testbed.mesh.sidecars
+        )
+
+
+class TestAmbient:
+    def test_one_shared_proxy_per_node(self):
+        testbed = ambient_testbed()
+        testbed.add_service("echo", echo_handler(), replicas=3)
+        gateway = testbed.finish("echo")
+        plane = testbed.mesh.dataplane
+        # Four pods (3 echo + gateway) on one node: exactly one proxy,
+        # placed on the node itself.
+        assert len(plane.node_proxies) == 1
+        node = testbed.cluster.nodes[0]
+        assert node.proxy is plane.node_proxies[0]
+        response = submit(testbed, gateway)
+        assert response.status == 200
+        assert node.proxy.traversals > 0
+
+    def test_node_local_hop_skips_the_network(self):
+        testbed = ambient_testbed()
+        testbed.add_service("echo", echo_handler())
+        gateway = testbed.finish("echo")
+        response = submit(testbed, gateway)
+        assert response.status == 200
+        # Co-located caller and callee: delivered in-process, so the
+        # gateway sidecar never opened a connection.
+        assert gateway.sidecar.pool_connections_created == 0
+
+    def test_local_hop_charges_two_traversals(self):
+        testbed = ambient_testbed()
+        testbed.add_service("echo", echo_handler())
+        gateway = testbed.finish("echo")
+        submit(testbed, gateway)
+        node = testbed.cluster.nodes[0]
+        # One request/response over one node-local hop: egress-req +
+        # ingress-resp only (the sidecar plane would charge four).
+        assert node.proxy.traversals == 2
+
+    def test_remote_hop_uses_both_node_proxies_and_the_wire(self):
+        testbed = ambient_testbed()
+        testbed.cluster.add_node("node-1")
+        testbed.cluster.create_deployment(
+            "echo-v1",
+            replicas=1,
+            spec=PodSpec(labels={"app": "echo"}, node_hint="node-1"),
+        )
+        testbed.cluster.create_service("echo", selector={"app": "echo"})
+        from repro.apps import Microservice
+
+        for pod in testbed.cluster.pods_of("echo-v1"):
+            sidecar = testbed.mesh.inject_pod(pod, service_name="echo")
+            micro = Microservice(testbed.sim, pod, sidecar, pod.name)
+            micro.default_route(echo_handler())
+        gateway = testbed.finish("echo")
+        response = submit(testbed, gateway)
+        assert response.status == 200
+        # Crossed nodes: a real connection, and both node proxies paid.
+        assert gateway.sidecar.pool_connections_created > 0
+        plane = testbed.mesh.dataplane
+        assert len(plane.node_proxies) == 2
+        assert all(proxy.traversals == 2 for proxy in plane.node_proxies)
+
+    def test_dead_pod_never_delivered_in_process(self):
+        """A killed/draining pod must fail the way the wire would (a
+        connect failure on the network path), not be reached through
+        the in-process shortcut."""
+        testbed = ambient_testbed()
+        testbed.add_service("echo", echo_handler())
+        testbed.finish("echo")
+        plane = testbed.mesh.dataplane
+        caller = testbed.mesh.sidecar_of("istio-ingressgateway-1")
+        endpoint = testbed.cluster.services["echo"].endpoints[0]
+        target = plane.local_sidecar(caller, endpoint)
+        assert target is not None
+        target.pod.ready = False
+        assert plane.local_sidecar(caller, endpoint) is None
+
+    def test_concurrency_one_makes_pods_queue_on_the_shared_proxy(self):
+        testbed = ambient_testbed(node_proxy_concurrency=1)
+        testbed.add_service("echo", echo_handler(), replicas=4)
+        gateway = testbed.finish("echo")
+        events = [
+            gateway.submit(HttpRequest(service="")) for _ in range(20)
+        ]
+        for event in events:
+            testbed.sim.run(until=event)
+        node = testbed.cluster.nodes[0]
+        # Node-scoped contention: concurrent traversals from different
+        # pods serialized on the single shared worker slot.
+        assert node.proxy.wait_seconds > 0.0
+
+    def test_ample_concurrency_never_queues(self):
+        testbed = ambient_testbed(node_proxy_concurrency=64)
+        testbed.add_service("echo", echo_handler(), replicas=4)
+        gateway = testbed.finish("echo")
+        events = [
+            gateway.submit(HttpRequest(service="")) for _ in range(20)
+        ]
+        for event in events:
+            testbed.sim.run(until=event)
+        assert testbed.cluster.nodes[0].proxy.wait_seconds == 0.0
+
+
+class TestNoMesh:
+    def test_round_trip_and_no_wire_overhead_even_with_mtls(self):
+        config = MeshConfig(data_plane="none", mtls=MtlsContext(enabled=True))
+        testbed = MeshTestbed(mesh_config=config)
+        testbed.add_service("echo", echo_handler(), replicas=1)
+        gateway = testbed.finish("echo")
+        response = submit(testbed, gateway)
+        assert response.status == 200
+        assert isinstance(testbed.mesh.dataplane, NoMeshDataPlane)
+        # Nothing interposes: no per-message record overhead.
+        assert all(
+            sidecar._msg_overhead == 0 for sidecar in testbed.mesh.sidecars
+        )
+
+    def test_faster_than_sidecar(self):
+        assert _first_request_latency(
+            MeshConfig(data_plane="none")
+        ) < _first_request_latency(MeshConfig())
+
+
+def _first_request_latency(config):
+    testbed = MeshTestbed(mesh_config=config)
+    testbed.add_service("echo", echo_handler())
+    gateway = testbed.finish("echo")
+    start = testbed.sim.now
+    submit(testbed, gateway)
+    return testbed.sim.now - start
+
+
+class TestConnectionCosts:
+    def test_connect_extra_charged_on_fresh_connections(self):
+        from repro.dataplane import ProxyCostModel
+
+        slow = MeshConfig(proxy_cost=ProxyCostModel(connect_extra=0.005))
+        delta = _first_request_latency(slow) - _first_request_latency(
+            MeshConfig()
+        )
+        # One fresh connection on the single hop: exactly one extra.
+        assert delta == pytest.approx(0.005, rel=1e-9)
+
+    def test_mtls_handshake_charged_on_fresh_connections(self):
+        secure = MeshConfig(mtls=MtlsContext(enabled=True))
+        assert _first_request_latency(secure) > _first_request_latency(
+            MeshConfig()
+        )

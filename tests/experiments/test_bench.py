@@ -43,6 +43,14 @@ class TestGrid:
         assert points["tail-tracing"].config.mesh.tracing_tail_keep == 5
         assert points["mux"].config.mesh.transport_spec().mux is True
 
+    def test_dataplane_pair_differs_only_in_the_plane(self):
+        points = {p.label: p for p in bench_scenarios(ScenarioConfig())}
+        sidecar = points["dataplane-sidecar"].config
+        ambient = points["dataplane-ambient"].config
+        assert sidecar.nodes == 2 and ambient.nodes == 2
+        assert sidecar.mesh.data_plane == "sidecar"
+        assert ambient.mesh.data_plane == "ambient"
+
     def test_fluid_points_use_hybrid_fidelity(self):
         points = {p.label: p for p in bench_scenarios(ScenarioConfig())}
         for label in ("figure4-fluid", "uncongested-fluid"):
@@ -61,6 +69,7 @@ class TestReport:
             "figure4-off", "figure4-on", "figure4-hot", "figure4-fluid",
             "uncongested-packet", "uncongested-fluid",
             "mux", "inbound-queue", "tail-tracing",
+            "dataplane-sidecar", "dataplane-ambient",
         }
         for row in report["scenarios"].values():
             assert row["sim_events"] > 0
@@ -68,7 +77,7 @@ class TestReport:
             assert row["events_per_wall_second"] > 0
             assert row["profile"]["events"]
         assert report["config"]["seed"] == 42
-        assert report["cache"]["simulated"] == 9
+        assert report["cache"]["simulated"] == 11
         assert report["machine"]["cpu_count"] >= 1
 
     def test_json_round_trip_and_trailing_newline(self, bench_result):

@@ -22,6 +22,7 @@ from repro.experiments import (
     run_overhead,
     run_te,
 )
+from repro.dataplane import ProxyCostModel
 from repro.mesh.config import MeshConfig
 
 ALL_HARNESSES = [
@@ -122,7 +123,7 @@ class TestShimWarnOnce:
     def test_overhead_mesh_config_once_and_forwarded(self):
         # A distinctive proxy cost must reach the simulation through the
         # shim, not just avoid crashing.
-        slow = MeshConfig(proxy_delay_median=5e-3, proxy_delay_p99=6e-3)
+        slow = MeshConfig(proxy_cost=ProxyCostModel(traversal_median=5e-3, traversal_p99=6e-3))
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             result = run_overhead(mesh_config=slow, rps=20.0, duration=1.0)

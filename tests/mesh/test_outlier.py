@@ -112,6 +112,45 @@ class TestDetectorInMesh:
         distribution = testbed.mesh.telemetry.endpoint_distribution("svc")
         assert distribution["svc-v2-1"] > distribution["svc-v1-1"]
 
+    def test_ejection_is_data_plane_independent(self):
+        """The same flaky replica is ejected under the ambient plane,
+        where the hop is delivered in-process through the shared node
+        proxy instead of per-pod sidecars — outlier detection judges
+        outcomes, not the path the bytes took."""
+        config = MeshConfig(
+            data_plane="ambient",
+            retry=RetryPolicy(max_attempts=1),
+            outlier=OutlierConfig(
+                min_requests=6, error_rate_threshold=0.4, ejection_time=60.0
+            ),
+        )
+        testbed = MeshTestbed(mesh_config=config)
+        calls = {"n": 0}
+
+        def flaky(ctx, request):
+            calls["n"] += 1
+            yield ctx.sleep(0.001)
+            if calls["n"] % 2 == 0:
+                return request.reply(503)
+            return request.reply(body_size=1)
+
+        testbed.add_service("svc", flaky, version="v1")
+        testbed.add_service("svc", echo_handler(body_size=1), version="v2")
+        gateway = testbed.finish("svc")
+        for _ in range(30):
+            event = gateway.submit(HttpRequest(service=""))
+            testbed.sim.run(until=event)
+        late = []
+        for _ in range(10):
+            event = gateway.submit(HttpRequest(service=""))
+            late.append(testbed.sim.run(until=event).status)
+        assert all(status == 200 for status in late), late
+        distribution = testbed.mesh.telemetry.endpoint_distribution("svc")
+        assert distribution["svc-v2-1"] > distribution["svc-v1-1"]
+        # And the traffic really rode the shared proxy, not the wire.
+        node = testbed.cluster.nodes[0]
+        assert node.proxy is not None and node.proxy.traversals > 0
+
 
 class TestDetectorLifecycle:
     def test_re_ejection_after_expiry(self):

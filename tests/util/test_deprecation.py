@@ -59,7 +59,7 @@ class TestMeshConfigMuxShim:
             config = MeshConfig(use_mux=True)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            clone = replace(config, proxy_delay_median=0.0005)
+            clone = replace(config, default_timeout=0.5)
         assert clone.transport_spec().mux is True
 
     def test_new_style_config_never_warns(self):
@@ -67,6 +67,53 @@ class TestMeshConfigMuxShim:
             warnings.simplefilter("error", DeprecationWarning)
             config = MeshConfig(transport=TransportSpec(mux=True))
         assert config.transport_spec().mux is True
+
+
+class TestMeshConfigProxyCostShim:
+    def test_proxy_delay_folds_into_cost_model(self):
+        with pytest.warns(DeprecationWarning, match="proxy_delay"):
+            config = MeshConfig(
+                proxy_delay_median=0.0005,
+                proxy_delay_p99=0.0015,
+                connect_extra_delay=0.0001,
+            )
+        model = config.proxy_cost_model()
+        assert model.traversal_median == 0.0005
+        assert model.traversal_p99 == 0.0015
+        assert model.connect_extra == 0.0001
+        # Folded: the legacy fields are cleared.
+        assert config.proxy_delay_median is None
+        assert config.proxy_delay_p99 is None
+        assert config.connect_extra_delay is None
+
+    def test_fold_preserves_existing_cost_model_fields(self):
+        from repro.dataplane import ProxyCostModel
+
+        with pytest.warns(DeprecationWarning):
+            config = MeshConfig(
+                proxy_cost=ProxyCostModel(filter_per_request=1e-5),
+                proxy_delay_median=0.0005,
+                proxy_delay_p99=0.0015,
+            )
+        model = config.proxy_cost_model()
+        assert model.traversal_median == 0.0005
+        assert model.filter_per_request == 1e-5
+
+    def test_replace_roundtrip_does_not_rewarn(self):
+        with pytest.warns(DeprecationWarning):
+            config = MeshConfig(proxy_delay_median=0.0006, proxy_delay_p99=0.002)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            clone = replace(config, default_timeout=0.5)
+        assert clone.proxy_cost_model().traversal_median == 0.0006
+
+    def test_new_style_config_never_warns(self):
+        from repro.dataplane import ProxyCostModel
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = MeshConfig(proxy_cost=ProxyCostModel(traversal_median=0.0002))
+        assert config.proxy_cost_model().traversal_median == 0.0002
 
 
 class TestScenarioConfigMssShim:
