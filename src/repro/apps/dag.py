@@ -25,10 +25,14 @@ class DagConfig:
     service_time_median: float = 0.001
     service_time_p99: float = 0.004
     seed: int = 0
+    replicas: int = 1                # endpoints per service (chaos
+                                     # experiments need > 1 to kill one)
 
     def __post_init__(self):
         if self.layers < 1 or self.services_per_layer < 1 or self.fanout < 0:
             raise ValueError("invalid DAG shape")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
 
 
 def generate_dag_specs(config: DagConfig | None = None) -> list[ServiceSpec]:
@@ -71,6 +75,7 @@ def generate_dag_specs(config: DagConfig | None = None) -> list[ServiceSpec]:
                 ServiceSpec(
                     name=name,
                     children=tuple(sorted(children[name])),
+                    replicas_per_version=config.replicas,
                     base_response_bytes=config.base_response_bytes,
                     service_time_median=config.service_time_median,
                     service_time_p99=config.service_time_p99,

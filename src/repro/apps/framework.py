@@ -105,6 +105,15 @@ class AppContext:
                     started,
                     self.sim.now,
                 )
+            graph = self.sidecar.telemetry.graph
+            if graph is not None:
+                # Node-level app seconds on the service graph: handler
+                # compute is a property of the service, not of any edge.
+                graph.observe_app(
+                    self.sidecar.service_name,
+                    self.sim.now - started,
+                    self.sim.now,
+                )
 
     def sleep(self, seconds: float):
         return self.sim.timeout(seconds)

@@ -100,6 +100,15 @@ class FaultInjector:
             self.sim.call_at(event.at, self._apply, event)
         return self.timeline
 
+    def arm(self, events) -> tuple[FaultEvent, ...]:
+        """Arm a hand-built, already-ordered event timeline (ground-truth
+        injections for localization grading; single-fault what-ifs).
+        Same contract as :meth:`schedule`, skipping profile expansion."""
+        self.timeline = tuple(events)
+        for event in self.timeline:
+            self.sim.call_at(event.at, self._apply, event)
+        return self.timeline
+
     # -- application ---------------------------------------------------
     def _apply(self, event: FaultEvent) -> None:
         slot = (event.kind, event.target)

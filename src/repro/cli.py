@@ -9,6 +9,7 @@ Usage::
     python -m repro fidelity   # X-8: fluid-vs-packet agreement gate
     python -m repro overload [--csv PATH]  # X-9: saturation curves
     python -m repro dataplane [--csv PATH] # X-10: sidecar/ambient/none
+    python -m repro diagnose [--out DIR]   # X-11: graph root-cause gate
     python -m repro compare BASE CAND [--wall]  # diff two snapshots
     python -m repro all        # everything, through ONE shared runner
 
@@ -42,6 +43,7 @@ from .experiments import (
     AblationExperiment,
     ComputeExperiment,
     DataplaneExperiment,
+    DiagnoseExperiment,
     Experiment,
     FidelityExperiment,
     Figure4Experiment,
@@ -121,6 +123,24 @@ def _render_fidelity(result, args) -> str:
     else:
         lines.append("fidelity: FAIL")
         lines.extend(f"  {problem}" for problem in result.violations())
+    return "\n".join(lines)
+
+
+def _render_diagnose(result, args) -> str:
+    _write_csv(result, args)
+    if getattr(args, "out", None):
+        written = result.write_artifacts(args.out)
+        print(
+            f"wrote {len(written)} artifacts to {args.out}", file=sys.stderr
+        )
+    lines = [result.report().rstrip("\n")]
+    if result.accuracy == 1.0:
+        lines.append(
+            "diagnose: PASS (top-1 culprit matches every graded fault)"
+        )
+    else:
+        lines.append("diagnose: FAIL")
+        lines.extend(f"  missed: {label}" for label in result.misses())
     return "\n".join(lines)
 
 
@@ -210,6 +230,12 @@ COMMANDS = {
         ),
         "X-10: data-plane dissection — sidecar vs ambient vs no-mesh",
         render=_render_observe,
+    ),
+    "diagnose": Command(
+        lambda args: DiagnoseExperiment(**_overrides(args, 20.0, rps=30.0)),
+        "X-11: service-graph root-cause localization (exit 1 on a miss)",
+        render=_render_diagnose,
+        exit_code=lambda result: 0 if result.accuracy == 1.0 else 1,
     ),
 }
 

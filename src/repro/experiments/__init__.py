@@ -23,6 +23,9 @@
 * :mod:`dataplane` — X-10, the data-plane dissection: sidecar vs
   ambient vs no-mesh, with the proxy layer sub-attributed into its
   :mod:`repro.dataplane` cost components.
+* :mod:`diagnose` — X-11, service-graph root-cause localization:
+  seeded single faults on the Fig. 4 and DAG topologies, graded
+  against the localizer's top-1 culprit.
 
 Every harness follows one contract::
 
@@ -49,6 +52,14 @@ from .dataplane import (
     DataplaneResult,
     measure_dataplane,
     run_dataplane,
+)
+from .diagnose import (
+    DiagnoseExperiment,
+    DiagnosePoint,
+    DiagnoseResult,
+    DiagnoseRow,
+    measure_diagnose,
+    run_diagnose,
 )
 from .fidelity import (
     FidelityExperiment,
@@ -122,6 +133,10 @@ __all__ = [
     "DEFAULT_MSS",
     "DataplaneExperiment",
     "DataplaneResult",
+    "DiagnoseExperiment",
+    "DiagnosePoint",
+    "DiagnoseResult",
+    "DiagnoseRow",
     "Experiment",
     "FidelityExperiment",
     "FidelityLevel",
@@ -170,6 +185,7 @@ __all__ = [
     "default_slos",
     "format_table",
     "measure_dataplane",
+    "measure_diagnose",
     "measure_observed",
     "measure_overload",
     "measure_resilience",
@@ -182,6 +198,7 @@ __all__ = [
     "run_bench",
     "run_compute",
     "run_dataplane",
+    "run_diagnose",
     "run_fidelity",
     "run_figure4",
     "run_hedging",

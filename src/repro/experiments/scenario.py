@@ -12,7 +12,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 
+from ..apps.dag import DagConfig, dag_root, generate_dag_specs
 from ..apps.elibrary import ELibraryConfig, FRONTEND, REVIEWS, build_elibrary
+from ..apps.framework import AppBuilder
 from ..cluster.cluster import Cluster
 from ..cluster.scheduler import Scheduler
 from ..core.classifier import Classifier
@@ -52,7 +54,13 @@ class ScenarioConfig:
     cross_layer: bool = True
     policy: CrossLayerPolicy | None = None   # overrides cross_layer
     classifier: Classifier | None = None
+    # Which application to deploy: "elibrary" (the paper's §4.3 app,
+    # the default for every baseline experiment) or "dag" (a generated
+    # layered topology from repro.apps.dag, used by the deeper
+    # diagnosis/scale harnesses).
+    app: str = "elibrary"
     elibrary: ELibraryConfig = field(default_factory=ELibraryConfig)
+    dag: DagConfig | None = None    # shape for app="dag" (None: defaults)
     mesh: MeshConfig = field(default_factory=MeshConfig)
     # Transport description (fidelity mode, cc, segment sizes). None
     # means SIM_TRANSPORT_SPEC.
@@ -155,8 +163,20 @@ def build_scenario(config: ScenarioConfig):
         # Registry/SLO ingest gets charged to the "obs" section instead
         # of whichever sidecar happened to record the request.
         mesh.telemetry.profiler = sim.profiler
-    app = build_elibrary(sim, cluster, mesh, config.elibrary, rng_registry=rng)
-    gateway = mesh.create_gateway(FRONTEND)
+    if config.app == "elibrary":
+        app = build_elibrary(sim, cluster, mesh, config.elibrary, rng_registry=rng)
+        entry_service = FRONTEND
+    elif config.app == "dag":
+        specs = generate_dag_specs(
+            config.dag if config.dag is not None else DagConfig()
+        )
+        app = AppBuilder(sim, cluster, mesh, rng_registry=rng).build(specs)
+        entry_service = dag_root(specs)
+    else:
+        raise ValueError(
+            f"unknown app {config.app!r} (choose 'elibrary' or 'dag')"
+        )
+    gateway = mesh.create_gateway(entry_service)
     cluster.build_routes()
 
     policy = config.effective_policy()
@@ -173,7 +193,10 @@ def build_scenario(config: ScenarioConfig):
             classifier=config.classifier,
             sdn=sdn,
         )
-        manager.apply(pinning=[PinningSpec(service=REVIEWS)])
+        pinning = (
+            [PinningSpec(service=REVIEWS)] if config.app == "elibrary" else []
+        )
+        manager.apply(pinning=pinning)
 
     mix = MixedWorkload(
         sim,

@@ -20,6 +20,10 @@ PARENT_SPAN_ID = "x-b3-parentspanid"
 DEADLINE = "x-deadline"
 RETRY_ATTEMPT = "x-retry-attempt"
 FORWARDED_FOR = "x-forwarded-for"
+# Response header: seconds the callee spent serving the request, stamped
+# by the callee-side sidecar while a service-graph collector is attached
+# so callers can split hop latency into "theirs" vs "the wire's".
+SERVER_TIMING = "x-server-timing"
 
 # Headers each sidecar copies from an inbound request onto the internal
 # requests spawned to serve it (Istio calls this header propagation; the

@@ -18,9 +18,11 @@ from ..http.message import HttpRequest
 from ..overload import AdmissionGate
 from ..sim import Simulator
 from .sidecar import Sidecar
+from .telemetry import WORKLOAD_CLASSES, WORKLOAD_HEADER, workload_class
 
-#: x-workload header value → the request class attribution reports use.
-_WORKLOAD_CLASSES = {"interactive": "LS", "batch": "LI"}
+#: Back-compat alias: the mapping now lives in :mod:`.telemetry` so the
+#: gateway and the service-graph edge classes can never disagree.
+_WORKLOAD_CLASSES = WORKLOAD_CLASSES
 
 
 class IngressGateway:
@@ -67,8 +69,7 @@ class IngressGateway:
             # any layer reports in between lands in this window, and the
             # SLO engine sees the finished end-to-end latency under the
             # same request class the attributor files it under.
-            workload = request.headers.get("x-workload")
-            request_class = _WORKLOAD_CLASSES.get(workload, workload or "default")
+            request_class = workload_class(request.headers.get(WORKLOAD_HEADER))
             root = request.headers[REQUEST_ID]
             started = self.sim.now
             if self.admission is not None and not self.admission.admit(

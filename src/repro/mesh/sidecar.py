@@ -29,7 +29,14 @@ from typing import Callable
 from ..cluster.pod import Pod
 from ..cluster.service import Endpoint
 from ..dataplane import make_data_plane
-from ..http.headers import PRIORITY, REQUEST_ID, SPAN_ID, TRACE_ID, propagate
+from ..http.headers import (
+    PRIORITY,
+    REQUEST_ID,
+    SERVER_TIMING,
+    SPAN_ID,
+    TRACE_ID,
+    propagate,
+)
 from ..http.message import HttpRequest, HttpResponse, HttpStatus
 from ..obs.attribution import LAYER_PROXY, LAYER_RETRY
 from ..overload import REJECTED, LevelingQueue, RetryBudget
@@ -41,7 +48,12 @@ from .loadbalancer import LoadBalancer, make_lb
 from .policy import PolicyHooks, TransportParams
 from .resilience import CircuitBreaker
 from .routing import RouteTable
-from .telemetry import RequestRecord, Telemetry
+from .telemetry import (
+    WORKLOAD_HEADER,
+    RequestRecord,
+    Telemetry,
+    workload_class,
+)
 from .tracing import Tracer, _default_ids
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -152,17 +164,41 @@ class Sidecar:
         into the proxy layer's sub-attribution (repro.dataplane): a
         single component name for the whole interval, or a pre-split
         ``[(component, seconds), ...]`` list from the cost model.
+
+        The same intervals feed the service graph when a collector is
+        attached: outbound intervals (the request names a *different*
+        service) belong to the caller→callee edge, inbound proxy time
+        lands on the node (the callee cannot name the caller).
         """
-        attributor = self.telemetry.attributor
-        if attributor is None or request is None:
+        if request is None:
             return
-        root = request.headers.get(REQUEST_ID)
-        attributor.record(root, layer, start, end)
-        if component is not None:
-            attributor.record_component(root, component, end - start)
-        if components is not None:
-            for name, seconds in components:
-                attributor.record_component(root, name, seconds)
+        attributor = self.telemetry.attributor
+        if attributor is not None:
+            root = request.headers.get(REQUEST_ID)
+            attributor.record(root, layer, start, end)
+            if component is not None:
+                attributor.record_component(root, component, end - start)
+            if components is not None:
+                for name, seconds in components:
+                    attributor.record_component(root, name, seconds)
+        graph = self.telemetry.graph
+        if graph is None:
+            return
+        if request.service != self.service_name:
+            graph.observe_layer(
+                self.service_name, request.service, layer, end - start, end
+            )
+            if component is not None:
+                graph.observe_component(
+                    self.service_name, request.service, component, end - start
+                )
+            if components is not None:
+                for name, seconds in components:
+                    graph.observe_component(
+                        self.service_name, request.service, name, seconds
+                    )
+        elif layer == LAYER_PROXY:
+            graph.observe_node_proxy(self.service_name, end - start, end)
 
     def _traverse(self, request, phase: str, nbytes: int = 0,
                   peer_node: str | None = None):
@@ -351,6 +387,7 @@ class Sidecar:
             yield from self._handle_inbound(request, reply)
 
     def _handle_inbound(self, request: HttpRequest, reply):
+        serve_start = self.sim.now
         span = self.tracer.start_span(
             trace_id=request.headers.get(TRACE_ID, "untraced"),
             service=self.service_name,
@@ -373,6 +410,10 @@ class Sidecar:
         yield from self._traverse(request, "ingress-resp", response.wire_size())
         span.finish(self.sim.now, status=response.status)
         self.tracer.record(span)
+        if self.telemetry.graph is not None:
+            # Server timing: lets the caller split the hop's latency
+            # into "the callee's time" vs "the wire's" per graph edge.
+            response.headers[SERVER_TIMING] = f"{self.sim.now - serve_start:.9f}"
         reply(response)
 
     # ------------------------------------------------------------------
@@ -439,6 +480,7 @@ class Sidecar:
             aborted = fault.sample_abort(self._dist.rng)
 
         hedge = self.config.hedge
+        upstream_seconds = 0.0
         if aborted is not None:
             response, retries, endpoint = request.reply(aborted), 0, None
         elif (
@@ -450,13 +492,26 @@ class Sidecar:
                 request, deadline, hedge
             )
         else:
-            response, retries, endpoint = yield from self._retried_request(
-                request, deadline, retry_policy
-            )
+            (
+                response,
+                retries,
+                endpoint,
+                upstream_seconds,
+            ) = yield from self._retried_request(request, deadline, retry_policy)
 
         latency = self.sim.now - start
         span.finish(self.sim.now, status=response.status, retries=retries)
         self.tracer.record(span)
+        server_seconds = None
+        if self.telemetry.graph is not None:
+            # Total callee serving time across *every* attempt (failed
+            # tries included), so the edge's wire residual never counts
+            # seconds the callee legitimately spent working.
+            timing = response.headers.get(SERVER_TIMING)
+            if timing is not None:
+                server_seconds = float(timing) + upstream_seconds
+            elif upstream_seconds > 0.0:
+                server_seconds = upstream_seconds
         self.telemetry.record_request(
             RequestRecord(
                 time=self.sim.now,
@@ -467,6 +522,10 @@ class Sidecar:
                 priority=request.headers.get(PRIORITY),
                 retries=retries,
                 endpoint=endpoint.pod_name if endpoint is not None else None,
+                request_class=workload_class(
+                    request.headers.get(WORKLOAD_HEADER)
+                ),
+                server_seconds=server_seconds,
             )
         )
         if self._retry_budget is not None:
@@ -475,7 +534,12 @@ class Sidecar:
 
     def _retried_request(self, request, deadline, policy):
         """Retry loop under ``policy`` (the mesh-wide budget or a
-        per-route override). Returns (response, retries_used, endpoint|None).
+        per-route override). Returns
+        (response, retries_used, endpoint|None, upstream_seconds) —
+        the last being the callee serving time of *failed* attempts
+        (stamped server-timing headers), which the caller folds into
+        the logical record so graph wire accounting stays
+        edge-exclusive under retries.
 
         Budget exhaustion surfaces the *last real error* (e.g. the 503
         that kept us retrying), not a synthetic 504 — only a run with no
@@ -492,6 +556,7 @@ class Sidecar:
         response = None
         endpoint = None
         attempt = 0
+        upstream_seconds = 0.0
         for attempt in range(1, policy.max_attempts + 1):
             if holding:
                 # The retry the previous iteration paid for is now done
@@ -503,7 +568,7 @@ class Sidecar:
             if remaining <= 0:
                 if response is None:
                     response = request.reply(HttpStatus.GATEWAY_TIMEOUT)
-                return response, attempt - 1, endpoint
+                return response, attempt - 1, endpoint, upstream_seconds
             per_try = remaining
             if policy.per_try_timeout is not None:
                 per_try = min(per_try, policy.per_try_timeout)
@@ -514,7 +579,7 @@ class Sidecar:
                 if policy.should_retry(attempt, response.status):
                     if budget is not None and not budget.try_acquire():
                         self.telemetry.record_retry_denied()
-                        return response, attempt - 1, None
+                        return response, attempt - 1, None, upstream_seconds
                     holding = budget is not None
                     backoff = policy.backoff(attempt, self._dist.rng)
                     self._note(
@@ -522,12 +587,35 @@ class Sidecar:
                     )
                     yield self.sim.timeout(backoff)
                     continue
-                return response, attempt - 1, None
+                return response, attempt - 1, None, upstream_seconds
+            attempt_start = self.sim.now
             outcome = yield from self._try_once(request, endpoint, per_try)
             status = outcome.status if outcome is not None else None
+            graph = self.telemetry.graph
+            if graph is not None and (outcome is None or outcome.retryable):
+                # A failed attempt: the time it burned is retry cost on
+                # this edge of the service graph (the attributor's
+                # per-request sweep already classifies it its own way).
+                # Edge-exclusive: subtract the time the callee reports
+                # it spent serving the failed try — that pain belongs
+                # to the callee's own outbound edges, not this one.
+                burned = self.sim.now - attempt_start
+                if outcome is not None:
+                    timing = outcome.headers.get(SERVER_TIMING)
+                    if timing is not None:
+                        served = float(timing)
+                        upstream_seconds += served
+                        burned = max(0.0, burned - served)
+                graph.observe_layer(
+                    self.service_name,
+                    request.service,
+                    LAYER_RETRY,
+                    burned,
+                    self.sim.now,
+                )
             self._update_breaker(endpoint, status, service=request.service)
             if outcome is not None and not outcome.retryable:
-                return outcome, attempt - 1, endpoint
+                return outcome, attempt - 1, endpoint, upstream_seconds
             if outcome is not None:
                 response = outcome
             if not policy.should_retry(attempt, status):
@@ -543,7 +631,7 @@ class Sidecar:
             budget.release()
         if response is None:
             response = request.reply(HttpStatus.GATEWAY_TIMEOUT)
-        return response, attempt - 1, endpoint
+        return response, attempt - 1, endpoint, upstream_seconds
 
     def _hedged_request(self, request, deadline, hedge):
         """Primary try plus up to ``max_hedges`` duplicates after a delay;
@@ -728,9 +816,12 @@ class Sidecar:
         # Map the connection's flow to this request so qdisc waits on
         # its packets (both directions) attribute to the right root.
         attributor = self.telemetry.attributor
+        graph = self.telemetry.graph
         root = request.headers.get(REQUEST_ID)
         if attributor is not None:
             attributor.claim_flow(conn.flow_id, root)
+        if graph is not None:
+            graph.claim_flow(conn.flow_id, self.service_name, request.service)
         get = None
         try:
             # Outbound traversal.
@@ -761,6 +852,8 @@ class Sidecar:
         finally:
             if attributor is not None:
                 attributor.release_flow(conn.flow_id, root)
+            if graph is not None:
+                graph.release_flow(conn.flow_id)
         # Timed out: the connection has an orphaned in-flight exchange.
         conn.inbox.cancel(get)
         conn.close()
@@ -803,9 +896,14 @@ class Sidecar:
         # an approximation but keeps queue wait attributed to a live
         # root rather than dropped on the floor.
         attributor = self.telemetry.attributor
+        graph = self.telemetry.graph
         root = request.headers.get(REQUEST_ID)
         if attributor is not None:
             attributor.claim_flow(channel.conn.flow_id, root)
+        if graph is not None:
+            graph.claim_flow(
+                channel.conn.flow_id, self.service_name, request.service
+            )
         event = None
         try:
             # Outbound traversal.
@@ -837,6 +935,8 @@ class Sidecar:
         finally:
             if attributor is not None:
                 attributor.release_flow(channel.conn.flow_id, root)
+            if graph is not None:
+                graph.release_flow(channel.conn.flow_id)
         channel.abandon(request)
         lb.on_request_end(endpoint, self.sim.now - started, ok=False)
         self.telemetry.record_timeout(

@@ -28,6 +28,19 @@ from ..util.stats import LatencySummary, summarize
 #: width, well under experiment noise, at a few hundred buckets/decade.
 _LATENCY_BINS_PER_DECADE = 1000
 
+#: The request header naming the workload that issued a request, and the
+#: class each workload maps to.  The gateway stamps the header; both the
+#: gateway (admission, class SLOs) and the sidecars (service-graph edge
+#: classes) resolve it through :func:`workload_class` so the two layers
+#: can never disagree on what "LS" means.
+WORKLOAD_HEADER = "x-workload"
+WORKLOAD_CLASSES = {"interactive": "LS", "batch": "LI"}
+
+
+def workload_class(workload: str | None) -> str:
+    """The request class a workload name maps to ("default" if unset)."""
+    return WORKLOAD_CLASSES.get(workload, workload or "default")
+
 
 @dataclass
 class RequestRecord:
@@ -41,6 +54,15 @@ class RequestRecord:
     priority: str | None = None
     retries: int = 0
     endpoint: str | None = None
+    #: Request class (from the workload header) — lets the service graph
+    #: keep per-class RED metrics per edge.
+    request_class: str = "default"
+    #: Wall time the callee reported spending on this request (via the
+    #: server-timing response header, emitted only while a graph
+    #: collector is attached).  ``None`` when the callee never answered
+    #: or the graph layer is off; the graph treats the whole latency as
+    #: wire time in that case.
+    server_seconds: float | None = None
 
 
 class Telemetry:
@@ -79,6 +101,11 @@ class Telemetry:
         #: is charged to the ``obs`` section instead of whichever
         #: sidecar process happened to record the request.
         self.profiler = None
+        #: Optional :class:`repro.obs.GraphCollector`; when installed
+        #: (by the observability plane) every request record also feeds
+        #: the online service-dependency graph.  ``None`` keeps the
+        #: path zero-overhead, exactly like the attributor hook.
+        self.graph = None
 
     @property
     def truncated(self) -> bool:
@@ -142,6 +169,8 @@ class Telemetry:
                 latency=record.latency,
                 ok=record.status < 500,
             )
+        if self.graph is not None:
+            self.graph.observe_request(record)
 
     def record_timeout(
         self, destination: str | None = None, now: float | None = None

@@ -21,6 +21,12 @@ the repo's single sink for measurement:
 * :mod:`attribution` — per-layer latency attribution: decomposes every
   request into app service time, sidecar proxy overhead, retry/hedge
   wait, transport/CC time, and link queueing.
+* :mod:`graph` — the online service-dependency graph: edges discovered
+  from live traffic, each carrying windowed per-class RED metrics and
+  per-edge layer attribution.
+* :mod:`localize` — automated root-cause localization: when an SLO
+  alert fires, rank edges/nodes by anomaly contribution vs. the warmup
+  baseline, with the dominant layer per culprit.
 * :mod:`export` — JSON/CSV exporters plus a flame-style text waterfall.
 * :mod:`promexport` / :mod:`jaeger` — interop exporters: Prometheus
   text exposition for registry snapshots, Jaeger JSON for traces.
@@ -53,7 +59,16 @@ from .export import (
     waterfall_csv,
     waterfall_text,
 )
+from .graph import (
+    DEFAULT_GRAPH_WINDOW_S,
+    EDGES_CSV_HEADER,
+    GATEWAY_NODE,
+    EdgeSummary,
+    GraphBaseline,
+    GraphCollector,
+)
 from .jaeger import jaeger_json, jaeger_trace_dict
+from .localize import Culprit, Diagnosis, RootCauseLocalizer
 from .metrics import (
     Counter,
     Gauge,
@@ -92,13 +107,22 @@ __all__ = [
     "CompareReport",
     "Counter",
     "CriticalPathStep",
+    "Culprit",
+    "DEFAULT_GRAPH_WINDOW_S",
     "Delta",
+    "Diagnosis",
+    "EDGES_CSV_HEADER",
+    "EdgeSummary",
+    "GATEWAY_NODE",
     "Gauge",
+    "GraphBaseline",
+    "GraphCollector",
     "HistogramRecorder",
     "LayerAttributor",
     "LogLinearHistogram",
     "MetricsRegistry",
     "ObservabilityPlane",
+    "RootCauseLocalizer",
     "PROFILE_SCHEMA",
     "RequestAttribution",
     "SECTIONS",

@@ -15,7 +15,13 @@ understands:
   ``python -m repro bench``) — per-scenario kernel event counts and
   per-section profile counts (deterministic), plus — only with
   ``include_wall`` — wall seconds and events/sec (host-dependent, so
-  gating on them across machines is opt-in).
+  gating on them across machines is opt-in);
+* service-graph edge snapshots (``edges_*.csv`` from
+  :meth:`repro.obs.graph.GraphCollector.edges_csv`) — the windowed p99
+  of every (src, dst, class) edge, with a tighter 50 µs absolute floor
+  (windowed quantiles on sparse edges jitter by tens of microseconds).
+  An edge present on only one side fails as ``missing``/``extra`` — a
+  topology change must be an explicit decision.
 
 A statistic regresses when the candidate is worse than the baseline by
 more than ``threshold`` (relative) *and* by more than the unit's
@@ -35,12 +41,15 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .graph import EDGES_CSV_HEADER
 from .metrics import LogLinearHistogram
 
 #: Relative slowdown tolerated before a statistic counts as regressed.
 DEFAULT_THRESHOLD = 0.05
 #: Absolute floor (seconds) for latency statistics.
 DEFAULT_MIN_ABS_S = 1e-4
+#: Absolute floor (seconds) for per-edge p99 drift in graph snapshots.
+GRAPH_EDGE_MIN_ABS_S = 5e-5
 
 #: Bench-report schema accepted by the bench reader (kept in sync with
 #: :data:`repro.experiments.bench.BENCH_SCHEMA`).
@@ -51,7 +60,12 @@ _HIGHER_IS_BETTER = {"events/s"}
 #: Units that only exist as host wall-clock (skipped unless asked).
 _WALL_UNITS = {"wall_s", "events/s"}
 #: Per-unit absolute floors below which a delta never regresses.
-_MIN_ABS = {"events": 1.0, "wall_s": 0.05, "events/s": 0.0}
+_MIN_ABS = {
+    "events": 1.0,
+    "wall_s": 0.05,
+    "events/s": 0.0,
+    "edge_s": GRAPH_EDGE_MIN_ABS_S,
+}
 
 
 @dataclass(frozen=True)
@@ -72,7 +86,7 @@ class Delta:
         return (self.candidate - self.baseline) / self.baseline
 
     def _format(self, value: float) -> str:
-        if self.unit == "s":
+        if self.unit in ("s", "edge_s"):
             return f"{value * 1e3:.3f} ms"
         if self.unit == "wall_s":
             return f"{value:.2f} s"
@@ -189,10 +203,30 @@ def _bench_metrics(path: Path):
     return out
 
 
+def _graph_edge_quantiles(path: Path):
+    """Graph edge snapshot (``GraphCollector.edges_csv``): the windowed
+    p99 of every (src, dst, class) edge.  Each edge is one statistic, so
+    the symmetric stat difference surfaces EXTRA/MISSING edges."""
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return None
+    if not lines or lines[0] != EDGES_CSV_HEADER:
+        return None
+    out = {}
+    for line in lines[1:]:
+        parts = line.split(",")
+        if len(parts) < 13:
+            continue
+        edge = f"{parts[0]}->{parts[1]}/{parts[2]}"
+        out[(edge, "p99")] = (float(parts[8]), "edge_s")
+    return out
+
+
 #: Readers tried in order per suffix; the first non-None answer wins.
 _READERS = {
     ".json": (_bench_metrics, _snapshot_quantiles),
-    ".csv": (_attribution_means,),
+    ".csv": (_graph_edge_quantiles, _attribution_means),
 }
 
 

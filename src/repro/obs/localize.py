@@ -1,0 +1,280 @@
+"""Automated root-cause localization over the service graph.
+
+When an SLO alert fires the operator's question is not "is something
+wrong?" (the alert said so) but "*which* hop broke, and in which
+layer?".  The mesh can answer mechanically: it owns the dependency
+graph (:mod:`repro.obs.graph`), every edge carries windowed RED and
+layer signals, and a warmup baseline says what healthy looked like.
+
+The localizer scores every edge of the violating class's request DAG by
+its **own** anomaly contribution:
+
+* per-request layer deviations vs. the frozen baseline — proxy, retry,
+  queue, and the transport residual.  These tallies are edge-exclusive
+  by construction (the graph subtracts the callee's reported serving
+  time from the wire tally), so a fault inflates the edges that touch
+  it, not every ancestor edge above it;
+* the error-ratio deviation, scaled into seconds so red errors and
+  slow requests rank on one axis;
+* a traffic-share weight (the critical-path share: edges the class
+  barely uses cannot dominate the ranking).
+
+Nodes score by their app-compute deviation (per-call handler seconds
+vs. baseline) — a service burning CPU in its own handler is a
+"pod-level app" culprit, not an edge culprit.
+
+One signal wire exclusivity cannot clean up: a per-try *timeout*
+leaves no response header to subtract, so a fault deep in a chain
+still bleeds some anomaly into every edge above it.  The final DAG
+walk handles that: an edge whose callee's own outbound edges carry a
+comparable anomaly (≥ :data:`DOMINANCE_RATIO` of its score) is
+*downstream-dominated* and demoted — the deepest anomalous edge wins.
+The ranked result is deterministic: scores are pure functions of
+windowed state, and ties break lexicographically.
+
+Wire-up: construct with the run's :class:`GraphCollector`, assign
+:meth:`on_alert` to ``SloEngine.on_fire``, and freeze the graph
+baseline at warmup end.  The first alert of the violating class then
+captures a :class:`Diagnosis` with the windows as they were at fire
+time; :meth:`diagnose` can also be called directly at any instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .attribution import (
+    LAYER_APP,
+    LAYER_PROXY,
+    LAYER_QUEUE,
+    LAYER_RETRY,
+    LAYER_TRANSPORT,
+)
+
+#: One unit of error ratio weighs like this many seconds of latency
+#: deviation, putting "edge went red" and "edge went slow" on one axis.
+ERROR_SCALE_S = 1.0
+
+#: Tie-break order for the dominant layer (most specific signal first).
+_DOMINANT_ORDER = (LAYER_RETRY, LAYER_QUEUE, LAYER_PROXY, LAYER_TRANSPORT)
+
+#: DAG-walk demotion: an edge (A, B) whose callee B has its own
+#: outgoing edge scoring at least this fraction of (A, B)'s score is
+#: *downstream-dominated* — the deeper edge explains the anomaly (the
+#: pain A sees against B is mostly B waiting on someone else, e.g.
+#: per-try timeouts that propagate up a call chain with no response
+#: header to subtract).  High enough that collateral congestion below
+#: a faulted hop (retry storms queueing at its survivors' own callees)
+#: does not steal the blame from the hop itself.
+DOMINANCE_RATIO = 0.7
+
+#: Score multiplier for downstream-dominated edges: demoted below the
+#: deeper explanation but still ranked above background noise.
+DEMOTION_FACTOR = 0.1
+
+
+@dataclass(frozen=True)
+class Culprit:
+    """One ranked suspect: an edge (src→dst) or a node (service)."""
+
+    kind: str  # "edge" | "node"
+    name: str  # "src->dst" for edges, the service name for nodes
+    score: float
+    dominant_layer: str
+    src: str | None = None
+    dst: str | None = None
+    service: str | None = None
+    #: Per-layer per-request deviation vs. baseline (seconds).
+    deviations: dict = field(hash=False, default_factory=dict)
+    error_deviation: float = 0.0
+    share: float = 1.0
+    #: True when the DAG walk found a deeper edge explaining this one.
+    demoted: bool = False
+
+    def line(self) -> str:
+        """One deterministic text row for reports/CLI output."""
+        suffix = " (downstream-dominated)" if self.demoted else ""
+        return (
+            f"{self.kind:<4} {self.name:<40} score={self.score * 1e3:9.3f}ms "
+            f"layer={self.dominant_layer}{suffix}"
+        )
+
+
+@dataclass
+class Diagnosis:
+    """The localizer's answer at one instant (usually alert-fire time)."""
+
+    time: float
+    slo: str | None
+    rule: str | None
+    request_class: str | None
+    culprits: list[Culprit]
+
+    @property
+    def top(self) -> Culprit | None:
+        return self.culprits[0] if self.culprits else None
+
+    def text(self) -> str:
+        header = (
+            f"diagnosis @ t={self.time:.3f}s slo={self.slo or '-'} "
+            f"rule={self.rule or '-'} class={self.request_class or '*'}"
+        )
+        lines = [header]
+        for rank, culprit in enumerate(self.culprits, start=1):
+            lines.append(f"  #{rank} {culprit.line()}")
+        if not self.culprits:
+            lines.append("  (no anomalous edges or nodes)")
+        return "\n".join(lines) + "\n"
+
+
+class RootCauseLocalizer:
+    """Walks the graph when an alert fires and ranks culprits."""
+
+    def __init__(
+        self,
+        graph,
+        min_requests: int = 1,
+        error_scale: float = ERROR_SCALE_S,
+    ) -> None:
+        self.graph = graph
+        self.min_requests = min_requests
+        self.error_scale = error_scale
+        #: Captured at the first qualifying alert; later alerts of the
+        #: same incident do not overwrite the fire-time view.
+        self.diagnosis: Diagnosis | None = None
+        #: Every (time, slo, rule) alert the engine reported to us.
+        self.alerts: list[tuple[float, str, str]] = []
+
+    # -- SloEngine.on_fire ---------------------------------------------
+
+    def on_alert(self, now: float, spec, rule_name: str) -> None:
+        self.alerts.append((now, spec.name, rule_name))
+        if self.diagnosis is not None or self.graph.baseline is None:
+            return
+        request_class = spec.target if spec.scope == "class" else None
+        self.diagnosis = self.diagnose(
+            now, request_class=request_class, slo=spec.name, rule=rule_name
+        )
+
+    # -- scoring -------------------------------------------------------
+
+    def _edge_culprits(self, now: float, request_class: str | None) -> list[Culprit]:
+        baseline = self.graph.baseline
+        candidates = []
+        for (src, dst) in sorted(self.graph._edges):
+            edge = self.graph._edges[(src, dst)]
+            if request_class is not None:
+                stats = edge.classes.get(request_class)
+                if stats is None:
+                    continue  # not on this class's request DAG
+                requests = stats.requests.total(now)
+                errors = stats.errors.total(now)
+            else:
+                requests = edge.requests_in_window(now)
+                errors = sum(c.errors.total(now) for c in edge.classes.values())
+            if requests < self.min_requests:
+                continue
+            layers_now = edge.per_request_layers(now)
+            layers_base = (
+                baseline.edge_layers.get((src, dst), {}) if baseline else {}
+            )
+            deviations = {
+                layer: max(0.0, layers_now[layer] - layers_base.get(layer, 0.0))
+                for layer in layers_now
+            }
+            error_ratio = errors / requests if requests > 0 else 0.0
+            base_ratio = (
+                baseline.edge_error_ratio.get((src, dst, request_class), 0.0)
+                if baseline and request_class is not None
+                else 0.0
+            )
+            error_dev = max(0.0, error_ratio - base_ratio)
+            candidates.append(
+                (src, dst, requests, deviations, error_dev)
+            )
+        if not candidates:
+            return []
+        max_requests = max(c[2] for c in candidates)
+        scored = []
+        for src, dst, requests, deviations, error_dev in candidates:
+            share = requests / max_requests if max_requests > 0 else 0.0
+            raw = sum(deviations.values()) + self.error_scale * error_dev
+            scored.append((src, dst, share * raw, deviations, error_dev, share))
+        # The DAG walk: pain an edge (A, B) sees is dominated by B's own
+        # outbound anomalies when those score comparably — a timed-out
+        # try up the chain leaves no response header to subtract, so the
+        # deeper edge is the more specific explanation and the shallow
+        # one is demoted (deepest-anomalous-edge-wins, à la CauseInfer).
+        best_outbound: dict[str, float] = {}
+        for src, _dst, score, _devs, _err, _share in scored:
+            if score > best_outbound.get(src, 0.0):
+                best_outbound[src] = score
+        culprits = []
+        for src, dst, score, deviations, error_dev, share in scored:
+            demoted = (
+                score > 0.0
+                and best_outbound.get(dst, 0.0) >= DOMINANCE_RATIO * score
+            )
+            dominant = max(
+                _DOMINANT_ORDER,
+                key=lambda layer: (
+                    deviations.get(layer, 0.0),
+                    -_DOMINANT_ORDER.index(layer),
+                ),
+            )
+            culprits.append(
+                Culprit(
+                    kind="edge",
+                    name=f"{src}->{dst}",
+                    score=score * DEMOTION_FACTOR if demoted else score,
+                    dominant_layer=dominant,
+                    src=src,
+                    dst=dst,
+                    deviations=deviations,
+                    error_deviation=error_dev,
+                    share=share,
+                    demoted=demoted,
+                )
+            )
+        return culprits
+
+    def _node_culprits(self, now: float) -> list[Culprit]:
+        baseline = self.graph.baseline
+        app_now = self.graph.node_app_seconds(now)
+        culprits = []
+        for service in sorted(app_now):
+            base = baseline.node_app.get(service, 0.0) if baseline else 0.0
+            deviation = max(0.0, app_now[service] - base)
+            if deviation <= 0.0:
+                continue
+            culprits.append(
+                Culprit(
+                    kind="node",
+                    name=service,
+                    score=deviation,
+                    dominant_layer=LAYER_APP,
+                    service=service,
+                    deviations={LAYER_APP: deviation},
+                )
+            )
+        return culprits
+
+    def diagnose(
+        self,
+        now: float,
+        request_class: str | None = None,
+        slo: str | None = None,
+        rule: str | None = None,
+    ) -> Diagnosis:
+        """Rank every edge/node by anomaly contribution at ``now``."""
+        culprits = self._edge_culprits(now, request_class)
+        culprits.extend(self._node_culprits(now))
+        culprits = [c for c in culprits if c.score > 1e-12]
+        culprits.sort(key=lambda c: (-c.score, c.kind, c.name))
+        return Diagnosis(
+            time=now,
+            slo=slo,
+            rule=rule,
+            request_class=request_class,
+            culprits=culprits,
+        )

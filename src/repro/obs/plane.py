@@ -20,11 +20,18 @@ with an :class:`~repro.obs.slo.SloEngine` carrying registered specs and
 gateway and every sidecar stream request outcomes into the engine as
 they happen.  With no engine (or an empty one) the hook stays ``None``
 and the streaming path costs nothing.
+
+The topology-level half (ISSUE 9) is the optional
+:class:`~repro.obs.graph.GraphCollector`: ``install`` points the
+telemetry's ``graph`` hook at it (same zero-overhead contract) and
+widens the interface dequeue observer so qdisc waits feed both the
+per-request attributor and the per-edge graph tallies.
 """
 
 from __future__ import annotations
 
 from .attribution import LayerAttributor
+from .graph import GraphCollector
 from .metrics import MetricsRegistry
 from .slo import SloEngine
 from .spans import SpanCollector
@@ -32,12 +39,13 @@ from .spans import SpanCollector
 
 class ObservabilityPlane:
     """One scenario's measurement hub: registry + attributor + spans
-    (+ the optional online SLO engine)."""
+    (+ the optional online SLO engine and service-graph collector)."""
 
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
         slo: SloEngine | None = None,
+        graph: GraphCollector | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.attributor = LayerAttributor()
@@ -45,6 +53,9 @@ class ObservabilityPlane:
         self.slo = slo
         if slo is not None and slo.registry is None:
             slo.registry = self.registry
+        self.graph = graph
+        if graph is not None and graph.registry is None:
+            graph.registry = self.registry
         self.installed = False
 
     def install(self, mesh=None, cluster=None, network=None) -> "ObservabilityPlane":
@@ -61,17 +72,27 @@ class ObservabilityPlane:
             mesh.telemetry.attributor = self.attributor
             if self.slo is not None and self.slo.specs:
                 mesh.telemetry.slo_engine = self.slo
+            if self.graph is not None:
+                mesh.telemetry.graph = self.graph
         if cluster is not None:
             if network is None:
                 network = cluster.network
             if cluster.transport_config is not None:
                 cluster.transport_config.metrics = self.registry
         if network is not None:
+            observer = self.attributor.observe_queue_wait
+            if self.graph is not None:
+                observer = self._observe_queue_wait
             for name in sorted(network.devices):
                 for interface in network.devices[name].interfaces:
-                    interface.queue_observer = self.attributor.observe_queue_wait
+                    interface.queue_observer = observer
         self.installed = True
         return self
+
+    def _observe_queue_wait(self, packet, now: float) -> None:
+        """Composite dequeue hook: per-request root + per-edge graph."""
+        self.attributor.observe_queue_wait(packet, now)
+        self.graph.observe_queue_wait(packet, now)
 
     def harvest(self, mesh=None, network=None) -> None:
         """Post-run sweep: interface/qdisc counters and trace ingestion."""
@@ -93,3 +114,7 @@ class ObservabilityPlane:
                     ).inc(stats.queue_wait_seconds)
         if mesh is not None:
             self.spans.ingest(mesh.tracer)
+            if self.graph is not None:
+                # Trace-derived edge discovery: sampled client spans can
+                # confirm edges telemetry has not (yet) reported.
+                self.graph.ingest_spans(self.spans)

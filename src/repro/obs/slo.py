@@ -178,6 +178,12 @@ class SloEngine:
         self._states: dict[str, _SloState] = {}
         #: (scope, target) -> spec names listening on that stream.
         self._routes: dict[tuple[str, str], list[str]] = {}
+        #: Optional alert callback ``(now, spec, rule_name)`` invoked at
+        #: the moment a rule transitions to firing — the hook the
+        #: root-cause localizer (:mod:`repro.obs.localize`) uses to
+        #: diagnose with the windowed state as it was when the alert
+        #: fired, not after the incident washed out of the windows.
+        self.on_fire = None
 
     # -- registration --------------------------------------------------
 
@@ -244,6 +250,8 @@ class SloEngine:
                     if burn_long >= rule.max_burn and burn_short >= rule.max_burn:
                         self.timeline.fire(now, name, rule.name, burn_long, burn_short)
                         self._count_transition(name, rule.name, "fire")
+                        if self.on_fire is not None:
+                            self.on_fire(now, state.spec, rule.name)
                 elif burn_short < rule.max_burn:
                     self.timeline.resolve(now, name, rule.name, burn_long, burn_short)
                     self._count_transition(name, rule.name, "resolve")

@@ -39,10 +39,23 @@ class SpanCollector:
         self.traces_seen = 0
         self.spans_seen = 0
         self._per_service: dict[str, list] = {}
+        #: Trace-derived service-graph edges: (caller, callee) -> count
+        #: of client spans observed.  Client spans name their callee in
+        #: the operation (``client:<service><path>``), so even traces
+        #: whose hops produced zero wire events (ambient node-local
+        #: delivery) still reveal the edge.  One logical edge traversal
+        #: may appear as several spans under retries; this is a
+        #: discovery signal, not a request count.
+        self.edge_counts: dict[tuple[str, str], int] = {}
 
     def ingest_trace(self, trace) -> list[CriticalPathStep]:
         """Compute one trace's critical path and fold it into the
         aggregates; returns the path for inspection."""
+        for span in trace.spans:
+            if span.operation.startswith("client:"):
+                callee = span.operation[len("client:"):].split("/", 1)[0]
+                edge = (span.service, callee)
+                self.edge_counts[edge] = self.edge_counts.get(edge, 0) + 1
         path = [s for s in trace.critical_path() if s.duration is not None]
         steps: list[CriticalPathStep] = []
         for index, span in enumerate(path):

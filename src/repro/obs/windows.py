@@ -98,10 +98,14 @@ class WindowedCounter(_SliceRing):
         self.slices[index] = self.slices.get(index, 0.0) + amount
 
     def total(self, now: float) -> float:
+        """Sum over the live window; exactly 0.0 when the window is
+        empty or every recorded slice has expired."""
         return sum(self.live_payloads(now))
 
     def rate(self, now: float) -> float:
-        """Events per second over the nominal window width."""
+        """Events per second over the nominal window width (0.0 on an
+        empty or fully-expired window — never NaN: the window width is
+        validated positive at construction)."""
         return self.total(now) / self.window
 
 
@@ -152,8 +156,17 @@ class WindowedHistogram(_SliceRing):
         return sum(hist.count for hist in self.live_payloads(now))
 
     def quantile(self, now: float, q: float) -> float:
-        """The rolling q-th percentile (0.0 when the window is empty)."""
+        """The rolling q-th percentile.  Zero-sample contract: an empty
+        or fully-expired window answers exactly 0.0 (never NaN, never
+        an index error) without allocating a merge histogram."""
+        if not self.live_payloads(now):
+            return 0.0
         return self.merged(now).quantile(q)
 
     def summary(self, now: float) -> LatencySummary:
+        """Rolling summary; an empty or fully-expired window answers
+        the all-zero :meth:`LatencySummary.empty` (count 0, zero
+        quantiles) without allocating a merge histogram."""
+        if not self.live_payloads(now):
+            return LatencySummary.empty()
         return self.merged(now).summary()

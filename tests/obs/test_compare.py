@@ -200,3 +200,92 @@ class TestSymmetricDifference:
         (tmp_path / "cand.json").write_text(_bench_text(["a", "b"]))
         report = compare_runs(tmp_path / "base.json", tmp_path / "cand.json")
         assert "2 extra" in report.text()  # sim_events + events[transport]
+
+
+def _edges_text(edges):
+    """A GraphCollector.edges_csv snapshot: {(src, dst, cls): p99_s}."""
+    from repro.obs.graph import EDGES_CSV_HEADER
+
+    lines = [EDGES_CSV_HEADER]
+    for (src, dst, cls) in sorted(edges):
+        p99 = edges[(src, dst, cls)]
+        lines.append(
+            f"{src},{dst},{cls},100,0,0.000000,25.000000,"
+            f"{p99 * 0.8:.9f},{p99:.9f},"
+            "0.000100000,0.000000000,0.000050000,0.001000000"
+        )
+    return "\n".join(lines) + "\n"
+
+
+HEALTHY = {
+    ("ingress-gateway", "frontend", "LS"): 0.010,
+    ("frontend", "backend", "LS"): 0.008,
+}
+
+
+class TestGraphEdgeSnapshots:
+    """Graph edge CSVs diff per-edge: p99 drift plus EXTRA/MISSING edges."""
+
+    def test_identical_snapshots_pass(self, tmp_path):
+        (tmp_path / "base.csv").write_text(_edges_text(HEALTHY))
+        (tmp_path / "cand.csv").write_text(_edges_text(HEALTHY))
+        report = compare_runs(tmp_path / "base.csv", tmp_path / "cand.csv")
+        assert report.ok
+        assert report.compared == 2
+
+    def test_p99_drift_beyond_threshold_regresses(self, tmp_path):
+        worse = dict(HEALTHY)
+        worse[("frontend", "backend", "LS")] = 0.012  # +50 %
+        (tmp_path / "base.csv").write_text(_edges_text(HEALTHY))
+        (tmp_path / "cand.csv").write_text(_edges_text(worse))
+        report = compare_runs(tmp_path / "base.csv", tmp_path / "cand.csv")
+        assert not report.ok
+        (delta,) = report.regressions
+        assert (delta.metric, delta.stat) == ("frontend->backend/LS", "p99")
+        assert "ms" in delta.line()
+
+    def test_drift_under_50us_floor_never_regresses(self, tmp_path):
+        # 40 % relative but only 40 us absolute: windowed-quantile
+        # jitter on a sparse edge, not a regression.
+        tiny = {("frontend", "backend", "LS"): 0.0001}
+        worse = {("frontend", "backend", "LS"): 0.00014}
+        (tmp_path / "base.csv").write_text(_edges_text(tiny))
+        (tmp_path / "cand.csv").write_text(_edges_text(worse))
+        assert compare_runs(tmp_path / "base.csv", tmp_path / "cand.csv").ok
+
+    def test_missing_edge_fails(self, tmp_path):
+        gone = {k: v for k, v in HEALTHY.items() if k[1] != "backend"}
+        (tmp_path / "base.csv").write_text(_edges_text(HEALTHY))
+        (tmp_path / "cand.csv").write_text(_edges_text(gone))
+        report = compare_runs(tmp_path / "base.csv", tmp_path / "cand.csv")
+        assert not report.ok
+        assert any("frontend->backend/LS" in name for name in report.missing)
+
+    def test_extra_edge_fails(self, tmp_path):
+        grown = dict(HEALTHY)
+        grown[("backend", "db", "LS")] = 0.002
+        (tmp_path / "base.csv").write_text(_edges_text(HEALTHY))
+        (tmp_path / "cand.csv").write_text(_edges_text(grown))
+        report = compare_runs(tmp_path / "base.csv", tmp_path / "cand.csv")
+        assert not report.ok
+        assert any("backend->db/LS" in name for name in report.extras)
+
+    def test_real_collector_snapshot_round_trips(self, tmp_path):
+        # The reader accepts what GraphCollector.edges_csv actually
+        # writes, not just the hand-built fixture.
+        from repro.mesh.telemetry import RequestRecord
+        from repro.obs import GraphCollector
+
+        graph = GraphCollector(window=4.0)
+        for i in range(50):
+            graph.observe_request(
+                RequestRecord(
+                    time=0.05 * i, source="frontend", destination="backend",
+                    latency=0.010, status=200, request_class="LS",
+                )
+            )
+        (tmp_path / "edges.csv").write_text(graph.edges_csv(2.5))
+        (tmp_path / "cand.csv").write_text(graph.edges_csv(2.5))
+        report = compare_runs(tmp_path / "edges.csv", tmp_path / "cand.csv")
+        assert report.ok
+        assert report.compared == 1

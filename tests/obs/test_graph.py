@@ -1,0 +1,248 @@
+"""The online service-dependency graph: RED windows, layer tallies,
+wire exclusivity, and the byte-stable DOT/CSV/Prometheus exports."""
+
+import pytest
+
+from repro.mesh.telemetry import RequestRecord
+from repro.obs import GraphCollector, MetricsRegistry, SpanCollector
+from repro.obs.attribution import (
+    LAYER_PROXY,
+    LAYER_QUEUE,
+    LAYER_RETRY,
+    LAYER_TRANSPORT,
+)
+from repro.obs.graph import EDGES_CSV_HEADER
+from repro.obs.metrics import LogLinearHistogram
+from repro.obs.promexport import prometheus_text
+
+
+def _record(
+    time=1.0,
+    source="frontend",
+    destination="backend",
+    latency=0.010,
+    status=200,
+    request_class="LS",
+    server_seconds=None,
+    retries=0,
+):
+    return RequestRecord(
+        time=time,
+        source=source,
+        destination=destination,
+        latency=latency,
+        status=status,
+        request_class=request_class,
+        server_seconds=server_seconds,
+        retries=retries,
+    )
+
+
+class TestEdgeDiscoveryAndRed:
+    def test_edge_discovered_with_red_metrics(self):
+        graph = GraphCollector(window=4.0)
+        for i in range(10):
+            graph.observe_request(_record(time=0.1 * i, latency=0.010))
+        graph.observe_request(_record(time=1.0, status=503))
+        assert graph.edges() == [("frontend", "backend")]
+        (row,) = graph.edge_summaries(1.0)
+        assert (row.src, row.dst, row.request_class) == (
+            "frontend", "backend", "LS",
+        )
+        assert row.requests == 11
+        assert row.errors == 1
+        assert row.error_ratio == pytest.approx(1 / 11)
+        assert row.rate == pytest.approx(11 / 4.0)
+        assert row.latency.p50 == pytest.approx(0.010, rel=0.01)
+
+    def test_retried_request_is_one_logical_edge_traversal(self):
+        # Hedges/retries collapse before the record reaches the graph:
+        # however many tries the hop took, the edge saw ONE request.
+        graph = GraphCollector(window=4.0)
+        graph.observe_request(_record(retries=2))
+        (row,) = graph.edge_summaries(1.0)
+        assert row.requests == 1
+
+    def test_classes_kept_separate(self):
+        graph = GraphCollector(window=4.0)
+        graph.observe_request(_record(request_class="LS", latency=0.001))
+        graph.observe_request(_record(request_class="LI", latency=0.100))
+        rows = graph.edge_summaries(1.0)
+        assert [r.request_class for r in rows] == ["LI", "LS"]
+        assert rows[0].latency.p99 == pytest.approx(0.100, rel=0.01)
+        assert rows[1].latency.p99 == pytest.approx(0.001, rel=0.01)
+
+    def test_red_p99_matches_offline_histogram(self):
+        # The windowed quantile must agree with an offline histogram of
+        # the same samples within the log-linear bucket-width bound.
+        graph = GraphCollector(window=10.0, registry=MetricsRegistry())
+        offline = LogLinearHistogram(1e-6, 1e4, 1000)
+        for i in range(500):
+            latency = 0.001 * (1 + i % 50)
+            graph.observe_request(_record(time=0.01 * i, latency=latency))
+            offline.record(latency)
+        (row,) = graph.edge_summaries(5.0)
+        assert row.latency.p99 == pytest.approx(offline.quantile(99.0), rel=0.01)
+        # The cumulative Prometheus family saw the same samples.
+        (hist,) = graph.registry.histograms_matching("repro_edge_latency_seconds")
+        assert hist.count == 500
+        assert hist.quantile(99.0) == pytest.approx(offline.quantile(99.0), rel=0.01)
+
+
+class TestWireAccounting:
+    def test_server_seconds_subtracted_from_wire(self):
+        graph = GraphCollector(window=4.0)
+        graph.observe_request(_record(latency=0.010, server_seconds=0.007))
+        edge = graph._edges[("frontend", "backend")]
+        assert edge.wire.total(1.0) == pytest.approx(0.003)
+
+    def test_unanswered_request_charges_whole_latency_to_wire(self):
+        graph = GraphCollector(window=4.0)
+        graph.observe_request(_record(latency=0.010, server_seconds=None))
+        edge = graph._edges[("frontend", "backend")]
+        assert edge.wire.total(1.0) == pytest.approx(0.010)
+
+    def test_server_time_exceeding_latency_clamps_to_zero(self):
+        graph = GraphCollector(window=4.0)
+        graph.observe_request(_record(latency=0.010, server_seconds=0.020))
+        edge = graph._edges[("frontend", "backend")]
+        assert edge.wire.total(1.0) == 0.0
+
+    def test_transport_is_residual_after_explicit_layers(self):
+        graph = GraphCollector(window=4.0)
+        graph.observe_request(_record(latency=0.010, server_seconds=0.002))
+        graph.observe_layer("frontend", "backend", LAYER_PROXY, 0.001, 1.0)
+        graph.observe_layer("frontend", "backend", LAYER_QUEUE, 0.003, 1.0)
+        layers = graph._edges[("frontend", "backend")].layer_seconds(1.0)
+        # wire = 8 ms, proxy 1 + queue 3 covered -> transport residual 4.
+        assert layers[LAYER_TRANSPORT] == pytest.approx(0.004)
+        assert layers[LAYER_PROXY] == pytest.approx(0.001)
+        assert layers[LAYER_RETRY] == 0.0
+
+
+class TestFlowsAndNodes:
+    def test_queue_wait_charged_to_claimed_flow_edge(self):
+        class _Packet:
+            flow_id = 7
+            enqueued_at = 0.5
+
+        graph = GraphCollector(window=4.0)
+        graph.observe_request(_record())
+        graph.claim_flow(7, "frontend", "backend")
+        graph.observe_queue_wait(_Packet(), 0.9)
+        graph.release_flow(7)
+        graph.observe_queue_wait(_Packet(), 1.3)  # released: no charge
+        layers = graph._edges[("frontend", "backend")].layer_seconds(1.3)
+        assert layers[LAYER_QUEUE] == pytest.approx(0.4)
+
+    def test_node_app_seconds_is_per_call(self):
+        graph = GraphCollector(window=4.0)
+        graph.observe_app("backend", 0.004, 1.0)
+        graph.observe_app("backend", 0.008, 1.1)
+        assert graph.node_app_seconds(1.1) == {
+            "backend": pytest.approx(0.006)
+        }
+
+    def test_span_fed_edges_discovered_without_wire_events(self):
+        # Ambient node-local delivery produces zero wire events; the
+        # sampled client span still reveals the edge.
+        collector = SpanCollector()
+        collector.edge_counts[("frontend", "local-cache")] = 3
+        graph = GraphCollector(window=4.0)
+        graph.ingest_spans(collector)
+        graph.ingest_spans(collector)
+        assert graph.edges() == [("frontend", "local-cache")]
+        assert graph.span_edges[("frontend", "local-cache")] == 6
+        # Discovery only: no RED rows, but the DOT render includes it.
+        assert graph.edge_summaries(1.0) == []
+        assert '"frontend" -> "local-cache"' in graph.dot()
+
+
+class TestBaseline:
+    def test_freeze_captures_reference_levels(self):
+        graph = GraphCollector(window=4.0)
+        for i in range(10):
+            graph.observe_request(
+                _record(time=0.1 * i, latency=0.010, server_seconds=0.008)
+            )
+        graph.observe_request(_record(time=1.0, status=503))
+        graph.observe_app("backend", 0.004, 1.0)
+        baseline = graph.freeze_baseline(1.0)
+        assert graph.baseline is baseline
+        key = ("frontend", "backend")
+        assert baseline.edge_error_ratio[(*key, "LS")] == pytest.approx(1 / 11)
+        assert baseline.edge_p99[(*key, "LS")] == pytest.approx(0.010, rel=0.01)
+        assert baseline.edge_layers[key][LAYER_TRANSPORT] > 0.0
+        assert baseline.node_app["backend"] == pytest.approx(0.004)
+
+
+class TestExports:
+    def _populated(self):
+        graph = GraphCollector(window=4.0, registry=MetricsRegistry())
+        for i in range(20):
+            graph.observe_request(
+                _record(
+                    time=0.1 * i,
+                    source="ingress-gateway",
+                    destination="frontend",
+                    latency=0.010 + 0.001 * (i % 3),
+                )
+            )
+            graph.observe_request(
+                _record(time=0.1 * i, latency=0.005, request_class="LI")
+            )
+        graph.observe_request(_record(time=1.9, status=503))
+        graph.observe_layer("frontend", "backend", LAYER_RETRY, 0.002, 1.9)
+        return graph
+
+    def test_edges_csv_shape_and_byte_stability(self):
+        graph = self._populated()
+        csv = graph.edges_csv(2.0)
+        lines = csv.splitlines()
+        assert lines[0] == EDGES_CSV_HEADER
+        assert len(lines) == 1 + 3  # gateway->frontend/LS + fe->be LI,LS
+        assert csv.endswith("\n")
+        assert lines[1].startswith("frontend,backend,LI,")
+        # Double export: byte-identical (the exporters' contract).
+        assert graph.edges_csv(2.0) == csv
+
+    def test_dot_shape_and_byte_stability(self):
+        graph = self._populated()
+        dot = graph.dot(2.0)
+        assert dot.startswith("digraph services {")
+        assert dot.endswith("}\n")
+        assert '"ingress-gateway" [shape=box];' in dot
+        assert '"frontend" [shape=ellipse];' in dot
+        assert "rps / p99" in dot
+        assert graph.dot(2.0) == dot
+        # Without a time, edges render unlabeled.
+        assert '"frontend" -> "backend";' in graph.dot()
+
+    def test_prometheus_families_byte_stable(self):
+        graph = self._populated()
+        snapshot = graph.registry.snapshot()
+        text = prometheus_text(snapshot)
+        assert "# TYPE repro_edge_requests_total counter" in text
+        assert "# TYPE repro_edge_errors_total counter" in text
+        assert "# TYPE repro_edge_latency_seconds histogram" in text
+        assert (
+            'repro_edge_requests_total{class="LI",dst="backend",src="frontend"} 20'
+            in text
+        )
+        # Double export from a fresh snapshot: byte-identical.
+        assert prometheus_text(graph.registry.snapshot()) == text
+
+
+class TestZeroOverheadContract:
+    def test_collector_schedules_nothing(self):
+        # The collector must be purely passive: no simulator handle at
+        # all, so it *cannot* schedule events.
+        graph = GraphCollector(window=4.0)
+        assert not hasattr(graph, "sim")
+
+    def test_empty_graph_exports_are_well_defined(self):
+        graph = GraphCollector(window=4.0)
+        assert graph.edges_csv(0.0) == EDGES_CSV_HEADER + "\n"
+        assert graph.dot() == 'digraph services {\n  rankdir=LR;\n}\n'
+        assert graph.services() == []
+        assert graph.node_app_seconds(0.0) == {}

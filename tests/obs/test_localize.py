@@ -1,0 +1,193 @@
+"""Root-cause localization: anomaly scoring, the DAG-walk demotion,
+and the alert wiring contract."""
+
+import pytest
+
+from repro.mesh.telemetry import RequestRecord
+from repro.obs import GraphCollector, RootCauseLocalizer
+from repro.obs.attribution import LAYER_APP, LAYER_QUEUE, LAYER_RETRY
+from repro.obs.localize import DEMOTION_FACTOR, DOMINANCE_RATIO
+from repro.obs.slo import SloSpec
+
+
+def _record(time, source, destination, latency=0.010, status=200,
+            request_class="LS", server_seconds=None):
+    return RequestRecord(
+        time=time,
+        source=source,
+        destination=destination,
+        latency=latency,
+        status=status,
+        request_class=request_class,
+        server_seconds=server_seconds,
+    )
+
+
+CHAIN = [("ingress-gateway", "frontend"), ("frontend", "backend"),
+         ("backend", "db")]
+
+
+def _healthy_graph(window=4.0):
+    """gateway -> frontend -> backend -> db, healthy, baseline frozen."""
+    graph = GraphCollector(window=window)
+    for i in range(20):
+        for src, dst in CHAIN:
+            graph.observe_request(
+                _record(0.1 * i, src, dst, latency=0.010, server_seconds=0.009)
+            )
+    graph.freeze_baseline(2.0)
+    return graph
+
+
+def _traffic(graph, start, stop, slow=()):
+    """Healthy traffic on every edge from ``start`` to ``stop``; edges
+    in ``slow`` additionally accrue retry-layer anomaly seconds."""
+    t = start
+    while t < stop:
+        for src, dst in CHAIN:
+            graph.observe_request(
+                _record(t, src, dst, latency=0.010, server_seconds=0.009)
+            )
+            if (src, dst) in slow:
+                graph.observe_layer(src, dst, LAYER_RETRY, 0.030, t)
+        t += 0.1
+
+
+class TestScoring:
+    def test_anomalous_edge_ranks_first_with_its_layer(self):
+        graph = _healthy_graph()
+        _traffic(graph, 4.0, 8.0, slow=[("frontend", "backend")])
+        diagnosis = RootCauseLocalizer(graph).diagnose(8.0, request_class="LS")
+        top = diagnosis.top
+        assert (top.kind, top.name) == ("edge", "frontend->backend")
+        assert top.dominant_layer == LAYER_RETRY
+        assert not top.demoted
+        assert top.deviations[LAYER_RETRY] == pytest.approx(0.030, rel=0.05)
+        assert "frontend->backend" in diagnosis.text()
+
+    def test_error_deviation_scores_without_latency_change(self):
+        graph = _healthy_graph()
+        t = 4.0
+        while t < 8.0:
+            for src, dst in CHAIN:
+                status = 503 if (src, dst) == ("backend", "db") else 200
+                graph.observe_request(
+                    _record(t, src, dst, status=status, server_seconds=0.009)
+                )
+            t += 0.1
+        diagnosis = RootCauseLocalizer(graph).diagnose(8.0, request_class="LS")
+        assert diagnosis.top.name == "backend->db"
+        assert diagnosis.top.error_deviation == pytest.approx(1.0)
+
+    def test_node_app_regression_is_a_node_culprit(self):
+        graph = _healthy_graph()
+        _traffic(graph, 4.0, 8.0)
+        for i in range(10):
+            graph.observe_app("backend", 0.050, 6.0 + 0.1 * i)
+        diagnosis = RootCauseLocalizer(graph).diagnose(8.0, request_class="LS")
+        assert (diagnosis.top.kind, diagnosis.top.name) == ("node", "backend")
+        assert diagnosis.top.dominant_layer == LAYER_APP
+
+    def test_edges_off_the_class_dag_are_skipped(self):
+        graph = _healthy_graph()
+        _traffic(graph, 4.0, 8.0)
+        # A violently anomalous edge that never carries the LS class.
+        for i in range(10):
+            graph.observe_request(
+                _record(7.0 + 0.05 * i, "batchd", "warehouse",
+                        latency=5.0, request_class="LI")
+            )
+        diagnosis = RootCauseLocalizer(graph).diagnose(8.0, request_class="LS")
+        assert all(c.name != "batchd->warehouse" for c in diagnosis.culprits)
+
+    def test_healthy_graph_yields_no_culprits(self):
+        graph = _healthy_graph()
+        _traffic(graph, 4.0, 8.0)
+        diagnosis = RootCauseLocalizer(graph).diagnose(8.0, request_class="LS")
+        assert diagnosis.culprits == []
+        assert diagnosis.top is None
+        assert "(no anomalous edges or nodes)" in diagnosis.text()
+
+
+class TestDagWalkDemotion:
+    def test_upstream_edge_dominated_by_deeper_anomaly_is_demoted(self):
+        # Fault at backend->db; per-try timeouts bleed comparable pain
+        # into frontend->backend above it.  The deeper edge must win.
+        graph = _healthy_graph()
+        _traffic(
+            graph, 4.0, 8.0,
+            slow=[("frontend", "backend"), ("backend", "db")],
+        )
+        diagnosis = RootCauseLocalizer(graph).diagnose(8.0, request_class="LS")
+        assert diagnosis.top.name == "backend->db"
+        shallow = next(
+            c for c in diagnosis.culprits if c.name == "frontend->backend"
+        )
+        assert shallow.demoted
+        assert "(downstream-dominated)" in shallow.line()
+        assert shallow.score == pytest.approx(
+            diagnosis.top.score * DEMOTION_FACTOR, rel=0.05
+        )
+
+    def test_minor_downstream_noise_does_not_steal_blame(self):
+        # Collateral anomaly below the faulted hop under the dominance
+        # ratio: the faulted edge keeps its full score.
+        graph = _healthy_graph()
+        t = 4.0
+        while t < 8.0:
+            for src, dst in CHAIN:
+                graph.observe_request(
+                    _record(t, src, dst, latency=0.010, server_seconds=0.009)
+                )
+            graph.observe_layer("frontend", "backend", LAYER_RETRY, 0.030, t)
+            graph.observe_layer(
+                "backend", "db", LAYER_QUEUE,
+                0.030 * DOMINANCE_RATIO * 0.8, t,
+            )
+            t += 0.1
+        diagnosis = RootCauseLocalizer(graph).diagnose(8.0, request_class="LS")
+        assert diagnosis.top.name == "frontend->backend"
+        assert not diagnosis.top.demoted
+
+
+class TestAlertWiring:
+    def _spec(self):
+        return SloSpec(
+            name="LS-p99", target="LS", threshold_s=0.05, window_s=4.0
+        )
+
+    def test_on_alert_captures_first_diagnosis_only(self):
+        graph = _healthy_graph()
+        _traffic(graph, 4.0, 8.0, slow=[("frontend", "backend")])
+        localizer = RootCauseLocalizer(graph)
+        localizer.on_alert(8.0, self._spec(), "fast-burn")
+        first = localizer.diagnosis
+        assert first is not None
+        assert first.slo == "LS-p99"
+        assert first.rule == "fast-burn"
+        assert first.request_class == "LS"
+        localizer.on_alert(8.5, self._spec(), "slow-burn")
+        assert localizer.diagnosis is first
+        assert [rule for _t, _s, rule in localizer.alerts] == [
+            "fast-burn", "slow-burn",
+        ]
+
+    def test_no_diagnosis_before_baseline(self):
+        graph = GraphCollector(window=4.0)
+        localizer = RootCauseLocalizer(graph)
+        localizer.on_alert(1.0, self._spec(), "fast-burn")
+        assert localizer.diagnosis is None
+        assert len(localizer.alerts) == 1
+
+
+class TestDeterminism:
+    def _run(self):
+        graph = _healthy_graph()
+        _traffic(
+            graph, 4.0, 8.0,
+            slow=[("frontend", "backend"), ("backend", "db")],
+        )
+        return RootCauseLocalizer(graph).diagnose(8.0, request_class="LS")
+
+    def test_identical_inputs_identical_text(self):
+        assert self._run().text() == self._run().text()

@@ -92,3 +92,94 @@ class TestSpanCollector:
         collector = SpanCollector()
         assert collector.ingest_trace(Trace("trace-empty")) == []
         assert collector.service_rows() == []
+
+
+def _client_span(trace_id, span_id, parent, service, callee, start, end,
+                 retries=0):
+    span = Span(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_span_id=parent,
+        service=service,
+        operation=f"client:{callee}/",
+        start_time=start,
+        end_time=end,
+    )
+    if retries:
+        span.tags["retries"] = retries
+    return span
+
+
+class TestEdgeDiscovery:
+    """Trace-derived service-graph edges (client spans name the callee)."""
+
+    def test_client_spans_reveal_edges(self):
+        trace = Trace("trace-1")
+        trace.spans = [
+            _span("trace-1", "s1", None, "frontend", 0.0, 10.0),
+            _client_span("trace-1", "s2", "s1", "frontend", "backend", 1.0, 9.0),
+        ]
+        collector = SpanCollector()
+        collector.ingest_trace(trace)
+        assert collector.edge_counts == {("frontend", "backend"): 1}
+
+    def test_hedged_cancelled_loser_still_counts_once(self):
+        # A hedged hop records ONE client span however many duplicates
+        # raced (the losers are transport tries, not spans); a server
+        # span from the cancelled loser arrives unfinished.  The edge
+        # counts once and the unfinished span stays off the critical
+        # path without breaking ingestion.
+        trace = Trace("trace-hedge")
+        trace.spans = [
+            _span("trace-hedge", "s1", None, "frontend", 0.0, 10.0),
+            _client_span("trace-hedge", "s2", "s1", "frontend", "backend",
+                         1.0, 9.0),
+            _span("trace-hedge", "s3", "s2", "backend", 1.2, 8.8),   # winner
+            _span("trace-hedge", "s4", "s2", "backend", 1.5, None),  # loser
+        ]
+        collector = SpanCollector()
+        steps = collector.ingest_trace(trace)
+        assert collector.edge_counts == {("frontend", "backend"): 1}
+        assert collector.spans_seen == 4
+        # The cancelled loser never finished: not on the critical path.
+        assert [s.service for s in steps].count("backend") == 1
+
+    def test_retried_hop_is_one_client_span_one_edge_count(self):
+        # Retries happen under one client span (the span carries a
+        # retries count); the hop is one logical edge traversal.
+        trace = Trace("trace-retry")
+        trace.spans = [
+            _span("trace-retry", "s1", None, "frontend", 0.0, 10.0),
+            _client_span("trace-retry", "s2", "s1", "frontend", "backend",
+                         1.0, 9.0, retries=2),
+        ]
+        collector = SpanCollector()
+        collector.ingest_trace(trace)
+        assert collector.edge_counts == {("frontend", "backend"): 1}
+
+    def test_ambient_local_hop_discovered_with_zero_wire_events(self):
+        # Ambient node-local delivery never touches the network, so the
+        # hop produces zero wire events — the client span is the only
+        # witness, and it alone must reveal the edge.
+        trace = Trace("trace-local")
+        trace.spans = [
+            _span("trace-local", "s1", None, "frontend", 0.0, 1.0),
+            _client_span("trace-local", "s2", "s1", "frontend",
+                         "local-cache", 0.1, 0.2),
+        ]
+        collector = SpanCollector()
+        collector.ingest_trace(trace)
+        assert collector.edge_counts == {("frontend", "local-cache"): 1}
+
+    def test_operation_path_is_stripped_to_service(self):
+        trace = Trace("trace-path")
+        trace.spans = [
+            Span(
+                trace_id="trace-path", span_id="s1", parent_span_id=None,
+                service="frontend", operation="client:backend/api/v1/items",
+                start_time=0.0, end_time=1.0,
+            ),
+        ]
+        collector = SpanCollector()
+        collector.ingest_trace(trace)
+        assert collector.edge_counts == {("frontend", "backend"): 1}

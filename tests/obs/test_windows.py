@@ -100,3 +100,46 @@ class TestWindowedHistogram:
         for i in range(10_000):
             hist.record(i * 0.01, 0.005)
         assert len(hist.slices) <= 4
+
+
+class TestZeroSampleContract:
+    """An empty or fully-expired window must answer well-defined zeros —
+    never NaN, never an index error, never a stale value."""
+
+    def test_empty_counter_total_and_rate_are_zero(self):
+        counter = WindowedCounter(window=4.0)
+        assert counter.total(0.0) == 0.0
+        assert counter.rate(0.0) == 0.0
+        assert counter.rate(1e9) == 0.0
+
+    def test_fully_expired_counter_answers_zero(self):
+        counter = WindowedCounter(window=2.0, slices=2)
+        counter.add(0.5, amount=7.0)
+        assert counter.total(0.5) == 7.0
+        assert counter.total(100.0) == 0.0
+        assert counter.rate(100.0) == 0.0
+
+    def test_empty_histogram_summary_is_all_zero(self):
+        hist = WindowedHistogram(window=4.0)
+        summary = hist.summary(0.0)
+        assert summary.count == 0
+        assert (summary.p50, summary.p99) == (0.0, 0.0)
+        assert hist.quantile(0.0, 50.0) == 0.0
+
+    def test_fully_expired_histogram_answers_zero(self):
+        hist = WindowedHistogram(window=2.0, slices=2)
+        hist.record(0.5, 1.0)
+        assert hist.quantile(0.5, 99.0) > 0.0
+        assert hist.count(100.0) == 0
+        assert hist.quantile(100.0, 99.0) == 0.0
+        assert hist.summary(100.0).count == 0
+
+    def test_zero_answers_do_not_resurrect_old_samples(self):
+        # Querying an expired window must also *drop* the stale slices:
+        # a later in-window sample stands alone.
+        hist = WindowedHistogram(window=2.0, slices=2)
+        hist.record(0.5, 1.0)
+        assert hist.quantile(100.0, 99.0) == 0.0
+        hist.record(100.5, 0.001)
+        assert hist.count(100.5) == 1
+        assert hist.quantile(100.5, 99.0) == pytest.approx(0.001, rel=0.01)
