@@ -10,6 +10,7 @@ Usage::
     python -m repro overload [--csv PATH]  # X-9: saturation curves
     python -m repro dataplane [--csv PATH] # X-10: sidecar/ambient/none
     python -m repro diagnose [--out DIR]   # X-11: graph root-cause gate
+    python -m repro capacity [--out DIR]   # X-12: USE knee-prediction gate
     python -m repro compare BASE CAND [--wall]  # diff two snapshots
     python -m repro all        # everything, through ONE shared runner
 
@@ -41,6 +42,7 @@ from typing import Callable
 from .experiments import (
     PAPER_RPS_LEVELS,
     AblationExperiment,
+    CapacityExperiment,
     ComputeExperiment,
     DataplaneExperiment,
     DiagnoseExperiment,
@@ -144,6 +146,31 @@ def _render_diagnose(result, args) -> str:
     return "\n".join(lines)
 
 
+def _render_capacity(result, args) -> str:
+    _write_csv(result, args)
+    if getattr(args, "out", None):
+        written = result.write_artifacts(args.out)
+        print(
+            f"wrote {len(written)} artifacts to {args.out}", file=sys.stderr
+        )
+    lines = [result.report().rstrip("\n")]
+    if result.passed:
+        lines.append(
+            "capacity: PASS (predicted knee within tolerance on every "
+            "topology)"
+        )
+    else:
+        lines.append("capacity: FAIL")
+        lines.extend(
+            f"  [{topo}] predicted {result.predicted_knee(topo):.1f} rps "
+            f"vs measured {result.measured_capacity(topo):.1f} rps "
+            f"({result.knee_error(topo) * 100.0:.1f}% off)"
+            for topo in result.topologies()
+            if result.knee_error(topo) > result.tolerance
+        )
+    return "\n".join(lines)
+
+
 def _render_slo(result, args) -> str:
     _write_csv(result, args)
     if getattr(args, "out", None):
@@ -236,6 +263,13 @@ COMMANDS = {
         "X-11: service-graph root-cause localization (exit 1 on a miss)",
         render=_render_diagnose,
         exit_code=lambda result: 0 if result.accuracy == 1.0 else 1,
+    ),
+    "capacity": Command(
+        lambda args: CapacityExperiment(**_overrides(args, 20.0, rps=30.0)),
+        "X-12: USE resource plane — bottleneck ranking & knee prediction "
+        "(exit 1 on a miss)",
+        render=_render_capacity,
+        exit_code=lambda result: 0 if result.passed else 1,
     ),
 }
 

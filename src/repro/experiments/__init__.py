@@ -26,6 +26,9 @@
 * :mod:`diagnose` — X-11, service-graph root-cause localization:
   seeded single faults on the Fig. 4 and DAG topologies, graded
   against the localizer's top-1 culprit.
+* :mod:`capacity` — X-12, resource-capacity observability: USE
+  telemetry for every shared resource, bottleneck ranking, and the
+  knee-prediction gate behind ``python -m repro capacity``.
 
 Every harness follows one contract::
 
@@ -38,6 +41,12 @@ the harness's grid out across worker processes with result caching.
 """
 
 from .ablations import AblationExperiment, AblationResult, ablation_policies, run_ablations
+from .capacity import (
+    CapacityExperiment,
+    CapacityResult,
+    measure_capacity,
+    run_capacity,
+)
 from .bench import (
     BENCH_SCHEMA,
     BenchExperiment,
@@ -128,6 +137,8 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchExperiment",
     "BenchResult",
+    "CapacityExperiment",
+    "CapacityResult",
     "ComputeExperiment",
     "ComputeResult",
     "DEFAULT_MSS",
@@ -184,6 +195,7 @@ __all__ = [
     "config_digest",
     "default_slos",
     "format_table",
+    "measure_capacity",
     "measure_dataplane",
     "measure_diagnose",
     "measure_observed",
@@ -196,6 +208,7 @@ __all__ = [
     "replicate",
     "run_ablations",
     "run_bench",
+    "run_capacity",
     "run_compute",
     "run_dataplane",
     "run_diagnose",

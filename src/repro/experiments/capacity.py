@@ -1,0 +1,378 @@
+"""X-12: resource-capacity observability and bottleneck prediction.
+
+The X-9 overload harness discovers the saturation knee *empirically*:
+sweep offered load past capacity and watch goodput plateau.  This
+harness shows the USE resource plane (:mod:`repro.obs.resources`) can
+*predict* the same knee from sub-saturation telemetry alone — the
+cross-layer visibility claim made quantitative:
+
+* the X-9 constricted e-library (one frontend worker, ~31 ms mean
+  service time, nominal capacity ≈30 rps) runs with the overload
+  posture **off** — the knee must come from the resources, not from
+  admission control — on two topologies: the single-node Figure-4
+  deployment and the two-node spread;
+* offered load sweeps sub-knee and past-knee multipliers; at every
+  point the resource collector snapshots windowed utilization for every
+  tracked resource (worker pools, node links, qdiscs, ...);
+* the capacity analyzer fits utilization-vs-offered-load through the
+  origin per resource, ranks the bottlenecks (smallest predicted max
+  RPS first), and predicts the knee as the top bottleneck's capacity;
+* the verdict compares the predicted knee against the *measured*
+  capacity — the maximum total goodput seen anywhere in the sweep (the
+  plateau under overload) — and fails past ``KNEE_TOLERANCE``.
+
+Everything is byte-deterministic: serial and parallel sweeps produce
+identical CSV, and the snapshot rows ride ``measurement.extra`` as
+plain dicts so the Runner's cache and process pool both work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..mesh.config import MeshConfig
+from ..obs import ObservabilityPlane
+from ..obs.resources import (
+    ResourceCollector,
+    rank_bottlenecks,
+    rows_csv,
+    rows_prometheus,
+)
+from .overload import LS_FRACTION, overload_elibrary, overload_transport
+from .report import format_table
+from .runner import (
+    Experiment,
+    Point,
+    Runner,
+    ScenarioMeasurement,
+    wall_timer,
+)
+from .scenario import ScenarioConfig, ScenarioResult, _drain, build_scenario
+
+#: (topology label, node count): the Figure-4 single-node deployment and
+#: the two-node spread (pods scheduled round-robin across nodes).
+TOPOLOGIES = (("fig4", 1), ("twonode", 2))
+
+#: Offered load as multiples of nominal capacity.  Four sub-knee points
+#: anchor the fit; two past-knee points expose the measured plateau.
+#: 1.6x is the ceiling: higher multipliers back the frontend queue up
+#: past the 15 s default timeout and goodput collapses for the wrong
+#: reason (timeouts, not capacity).
+MULTIPLIERS = (0.3, 0.5, 0.7, 0.85, 1.2, 1.6)
+
+#: The verdict gate: predicted knee within this fraction of measured.
+KNEE_TOLERANCE = 0.15
+
+#: The sweep point whose full resource snapshot is exported for
+#: ``repro compare`` (the hottest sub-knee point: utilization drift is
+#: visible there, while past-knee utilization clips at 1.0).
+SNAPSHOT_MULTIPLIER = 0.85
+
+#: Resources whose fitted capacity is reported in the ranking table.
+TABLE_ROWS = 8
+
+
+def measure_capacity(config: ScenarioConfig) -> ScenarioMeasurement:
+    """Point function: one (topology, multiplier) cell with the resource
+    collector installed; the USE snapshot rides in ``extra``."""
+    with wall_timer() as timer:
+        sim, cluster, mesh, app, gateway, mix, manager = build_scenario(config)
+        window_s = max(config.duration - config.warmup, 1.0)
+        collector = ResourceCollector(window=window_s)
+        plane = ObservabilityPlane(resources=collector).install(
+            mesh=mesh, cluster=cluster, gateway=gateway
+        )
+        mix.start(config.duration)
+        sim.run(until=config.duration)
+        # Snapshot at the steady-state edge: the trailing window covers
+        # exactly the post-warmup span, before the drain empties queues.
+        resource_rows = collector.snapshot(sim.now)
+        _drain(sim, mix, config.duration + config.drain)
+        plane.harvest(mesh=mesh, network=cluster.network)
+    result = ScenarioResult(
+        config=config,
+        sim=sim,
+        cluster=cluster,
+        mesh=mesh,
+        app=app,
+        gateway=gateway,
+        mix=mix,
+        manager=manager,
+        window=(config.warmup, config.duration),
+    )
+    measurement = ScenarioMeasurement.from_scenario(
+        result, wall_clock=timer.elapsed
+    )
+    window = (config.warmup, config.duration)
+    span = window[1] - window[0]
+    goodput = {}
+    for workload in ("ls", "li"):
+        # Goodput is a *completion* rate: count requests that finished
+        # inside the steady-state window.  Filtering by send time would
+        # credit past-knee arrivals that only complete during the drain,
+        # hiding the plateau this harness exists to measure.
+        ok = result.recorder.of(workload, ok_only=True)
+        done = [s for s in ok if window[0] <= s.sent_at + s.latency < window[1]]
+        goodput[workload] = len(done) / span if span > 0 else 0.0
+    measurement.extra["capacity"] = {
+        "offered_rps": config.rps + (config.li_rps or 0.0),
+        "goodput_rps": goodput["ls"] + goodput["li"],
+        "resources": resource_rows,
+    }
+    return measurement
+
+
+@dataclass
+class CapacityResult:
+    """The capacity grid: (topology, multiplier) -> cell, plus the
+    per-topology bottleneck ranking and knee verdict."""
+
+    capacity_rps: float = 0.0
+    tolerance: float = KNEE_TOLERANCE
+    #: (topology, multiplier) -> {"offered_rps", "goodput_rps",
+    #: "resources": [USE snapshot rows]}.
+    rows: dict = field(default_factory=dict)
+
+    # -- accessors ------------------------------------------------------
+    def topologies(self) -> list[str]:
+        return sorted({topo for topo, _m in self.rows})
+
+    def cell(self, topology: str, multiplier: float) -> dict:
+        return self.rows[(topology, multiplier)]
+
+    def curves(self, topology: str) -> dict:
+        """Per-resource utilization-vs-offered-load curves for one
+        topology, in the shape :func:`rank_bottlenecks` consumes."""
+        curves: dict[str, dict] = {}
+        for (topo, multiplier), cell in sorted(self.rows.items()):
+            if topo != topology:
+                continue
+            for row in cell["resources"]:
+                entry = curves.setdefault(
+                    row["resource"],
+                    {"kind": row["kind"], "node": row["node"], "points": []},
+                )
+                entry["points"].append(
+                    (cell["offered_rps"], row["utilization"])
+                )
+        return curves
+
+    def bottlenecks(self, topology: str):
+        return rank_bottlenecks(self.curves(topology))
+
+    def predicted_knee(self, topology: str) -> float:
+        """The top-ranked bottleneck's fitted capacity (rps)."""
+        ranked = self.bottlenecks(topology)
+        return ranked[0].predicted_max_rps if ranked else float("inf")
+
+    def measured_capacity(self, topology: str) -> float:
+        """The goodput plateau: max total goodput across the sweep."""
+        cells = [
+            cell
+            for (topo, _m), cell in self.rows.items()
+            if topo == topology
+        ]
+        return max((cell["goodput_rps"] for cell in cells), default=0.0)
+
+    def knee_error(self, topology: str) -> float:
+        """Relative error of the predicted knee vs measured capacity."""
+        measured = self.measured_capacity(topology)
+        if measured <= 0:
+            return float("inf")
+        return abs(self.predicted_knee(topology) - measured) / measured
+
+    @property
+    def passed(self) -> bool:
+        """The headline claim: on every topology the USE plane predicts
+        the saturation knee within tolerance of the measured plateau."""
+        topologies = self.topologies()
+        if not topologies:
+            return False
+        return all(
+            self.knee_error(topo) <= self.tolerance for topo in topologies
+        )
+
+    def snapshot_rows(self, topology: str) -> list[dict]:
+        """The exported snapshot (see :data:`SNAPSHOT_MULTIPLIER`)."""
+        return self.cell(topology, SNAPSHOT_MULTIPLIER)["resources"]
+
+    # -- rendering ------------------------------------------------------
+    def table(self) -> str:
+        blocks = []
+        for topo in self.topologies():
+            headers = [
+                "rank", "resource", "kind", "node",
+                "predicted max (rps)", "peak util", "headroom",
+            ]
+            body = []
+            for rank, estimate in enumerate(
+                self.bottlenecks(topo)[:TABLE_ROWS], start=1
+            ):
+                predicted = (
+                    "inf"
+                    if estimate.predicted_max_rps == float("inf")
+                    else f"{estimate.predicted_max_rps:.1f}"
+                )
+                body.append([
+                    f"{rank}",
+                    estimate.resource,
+                    estimate.kind,
+                    estimate.node,
+                    predicted,
+                    f"{estimate.peak_utilization * 100.0:.1f}%",
+                    f"{estimate.headroom * 100.0:.1f}%",
+                ])
+            blocks.append(
+                format_table(
+                    headers,
+                    body,
+                    title=(
+                        f"X-12 [{topo}]: bottleneck ranking "
+                        f"(which resource saturates first)"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+    _COLUMNS = (
+        "topology", "multiplier", "offered_rps", "goodput_rps", "resource",
+        "kind", "node", "capacity", "utilization", "util_max", "saturation",
+        "sat_max", "errors",
+    )
+
+    def csv(self) -> str:
+        """Per-resource utilization curves, one row per (topology,
+        multiplier, resource)."""
+        lines = [",".join(self._COLUMNS)]
+        for (topo, multiplier), cell in sorted(self.rows.items()):
+            for row in cell["resources"]:
+                lines.append(
+                    ",".join([
+                        topo,
+                        f"{multiplier:g}",
+                        f"{cell['offered_rps']:.3f}",
+                        f"{cell['goodput_rps']:.3f}",
+                        row["resource"],
+                        row["kind"],
+                        row["node"],
+                        f"{row['capacity']:g}",
+                        f"{row['utilization']:.6f}",
+                        f"{row['util_max']:.6f}",
+                        f"{row['saturation']:.4f}",
+                        f"{row['sat_max']:.4f}",
+                        f"{row['errors']:.0f}",
+                    ])
+                )
+        return "\n".join(lines) + "\n"
+
+    def headline(self) -> str:
+        lines = []
+        for topo in self.topologies():
+            ranked = self.bottlenecks(topo)
+            top = ranked[0] if ranked else None
+            verdict = "PASS" if self.knee_error(topo) <= self.tolerance else "FAIL"
+            lines.append(
+                f"[{topo}] predicted knee {self.predicted_knee(topo):.1f} rps "
+                f"(bottleneck: {top.resource if top else '?'}) vs measured "
+                f"{self.measured_capacity(topo):.1f} rps -> "
+                f"{self.knee_error(topo) * 100.0:.1f}% error "
+                f"(tolerance {self.tolerance * 100.0:.0f}%): {verdict}"
+            )
+        lines.append(
+            "knee prediction "
+            + ("PASSED" if self.passed else "FAILED")
+            + " on "
+            + (", ".join(self.topologies()) or "no topologies")
+        )
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        return "\n\n".join([self.table(), self.headline()])
+
+    def write_artifacts(self, out_dir: str | Path) -> list[Path]:
+        """Curves CSV plus, per topology, the ``repro compare``-ready
+        resource snapshot (CSV) and its Prometheus exposition."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        written = []
+
+        def emit(name: str, text: str) -> None:
+            path = out / name
+            path.write_text(text)
+            written.append(path)
+
+        emit("capacity_curves.csv", self.csv())
+        for topo in self.topologies():
+            rows = self.snapshot_rows(topo)
+            emit(f"resources_{topo}.csv", rows_csv(rows))
+            emit(f"resources_{topo}.prom", rows_prometheus(rows))
+        return written
+
+
+class CapacityExperiment(Experiment):
+    """The capacity grid: topologies × load multipliers, posture off."""
+
+    name = "capacity"
+    #: ``rps`` is read as the nominal frontend capacity (X-9's reading).
+    defaults = {"rps": 30.0}
+
+    def points(self) -> list[Point]:
+        capacity = self.base.rps
+        elibrary = overload_elibrary()
+        transport = overload_transport()
+        grid = []
+        for topo, nodes in TOPOLOGIES:
+            for multiplier in MULTIPLIERS:
+                grid.append(
+                    Point(
+                        label=f"{topo}:x{multiplier:g}",
+                        fn=measure_capacity,
+                        config=replace_config(
+                            self.base,
+                            rps=LS_FRACTION * capacity * multiplier,
+                            li_rps=(1.0 - LS_FRACTION) * capacity * multiplier,
+                            nodes=nodes,
+                            elibrary=elibrary,
+                            transport=transport,
+                        ),
+                    )
+                )
+        return grid
+
+    def collect(self, measurements) -> CapacityResult:
+        result = CapacityResult(capacity_rps=self.base.rps)
+        for topo, _nodes in TOPOLOGIES:
+            for multiplier in MULTIPLIERS:
+                measurement = measurements[f"{topo}:x{multiplier:g}"]
+                cell = measurement.extra.get("capacity", {})
+                result.rows[(topo, multiplier)] = {
+                    "offered_rps": cell.get("offered_rps", 0.0),
+                    "goodput_rps": cell.get("goodput_rps", 0.0),
+                    "resources": cell.get("resources", []),
+                }
+        return result
+
+
+def replace_config(base: ScenarioConfig, **overrides) -> ScenarioConfig:
+    """X-9's cell posture minus the overload control: plain mesh, no
+    cross-layer policy — the knee must come from the resources."""
+    from dataclasses import replace
+
+    return replace(
+        base,
+        cross_layer=False,
+        policy=None,
+        mesh=MeshConfig(),
+        **overrides,
+    )
+
+
+def run_capacity(
+    base_config: ScenarioConfig | None = None,
+    *,
+    runner: Runner | None = None,
+    **overrides,
+) -> CapacityResult:
+    """Run the resource-capacity observability harness (X-12)."""
+    return CapacityExperiment(base_config, **overrides).run(runner)

@@ -138,6 +138,10 @@ class Sidecar:
                 ratio=self._overload.retry_budget_ratio,
                 min_retries=self._overload.retry_budget_min,
             )
+        #: Optional :class:`repro.obs.resources.TrackedResource` for the
+        #: inbound worker pool; set by the resource collector (None by
+        #: default: zero overhead detached).
+        self._worker_tracker = None
         # Telemetry local to this sidecar.
         self.requests_proxied = 0
         self.requests_shed = 0
@@ -384,7 +388,15 @@ class Sidecar:
     def _inbound_worker(self):
         while True:
             _priority, request, reply = yield self._inbound_queue.get()
-            yield from self._handle_inbound(request, reply)
+            tracker = self._worker_tracker
+            if tracker is None:
+                yield from self._handle_inbound(request, reply)
+                continue
+            tracker.busy_acquire(self.sim.now, len(self._inbound_queue))
+            try:
+                yield from self._handle_inbound(request, reply)
+            finally:
+                tracker.busy_release(self.sim.now, len(self._inbound_queue))
 
     def _handle_inbound(self, request: HttpRequest, reply):
         serve_start = self.sim.now

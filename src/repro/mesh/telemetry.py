@@ -106,6 +106,13 @@ class Telemetry:
         #: the online service-dependency graph.  ``None`` keeps the
         #: path zero-overhead, exactly like the attributor hook.
         self.graph = None
+        #: Optional :class:`repro.obs.ResourceCollector`; when installed
+        #: (by the observability plane) every contended resource — pod
+        #: worker pools, sidecar queues, node proxies, the admission
+        #: gate, retry budgets, links, qdiscs — reports windowed USE
+        #: (utilization/saturation/errors) telemetry.  ``None`` keeps
+        #: every resource hot path zero-overhead.
+        self.resources = None
 
     @property
     def truncated(self) -> bool:

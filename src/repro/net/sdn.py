@@ -57,7 +57,10 @@ class LinkMonitor:
         while True:
             yield self.sim.timeout(self.interval)
             for iface in self._interfaces():
-                sent = iface.bytes_transmitted
+                # Packet-mode and fluid-fast-path bytes both occupy the
+                # link; sampling only the former blinds load-aware LB
+                # and TE to congestion under the hybrid transport.
+                sent = iface.bytes_transmitted + iface.fluid_bytes_transmitted
                 drops = iface.qdisc.stats.dropped
                 delta = sent - self._last_bytes.get(iface.name, 0)
                 drop_delta = drops - self._last_drops.get(iface.name, 0)

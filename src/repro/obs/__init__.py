@@ -27,6 +27,11 @@ the repo's single sink for measurement:
 * :mod:`localize` — automated root-cause localization: when an SLO
   alert fires, rank edges/nodes by anomaly contribution vs. the warmup
   baseline, with the dominant layer per culprit.
+* :mod:`resources` — the USE-method resource plane: windowed
+  Utilization/Saturation/Errors for every contended resource (worker
+  pools, sidecar queues, node proxies, admission gates, retry budgets,
+  links, qdiscs) plus the capacity analyzer that ranks bottlenecks and
+  predicts the saturation knee.
 * :mod:`export` — JSON/CSV exporters plus a flame-style text waterfall.
 * :mod:`promexport` / :mod:`jaeger` — interop exporters: Prometheus
   text exposition for registry snapshots, Jaeger JSON for traces.
@@ -81,6 +86,16 @@ from .metrics import (
 from .plane import ObservabilityPlane
 from .profile import PROFILE_SCHEMA, SECTIONS, SimProfiler, profile_text
 from .promexport import parse_prometheus_text, prometheus_text
+from .resources import (
+    RESOURCES_CSV_HEADER,
+    CapacityEstimate,
+    ResourceCollector,
+    TrackedResource,
+    fit_capacity,
+    rank_bottlenecks,
+    rows_csv,
+    rows_prometheus,
+)
 from .slo import (
     SCOPE_CLASS,
     SCOPE_DESTINATION,
@@ -90,7 +105,7 @@ from .slo import (
     default_rules,
 )
 from .spans import CriticalPathStep, SpanCollector
-from .windows import WindowedCounter, WindowedHistogram
+from .windows import WindowedCounter, WindowedGauge, WindowedHistogram
 
 __all__ = [
     "LAYERS",
@@ -104,6 +119,7 @@ __all__ = [
     "AlertEvent",
     "AlertTimeline",
     "BurnRateRule",
+    "CapacityEstimate",
     "CompareReport",
     "Counter",
     "CriticalPathStep",
@@ -122,6 +138,8 @@ __all__ = [
     "LogLinearHistogram",
     "MetricsRegistry",
     "ObservabilityPlane",
+    "RESOURCES_CSV_HEADER",
+    "ResourceCollector",
     "RootCauseLocalizer",
     "PROFILE_SCHEMA",
     "RequestAttribution",
@@ -131,18 +149,24 @@ __all__ = [
     "SloSpec",
     "SloStats",
     "SpanCollector",
+    "TrackedResource",
     "WindowedCounter",
+    "WindowedGauge",
     "WindowedHistogram",
     "compare_runs",
     "csv_escape",
     "decompose",
     "default_rules",
+    "fit_capacity",
     "jaeger_json",
     "jaeger_trace_dict",
     "merge_snapshots",
     "parse_prometheus_text",
     "profile_text",
     "prometheus_text",
+    "rank_bottlenecks",
+    "rows_csv",
+    "rows_prometheus",
     "snapshot_csv",
     "snapshot_digest",
     "snapshot_json",

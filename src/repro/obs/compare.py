@@ -22,6 +22,12 @@ understands:
   (windowed quantiles on sparse edges jitter by tens of microseconds).
   An edge present on only one side fails as ``missing``/``extra`` — a
   topology change must be an explicit decision.
+* resource snapshots (``resource,kind,node,...`` CSVs from
+  :func:`repro.obs.resources.rows_csv`) — the windowed utilization of
+  every tracked resource, with an absolute floor of 0.02 (two
+  utilization points) so scheduling jitter never fails a build.  A
+  resource present on only one side fails as ``missing``/``extra`` — a
+  topology or instrumentation change must be an explicit decision.
 
 A statistic regresses when the candidate is worse than the baseline by
 more than ``threshold`` (relative) *and* by more than the unit's
@@ -43,6 +49,7 @@ from pathlib import Path
 
 from .graph import EDGES_CSV_HEADER
 from .metrics import LogLinearHistogram
+from .resources import RESOURCES_CSV_HEADER
 
 #: Relative slowdown tolerated before a statistic counts as regressed.
 DEFAULT_THRESHOLD = 0.05
@@ -50,6 +57,8 @@ DEFAULT_THRESHOLD = 0.05
 DEFAULT_MIN_ABS_S = 1e-4
 #: Absolute floor (seconds) for per-edge p99 drift in graph snapshots.
 GRAPH_EDGE_MIN_ABS_S = 5e-5
+#: Absolute floor (utilization points) for resource-snapshot drift.
+RESOURCE_UTIL_MIN_ABS = 0.02
 
 #: Bench-report schema accepted by the bench reader (kept in sync with
 #: :data:`repro.experiments.bench.BENCH_SCHEMA`).
@@ -65,6 +74,7 @@ _MIN_ABS = {
     "wall_s": 0.05,
     "events/s": 0.0,
     "edge_s": GRAPH_EDGE_MIN_ABS_S,
+    "util": RESOURCE_UTIL_MIN_ABS,
 }
 
 
@@ -92,6 +102,8 @@ class Delta:
             return f"{value:.2f} s"
         if self.unit == "events/s":
             return f"{value:,.0f}/s"
+        if self.unit == "util":
+            return f"{value * 100.0:.1f}%"
         return f"{value:,.0f}"
 
     def line(self) -> str:
@@ -223,10 +235,30 @@ def _graph_edge_quantiles(path: Path):
     return out
 
 
+def _resource_utilizations(path: Path):
+    """Resource snapshot (:func:`repro.obs.resources.rows_csv`): the
+    windowed utilization of every tracked resource.  Each resource is
+    one statistic, so the symmetric stat difference surfaces
+    EXTRA/MISSING resources."""
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return None
+    if not lines or lines[0] != RESOURCES_CSV_HEADER:
+        return None
+    out = {}
+    for line in lines[1:]:
+        parts = line.split(",")
+        if len(parts) < 9:
+            continue
+        out[(parts[0], "utilization")] = (float(parts[4]), "util")
+    return out
+
+
 #: Readers tried in order per suffix; the first non-None answer wins.
 _READERS = {
     ".json": (_bench_metrics, _snapshot_quantiles),
-    ".csv": (_graph_edge_quantiles, _attribution_means),
+    ".csv": (_graph_edge_quantiles, _resource_utilizations, _attribution_means),
 }
 
 

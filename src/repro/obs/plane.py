@@ -26,6 +26,14 @@ The topology-level half (ISSUE 9) is the optional
 telemetry's ``graph`` hook at it (same zero-overhead contract) and
 widens the interface dequeue observer so qdisc waits feed both the
 per-request attributor and the per-edge graph tallies.
+
+The resource half (ISSUE 10) is the optional
+:class:`~repro.obs.resources.ResourceCollector`: ``install`` hands it
+the scenario's layers (mesh, cluster, network, and — new argument —
+the ingress ``gateway``, whose admission gate is a tracked resource)
+and it hooks every contended resource for USE telemetry.  Same
+zero-overhead contract: no collector, no monitor hooks, no sampler
+process, byte-identical event streams.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from __future__ import annotations
 from .attribution import LayerAttributor
 from .graph import GraphCollector
 from .metrics import MetricsRegistry
+from .resources import ResourceCollector
 from .slo import SloEngine
 from .spans import SpanCollector
 
@@ -46,6 +55,7 @@ class ObservabilityPlane:
         registry: MetricsRegistry | None = None,
         slo: SloEngine | None = None,
         graph: GraphCollector | None = None,
+        resources: ResourceCollector | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.attributor = LayerAttributor()
@@ -56,13 +66,18 @@ class ObservabilityPlane:
         self.graph = graph
         if graph is not None and graph.registry is None:
             graph.registry = self.registry
+        self.resources = resources
         self.installed = False
 
-    def install(self, mesh=None, cluster=None, network=None) -> "ObservabilityPlane":
+    def install(
+        self, mesh=None, cluster=None, network=None, gateway=None
+    ) -> "ObservabilityPlane":
         """Hook into a built (but not yet running) scenario.
 
         Any argument may be None to skip that layer (unit tests exercise
-        single layers).  ``network`` defaults to ``cluster.network``.
+        single layers).  ``network`` defaults to ``cluster.network``;
+        ``gateway`` only matters to the resource collector (its
+        admission gate is a tracked resource).
         """
         if mesh is not None:
             # The telemetry's registry is empty until traffic flows, so
@@ -86,6 +101,21 @@ class ObservabilityPlane:
             for name in sorted(network.devices):
                 for interface in network.devices[name].interfaces:
                     interface.queue_observer = observer
+        if self.resources is not None:
+            sim = None
+            if mesh is not None:
+                sim = mesh.sim
+            elif cluster is not None:
+                sim = cluster.sim
+            elif gateway is not None:
+                sim = gateway.sim
+            self.resources.install(
+                sim,
+                mesh=mesh,
+                cluster=cluster,
+                network=network,
+                gateway=gateway,
+            )
         self.installed = True
         return self
 

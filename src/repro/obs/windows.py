@@ -109,6 +109,108 @@ class WindowedCounter(_SliceRing):
         return self.total(now) / self.window
 
 
+class WindowedGauge(_SliceRing):
+    """A time-weighted level over the trailing window (queue depth,
+    busy fraction, in-flight count).
+
+    The gauge models a *piecewise-constant* signal: :meth:`set` records
+    the level at a sim time, and the previous level is held until the
+    next set.  Each live slice accumulates ``(integral, seconds, max)``
+    of the signal's overlap with that slice, so queries are exact for
+    the slice-aligned window — not sample averages, which under-weight
+    long-held levels:
+
+    * :meth:`mean` — ∫value·dt / covered seconds over the live window
+      (the USE method's utilization when fed ``in_use / capacity``);
+    * :meth:`maximum` — the largest level present in the live window,
+      including zero-duration spikes (a set immediately overwritten at
+      the same time still registers in its slice's max).
+
+    Zero-sample contract (matching the counter and histogram): a gauge
+    that was never set, or whose entire history has expired *and* whose
+    held level never reached a live slice, answers exactly 0.0.
+
+    Queries settle the held segment up to ``now`` first, so a level set
+    once and held for minutes keeps counting without further sets.
+    Time never goes backwards in the simulator; a stale ``set`` (earlier
+    than the latest set) is dropped.
+    """
+
+    def __init__(self, window: float, slices: int = DEFAULT_SLICES) -> None:
+        super().__init__(window, slices)
+        self._value = 0.0
+        self._since: float | None = None
+
+    @property
+    def last(self) -> float:
+        """The most recently set level (0.0 before the first set)."""
+        return self._value
+
+    def _payload(self, index: int) -> list:
+        payload = self.slices.get(index)
+        if payload is None:
+            payload = [0.0, 0.0, float("-inf")]  # integral, seconds, max
+            self.slices[index] = payload
+        return payload
+
+    def _settle(self, now: float) -> None:
+        """Fold the held level's ``[since, now)`` segment into slices.
+        Only the portion overlapping the live window is written (expired
+        slices would be dropped immediately anyway), so a long-idle
+        gauge settles in O(slices), not O(elapsed)."""
+        if self._since is None or now <= self._since:
+            self._advance(now)
+            return
+        oldest = self._advance(now)
+        t = max(self._since, oldest * self.slice_width)
+        while t < now:
+            index = self._index(t)
+            segment_end = min(now, (index + 1) * self.slice_width)
+            payload = self._payload(index)
+            payload[0] += self._value * (segment_end - t)
+            payload[1] += segment_end - t
+            payload[2] = max(payload[2], self._value)
+            t = segment_end
+        self._since = now
+
+    def set(self, now: float, value: float) -> None:
+        """Record the signal's level at ``now`` (held until the next
+        set).  The new level registers in its slice's max immediately,
+        so an instantaneous spike is visible even if overwritten at the
+        same timestamp."""
+        if self._since is not None and now < self._since:
+            return  # stale sample: the signal has already moved past it
+        self._settle(now)
+        self._value = float(value)
+        self._since = now
+        index = self._index(now)
+        if index >= self._advance(now):
+            payload = self._payload(index)
+            payload[2] = max(payload[2], self._value)
+
+    def mean(self, now: float) -> float:
+        """Time-weighted mean over the live window's covered seconds;
+        exactly 0.0 when nothing has been recorded (or everything
+        expired)."""
+        self._settle(now)
+        integral = seconds = 0.0
+        for payload in self.live_payloads(now):
+            integral += payload[0]
+            seconds += payload[1]
+        if seconds <= 0.0:
+            return 0.0
+        return integral / seconds
+
+    def maximum(self, now: float) -> float:
+        """The largest level present in the live window (spikes
+        included); exactly 0.0 on an empty or fully-expired window."""
+        self._settle(now)
+        peak = float("-inf")
+        for payload in self.live_payloads(now):
+            peak = max(peak, payload[2])
+        return 0.0 if peak == float("-inf") else peak
+
+
 class WindowedHistogram(_SliceRing):
     """Rolling latency distribution: p50/p99 over the trailing window.
 

@@ -67,6 +67,9 @@ class AdmissionGate:
         self.admitted: dict[str, int] = {}
         self.shed: dict[str, int] = {}
         self.drop_intervals = 0   # times the gate flipped into dropping
+        #: Optional observer called with ``(now, decision)`` after every
+        #: admit (None by default: zero overhead detached).
+        self.monitor = None
 
     # -- measurement feed ----------------------------------------------
     def observe(self, now: float, latency: float) -> None:
@@ -150,6 +153,8 @@ class AdmissionGate:
             decision = self._stride_counter % self._stride == 0
         bucket = self.admitted if decision else self.shed
         bucket[request_class] = bucket.get(request_class, 0) + 1
+        if self.monitor is not None:
+            self.monitor(now, decision)
         return decision
 
     # -- accounting ------------------------------------------------------

@@ -30,6 +30,9 @@ class RetryBudget:
         self.active_retries = 0
         self.retries_started = 0
         self.retries_denied = 0
+        #: Optional observer called with ``(self, denied)`` after every
+        #: state transition (None by default: zero overhead detached).
+        self.monitor = None
 
     @property
     def limit(self) -> int:
@@ -39,11 +42,15 @@ class RetryBudget:
     # -- request lifecycle (the denominator) ---------------------------
     def request_started(self) -> None:
         self.active_requests += 1
+        if self.monitor is not None:
+            self.monitor(self, False)
 
     def request_finished(self) -> None:
         if self.active_requests <= 0:
             raise RuntimeError("request_finished() without request_started()")
         self.active_requests -= 1
+        if self.monitor is not None:
+            self.monitor(self, False)
 
     # -- retry tokens ---------------------------------------------------
     def try_acquire(self) -> bool:
@@ -52,11 +59,17 @@ class RetryBudget:
         if self.active_retries < self.limit:
             self.active_retries += 1
             self.retries_started += 1
+            if self.monitor is not None:
+                self.monitor(self, False)
             return True
         self.retries_denied += 1
+        if self.monitor is not None:
+            self.monitor(self, True)
         return False
 
     def release(self) -> None:
         if self.active_retries <= 0:
             raise RuntimeError("release() without matching try_acquire()")
         self.active_retries -= 1
+        if self.monitor is not None:
+            self.monitor(self, False)

@@ -50,6 +50,10 @@ class LevelingQueue:
         self.queued = 0
         self.rejected = 0
         self.evicted = 0
+        #: Optional observer called with ``(outcome, displaced)`` after
+        #: every offer and ``(None, None)`` after every dequeue (None by
+        #: default: zero overhead detached).
+        self.monitor = None
 
     def __len__(self) -> int:
         return len(self.store)
@@ -71,13 +75,20 @@ class LevelingQueue:
             worst = self.store.peek_max()
             if worst is None or not self.store._key(item) < self.store._key(worst):
                 self.rejected += 1
+                if self.monitor is not None:
+                    self.monitor(REJECTED, None)
                 return REJECTED, None
             displaced = self.store.pop_max()
             self.evicted += 1
         self.queued += 1
         self.store.put(item)
+        if self.monitor is not None:
+            self.monitor(QUEUED, displaced)
         return QUEUED, displaced
 
     def get(self):
         """Blocking get (an event carrying the best queued item)."""
-        return self.store.get()
+        event = self.store.get()
+        if self.monitor is not None:
+            event.callbacks.append(lambda _event: self.monitor(None, None))
+        return event

@@ -198,6 +198,9 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: deque[Event] = deque()
+        #: Optional observer called with ``self`` after every acquire /
+        #: release transition (None by default: zero overhead detached).
+        self.monitor = None
 
     @property
     def in_use(self) -> int:
@@ -220,6 +223,8 @@ class Resource:
             event.succeed(self)
         else:
             self._waiters.append(event)
+        if self.monitor is not None:
+            self.monitor(self)
         return event
 
     def release(self, _grant=None) -> None:
@@ -231,3 +236,5 @@ class Resource:
             waiter.succeed(self)
         else:
             self._in_use -= 1
+        if self.monitor is not None:
+            self.monitor(self)

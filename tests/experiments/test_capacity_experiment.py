@@ -1,0 +1,165 @@
+"""X-12 harness: grid shape, the USE snapshot, the knee verdict."""
+
+import pytest
+
+from repro.experiments import CapacityExperiment, CapacityResult, measure_capacity
+from repro.experiments.capacity import (
+    KNEE_TOLERANCE,
+    MULTIPLIERS,
+    SNAPSHOT_MULTIPLIER,
+    TOPOLOGIES,
+)
+from repro.experiments.overload import LS_FRACTION
+from repro.obs.resources import RESOURCES_CSV_HEADER
+
+#: One sub-knee cell, scaled down for the unit suite.
+SHORT = dict(duration=5.0, warmup=1.5, drain=20.0, seed=42, rps=30.0)
+
+
+def cell_config(topo, multiplier):
+    points = {p.label: p for p in CapacityExperiment(**SHORT).points()}
+    return points[f"{topo}:x{multiplier:g}"].config
+
+
+@pytest.fixture(scope="module")
+def subknee_cell():
+    return measure_capacity(cell_config("fig4", 0.7))
+
+
+class TestGrid:
+    def test_points_cover_both_topologies_at_every_multiplier(self):
+        points = {p.label: p for p in CapacityExperiment(**SHORT).points()}
+        assert set(points) == {
+            f"{topo}:x{m:g}" for topo, _n in TOPOLOGIES for m in MULTIPLIERS
+        }
+
+    def test_rps_is_read_as_capacity(self):
+        for point in CapacityExperiment(**SHORT).points():
+            multiplier = float(point.label.split("x")[1])
+            total = point.config.rps + point.config.li_rps
+            assert total == pytest.approx(30.0 * multiplier)
+            assert point.config.rps == pytest.approx(
+                LS_FRACTION * 30.0 * multiplier
+            )
+
+    def test_posture_is_off_everywhere(self):
+        for topo, nodes in TOPOLOGIES:
+            config = cell_config(topo, 0.7)
+            assert config.mesh.overload is None
+            assert not config.cross_layer
+            assert config.policy is None
+            assert config.nodes == nodes
+
+
+class TestSubkneeCell:
+    def test_snapshot_rides_extra(self, subknee_cell):
+        cell = subknee_cell.extra["capacity"]
+        assert cell["offered_rps"] == pytest.approx(21.0)
+        assert 0 < cell["goodput_rps"] <= cell["offered_rps"]
+        rows = cell["resources"]
+        assert rows, "USE snapshot missing"
+        names = [row["resource"] for row in rows]
+        assert names == sorted(names)
+        header_fields = RESOURCES_CSV_HEADER.split(",")
+        assert all(set(row) == set(header_fields) for row in rows)
+
+    def test_frontend_pool_is_the_hot_resource(self, subknee_cell):
+        rows = {
+            row["resource"]: row
+            for row in subknee_cell.extra["capacity"]["resources"]
+        }
+        frontend = rows["cpu:frontend-v1-1"]
+        # ~21 rps against a ~32 rps single worker: well-utilized but
+        # sub-knee; every other worker pool is far colder.
+        assert 0.3 < frontend["utilization"] < 0.85
+        other_pools = [
+            row["utilization"]
+            for name, row in rows.items()
+            if row["kind"] == "worker-pool" and name != "cpu:frontend-v1-1"
+        ]
+        assert other_pools and max(other_pools) < frontend["utilization"]
+
+    def test_measurement_is_deterministic(self, subknee_cell):
+        again = measure_capacity(cell_config("fig4", 0.7))
+        assert again.extra["capacity"] == subknee_cell.extra["capacity"]
+
+
+def synthetic_result():
+    """A hand-built grid: linear frontend utilization with a knee at
+    30 rps, goodput that plateaus there, one cold link."""
+    result = CapacityResult(capacity_rps=30.0)
+    for topo, _nodes in TOPOLOGIES:
+        for multiplier in MULTIPLIERS:
+            offered = 30.0 * multiplier
+            util = min(1.0, offered / 30.0)
+            result.rows[(topo, multiplier)] = {
+                "offered_rps": offered,
+                "goodput_rps": min(offered, 30.0),
+                "resources": [
+                    {
+                        "resource": "cpu:frontend-v1-1", "kind": "worker-pool",
+                        "node": "node-0", "capacity": 1.0, "utilization": util,
+                        "util_max": util, "saturation": 0.0, "sat_max": 0.0,
+                        "errors": 0.0,
+                    },
+                    {
+                        "resource": "link:core", "kind": "link",
+                        "node": "core", "capacity": 1e9,
+                        "utilization": util * 0.01, "util_max": util * 0.01,
+                        "saturation": 0.0, "sat_max": 0.0, "errors": 0.0,
+                    },
+                ],
+            }
+    return result
+
+
+class TestCapacityResult:
+    def test_bottleneck_ranking_and_knee(self):
+        result = synthetic_result()
+        ranked = result.bottlenecks("fig4")
+        assert ranked[0].resource == "cpu:frontend-v1-1"
+        assert result.predicted_knee("fig4") == pytest.approx(30.0)
+        assert result.measured_capacity("fig4") == pytest.approx(30.0)
+        assert result.knee_error("fig4") == pytest.approx(0.0)
+        assert result.passed
+
+    def test_fails_outside_tolerance(self):
+        result = synthetic_result()
+        for (topo, multiplier), cell in result.rows.items():
+            cell["goodput_rps"] *= 2.0  # fake a much higher plateau
+        assert result.knee_error("fig4") > KNEE_TOLERANCE
+        assert not result.passed
+
+    def test_empty_result_fails(self):
+        result = CapacityResult()
+        assert not result.passed
+        assert result.measured_capacity("fig4") == 0.0
+        assert result.knee_error("fig4") == float("inf")
+        assert result.predicted_knee("fig4") == float("inf")
+
+    def test_report_and_headline(self):
+        result = synthetic_result()
+        report = result.report()
+        assert "bottleneck ranking" in report
+        assert "PASS" in report
+        assert "cpu:frontend-v1-1" in report
+
+    def test_csv_row_per_topology_multiplier_resource(self):
+        result = synthetic_result()
+        lines = result.csv().splitlines()
+        assert lines[0].startswith("topology,multiplier,offered_rps")
+        assert len(lines) == 1 + len(TOPOLOGIES) * len(MULTIPLIERS) * 2
+
+    def test_write_artifacts(self, tmp_path):
+        result = synthetic_result()
+        written = {path.name for path in result.write_artifacts(tmp_path)}
+        expected = {"capacity_curves.csv"}
+        for topo, _nodes in TOPOLOGIES:
+            expected.add(f"resources_{topo}.csv")
+            expected.add(f"resources_{topo}.prom")
+        assert written == expected
+        snapshot = (tmp_path / "resources_fig4.csv").read_text()
+        assert snapshot.splitlines()[0] == RESOURCES_CSV_HEADER
+        assert result.snapshot_rows("fig4") == result.cell(
+            "fig4", SNAPSHOT_MULTIPLIER
+        )["resources"]

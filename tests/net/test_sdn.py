@@ -54,6 +54,34 @@ class TestLinkMonitor:
         reverse = net.interface_between("b", "a")
         assert monitor.utilization(reverse.name) == 0.0
 
+    def test_fluid_transfer_visible_in_utilization(self):
+        """Regression: the hybrid transport's fluid fast path bypasses
+        packet serialization, so a monitor reading only
+        ``bytes_transmitted`` reports an idle link while fluid flows
+        saturate it.  The sampler must add ``fluid_bytes_transmitted``."""
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", rate_bps=8e6)  # 1 MB/s
+        net.bind("10.0.0.1", "a")
+        net.bind("10.0.0.2", "b", handler=lambda p: None)
+        net.build_routes()
+        monitor = LinkMonitor(sim, net, interval=0.1)
+        monitor.start()
+        iface = net.interface_between("a", "b")
+
+        def fluid_sender(sim):
+            yield sim.timeout(0.05)
+            # 50 kB fluid-mode transfer: 0.4 Mb against the 0.8 Mb the
+            # link can carry per interval -> utilization 0.5.
+            iface.fluid_register(50_000)
+
+        sim.process(fluid_sender(sim))
+        sim.run(until=0.15)
+        assert iface.bytes_transmitted == 0  # nothing went packet-mode
+        assert monitor.utilization(iface.name) == pytest.approx(0.5)
+
     def test_invalid_interval(self):
         sim = Simulator()
         with pytest.raises(ValueError):

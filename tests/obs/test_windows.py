@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs import WindowedCounter, WindowedHistogram
+from repro.obs import WindowedCounter, WindowedGauge, WindowedHistogram
 
 
 class TestWindowedCounter:
@@ -44,6 +44,73 @@ class TestWindowedCounter:
             WindowedCounter(window=0.0)
         with pytest.raises(ValueError):
             WindowedCounter(window=1.0, slices=0)
+
+
+class TestWindowedGauge:
+    def test_held_level_counts_without_further_sets(self):
+        gauge = WindowedGauge(window=4.0)
+        gauge.set(0.0, 2.0)
+        # No further sets: the level is held, queries settle it.
+        assert gauge.mean(2.0) == pytest.approx(2.0)
+        assert gauge.maximum(2.0) == 2.0
+        assert gauge.last == 2.0
+
+    def test_time_weighted_mean_not_sample_mean(self):
+        gauge = WindowedGauge(window=4.0)
+        gauge.set(0.0, 0.0)
+        gauge.set(1.0, 4.0)
+        # Signal: 0 for 1 s, then 4 for 1 s.  A sample average would say
+        # 2.0 regardless of hold times; so does this one — but shift the
+        # switch point and the time weighting shows.
+        assert gauge.mean(2.0) == pytest.approx(2.0)
+        gauge2 = WindowedGauge(window=4.0)
+        gauge2.set(0.0, 0.0)
+        gauge2.set(3.0, 4.0)  # 0 held 3 s, 4 held 1 s
+        # Slice-aligned window start at t=0.5: covered = [0.5, 4.0).
+        assert gauge2.mean(4.0) == pytest.approx(4.0 / 3.5)
+
+    def test_mean_uses_covered_seconds_only(self):
+        gauge = WindowedGauge(window=4.0, slices=4)
+        gauge.set(3.0, 6.0)  # covered: [3, 4) only, within window [0, 4]
+        assert gauge.mean(4.0) == pytest.approx(6.0)
+
+    def test_old_slices_expire(self):
+        gauge = WindowedGauge(window=4.0, slices=4)
+        gauge.set(0.0, 10.0)
+        gauge.set(1.0, 0.0)
+        # At t=10 the window covers [6, 10]: the 10.0 epoch expired and
+        # the held 0.0 fills every live slice.
+        assert gauge.mean(10.0) == 0.0
+        assert gauge.maximum(10.0) == 0.0
+
+    def test_spike_overwritten_at_same_time_registers_in_max(self):
+        gauge = WindowedGauge(window=4.0)
+        gauge.set(1.0, 5.0)
+        gauge.set(1.0, 1.0)  # instantaneous spike, zero hold time
+        assert gauge.maximum(1.0) == 5.0
+        # The spike carries no duration: the mean sees only the 1.0 hold.
+        assert gauge.mean(2.0) == pytest.approx(1.0)
+
+    def test_stale_set_is_dropped(self):
+        gauge = WindowedGauge(window=4.0)
+        gauge.set(2.0, 3.0)
+        gauge.set(0.5, 100.0)  # the signal already moved past t=0.5
+        assert gauge.maximum(3.0) == 3.0
+        assert gauge.mean(3.0) == pytest.approx(3.0)
+
+    def test_long_idle_settle_is_slice_bounded(self):
+        gauge = WindowedGauge(window=4.0, slices=4)
+        gauge.set(0.0, 1.0)
+        # Settling across a huge gap must not iterate per elapsed slice
+        # width: only the live window's overlap is written.
+        assert gauge.mean(1e6) == pytest.approx(1.0)
+        assert len(gauge.slices) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedGauge(window=0.0)
+        with pytest.raises(ValueError):
+            WindowedGauge(window=1.0, slices=0)
 
 
 class TestWindowedHistogram:
@@ -133,6 +200,14 @@ class TestZeroSampleContract:
         assert hist.count(100.0) == 0
         assert hist.quantile(100.0, 99.0) == 0.0
         assert hist.summary(100.0).count == 0
+
+    def test_never_set_gauge_is_zero(self):
+        gauge = WindowedGauge(window=4.0)
+        assert gauge.last == 0.0
+        assert gauge.mean(0.0) == 0.0
+        assert gauge.maximum(0.0) == 0.0
+        assert gauge.mean(1e9) == 0.0
+        assert gauge.maximum(1e9) == 0.0
 
     def test_zero_answers_do_not_resurrect_old_samples(self):
         # Querying an expired window must also *drop* the stale slices:

@@ -11,10 +11,11 @@ the true order statistic (ceil-rank convention, matching
 
 import math
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.obs import WindowedCounter, WindowedHistogram
+from repro.obs import WindowedCounter, WindowedGauge, WindowedHistogram
 
 WINDOW = 4.0
 SLICES = 8
@@ -84,6 +85,104 @@ def test_single_sample_window(value):
     assert hist.count(1.0) == 1
     for q in (50.0, 99.0):
         assert abs(hist.quantile(1.0, q) - value) <= 0.01 * value + 1e-12
+
+
+# Gauge levels: modest magnitudes keep the float comparison honest.
+levels = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+gauge_steps = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=2.0), levels),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _gauge_segments(sets, now):
+    """The piecewise-constant signal as (start, end, value) segments."""
+    segments = []
+    for (t, v), nxt in zip(sets, sets[1:] + [(now, None)]):
+        segments.append((t, nxt[0], v))
+    return segments
+
+
+@given(steps=gauge_steps)
+@settings(max_examples=150, deadline=None)
+def test_gauge_mean_matches_time_weighted_oracle(steps):
+    """The gauge's mean over the live window must equal the exact
+    time-weighted integral of the held signal over the slice-aligned
+    window, divided by the covered seconds — under arbitrary
+    interleavings of sets and holds."""
+    gauge = WindowedGauge(WINDOW, slices=SLICES)
+    t = 0.0
+    sets = []
+    for dt, value in steps:
+        t += dt
+        gauge.set(t, value)
+        sets.append((t, value))
+    now = t
+    width = gauge.slice_width
+    ws = (_slice_index(now, width) - SLICES + 1) * width
+    integral = seconds = 0.0
+    for start, end, value in _gauge_segments(sets, now):
+        overlap = min(end, now) - max(start, ws)
+        if overlap > 0:
+            integral += value * overlap
+            seconds += overlap
+    expected = integral / seconds if seconds > 0 else 0.0
+    assert gauge.mean(now) == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+
+@given(steps=gauge_steps)
+@settings(max_examples=150, deadline=None)
+def test_gauge_maximum_brackets_exact_oracle(steps):
+    """The window maximum must equal the largest level visible in the
+    live window: every set whose slice is live (spikes included) plus
+    any level held across the window start.  Segments ending within a
+    float hair of the window-start boundary may legitimately land on
+    either side of it, so the assertion brackets the oracle."""
+    gauge = WindowedGauge(WINDOW, slices=SLICES)
+    t = 0.0
+    sets = []
+    for dt, value in steps:
+        t += dt
+        gauge.set(t, value)
+        sets.append((t, value))
+    now = t
+    width = gauge.slice_width
+    oldest = _slice_index(now, width) - SLICES + 1
+    ws = oldest * width
+    margin = width * 1e-6
+
+    def candidates(slack):
+        values = [v for (ti, v) in sets if _slice_index(ti, width) >= oldest]
+        values += [
+            v
+            for start, end, v in _gauge_segments(sets, now)
+            if min(end, now) > ws + slack and end > start
+        ]
+        return values
+
+    lower = candidates(margin)       # definitely visible
+    upper = candidates(-margin)      # possibly visible (boundary hairs)
+    measured = gauge.maximum(now)
+    assert measured >= max(lower, default=0.0) - 1e-12
+    assert measured <= max(upper, default=0.0) + 1e-12
+
+
+@given(steps=gauge_steps, gap=st.floats(min_value=2 * WINDOW, max_value=100.0))
+@settings(max_examples=60, deadline=None)
+def test_gauge_holds_last_level_across_a_gap(steps, gap):
+    """Unlike the counter/histogram, a gauge does not empty after a
+    quiet gap: the held level fills the entire live window."""
+    gauge = WindowedGauge(WINDOW, slices=SLICES)
+    t = 0.0
+    last = 0.0
+    for dt, value in steps:
+        t += dt
+        gauge.set(t, value)
+        last = value
+    now = t + gap
+    assert gauge.mean(now) == pytest.approx(last, rel=1e-9, abs=1e-12)
+    assert gauge.maximum(now) == last
 
 
 @given(k=st.integers(min_value=0, max_value=200), value=latencies)
